@@ -1,0 +1,44 @@
+//! Criterion wrappers around the paper-experiment drivers, so `cargo bench`
+//! exercises every table and figure generator end to end (scaled down where
+//! a full run would take minutes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rebeca_bench::figures::{figure2, figure3, figure5, figure9, Figure3Params, Figure9Params};
+use rebeca_bench::tables::{table1, table2, table3, table4};
+use rebeca_sim::SimDuration;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("experiments/tables_1_to_4", |b| {
+        b.iter(|| {
+            black_box(table1());
+            black_box(table2());
+            black_box(table3());
+            black_box(table4());
+        })
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("figure2", |b| b.iter(|| black_box(figure2())));
+    group.bench_function("figure3", |b| {
+        b.iter(|| black_box(figure3(&Figure3Params::default())))
+    });
+    group.bench_function("figure5", |b| b.iter(|| black_box(figure5())));
+    group.bench_function("figure9_quick", |b| {
+        let params = Figure9Params {
+            brokers: 4,
+            producers: 2,
+            grid_side: 4,
+            publish_interval: SimDuration::from_millis(250),
+            horizon_secs: 10,
+            ..Figure9Params::default()
+        };
+        b.iter(|| black_box(figure9(black_box(&params))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

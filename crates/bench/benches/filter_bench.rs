@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the content-based filter model: matching,
+//! covering and merging — the operations on every broker's hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rebeca_filter::{Constraint, Filter, FilterSet, Notification, Value};
+
+fn sample_filter(i: u32) -> Filter {
+    Filter::new()
+        .with("service", Constraint::Eq("parking".into()))
+        .with("cost", Constraint::Lt(Value::Int(3 + (i % 10) as i64)))
+        .with("location", Constraint::any_location_of([i % 50, (i + 1) % 50]))
+}
+
+fn sample_notification(i: u32) -> Notification {
+    Notification::builder()
+        .attr("service", "parking")
+        .attr("cost", (i % 12) as i64)
+        .attr("location", Value::Location(i % 50))
+        .attr("spot", i as i64)
+        .build()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let filter = sample_filter(3);
+    let hit = sample_notification(3);
+    let miss = sample_notification(29);
+    c.bench_function("filter/match_hit", |b| {
+        b.iter(|| black_box(filter.matches(black_box(&hit))))
+    });
+    c.bench_function("filter/match_miss", |b| {
+        b.iter(|| black_box(filter.matches(black_box(&miss))))
+    });
+}
+
+fn bench_covering(c: &mut Criterion) {
+    let wide = Filter::new()
+        .with("service", Constraint::Eq("parking".into()))
+        .with("cost", Constraint::Lt(Value::Int(100)));
+    let narrow = sample_filter(5);
+    c.bench_function("filter/covers", |b| {
+        b.iter(|| black_box(wide.covers(black_box(&narrow))))
+    });
+    c.bench_function("filter/overlaps", |b| {
+        b.iter(|| black_box(wide.overlaps(black_box(&narrow))))
+    });
+}
+
+fn bench_merging(c: &mut Criterion) {
+    let f1 = Filter::new().with("location", Constraint::any_location_of(0..20));
+    let f2 = Filter::new().with("location", Constraint::any_location_of(20..40));
+    c.bench_function("filter/try_merge", |b| {
+        b.iter(|| black_box(f1.try_merge(black_box(&f2))))
+    });
+}
+
+fn bench_filterset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filterset");
+    for &n in &[10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("insert_covering", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut set = FilterSet::new();
+                for i in 0..n as u32 {
+                    set.insert_covering(sample_filter(i));
+                }
+                black_box(set.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("match_against", n), &n, |b, &n| {
+            let mut set = FilterSet::new();
+            for i in 0..n as u32 {
+                set.insert_covering(sample_filter(i));
+            }
+            let notification = sample_notification(7);
+            b.iter(|| black_box(set.matches(black_box(&notification))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_covering, bench_merging, bench_filterset);
+criterion_main!(benches);

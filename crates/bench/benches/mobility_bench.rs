@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the end-to-end mobility protocols: a full
+//! relocation (Figure 5 scenario) and a logical-mobility run, both scaled to
+//! finish in milliseconds of wall-clock time per iteration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rebeca_bench::scenarios::{
+    run_logical, run_physical, HandoffKind, LogicalScenario, LogicalScheme, PhysicalScenario,
+};
+use rebeca_location::{AdaptivityPlan, MovementGraph};
+use rebeca_sim::{SimDuration, SimTime};
+
+fn bench_relocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mobility/relocation");
+    group.sample_size(20);
+    let params = PhysicalScenario {
+        publications: 20,
+        ..PhysicalScenario::default()
+    };
+    group.bench_function("figure5_relocation", |b| {
+        b.iter(|| black_box(run_physical(black_box(&params))))
+    });
+    let naive = PhysicalScenario {
+        publications: 20,
+        handoff: HandoffKind::NaiveWithSignOff,
+        ..PhysicalScenario::default()
+    };
+    group.bench_function("figure5_naive_handoff", |b| {
+        b.iter(|| black_box(run_physical(black_box(&naive))))
+    });
+    group.finish();
+}
+
+fn bench_logical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mobility/logical");
+    group.sample_size(10);
+    let base = LogicalScenario {
+        movement_graph: MovementGraph::grid(4, 4),
+        brokers: 4,
+        producers: 2,
+        residence: SimDuration::from_secs(1),
+        publish_interval: SimDuration::from_millis(200),
+        horizon: SimTime::from_secs(5),
+        ..LogicalScenario::default()
+    };
+    group.bench_function("location_dependent_5s", |b| {
+        let params = LogicalScenario {
+            scheme: LogicalScheme::LocationDependent(AdaptivityPlan::global_sub_unsub(4)),
+            ..base.clone()
+        };
+        b.iter(|| black_box(run_logical(black_box(&params))))
+    });
+    group.bench_function("flooding_5s", |b| {
+        let params = LogicalScenario {
+            scheme: LogicalScheme::Flooding,
+            ..base.clone()
+        };
+        b.iter(|| black_box(run_logical(black_box(&params))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_relocation, bench_logical);
+criterion_main!(benches);

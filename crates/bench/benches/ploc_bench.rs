@@ -1,0 +1,36 @@
+//! Criterion benchmarks for the location model: `ploc` computation and
+//! adaptivity planning, the operations performed on every location change.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rebeca_location::{AdaptivityPlan, LocationId, MovementGraph};
+
+fn bench_ploc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("location/ploc");
+    for &side in &[5usize, 10, 20] {
+        let graph = MovementGraph::grid(side, side);
+        let centre = LocationId((side * side / 2) as u32);
+        for &q in &[1usize, 3, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("grid{side}x{side}"), q),
+                &q,
+                |b, &q| b.iter(|| black_box(graph.ploc(black_box(centre), q))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_adaptivity(c: &mut Criterion) {
+    let delays: Vec<u64> = (0..32).map(|i| 5_000 + i * 100).collect();
+    c.bench_function("location/adaptivity_plan_32_hops", |b| {
+        b.iter(|| black_box(AdaptivityPlan::adaptive(black_box(1_000_000), black_box(&delays))))
+    });
+    let graph = MovementGraph::grid(10, 10);
+    let plan = AdaptivityPlan::adaptive(1_000_000, &delays);
+    c.bench_function("location/location_sets_10x10", |b| {
+        b.iter(|| black_box(plan.location_sets(&graph, LocationId(45))))
+    });
+}
+
+criterion_group!(benches, bench_ploc, bench_adaptivity);
+criterion_main!(benches);

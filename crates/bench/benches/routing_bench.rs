@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the routing engine: subscription handling and the
+//! routing decision under the different strategies of Section 2.2.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rebeca_filter::{Constraint, Filter, Notification, Value};
+use rebeca_routing::{RoutingEngine, RoutingStrategyKind};
+
+fn sub(i: u32) -> Filter {
+    Filter::new()
+        .with("service", Constraint::Eq("parking".into()))
+        .with("location", Constraint::any_location_of([i % 64]))
+}
+
+fn notification(i: u32) -> Notification {
+    Notification::builder()
+        .attr("service", "parking")
+        .attr("location", Value::Location(i % 64))
+        .build()
+}
+
+fn bench_subscription_handling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/subscribe_1000");
+    for strategy in [
+        RoutingStrategyKind::Simple,
+        RoutingStrategyKind::Identity,
+        RoutingStrategyKind::Covering,
+        RoutingStrategyKind::Merging,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                let links: Vec<u32> = (0..8).collect();
+                b.iter(|| {
+                    let mut engine: RoutingEngine<u32> = RoutingEngine::new(strategy);
+                    for i in 0..1000u32 {
+                        engine.handle_subscribe(sub(i), i % 8, &links);
+                    }
+                    black_box(engine.table_size())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_routing_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/route");
+    let links: Vec<u32> = (0..8).collect();
+    for strategy in [
+        RoutingStrategyKind::Flooding,
+        RoutingStrategyKind::Simple,
+        RoutingStrategyKind::Covering,
+    ] {
+        let mut engine: RoutingEngine<u32> = RoutingEngine::new(strategy);
+        for i in 0..1000u32 {
+            engine.handle_subscribe(sub(i), i % 8, &links);
+        }
+        let n = notification(17);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, _| b.iter(|| black_box(engine.route(black_box(&n), None, &links))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subscription_handling, bench_routing_decision);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates the Figure 2 experiment: lost and duplicated notifications
+//! with the naive hand-off, compared against the relocation protocol.
+fn main() {
+    println!("Figure 2: notification loss/duplication during a hand-off (40 publications,");
+    println!("consumer moves B6 -> B1 of the Figure 5 topology at t = 500 ms)\n");
+    println!(
+        "{:<42} {:>9} {:>6} {:>11} {:>6}",
+        "scheme", "received", "lost", "duplicated", "fifo"
+    );
+    for row in rebeca_bench::figures::figure2() {
+        println!(
+            "{:<42} {:>9} {:>6} {:>11} {:>6}",
+            row.scheme, row.received, row.lost, row.duplicated, row.fifo_preserved
+        );
+    }
+}

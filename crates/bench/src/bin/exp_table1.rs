@@ -1,0 +1,5 @@
+//! Regenerates Table 1 of the paper: `ploc(x, t)` for the Figure 7 movement
+//! graph.
+fn main() {
+    print!("{}", rebeca_bench::tables::table1().render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2 of the paper: the per-hop filters F3..F0 along the
+//! Figure 6 path while the client moves a -> b -> d.
+fn main() {
+    let rows = rebeca_bench::tables::table2();
+    print!("{}", rebeca_bench::tables::render_table2(&rows));
+}

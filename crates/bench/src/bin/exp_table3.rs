@@ -1,0 +1,9 @@
+//! Regenerates Table 3 of the paper: `ploc(x, t)` for the trivial global
+//! sub/unsub implementation (top) and flooding with client-side filtering
+//! (bottom).
+fn main() {
+    let (top, bottom) = rebeca_bench::tables::table3();
+    print!("{}", top.render());
+    println!();
+    print!("{}", bottom.render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 4 (and the Figure 8 step derivation) of the paper:
+//! `ploc(x, t)` for Delta = 100 ms and delta_i = [120, 50, 50] ms.
+fn main() {
+    let (table, steps) = rebeca_bench::tables::table4();
+    println!("Per-hop uncertainty steps q_i derived from the Fig. 8 rule: {steps:?}");
+    println!();
+    print!("{}", table.render());
+}

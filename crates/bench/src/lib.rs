@@ -1,0 +1,20 @@
+//! Experiment harness for the Rebeca mobility reproduction.
+//!
+//! One module per group of paper artefacts:
+//!
+//! * [`tables`] — Tables 1–4 (deterministic `ploc` / adaptivity outputs);
+//! * [`scenarios`] — reusable simulation scenarios (the Figure 5 relocation
+//!   setting and the logical-mobility line setting);
+//! * [`figures`] — Figures 2, 3, 5 and 9.
+//!
+//! The `exp_*` binaries in `src/bin/` print each artefact in the same layout
+//! as the paper; the Criterion benches in `benches/` measure the hot paths
+//! (filter matching, covering, routing-table updates, `ploc`, relocation) and
+//! run scaled-down versions of the experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod scenarios;
+pub mod tables;

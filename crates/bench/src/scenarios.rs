@@ -1,0 +1,386 @@
+//! Shared simulation scenarios used by the figure experiments.
+//!
+//! Each builder assembles a [`MobilitySystem`] that mirrors one of the
+//! paper's evaluation settings; the figure modules run them with different
+//! parameters and extract the series the paper plots.
+
+use rebeca_broker::ClientId;
+use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem};
+use rebeca_filter::{Constraint, Filter, LocationDependentFilter, Notification, Value};
+use rebeca_location::{AdaptivityPlan, LocationId, MovementGraph};
+use rebeca_routing::RoutingStrategyKind;
+use rebeca_sim::{DelayModel, SimDuration, SimTime, Topology};
+
+/// Identity of the roaming / location-aware consumer in every scenario.
+pub const CONSUMER: ClientId = ClientId(1);
+
+/// The parking-service subscription used throughout the experiments.
+pub fn parking_filter() -> Filter {
+    Filter::new().with("service", Constraint::Eq("parking".into()))
+}
+
+/// The location-dependent parking subscription (`location ∈ myloc`).
+pub fn parking_template() -> LocationDependentFilter {
+    LocationDependentFilter::new("location", 0)
+        .with_concrete("service", Constraint::Eq("parking".into()))
+}
+
+/// A parking-vacancy notification at the given location.
+pub fn vacancy_at(location: LocationId, spot: i64) -> Notification {
+    Notification::builder()
+        .attr("service", "parking")
+        .attr("location", Value::Location(location.raw()))
+        .attr("spot", spot)
+        .build()
+}
+
+/// How the consumer of the physical-mobility scenarios hands over between
+/// brokers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoffKind {
+    /// The paper's relocation protocol (Section 4).
+    Relocation,
+    /// Naive hand-off with an explicit sign-off at the old broker.
+    NaiveWithSignOff,
+    /// Naive hand-off without sign-off (the client just disappears).
+    NaiveSilent,
+}
+
+/// Parameters of the Figure 2 / Figure 5 physical-mobility scenario.
+#[derive(Debug, Clone)]
+pub struct PhysicalScenario {
+    /// Routing strategy of the broker network.
+    pub strategy: RoutingStrategyKind,
+    /// How the consumer hands over.
+    pub handoff: HandoffKind,
+    /// When the consumer moves from the old to the new border broker.
+    pub move_at: SimTime,
+    /// Number of publications.
+    pub publications: u64,
+    /// Gap between publications.
+    pub publish_interval: SimDuration,
+    /// Per-link delay.
+    pub link_delay: DelayModel,
+}
+
+impl Default for PhysicalScenario {
+    fn default() -> Self {
+        Self {
+            strategy: RoutingStrategyKind::Covering,
+            handoff: HandoffKind::Relocation,
+            move_at: SimTime::from_millis(500),
+            publications: 40,
+            publish_interval: SimDuration::from_millis(25),
+            link_delay: DelayModel::constant_millis(5),
+        }
+    }
+}
+
+/// Result of a physical-mobility run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysicalOutcome {
+    /// Publications that reached the consumer at least once.
+    pub received: usize,
+    /// Publications that never reached the consumer.
+    pub lost: usize,
+    /// Publications that reached the consumer more than once.
+    pub duplicated: usize,
+    /// Whether per-publisher FIFO order held.
+    pub fifo_preserved: bool,
+    /// Total messages transmitted over links.
+    pub total_messages: u64,
+}
+
+/// Runs the Figure 5 scenario (producer at B8, consumer moving B6 → B1) with
+/// the given parameters and reports completeness / duplication / ordering.
+pub fn run_physical(params: &PhysicalScenario) -> PhysicalOutcome {
+    let topo = Topology::figure5();
+    let config = BrokerConfig {
+        strategy: params.strategy,
+        movement_graph: MovementGraph::paper_example(),
+        relocation_timeout: SimDuration::from_secs(30),
+    };
+    let mut sys = MobilitySystem::new(&topo, config, params.link_delay, 17);
+    let producer = ClientId(2);
+    let old_broker = sys.broker_node(5);
+    let new_broker = sys.broker_node(0);
+
+    let move_action = match params.handoff {
+        HandoffKind::Relocation => ClientAction::MoveTo { broker: new_broker },
+        HandoffKind::NaiveWithSignOff => ClientAction::NaiveMoveTo {
+            broker: new_broker,
+            sign_off: true,
+        },
+        HandoffKind::NaiveSilent => ClientAction::NaiveMoveTo {
+            broker: new_broker,
+            sign_off: false,
+        },
+    };
+    sys.add_client(
+        CONSUMER,
+        LogicalMobilityMode::LocationDependent,
+        &[5, 0],
+        vec![
+            (SimTime::from_millis(1), ClientAction::Attach { broker: old_broker }),
+            (SimTime::from_millis(2), ClientAction::Subscribe(parking_filter())),
+            (params.move_at, move_action),
+        ],
+    );
+    let mut script = vec![
+        (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(7) }),
+        (SimTime::from_millis(2), ClientAction::Advertise(parking_filter())),
+    ];
+    for i in 0..params.publications {
+        let at = SimTime::from_millis(50) + params.publish_interval.saturating_mul(i);
+        script.push((at, ClientAction::Publish(vacancy_at(LocationId(0), i as i64))));
+    }
+    sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[7], script);
+
+    let horizon = SimTime::from_millis(50)
+        + params.publish_interval.saturating_mul(params.publications + 10)
+        + SimDuration::from_secs(2);
+    sys.run_until(horizon);
+
+    let log = sys.client_log(CONSUMER);
+    let received = log.distinct_publisher_seqs(producer).len();
+    let lost = log.missing_from(producer, 1..=params.publications).len();
+    let duplicated = log.duplicate_publications(producer);
+    let fifo_preserved = log
+        .violations()
+        .iter()
+        .all(|v| !matches!(v, rebeca_broker::DeliveryViolation::FifoViolation { .. }));
+    PhysicalOutcome {
+        received,
+        lost,
+        duplicated,
+        fifo_preserved,
+        total_messages: sys.total_messages(),
+    }
+}
+
+/// Which logical-mobility scheme a Figure 3 / Figure 9 run uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicalScheme {
+    /// The paper's location-dependent subscriptions with the given adaptivity
+    /// plan.
+    LocationDependent(AdaptivityPlan),
+    /// The manual sub/unsub baseline (Figure 3a).
+    ManualSubUnsub,
+    /// Flooding with client-side filtering (Figure 3b).
+    Flooding,
+}
+
+/// Parameters of the logical-mobility scenario: a broker line with the
+/// consumer at one end and producers at the other, the consumer walking
+/// through a movement graph.
+#[derive(Debug, Clone)]
+pub struct LogicalScenario {
+    /// The scheme under test.
+    pub scheme: LogicalScheme,
+    /// Movement graph of the location space.
+    pub movement_graph: MovementGraph,
+    /// Number of brokers in the line (consumer at index 0, producers at the
+    /// far end).
+    pub brokers: usize,
+    /// Number of producers (all attached to the last broker).
+    pub producers: usize,
+    /// Residence time at each location (`Δ`).
+    pub residence: SimDuration,
+    /// Interval between publications of one producer (each publication is
+    /// addressed to a location drawn uniformly from the location space).
+    pub publish_interval: SimDuration,
+    /// Per-link delay.
+    pub link_delay: DelayModel,
+    /// Total simulated time.
+    pub horizon: SimTime,
+    /// Seed for delays and the random walk / publication locations.
+    pub seed: u64,
+}
+
+impl Default for LogicalScenario {
+    fn default() -> Self {
+        Self {
+            scheme: LogicalScheme::LocationDependent(AdaptivityPlan::global_sub_unsub(4)),
+            movement_graph: MovementGraph::grid(4, 4),
+            brokers: 5,
+            producers: 2,
+            residence: SimDuration::from_secs(1),
+            publish_interval: SimDuration::from_millis(100),
+            link_delay: DelayModel::constant_millis(5),
+            horizon: SimTime::from_secs(20),
+            seed: 42,
+        }
+    }
+}
+
+/// Result of a logical-mobility run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalOutcome {
+    /// Notifications delivered to the consumer.
+    pub delivered: usize,
+    /// Total messages transmitted over links (notifications + admin), the
+    /// quantity plotted in Figure 9.
+    pub total_messages: u64,
+    /// Per-second samples of the cumulative total message count
+    /// (`(seconds, total)`), the Figure 9 series.
+    pub message_series: Vec<(u64, u64)>,
+    /// Virtual arrival times of deliveries for the consumer's location at the
+    /// time of delivery (used to measure blackouts for Figure 3).
+    pub delivery_times: Vec<SimTime>,
+    /// The consumer's location-change times.
+    pub move_times: Vec<SimTime>,
+}
+
+/// Runs a logical-mobility scenario and samples the cumulative message count
+/// once per simulated second.
+pub fn run_logical(params: &LogicalScenario) -> LogicalOutcome {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+
+    let strategy = match params.scheme {
+        LogicalScheme::Flooding => RoutingStrategyKind::Flooding,
+        _ => RoutingStrategyKind::Covering,
+    };
+    let config = BrokerConfig {
+        strategy,
+        movement_graph: params.movement_graph.clone(),
+        relocation_timeout: SimDuration::from_secs(30),
+    };
+    let topo = Topology::line(params.brokers);
+    let mut sys = MobilitySystem::new(&topo, config, params.link_delay, params.seed);
+
+    // Consumer: a random walk over the movement graph, one step per residence
+    // period.
+    let start = LocationId(0);
+    let steps = (params.horizon.as_micros() / params.residence.as_micros().max(1)) as usize + 2;
+    let itinerary = rebeca_location::Itinerary::random_walk(
+        &params.movement_graph,
+        start,
+        steps,
+        params.residence.as_micros(),
+        &mut rng,
+    );
+    let (mode, plan) = match &params.scheme {
+        LogicalScheme::LocationDependent(plan) => {
+            (LogicalMobilityMode::LocationDependent, plan.clone())
+        }
+        LogicalScheme::ManualSubUnsub => (
+            LogicalMobilityMode::ManualSubUnsub { vicinity: 0 },
+            AdaptivityPlan::global_sub_unsub(params.brokers),
+        ),
+        LogicalScheme::Flooding => (
+            LogicalMobilityMode::ManualSubUnsub { vicinity: 0 },
+            AdaptivityPlan::flooding(params.brokers),
+        ),
+    };
+    let mut consumer_script = vec![
+        (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
+        (
+            SimTime::from_millis(2),
+            ClientAction::LocSubscribe {
+                template: parking_template(),
+                plan,
+                location: start,
+            },
+        ),
+    ];
+    let mut move_times = Vec::new();
+    for (at_micros, location) in itinerary.change_times() {
+        let at = SimTime::from_micros(at_micros.max(3_000));
+        move_times.push(at);
+        consumer_script.push((at, ClientAction::SetLocation(location)));
+    }
+    sys.add_client(CONSUMER, mode, &[0], consumer_script);
+
+    // Producers at the far broker, each publishing to a uniformly random
+    // location (one of the paper's explicitly conservative assumptions).
+    let far = params.brokers - 1;
+    let locations: Vec<LocationId> = params.movement_graph.space().ids().collect();
+    for p in 0..params.producers {
+        let id = ClientId(100 + p as u32);
+        let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(far) })];
+        let mut t = SimTime::from_millis(40 + p as u64 * 7);
+        let mut spot = 0i64;
+        while t < params.horizon {
+            let location = locations[rng.gen_range(0..locations.len())];
+            script.push((t, ClientAction::Publish(vacancy_at(location, spot))));
+            spot += 1;
+            t = t + params.publish_interval;
+        }
+        sys.add_client(id, LogicalMobilityMode::LocationDependent, &[far], script);
+    }
+
+    // Run second by second, sampling the cumulative link-message count.
+    let mut message_series = Vec::new();
+    let seconds = params.horizon.as_micros() / 1_000_000;
+    for s in 1..=seconds {
+        sys.run_until(SimTime::from_secs(s));
+        message_series.push((s, sys.total_messages()));
+    }
+    sys.run_until(params.horizon);
+
+    let client = sys.client(CONSUMER);
+    LogicalOutcome {
+        delivered: client.log().len(),
+        total_messages: sys.total_messages(),
+        message_series,
+        delivery_times: client.delivery_times().iter().map(|(t, _)| *t).collect(),
+        move_times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relocation_scenario_is_lossless() {
+        let outcome = run_physical(&PhysicalScenario::default());
+        assert_eq!(outcome.lost, 0);
+        assert_eq!(outcome.duplicated, 0);
+        assert!(outcome.fifo_preserved);
+        assert_eq!(outcome.received, 40);
+    }
+
+    #[test]
+    fn naive_sign_off_loses_messages() {
+        let outcome = run_physical(&PhysicalScenario {
+            handoff: HandoffKind::NaiveWithSignOff,
+            ..PhysicalScenario::default()
+        });
+        assert!(outcome.lost > 0);
+    }
+
+    #[test]
+    fn naive_silent_handoff_duplicates_under_flooding() {
+        let outcome = run_physical(&PhysicalScenario {
+            strategy: RoutingStrategyKind::Flooding,
+            handoff: HandoffKind::NaiveSilent,
+            ..PhysicalScenario::default()
+        });
+        assert!(outcome.duplicated > 0);
+    }
+
+    #[test]
+    fn logical_scenario_flooding_costs_more_than_location_dependent() {
+        let base = LogicalScenario {
+            horizon: SimTime::from_secs(5),
+            ..LogicalScenario::default()
+        };
+        let managed = run_logical(&LogicalScenario {
+            scheme: LogicalScheme::LocationDependent(AdaptivityPlan::global_sub_unsub(5)),
+            ..base.clone()
+        });
+        let flooding = run_logical(&LogicalScenario {
+            scheme: LogicalScheme::Flooding,
+            ..base
+        });
+        assert!(flooding.total_messages > managed.total_messages);
+        assert!(!managed.message_series.is_empty());
+        // The cumulative series is non-decreasing.
+        assert!(managed
+            .message_series
+            .windows(2)
+            .all(|w| w[0].1 <= w[1].1));
+    }
+}

@@ -1,0 +1,286 @@
+//! Regeneration of Tables 1–4 of the paper.
+//!
+//! All four tables are deterministic outputs of the `ploc` function and the
+//! adaptivity scheme over the Figure 7 movement graph, so the experiment
+//! simply evaluates the same functions the middleware uses and formats them
+//! the way the paper prints them.
+
+use std::collections::BTreeSet;
+
+use rebeca_location::{AdaptivityPlan, LocationId, MovementGraph};
+use serde::Serialize;
+
+/// One row of a ploc table: the time / filter index and the location sets per
+/// column (one column per location of the movement graph, in name order).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PlocRow {
+    /// The row index (`t` in the paper).
+    pub t: usize,
+    /// One rendered location set per column, e.g. `"{a, b, c}"`.
+    pub sets: Vec<String>,
+}
+
+/// A regenerated table: caption, column headers and rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PlocTable {
+    /// Which paper artefact the table reproduces.
+    pub caption: String,
+    /// Column headers (`x = a`, `x = b`, …).
+    pub columns: Vec<String>,
+    /// The rows in increasing `t`.
+    pub rows: Vec<PlocRow>,
+}
+
+impl PlocTable {
+    /// Renders the table as fixed-width text, mirroring the paper's layout.
+    pub fn render(&self) -> String {
+        let mut width = self.columns.iter().map(String::len).max().unwrap_or(0);
+        for row in &self.rows {
+            for s in &row.sets {
+                width = width.max(s.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.caption));
+        out.push_str(&format!("{:>3} ", "t"));
+        for c in &self.columns {
+            out.push_str(&format!(" {c:width$}"));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:>3} ", row.t));
+            for s in &row.sets {
+                out.push_str(&format!(" {s:width$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn render_set(graph: &MovementGraph, set: &BTreeSet<LocationId>) -> String {
+    let names: Vec<&str> = set.iter().filter_map(|l| graph.space().name(*l)).collect();
+    format!("{{{}}}", names.join(", "))
+}
+
+fn column_headers(graph: &MovementGraph) -> Vec<String> {
+    graph
+        .space()
+        .iter()
+        .map(|(_, name)| format!("x = {name}"))
+        .collect()
+}
+
+/// Table 1: `ploc(x, t)` over the Figure 7 movement graph for `t = 0..=3`.
+pub fn table1() -> PlocTable {
+    let graph = MovementGraph::paper_example();
+    let rows = (0..=3)
+        .map(|t| PlocRow {
+            t,
+            sets: graph
+                .space()
+                .ids()
+                .map(|x| render_set(&graph, &graph.ploc(x, t)))
+                .collect(),
+        })
+        .collect();
+    PlocTable {
+        caption: "Table 1: values of ploc(x, t) for the example movement graph (Fig. 7)".into(),
+        columns: column_headers(&graph),
+        rows,
+    }
+}
+
+/// One row of Table 2: the per-hop filters `F_3 … F_0` at a point in time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FilterRow {
+    /// The time step (0, 1, 2 — client at a, b, d).
+    pub t: usize,
+    /// The client's location at that time (by name).
+    pub location: String,
+    /// Rendered filters, ordered `F_k … F_0` like the paper prints them.
+    pub filters: Vec<String>,
+}
+
+/// Table 2: the filters `F_0 … F_3` along the Figure 6 path while the client
+/// moves a → b → d, with one additional step of uncertainty per hop.
+pub fn table2() -> Vec<FilterRow> {
+    let graph = MovementGraph::paper_example();
+    let plan = AdaptivityPlan::one_step_per_hop(3);
+    let itinerary = ["a", "b", "d"];
+    itinerary
+        .iter()
+        .enumerate()
+        .map(|(t, name)| {
+            let x = graph.space().id(name).expect("location exists");
+            let sets = plan.location_sets(&graph, x);
+            // The paper prints F3 F2 F1 F0 (left to right).
+            let filters = sets
+                .iter()
+                .rev()
+                .map(|s| render_set(&graph, s))
+                .collect();
+            FilterRow {
+                t,
+                location: (*name).to_string(),
+                filters,
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 2 as text.
+pub fn render_table2(rows: &[FilterRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2: values of filters in the example setting (client moves a -> b -> d)\n");
+    out.push_str(&format!(
+        "{:>6} {:>20} {:>20} {:>15} {:>8}\n",
+        "time t", "F3", "F2", "F1", "F0"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>6} {:>20} {:>20} {:>15} {:>8}\n",
+            row.t, row.filters[0], row.filters[1], row.filters[2], row.filters[3]
+        ));
+    }
+    out
+}
+
+/// Table 3: `ploc(x, t)` for the two trivial schemes — global sub/unsub (top)
+/// and flooding with client-side filtering (bottom).  Returns `(top, bottom)`.
+pub fn table3() -> (PlocTable, PlocTable) {
+    let graph = MovementGraph::paper_example();
+    let columns = column_headers(&graph);
+
+    let build = |caption: &str, plan: &AdaptivityPlan| PlocTable {
+        caption: caption.to_string(),
+        columns: columns.clone(),
+        rows: (0..=3)
+            .map(|t| PlocRow {
+                t,
+                sets: graph
+                    .space()
+                    .ids()
+                    .map(|x| render_set(&graph, &plan.location_set_at(&graph, x, t)))
+                    .collect(),
+            })
+            .collect(),
+    };
+
+    let top = build(
+        "Table 3 (top): ploc(x, t) for the trivial global sub/unsub implementation",
+        &AdaptivityPlan::global_sub_unsub(3),
+    );
+    let bottom = build(
+        "Table 3 (bottom): ploc(x, t) for flooding with client-side filtering",
+        &AdaptivityPlan::flooding(3),
+    );
+    (top, bottom)
+}
+
+/// Table 4 (and Figure 8): `ploc(x, t)` for the concrete timing values of
+/// Section 5.3 — `Δ = 100 ms`, `δ = [120, 50, 50] ms` along the path — plus
+/// the per-hop uncertainty steps derived by the adaptivity rule.
+pub fn table4() -> (PlocTable, Vec<usize>) {
+    let graph = MovementGraph::paper_example();
+    let plan = AdaptivityPlan::adaptive(100_000, &[120_000, 50_000, 50_000]);
+    let table = PlocTable {
+        caption: "Table 4: ploc(x, t) for Δ = 100 ms, δ = [120, 50, 50] ms (Fig. 8)".into(),
+        columns: column_headers(&graph),
+        rows: (0..plan.steps().len())
+            .map(|t| PlocRow {
+                t,
+                sets: graph
+                    .space()
+                    .ids()
+                    .map(|x| render_set(&graph, &plan.location_set_at(&graph, x, t)))
+                    .collect(),
+            })
+            .collect(),
+    };
+    (table, plan.steps().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 4);
+        // Row t = 0: singletons.
+        assert_eq!(t.rows[0].sets, vec!["{a}", "{b}", "{c}", "{d}"]);
+        // Row t = 1 as printed in the paper.
+        assert_eq!(
+            t.rows[1].sets,
+            vec!["{a, b, c}", "{a, b, d}", "{a, c, d}", "{b, c, d}"]
+        );
+        // Rows t = 2 and t = 3: the full location set.
+        for r in 2..=3 {
+            assert!(t.rows[r].sets.iter().all(|s| s == "{a, b, c, d}"));
+        }
+    }
+
+    #[test]
+    fn table2_matches_the_paper() {
+        let rows = table2();
+        assert_eq!(rows.len(), 3);
+        // t = 0, client at a: F3..F0 = {a,b,c,d}, {a,b,c,d}, {a,b,c}, {a}
+        assert_eq!(
+            rows[0].filters,
+            vec!["{a, b, c, d}", "{a, b, c, d}", "{a, b, c}", "{a}"]
+        );
+        // t = 1, client at b.
+        assert_eq!(
+            rows[1].filters,
+            vec!["{a, b, c, d}", "{a, b, c, d}", "{a, b, d}", "{b}"]
+        );
+        // t = 2, client at d.
+        assert_eq!(
+            rows[2].filters,
+            vec!["{a, b, c, d}", "{a, b, c, d}", "{b, c, d}", "{d}"]
+        );
+    }
+
+    #[test]
+    fn table3_matches_the_paper() {
+        let (top, bottom) = table3();
+        // Global sub/unsub: t = 0 singletons, every t >= 1 equals the t = 1 ball.
+        assert_eq!(top.rows[0].sets, vec!["{a}", "{b}", "{c}", "{d}"]);
+        for r in 1..=3 {
+            assert_eq!(
+                top.rows[r].sets,
+                vec!["{a, b, c}", "{a, b, d}", "{a, c, d}", "{b, c, d}"]
+            );
+        }
+        // Flooding: t = 0 singletons, everything else the full set.
+        assert_eq!(bottom.rows[0].sets, vec!["{a}", "{b}", "{c}", "{d}"]);
+        for r in 1..=3 {
+            assert!(bottom.rows[r].sets.iter().all(|s| s == "{a, b, c, d}"));
+        }
+    }
+
+    #[test]
+    fn table4_matches_the_paper() {
+        let (table, steps) = table4();
+        assert_eq!(steps, vec![0, 1, 1, 2]);
+        assert_eq!(table.rows[0].sets, vec!["{a}", "{b}", "{c}", "{d}"]);
+        assert_eq!(
+            table.rows[1].sets,
+            vec!["{a, b, c}", "{a, b, d}", "{a, c, d}", "{b, c, d}"]
+        );
+        assert_eq!(table.rows[2].sets, table.rows[1].sets);
+        assert!(table.rows[3].sets.iter().all(|s| s == "{a, b, c, d}"));
+    }
+
+    #[test]
+    fn rendering_produces_readable_text() {
+        let t = table1();
+        let text = t.render();
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("{a, b, c}"));
+        let rows = table2();
+        assert!(render_table2(&rows).contains("F0"));
+    }
+}

@@ -1,0 +1,640 @@
+//! The static Rebeca broker: the unchanged pub/sub middleware that the
+//! mobility extension of `rebeca-core` builds on.
+//!
+//! [`BrokerCore`] is a *pure state machine*: every handler consumes one
+//! incoming message (already demultiplexed into typed parameters) and returns
+//! the messages to emit, as `(destination node, message)` pairs.  It is
+//! therefore runnable both inside the discrete-event simulator and in the
+//! threaded runtime, and straightforward to unit-test in isolation.
+//!
+//! Responsibilities (Section 2 of the paper):
+//!
+//! * maintain the routing and advertisement tables via the configured
+//!   [`RoutingStrategyKind`];
+//! * accept local clients (attach/detach), their subscriptions and
+//!   publications;
+//! * forward notifications towards matching subscriptions;
+//! * annotate deliveries to local consumers with per-`(client, filter)`
+//!   sequence numbers (the numbers the relocation protocol relies on).
+//!
+//! Deliveries addressed to a *disconnected* local client are not sent (the
+//! link is down); they are parked and can be drained by the caller — the
+//! mobility layer turns them into the virtual counterpart's buffer, while the
+//! plain static broker simply drops them (which is exactly the naive
+//! behaviour whose notification loss Figure 2 of the paper illustrates).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rebeca_filter::{Filter, Notification};
+use rebeca_routing::{AdvertisementTable, RoutingEngine, RoutingStrategyKind};
+use rebeca_sim::NodeId;
+
+use crate::ids::ClientId;
+use crate::message::{Delivery, Envelope, Message};
+use crate::seqnum::SequenceRegistry;
+
+/// The role of a broker in the topology (Figure 1 of the paper).
+///
+/// Local brokers are part of the client library and are not modelled as
+/// separate nodes; a border broker is simply a broker with attached clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BrokerRole {
+    /// Connected only to other brokers.
+    #[default]
+    Inner,
+    /// May accept local clients.
+    Border,
+}
+
+/// Bookkeeping for one local client of a border broker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientRecord {
+    /// The simulation node the client is reachable at.
+    pub node: NodeId,
+    /// The client's active subscriptions at this broker.
+    pub subscriptions: Vec<Filter>,
+    /// Whether the client is currently connected (reachable).
+    pub connected: bool,
+}
+
+/// Messages a broker wants to emit, as `(destination node, message)` pairs.
+pub type Outgoing = Vec<(NodeId, Message)>;
+
+/// The static (mobility-unaware) Rebeca broker state machine.
+#[derive(Debug, Clone)]
+pub struct BrokerCore {
+    id: NodeId,
+    role: BrokerRole,
+    broker_links: Vec<NodeId>,
+    clients: BTreeMap<ClientId, ClientRecord>,
+    engine: RoutingEngine<NodeId>,
+    ads: AdvertisementTable<NodeId>,
+    seq: SequenceRegistry,
+    publisher_seq: BTreeMap<ClientId, u64>,
+    parked: Vec<Delivery>,
+}
+
+impl BrokerCore {
+    /// Creates a broker with the given identity, role, neighbouring broker
+    /// links and routing strategy.
+    pub fn new(
+        id: NodeId,
+        role: BrokerRole,
+        broker_links: Vec<NodeId>,
+        strategy: RoutingStrategyKind,
+    ) -> Self {
+        Self {
+            id,
+            role,
+            broker_links,
+            clients: BTreeMap::new(),
+            engine: RoutingEngine::new(strategy),
+            ads: AdvertisementTable::new(),
+            seq: SequenceRegistry::new(),
+            publisher_seq: BTreeMap::new(),
+            parked: Vec::new(),
+        }
+    }
+
+    /// The broker's own node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The broker's role.
+    pub fn role(&self) -> BrokerRole {
+        self.role
+    }
+
+    /// The neighbouring broker nodes.
+    pub fn broker_links(&self) -> &[NodeId] {
+        &self.broker_links
+    }
+
+    /// Read access to the routing engine.
+    pub fn engine(&self) -> &RoutingEngine<NodeId> {
+        &self.engine
+    }
+
+    /// Mutable access to the routing engine (used by the relocation protocol
+    /// to re-point delivery paths).
+    pub fn engine_mut(&mut self) -> &mut RoutingEngine<NodeId> {
+        &mut self.engine
+    }
+
+    /// Read access to the advertisement table.
+    pub fn advertisements(&self) -> &AdvertisementTable<NodeId> {
+        &self.ads
+    }
+
+    /// Read access to the per-`(client, filter)` sequence registry.
+    pub fn sequences(&self) -> &SequenceRegistry {
+        &self.seq
+    }
+
+    /// Mutable access to the sequence registry (the relocation protocol fast
+    /// forwards streams it takes over).
+    pub fn sequences_mut(&mut self) -> &mut SequenceRegistry {
+        &mut self.seq
+    }
+
+    /// The record of a local client, if attached here.
+    pub fn client(&self, client: ClientId) -> Option<&ClientRecord> {
+        self.clients.get(&client)
+    }
+
+    /// Mutable record of a local client.
+    pub fn client_mut(&mut self, client: ClientId) -> Option<&mut ClientRecord> {
+        self.clients.get_mut(&client)
+    }
+
+    /// All local clients.
+    pub fn clients(&self) -> impl Iterator<Item = (ClientId, &ClientRecord)> {
+        self.clients.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// Looks a local client up by its node id.
+    pub fn client_by_node(&self, node: NodeId) -> Option<ClientId> {
+        self.clients
+            .iter()
+            .find(|(_, r)| r.node == node)
+            .map(|(id, _)| *id)
+    }
+
+    /// Removes a local client entirely (garbage collection after relocation),
+    /// returning its record.
+    pub fn remove_client(&mut self, client: ClientId) -> Option<ClientRecord> {
+        self.seq.remove_client(client);
+        self.clients.remove(&client)
+    }
+
+    /// Deliveries to disconnected local clients that accumulated since the
+    /// last call.  The mobility layer turns them into buffered state; the
+    /// static broker drops them.
+    pub fn take_parked(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.parked)
+    }
+
+    // ------------------------------------------------------------------
+    // Handlers
+    // ------------------------------------------------------------------
+
+    /// A client attaches at this (border) broker.
+    pub fn handle_attach(&mut self, client: ClientId, node: NodeId) -> Outgoing {
+        let record = self.clients.entry(client).or_insert(ClientRecord {
+            node,
+            subscriptions: Vec::new(),
+            connected: true,
+        });
+        record.node = node;
+        record.connected = true;
+        Vec::new()
+    }
+
+    /// A client detaches (or is detected as unreachable).  Its subscriptions
+    /// stay in place so that the mobility layer can keep buffering for it.
+    pub fn handle_detach(&mut self, client: ClientId) -> Outgoing {
+        if let Some(record) = self.clients.get_mut(&client) {
+            record.connected = false;
+        }
+        Vec::new()
+    }
+
+    /// A subscription arrives, either from a local client (`from` is the
+    /// client's node) or from a neighbouring broker.
+    pub fn handle_subscribe(
+        &mut self,
+        subscriber: ClientId,
+        filter: Filter,
+        from: NodeId,
+    ) -> Outgoing {
+        if let Some(client) = self.client_by_node(from) {
+            if let Some(record) = self.clients.get_mut(&client) {
+                if !record.subscriptions.contains(&filter) {
+                    record.subscriptions.push(filter.clone());
+                }
+            }
+        }
+        let links = self.broker_links.clone();
+        self.engine
+            .handle_subscribe(filter, from, &links)
+            .into_iter()
+            .map(|(link, forward)| {
+                (
+                    link,
+                    Message::Subscribe {
+                        subscriber,
+                        filter: forward,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// A subscription is retracted.
+    pub fn handle_unsubscribe(
+        &mut self,
+        subscriber: ClientId,
+        filter: Filter,
+        from: NodeId,
+    ) -> Outgoing {
+        if let Some(client) = self.client_by_node(from) {
+            if let Some(record) = self.clients.get_mut(&client) {
+                record.subscriptions.retain(|f| f != &filter);
+            }
+        }
+        let links = self.broker_links.clone();
+        self.engine
+            .handle_unsubscribe(&filter, &from, &links)
+            .forwards
+            .into_iter()
+            .map(|(link, forward)| {
+                (
+                    link,
+                    Message::Unsubscribe {
+                        subscriber,
+                        filter: forward,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// An advertisement arrives.  Advertisements are flooded through the
+    /// broker network (each broker forwards new ones on every other link).
+    pub fn handle_advertise(
+        &mut self,
+        publisher: ClientId,
+        filter: Filter,
+        from: NodeId,
+    ) -> Outgoing {
+        if self.ads.insert(filter.clone(), from) {
+            self.broker_links
+                .iter()
+                .filter(|&&l| l != from)
+                .map(|&l| {
+                    (
+                        l,
+                        Message::Advertise {
+                            publisher,
+                            filter: filter.clone(),
+                        },
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// An advertisement is retracted.
+    pub fn handle_unadvertise(
+        &mut self,
+        publisher: ClientId,
+        filter: Filter,
+        from: NodeId,
+    ) -> Outgoing {
+        if self.ads.remove(&filter, &from) {
+            self.broker_links
+                .iter()
+                .filter(|&&l| l != from)
+                .map(|&l| {
+                    (
+                        l,
+                        Message::Unadvertise {
+                            publisher,
+                            filter: filter.clone(),
+                        },
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// A local client publishes a notification.  The border broker assigns
+    /// the per-publisher sequence number and routes the resulting envelope.
+    pub fn handle_publish(
+        &mut self,
+        publisher: ClientId,
+        notification: Notification,
+        from: NodeId,
+    ) -> Outgoing {
+        let counter = self.publisher_seq.entry(publisher).or_insert(0);
+        *counter += 1;
+        let envelope = Envelope {
+            publisher,
+            publisher_seq: *counter,
+            notification,
+        };
+        self.route_envelope(envelope, Some(from))
+    }
+
+    /// A routed notification arrives from a neighbouring broker.
+    pub fn handle_notification(&mut self, envelope: Envelope, from: NodeId) -> Outgoing {
+        self.route_envelope(envelope, Some(from))
+    }
+
+    /// Routes an envelope: forwards it to matching neighbouring brokers and
+    /// delivers it (with sequence annotation) to matching local clients.
+    pub fn route_envelope(&mut self, envelope: Envelope, exclude: Option<NodeId>) -> Outgoing {
+        let mut out = Vec::new();
+
+        // Broker-to-broker forwarding.
+        let all_links = self.broker_links.clone();
+        let destinations =
+            self.engine
+                .route(&envelope.notification, exclude.as_ref(), &all_links);
+        for dest in destinations {
+            if self.broker_links.contains(&dest) {
+                out.push((dest, Message::Notification(envelope.clone())));
+            }
+        }
+
+        // Local delivery with per-(client, filter) sequence annotation.
+        let matches: Vec<(ClientId, NodeId, bool, Filter)> = self
+            .clients
+            .iter()
+            .filter(|(_, record)| Some(record.node) != exclude)
+            .flat_map(|(client, record)| {
+                record
+                    .subscriptions
+                    .iter()
+                    .filter(|f| f.matches(&envelope.notification))
+                    .map(|f| (*client, record.node, record.connected, f.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (client, node, connected, filter) in matches {
+            let seq = self.seq.next(client, &filter);
+            let delivery = Delivery {
+                subscriber: client,
+                filter,
+                seq,
+                envelope: envelope.clone(),
+            };
+            if connected {
+                out.push((node, Message::Deliver(delivery)));
+            } else {
+                self.parked.push(delivery);
+            }
+        }
+        out
+    }
+
+    /// Dispatches a raw [`Message`] to the appropriate handler.  Mobility
+    /// control messages are **not** handled here (the static broker does not
+    /// understand them); they are returned as `Err` so the caller — the
+    /// mobility-aware broker of `rebeca-core` — can process them.
+    pub fn handle_message(&mut self, from: NodeId, message: Message) -> Result<Outgoing, Message> {
+        match message {
+            Message::Attach { client } => Ok(self.handle_attach(client, from)),
+            Message::Detach { client } => Ok(self.handle_detach(client)),
+            Message::Publish {
+                publisher,
+                notification,
+            } => Ok(self.handle_publish(publisher, notification, from)),
+            Message::Notification(envelope) => Ok(self.handle_notification(envelope, from)),
+            Message::Subscribe { subscriber, filter } => {
+                Ok(self.handle_subscribe(subscriber, filter, from))
+            }
+            Message::Unsubscribe { subscriber, filter } => {
+                Ok(self.handle_unsubscribe(subscriber, filter, from))
+            }
+            Message::Advertise { publisher, filter } => {
+                Ok(self.handle_advertise(publisher, filter, from))
+            }
+            Message::Unadvertise { publisher, filter } => {
+                Ok(self.handle_unadvertise(publisher, filter, from))
+            }
+            other => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_filter::Constraint;
+
+    fn parking() -> Filter {
+        Filter::new().with("service", Constraint::Eq("parking".into()))
+    }
+
+    fn weather() -> Filter {
+        Filter::new().with("service", Constraint::Eq("weather".into()))
+    }
+
+    fn vacancy() -> Notification {
+        Notification::builder()
+            .attr("service", "parking")
+            .attr("cost", 2)
+            .build()
+    }
+
+    /// Broker 0 with broker links to nodes 10 and 11; client c1 at node 100.
+    fn broker() -> BrokerCore {
+        BrokerCore::new(
+            NodeId(0),
+            BrokerRole::Border,
+            vec![NodeId(10), NodeId(11)],
+            RoutingStrategyKind::Covering,
+        )
+    }
+
+    #[test]
+    fn local_subscription_is_forwarded_to_all_broker_links() {
+        let mut b = broker();
+        b.handle_attach(ClientId(1), NodeId(100));
+        let out = b.handle_subscribe(ClientId(1), parking(), NodeId(100));
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|(_, m)| matches!(m, Message::Subscribe { .. })));
+        assert_eq!(b.client(ClientId(1)).unwrap().subscriptions.len(), 1);
+    }
+
+    #[test]
+    fn remote_subscription_is_forwarded_to_the_other_links_only() {
+        let mut b = broker();
+        let out = b.handle_subscribe(ClientId(5), parking(), NodeId(10));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, NodeId(11));
+    }
+
+    #[test]
+    fn covered_subscription_is_not_forwarded_to_links_that_know_a_cover() {
+        let mut b = broker();
+        let wide = Filter::new().with("service", Constraint::Exists);
+        // The wide filter from link 10 is forwarded to link 11 only.
+        assert_eq!(b.handle_subscribe(ClientId(5), wide, NodeId(10)).len(), 1);
+        // A covered filter from link 11 does not need to be propagated to
+        // link 11 again (it came from there) nor re-announced to it; only
+        // link 10 — which has not been told about any cover — learns it.
+        let out = b.handle_subscribe(ClientId(6), parking(), NodeId(11));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, NodeId(10));
+        // A third covered filter from a local client adds no new forwards at
+        // all: both broker links already know a cover.
+        b.handle_attach(ClientId(1), NodeId(100));
+        let wide2 = Filter::new().with("service", Constraint::Exists);
+        b.handle_subscribe(ClientId(5), wide2, NodeId(11));
+        assert!(b.handle_subscribe(ClientId(1), parking(), NodeId(100)).is_empty());
+    }
+
+    #[test]
+    fn publication_reaches_local_subscriber_with_sequence_numbers() {
+        let mut b = broker();
+        b.handle_attach(ClientId(1), NodeId(100));
+        b.handle_subscribe(ClientId(1), parking(), NodeId(100));
+        b.handle_attach(ClientId(2), NodeId(101));
+
+        let out = b.handle_publish(ClientId(2), vacancy(), NodeId(101));
+        // Delivered locally only (no remote subscriptions).
+        let delivers: Vec<&Delivery> = out
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Message::Deliver(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivers.len(), 1);
+        assert_eq!(delivers[0].seq, 1);
+        assert_eq!(delivers[0].subscriber, ClientId(1));
+        assert_eq!(delivers[0].envelope.publisher, ClientId(2));
+        assert_eq!(delivers[0].envelope.publisher_seq, 1);
+
+        // A second publication gets the next sequence numbers.
+        let out = b.handle_publish(ClientId(2), vacancy(), NodeId(101));
+        let d = out
+            .iter()
+            .find_map(|(_, m)| match m {
+                Message::Deliver(d) => Some(d),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(d.seq, 2);
+        assert_eq!(d.envelope.publisher_seq, 2);
+    }
+
+    #[test]
+    fn remote_notification_is_forwarded_towards_matching_subscriptions() {
+        let mut b = broker();
+        // Subscription from broker link 11.
+        b.handle_subscribe(ClientId(5), parking(), NodeId(11));
+        let envelope = Envelope {
+            publisher: ClientId(9),
+            publisher_seq: 1,
+            notification: vacancy(),
+        };
+        let out = b.handle_notification(envelope, NodeId(10));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, NodeId(11));
+        assert!(matches!(out[0].1, Message::Notification(_)));
+    }
+
+    #[test]
+    fn notifications_do_not_bounce_back_to_their_source_link() {
+        let mut b = broker();
+        b.handle_subscribe(ClientId(5), parking(), NodeId(10));
+        let envelope = Envelope {
+            publisher: ClientId(9),
+            publisher_seq: 1,
+            notification: vacancy(),
+        };
+        let out = b.handle_notification(envelope, NodeId(10));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn non_matching_notifications_are_dropped() {
+        let mut b = broker();
+        b.handle_attach(ClientId(1), NodeId(100));
+        b.handle_subscribe(ClientId(1), weather(), NodeId(100));
+        let out = b.handle_publish(ClientId(1), vacancy(), NodeId(100));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn deliveries_to_disconnected_clients_are_parked() {
+        let mut b = broker();
+        b.handle_attach(ClientId(1), NodeId(100));
+        b.handle_subscribe(ClientId(1), parking(), NodeId(100));
+        b.handle_detach(ClientId(1));
+        b.handle_attach(ClientId(2), NodeId(101));
+        let out = b.handle_publish(ClientId(2), vacancy(), NodeId(101));
+        assert!(out.is_empty(), "nothing must be sent to a disconnected client");
+        let parked = b.take_parked();
+        assert_eq!(parked.len(), 1);
+        assert_eq!(parked[0].seq, 1);
+        assert!(b.take_parked().is_empty());
+    }
+
+    #[test]
+    fn advertisements_flood_once() {
+        let mut b = broker();
+        let out = b.handle_advertise(ClientId(9), parking(), NodeId(10));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, NodeId(11));
+        // Duplicate advertisement from the same link is suppressed.
+        assert!(b.handle_advertise(ClientId(9), parking(), NodeId(10)).is_empty());
+        // Retraction propagates once.
+        assert_eq!(b.handle_unadvertise(ClientId(9), parking(), NodeId(10)).len(), 1);
+        assert!(b.handle_unadvertise(ClientId(9), parking(), NodeId(10)).is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_removes_the_client_subscription_and_propagates() {
+        let mut b = broker();
+        b.handle_attach(ClientId(1), NodeId(100));
+        b.handle_subscribe(ClientId(1), parking(), NodeId(100));
+        let out = b.handle_unsubscribe(ClientId(1), parking(), NodeId(100));
+        assert_eq!(out.len(), 2);
+        assert!(b.client(ClientId(1)).unwrap().subscriptions.is_empty());
+        // Publishing afterwards delivers nothing.
+        b.handle_attach(ClientId(2), NodeId(101));
+        assert!(b.handle_publish(ClientId(2), vacancy(), NodeId(101)).is_empty());
+    }
+
+    #[test]
+    fn handle_message_dispatches_and_rejects_mobility_messages() {
+        let mut b = broker();
+        let ok = b.handle_message(NodeId(100), Message::Attach { client: ClientId(1) });
+        assert!(ok.is_ok());
+        let err = b.handle_message(
+            NodeId(10),
+            Message::Fetch {
+                client: ClientId(1),
+                filter: parking(),
+                last_seq: 0,
+                junction: NodeId(0),
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn client_bookkeeping_accessors() {
+        let mut b = broker();
+        b.handle_attach(ClientId(1), NodeId(100));
+        assert_eq!(b.client_by_node(NodeId(100)), Some(ClientId(1)));
+        assert_eq!(b.client_by_node(NodeId(7)), None);
+        assert_eq!(b.clients().count(), 1);
+        assert!(b.remove_client(ClientId(1)).is_some());
+        assert!(b.remove_client(ClientId(1)).is_none());
+        assert_eq!(b.role(), BrokerRole::Border);
+        assert_eq!(b.id(), NodeId(0));
+        assert_eq!(b.broker_links(), &[NodeId(10), NodeId(11)]);
+    }
+
+    #[test]
+    fn reattach_marks_the_client_connected_again() {
+        let mut b = broker();
+        b.handle_attach(ClientId(1), NodeId(100));
+        b.handle_detach(ClientId(1));
+        assert!(!b.client(ClientId(1)).unwrap().connected);
+        b.handle_attach(ClientId(1), NodeId(100));
+        assert!(b.client(ClientId(1)).unwrap().connected);
+    }
+}

@@ -1,0 +1,73 @@
+//! Identifiers for clients and subscriptions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a client (producer or consumer) of the notification
+/// service.
+///
+/// Clients keep their identity while roaming between border brokers; the
+/// physical-mobility protocol uses the pair `(ClientId, Filter)` to identify
+/// the subscription state that has to be relocated.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for ClientId {
+    fn from(v: u32) -> Self {
+        ClientId(v)
+    }
+}
+
+/// Identifier of one location-dependent subscription of a client (a client
+/// may hold several).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SubscriptionId {
+    /// The owning client.
+    pub client: ClientId,
+    /// A client-local sequence number distinguishing its subscriptions.
+    pub index: u32,
+}
+
+impl SubscriptionId {
+    /// Creates a subscription id.
+    pub fn new(client: ClientId, index: u32) -> Self {
+        Self { client, index }
+    }
+}
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#s{}", self.client, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ClientId(3).to_string(), "c3");
+        assert_eq!(SubscriptionId::new(ClientId(3), 1).to_string(), "c3#s1");
+    }
+
+    #[test]
+    fn ordering_and_conversion() {
+        assert!(ClientId(1) < ClientId(2));
+        assert_eq!(ClientId::from(7u32), ClientId(7));
+        let s1 = SubscriptionId::new(ClientId(1), 0);
+        let s2 = SubscriptionId::new(ClientId(1), 1);
+        assert!(s1 < s2);
+    }
+}

@@ -1,0 +1,41 @@
+//! The Rebeca broker network substrate for the mobility reproduction.
+//!
+//! This crate implements the *unchanged* content-based publish/subscribe
+//! middleware of Section 2 of
+//! *"Supporting Mobility in Content-Based Publish/Subscribe Middleware"*
+//! (Fiege et al., Middleware 2003), i.e. everything that exists before the
+//! mobility extension:
+//!
+//! * [`ClientId`] / [`SubscriptionId`] — client and subscription identities;
+//! * [`Message`] — the message vocabulary of the system, including the
+//!   mobility control messages that `rebeca-core` adds on top (kept in one
+//!   enum because the paper requires all relocation traffic to travel over
+//!   the ordinary pub/sub links);
+//! * [`BrokerCore`] — the static broker state machine: routing and
+//!   advertisement tables, local clients, publication routing and
+//!   sequence-annotated delivery;
+//! * [`SequenceRegistry`] / [`DeliveryBuffer`] — per-`(client, filter)`
+//!   sequence numbering and the buffer type behind the virtual counterparts
+//!   of roaming clients;
+//! * [`ConsumerLog`] — the client-side delivery log with built-in checks of
+//!   the paper's quality-of-service requirements (completeness, no
+//!   duplicates, sender-FIFO order).
+//!
+//! The mobility-aware broker that extends [`BrokerCore`] with the relocation
+//! protocol (Section 4) and location-dependent subscriptions (Section 5)
+//! lives in the `rebeca-core` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+mod client;
+mod ids;
+mod message;
+mod seqnum;
+
+pub use broker::{BrokerCore, BrokerRole, ClientRecord, Outgoing};
+pub use client::{ConsumerLog, DeliveryViolation};
+pub use ids::{ClientId, SubscriptionId};
+pub use message::{Delivery, Envelope, Message};
+pub use seqnum::{DeliveryBuffer, SequenceRegistry};

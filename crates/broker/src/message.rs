@@ -1,0 +1,326 @@
+//! The message vocabulary exchanged between clients and brokers.
+//!
+//! The first group of variants is the unchanged Rebeca interface of
+//! Section 2 (publish, subscribe, unsubscribe, advertisements, delivery).
+//! The remaining variants are the *extension* the paper contributes: the
+//! administrative control messages of the physical-mobility relocation
+//! protocol (Section 4) and of the logical-mobility location-update protocol
+//! (Section 5).  Keeping them in the same enum reflects the paper's
+//! "pub/sub adherence" requirement: all relocation traffic travels over the
+//! ordinary broker links, never out-of-band.
+
+use serde::{Deserialize, Serialize};
+
+use rebeca_filter::{Filter, LocationDependentFilter, Notification};
+use rebeca_location::{AdaptivityPlan, LocationId};
+use rebeca_sim::NodeId;
+
+use crate::ids::{ClientId, SubscriptionId};
+
+/// A published notification together with its provenance: the publishing
+/// client and a per-publisher sequence number (used to check sender-FIFO
+/// order end to end).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// The publishing client.
+    pub publisher: ClientId,
+    /// Sequence number assigned by the publisher (1, 2, 3, …).
+    pub publisher_seq: u64,
+    /// The notification content.
+    pub notification: Notification,
+}
+
+/// A notification as delivered to one consumer for one of its subscriptions,
+/// annotated by the consumer's border broker with a per-`(client, filter)`
+/// sequence number — the number the client echoes back when it re-subscribes
+/// after a relocation (`(C, F, 123)` in the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// The consumer the notification is delivered to.
+    pub subscriber: ClientId,
+    /// The subscription (filter) that matched.
+    pub filter: Filter,
+    /// Border-broker sequence number for this `(client, filter)` stream.
+    pub seq: u64,
+    /// The underlying published notification.
+    pub envelope: Envelope,
+}
+
+/// All messages exchanged over links between clients and brokers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    // ------------------------------------------------------------------
+    // Unchanged Rebeca interface (Section 2)
+    // ------------------------------------------------------------------
+    /// A client attaches to a border broker (becomes a local client).
+    Attach {
+        /// The attaching client.
+        client: ClientId,
+    },
+    /// A client detaches from its border broker (explicit sign-off).
+    Detach {
+        /// The detaching client.
+        client: ClientId,
+    },
+    /// A client publishes a notification through its border broker.
+    Publish {
+        /// The publishing client.
+        publisher: ClientId,
+        /// The notification to publish.
+        notification: Notification,
+    },
+    /// A routed notification travelling between brokers.
+    Notification(Envelope),
+    /// A subscription travelling from a client into (and through) the broker
+    /// network.
+    Subscribe {
+        /// The subscribing client.
+        subscriber: ClientId,
+        /// The subscription filter.
+        filter: Filter,
+    },
+    /// Retraction of a subscription.
+    Unsubscribe {
+        /// The unsubscribing client.
+        subscriber: ClientId,
+        /// The filter to retract.
+        filter: Filter,
+    },
+    /// An advertisement describing notifications a producer will publish.
+    Advertise {
+        /// The advertising producer.
+        publisher: ClientId,
+        /// The advertised filter.
+        filter: Filter,
+    },
+    /// Retraction of an advertisement.
+    Unadvertise {
+        /// The producer retracting its advertisement.
+        publisher: ClientId,
+        /// The advertised filter to retract.
+        filter: Filter,
+    },
+    /// A notification delivered by a border broker to a local consumer.
+    Deliver(Delivery),
+
+    // ------------------------------------------------------------------
+    // Physical mobility: the relocation protocol of Section 4
+    // ------------------------------------------------------------------
+    /// Re-issued subscription of a roaming client at its *new* border
+    /// broker, carrying the last sequence number received for this
+    /// subscription (`(C, F, 123)` in the paper).
+    ReSubscribe {
+        /// The roaming client.
+        client: ClientId,
+        /// The subscription being relocated.
+        filter: Filter,
+        /// Last sequence number the client received for this subscription.
+        last_seq: u64,
+    },
+    /// The relocation request propagated broker-to-broker from the new
+    /// border broker towards the old delivery path.
+    Relocate {
+        /// The roaming client.
+        client: ClientId,
+        /// The subscription being relocated.
+        filter: Filter,
+        /// Last sequence number the client received.
+        last_seq: u64,
+        /// The new border broker that initiated the relocation.
+        new_broker: NodeId,
+    },
+    /// The fetch request sent by the junction broker along the *old* path
+    /// towards the old border broker (`(C, F, 123, B4)` in the paper).
+    /// Brokers on the old path re-point their routing entries towards the
+    /// junction while forwarding it.
+    Fetch {
+        /// The roaming client.
+        client: ClientId,
+        /// The subscription being relocated.
+        filter: Filter,
+        /// Last sequence number the client received.
+        last_seq: u64,
+        /// The junction broker the replay has to be routed back to.
+        junction: NodeId,
+    },
+    /// Replay of the notifications buffered by the virtual counterpart at
+    /// the old border broker, in sequence order, routed back along the
+    /// (re-pointed) path towards the new border broker.
+    Replay {
+        /// The roaming client.
+        client: ClientId,
+        /// The subscription the replay belongs to.
+        filter: Filter,
+        /// The buffered deliveries, in increasing sequence order.
+        deliveries: Vec<Delivery>,
+    },
+
+    // ------------------------------------------------------------------
+    // Logical mobility: location-dependent subscriptions of Section 5
+    // ------------------------------------------------------------------
+    /// A location-dependent subscription entering (and propagating through)
+    /// the broker network.  Each broker instantiates the `myloc` marker with
+    /// `ploc(location, q_hop)` according to the adaptivity plan and increments
+    /// `hop` before propagating further.
+    LocSubscribe {
+        /// Identifies the subscription (a client may hold several).
+        sub_id: SubscriptionId,
+        /// The subscription template containing `myloc` markers.
+        template: LocationDependentFilter,
+        /// The adaptivity plan assigning uncertainty steps to hops.
+        plan: AdaptivityPlan,
+        /// The client's current location.
+        location: LocationId,
+        /// Distance (in broker hops) from the consumer's border broker;
+        /// 0 at the border broker itself.
+        hop: usize,
+    },
+    /// Retraction of a location-dependent subscription.
+    LocUnsubscribe {
+        /// The subscription to retract.
+        sub_id: SubscriptionId,
+    },
+    /// A location change of a logically mobile client, propagated along the
+    /// delivery paths.  Each broker swaps its instantiated filter for the
+    /// subscription and forwards the update with an incremented hop count.
+    LocationUpdate {
+        /// The subscription whose location changed.
+        sub_id: SubscriptionId,
+        /// The client's new location.
+        location: LocationId,
+        /// Distance (in broker hops) from the consumer's border broker.
+        hop: usize,
+    },
+}
+
+impl Message {
+    /// `true` for the administrative control messages introduced by the
+    /// mobility extension (used by the experiment harness to split message
+    /// counts into "notifications" and "administrative messages" as in
+    /// Figure 9).
+    pub fn is_mobility_admin(&self) -> bool {
+        matches!(
+            self,
+            Message::ReSubscribe { .. }
+                | Message::Relocate { .. }
+                | Message::Fetch { .. }
+                | Message::Replay { .. }
+                | Message::LocSubscribe { .. }
+                | Message::LocUnsubscribe { .. }
+                | Message::LocationUpdate { .. }
+        )
+    }
+
+    /// `true` for plain Rebeca administrative messages (subscriptions,
+    /// advertisements, attach/detach).
+    pub fn is_plain_admin(&self) -> bool {
+        matches!(
+            self,
+            Message::Attach { .. }
+                | Message::Detach { .. }
+                | Message::Subscribe { .. }
+                | Message::Unsubscribe { .. }
+                | Message::Advertise { .. }
+                | Message::Unadvertise { .. }
+        )
+    }
+
+    /// `true` for data-plane messages (publications, routed notifications and
+    /// deliveries).
+    pub fn is_data(&self) -> bool {
+        matches!(
+            self,
+            Message::Publish { .. } | Message::Notification(_) | Message::Deliver(_)
+        )
+    }
+
+    /// A short, stable name used as a metrics counter suffix.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Attach { .. } => "attach",
+            Message::Detach { .. } => "detach",
+            Message::Publish { .. } => "publish",
+            Message::Notification(_) => "notification",
+            Message::Subscribe { .. } => "subscribe",
+            Message::Unsubscribe { .. } => "unsubscribe",
+            Message::Advertise { .. } => "advertise",
+            Message::Unadvertise { .. } => "unadvertise",
+            Message::Deliver(_) => "deliver",
+            Message::ReSubscribe { .. } => "resubscribe",
+            Message::Relocate { .. } => "relocate",
+            Message::Fetch { .. } => "fetch",
+            Message::Replay { .. } => "replay",
+            Message::LocSubscribe { .. } => "loc_subscribe",
+            Message::LocUnsubscribe { .. } => "loc_unsubscribe",
+            Message::LocationUpdate { .. } => "location_update",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_filter::Constraint;
+
+    fn filter() -> Filter {
+        Filter::new().with("service", Constraint::Eq("parking".into()))
+    }
+
+    #[test]
+    fn message_classification() {
+        let n = Notification::builder().attr("service", "parking").build();
+        assert!(Message::Publish {
+            publisher: ClientId(1),
+            notification: n.clone()
+        }
+        .is_data());
+        assert!(Message::Subscribe {
+            subscriber: ClientId(1),
+            filter: filter()
+        }
+        .is_plain_admin());
+        assert!(Message::Fetch {
+            client: ClientId(1),
+            filter: filter(),
+            last_seq: 3,
+            junction: NodeId(2)
+        }
+        .is_mobility_admin());
+        assert!(Message::LocationUpdate {
+            sub_id: SubscriptionId::new(ClientId(1), 0),
+            location: LocationId(4),
+            hop: 1
+        }
+        .is_mobility_admin());
+        assert!(!Message::Attach { client: ClientId(1) }.is_data());
+    }
+
+    #[test]
+    fn kind_names_are_distinct_for_the_main_kinds() {
+        let n = Notification::new();
+        let msgs = vec![
+            Message::Attach { client: ClientId(1) },
+            Message::Publish {
+                publisher: ClientId(1),
+                notification: n.clone(),
+            },
+            Message::Subscribe {
+                subscriber: ClientId(1),
+                filter: filter(),
+            },
+            Message::Deliver(Delivery {
+                subscriber: ClientId(1),
+                filter: filter(),
+                seq: 1,
+                envelope: Envelope {
+                    publisher: ClientId(2),
+                    publisher_seq: 1,
+                    notification: n,
+                },
+            }),
+        ];
+        let names: std::collections::BTreeSet<&str> =
+            msgs.iter().map(|m| m.kind_name()).collect();
+        assert_eq!(names.len(), msgs.len());
+    }
+}

@@ -1,0 +1,242 @@
+//! Per-subscription sequence numbering and notification buffers.
+//!
+//! A border broker annotates every delivery to a local consumer with a
+//! sequence number that is consecutive per `(client, filter)`.  The roaming
+//! client echoes the last number it received when it re-subscribes at a new
+//! border broker, and the *virtual counterpart* left behind at the old
+//! broker buffers deliveries so they can be replayed "beginning with the
+//! sequence number initially given by the client" (Section 4.1).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rebeca_filter::Filter;
+
+use crate::ids::ClientId;
+use crate::message::Delivery;
+
+/// Assigns consecutive sequence numbers per `(client, filter)` stream.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SequenceRegistry {
+    next: BTreeMap<(ClientId, Filter), u64>,
+}
+
+impl SequenceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the next sequence number for the stream and advances it.
+    /// The first number of a fresh stream is 1.
+    pub fn next(&mut self, client: ClientId, filter: &Filter) -> u64 {
+        let counter = self
+            .next
+            .entry((client, filter.clone()))
+            .or_insert(1);
+        let seq = *counter;
+        *counter += 1;
+        seq
+    }
+
+    /// The sequence number that will be assigned next (without advancing).
+    pub fn peek(&self, client: ClientId, filter: &Filter) -> u64 {
+        self.next
+            .get(&(client, filter.clone()))
+            .copied()
+            .unwrap_or(1)
+    }
+
+    /// Last sequence number already assigned for the stream (0 when none).
+    pub fn last_assigned(&self, client: ClientId, filter: &Filter) -> u64 {
+        self.peek(client, filter).saturating_sub(1)
+    }
+
+    /// Fast-forwards the stream so that the next assigned number is
+    /// `next_seq`.  Used by a new border broker that takes over a stream
+    /// after relocation (it continues numbering where the replayed buffer
+    /// ended).  Never moves the counter backwards.
+    pub fn fast_forward(&mut self, client: ClientId, filter: &Filter, next_seq: u64) {
+        let counter = self.next.entry((client, filter.clone())).or_insert(1);
+        if next_seq > *counter {
+            *counter = next_seq;
+        }
+    }
+
+    /// Removes the stream state for a client's filter (garbage collection at
+    /// the old border broker).  Returns `true` when state existed.
+    pub fn remove(&mut self, client: ClientId, filter: &Filter) -> bool {
+        self.next.remove(&(client, filter.clone())).is_some()
+    }
+
+    /// Removes every stream belonging to the client.
+    pub fn remove_client(&mut self, client: ClientId) -> usize {
+        let before = self.next.len();
+        self.next.retain(|(c, _), _| *c != client);
+        before - self.next.len()
+    }
+
+    /// Number of tracked streams.
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// `true` when no stream is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.next.is_empty()
+    }
+}
+
+/// A sequence-ordered buffer of deliveries for one `(client, filter)` stream:
+/// the storage behind the *virtual counterpart* of a roaming client and
+/// behind the new border broker's holding buffer during replay.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryBuffer {
+    deliveries: Vec<Delivery>,
+}
+
+impl DeliveryBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a delivery.  Deliveries are expected to arrive in increasing
+    /// sequence order (the border broker assigns them in order); the buffer
+    /// keeps whatever order it is given.
+    pub fn push(&mut self, delivery: Delivery) {
+        self.deliveries.push(delivery);
+    }
+
+    /// Number of buffered deliveries.
+    pub fn len(&self) -> usize {
+        self.deliveries.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.deliveries.is_empty()
+    }
+
+    /// The buffered deliveries with sequence numbers strictly greater than
+    /// `after_seq`, in sequence order — the replay the old border broker
+    /// sends towards the junction.
+    pub fn replay_after(&self, after_seq: u64) -> Vec<Delivery> {
+        let mut replay: Vec<Delivery> = self
+            .deliveries
+            .iter()
+            .filter(|d| d.seq > after_seq)
+            .cloned()
+            .collect();
+        replay.sort_by_key(|d| d.seq);
+        replay
+    }
+
+    /// The highest buffered sequence number (0 when empty).
+    pub fn last_seq(&self) -> u64 {
+        self.deliveries.iter().map(|d| d.seq).max().unwrap_or(0)
+    }
+
+    /// Drains the buffer, returning all deliveries in sequence order.
+    pub fn drain_ordered(&mut self) -> Vec<Delivery> {
+        let mut all = std::mem::take(&mut self.deliveries);
+        all.sort_by_key(|d| d.seq);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_filter::{Constraint, Notification};
+    use crate::message::Envelope;
+
+    fn filter() -> Filter {
+        Filter::new().with("service", Constraint::Eq("parking".into()))
+    }
+
+    fn other_filter() -> Filter {
+        Filter::new().with("service", Constraint::Eq("weather".into()))
+    }
+
+    fn delivery(seq: u64) -> Delivery {
+        Delivery {
+            subscriber: ClientId(1),
+            filter: filter(),
+            seq,
+            envelope: Envelope {
+                publisher: ClientId(9),
+                publisher_seq: seq,
+                notification: Notification::builder().attr("service", "parking").build(),
+            },
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_consecutive_per_stream() {
+        let mut reg = SequenceRegistry::new();
+        assert_eq!(reg.next(ClientId(1), &filter()), 1);
+        assert_eq!(reg.next(ClientId(1), &filter()), 2);
+        assert_eq!(reg.next(ClientId(1), &other_filter()), 1);
+        assert_eq!(reg.next(ClientId(2), &filter()), 1);
+        assert_eq!(reg.last_assigned(ClientId(1), &filter()), 2);
+        assert_eq!(reg.peek(ClientId(1), &filter()), 3);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn fast_forward_never_goes_backwards() {
+        let mut reg = SequenceRegistry::new();
+        reg.fast_forward(ClientId(1), &filter(), 100);
+        assert_eq!(reg.next(ClientId(1), &filter()), 100);
+        reg.fast_forward(ClientId(1), &filter(), 50);
+        assert_eq!(reg.next(ClientId(1), &filter()), 101);
+    }
+
+    #[test]
+    fn remove_and_remove_client() {
+        let mut reg = SequenceRegistry::new();
+        reg.next(ClientId(1), &filter());
+        reg.next(ClientId(1), &other_filter());
+        reg.next(ClientId(2), &filter());
+        assert!(reg.remove(ClientId(1), &filter()));
+        assert!(!reg.remove(ClientId(1), &filter()));
+        assert_eq!(reg.remove_client(ClientId(1)), 1);
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn replay_after_returns_only_newer_deliveries_in_order() {
+        let mut buf = DeliveryBuffer::new();
+        for seq in [3, 1, 2, 5, 4] {
+            buf.push(delivery(seq));
+        }
+        let replay = buf.replay_after(2);
+        let seqs: Vec<u64> = replay.iter().map(|d| d.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        assert_eq!(buf.last_seq(), 5);
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn replay_after_last_seq_is_empty() {
+        let mut buf = DeliveryBuffer::new();
+        buf.push(delivery(1));
+        assert!(buf.replay_after(1).is_empty());
+        assert!(buf.replay_after(99).is_empty());
+    }
+
+    #[test]
+    fn drain_ordered_empties_the_buffer() {
+        let mut buf = DeliveryBuffer::new();
+        for seq in [2, 1] {
+            buf.push(delivery(seq));
+        }
+        let drained = buf.drain_ordered();
+        assert_eq!(drained.iter().map(|d| d.seq).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(buf.is_empty());
+        assert_eq!(buf.last_seq(), 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! The deployment facade: a broker network plus scripted clients in one
+//! simulated system.
+//!
+//! [`MobilitySystem`] is the public entry point used by the examples, the
+//! integration tests and the experiment harness: it instantiates a
+//! [`MobileBroker`] per node of a [`Topology`], wires the FIFO links, attaches
+//! scripted [`ClientNode`]s to border brokers, schedules their actions and
+//! runs the discrete-event simulation.
+
+use std::collections::BTreeMap;
+
+use rebeca_broker::{ClientId, ConsumerLog};
+use rebeca_broker::{BrokerRole, Message};
+use rebeca_sim::{
+    Context, DelayModel, Incoming, Metrics, Network, Node, NodeId, SimDuration, SimTime, Topology,
+};
+
+use crate::client::{ClientAction, ClientNode, LogicalMobilityMode};
+use crate::mobile_broker::{BrokerConfig, MobileBroker};
+
+/// A node of the simulated system: either a broker or a client.
+#[derive(Debug, Clone)]
+pub enum SystemNode {
+    /// A mobility-aware broker.
+    Broker(MobileBroker),
+    /// A scripted client.
+    Client(ClientNode),
+}
+
+impl Node for SystemNode {
+    type Message = Message;
+
+    fn handle(&mut self, ctx: &mut Context<'_, Message>, event: Incoming<Message>) {
+        match self {
+            SystemNode::Broker(b) => b.handle(ctx, event),
+            SystemNode::Client(c) => c.handle(ctx, event),
+        }
+    }
+}
+
+/// A complete simulated deployment: broker network plus clients.
+pub struct MobilitySystem {
+    network: Network<SystemNode>,
+    broker_nodes: Vec<NodeId>,
+    clients: BTreeMap<ClientId, NodeId>,
+    client_link_delay: DelayModel,
+}
+
+impl MobilitySystem {
+    /// Builds a broker network with one [`MobileBroker`] per topology node.
+    /// Every broker is created with [`BrokerRole::Border`] so that clients can
+    /// attach anywhere, matching the paper's figures where clients appear at
+    /// arbitrary brokers.
+    pub fn new(
+        topology: &Topology,
+        config: BrokerConfig,
+        broker_link_delay: DelayModel,
+        seed: u64,
+    ) -> Self {
+        let mut network: Network<SystemNode> = Network::new(seed);
+
+        // First pass: allocate node ids so that broker index i gets NodeId(i).
+        let broker_nodes: Vec<NodeId> = (0..topology.len())
+            .map(|i| {
+                let links: Vec<NodeId> = topology.neighbours(i).into_iter().map(NodeId).collect();
+                network.add_node(SystemNode::Broker(MobileBroker::new(
+                    NodeId(i),
+                    BrokerRole::Border,
+                    links,
+                    config.clone(),
+                )))
+            })
+            .collect();
+        for &(a, b) in topology.edges() {
+            network.connect(broker_nodes[a], broker_nodes[b], broker_link_delay);
+        }
+
+        Self {
+            network,
+            broker_nodes,
+            clients: BTreeMap::new(),
+            client_link_delay: broker_link_delay,
+        }
+    }
+
+    /// Sets the delay model used for client ↔ broker links created by
+    /// subsequent [`MobilitySystem::add_client`] calls (defaults to the broker
+    /// link delay).
+    pub fn set_client_link_delay(&mut self, delay: DelayModel) {
+        self.client_link_delay = delay;
+    }
+
+    /// The simulation node of broker `index` (the topology numbering).
+    pub fn broker_node(&self, index: usize) -> NodeId {
+        self.broker_nodes[index]
+    }
+
+    /// Number of brokers.
+    pub fn broker_count(&self) -> usize {
+        self.broker_nodes.len()
+    }
+
+    /// Adds a scripted client.
+    ///
+    /// * `reachable_brokers` — topology indices of every broker the client
+    ///   will ever attach to (links are created up front; attachment itself
+    ///   is a scripted [`ClientAction::Attach`] / [`ClientAction::MoveTo`]).
+    /// * `script` — `(time, action)` pairs executed at the given virtual
+    ///   times.
+    pub fn add_client(
+        &mut self,
+        id: ClientId,
+        mode: LogicalMobilityMode,
+        reachable_brokers: &[usize],
+        script: Vec<(SimTime, ClientAction)>,
+    ) -> NodeId {
+        let movement_graph = match self.network.node(self.broker_nodes[0]) {
+            SystemNode::Broker(b) => b.config().movement_graph.clone(),
+            SystemNode::Client(_) => unreachable!("broker nodes are created first"),
+        };
+        let (times, actions): (Vec<SimTime>, Vec<ClientAction>) = script.into_iter().unzip();
+        let node = self.network.add_node(SystemNode::Client(ClientNode::new(
+            id,
+            actions,
+            mode,
+            movement_graph,
+        )));
+        for &broker in reachable_brokers {
+            self.network
+                .connect(node, self.broker_nodes[broker], self.client_link_delay);
+        }
+        for (i, time) in times.into_iter().enumerate() {
+            let delay = SimDuration::from_micros(time.as_micros());
+            self.network.schedule_timer(node, delay, i as u64);
+        }
+        self.clients.insert(id, node);
+        node
+    }
+
+    /// Runs the simulation until the given virtual time.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        self.network.run_until(until)
+    }
+
+    /// Runs the simulation until no further events are scheduled (clients
+    /// stop publishing and all in-flight messages are drained), with an event
+    /// budget as a safety net.
+    pub fn run_to_idle(&mut self, max_events: u64) -> u64 {
+        self.network.run(max_events)
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.network.now()
+    }
+
+    /// The global metrics store.
+    pub fn metrics(&self) -> &Metrics {
+        self.network.metrics()
+    }
+
+    /// Mutable access to the global metrics (for time-series sampling from
+    /// experiment drivers).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        self.network.metrics_mut()
+    }
+
+    /// Total number of messages transmitted over links so far (notifications
+    /// plus administrative messages), the quantity plotted in Figure 9.
+    pub fn total_messages(&self) -> u64 {
+        self.network.metrics().counter("network.messages")
+    }
+
+    /// Read access to a broker by topology index.
+    pub fn broker(&self, index: usize) -> &MobileBroker {
+        match self.network.node(self.broker_nodes[index]) {
+            SystemNode::Broker(b) => b,
+            SystemNode::Client(_) => unreachable!("broker index maps to a broker node"),
+        }
+    }
+
+    /// Read access to a client.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the client id is unknown.
+    pub fn client(&self, id: ClientId) -> &ClientNode {
+        let node = self.clients[&id];
+        match self.network.node(node) {
+            SystemNode::Client(c) => c,
+            SystemNode::Broker(_) => unreachable!("client id maps to a client node"),
+        }
+    }
+
+    /// The delivery log of a client.
+    pub fn client_log(&self, id: ClientId) -> &ConsumerLog {
+        self.client(id).log()
+    }
+
+    /// Ids of all clients added to the system.
+    pub fn client_ids(&self) -> impl Iterator<Item = ClientId> + '_ {
+        self.clients.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_filter::{Constraint, Filter, Notification};
+    use rebeca_location::MovementGraph;
+    use rebeca_routing::RoutingStrategyKind;
+
+    fn parking_filter() -> Filter {
+        Filter::new().with("service", Constraint::Eq("parking".into()))
+    }
+
+    fn vacancy(seq: i64) -> Notification {
+        Notification::builder()
+            .attr("service", "parking")
+            .attr("spot", seq)
+            .build()
+    }
+
+    fn config() -> BrokerConfig {
+        BrokerConfig {
+            strategy: RoutingStrategyKind::Covering,
+            movement_graph: MovementGraph::paper_example(),
+            relocation_timeout: SimDuration::from_secs(5),
+        }
+    }
+
+    /// Static scenario: a consumer at broker 0 and a producer at broker 2 of
+    /// a 3-broker line; every publication must arrive exactly once, in order.
+    #[test]
+    fn static_end_to_end_delivery_over_a_line() {
+        let topo = Topology::line(3);
+        let mut sys = MobilitySystem::new(&topo, config(), DelayModel::constant_millis(5), 1);
+
+        let consumer = ClientId(1);
+        let producer = ClientId(2);
+        sys.add_client(
+            consumer,
+            LogicalMobilityMode::LocationDependent,
+            &[0],
+            vec![
+                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
+                (SimTime::from_millis(2), ClientAction::Subscribe(parking_filter())),
+            ],
+        );
+        let mut script = vec![(
+            SimTime::from_millis(1),
+            ClientAction::Attach { broker: sys.broker_node(2) },
+        )];
+        for i in 0..10 {
+            script.push((
+                SimTime::from_millis(100 + i * 10),
+                ClientAction::Publish(vacancy(i as i64)),
+            ));
+        }
+        sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[2], script);
+
+        sys.run_until(SimTime::from_secs(2));
+
+        let log = sys.client_log(consumer);
+        assert!(log.is_clean(), "violations: {:?}", log.violations());
+        assert_eq!(log.len(), 10);
+        assert_eq!(
+            log.distinct_publisher_seqs(producer),
+            (1..=10).collect::<Vec<u64>>()
+        );
+    }
+
+    /// The same scenario under flooding routing: delivery is identical (the
+    /// flooding baseline over-transmits but the border broker still filters
+    /// for its local client).
+    #[test]
+    fn flooding_strategy_delivers_the_same_notifications() {
+        let topo = Topology::line(3);
+        let mut cfg = config();
+        cfg.strategy = RoutingStrategyKind::Flooding;
+        let mut sys = MobilitySystem::new(&topo, cfg, DelayModel::constant_millis(5), 1);
+
+        let consumer = ClientId(1);
+        let producer = ClientId(2);
+        sys.add_client(
+            consumer,
+            LogicalMobilityMode::LocationDependent,
+            &[0],
+            vec![
+                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
+                (SimTime::from_millis(2), ClientAction::Subscribe(parking_filter())),
+            ],
+        );
+        sys.add_client(
+            producer,
+            LogicalMobilityMode::LocationDependent,
+            &[2],
+            vec![
+                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(2) }),
+                (SimTime::from_millis(100), ClientAction::Publish(vacancy(1))),
+                (SimTime::from_millis(110), ClientAction::Publish(vacancy(2))),
+            ],
+        );
+        sys.run_until(SimTime::from_secs(1));
+        assert_eq!(sys.client_log(consumer).len(), 2);
+        assert!(sys.client_log(consumer).is_clean());
+    }
+
+    /// A consumer without a matching subscription receives nothing.
+    #[test]
+    fn unrelated_subscriptions_receive_nothing() {
+        let topo = Topology::line(2);
+        let mut sys = MobilitySystem::new(&topo, config(), DelayModel::constant_millis(5), 1);
+        let consumer = ClientId(1);
+        let producer = ClientId(2);
+        sys.add_client(
+            consumer,
+            LogicalMobilityMode::LocationDependent,
+            &[0],
+            vec![
+                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
+                (
+                    SimTime::from_millis(2),
+                    ClientAction::Subscribe(
+                        Filter::new().with("service", Constraint::Eq("weather".into())),
+                    ),
+                ),
+            ],
+        );
+        sys.add_client(
+            producer,
+            LogicalMobilityMode::LocationDependent,
+            &[1],
+            vec![
+                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(1) }),
+                (SimTime::from_millis(100), ClientAction::Publish(vacancy(1))),
+            ],
+        );
+        sys.run_until(SimTime::from_secs(1));
+        assert!(sys.client_log(consumer).is_empty());
+        assert_eq!(sys.client(producer).published(), 1);
+    }
+
+    /// System accessors behave as documented.
+    #[test]
+    fn accessors_expose_brokers_and_clients() {
+        let topo = Topology::star(3);
+        let mut sys = MobilitySystem::new(&topo, config(), DelayModel::constant_millis(1), 7);
+        assert_eq!(sys.broker_count(), 4);
+        let c = ClientId(9);
+        sys.add_client(
+            c,
+            LogicalMobilityMode::LocationDependent,
+            &[1],
+            vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(1) })],
+        );
+        sys.run_until(SimTime::from_millis(50));
+        assert_eq!(sys.client(c).id(), c);
+        assert_eq!(sys.client_ids().collect::<Vec<_>>(), vec![c]);
+        assert_eq!(sys.broker(0).core().id(), NodeId(0));
+        assert!(sys.total_messages() >= 1);
+        assert!(sys.now() >= SimTime::from_millis(50));
+    }
+}

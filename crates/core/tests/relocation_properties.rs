@@ -1,0 +1,156 @@
+//! Property-based tests of the relocation protocol: on random tree
+//! topologies, with random attachment points, move times and publication
+//! schedules, a roaming consumer served by the Section 4 protocol receives
+//! every publication exactly once and in publisher order.
+
+use proptest::prelude::*;
+
+use rebeca_broker::ClientId;
+use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem};
+use rebeca_filter::{Constraint, Filter, Notification};
+use rebeca_location::MovementGraph;
+use rebeca_routing::RoutingStrategyKind;
+use rebeca_sim::{DelayModel, SimDuration, SimTime, Topology};
+
+fn filter() -> Filter {
+    Filter::new().with("service", Constraint::Eq("telemetry".into()))
+}
+
+fn sample(i: u64) -> Notification {
+    Notification::builder()
+        .attr("service", "telemetry")
+        .attr("reading", i as i64)
+        .build()
+}
+
+/// Parameters of one randomized relocation scenario.
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// Number of brokers (tree generated from the seed).
+    brokers: usize,
+    /// Seed for the random tree and the link-delay jitter.
+    seed: u64,
+    /// Broker index the consumer starts at.
+    start: usize,
+    /// Broker index the consumer moves to.
+    target: usize,
+    /// Broker index of the producer.
+    producer_at: usize,
+    /// When the consumer moves (milliseconds).
+    move_at_ms: u64,
+    /// Number of publications, every 20 ms from t = 50 ms.
+    publications: u64,
+    /// Routing strategy.
+    strategy: RoutingStrategyKind,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        3usize..9,
+        any::<u64>(),
+        0usize..100,
+        0usize..100,
+        0usize..100,
+        100u64..900,
+        5u64..40,
+        prop_oneof![
+            Just(RoutingStrategyKind::Simple),
+            Just(RoutingStrategyKind::Covering),
+            Just(RoutingStrategyKind::Merging),
+        ],
+    )
+        .prop_map(
+            |(brokers, seed, start, target, producer_at, move_at_ms, publications, strategy)| {
+                Scenario {
+                    brokers,
+                    seed,
+                    start: start % brokers,
+                    target: target % brokers,
+                    producer_at: producer_at % brokers,
+                    move_at_ms,
+                    publications,
+                    strategy,
+                }
+            },
+        )
+}
+
+fn run(s: &Scenario) -> (MobilitySystem, ClientId, ClientId) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(s.seed);
+    let topo = Topology::random_tree(s.brokers, &mut rng);
+
+    let config = BrokerConfig {
+        strategy: s.strategy,
+        movement_graph: MovementGraph::paper_example(),
+        relocation_timeout: SimDuration::from_secs(60),
+    };
+    let mut sys = MobilitySystem::new(&topo, config, DelayModel::constant_millis(5), s.seed);
+
+    let consumer = ClientId(1);
+    let producer = ClientId(2);
+
+    let mut reachable = vec![s.start, s.target];
+    reachable.dedup();
+    sys.add_client(
+        consumer,
+        LogicalMobilityMode::LocationDependent,
+        &reachable,
+        vec![
+            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(s.start) }),
+            (SimTime::from_millis(2), ClientAction::Subscribe(filter())),
+            (
+                SimTime::from_millis(s.move_at_ms),
+                ClientAction::MoveTo { broker: sys.broker_node(s.target) },
+            ),
+        ],
+    );
+
+    let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(s.producer_at) })];
+    for i in 0..s.publications {
+        script.push((
+            SimTime::from_millis(50 + i * 20),
+            ClientAction::Publish(sample(i)),
+        ));
+    }
+    sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[s.producer_at], script);
+
+    sys.run_until(SimTime::from_secs(30));
+    (sys, consumer, producer)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Completeness, exactly-once and FIFO order hold for every random
+    /// topology, attachment, move time and routing strategy.
+    #[test]
+    fn relocation_is_always_complete_ordered_and_duplicate_free(s in scenario()) {
+        let (sys, consumer, producer) = run(&s);
+        let log = sys.client_log(consumer);
+        prop_assert!(log.is_clean(), "scenario {:?}: violations {:?}", s, log.violations());
+        prop_assert_eq!(
+            log.distinct_publisher_seqs(producer),
+            (1..=s.publications).collect::<Vec<u64>>(),
+            "scenario {:?}: publications missing or extra", s
+        );
+        prop_assert_eq!(
+            log.publisher_seqs(producer),
+            (1..=s.publications).collect::<Vec<u64>>(),
+            "scenario {:?}: arrival order differs from publication order", s
+        );
+    }
+
+    /// After the dust settles, no broker is left holding virtual-counterpart
+    /// buffers or pending relocations for the roamed client.
+    #[test]
+    fn relocation_leaves_no_dangling_buffers(s in scenario()) {
+        let (sys, _, _) = run(&s);
+        for b in 0..sys.broker_count() {
+            prop_assert_eq!(sys.broker(b).pending_relocations(), 0,
+                "broker {} still holds a pending relocation in scenario {:?}", b, s);
+            prop_assert_eq!(sys.broker(b).buffered_deliveries(), 0,
+                "broker {} still buffers deliveries in scenario {:?}", b, s);
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Attribute constraints: the atomic predicates that make up a content-based
+//! filter.
+//!
+//! A constraint restricts a *single* attribute of a notification.  Filters
+//! (see [`Filter`](crate::Filter)) are conjunctions of constraints over
+//! distinct attributes.  Besides evaluation ([`Constraint::matches_value`]),
+//! constraints support the two relations that the Rebeca routing strategies
+//! rely on:
+//!
+//! * **covering** ([`Constraint::covers`]) — `c1` covers `c2` when every
+//!   value accepted by `c2` is accepted by `c1`;
+//! * **overlapping** ([`Constraint::overlaps`]) — whether the accepted value
+//!   sets may intersect (conservative: `true` when in doubt).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// A predicate over one attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Constraint {
+    /// Attribute must be present, any value accepted.
+    Exists,
+    /// Attribute equals the value.
+    Eq(Value),
+    /// Attribute differs from the value (but must be present).
+    Ne(Value),
+    /// Attribute is strictly less than the value.
+    Lt(Value),
+    /// Attribute is less than or equal to the value.
+    Le(Value),
+    /// Attribute is strictly greater than the value.
+    Gt(Value),
+    /// Attribute is greater than or equal to the value.
+    Ge(Value),
+    /// Attribute lies in the closed interval `[low, high]`.
+    Between(Value, Value),
+    /// Attribute is one of the listed values.
+    In(BTreeSet<Value>),
+    /// Attribute is a string starting with the given prefix.
+    Prefix(String),
+    /// Attribute is a string ending with the given suffix.
+    Suffix(String),
+    /// Attribute is a string containing the given substring.
+    Contains(String),
+}
+
+impl Constraint {
+    /// Convenience constructor for [`Constraint::In`].
+    pub fn any_of<I, V>(values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Constraint::In(values.into_iter().map(Into::into).collect())
+    }
+
+    /// Convenience constructor for a set of location values
+    /// (`Value::Location`), used heavily by the logical-mobility machinery.
+    pub fn any_location_of<I: IntoIterator<Item = u32>>(locations: I) -> Self {
+        Constraint::In(locations.into_iter().map(Value::Location).collect())
+    }
+
+    /// Evaluates the constraint against a single attribute value.
+    pub fn matches_value(&self, value: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            Constraint::Exists => true,
+            Constraint::Eq(v) => value.value_eq(v),
+            Constraint::Ne(v) => !value.value_eq(v) && value.kind() == v.kind(),
+            Constraint::Lt(v) => matches!(value.partial_cmp_value(v), Some(Less)),
+            Constraint::Le(v) => matches!(value.partial_cmp_value(v), Some(Less | Equal)),
+            Constraint::Gt(v) => matches!(value.partial_cmp_value(v), Some(Greater)),
+            Constraint::Ge(v) => matches!(value.partial_cmp_value(v), Some(Greater | Equal)),
+            Constraint::Between(lo, hi) => {
+                matches!(value.partial_cmp_value(lo), Some(Greater | Equal))
+                    && matches!(value.partial_cmp_value(hi), Some(Less | Equal))
+            }
+            Constraint::In(set) => set.iter().any(|v| value.value_eq(v)),
+            Constraint::Prefix(p) => value.as_str().is_some_and(|s| s.starts_with(p)),
+            Constraint::Suffix(p) => value.as_str().is_some_and(|s| s.ends_with(p)),
+            Constraint::Contains(p) => value.as_str().is_some_and(|s| s.contains(p)),
+        }
+    }
+
+    /// Returns `true` when this constraint provably accepts every value the
+    /// other constraint accepts.
+    ///
+    /// The check is *sound but not complete*: a `false` result means "could
+    /// not prove covering", which is the safe answer for routing (the filter
+    /// is then kept separately in the routing table).
+    pub fn covers(&self, other: &Constraint) -> bool {
+        use Constraint::*;
+        if self == other {
+            return true;
+        }
+        match (self, other) {
+            // `Exists` accepts everything for the attribute.
+            (Exists, _) => true,
+            (_, Exists) => false,
+
+            // Coverage of point constraints: just test membership.
+            (c, Eq(v)) => c.matches_value(v),
+
+            (Eq(_), _) => other.as_singleton().map(|v| self.matches_value(&v)).unwrap_or(false),
+
+            (In(s1), In(s2)) => s2.iter().all(|v| s1.iter().any(|w| w.value_eq(v))),
+            (In(_), Between(lo, hi)) => {
+                // Only provable when the interval is a single point.
+                lo.value_eq(hi) && self.matches_value(lo)
+            }
+            (In(_), _) => false,
+
+            (Lt(a), Lt(b)) | (Le(a), Le(b)) | (Le(a), Lt(b)) => ge(a, b),
+            (Lt(a), Le(b)) => gt(a, b),
+            (Lt(a), Between(_, hi)) => gt(a, hi),
+            (Le(a), Between(_, hi)) => ge(a, hi),
+
+            (Gt(a), Gt(b)) | (Ge(a), Ge(b)) | (Ge(a), Gt(b)) => le(a, b),
+            (Gt(a), Ge(b)) => lt(a, b),
+            (Gt(a), Between(lo, _)) => lt(a, lo),
+            (Ge(a), Between(lo, _)) => le(a, lo),
+
+            (Between(lo, hi), Between(lo2, hi2)) => le(lo, lo2) && ge(hi, hi2),
+            (Between(lo, hi), In(s)) => s
+                .iter()
+                .all(|v| Constraint::Between(lo.clone(), hi.clone()).matches_value(v)),
+            (Between(_, _), _) => false,
+
+            (Prefix(p1), Prefix(p2)) => p2.starts_with(p1),
+            (Suffix(p1), Suffix(p2)) => p2.ends_with(p1),
+            (Contains(p1), Prefix(p2)) | (Contains(p1), Suffix(p2)) | (Contains(p1), Contains(p2)) => {
+                p2.contains(p1)
+            }
+            (Prefix(_), In(s)) | (Suffix(_), In(s)) | (Contains(_), In(s)) => {
+                !s.is_empty() && s.iter().all(|v| self.matches_value(v))
+            }
+
+            (Ne(a), Ne(b)) => a == b,
+            (Ne(a), In(s)) => s.iter().all(|v| !v.value_eq(a)),
+            (Ne(a), Lt(b)) => ge(a, b),
+            (Ne(a), Gt(b)) => le(a, b),
+            (Ne(a), Between(lo, hi)) => lt(a, lo) || gt(a, hi),
+            (Ne(a), Prefix(p)) => a.as_str().map(|s| !s.starts_with(p)).unwrap_or(true),
+            (Ne(_), _) => false,
+
+            _ => false,
+        }
+    }
+
+    /// Returns `true` when the accepted value sets of the two constraints may
+    /// intersect.  Conservative: answers `true` whenever an intersection
+    /// cannot be ruled out.
+    pub fn overlaps(&self, other: &Constraint) -> bool {
+        use Constraint::*;
+        match (self, other) {
+            (Exists, _) | (_, Exists) => true,
+            (Eq(v), c) | (c, Eq(v)) => c.matches_value(v),
+            (In(s), c) | (c, In(s)) => s.iter().any(|v| c.matches_value(v)),
+            (Lt(a), Gt(b) | Ge(b)) | (Gt(b) | Ge(b), Lt(a)) => gt(a, b),
+            (Le(a), Gt(b)) | (Gt(b), Le(a)) => gt(a, b),
+            (Le(a), Ge(b)) | (Ge(b), Le(a)) => ge(a, b),
+            (Between(_, hi), Gt(b)) | (Gt(b), Between(_, hi)) => gt(hi, b),
+            (Between(_, hi), Ge(b)) | (Ge(b), Between(_, hi)) => ge(hi, b),
+            (Between(lo, _), Lt(b)) | (Lt(b), Between(lo, _)) => lt(lo, b),
+            (Between(lo, _), Le(b)) | (Le(b), Between(lo, _)) => le(lo, b),
+            (Between(lo1, hi1), Between(lo2, hi2)) => le(lo1, hi2) && le(lo2, hi1),
+            _ => true,
+        }
+    }
+
+    /// If the constraint accepts exactly one value, returns it.
+    pub fn as_singleton(&self) -> Option<Value> {
+        match self {
+            Constraint::Eq(v) => Some(v.clone()),
+            Constraint::In(s) if s.len() == 1 => s.iter().next().cloned(),
+            Constraint::Between(lo, hi) if lo.value_eq(hi) => Some(lo.clone()),
+            _ => None,
+        }
+    }
+
+    /// Returns the set of accepted values when the constraint is
+    /// extensionally finite (i.e. [`Constraint::Eq`] or [`Constraint::In`]).
+    pub fn as_value_set(&self) -> Option<BTreeSet<Value>> {
+        match self {
+            Constraint::Eq(v) => Some([v.clone()].into_iter().collect()),
+            Constraint::In(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+// Small comparison helpers that fail closed (return `false`) on incomparable
+// values, which keeps `covers` sound.
+fn lt(a: &Value, b: &Value) -> bool {
+    matches!(a.partial_cmp_value(b), Some(std::cmp::Ordering::Less))
+}
+fn le(a: &Value, b: &Value) -> bool {
+    matches!(
+        a.partial_cmp_value(b),
+        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+    )
+}
+fn gt(a: &Value, b: &Value) -> bool {
+    matches!(a.partial_cmp_value(b), Some(std::cmp::Ordering::Greater))
+}
+fn ge(a: &Value, b: &Value) -> bool {
+    matches!(
+        a.partial_cmp_value(b),
+        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+    )
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Exists => write!(f, "exists"),
+            Constraint::Eq(v) => write!(f, "= {v}"),
+            Constraint::Ne(v) => write!(f, "!= {v}"),
+            Constraint::Lt(v) => write!(f, "< {v}"),
+            Constraint::Le(v) => write!(f, "<= {v}"),
+            Constraint::Gt(v) => write!(f, "> {v}"),
+            Constraint::Ge(v) => write!(f, ">= {v}"),
+            Constraint::Between(lo, hi) => write!(f, "in [{lo}, {hi}]"),
+            Constraint::In(set) => {
+                write!(f, "in {{")?;
+                for (i, v) in set.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Constraint::Prefix(p) => write!(f, "starts-with {p:?}"),
+            Constraint::Suffix(p) => write!(f, "ends-with {p:?}"),
+            Constraint::Contains(p) => write!(f, "contains {p:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    #[test]
+    fn eq_matches_only_the_value() {
+        let c = Constraint::Eq(i(3));
+        assert!(c.matches_value(&i(3)));
+        assert!(c.matches_value(&Value::Float(3.0)));
+        assert!(!c.matches_value(&i(4)));
+    }
+
+    #[test]
+    fn ne_requires_same_kind_and_different_value() {
+        let c = Constraint::Ne(i(3));
+        assert!(c.matches_value(&i(4)));
+        assert!(!c.matches_value(&i(3)));
+        assert!(!c.matches_value(&Value::from("three")));
+    }
+
+    #[test]
+    fn ordering_constraints_match_expected_ranges() {
+        assert!(Constraint::Lt(i(5)).matches_value(&i(4)));
+        assert!(!Constraint::Lt(i(5)).matches_value(&i(5)));
+        assert!(Constraint::Le(i(5)).matches_value(&i(5)));
+        assert!(Constraint::Gt(i(5)).matches_value(&i(6)));
+        assert!(!Constraint::Gt(i(5)).matches_value(&i(5)));
+        assert!(Constraint::Ge(i(5)).matches_value(&i(5)));
+        assert!(Constraint::Between(i(1), i(3)).matches_value(&i(2)));
+        assert!(Constraint::Between(i(1), i(3)).matches_value(&i(1)));
+        assert!(Constraint::Between(i(1), i(3)).matches_value(&i(3)));
+        assert!(!Constraint::Between(i(1), i(3)).matches_value(&i(4)));
+    }
+
+    #[test]
+    fn set_constraint_matches_members_only() {
+        let c = Constraint::any_of([1, 3, 5]);
+        assert!(c.matches_value(&i(3)));
+        assert!(!c.matches_value(&i(2)));
+    }
+
+    #[test]
+    fn string_constraints_match_substrings() {
+        assert!(Constraint::Prefix("Rebeca".into()).matches_value(&Value::from("Rebeca Drive")));
+        assert!(!Constraint::Prefix("Rebeca".into()).matches_value(&Value::from("Main St")));
+        assert!(Constraint::Suffix("Drive".into()).matches_value(&Value::from("Rebeca Drive")));
+        assert!(Constraint::Contains("bec".into()).matches_value(&Value::from("Rebeca")));
+        assert!(!Constraint::Contains("bec".into()).matches_value(&i(3)));
+    }
+
+    #[test]
+    fn exists_matches_any_value() {
+        assert!(Constraint::Exists.matches_value(&i(1)));
+        assert!(Constraint::Exists.matches_value(&Value::from("x")));
+    }
+
+    #[test]
+    fn covering_of_ranges() {
+        assert!(Constraint::Lt(i(10)).covers(&Constraint::Lt(i(5))));
+        assert!(!Constraint::Lt(i(5)).covers(&Constraint::Lt(i(10))));
+        assert!(Constraint::Lt(i(10)).covers(&Constraint::Le(i(9))));
+        assert!(!Constraint::Lt(i(10)).covers(&Constraint::Le(i(10))));
+        assert!(Constraint::Le(i(10)).covers(&Constraint::Lt(i(10))));
+        assert!(Constraint::Ge(i(0)).covers(&Constraint::Gt(i(0))));
+        assert!(Constraint::Gt(i(0)).covers(&Constraint::Gt(i(5))));
+        assert!(Constraint::Between(i(0), i(10)).covers(&Constraint::Between(i(2), i(8))));
+        assert!(!Constraint::Between(i(2), i(8)).covers(&Constraint::Between(i(0), i(10))));
+        assert!(Constraint::Lt(i(20)).covers(&Constraint::Between(i(0), i(10))));
+        assert!(Constraint::Ge(i(0)).covers(&Constraint::Between(i(0), i(10))));
+    }
+
+    #[test]
+    fn covering_of_sets_and_points() {
+        assert!(Constraint::any_of([1, 2, 3]).covers(&Constraint::any_of([1, 3])));
+        assert!(!Constraint::any_of([1, 3]).covers(&Constraint::any_of([1, 2, 3])));
+        assert!(Constraint::any_of([1, 2, 3]).covers(&Constraint::Eq(i(2))));
+        assert!(Constraint::Lt(i(5)).covers(&Constraint::Eq(i(4))));
+        assert!(!Constraint::Lt(i(5)).covers(&Constraint::Eq(i(5))));
+        assert!(Constraint::Eq(i(4)).covers(&Constraint::Eq(i(4))));
+        assert!(Constraint::Between(i(0), i(5)).covers(&Constraint::any_of([0, 5])));
+    }
+
+    #[test]
+    fn covering_of_strings() {
+        assert!(Constraint::Prefix("Re".into()).covers(&Constraint::Prefix("Rebeca".into())));
+        assert!(!Constraint::Prefix("Rebeca".into()).covers(&Constraint::Prefix("Re".into())));
+        assert!(Constraint::Contains("e".into()).covers(&Constraint::Contains("Rebeca".into())));
+        assert!(Constraint::Prefix("Re".into()).covers(&Constraint::Eq(Value::from("Rebeca"))));
+        assert!(Constraint::Contains("bec".into())
+            .covers(&Constraint::any_of([Value::from("Rebeca"), Value::from("Quebec")])));
+    }
+
+    #[test]
+    fn exists_covers_everything_for_the_attribute() {
+        assert!(Constraint::Exists.covers(&Constraint::Eq(i(1))));
+        assert!(Constraint::Exists.covers(&Constraint::Prefix("x".into())));
+        assert!(!Constraint::Eq(i(1)).covers(&Constraint::Exists));
+    }
+
+    #[test]
+    fn ne_covering() {
+        assert!(Constraint::Ne(i(9)).covers(&Constraint::any_of([1, 2, 3])));
+        assert!(!Constraint::Ne(i(2)).covers(&Constraint::any_of([1, 2, 3])));
+        assert!(Constraint::Ne(i(9)).covers(&Constraint::Lt(i(9))));
+        assert!(Constraint::Ne(i(0)).covers(&Constraint::Gt(i(0))));
+        assert!(Constraint::Ne(i(5)).covers(&Constraint::Between(i(6), i(9))));
+        assert!(!Constraint::Ne(i(7)).covers(&Constraint::Between(i(6), i(9))));
+    }
+
+    #[test]
+    fn covering_is_consistent_with_matching_spot_checks() {
+        // If c1 covers c2 then any value matching c2 must match c1.
+        let cases = vec![
+            (Constraint::Lt(i(10)), Constraint::Lt(i(5)), vec![i(4), i(0), i(-3)]),
+            (
+                Constraint::any_of([1, 2, 3, 4]),
+                Constraint::any_of([2, 4]),
+                vec![i(2), i(4)],
+            ),
+            (
+                Constraint::Prefix("Re".into()),
+                Constraint::Prefix("Reb".into()),
+                vec![Value::from("Rebeca"), Value::from("Rebus")],
+            ),
+        ];
+        for (c1, c2, values) in cases {
+            assert!(c1.covers(&c2), "{c1} should cover {c2}");
+            for v in values {
+                assert!(c2.matches_value(&v));
+                assert!(c1.matches_value(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_detection() {
+        assert!(Constraint::Lt(i(5)).overlaps(&Constraint::Gt(i(3))));
+        assert!(!Constraint::Lt(i(3)).overlaps(&Constraint::Gt(i(5))));
+        assert!(Constraint::Le(i(5)).overlaps(&Constraint::Ge(i(5))));
+        assert!(Constraint::any_of([1, 2]).overlaps(&Constraint::any_of([2, 3])));
+        assert!(!Constraint::any_of([1, 2]).overlaps(&Constraint::any_of([3, 4])));
+        assert!(Constraint::Eq(i(1)).overlaps(&Constraint::Exists));
+    }
+
+    #[test]
+    fn singleton_extraction() {
+        assert_eq!(Constraint::Eq(i(3)).as_singleton(), Some(i(3)));
+        assert_eq!(Constraint::any_of([7]).as_singleton(), Some(i(7)));
+        assert_eq!(Constraint::Between(i(2), i(2)).as_singleton(), Some(i(2)));
+        assert_eq!(Constraint::Lt(i(3)).as_singleton(), None);
+        assert_eq!(Constraint::any_of([1, 2]).as_singleton(), None);
+    }
+
+    #[test]
+    fn value_set_extraction() {
+        assert_eq!(
+            Constraint::any_of([1, 2]).as_value_set(),
+            Some([i(1), i(2)].into_iter().collect())
+        );
+        assert_eq!(
+            Constraint::Eq(i(5)).as_value_set(),
+            Some([i(5)].into_iter().collect())
+        );
+        assert_eq!(Constraint::Lt(i(5)).as_value_set(), None);
+    }
+
+    #[test]
+    fn any_location_of_builds_location_set() {
+        let c = Constraint::any_location_of([1, 2, 3]);
+        assert!(c.matches_value(&Value::Location(2)));
+        assert!(!c.matches_value(&Value::Location(4)));
+        assert!(!c.matches_value(&i(2)));
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        assert_eq!(Constraint::Eq(i(3)).to_string(), "= 3");
+        assert_eq!(Constraint::Lt(i(3)).to_string(), "< 3");
+        assert_eq!(Constraint::any_of([1, 2]).to_string(), "in {1, 2}");
+        assert_eq!(Constraint::Exists.to_string(), "exists");
+    }
+}

@@ -1,0 +1,278 @@
+//! Covering-aware filter collections.
+//!
+//! [`FilterSet`] is the building block of broker routing tables: a set of
+//! filters associated with one destination, optionally reduced under the
+//! covering relation so that only the most general filters are kept
+//! (Rebeca's *covering routing*), and optionally compacted further by
+//! perfect merging (*merging routing*).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::filter::Filter;
+use crate::notification::Notification;
+
+/// Outcome of inserting a filter into a [`FilterSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The filter was added as a new, independent entry.
+    Added,
+    /// The filter was already covered by an existing entry; nothing changed.
+    Covered,
+    /// The filter was added and replaced `n` existing entries that it covers.
+    Replaced(usize),
+    /// The filter was merged with an existing entry into a new entry.
+    Merged,
+}
+
+/// A set of filters with covering-based redundancy elimination.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FilterSet {
+    filters: Vec<Filter>,
+}
+
+impl FilterSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of filters currently stored.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// `true` when no filters are stored.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Iterates over the stored filters.
+    pub fn iter(&self) -> impl Iterator<Item = &Filter> {
+        self.filters.iter()
+    }
+
+    /// Returns `true` when any stored filter matches the notification.
+    pub fn matches(&self, notification: &Notification) -> bool {
+        self.filters.iter().any(|f| f.matches(notification))
+    }
+
+    /// Returns `true` when any stored filter covers the given filter.
+    pub fn covers(&self, filter: &Filter) -> bool {
+        self.filters.iter().any(|f| f.covers(filter))
+    }
+
+    /// Returns `true` when the exact filter (structural equality) is stored.
+    pub fn contains(&self, filter: &Filter) -> bool {
+        self.filters.iter().any(|f| f == filter)
+    }
+
+    /// Inserts a filter without any covering optimization (simple routing).
+    pub fn insert_simple(&mut self, filter: Filter) -> InsertOutcome {
+        if self.contains(&filter) {
+            return InsertOutcome::Covered;
+        }
+        self.filters.push(filter);
+        InsertOutcome::Added
+    }
+
+    /// Inserts a filter, applying covering-based optimization: if an existing
+    /// filter covers the new one nothing changes; otherwise every existing
+    /// filter covered by the new one is removed.
+    pub fn insert_covering(&mut self, filter: Filter) -> InsertOutcome {
+        if self.covers(&filter) {
+            return InsertOutcome::Covered;
+        }
+        let before = self.filters.len();
+        self.filters.retain(|f| !filter.covers(f));
+        let removed = before - self.filters.len();
+        self.filters.push(filter);
+        if removed > 0 {
+            InsertOutcome::Replaced(removed)
+        } else {
+            InsertOutcome::Added
+        }
+    }
+
+    /// Inserts a filter, first trying a perfect merge with an existing entry
+    /// and falling back to covering insertion.
+    pub fn insert_merging(&mut self, filter: Filter) -> InsertOutcome {
+        if self.covers(&filter) {
+            return InsertOutcome::Covered;
+        }
+        for i in 0..self.filters.len() {
+            if let Some(merged) = self.filters[i].try_merge(&filter) {
+                self.filters.remove(i);
+                // The merged filter may in turn cover or merge with others.
+                self.insert_merging(merged);
+                return InsertOutcome::Merged;
+            }
+        }
+        self.insert_covering(filter)
+    }
+
+    /// Removes the exact filter (structural equality).  Returns `true` when
+    /// something was removed.
+    pub fn remove(&mut self, filter: &Filter) -> bool {
+        let before = self.filters.len();
+        self.filters.retain(|f| f != filter);
+        before != self.filters.len()
+    }
+
+    /// Removes every filter covered by `filter` (including exact matches).
+    /// Returns the removed filters.
+    pub fn remove_covered_by(&mut self, filter: &Filter) -> Vec<Filter> {
+        let (removed, kept): (Vec<Filter>, Vec<Filter>) = std::mem::take(&mut self.filters)
+            .into_iter()
+            .partition(|f| filter.covers(f));
+        self.filters = kept;
+        removed
+    }
+
+    /// Removes every stored filter and returns them.
+    pub fn drain(&mut self) -> Vec<Filter> {
+        std::mem::take(&mut self.filters)
+    }
+}
+
+impl fmt::Display for FilterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, filter) in self.filters.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{filter}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<Filter> for FilterSet {
+    fn from_iter<T: IntoIterator<Item = Filter>>(iter: T) -> Self {
+        let mut set = FilterSet::new();
+        for f in iter {
+            set.insert_covering(f);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+
+    fn cost_lt(v: i64) -> Filter {
+        Filter::new()
+            .with("service", Constraint::Eq("parking".into()))
+            .with("cost", Constraint::Lt(v.into()))
+    }
+
+    fn loc_set(locs: &[u32]) -> Filter {
+        Filter::new().with("location", Constraint::any_location_of(locs.iter().copied()))
+    }
+
+    #[test]
+    fn simple_insert_keeps_duplicates_out_but_not_covered_filters() {
+        let mut set = FilterSet::new();
+        assert_eq!(set.insert_simple(cost_lt(3)), InsertOutcome::Added);
+        assert_eq!(set.insert_simple(cost_lt(3)), InsertOutcome::Covered);
+        assert_eq!(set.insert_simple(cost_lt(10)), InsertOutcome::Added);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn covering_insert_discards_covered_new_filter() {
+        let mut set = FilterSet::new();
+        set.insert_covering(cost_lt(10));
+        assert_eq!(set.insert_covering(cost_lt(3)), InsertOutcome::Covered);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn covering_insert_replaces_covered_existing_filters() {
+        let mut set = FilterSet::new();
+        set.insert_covering(cost_lt(3));
+        // cost < 5 covers cost < 3, so it replaces it immediately.
+        assert_eq!(set.insert_covering(cost_lt(5)), InsertOutcome::Replaced(1));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.insert_covering(cost_lt(10)), InsertOutcome::Replaced(1));
+        assert_eq!(set.len(), 1);
+        assert!(set.covers(&cost_lt(3)));
+    }
+
+    #[test]
+    fn merging_insert_unions_location_sets() {
+        let mut set = FilterSet::new();
+        set.insert_merging(loc_set(&[1, 2]));
+        assert_eq!(set.insert_merging(loc_set(&[3])), InsertOutcome::Merged);
+        assert_eq!(set.len(), 1);
+        assert!(set.covers(&loc_set(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn merging_insert_cascades() {
+        let mut set = FilterSet::new();
+        set.insert_merging(loc_set(&[1]));
+        set.insert_merging(loc_set(&[5]));
+        // Merging {2} with {1} gives {1,2}; this cannot further merge with {5}
+        // by covering but can by set-union, producing a single entry.
+        set.insert_merging(loc_set(&[2]));
+        assert_eq!(set.len(), 1);
+        assert!(set.covers(&loc_set(&[1, 2, 5])));
+    }
+
+    #[test]
+    fn matches_any_stored_filter() {
+        let mut set = FilterSet::new();
+        set.insert_covering(cost_lt(3));
+        set.insert_covering(loc_set(&[7]));
+        let n = Notification::builder()
+            .attr("location", crate::Value::Location(7))
+            .build();
+        assert!(set.matches(&n));
+        let miss = Notification::builder()
+            .attr("location", crate::Value::Location(8))
+            .build();
+        assert!(!set.matches(&miss));
+    }
+
+    #[test]
+    fn remove_exact_and_covered() {
+        let mut set = FilterSet::new();
+        set.insert_simple(cost_lt(3));
+        set.insert_simple(cost_lt(5));
+        assert!(set.remove(&cost_lt(3)));
+        assert!(!set.remove(&cost_lt(3)));
+        assert_eq!(set.len(), 1);
+
+        set.insert_simple(cost_lt(3));
+        let removed = set.remove_covered_by(&cost_lt(10));
+        assert_eq!(removed.len(), 2);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn drain_empties_the_set() {
+        let mut set: FilterSet = vec![cost_lt(3), loc_set(&[1])].into_iter().collect();
+        let drained = set.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_applies_covering() {
+        let set: FilterSet = vec![cost_lt(3), cost_lt(10), cost_lt(5)].into_iter().collect();
+        assert_eq!(set.len(), 1);
+        assert!(set.covers(&cost_lt(9)));
+    }
+
+    #[test]
+    fn display_lists_filters() {
+        let mut set = FilterSet::new();
+        set.insert_simple(Filter::universal());
+        assert_eq!(set.to_string(), "[(true)]");
+    }
+}

@@ -1,0 +1,186 @@
+//! Event notifications: the messages published into the pub/sub system.
+//!
+//! A notification reifies an occurred event as a flat set of name/value
+//! pairs.  It is injected into the broker network by a producer and conveyed
+//! to every consumer with a matching subscription.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// An immutable event notification: a set of named attribute values.
+///
+/// # Examples
+///
+/// ```
+/// use rebeca_filter::{Notification, Value};
+///
+/// let n = Notification::builder()
+///     .attr("service", "parking")
+///     .attr("location", Value::Location(17))
+///     .attr("cost", 2)
+///     .build();
+/// assert_eq!(n.get("cost"), Some(&Value::Int(2)));
+/// assert_eq!(n.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Notification {
+    attributes: BTreeMap<String, Value>,
+}
+
+impl Notification {
+    /// Creates an empty notification (rarely useful on its own; prefer
+    /// [`Notification::builder`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts building a notification attribute by attribute.
+    pub fn builder() -> NotificationBuilder {
+        NotificationBuilder::default()
+    }
+
+    /// Returns the value of attribute `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.attributes.get(name)
+    }
+
+    /// Returns `true` when the notification carries attribute `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.attributes.contains_key(name)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// `true` when the notification has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in attribute-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.attributes.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Returns a copy of this notification with `name` set to `value`
+    /// (replacing an existing value of the same name).
+    pub fn with_attr(&self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        let mut attributes = self.attributes.clone();
+        attributes.insert(name.into(), value.into());
+        Self { attributes }
+    }
+}
+
+impl fmt::Display for Notification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k} = {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, Value)> for Notification {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        Self {
+            attributes: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Incremental builder for [`Notification`]s.
+#[derive(Debug, Default, Clone)]
+pub struct NotificationBuilder {
+    attributes: BTreeMap<String, Value>,
+}
+
+impl NotificationBuilder {
+    /// Adds (or replaces) one attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.attributes.insert(name.into(), value.into());
+        self
+    }
+
+    /// Finishes the notification.
+    pub fn build(self) -> Notification {
+        Notification {
+            attributes: self.attributes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_attributes() {
+        let n = Notification::builder()
+            .attr("a", 1)
+            .attr("b", "two")
+            .attr("c", 3.0)
+            .build();
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.get("a"), Some(&Value::Int(1)));
+        assert_eq!(n.get("b"), Some(&Value::Str("two".into())));
+        assert_eq!(n.get("c"), Some(&Value::Float(3.0)));
+        assert!(n.contains("a"));
+        assert!(!n.contains("d"));
+    }
+
+    #[test]
+    fn builder_replaces_duplicate_names() {
+        let n = Notification::builder().attr("a", 1).attr("a", 2).build();
+        assert_eq!(n.len(), 1);
+        assert_eq!(n.get("a"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn with_attr_does_not_mutate_original() {
+        let n = Notification::builder().attr("a", 1).build();
+        let m = n.with_attr("b", 2);
+        assert_eq!(n.len(), 1);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("b"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn empty_notification_reports_empty() {
+        let n = Notification::new();
+        assert!(n.is_empty());
+        assert_eq!(n.len(), 0);
+    }
+
+    #[test]
+    fn display_lists_attributes_in_name_order() {
+        let n = Notification::builder().attr("b", 2).attr("a", 1).build();
+        assert_eq!(n.to_string(), "{a = 1, b = 2}");
+    }
+
+    #[test]
+    fn iteration_order_is_deterministic() {
+        let n = Notification::builder()
+            .attr("z", 1)
+            .attr("a", 2)
+            .attr("m", 3)
+            .build();
+        let names: Vec<&str> = n.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn from_iterator_builds_notification() {
+        let n: Notification = vec![("x".to_string(), Value::Int(1))].into_iter().collect();
+        assert_eq!(n.get("x"), Some(&Value::Int(1)));
+    }
+}

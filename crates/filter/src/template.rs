@@ -1,0 +1,268 @@
+//! Location-dependent filters: subscription templates containing the `myloc`
+//! marker of Section 5 of the paper.
+//!
+//! A [`LocationDependentFilter`] looks like an ordinary subscription except
+//! that one (or more) attributes are constrained by the special marker
+//! `location ∈ myloc` rather than a concrete constraint.  The marker stands
+//! for "a set of locations that depends on the client's current location".
+//! The logical-mobility machinery *instantiates* the template against a
+//! concrete location set to obtain a plain [`Filter`] that can be routed with
+//! the unchanged Rebeca infrastructure.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::constraint::Constraint;
+use crate::filter::Filter;
+
+/// One attribute slot of a location-dependent subscription: either a
+/// concrete constraint or the `myloc` marker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TemplateConstraint {
+    /// A plain, location-independent constraint.
+    Concrete(Constraint),
+    /// The `myloc` marker: the attribute must be one of the locations in the
+    /// set `myloc(current_location)`, whose extent (`vicinity`) is measured
+    /// in movement-graph hops around the client's current location.
+    ///
+    /// `vicinity = 0` means "exactly my current location"; the paper's
+    /// parking example ("at most two blocks away from myloc") corresponds to
+    /// `vicinity = 2`.
+    MyLoc {
+        /// Radius, in movement-graph hops, around the current location.
+        vicinity: usize,
+    },
+}
+
+/// A subscription template with `myloc` markers (a *location-dependent
+/// subscription*).
+///
+/// # Examples
+///
+/// ```
+/// use rebeca_filter::{LocationDependentFilter, Constraint, Value};
+///
+/// // (service = "parking"), (location ∈ myloc), (car-type = "compact")
+/// let sub = LocationDependentFilter::new("location", 0)
+///     .with_concrete("service", Constraint::Eq("parking".into()))
+///     .with_concrete("car-type", Constraint::Eq("compact".into()));
+///
+/// // Instantiate for the location set {4, 5} computed by the middleware.
+/// let filter = sub.instantiate([4, 5]);
+/// assert!(filter.constraint("location").is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocationDependentFilter {
+    constraints: BTreeMap<String, TemplateConstraint>,
+}
+
+impl LocationDependentFilter {
+    /// Creates a template whose attribute `location_attribute` carries the
+    /// `myloc` marker with the given vicinity.
+    pub fn new(location_attribute: impl Into<String>, vicinity: usize) -> Self {
+        let mut constraints = BTreeMap::new();
+        constraints.insert(
+            location_attribute.into(),
+            TemplateConstraint::MyLoc { vicinity },
+        );
+        Self { constraints }
+    }
+
+    /// Creates a template from an ordinary filter (no `myloc` marker); useful
+    /// for uniform handling of mobile and immobile subscriptions.
+    pub fn from_filter(filter: &Filter) -> Self {
+        Self {
+            constraints: filter
+                .iter()
+                .map(|(k, c)| (k.to_string(), TemplateConstraint::Concrete(c.clone())))
+                .collect(),
+        }
+    }
+
+    /// Adds (or replaces) a concrete constraint.
+    pub fn with_concrete(mut self, attribute: impl Into<String>, constraint: Constraint) -> Self {
+        self.constraints
+            .insert(attribute.into(), TemplateConstraint::Concrete(constraint));
+        self
+    }
+
+    /// Adds (or replaces) an additional `myloc` marker on another attribute.
+    pub fn with_myloc(mut self, attribute: impl Into<String>, vicinity: usize) -> Self {
+        self.constraints
+            .insert(attribute.into(), TemplateConstraint::MyLoc { vicinity });
+        self
+    }
+
+    /// Names of the attributes that carry a `myloc` marker, with their
+    /// vicinities.
+    pub fn myloc_attributes(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.constraints.iter().filter_map(|(k, c)| match c {
+            TemplateConstraint::MyLoc { vicinity } => Some((k.as_str(), *vicinity)),
+            TemplateConstraint::Concrete(_) => None,
+        })
+    }
+
+    /// The largest vicinity requested by any `myloc` marker (0 when the
+    /// template has no marker).
+    pub fn max_vicinity(&self) -> usize {
+        self.myloc_attributes().map(|(_, v)| v).max().unwrap_or(0)
+    }
+
+    /// `true` when the template contains at least one `myloc` marker.
+    pub fn is_location_dependent(&self) -> bool {
+        self.myloc_attributes().next().is_some()
+    }
+
+    /// Iterates over all template constraints.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TemplateConstraint)> {
+        self.constraints.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Instantiates the template for a concrete set of location ids,
+    /// replacing every `myloc` marker by `∈ {locations…}`.
+    ///
+    /// The same location set is used for every marker; the set is usually
+    /// `ploc(current_location, q)` computed by the logical-mobility layer.
+    pub fn instantiate<I>(&self, locations: I) -> Filter
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        let locations: Vec<u32> = locations.into_iter().collect();
+        self.constraints
+            .iter()
+            .map(|(name, c)| {
+                let concrete = match c {
+                    TemplateConstraint::Concrete(c) => c.clone(),
+                    TemplateConstraint::MyLoc { .. } => {
+                        Constraint::any_location_of(locations.iter().copied())
+                    }
+                };
+                (name.clone(), concrete)
+            })
+            .collect()
+    }
+
+    /// The location-independent part of the template as a plain filter
+    /// (every `myloc` marker dropped).  A notification matching the
+    /// instantiated filter always matches the base filter too.
+    pub fn base_filter(&self) -> Filter {
+        self.constraints
+            .iter()
+            .filter_map(|(name, c)| match c {
+                TemplateConstraint::Concrete(c) => Some((name.clone(), c.clone())),
+                TemplateConstraint::MyLoc { .. } => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for LocationDependentFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, c)) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            match c {
+                TemplateConstraint::Concrete(c) => write!(f, "({name} {c})")?,
+                TemplateConstraint::MyLoc { vicinity } => {
+                    write!(f, "({name} ∈ myloc[{vicinity}])")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notification::Notification;
+    use crate::value::Value;
+
+    fn parking_template(vicinity: usize) -> LocationDependentFilter {
+        LocationDependentFilter::new("location", vicinity)
+            .with_concrete("service", Constraint::Eq("parking".into()))
+    }
+
+    #[test]
+    fn instantiate_replaces_marker_with_location_set() {
+        let t = parking_template(1);
+        let f = t.instantiate([4, 5, 6]);
+        let hit = Notification::builder()
+            .attr("service", "parking")
+            .attr("location", Value::Location(5))
+            .build();
+        let miss = hit.with_attr("location", Value::Location(9));
+        assert!(f.matches(&hit));
+        assert!(!f.matches(&miss));
+    }
+
+    #[test]
+    fn concrete_constraints_survive_instantiation() {
+        let t = parking_template(0);
+        let f = t.instantiate([1]);
+        assert_eq!(
+            f.constraint("service"),
+            Some(&Constraint::Eq("parking".into()))
+        );
+    }
+
+    #[test]
+    fn vicinity_is_reported() {
+        let t = parking_template(2);
+        assert_eq!(t.max_vicinity(), 2);
+        assert!(t.is_location_dependent());
+        let attrs: Vec<(&str, usize)> = t.myloc_attributes().collect();
+        assert_eq!(attrs, vec![("location", 2)]);
+    }
+
+    #[test]
+    fn from_filter_has_no_marker() {
+        let f = Filter::new().with("a", Constraint::Eq(1.into()));
+        let t = LocationDependentFilter::from_filter(&f);
+        assert!(!t.is_location_dependent());
+        assert_eq!(t.max_vicinity(), 0);
+        assert_eq!(t.instantiate([]), f);
+    }
+
+    #[test]
+    fn base_filter_drops_markers() {
+        let t = parking_template(1);
+        let base = t.base_filter();
+        assert_eq!(base.len(), 1);
+        assert!(base.constraint("location").is_none());
+        // Instantiated filter is always at least as strict as the base.
+        let inst = t.instantiate([2, 3]);
+        assert!(base.covers(&inst));
+    }
+
+    #[test]
+    fn multiple_myloc_markers_share_the_location_set() {
+        let t = LocationDependentFilter::new("from", 0).with_myloc("to", 1);
+        let f = t.instantiate([7]);
+        let n = Notification::builder()
+            .attr("from", Value::Location(7))
+            .attr("to", Value::Location(7))
+            .build();
+        assert!(f.matches(&n));
+    }
+
+    #[test]
+    fn wider_location_sets_cover_narrower_instantiations() {
+        let t = parking_template(2);
+        let narrow = t.instantiate([4]);
+        let wide = t.instantiate([3, 4, 5]);
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+    }
+
+    #[test]
+    fn display_shows_marker() {
+        let t = parking_template(2);
+        let s = t.to_string();
+        assert!(s.contains("myloc[2]"), "{s}");
+        assert!(s.contains("parking"), "{s}");
+    }
+}

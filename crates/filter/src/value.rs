@@ -1,0 +1,331 @@
+//! Typed attribute values carried inside [`Notification`](crate::Notification)s.
+//!
+//! The Rebeca data model used throughout the paper is a flat set of
+//! name/value pairs (`(service = "parking"), (location = "100 Rebeca Drive"),
+//! (cost < 3)`), so values only need to support a small set of scalar types
+//! plus an explicit *location* type used by the logical-mobility machinery.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single typed attribute value.
+///
+/// Values of different kinds never compare as equal and are unordered with
+/// respect to each other; ordered comparisons are only defined within one
+/// kind (see [`Value::partial_cmp_value`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Signed 64-bit integer, e.g. a price in cents or a room number.
+    Int(i64),
+    /// Double-precision float, e.g. a geographic coordinate.
+    Float(f64),
+    /// UTF-8 string, e.g. a street name or stock symbol.
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+    /// An abstract location identifier from a
+    /// [`LocationSpace`](https://docs.rs/rebeca-location) (stored as the raw
+    /// numeric id so the filter crate stays independent of the location
+    /// crate).
+    Location(u32),
+}
+
+impl Value {
+    /// Returns a short, human-readable name of the value's kind.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Str(_) => ValueKind::Str,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Location(_) => ValueKind::Location,
+        }
+    }
+
+    /// Compares two values of the same kind.
+    ///
+    /// Returns `None` when the kinds differ or when the kind has no natural
+    /// order (booleans and locations are only compared for equality — for
+    /// those, `Some(Equal)` is returned on equality and `None` otherwise).
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => Some(a.total_cmp(b)),
+            (Value::Int(a), Value::Float(b)) => Some((*a as f64).total_cmp(b)),
+            (Value::Float(a), Value::Int(b)) => Some(a.total_cmp(&(*b as f64))),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) if a == b => Some(Ordering::Equal),
+            (Value::Location(a), Value::Location(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when both values are of the same kind and equal under
+    /// the value semantics used by filters (integers and floats compare
+    /// numerically).
+    pub fn value_eq(&self, other: &Value) -> bool {
+        matches!(self.partial_cmp_value(other), Some(Ordering::Equal))
+    }
+
+    /// Returns the contained string if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained integer if this is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained float if this is a [`Value::Float`], or the
+    /// integer converted to a float if this is a [`Value::Int`].
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained location id if this is a [`Value::Location`].
+    pub fn as_location(&self) -> Option<u32> {
+        match self {
+            Value::Location(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained boolean if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// The kind (dynamic type) of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// [`Value::Int`].
+    Int,
+    /// [`Value::Float`].
+    Float,
+    /// [`Value::Str`].
+    Str,
+    /// [`Value::Bool`].
+    Bool,
+    /// [`Value::Location`].
+    Location,
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Location(l) => write!(f, "loc#{l}"),
+        }
+    }
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Str => "string",
+            ValueKind::Bool => "bool",
+            ValueKind::Location => "location",
+        };
+        f.write_str(name)
+    }
+}
+
+// Eq/Ord/Hash are needed so values can be members of `BTreeSet`s inside
+// set-valued constraints.  Floats use their total order, which is adequate
+// because filters never produce NaNs themselves.
+impl Eq for Value {}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Int(_) => 0,
+                Value::Float(_) => 1,
+                Value::Str(_) => 2,
+                Value::Bool(_) => 3,
+                Value::Location(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Location(a), Value::Location(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(i) => {
+                0u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                1u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                3u8.hash(state);
+                b.hash(state);
+            }
+            Value::Location(l) => {
+                4u8.hash(state);
+                l.hash(state);
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_float_compare_numerically() {
+        assert_eq!(
+            Value::Int(3).partial_cmp_value(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(2.5).partial_cmp_value(&Value::Int(3)),
+            Some(Ordering::Less)
+        );
+        assert!(Value::Int(3).value_eq(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn different_kinds_do_not_compare() {
+        assert_eq!(Value::Int(1).partial_cmp_value(&Value::Str("1".into())), None);
+        assert!(!Value::Bool(true).value_eq(&Value::Int(1)));
+    }
+
+    #[test]
+    fn strings_compare_lexicographically() {
+        assert_eq!(
+            Value::from("abc").partial_cmp_value(&Value::from("abd")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn locations_compare_for_equality_only_through_value_eq() {
+        assert!(Value::Location(7).value_eq(&Value::Location(7)));
+        assert!(!Value::Location(7).value_eq(&Value::Location(8)));
+    }
+
+    #[test]
+    fn accessors_return_expected_variants() {
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::Int(4).as_float(), Some(4.0));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Location(2).as_location(), Some(2));
+        assert_eq!(Value::Bool(true).as_int(), None);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::from("a").to_string(), "\"a\"");
+        assert_eq!(Value::Location(9).to_string(), "loc#9");
+    }
+
+    #[test]
+    fn kind_reports_the_variant() {
+        assert_eq!(Value::Int(0).kind(), ValueKind::Int);
+        assert_eq!(Value::Float(0.0).kind(), ValueKind::Float);
+        assert_eq!(Value::from("s").kind(), ValueKind::Str);
+        assert_eq!(Value::Bool(false).kind(), ValueKind::Bool);
+        assert_eq!(Value::Location(1).kind(), ValueKind::Location);
+        assert_eq!(ValueKind::Location.to_string(), "location");
+    }
+
+    #[test]
+    fn total_order_is_consistent_for_sets() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<Value> = [Value::Int(2), Value::Int(1), Value::from("a")]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(&Value::Int(1)));
+    }
+}

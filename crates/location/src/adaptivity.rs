@@ -1,0 +1,258 @@
+//! The adaptivity scheme of Section 5.3: deriving the per-hop uncertainty
+//! steps `q_i` from the client residence time `Δ` and the per-hop
+//! subscription-processing delays `δ_i`.
+//!
+//! Along a producer→consumer path with brokers `B_1 … B_k`, the filter on the
+//! link between `B_i` and `B_{i+1}` is set to `F_i = ploc(x, q_i)` where `x`
+//! is the consumer's current location.  The paper's rule for choosing `q_i`
+//! is:
+//!
+//! > Whenever the sum of `δ_i` results in a value larger than the next
+//! > multiple of `Δ` then the value of `ploc` must "take a step".
+//!
+//! In addition the algorithm always provides information for "the next" user
+//! location (so every non-client-side hop has at least one step of
+//! uncertainty), which makes the trivial *global sub/unsub* and *flooding*
+//! implementations the two degenerate instances of the scheme (Table 3).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::MovementGraph;
+use crate::space::LocationId;
+
+/// Sentinel used for "all locations" (flooding) hops.
+const UNBOUNDED: usize = usize::MAX;
+
+/// Per-hop uncertainty steps `q_0, q_1, …, q_k` for one producer→consumer
+/// path.
+///
+/// Index 0 is the *client-side filter* at the consumer's local broker, which
+/// always does perfect filtering (`q_0 = 0`); index `i ≥ 1` is the filter on
+/// the link between broker `B_i` and `B_{i+1}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptivityPlan {
+    steps: Vec<usize>,
+}
+
+impl AdaptivityPlan {
+    /// Computes the plan for a client that stays `delta_micros` at each
+    /// location, over a path whose hop-wise subscription-processing delays
+    /// are `hop_delays_micros` (`δ_1 … δ_k`, in path order starting at the
+    /// consumer's local broker).
+    ///
+    /// `q_0 = 0` and for `i ≥ 1`
+    /// `q_i = max(1, |{ j ≥ 1 : j·Δ < δ_1 + … + δ_i }|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `delta_micros` is zero (an infinitely fast client; use
+    /// [`AdaptivityPlan::flooding`] for that limit).
+    pub fn adaptive(delta_micros: u64, hop_delays_micros: &[u64]) -> Self {
+        assert!(delta_micros > 0, "residence time Δ must be positive");
+        let mut steps = Vec::with_capacity(hop_delays_micros.len() + 1);
+        steps.push(0);
+        let mut prefix_sum = 0u64;
+        for &delay in hop_delays_micros {
+            prefix_sum = prefix_sum.saturating_add(delay);
+            // Number of positive multiples of Δ strictly below the prefix sum.
+            let exceeded = if prefix_sum == 0 {
+                0
+            } else {
+                ((prefix_sum - 1) / delta_micros) as usize
+            };
+            steps.push(exceeded.max(1));
+        }
+        Self { steps }
+    }
+
+    /// The trivial *global sub/unsub* plan (top of Table 3): the client moves
+    /// slowly enough that one step of uncertainty per hop suffices
+    /// (`q_i = 1` for all `i ≥ 1`).
+    pub fn global_sub_unsub(hops: usize) -> Self {
+        let mut steps = vec![1; hops + 1];
+        steps[0] = 0;
+        Self { steps }
+    }
+
+    /// The *flooding* plan (bottom of Table 3): every non-client-side hop
+    /// subscribes to every location (`q_i = ∞`).
+    pub fn flooding(hops: usize) -> Self {
+        let mut steps = vec![UNBOUNDED; hops + 1];
+        steps[0] = 0;
+        Self { steps }
+    }
+
+    /// The plan of the Section 5.2 example (Table 2): one additional step of
+    /// uncertainty per hop, `q_i = i`.
+    pub fn one_step_per_hop(hops: usize) -> Self {
+        Self {
+            steps: (0..=hops).collect(),
+        }
+    }
+
+    /// The uncertainty steps, index 0 being the client-side filter.
+    pub fn steps(&self) -> &[usize] {
+        &self.steps
+    }
+
+    /// Number of hops covered by the plan (`k`; the plan has `k + 1`
+    /// entries).
+    pub fn hops(&self) -> usize {
+        self.steps.len().saturating_sub(1)
+    }
+
+    /// The uncertainty step for hop `i`.  Paths longer than the plan reuse
+    /// the last entry (the plan saturates).
+    pub fn step_at(&self, hop: usize) -> usize {
+        self.steps
+            .get(hop)
+            .or(self.steps.last())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// `true` when hop `i` should subscribe to every location (flooding).
+    pub fn is_unbounded(&self, hop: usize) -> bool {
+        self.step_at(hop) == UNBOUNDED
+    }
+
+    /// Computes the concrete location sets `F_i = ploc(x, q_i)` for every hop
+    /// of the plan, for a client currently at `x`.
+    ///
+    /// Unbounded hops map to the full location set of the movement graph.
+    pub fn location_sets(&self, graph: &MovementGraph, x: LocationId) -> Vec<BTreeSet<LocationId>> {
+        self.steps
+            .iter()
+            .map(|&q| {
+                if q == UNBOUNDED {
+                    graph.all_locations()
+                } else {
+                    graph.ploc(x, q)
+                }
+            })
+            .collect()
+    }
+
+    /// The location set for a single hop (see [`AdaptivityPlan::location_sets`]).
+    pub fn location_set_at(
+        &self,
+        graph: &MovementGraph,
+        x: LocationId,
+        hop: usize,
+    ) -> BTreeSet<LocationId> {
+        let q = self.step_at(hop);
+        if q == UNBOUNDED {
+            graph.all_locations()
+        } else {
+            graph.ploc(x, q)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_timing_example_reproduces_table_4_steps() {
+        // Δ = 100 ms, δ = [120, 50, 50, 20] ms (Section 5.3 / Figure 8).
+        let plan = AdaptivityPlan::adaptive(100_000, &[120_000, 50_000, 50_000, 20_000]);
+        assert_eq!(plan.steps(), &[0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn table_4_location_sets_match_the_paper() {
+        let g = MovementGraph::paper_example();
+        let plan = AdaptivityPlan::adaptive(100_000, &[120_000, 50_000, 50_000]);
+        // steps = [0, 1, 1, 2]; rows of Table 4 for x = a:
+        let a = g.space().id("a").unwrap();
+        let sets = plan.location_sets(&g, a);
+        let names = |s: &BTreeSet<LocationId>| {
+            s.iter()
+                .map(|l| g.space().name(*l).unwrap().to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(names(&sets[0]), ["a"]);
+        assert_eq!(names(&sets[1]), ["a", "b", "c"]);
+        assert_eq!(names(&sets[2]), ["a", "b", "c"]);
+        assert_eq!(names(&sets[3]), ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn slow_client_degenerates_to_global_sub_unsub() {
+        // All hop delays far below Δ: every hop gets exactly one step.
+        let plan = AdaptivityPlan::adaptive(10_000_000, &[5_000, 5_000, 5_000]);
+        assert_eq!(plan.steps(), AdaptivityPlan::global_sub_unsub(3).steps());
+    }
+
+    #[test]
+    fn fast_client_approaches_flooding() {
+        // Δ = 1 ms, δ_i = 100 ms: uncertainty grows by ~100 per hop.
+        let plan = AdaptivityPlan::adaptive(1_000, &[100_000, 100_000]);
+        assert_eq!(plan.step_at(1), 99);
+        assert_eq!(plan.step_at(2), 199);
+        // On a small graph this is effectively flooding.
+        let g = MovementGraph::paper_example();
+        let a = g.space().id("a").unwrap();
+        assert_eq!(plan.location_set_at(&g, a, 1), g.all_locations());
+    }
+
+    #[test]
+    fn flooding_plan_subscribes_everywhere_except_client_side() {
+        let g = MovementGraph::paper_example();
+        let a = g.space().id("a").unwrap();
+        let plan = AdaptivityPlan::flooding(3);
+        let sets = plan.location_sets(&g, a);
+        assert_eq!(sets[0].len(), 1);
+        for s in &sets[1..] {
+            assert_eq!(s, &g.all_locations());
+        }
+        assert!(plan.is_unbounded(1));
+        assert!(!plan.is_unbounded(0));
+    }
+
+    #[test]
+    fn one_step_per_hop_reproduces_table_2_column_structure() {
+        let plan = AdaptivityPlan::one_step_per_hop(3);
+        assert_eq!(plan.steps(), &[0, 1, 2, 3]);
+        let g = MovementGraph::paper_example();
+        let a = g.space().id("a").unwrap();
+        let sets = plan.location_sets(&g, a);
+        assert_eq!(sets[0].len(), 1); // {a}
+        assert_eq!(sets[1].len(), 3); // {a,b,c}
+        assert_eq!(sets[2].len(), 4); // {a,b,c,d}
+        assert_eq!(sets[3].len(), 4);
+    }
+
+    #[test]
+    fn step_at_saturates_beyond_the_plan() {
+        let plan = AdaptivityPlan::one_step_per_hop(2);
+        assert_eq!(plan.step_at(5), 2);
+        assert_eq!(plan.hops(), 2);
+    }
+
+    #[test]
+    fn boundary_multiple_of_delta_does_not_take_a_step() {
+        // Prefix sum exactly equal to a multiple of Δ does not exceed it.
+        let plan = AdaptivityPlan::adaptive(100, &[100, 100]);
+        assert_eq!(plan.steps(), &[0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_delta_panics() {
+        AdaptivityPlan::adaptive(0, &[10]);
+    }
+
+    #[test]
+    fn monotonicity_of_steps() {
+        // Steps never decrease along the path (prefix sums only grow).
+        let plan = AdaptivityPlan::adaptive(50, &[30, 80, 10, 200, 5]);
+        let steps = plan.steps();
+        for w in steps.windows(2).skip(1) {
+            assert!(w[0] <= w[1], "steps must be non-decreasing: {steps:?}");
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Movement graphs and the `ploc` (possible future locations) function.
+//!
+//! A movement graph (Figure 7 of the paper) formalizes which locations can be
+//! reached from which locations in one movement step of the consumer.  Given
+//! a current location `x` and a number of steps `q`, `ploc(x, q)` is the set
+//! of locations the consumer could be in after at most `q` steps — the
+//! monotonically growing "uncertainty ball" that the logical-mobility layer
+//! subscribes to at brokers further away from the consumer.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::space::{LocationId, LocationSpace};
+
+/// An undirected movement graph over a [`LocationSpace`].
+///
+/// Staying at the current location is always possible (the paper requires
+/// `ploc(x, q) ⊆ ploc(x, q+1)`, Equation 1), so implicit self-loops are
+/// assumed by [`MovementGraph::ploc`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MovementGraph {
+    space: LocationSpace,
+    adjacency: Vec<BTreeSet<u32>>,
+}
+
+impl MovementGraph {
+    /// Creates a movement graph with no edges over the given space.
+    pub fn new(space: LocationSpace) -> Self {
+        let n = space.len();
+        Self {
+            space,
+            adjacency: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// The underlying location space.
+    pub fn space(&self) -> &LocationSpace {
+        &self.space
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// `true` when the graph has no locations.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Adds an undirected edge between two locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either id is not part of the location space.
+    pub fn add_edge(&mut self, a: LocationId, b: LocationId) {
+        assert!(self.space.contains(a), "unknown location {a}");
+        assert!(self.space.contains(b), "unknown location {b}");
+        if a != b {
+            self.adjacency[a.0 as usize].insert(b.0);
+            self.adjacency[b.0 as usize].insert(a.0);
+        }
+    }
+
+    /// Returns `true` when the two locations are adjacent (one movement step
+    /// apart).
+    pub fn has_edge(&self, a: LocationId, b: LocationId) -> bool {
+        self.adjacency
+            .get(a.0 as usize)
+            .is_some_and(|s| s.contains(&b.0))
+    }
+
+    /// The direct neighbours of a location.
+    pub fn neighbours(&self, x: LocationId) -> impl Iterator<Item = LocationId> + '_ {
+        self.adjacency
+            .get(x.0 as usize)
+            .into_iter()
+            .flat_map(|s| s.iter().map(|&i| LocationId(i)))
+    }
+
+    /// All location ids of the underlying space.
+    pub fn all_locations(&self) -> BTreeSet<LocationId> {
+        self.space.ids().collect()
+    }
+
+    /// `ploc(x, q)`: the set of locations reachable from `x` in **at most**
+    /// `q` movement steps (always includes `x` itself).
+    ///
+    /// The result is monotone in `q` (Equation 1 of the paper) and converges
+    /// to the connected component of `x` once `q` is at least the component's
+    /// diameter.
+    pub fn ploc(&self, x: LocationId, q: usize) -> BTreeSet<LocationId> {
+        let mut visited: BTreeSet<LocationId> = BTreeSet::new();
+        if !self.space.contains(x) {
+            return visited;
+        }
+        let mut frontier: VecDeque<(LocationId, usize)> = VecDeque::new();
+        visited.insert(x);
+        frontier.push_back((x, 0));
+        while let Some((node, depth)) = frontier.pop_front() {
+            if depth == q {
+                continue;
+            }
+            for n in self.neighbours(node) {
+                if visited.insert(n) {
+                    frontier.push_back((n, depth + 1));
+                }
+            }
+        }
+        visited
+    }
+
+    /// Shortest-path distance (number of movement steps) between two
+    /// locations, or `None` when they are not connected.
+    pub fn distance(&self, a: LocationId, b: LocationId) -> Option<usize> {
+        if !self.space.contains(a) || !self.space.contains(b) {
+            return None;
+        }
+        if a == b {
+            return Some(0);
+        }
+        let mut visited = BTreeSet::new();
+        let mut frontier = VecDeque::new();
+        visited.insert(a);
+        frontier.push_back((a, 0usize));
+        while let Some((node, d)) = frontier.pop_front() {
+            for n in self.neighbours(node) {
+                if n == b {
+                    return Some(d + 1);
+                }
+                if visited.insert(n) {
+                    frontier.push_back((n, d + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// The eccentricity-based diameter of the graph (longest shortest path),
+    /// or 0 for graphs with fewer than two locations.  Unreachable pairs are
+    /// ignored.
+    pub fn diameter(&self) -> usize {
+        let ids: Vec<LocationId> = self.space.ids().collect();
+        let mut max = 0;
+        for &a in &ids {
+            for &b in &ids {
+                if let Some(d) = self.distance(a, b) {
+                    max = max.max(d);
+                }
+            }
+        }
+        max
+    }
+
+    /// `true` when every location can reach every other location.
+    pub fn is_connected(&self) -> bool {
+        match self.space.ids().next() {
+            None => true,
+            Some(start) => self.ploc(start, self.len()).len() == self.len(),
+        }
+    }
+
+    // ----- builders used by tests, examples and the experiment harness -----
+
+    /// The four-location movement graph of Figure 7 of the paper:
+    /// locations `a, b, c, d` with edges a–b, a–c, b–d, c–d
+    /// (a square; `a` and `d` are opposite corners).
+    ///
+    /// This graph reproduces the `ploc` values of Table 1:
+    /// `ploc(a,1) = {a,b,c}`, `ploc(a,2) = {a,b,c,d}`, etc.
+    pub fn paper_example() -> Self {
+        let mut space = LocationSpace::new();
+        let a = space.add("a");
+        let b = space.add("b");
+        let c = space.add("c");
+        let d = space.add("d");
+        let mut g = Self::new(space);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g
+    }
+
+    /// A path graph `L0 – L1 – … – L{n-1}` (a street of `n` blocks).
+    pub fn line(n: usize) -> Self {
+        let space = LocationSpace::with_size(n);
+        let mut g = Self::new(space);
+        for i in 1..n {
+            g.add_edge(LocationId(i as u32 - 1), LocationId(i as u32));
+        }
+        g
+    }
+
+    /// A cycle graph over `n` locations.
+    pub fn ring(n: usize) -> Self {
+        let mut g = Self::line(n);
+        if n > 2 {
+            g.add_edge(LocationId(0), LocationId(n as u32 - 1));
+        }
+        g
+    }
+
+    /// A `rows × cols` grid (city blocks); location `(r, c)` has id
+    /// `r * cols + c`.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let space = LocationSpace::with_size(rows * cols);
+        let mut g = Self::new(space);
+        let id = |r: usize, c: usize| LocationId((r * cols + c) as u32);
+        for r in 0..rows {
+            for c in 0..cols {
+                if r + 1 < rows {
+                    g.add_edge(id(r, c), id(r + 1, c));
+                }
+                if c + 1 < cols {
+                    g.add_edge(id(r, c), id(r, c + 1));
+                }
+            }
+        }
+        g
+    }
+
+    /// A complete graph over `n` locations (every location reachable from
+    /// every other in one step).
+    pub fn complete(n: usize) -> Self {
+        let space = LocationSpace::with_size(n);
+        let mut g = Self::new(space);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(LocationId(i as u32), LocationId(j as u32));
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(x: u32) -> LocationId {
+        LocationId(x)
+    }
+
+    #[test]
+    fn paper_example_reproduces_table_1() {
+        let g = MovementGraph::paper_example();
+        let a = g.space().id("a").unwrap();
+        let b = g.space().id("b").unwrap();
+        let c = g.space().id("c").unwrap();
+        let d = g.space().id("d").unwrap();
+
+        let set = |v: &[LocationId]| v.iter().copied().collect::<BTreeSet<_>>();
+
+        // Row t = 0: ploc(x, 0) = {x}
+        for &x in &[a, b, c, d] {
+            assert_eq!(g.ploc(x, 0), set(&[x]));
+        }
+        // Row t = 1
+        assert_eq!(g.ploc(a, 1), set(&[a, b, c]));
+        assert_eq!(g.ploc(b, 1), set(&[a, b, d]));
+        assert_eq!(g.ploc(c, 1), set(&[a, c, d]));
+        assert_eq!(g.ploc(d, 1), set(&[b, c, d]));
+        // Rows t = 2 and t = 3: the whole space
+        for &x in &[a, b, c, d] {
+            assert_eq!(g.ploc(x, 2), set(&[a, b, c, d]));
+            assert_eq!(g.ploc(x, 3), set(&[a, b, c, d]));
+        }
+    }
+
+    #[test]
+    fn ploc_is_monotone_in_q() {
+        let g = MovementGraph::grid(4, 4);
+        for x in g.space().ids() {
+            for q in 0..6 {
+                let small = g.ploc(x, q);
+                let large = g.ploc(x, q + 1);
+                assert!(small.is_subset(&large), "ploc not monotone at q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn ploc_converges_to_all_locations_on_connected_graphs() {
+        let g = MovementGraph::ring(6);
+        let all = g.all_locations();
+        assert_eq!(g.ploc(id(0), g.diameter()), all);
+    }
+
+    #[test]
+    fn ploc_of_unknown_location_is_empty() {
+        let g = MovementGraph::line(3);
+        assert!(g.ploc(id(99), 2).is_empty());
+    }
+
+    #[test]
+    fn line_distances_and_diameter() {
+        let g = MovementGraph::line(5);
+        assert_eq!(g.distance(id(0), id(4)), Some(4));
+        assert_eq!(g.distance(id(2), id(2)), Some(0));
+        assert_eq!(g.diameter(), 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disconnected_graph_reports_unreachable_pairs() {
+        let mut space = LocationSpace::new();
+        let a = space.add("a");
+        let b = space.add("b");
+        space.add("isolated");
+        let mut g = MovementGraph::new(space);
+        g.add_edge(a, b);
+        assert_eq!(g.distance(a, LocationId(2)), None);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = MovementGraph::grid(3, 3);
+        assert_eq!(g.len(), 9);
+        // centre has 4 neighbours
+        assert_eq!(g.neighbours(id(4)).count(), 4);
+        // corner has 2 neighbours
+        assert_eq!(g.neighbours(id(0)).count(), 2);
+        assert_eq!(g.diameter(), 4);
+    }
+
+    #[test]
+    fn complete_graph_has_diameter_one() {
+        let g = MovementGraph::complete(5);
+        assert_eq!(g.diameter(), 1);
+        assert_eq!(g.ploc(id(0), 1), g.all_locations());
+    }
+
+    #[test]
+    fn self_edges_are_ignored() {
+        let mut g = MovementGraph::line(2);
+        g.add_edge(id(0), id(0));
+        assert!(!g.has_edge(id(0), id(0)));
+        assert!(g.has_edge(id(0), id(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown location")]
+    fn adding_edge_with_unknown_location_panics() {
+        let mut g = MovementGraph::line(2);
+        g.add_edge(id(0), id(7));
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let g = MovementGraph::ring(6);
+        assert!(g.has_edge(id(0), id(5)));
+        assert_eq!(g.distance(id(0), id(3)), Some(3));
+        assert_eq!(g.distance(id(0), id(5)), Some(1));
+    }
+}

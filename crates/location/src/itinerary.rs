@@ -1,0 +1,245 @@
+//! Consumer itineraries: the function `loc : T → L` describing the movement
+//! of a client over time.
+//!
+//! The paper models time as natural numbers and movement as one
+//! movement-graph step per time step; for the simulation-based experiments
+//! we additionally attach a *residence time* (the `Δ` of Section 5.3) to
+//! every visited location.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::MovementGraph;
+use crate::space::LocationId;
+
+/// One stop of an itinerary: a location and how long the client stays there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stop {
+    /// The location visited.
+    pub location: LocationId,
+    /// Residence time in microseconds of simulated time.
+    pub residence_micros: u64,
+}
+
+/// A scripted movement of a client: the sequence of locations it visits and
+/// how long it remains at each (`loc : T → L` plus residence times).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Itinerary {
+    stops: Vec<Stop>,
+}
+
+impl Itinerary {
+    /// Creates an empty itinerary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an itinerary visiting the given locations, staying
+    /// `residence_micros` at each.
+    pub fn uniform<I: IntoIterator<Item = LocationId>>(locations: I, residence_micros: u64) -> Self {
+        Self {
+            stops: locations
+                .into_iter()
+                .map(|location| Stop {
+                    location,
+                    residence_micros,
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends a stop.
+    pub fn push(&mut self, location: LocationId, residence_micros: u64) {
+        self.stops.push(Stop {
+            location,
+            residence_micros,
+        });
+    }
+
+    /// Appends a stop, builder style.
+    pub fn then(mut self, location: LocationId, residence_micros: u64) -> Self {
+        self.push(location, residence_micros);
+        self
+    }
+
+    /// The stops in visiting order.
+    pub fn stops(&self) -> &[Stop] {
+        &self.stops
+    }
+
+    /// Number of stops.
+    pub fn len(&self) -> usize {
+        self.stops.len()
+    }
+
+    /// `true` when the itinerary has no stops.
+    pub fn is_empty(&self) -> bool {
+        self.stops.is_empty()
+    }
+
+    /// Total duration of the itinerary in microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.stops.iter().map(|s| s.residence_micros).sum()
+    }
+
+    /// `loc(t)`: the location occupied at absolute simulated time
+    /// `t_micros`, where time 0 is the start of the itinerary.  After the
+    /// last stop's residence time has elapsed the client is assumed to stay
+    /// at the last location; `None` is returned only for an empty itinerary.
+    pub fn location_at(&self, t_micros: u64) -> Option<LocationId> {
+        let mut elapsed = 0u64;
+        for stop in &self.stops {
+            elapsed = elapsed.saturating_add(stop.residence_micros);
+            if t_micros < elapsed {
+                return Some(stop.location);
+            }
+        }
+        self.stops.last().map(|s| s.location)
+    }
+
+    /// The absolute times (in microseconds) at which the client *changes*
+    /// location, paired with the new location.  The first stop (time 0) is
+    /// not a change.
+    pub fn change_times(&self) -> Vec<(u64, LocationId)> {
+        let mut changes = Vec::new();
+        let mut elapsed = 0u64;
+        for (i, stop) in self.stops.iter().enumerate() {
+            if i > 0 {
+                changes.push((elapsed, stop.location));
+            }
+            elapsed = elapsed.saturating_add(stop.residence_micros);
+        }
+        changes
+    }
+
+    /// Checks that every consecutive pair of stops is either the same
+    /// location or one movement-graph step apart (the "maximum speed"
+    /// restriction of Section 5.1).
+    pub fn respects(&self, graph: &MovementGraph) -> bool {
+        self.stops.windows(2).all(|w| {
+            w[0].location == w[1].location || graph.has_edge(w[0].location, w[1].location)
+        })
+    }
+
+    /// Generates a random walk itinerary of `steps` stops on the graph,
+    /// starting at `start`, each with the given residence time.  Useful for
+    /// experiments and property tests.
+    pub fn random_walk<R: rand::Rng>(
+        graph: &MovementGraph,
+        start: LocationId,
+        steps: usize,
+        residence_micros: u64,
+        rng: &mut R,
+    ) -> Self {
+        let mut stops = Vec::with_capacity(steps);
+        let mut current = start;
+        for _ in 0..steps {
+            stops.push(Stop {
+                location: current,
+                residence_micros,
+            });
+            let neighbours: Vec<LocationId> = graph.neighbours(current).collect();
+            if !neighbours.is_empty() {
+                // Staying put is always allowed; choose uniformly among
+                // {stay} ∪ neighbours.
+                let idx = rng.gen_range(0..=neighbours.len());
+                if idx < neighbours.len() {
+                    current = neighbours[idx];
+                }
+            }
+        }
+        Self { stops }
+    }
+}
+
+impl FromIterator<Stop> for Itinerary {
+    fn from_iter<T: IntoIterator<Item = Stop>>(iter: T) -> Self {
+        Self {
+            stops: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn id(x: u32) -> LocationId {
+        LocationId(x)
+    }
+
+    #[test]
+    fn location_at_respects_residence_times() {
+        let it = Itinerary::new().then(id(0), 100).then(id(1), 50).then(id(2), 50);
+        assert_eq!(it.location_at(0), Some(id(0)));
+        assert_eq!(it.location_at(99), Some(id(0)));
+        assert_eq!(it.location_at(100), Some(id(1)));
+        assert_eq!(it.location_at(149), Some(id(1)));
+        assert_eq!(it.location_at(150), Some(id(2)));
+        // After the itinerary ends the client stays at the last stop.
+        assert_eq!(it.location_at(10_000), Some(id(2)));
+        assert_eq!(it.total_micros(), 200);
+    }
+
+    #[test]
+    fn empty_itinerary_has_no_location() {
+        let it = Itinerary::new();
+        assert_eq!(it.location_at(0), None);
+        assert!(it.is_empty());
+        assert_eq!(it.total_micros(), 0);
+        assert!(it.change_times().is_empty());
+    }
+
+    #[test]
+    fn change_times_skip_the_first_stop() {
+        let it = Itinerary::new().then(id(0), 100).then(id(1), 50).then(id(3), 10);
+        assert_eq!(it.change_times(), vec![(100, id(1)), (150, id(3))]);
+    }
+
+    #[test]
+    fn uniform_builder_sets_equal_residence() {
+        let it = Itinerary::uniform([id(0), id(1), id(2)], 30);
+        assert_eq!(it.len(), 3);
+        assert!(it.stops().iter().all(|s| s.residence_micros == 30));
+    }
+
+    #[test]
+    fn respects_checks_movement_graph_edges() {
+        let g = MovementGraph::line(4);
+        let legal = Itinerary::uniform([id(0), id(1), id(1), id(2)], 10);
+        let illegal = Itinerary::uniform([id(0), id(3)], 10);
+        assert!(legal.respects(&g));
+        assert!(!illegal.respects(&g));
+    }
+
+    #[test]
+    fn paper_example_itinerary_a_b_d() {
+        // Section 5.2: at time 1 the client is at a, time 2 at b, time 3 at d.
+        let g = MovementGraph::paper_example();
+        let a = g.space().id("a").unwrap();
+        let b = g.space().id("b").unwrap();
+        let d = g.space().id("d").unwrap();
+        let it = Itinerary::uniform([a, b, d], 1);
+        assert!(it.respects(&g));
+    }
+
+    #[test]
+    fn random_walk_respects_the_graph() {
+        let g = MovementGraph::grid(3, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let it = Itinerary::random_walk(&g, id(0), 50, 10, &mut rng);
+        assert_eq!(it.len(), 50);
+        assert!(it.respects(&g));
+    }
+
+    #[test]
+    fn from_iterator_collects_stops() {
+        let it: Itinerary = vec![Stop {
+            location: id(1),
+            residence_micros: 5,
+        }]
+        .into_iter()
+        .collect();
+        assert_eq!(it.len(), 1);
+    }
+}

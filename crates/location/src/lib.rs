@@ -1,0 +1,44 @@
+//! Location model for the Rebeca mobility reproduction.
+//!
+//! This crate implements everything Section 5 of
+//! *"Supporting Mobility in Content-Based Publish/Subscribe Middleware"*
+//! (Fiege et al., Middleware 2003) defines around locations:
+//!
+//! * [`LocationSpace`] / [`LocationId`] — the finite application-level
+//!   location range `L`;
+//! * [`MovementGraph`] — the movement restrictions of a consumer (Figure 7)
+//!   and the `ploc(x, q)` function of possible future locations;
+//! * [`Itinerary`] — the `loc : T → L` function describing a client's
+//!   movement over time, including residence times (`Δ`);
+//! * [`AdaptivityPlan`] — the Section 5.3 scheme that maps the residence time
+//!   `Δ` and the per-hop subscription-processing delays `δ_i` onto per-hop
+//!   uncertainty steps `q_i`, with the trivial *global sub/unsub* and
+//!   *flooding* schemes as degenerate instances (Table 3).
+//!
+//! # Example
+//!
+//! ```
+//! use rebeca_location::{AdaptivityPlan, MovementGraph};
+//!
+//! // The movement graph of Figure 7 and the timing example of Section 5.3.
+//! let graph = MovementGraph::paper_example();
+//! let a = graph.space().id("a").unwrap();
+//!
+//! let plan = AdaptivityPlan::adaptive(100_000, &[120_000, 50_000, 50_000]);
+//! let sets = plan.location_sets(&graph, a);
+//! assert_eq!(sets[0].len(), 1);  // perfect client-side filtering: {a}
+//! assert_eq!(sets[3].len(), 4);  // two steps of uncertainty: {a, b, c, d}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptivity;
+mod graph;
+mod itinerary;
+mod space;
+
+pub use adaptivity::AdaptivityPlan;
+pub use graph::MovementGraph;
+pub use itinerary::{Itinerary, Stop};
+pub use space::{LocationId, LocationSpace};

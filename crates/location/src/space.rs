@@ -1,0 +1,185 @@
+//! Location spaces: the finite set `L` of application-level locations.
+//!
+//! The paper leaves the location range `L` application dependent ("all the
+//! different rooms of a building, all the streets of a town, or all the
+//! geographical coordinates given by a GPS system up to a certain
+//! granularity").  A [`LocationSpace`] is simply a finite, named universe of
+//! locations with stable numeric identifiers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A stable identifier for one location within a [`LocationSpace`].
+///
+/// The raw `u32` is what appears inside notifications as
+/// [`Value::Location`](rebeca_filter::Value) (the filter crate stays
+/// independent of this crate, so it stores the raw id).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LocationId(pub u32);
+
+impl LocationId {
+    /// The raw numeric id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for LocationId {
+    fn from(v: u32) -> Self {
+        LocationId(v)
+    }
+}
+
+impl fmt::Display for LocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loc#{}", self.0)
+    }
+}
+
+/// A finite universe of named locations.
+///
+/// # Examples
+///
+/// ```
+/// use rebeca_location::LocationSpace;
+///
+/// let mut space = LocationSpace::new();
+/// let office = space.add("office");
+/// let lobby = space.add("lobby");
+/// assert_eq!(space.len(), 2);
+/// assert_eq!(space.name(office), Some("office"));
+/// assert_eq!(space.id("lobby"), Some(lobby));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LocationSpace {
+    names: Vec<String>,
+    by_name: BTreeMap<String, LocationId>,
+}
+
+impl LocationSpace {
+    /// Creates an empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a space with `n` anonymous locations named `"L0"… "L{n-1}"`.
+    pub fn with_size(n: usize) -> Self {
+        let mut space = Self::new();
+        for i in 0..n {
+            space.add(format!("L{i}"));
+        }
+        space
+    }
+
+    /// Adds a location and returns its id.  Adding an existing name returns
+    /// the existing id.
+    pub fn add(&mut self, name: impl Into<String>) -> LocationId {
+        let name = name.into();
+        if let Some(id) = self.by_name.get(&name) {
+            return *id;
+        }
+        let id = LocationId(self.names.len() as u32);
+        self.names.push(name.clone());
+        self.by_name.insert(name, id);
+        id
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when the space has no locations.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of a location, if the id is valid.
+    pub fn name(&self, id: LocationId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Looks a location up by name.
+    pub fn id(&self, name: &str) -> Option<LocationId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// `true` when the id belongs to this space.
+    pub fn contains(&self, id: LocationId) -> bool {
+        (id.0 as usize) < self.names.len()
+    }
+
+    /// Iterates over all location ids in id order.
+    pub fn ids(&self) -> impl Iterator<Item = LocationId> + '_ {
+        (0..self.names.len() as u32).map(LocationId)
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LocationId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LocationId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = LocationSpace::new();
+        let a = s.add("a");
+        let b = s.add("b");
+        assert_ne!(a, b);
+        assert_eq!(s.name(a), Some("a"));
+        assert_eq!(s.id("b"), Some(b));
+        assert_eq!(s.id("z"), None);
+        assert!(s.contains(a));
+        assert!(!s.contains(LocationId(99)));
+    }
+
+    #[test]
+    fn adding_existing_name_is_idempotent() {
+        let mut s = LocationSpace::new();
+        let a1 = s.add("a");
+        let a2 = s.add("a");
+        assert_eq!(a1, a2);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn with_size_creates_numbered_locations() {
+        let s = LocationSpace::with_size(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.name(LocationId(1)), Some("L1"));
+        assert_eq!(s.ids().count(), 3);
+    }
+
+    #[test]
+    fn iteration_is_in_id_order() {
+        let mut s = LocationSpace::new();
+        s.add("x");
+        s.add("y");
+        let pairs: Vec<(LocationId, &str)> = s.iter().collect();
+        assert_eq!(pairs, vec![(LocationId(0), "x"), (LocationId(1), "y")]);
+    }
+
+    #[test]
+    fn empty_space_reports_empty() {
+        let s = LocationSpace::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn display_of_ids() {
+        assert_eq!(LocationId(4).to_string(), "loc#4");
+        assert_eq!(LocationId::from(4u32).raw(), 4);
+    }
+}

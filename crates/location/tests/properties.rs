@@ -1,0 +1,132 @@
+//! Property-based tests for the location model: ploc monotonicity
+//! (Equation 1 of the paper), convergence, and adaptivity-plan invariants.
+
+use proptest::prelude::*;
+use rebeca_location::{AdaptivityPlan, Itinerary, LocationId, MovementGraph};
+
+/// Strategy producing a random connected movement graph (a random spanning
+/// tree plus extra edges) together with its size.
+fn movement_graph() -> impl Strategy<Value = MovementGraph> {
+    (2usize..12, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut g = MovementGraph::new(rebeca_location::LocationSpace::with_size(n));
+        // Spanning tree: connect each node i>0 to a random earlier node.
+        for i in 1..n {
+            let j = rng.gen_range(0..i);
+            g.add_edge(LocationId(i as u32), LocationId(j as u32));
+        }
+        // Some extra edges.
+        for _ in 0..n {
+            let a = rng.gen_range(0..n) as u32;
+            let b = rng.gen_range(0..n) as u32;
+            if a != b {
+                g.add_edge(LocationId(a), LocationId(b));
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    /// Equation 1: ploc(x, q) ⊆ ploc(x, q + 1).
+    #[test]
+    fn ploc_is_monotone(g in movement_graph(), q in 0usize..6) {
+        for x in g.space().ids() {
+            let small = g.ploc(x, q);
+            let large = g.ploc(x, q + 1);
+            prop_assert!(small.is_subset(&large));
+            prop_assert!(small.contains(&x));
+        }
+    }
+
+    /// ploc eventually converges to the whole (connected) graph.
+    #[test]
+    fn ploc_converges_to_all_locations(g in movement_graph()) {
+        prop_assume!(g.is_connected());
+        let all = g.all_locations();
+        for x in g.space().ids() {
+            prop_assert_eq!(g.ploc(x, g.len()), all.clone());
+        }
+    }
+
+    /// ploc(x, q) contains exactly the locations within graph distance q.
+    #[test]
+    fn ploc_agrees_with_distance(g in movement_graph(), q in 0usize..5) {
+        for x in g.space().ids() {
+            let ball = g.ploc(x, q);
+            for y in g.space().ids() {
+                let within = g.distance(x, y).map(|d| d <= q).unwrap_or(false);
+                prop_assert_eq!(ball.contains(&y), within,
+                    "ploc({:?},{}) disagrees with distance for {:?}", x, q, y);
+            }
+        }
+    }
+
+    /// Adaptivity steps are non-decreasing along the path, start at 0, and
+    /// every non-client-side hop has at least one step of uncertainty.
+    #[test]
+    fn adaptivity_steps_are_sane(
+        delta in 1u64..1_000_000,
+        delays in prop::collection::vec(0u64..1_000_000, 1..8),
+    ) {
+        let plan = AdaptivityPlan::adaptive(delta, &delays);
+        let steps = plan.steps();
+        prop_assert_eq!(steps[0], 0);
+        prop_assert_eq!(steps.len(), delays.len() + 1);
+        for s in &steps[1..] {
+            prop_assert!(*s >= 1);
+        }
+        for w in steps[1..].windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// The adaptive plan never subscribes to fewer locations than the
+    /// global-sub/unsub plan and never more than flooding.
+    #[test]
+    fn adaptive_plan_is_between_the_trivial_plans(
+        g in movement_graph(),
+        delta in 1u64..100_000,
+        delays in prop::collection::vec(1u64..100_000, 1..6),
+    ) {
+        let adaptive = AdaptivityPlan::adaptive(delta, &delays);
+        let trivial = AdaptivityPlan::global_sub_unsub(delays.len());
+        let flooding = AdaptivityPlan::flooding(delays.len());
+        for x in g.space().ids() {
+            let a = adaptive.location_sets(&g, x);
+            let t = trivial.location_sets(&g, x);
+            let f = flooding.location_sets(&g, x);
+            for i in 0..a.len() {
+                prop_assert!(t[i].is_subset(&a[i]));
+                prop_assert!(a[i].is_subset(&f[i]));
+            }
+        }
+    }
+
+    /// Random walks generated on a graph always respect that graph.
+    #[test]
+    fn random_walks_respect_the_graph(g in movement_graph(), seed in any::<u64>(), steps in 1usize..40) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let start = LocationId(0);
+        let it = Itinerary::random_walk(&g, start, steps, 1_000, &mut rng);
+        prop_assert_eq!(it.len(), steps);
+        prop_assert!(it.respects(&g));
+    }
+
+    /// `location_at` is consistent with `change_times`.
+    #[test]
+    fn location_at_is_consistent_with_change_times(
+        locs in prop::collection::vec(0u32..10, 1..10),
+        residence in 1u64..1_000,
+    ) {
+        let it = Itinerary::uniform(locs.iter().map(|&l| LocationId(l)), residence);
+        for (t, loc) in it.change_times() {
+            prop_assert_eq!(it.location_at(t), Some(loc));
+            // Just before the change the client is somewhere else or the same
+            // location (consecutive equal stops), never an unknown location.
+            prop_assert!(it.location_at(t - 1).is_some());
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Advertisement tables.
+//!
+//! Producers may issue *advertisements* describing the notifications they are
+//! about to publish (Section 2.1).  Brokers record from which link each
+//! advertisement was received; the physical-mobility relocation protocol uses
+//! this information at the *junction broker*: a broker recognises that it
+//! sits on the old delivery path of a relocated subscription by comparing the
+//! re-issued subscription against its routing table **and** its list of
+//! received advertisements (Section 4.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rebeca_filter::{Filter, Notification};
+
+/// Advertisements per link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvertisementTable<D> {
+    entries: BTreeMap<D, Vec<Filter>>,
+}
+
+impl<D: Ord + Clone> Default for AdvertisementTable<D> {
+    fn default() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+        }
+    }
+}
+
+impl<D: Ord + Clone> AdvertisementTable<D> {
+    /// Creates an empty advertisement table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an advertisement received from `from`.  Returns `true` when
+    /// the advertisement is new for that link (and therefore has to be
+    /// propagated further).
+    pub fn insert(&mut self, advertisement: Filter, from: D) -> bool {
+        let filters = self.entries.entry(from).or_default();
+        if filters.contains(&advertisement) {
+            false
+        } else {
+            filters.push(advertisement);
+            true
+        }
+    }
+
+    /// Removes an advertisement previously received from `from`.  Returns
+    /// `true` when it was present.
+    pub fn remove(&mut self, advertisement: &Filter, from: &D) -> bool {
+        if let Some(filters) = self.entries.get_mut(from) {
+            if let Some(pos) = filters.iter().position(|f| f == advertisement) {
+                filters.remove(pos);
+                if filters.is_empty() {
+                    self.entries.remove(from);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes every advertisement recorded for the given link.
+    pub fn remove_link(&mut self, from: &D) -> Vec<Filter> {
+        self.entries.remove(from).unwrap_or_default()
+    }
+
+    /// Links from which an advertisement *overlapping* the subscription was
+    /// received — i.e. the directions in which a subscription has to be
+    /// propagated to reach all potential producers when advertisements are in
+    /// use.
+    pub fn producers_for(&self, subscription: &Filter, exclude: Option<&D>) -> Vec<D> {
+        self.entries
+            .iter()
+            .filter(|(link, _)| Some(*link) != exclude)
+            .filter(|(_, ads)| ads.iter().any(|ad| ad.overlaps(subscription)))
+            .map(|(link, _)| link.clone())
+            .collect()
+    }
+
+    /// `true` when some advertisement (from any link except `exclude`)
+    /// overlaps the subscription.
+    pub fn has_producer_for(&self, subscription: &Filter, exclude: Option<&D>) -> bool {
+        !self.producers_for(subscription, exclude).is_empty()
+    }
+
+    /// Links whose advertisements match a concrete notification (used for
+    /// sanity checks: a notification should only arrive from links that
+    /// advertised it).
+    pub fn advertisers_of(&self, notification: &Notification) -> Vec<D> {
+        self.entries
+            .iter()
+            .filter(|(_, ads)| ads.iter().any(|ad| ad.matches(notification)))
+            .map(|(link, _)| link.clone())
+            .collect()
+    }
+
+    /// Total number of stored advertisements.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// `true` when no advertisements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(link, advertisement)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&D, &Filter)> {
+        self.entries
+            .iter()
+            .flat_map(|(d, fs)| fs.iter().map(move |f| (d, f)))
+    }
+}
+
+impl<D: Ord + Clone + fmt::Debug> fmt::Display for AdvertisementTable<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (link, ads) in &self.entries {
+            for ad in ads {
+                writeln!(f, "adv {ad}  <-  {link:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_filter::Constraint;
+
+    fn parking_ads() -> Filter {
+        Filter::new().with("service", Constraint::Eq("parking".into()))
+    }
+
+    fn weather_ads() -> Filter {
+        Filter::new().with("service", Constraint::Eq("weather".into()))
+    }
+
+    fn parking_sub(max: i64) -> Filter {
+        Filter::new()
+            .with("service", Constraint::Eq("parking".into()))
+            .with("cost", Constraint::Lt(max.into()))
+    }
+
+    #[test]
+    fn insert_is_deduplicated_per_link() {
+        let mut t: AdvertisementTable<u32> = AdvertisementTable::new();
+        assert!(t.insert(parking_ads(), 1));
+        assert!(!t.insert(parking_ads(), 1));
+        assert!(t.insert(parking_ads(), 2));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn producers_for_uses_overlap() {
+        let mut t: AdvertisementTable<u32> = AdvertisementTable::new();
+        t.insert(parking_ads(), 1);
+        t.insert(weather_ads(), 2);
+        assert_eq!(t.producers_for(&parking_sub(3), None), vec![1]);
+        assert!(t.has_producer_for(&parking_sub(3), None));
+        assert!(!t.has_producer_for(&parking_sub(3), Some(&1)));
+    }
+
+    #[test]
+    fn advertisers_of_notifications() {
+        let mut t: AdvertisementTable<u32> = AdvertisementTable::new();
+        t.insert(parking_ads(), 1);
+        t.insert(weather_ads(), 2);
+        let n = Notification::builder().attr("service", "parking").build();
+        assert_eq!(t.advertisers_of(&n), vec![1]);
+    }
+
+    #[test]
+    fn remove_and_remove_link() {
+        let mut t: AdvertisementTable<u32> = AdvertisementTable::new();
+        t.insert(parking_ads(), 1);
+        t.insert(weather_ads(), 1);
+        assert!(t.remove(&parking_ads(), &1));
+        assert!(!t.remove(&parking_ads(), &1));
+        assert_eq!(t.remove_link(&1), vec![weather_ads()]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iteration_counts_all_entries() {
+        let mut t: AdvertisementTable<u32> = AdvertisementTable::new();
+        t.insert(parking_ads(), 1);
+        t.insert(weather_ads(), 2);
+        assert_eq!(t.iter().count(), 2);
+    }
+}

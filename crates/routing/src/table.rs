@@ -1,0 +1,277 @@
+//! Broker routing tables.
+//!
+//! Each broker maintains a routing table whose entries are pairs `(F, L)` of
+//! a filter and the link it was received from, denoting that notifications
+//! matching `F` are to be forwarded along `L` (Section 2.2 of the paper).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rebeca_filter::{Filter, Notification};
+
+/// A routing table mapping destinations (links) to the filters subscribed
+/// from that direction.
+///
+/// The table stores *every* active subscription (with multiplicity), so the
+/// routing decision is always exact regardless of which optimization the
+/// surrounding [`RoutingEngine`](crate::RoutingEngine) applies to the
+/// *forwarding* of administration messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingTable<D> {
+    entries: BTreeMap<D, Vec<Filter>>,
+}
+
+impl<D: Ord + Clone> Default for RoutingTable<D> {
+    fn default() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+        }
+    }
+}
+
+impl<D: Ord + Clone> RoutingTable<D> {
+    /// Creates an empty routing table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an entry `(filter, destination)`.
+    pub fn insert(&mut self, filter: Filter, destination: D) {
+        self.entries.entry(destination).or_default().push(filter);
+    }
+
+    /// Removes **one** instance of the exact filter for the destination.
+    /// Returns `true` when an entry was removed.
+    pub fn remove(&mut self, filter: &Filter, destination: &D) -> bool {
+        if let Some(filters) = self.entries.get_mut(destination) {
+            if let Some(pos) = filters.iter().position(|f| f == filter) {
+                filters.remove(pos);
+                if filters.is_empty() {
+                    self.entries.remove(destination);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes every entry for the destination and returns the filters.
+    pub fn remove_destination(&mut self, destination: &D) -> Vec<Filter> {
+        self.entries.remove(destination).unwrap_or_default()
+    }
+
+    /// Removes every entry (for any destination) covered by `filter` and
+    /// returns the removed `(destination, filter)` pairs.
+    pub fn remove_covered_by(&mut self, filter: &Filter) -> Vec<(D, Filter)> {
+        let mut removed = Vec::new();
+        self.entries.retain(|dest, filters| {
+            let mut kept = Vec::with_capacity(filters.len());
+            for f in filters.drain(..) {
+                if filter.covers(&f) {
+                    removed.push((dest.clone(), f));
+                } else {
+                    kept.push(f);
+                }
+            }
+            *filters = kept;
+            !filters.is_empty()
+        });
+        removed
+    }
+
+    /// The destinations whose filters match the notification.  The optional
+    /// `exclude` destination (usually the link the notification came from)
+    /// is never returned.
+    pub fn matching_destinations(&self, n: &Notification, exclude: Option<&D>) -> Vec<D> {
+        self.entries
+            .iter()
+            .filter(|(dest, _)| Some(*dest) != exclude)
+            .filter(|(_, filters)| filters.iter().any(|f| f.matches(n)))
+            .map(|(dest, _)| dest.clone())
+            .collect()
+    }
+
+    /// The destinations holding at least one filter that *overlaps* the given
+    /// filter (used to decide where a new subscription or a fetch request has
+    /// to travel).
+    pub fn destinations_overlapping(&self, filter: &Filter, exclude: Option<&D>) -> Vec<D> {
+        self.entries
+            .iter()
+            .filter(|(dest, _)| Some(*dest) != exclude)
+            .filter(|(_, filters)| filters.iter().any(|f| f.overlaps(filter)))
+            .map(|(dest, _)| dest.clone())
+            .collect()
+    }
+
+    /// The destinations holding at least one filter identical to `filter`.
+    pub fn destinations_with_identical(&self, filter: &Filter, exclude: Option<&D>) -> Vec<D> {
+        self.entries
+            .iter()
+            .filter(|(dest, _)| Some(*dest) != exclude)
+            .filter(|(_, filters)| filters.iter().any(|f| f == filter))
+            .map(|(dest, _)| dest.clone())
+            .collect()
+    }
+
+    /// All filters currently stored for a destination.
+    pub fn filters_for(&self, destination: &D) -> &[Filter] {
+        self.entries
+            .get(destination)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over every `(destination, filter)` entry.
+    pub fn iter(&self) -> impl Iterator<Item = (&D, &Filter)> {
+        self.entries
+            .iter()
+            .flat_map(|(d, fs)| fs.iter().map(move |f| (d, f)))
+    }
+
+    /// All destinations currently present in the table.
+    pub fn destinations(&self) -> impl Iterator<Item = &D> {
+        self.entries.keys()
+    }
+
+    /// Returns `true` when any stored filter (from any destination other than
+    /// `exclude`) covers the given filter.
+    pub fn is_covered(&self, filter: &Filter, exclude: Option<&D>) -> bool {
+        self.entries
+            .iter()
+            .filter(|(dest, _)| Some(*dest) != exclude)
+            .any(|(_, filters)| filters.iter().any(|f| f.covers(filter)))
+    }
+
+    /// Returns `true` when any stored filter from any destination equals the
+    /// given filter.
+    pub fn contains_identical(&self, filter: &Filter, exclude: Option<&D>) -> bool {
+        !self
+            .destinations_with_identical(filter, exclude)
+            .is_empty()
+    }
+
+    /// Total number of `(filter, destination)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// `true` when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<D: Ord + Clone + fmt::Debug> fmt::Display for RoutingTable<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (dest, filters) in &self.entries {
+            for filter in filters {
+                writeln!(f, "{filter}  ->  {dest:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_filter::Constraint;
+
+    fn parking(max: i64) -> Filter {
+        Filter::new()
+            .with("service", Constraint::Eq("parking".into()))
+            .with("cost", Constraint::Lt(max.into()))
+    }
+
+    fn vacancy(cost: i64) -> Notification {
+        Notification::builder()
+            .attr("service", "parking")
+            .attr("cost", cost)
+            .build()
+    }
+
+    #[test]
+    fn insert_and_route() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        t.insert(parking(3), 1);
+        t.insert(parking(10), 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.matching_destinations(&vacancy(2), None), vec![1, 2]);
+        assert_eq!(t.matching_destinations(&vacancy(5), None), vec![2]);
+        assert!(t.matching_destinations(&vacancy(20), None).is_empty());
+    }
+
+    #[test]
+    fn exclusion_of_the_source_link() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        t.insert(parking(3), 1);
+        t.insert(parking(3), 2);
+        assert_eq!(t.matching_destinations(&vacancy(1), Some(&1)), vec![2]);
+    }
+
+    #[test]
+    fn remove_only_one_instance() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        t.insert(parking(3), 1);
+        t.insert(parking(3), 1);
+        assert!(t.remove(&parking(3), &1));
+        assert_eq!(t.len(), 1);
+        assert!(t.remove(&parking(3), &1));
+        assert!(t.is_empty());
+        assert!(!t.remove(&parking(3), &1));
+    }
+
+    #[test]
+    fn remove_destination_drops_all_its_filters() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        t.insert(parking(3), 1);
+        t.insert(parking(5), 1);
+        t.insert(parking(5), 2);
+        let removed = t.remove_destination(&1);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_covered_by_prunes_across_destinations() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        t.insert(parking(3), 1);
+        t.insert(parking(5), 2);
+        t.insert(parking(20), 3);
+        let removed = t.remove_covered_by(&parking(10));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.filters_for(&3).len(), 1);
+    }
+
+    #[test]
+    fn covering_and_identity_queries() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        t.insert(parking(10), 1);
+        assert!(t.is_covered(&parking(3), None));
+        assert!(!t.is_covered(&parking(20), None));
+        assert!(!t.is_covered(&parking(3), Some(&1)));
+        assert!(t.contains_identical(&parking(10), None));
+        assert!(!t.contains_identical(&parking(3), None));
+    }
+
+    #[test]
+    fn overlapping_destinations() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        t.insert(parking(10), 1);
+        let weather = Filter::new().with("service", Constraint::Eq("weather".into()));
+        t.insert(weather.clone(), 2);
+        assert_eq!(t.destinations_overlapping(&parking(3), None), vec![1]);
+        assert_eq!(t.destinations_overlapping(&weather, None), vec![2]);
+    }
+
+    #[test]
+    fn iteration_and_destinations() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        t.insert(parking(3), 2);
+        t.insert(parking(5), 1);
+        let dests: Vec<u32> = t.destinations().copied().collect();
+        assert_eq!(dests, vec![1, 2]);
+        assert_eq!(t.iter().count(), 2);
+    }
+}

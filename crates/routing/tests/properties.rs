@@ -1,0 +1,173 @@
+//! Property-based tests for the routing engine: every strategy delivers the
+//! same notifications as simple routing (exactness), and the optimized
+//! strategies never generate more administration traffic than simple routing.
+
+use proptest::prelude::*;
+use rebeca_filter::{Constraint, Filter, Notification, Value};
+use rebeca_routing::{RoutingEngine, RoutingStrategyKind};
+
+/// A small universe of subscriptions over locations and prices so that
+/// covering and merging actually trigger.
+fn filter() -> impl Strategy<Value = Filter> {
+    prop_oneof![
+        // location subscriptions
+        prop::collection::btree_set(0u32..6, 1..4).prop_map(|locs| Filter::new()
+            .with("location", Constraint::any_location_of(locs))),
+        // price subscriptions
+        (1i64..10).prop_map(|p| Filter::new().with("cost", Constraint::Lt(Value::Int(p)))),
+        // combined
+        (1i64..10, 0u32..6).prop_map(|(p, l)| Filter::new()
+            .with("cost", Constraint::Lt(Value::Int(p)))
+            .with("location", Constraint::any_location_of([l]))),
+    ]
+}
+
+fn notification() -> impl Strategy<Value = Notification> {
+    (0i64..10, 0u32..6).prop_map(|(cost, loc)| {
+        Notification::builder()
+            .attr("cost", cost)
+            .attr("location", Value::Location(loc))
+            .build()
+    })
+}
+
+/// A scripted sequence of subscribe events on links 0..3.
+fn subscription_script() -> impl Strategy<Value = Vec<(Filter, u8)>> {
+    prop::collection::vec((filter(), 0u8..4), 0..12)
+}
+
+const LINKS: [u8; 4] = [0, 1, 2, 3];
+
+proptest! {
+    /// Exactness: under every strategy the set of links a notification is
+    /// routed to equals the set under simple routing (flooding excluded — it
+    /// intentionally over-delivers).
+    #[test]
+    fn all_strategies_route_like_simple_routing(script in subscription_script(), n in notification()) {
+        let mut reference: RoutingEngine<u8> = RoutingEngine::new(RoutingStrategyKind::Simple);
+        for (f, l) in &script {
+            reference.handle_subscribe(f.clone(), *l, &LINKS);
+        }
+        let expected = reference.route(&n, None, &LINKS);
+
+        for kind in [
+            RoutingStrategyKind::Identity,
+            RoutingStrategyKind::Covering,
+            RoutingStrategyKind::Merging,
+        ] {
+            let mut engine: RoutingEngine<u8> = RoutingEngine::new(kind);
+            for (f, l) in &script {
+                engine.handle_subscribe(f.clone(), *l, &LINKS);
+            }
+            prop_assert_eq!(engine.route(&n, None, &LINKS), expected.clone(), "strategy {:?}", kind);
+        }
+    }
+
+    /// Flooding always delivers a superset of what any subscription-based
+    /// strategy delivers.
+    #[test]
+    fn flooding_over_delivers(script in subscription_script(), n in notification()) {
+        let mut simple: RoutingEngine<u8> = RoutingEngine::new(RoutingStrategyKind::Simple);
+        let mut flooding: RoutingEngine<u8> = RoutingEngine::new(RoutingStrategyKind::Flooding);
+        for (f, l) in &script {
+            simple.handle_subscribe(f.clone(), *l, &LINKS);
+            flooding.handle_subscribe(f.clone(), *l, &LINKS);
+        }
+        let s = simple.route(&n, None, &LINKS);
+        let fl = flooding.route(&n, None, &LINKS);
+        for link in s {
+            prop_assert!(fl.contains(&link));
+        }
+    }
+
+    /// Administration suppression: covering, merging and identity routing
+    /// never forward more subscription messages than simple routing.
+    #[test]
+    fn optimized_strategies_forward_fewer_subscriptions(script in subscription_script()) {
+        let mut forwarded = std::collections::BTreeMap::new();
+        for kind in [
+            RoutingStrategyKind::Simple,
+            RoutingStrategyKind::Identity,
+            RoutingStrategyKind::Covering,
+            RoutingStrategyKind::Merging,
+        ] {
+            let mut engine: RoutingEngine<u8> = RoutingEngine::new(kind);
+            let mut count = 0usize;
+            for (f, l) in &script {
+                count += engine.handle_subscribe(f.clone(), *l, &LINKS).len();
+            }
+            forwarded.insert(format!("{kind:?}"), count);
+        }
+        let simple = forwarded["Simple"];
+        prop_assert!(forwarded["Identity"] <= simple);
+        prop_assert!(forwarded["Covering"] <= simple);
+        prop_assert!(forwarded["Merging"] <= simple);
+    }
+
+    /// Per-target completeness of the propagation decision: for every
+    /// neighbour, the set of filters forwarded to it covers every active
+    /// subscription received from the *other* links.  This is the invariant
+    /// multi-broker delivery correctness rests on.
+    #[test]
+    fn forwarded_filters_cover_all_foreign_subscriptions(script in subscription_script(), n in notification()) {
+        for kind in [
+            RoutingStrategyKind::Simple,
+            RoutingStrategyKind::Identity,
+            RoutingStrategyKind::Covering,
+            RoutingStrategyKind::Merging,
+        ] {
+            let mut engine: RoutingEngine<u8> = RoutingEngine::new(kind);
+            // Record what is forwarded to each target over the whole run.
+            let mut sent: std::collections::BTreeMap<u8, Vec<Filter>> = Default::default();
+            for (f, l) in &script {
+                for (target, filter) in engine.handle_subscribe(f.clone(), *l, &LINKS) {
+                    sent.entry(target).or_default().push(filter);
+                }
+            }
+            for target in LINKS {
+                // Every subscription from a link other than `target` that the
+                // notification matches must be covered by something sent to
+                // `target`.
+                for (f, l) in &script {
+                    if *l == target || !f.matches(&n) {
+                        continue;
+                    }
+                    let covered = sent
+                        .get(&target)
+                        .map(|filters| filters.iter().any(|s| s.covers(f)))
+                        .unwrap_or(false);
+                    prop_assert!(
+                        covered,
+                        "{:?}: subscription {} from link {} is not covered towards link {}",
+                        kind, f, l, target
+                    );
+                }
+            }
+        }
+    }
+
+    /// Subscribe followed by unsubscribe of the same script leaves the table
+    /// empty, under every strategy.
+    #[test]
+    fn unsubscribe_is_the_inverse_of_subscribe(script in subscription_script()) {
+        for kind in [
+            RoutingStrategyKind::Simple,
+            RoutingStrategyKind::Identity,
+            RoutingStrategyKind::Covering,
+            RoutingStrategyKind::Merging,
+        ] {
+            let mut engine: RoutingEngine<u8> = RoutingEngine::new(kind);
+            for (f, l) in &script {
+                engine.handle_subscribe(f.clone(), *l, &LINKS);
+            }
+            for (f, l) in &script {
+                let eff = engine.handle_unsubscribe(f, l, &LINKS);
+                prop_assert!(eff.removed, "{:?}: subscription must be found", kind);
+            }
+            prop_assert_eq!(engine.table_size(), 0, "{:?}: table must be empty", kind);
+            // After the table drained, nothing is routed anywhere.
+            let n = Notification::builder().attr("cost", 1).build();
+            prop_assert!(engine.route(&n, None, &LINKS).is_empty());
+        }
+    }
+}

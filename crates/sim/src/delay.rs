@@ -1,0 +1,189 @@
+//! Link delay models.
+//!
+//! The paper postulates no upper bound on message delivery delay but assumes
+//! that delays follow some probability distribution so that an expected
+//! delivery time can be computed.  Links in the simulator sample their
+//! per-message delay from one of these models; the seeded random number
+//! generator lives in the network, so simulations stay deterministic.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// A distribution of per-message link delays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DelayModel {
+    /// Every message takes exactly this many microseconds.
+    Constant(u64),
+    /// Delays are drawn uniformly from `[min_micros, max_micros]`.
+    Uniform {
+        /// Smallest possible delay in microseconds.
+        min_micros: u64,
+        /// Largest possible delay in microseconds.
+        max_micros: u64,
+    },
+    /// A base delay plus uniformly distributed jitter in
+    /// `[0, jitter_micros]`.
+    Jittered {
+        /// Deterministic part of the delay in microseconds.
+        base_micros: u64,
+        /// Maximum additional jitter in microseconds.
+        jitter_micros: u64,
+    },
+}
+
+impl DelayModel {
+    /// A constant delay given in milliseconds (the unit the paper uses for
+    /// its `t_d` and `δ_i` examples).
+    pub const fn constant_millis(millis: u64) -> Self {
+        DelayModel::Constant(millis * 1_000)
+    }
+
+    /// Samples one delay.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        let micros = match *self {
+            DelayModel::Constant(c) => c,
+            DelayModel::Uniform {
+                min_micros,
+                max_micros,
+            } => {
+                if min_micros >= max_micros {
+                    min_micros
+                } else {
+                    rng.gen_range(min_micros..=max_micros)
+                }
+            }
+            DelayModel::Jittered {
+                base_micros,
+                jitter_micros,
+            } => base_micros + rng.gen_range(0..=jitter_micros),
+        };
+        SimDuration::from_micros(micros)
+    }
+
+    /// The smallest delay the model can produce.
+    pub fn min_micros(&self) -> u64 {
+        match *self {
+            DelayModel::Constant(c) => c,
+            DelayModel::Uniform { min_micros, .. } => min_micros,
+            DelayModel::Jittered { base_micros, .. } => base_micros,
+        }
+    }
+
+    /// The largest delay the model can produce.
+    pub fn max_micros(&self) -> u64 {
+        match *self {
+            DelayModel::Constant(c) => c,
+            DelayModel::Uniform {
+                min_micros,
+                max_micros,
+            } => max_micros.max(min_micros),
+            DelayModel::Jittered {
+                base_micros,
+                jitter_micros,
+            } => base_micros + jitter_micros,
+        }
+    }
+
+    /// The expected (mean) delay of the model in microseconds.
+    pub fn mean_micros(&self) -> u64 {
+        match *self {
+            DelayModel::Constant(c) => c,
+            DelayModel::Uniform {
+                min_micros,
+                max_micros,
+            } => (min_micros + max_micros.max(min_micros)) / 2,
+            DelayModel::Jittered {
+                base_micros,
+                jitter_micros,
+            } => base_micros + jitter_micros / 2,
+        }
+    }
+}
+
+impl Default for DelayModel {
+    /// A 5 ms constant link delay, the default used by the experiment
+    /// harness.
+    fn default() -> Self {
+        DelayModel::constant_millis(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_model_always_returns_the_same_delay() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = DelayModel::Constant(250);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng).as_micros(), 250);
+        }
+        assert_eq!(m.min_micros(), 250);
+        assert_eq!(m.max_micros(), 250);
+        assert_eq!(m.mean_micros(), 250);
+    }
+
+    #[test]
+    fn uniform_model_stays_within_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let m = DelayModel::Uniform {
+            min_micros: 100,
+            max_micros: 200,
+        };
+        for _ in 0..100 {
+            let d = m.sample(&mut rng).as_micros();
+            assert!((100..=200).contains(&d));
+        }
+        assert_eq!(m.mean_micros(), 150);
+    }
+
+    #[test]
+    fn degenerate_uniform_bounds_fall_back_to_min() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let m = DelayModel::Uniform {
+            min_micros: 500,
+            max_micros: 100,
+        };
+        assert_eq!(m.sample(&mut rng).as_micros(), 500);
+        assert_eq!(m.max_micros(), 500);
+    }
+
+    #[test]
+    fn jittered_model_adds_bounded_jitter() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let m = DelayModel::Jittered {
+            base_micros: 1_000,
+            jitter_micros: 50,
+        };
+        for _ in 0..100 {
+            let d = m.sample(&mut rng).as_micros();
+            assert!((1_000..=1_050).contains(&d));
+        }
+        assert_eq!(m.min_micros(), 1_000);
+        assert_eq!(m.max_micros(), 1_050);
+        assert_eq!(m.mean_micros(), 1_025);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_fixed_seed() {
+        let m = DelayModel::Uniform {
+            min_micros: 0,
+            max_micros: 1_000_000,
+        };
+        let mut a = rand::rngs::StdRng::seed_from_u64(42);
+        let mut b = rand::rngs::StdRng::seed_from_u64(42);
+        let sa: Vec<u64> = (0..20).map(|_| m.sample(&mut a).as_micros()).collect();
+        let sb: Vec<u64> = (0..20).map(|_| m.sample(&mut b).as_micros()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn default_is_five_milliseconds() {
+        assert_eq!(DelayModel::default().mean_micros(), 5_000);
+        assert_eq!(DelayModel::constant_millis(7), DelayModel::Constant(7_000));
+    }
+}

@@ -1,0 +1,198 @@
+//! Simulation metrics: named counters and time-series sampling.
+//!
+//! The experiment harness reproduces the paper's Figure 9 (total number of
+//! messages over time) by periodically sampling counters; individual
+//! protocols additionally record semantic counters such as
+//! `"notification.delivered"` or `"admin.location_update"`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A named-counter store with optional time-series snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    series: Vec<Sample>,
+}
+
+/// One time-series sample: the value of a counter at a point in virtual time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// When the sample was taken.
+    pub time: SimTime,
+    /// Counter name.
+    pub counter: String,
+    /// Counter value at that time.
+    pub value: u64,
+}
+
+impl Metrics {
+    /// Creates an empty metrics store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `amount` to a counter.
+    pub fn add(&mut self, name: &str, amount: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += amount;
+    }
+
+    /// The current value of a counter (0 when never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of every counter whose name starts with the given prefix.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Records the current value of `counter` as a time-series sample.
+    pub fn sample(&mut self, time: SimTime, counter: &str) {
+        let value = self.counter(counter);
+        self.series.push(Sample {
+            time,
+            counter: counter.to_string(),
+            value,
+        });
+    }
+
+    /// Records the current prefix-sum of `prefix` as a time-series sample
+    /// stored under the prefix name.
+    pub fn sample_prefix(&mut self, time: SimTime, prefix: &str) {
+        let value = self.counter_prefix_sum(prefix);
+        self.series.push(Sample {
+            time,
+            counter: prefix.to_string(),
+            value,
+        });
+    }
+
+    /// The recorded samples for one counter, in recording order.
+    pub fn series(&self, counter: &str) -> Vec<(SimTime, u64)> {
+        self.series
+            .iter()
+            .filter(|s| s.counter == counter)
+            .map(|s| (s.time, s.value))
+            .collect()
+    }
+
+    /// All recorded samples.
+    pub fn all_samples(&self) -> &[Sample] {
+        &self.series
+    }
+
+    /// Resets every counter and sample.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.series.clear();
+    }
+
+    /// Merges another metrics store into this one (counters are added,
+    /// samples appended).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        self.series.extend(other.series.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("msg");
+        m.incr("msg");
+        m.add("msg", 3);
+        assert_eq!(m.counter("msg"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn prefix_sums_aggregate_related_counters() {
+        let mut m = Metrics::new();
+        m.add("admin.sub", 2);
+        m.add("admin.unsub", 3);
+        m.add("notification.delivered", 7);
+        assert_eq!(m.counter_prefix_sum("admin."), 5);
+        assert_eq!(m.counter_prefix_sum("notification."), 7);
+        assert_eq!(m.counter_prefix_sum(""), 12);
+    }
+
+    #[test]
+    fn time_series_sampling() {
+        let mut m = Metrics::new();
+        m.add("msg", 10);
+        m.sample(SimTime::from_secs(1), "msg");
+        m.add("msg", 5);
+        m.sample(SimTime::from_secs(2), "msg");
+        assert_eq!(
+            m.series("msg"),
+            vec![(SimTime::from_secs(1), 10), (SimTime::from_secs(2), 15)]
+        );
+        assert_eq!(m.all_samples().len(), 2);
+    }
+
+    #[test]
+    fn prefix_sampling_records_totals() {
+        let mut m = Metrics::new();
+        m.add("admin.sub", 1);
+        m.add("admin.unsub", 2);
+        m.sample_prefix(SimTime::from_secs(1), "admin.");
+        assert_eq!(m.series("admin."), vec![(SimTime::from_secs(1), 3)]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.sample(SimTime::ZERO, "a");
+        m.reset();
+        assert_eq!(m.counter("a"), 0);
+        assert!(m.all_samples().is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_appends_samples() {
+        let mut a = Metrics::new();
+        a.add("x", 1);
+        let mut b = Metrics::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        b.sample(SimTime::from_secs(1), "y");
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 3);
+        assert_eq!(a.all_samples().len(), 1);
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order() {
+        let mut m = Metrics::new();
+        m.incr("z");
+        m.incr("a");
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+}

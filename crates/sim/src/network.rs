@@ -1,0 +1,561 @@
+//! The discrete-event network: nodes, FIFO links and the event loop.
+//!
+//! The communication topology of the pub/sub system is a graph of brokers
+//! and clients connected by point-to-point, FIFO-order, error-free links
+//! (Section 2.1 of the paper).  [`Network`] reproduces exactly this model:
+//! nodes implement the [`Node`] trait, links carry a [`DelayModel`], per-link
+//! FIFO order is enforced even with random delays, and the whole simulation
+//! is driven by a single seeded event queue so every run is deterministic.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::delay::DelayModel;
+use crate::metrics::Metrics;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of one node (broker or client) in the simulated network.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An event delivered to a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incoming<M> {
+    /// A message arriving over a link.
+    Message {
+        /// The sending node.
+        from: NodeId,
+        /// The message payload.
+        message: M,
+    },
+    /// A timer previously set by the node (or scheduled externally) fired.
+    Timer {
+        /// The tag passed when the timer was set.
+        tag: u64,
+    },
+}
+
+/// Behaviour of one simulated node.
+///
+/// Nodes are purely reactive: they receive [`Incoming`] events and use the
+/// [`Context`] to send messages, set timers and record metrics.
+pub trait Node {
+    /// The message type exchanged over links.
+    type Message: Clone;
+
+    /// Handles one event.
+    fn handle(&mut self, ctx: &mut Context<'_, Self::Message>, event: Incoming<Self::Message>);
+}
+
+/// The API a node uses while handling an event.
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_id: NodeId,
+    neighbours: &'a [NodeId],
+    metrics: &'a mut Metrics,
+    outgoing: Vec<(NodeId, M)>,
+    timers: Vec<(SimDuration, u64)>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node handling the event.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// The ids of the nodes this node has links to.
+    pub fn neighbours(&self) -> &[NodeId] {
+        self.neighbours
+    }
+
+    /// Sends a message to a neighbouring node.  The network panics when the
+    /// destination is not a neighbour (links are point-to-point and fixed).
+    pub fn send(&mut self, to: NodeId, message: M) {
+        self.outgoing.push((to, message));
+    }
+
+    /// Sets a timer that fires after `delay` with the given tag.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+
+    /// Mutable access to the global metrics store.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+}
+
+/// One scheduled entry in the event queue.
+#[derive(Debug, Clone)]
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    to: NodeId,
+    event: Incoming<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A point-to-point, FIFO, error-free link.
+#[derive(Debug, Clone)]
+struct Link {
+    delay: DelayModel,
+    /// Latest arrival time already scheduled in this direction; used to
+    /// enforce FIFO order even when random delays would reorder messages.
+    last_arrival: SimTime,
+}
+
+/// The simulated network: nodes, links, the event queue and global metrics.
+pub struct Network<N: Node> {
+    nodes: Vec<Option<N>>,
+    neighbours: Vec<Vec<NodeId>>,
+    links: BTreeMap<(NodeId, NodeId), Link>,
+    queue: BinaryHeap<Reverse<Scheduled<N::Message>>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    metrics: Metrics,
+    events_processed: u64,
+}
+
+impl<N: Node> Network<N> {
+    /// Creates an empty network whose random delays are derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            neighbours: Vec::new(),
+            links: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, node: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(node));
+        self.neighbours.push(Vec::new());
+        id
+    }
+
+    /// Connects two nodes with a bidirectional FIFO link using the same delay
+    /// model in both directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either node id is unknown or the link already exists.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, delay: DelayModel) {
+        assert!(a.0 < self.nodes.len(), "unknown node {a}");
+        assert!(b.0 < self.nodes.len(), "unknown node {b}");
+        assert_ne!(a, b, "self links are not allowed");
+        assert!(
+            !self.links.contains_key(&(a, b)),
+            "link {a} <-> {b} already exists"
+        );
+        for (x, y) in [(a, b), (b, a)] {
+            self.links.insert(
+                (x, y),
+                Link {
+                    delay,
+                    last_arrival: SimTime::ZERO,
+                },
+            );
+        }
+        self.neighbours[a.0].push(b);
+        self.neighbours[b.0].push(a);
+    }
+
+    /// The neighbours of a node.
+    pub fn neighbours(&self, id: NodeId) -> &[NodeId] {
+        &self.neighbours[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Read access to the global metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the global metrics (e.g. for sampling from an
+    /// experiment driver between [`Network::run_until`] calls).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is currently handling an event (never the case
+    /// between `run_*` calls) or the id is unknown.
+    pub fn node(&self, id: NodeId) -> &N {
+        self.nodes[id.0].as_ref().expect("node is busy")
+    }
+
+    /// Mutable access to a node (e.g. to inspect or tweak state between
+    /// simulation phases).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        self.nodes[id.0].as_mut().expect("node is busy")
+    }
+
+    /// Injects a message from "outside the system" (e.g. an application
+    /// driving a client) to be delivered to `to` at the current time.
+    pub fn inject(&mut self, to: NodeId, message: N::Message) {
+        let at = self.now;
+        self.push(at, to, Incoming::Message { from: to, message });
+    }
+
+    /// Schedules a timer event for a node at `now + delay` with a tag chosen
+    /// by the caller.
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
+        let at = self.now + delay;
+        self.push(at, node, Incoming::Timer { tag });
+    }
+
+    fn push(&mut self, at: SimTime, to: NodeId, event: Incoming<N::Message>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, to, event }));
+    }
+
+    /// Sends a message over the link from `from` to `to`, sampling the link
+    /// delay and enforcing FIFO order.
+    fn transmit(&mut self, from: NodeId, to: NodeId, message: N::Message) {
+        let link = self
+            .links
+            .get_mut(&(from, to))
+            .unwrap_or_else(|| panic!("no link {from} -> {to}"));
+        let delay = link.delay.sample(&mut self.rng);
+        let mut arrival = self.now + delay;
+        if arrival < link.last_arrival {
+            arrival = link.last_arrival;
+        }
+        link.last_arrival = arrival;
+        self.metrics.incr("network.messages");
+        self.push(arrival, to, Incoming::Message { from, message });
+    }
+
+    /// Processes a single event.  Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(scheduled)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(scheduled.at >= self.now, "time must not run backwards");
+        self.now = scheduled.at;
+        self.events_processed += 1;
+
+        let id = scheduled.to;
+        let mut node = self.nodes[id.0].take().expect("node is busy (re-entrant event?)");
+        let mut ctx = Context {
+            now: self.now,
+            self_id: id,
+            neighbours: &self.neighbours[id.0],
+            metrics: &mut self.metrics,
+            outgoing: Vec::new(),
+            timers: Vec::new(),
+        };
+        node.handle(&mut ctx, scheduled.event);
+        let Context {
+            outgoing, timers, ..
+        } = ctx;
+        self.nodes[id.0] = Some(node);
+
+        for (to, message) in outgoing {
+            self.transmit(id, to, message);
+        }
+        for (delay, tag) in timers {
+            let at = self.now + delay;
+            self.push(at, id, Incoming::Timer { tag });
+        }
+        true
+    }
+
+    /// Runs the simulation until the event queue is empty or `max_events`
+    /// further events have been processed.  Returns the number of events
+    /// processed by this call.
+    pub fn run(&mut self, max_events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_events && self.step() {
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Runs the simulation until virtual time reaches `until` (events
+    /// scheduled later stay in the queue) or the queue is empty.  Returns the
+    /// number of events processed.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let mut processed = 0;
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(s)) if s.at <= until => {
+                    self.step();
+                    processed += 1;
+                }
+                _ => break,
+            }
+        }
+        // Advance the clock even if nothing was scheduled in the window.
+        if self.now < until {
+            self.now = until;
+        }
+        processed
+    }
+
+    /// `true` when no further events are scheduled.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl<N: Node> fmt::Debug for Network<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("links", &(self.links.len() / 2))
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A node that forwards every received number to all neighbours once,
+    /// incremented by one, and records what it saw.
+    #[derive(Default)]
+    struct Echo {
+        seen: Vec<(SimTime, NodeId, u64)>,
+        forward: bool,
+    }
+
+    impl Node for Echo {
+        type Message = u64;
+        fn handle(&mut self, ctx: &mut Context<'_, u64>, event: Incoming<u64>) {
+            match event {
+                Incoming::Message { from, message } => {
+                    self.seen.push((ctx.now(), from, message));
+                    ctx.metrics().incr("echo.received");
+                    if self.forward {
+                        let neighbours: Vec<NodeId> = ctx.neighbours().to_vec();
+                        for n in neighbours {
+                            if n != from {
+                                ctx.send(n, message + 1);
+                            }
+                        }
+                    }
+                }
+                Incoming::Timer { tag } => {
+                    self.seen.push((ctx.now(), ctx.self_id(), tag));
+                }
+            }
+        }
+    }
+
+    fn line(n: usize, forward: bool, delay: DelayModel) -> (Network<Echo>, Vec<NodeId>) {
+        let mut net = Network::new(1);
+        let ids: Vec<NodeId> = (0..n)
+            .map(|_| {
+                net.add_node(Echo {
+                    seen: Vec::new(),
+                    forward,
+                })
+            })
+            .collect();
+        for w in ids.windows(2) {
+            net.connect(w[0], w[1], delay);
+        }
+        (net, ids)
+    }
+
+    #[test]
+    fn messages_propagate_along_a_line_with_accumulated_delay() {
+        let (mut net, ids) = line(3, true, DelayModel::constant_millis(10));
+        net.inject(ids[0], 100);
+        net.run(100);
+        // Node 1 receives 101 at t=10ms, node 2 receives 102 at t=20ms.
+        assert_eq!(net.node(ids[1]).seen.len(), 1);
+        assert_eq!(net.node(ids[1]).seen[0].2, 101);
+        assert_eq!(net.node(ids[1]).seen[0].0, SimTime::from_millis(10));
+        assert_eq!(net.node(ids[2]).seen[0].2, 102);
+        assert_eq!(net.node(ids[2]).seen[0].0, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_despite_random_delays() {
+        let (mut net, ids) = line(2, false, DelayModel::Uniform {
+            min_micros: 1_000,
+            max_micros: 50_000,
+        });
+        for i in 0..50 {
+            net.inject(ids[0], i);
+        }
+        // The injections all arrive at node 0 at t=0; node 0 does not forward,
+        // so instead test FIFO on a direct sender: connect and send manually.
+        net.run(1000);
+        // Re-test with a forwarding chain: send many messages from node 0 to 1.
+        let mut net2: Network<Echo> = Network::new(7);
+        let a = net2.add_node(Echo { seen: vec![], forward: true });
+        let b = net2.add_node(Echo { seen: vec![], forward: false });
+        net2.connect(a, b, DelayModel::Uniform { min_micros: 100, max_micros: 100_000 });
+        for i in 0..100 {
+            net2.inject(a, i);
+        }
+        net2.run(10_000);
+        let received: Vec<u64> = net2.node(b).seen.iter().map(|(_, _, m)| *m).collect();
+        let mut sorted = received.clone();
+        sorted.sort_unstable();
+        assert_eq!(received, sorted, "per-link FIFO order must hold");
+        assert_eq!(received.len(), 100);
+        // Arrival times never decrease.
+        let times: Vec<SimTime> = net2.node(b).seen.iter().map(|(t, _, _)| *t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn timers_fire_at_the_right_time() {
+        let (mut net, ids) = line(1, false, DelayModel::default());
+        net.schedule_timer(ids[0], SimDuration::from_millis(5), 42);
+        net.schedule_timer(ids[0], SimDuration::from_millis(1), 7);
+        net.run(10);
+        let seen = &net.node(ids[0]).seen;
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].2, 7);
+        assert_eq!(seen[0].0, SimTime::from_millis(1));
+        assert_eq!(seen[1].2, 42);
+        assert_eq!(seen[1].0, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn run_until_stops_at_the_requested_time() {
+        let (mut net, ids) = line(2, true, DelayModel::constant_millis(10));
+        net.inject(ids[0], 1);
+        let processed = net.run_until(SimTime::from_millis(5));
+        assert_eq!(processed, 1, "only the injection is processed before 5ms");
+        assert_eq!(net.now(), SimTime::from_millis(5));
+        assert!(net.node(ids[1]).seen.is_empty());
+        net.run_until(SimTime::from_millis(20));
+        assert_eq!(net.node(ids[1]).seen.len(), 1);
+    }
+
+    #[test]
+    fn metrics_count_network_messages() {
+        let (mut net, ids) = line(3, true, DelayModel::constant_millis(1));
+        net.inject(ids[0], 5);
+        net.run(100);
+        // node0 -> node1, node1 -> node2: two link transmissions.
+        assert_eq!(net.metrics().counter("network.messages"), 2);
+        assert_eq!(net.metrics().counter("echo.received"), 3);
+    }
+
+    #[test]
+    fn determinism_for_equal_seeds() {
+        let run = |seed| {
+            let mut net: Network<Echo> = Network::new(seed);
+            let a = net.add_node(Echo { seen: vec![], forward: true });
+            let b = net.add_node(Echo { seen: vec![], forward: false });
+            net.connect(a, b, DelayModel::Uniform { min_micros: 0, max_micros: 10_000 });
+            for i in 0..20 {
+                net.inject(a, i);
+            }
+            net.run(1_000);
+            net.node(b).seen.clone()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_links_are_rejected() {
+        let (mut net, ids) = line(2, false, DelayModel::default());
+        net.connect(ids[0], ids[1], DelayModel::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn sending_without_a_link_panics() {
+        // A node that sends to a node it has no link to.
+        struct Rogue;
+        impl Node for Rogue {
+            type Message = u64;
+            fn handle(&mut self, ctx: &mut Context<'_, u64>, _e: Incoming<u64>) {
+                ctx.send(NodeId(1), 1);
+            }
+        }
+        let mut net: Network<Rogue> = Network::new(0);
+        let r = net.add_node(Rogue);
+        net.add_node(Rogue);
+        net.inject(r, 0);
+        net.run(10);
+    }
+
+    #[test]
+    fn is_idle_after_draining() {
+        let (mut net, ids) = line(2, false, DelayModel::default());
+        assert!(net.is_idle());
+        net.inject(ids[0], 1);
+        assert!(!net.is_idle());
+        net.run(10);
+        assert!(net.is_idle());
+        assert_eq!(net.events_processed(), 1);
+    }
+}

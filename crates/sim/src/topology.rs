@@ -1,0 +1,298 @@
+//! Abstract broker-network topologies.
+//!
+//! The paper assumes an acyclic, connected communication topology (Figure 1).
+//! A [`Topology`] is a purely structural description — node count plus an
+//! edge list — that the broker crate turns into a concrete simulated or
+//! threaded network.  Builders cover the shapes used in the paper's figures
+//! and evaluation (lines, stars, balanced trees, the Figure 5 relocation
+//! scenario) plus random trees for property tests.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A structural description of a broker network: `n` nodes (numbered
+/// `0..n`) and undirected edges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Topology {
+    /// Creates a topology with `nodes` nodes and no edges.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an endpoint is out of range, the edge is a self-loop, or
+    /// the edge already exists.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.nodes && b < self.nodes, "edge endpoint out of range");
+        assert_ne!(a, b, "self loops are not allowed");
+        assert!(!self.has_edge(a, b), "duplicate edge {a} - {b}");
+        self.edges.push((a.min(b), a.max(b)));
+    }
+
+    /// `true` when the undirected edge exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        let (a, b) = (a.min(b), a.max(b));
+        self.edges.contains(&(a, b))
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes
+    }
+
+    /// `true` when the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes == 0
+    }
+
+    /// The undirected edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbours of a node.
+    pub fn neighbours(&self, node: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == node {
+                    Some(b)
+                } else if b == node {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// `true` when the topology is connected and acyclic (a tree), the shape
+    /// the paper assumes for the broker graph.
+    pub fn is_tree(&self) -> bool {
+        if self.nodes == 0 {
+            return true;
+        }
+        if self.edges.len() != self.nodes - 1 {
+            return false;
+        }
+        self.is_connected()
+    }
+
+    /// `true` when every node is reachable from node 0.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(n) = stack.pop() {
+            for m in self.neighbours(n) {
+                if !seen[m] {
+                    seen[m] = true;
+                    stack.push(m);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// The unique path between two nodes of a tree topology, endpoints
+    /// included.  Returns `None` when no path exists.
+    pub fn path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from >= self.nodes || to >= self.nodes {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut parent = vec![usize::MAX; self.nodes];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(from);
+        parent[from] = from;
+        while let Some(n) = queue.pop_front() {
+            for m in self.neighbours(n) {
+                if parent[m] == usize::MAX {
+                    parent[m] = n;
+                    if m == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while cur != from {
+                            cur = parent[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(m);
+                }
+            }
+        }
+        None
+    }
+
+    // ----- builders -----
+
+    /// A line `0 – 1 – … – n-1` (the Figure 6 setting generalised).
+    pub fn line(n: usize) -> Self {
+        let mut t = Self::new(n);
+        for i in 1..n {
+            t.add_edge(i - 1, i);
+        }
+        t
+    }
+
+    /// A star with node 0 at the centre.
+    pub fn star(leaves: usize) -> Self {
+        let mut t = Self::new(leaves + 1);
+        for i in 1..=leaves {
+            t.add_edge(0, i);
+        }
+        t
+    }
+
+    /// A balanced tree of the given branching factor and depth (depth 0 is a
+    /// single root).  Node 0 is the root; children are numbered breadth-first.
+    pub fn balanced_tree(branching: usize, depth: usize) -> Self {
+        assert!(branching >= 1, "branching factor must be at least 1");
+        let mut nodes = 1usize;
+        let mut level = 1usize;
+        for _ in 0..depth {
+            level *= branching;
+            nodes += level;
+        }
+        let mut t = Self::new(nodes);
+        // Parent of node i (i > 0) in a breadth-first numbering.
+        for i in 1..nodes {
+            let parent = (i - 1) / branching;
+            t.add_edge(parent, i);
+        }
+        t
+    }
+
+    /// The eight-broker topology of Figure 5 of the paper (the relocation
+    /// walk-through).  Node numbering follows the figure: brokers 1..=8 map
+    /// to indices 0..=7.  The old border broker is B6 (index 5), the new
+    /// border broker is B1 (index 0) and the junction broker is B4 (index 3).
+    ///
+    /// Structure (a tree):
+    /// B1–B2, B2–B3, B3–B4, B4–B5, B5–B6, B4–B7, B7–B8.
+    /// The producer attaches at B8 and reaches B6 through B7/B4/B5, so the
+    /// old and new delivery paths meet at B4 as in the figure.
+    pub fn figure5() -> Self {
+        let mut t = Self::new(8);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (3, 6), (6, 7)] {
+            t.add_edge(a, b);
+        }
+        t
+    }
+
+    /// A uniformly random tree over `n` nodes (each node `i > 0` picks a
+    /// random parent among `0..i`).
+    pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut t = Self::new(n);
+        for i in 1..n {
+            let parent = rng.gen_range(0..i);
+            t.add_edge(parent, i);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn line_is_a_tree_with_a_simple_path() {
+        let t = Topology::line(5);
+        assert!(t.is_tree());
+        assert_eq!(t.path(0, 4), Some(vec![0, 1, 2, 3, 4]));
+        assert_eq!(t.path(2, 2), Some(vec![2]));
+        assert_eq!(t.neighbours(2), vec![1, 3]);
+    }
+
+    #[test]
+    fn star_structure() {
+        let t = Topology::star(4);
+        assert_eq!(t.len(), 5);
+        assert!(t.is_tree());
+        assert_eq!(t.neighbours(0).len(), 4);
+        assert_eq!(t.path(1, 2), Some(vec![1, 0, 2]));
+    }
+
+    #[test]
+    fn balanced_tree_counts_nodes_correctly() {
+        let t = Topology::balanced_tree(2, 3);
+        assert_eq!(t.len(), 1 + 2 + 4 + 8);
+        assert!(t.is_tree());
+        let t3 = Topology::balanced_tree(3, 2);
+        assert_eq!(t3.len(), 1 + 3 + 9);
+        assert!(t3.is_tree());
+    }
+
+    #[test]
+    fn figure5_topology_matches_the_paper_layout() {
+        let t = Topology::figure5();
+        assert_eq!(t.len(), 8);
+        assert!(t.is_tree());
+        // Old path from producer's broker B8 (7) to old border broker B6 (5):
+        assert_eq!(t.path(7, 5), Some(vec![7, 6, 3, 4, 5]));
+        // New path from B8 (7) to new border broker B1 (0):
+        assert_eq!(t.path(7, 0), Some(vec![7, 6, 3, 2, 1, 0]));
+        // The two paths share B8, B7 and the junction B4 (index 3).
+    }
+
+    #[test]
+    fn random_trees_are_trees() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for n in 1..20 {
+            let t = Topology::random_tree(n, &mut rng);
+            assert!(t.is_tree(), "random tree with {n} nodes is not a tree");
+        }
+    }
+
+    #[test]
+    fn disconnected_topology_is_detected() {
+        let mut t = Topology::new(4);
+        t.add_edge(0, 1);
+        t.add_edge(2, 3);
+        assert!(!t.is_connected());
+        assert!(!t.is_tree());
+        assert_eq!(t.path(0, 3), None);
+    }
+
+    #[test]
+    fn cyclic_topology_is_not_a_tree() {
+        let mut t = Topology::line(3);
+        t.add_edge(0, 2);
+        assert!(t.is_connected());
+        assert!(!t.is_tree());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edges_are_rejected() {
+        let mut t = Topology::line(3);
+        t.add_edge(1, 0);
+    }
+
+    #[test]
+    fn empty_topology_is_trivially_a_tree() {
+        let t = Topology::new(0);
+        assert!(t.is_tree());
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Roaming stock monitor: the paper's example of making an *existing*
+//! application mobile without changing its interface (physical mobility,
+//! Section 4).
+//!
+//! A stock-quote monitor subscribes to price updates for a handful of
+//! symbols.  Its user commutes between home, the train and the office — the
+//! client disconnects and re-attaches at a different border broker twice,
+//! while three exchanges keep publishing quotes.  The application code never
+//! changes: the relocation protocol buffers and replays quotes so the monitor
+//! sees a gapless, duplicate-free, in-order stream.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example roaming_stock_monitor
+//! ```
+
+use rebeca::{
+    BrokerConfig, ClientAction, ClientId, Constraint, DelayModel, Filter, LogicalMobilityMode,
+    MobilitySystem, Notification, SimDuration, SimTime, Topology,
+};
+
+fn quote(symbol: &str, price: i64, update: i64) -> Notification {
+    Notification::builder()
+        .attr("service", "stock")
+        .attr("symbol", symbol)
+        .attr("price", price)
+        .attr("update", update)
+        .build()
+}
+
+fn main() {
+    // A metropolitan broker network: a balanced binary tree of 7 brokers.
+    // Broker 3 serves the home district, broker 5 the train line, broker 6
+    // the office district; the exchanges feed in at brokers 1 and 2.
+    let mut system = MobilitySystem::new(
+        &Topology::balanced_tree(2, 2),
+        BrokerConfig::default(),
+        DelayModel::constant_millis(8),
+        2024,
+    );
+
+    let monitor = ClientId(1);
+    let watchlist = Filter::new()
+        .with("service", Constraint::Eq("stock".into()))
+        .with("symbol", Constraint::any_of(["REBECA", "SIENA", "ELVIN"]));
+
+    let home = system.broker_node(3);
+    let train = system.broker_node(5);
+    let office = system.broker_node(6);
+
+    system.add_client(
+        monitor,
+        LogicalMobilityMode::LocationDependent,
+        &[3, 5, 6],
+        vec![
+            (SimTime::from_millis(1), ClientAction::Attach { broker: home }),
+            (SimTime::from_millis(2), ClientAction::Subscribe(watchlist.clone())),
+            // 7:30 — leave home, connect from the train.
+            (SimTime::from_secs(2), ClientAction::MoveTo { broker: train }),
+            // 8:00 — arrive at the office.
+            (SimTime::from_secs(4), ClientAction::MoveTo { broker: office }),
+        ],
+    );
+
+    // Two exchanges publishing quotes for the watched and some unwatched
+    // symbols.
+    let symbols = ["REBECA", "SIENA", "ELVIN", "GRYPHON", "JEDI"];
+    for (e, broker_index) in [(ClientId(10), 1usize), (ClientId(11), 2usize)] {
+        let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: system.broker_node(broker_index) })];
+        let mut t = SimTime::from_millis(100);
+        let mut update = 0i64;
+        while t < SimTime::from_secs(6) {
+            let symbol = symbols[(update as usize) % symbols.len()];
+            script.push((t, ClientAction::Publish(quote(symbol, 100 + update % 17, update))));
+            update += 1;
+            t = t + SimDuration::from_millis(80);
+        }
+        system.add_client(e, LogicalMobilityMode::LocationDependent, &[broker_index], script);
+    }
+
+    system.run_until(SimTime::from_secs(8));
+
+    let log = system.client_log(monitor);
+    println!("quotes delivered to the roaming monitor: {}", log.len());
+    println!("delivery log clean (no dup, FIFO)      : {}", log.is_clean());
+    for publisher in [ClientId(10), ClientId(11)] {
+        println!(
+            "  exchange {publisher}: received {} distinct updates, {} duplicates",
+            log.distinct_publisher_seqs(publisher).len(),
+            log.duplicate_publications(publisher)
+        );
+    }
+    let watched: Vec<&str> = ["REBECA", "SIENA", "ELVIN"].to_vec();
+    assert!(log.deliveries().iter().all(|d| {
+        d.envelope
+            .notification
+            .get("symbol")
+            .and_then(|v| v.as_str())
+            .map(|s| watched.contains(&s))
+            .unwrap_or(false)
+    }));
+    assert!(log.is_clean());
+    println!("\nroaming stock monitor finished: two hand-overs, zero gaps, zero duplicates.");
+}

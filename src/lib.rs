@@ -1,0 +1,120 @@
+//! # Rebeca Mobility
+//!
+//! A Rust reproduction of *"Supporting Mobility in Content-Based
+//! Publish/Subscribe Middleware"* (Fiege, Gärtner, Kasten, Zeidler —
+//! Middleware 2003): a content-based publish/subscribe middleware in the
+//! style of Rebeca, extended with
+//!
+//! * a **relocation protocol for physically mobile clients** — clients that
+//!   disconnect and re-attach at a different border broker keep receiving
+//!   every notification exactly once and in sender-FIFO order (Section 4 of
+//!   the paper), and
+//! * **location-dependent subscriptions for logically mobile clients** —
+//!   subscriptions containing a `myloc` marker that the middleware keeps
+//!   aligned with the client's current location by pre-subscribing to the
+//!   possible future locations `ploc(x, q)` at brokers further away from the
+//!   client (Section 5).
+//!
+//! This crate is a thin facade: it re-exports the workspace crates so that
+//! applications can depend on a single crate.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`filter`] | `rebeca-filter` | notifications, content-based filters, covering/merging, `myloc` templates |
+//! | [`location`] | `rebeca-location` | location spaces, movement graphs, `ploc`, adaptivity plans |
+//! | [`routing`] | `rebeca-routing` | routing tables and the flooding/simple/identity/covering/merging strategies |
+//! | [`sim`] | `rebeca-sim` | deterministic discrete-event simulator (FIFO links, delays, metrics, topologies) |
+//! | [`broker`] | `rebeca-broker` | the static Rebeca broker, message vocabulary, sequence numbering, delivery logs |
+//! | [`mobility`] | `rebeca-core` | the paper's contribution: the mobility-aware broker, scripted clients, the deployment facade |
+//!
+//! The most convenient entry points are re-exported at the crate root.
+//!
+//! # Example
+//!
+//! ```
+//! use rebeca::{
+//!     BrokerConfig, ClientAction, ClientId, Constraint, DelayModel, Filter, LogicalMobilityMode,
+//!     MobilitySystem, Notification, SimTime, Topology,
+//! };
+//!
+//! let mut system = MobilitySystem::new(
+//!     &Topology::figure5(),
+//!     BrokerConfig::default(),
+//!     DelayModel::constant_millis(5),
+//!     42,
+//! );
+//!
+//! // A consumer that starts at broker B6 and roams to B1 mid-stream.
+//! let consumer = ClientId(1);
+//! let filter = Filter::new().with("service", Constraint::Eq("parking".into()));
+//! system.add_client(
+//!     consumer,
+//!     LogicalMobilityMode::LocationDependent,
+//!     &[5, 0],
+//!     vec![
+//!         (SimTime::from_millis(1), ClientAction::Attach { broker: system.broker_node(5) }),
+//!         (SimTime::from_millis(2), ClientAction::Subscribe(filter)),
+//!         (SimTime::from_millis(400), ClientAction::MoveTo { broker: system.broker_node(0) }),
+//!     ],
+//! );
+//!
+//! // A producer at broker B8.
+//! let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: system.broker_node(7) })];
+//! for i in 0..10u64 {
+//!     script.push((
+//!         SimTime::from_millis(100 + i * 50),
+//!         ClientAction::Publish(Notification::builder().attr("service", "parking").attr("spot", i as i64).build()),
+//!     ));
+//! }
+//! system.add_client(ClientId(2), LogicalMobilityMode::LocationDependent, &[7], script);
+//!
+//! system.run_until(SimTime::from_secs(5));
+//! assert_eq!(system.client_log(consumer).len(), 10);
+//! assert!(system.client_log(consumer).is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Content-based data and filter model (re-export of `rebeca-filter`).
+pub mod filter {
+    pub use rebeca_filter::*;
+}
+
+/// Location model: spaces, movement graphs, `ploc`, adaptivity
+/// (re-export of `rebeca-location`).
+pub mod location {
+    pub use rebeca_location::*;
+}
+
+/// Content-based routing engine (re-export of `rebeca-routing`).
+pub mod routing {
+    pub use rebeca_routing::*;
+}
+
+/// Discrete-event network simulator (re-export of `rebeca-sim`).
+pub mod sim {
+    pub use rebeca_sim::*;
+}
+
+/// Broker network substrate (re-export of `rebeca-broker`).
+pub mod broker {
+    pub use rebeca_broker::*;
+}
+
+/// Mobility support — the paper's contribution (re-export of `rebeca-core`).
+pub mod mobility {
+    pub use rebeca_core::*;
+}
+
+// Convenience re-exports of the most commonly used types.
+pub use rebeca_broker::{ClientId, ConsumerLog, Delivery, Envelope, Message, SubscriptionId};
+pub use rebeca_core::{
+    BrokerConfig, ClientAction, ClientNode, LogicalMobilityMode, MobileBroker, MobilitySystem,
+};
+pub use rebeca_filter::{
+    Constraint, Filter, FilterSet, LocationDependentFilter, Notification, Value,
+};
+pub use rebeca_location::{AdaptivityPlan, Itinerary, LocationId, LocationSpace, MovementGraph};
+pub use rebeca_routing::RoutingStrategyKind;
+pub use rebeca_sim::{DelayModel, Metrics, SimDuration, SimTime, Topology};

@@ -1,0 +1,258 @@
+//! Workspace-level integration tests exercising the public `rebeca` facade
+//! across all crates: filters, routing, simulation, brokers and both mobility
+//! protocols in one deployment.
+
+use rebeca::{
+    AdaptivityPlan, BrokerConfig, ClientAction, ClientId, Constraint, DelayModel, Filter,
+    LocationDependentFilter, LocationId, LogicalMobilityMode, MobilitySystem, MovementGraph,
+    Notification, RoutingStrategyKind, SimDuration, SimTime, Topology, Value,
+};
+
+fn stock_filter(symbols: &[&str]) -> Filter {
+    Filter::new()
+        .with("service", Constraint::Eq("stock".into()))
+        .with("symbol", Constraint::any_of(symbols.iter().copied()))
+}
+
+fn stock_quote(symbol: &str, seq: i64) -> Notification {
+    Notification::builder()
+        .attr("service", "stock")
+        .attr("symbol", symbol)
+        .attr("price", 100 + seq % 20)
+        .build()
+}
+
+fn parking_template() -> LocationDependentFilter {
+    LocationDependentFilter::new("location", 0)
+        .with_concrete("service", Constraint::Eq("parking".into()))
+}
+
+fn vacancy(location: LocationId, spot: i64) -> Notification {
+    Notification::builder()
+        .attr("service", "parking")
+        .attr("location", Value::Location(location.raw()))
+        .attr("spot", spot)
+        .build()
+}
+
+/// A mixed deployment: a roaming stock monitor (physical mobility), a
+/// location-aware parking client (logical mobility) and an immobile consumer
+/// share one broker tree with two producers.  Each client sees exactly the
+/// traffic it subscribed to, with the mobility guarantees of the paper.
+#[test]
+fn mixed_deployment_serves_every_client_correctly() {
+    let graph = MovementGraph::grid(3, 3);
+    let config = BrokerConfig {
+        strategy: RoutingStrategyKind::Covering,
+        movement_graph: graph.clone(),
+        relocation_timeout: SimDuration::from_secs(20),
+    };
+    let mut sys = MobilitySystem::new(
+        &Topology::balanced_tree(2, 2),
+        config,
+        DelayModel::constant_millis(5),
+        2003,
+    );
+
+    // Client 1: roaming stock monitor, moves from broker 3 to broker 4.
+    let monitor = ClientId(1);
+    sys.add_client(
+        monitor,
+        LogicalMobilityMode::LocationDependent,
+        &[3, 4],
+        vec![
+            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(3) }),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(stock_filter(&["REBECA", "SIENA"])),
+            ),
+            (SimTime::from_secs(1), ClientAction::MoveTo { broker: sys.broker_node(4) }),
+        ],
+    );
+
+    // Client 2: logically mobile parking client at broker 5.
+    let driver = ClientId(2);
+    sys.add_client(
+        driver,
+        LogicalMobilityMode::LocationDependent,
+        &[5],
+        vec![
+            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(5) }),
+            (
+                SimTime::from_millis(2),
+                ClientAction::LocSubscribe {
+                    template: parking_template(),
+                    plan: AdaptivityPlan::adaptive(1_000_000, &[5_000, 5_000]),
+                    location: LocationId(0),
+                },
+            ),
+            (SimTime::from_secs(1), ClientAction::SetLocation(LocationId(1))),
+            (SimTime::from_secs(2), ClientAction::SetLocation(LocationId(2))),
+        ],
+    );
+
+    // Client 3: immobile consumer of every stock quote at broker 6.
+    let archive = ClientId(3);
+    sys.add_client(
+        archive,
+        LogicalMobilityMode::LocationDependent,
+        &[6],
+        vec![
+            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(6) }),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(Filter::new().with("service", Constraint::Eq("stock".into()))),
+            ),
+        ],
+    );
+
+    // Producer A: stock quotes at broker 1.
+    let exchange = ClientId(10);
+    let symbols = ["REBECA", "SIENA", "GRYPHON"];
+    let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(1) })];
+    let quotes = 60u64;
+    for i in 0..quotes {
+        script.push((
+            SimTime::from_millis(100 + i * 40),
+            ClientAction::Publish(stock_quote(symbols[(i % 3) as usize], i as i64)),
+        ));
+    }
+    sys.add_client(exchange, LogicalMobilityMode::LocationDependent, &[1], script);
+
+    // Producer B: parking vacancies at broker 2, cycling through locations.
+    let sensors = ClientId(11);
+    let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(2) })];
+    for i in 0..60u64 {
+        script.push((
+            SimTime::from_millis(100 + i * 40),
+            ClientAction::Publish(vacancy(LocationId((i % 9) as u32), i as i64)),
+        ));
+    }
+    sys.add_client(sensors, LogicalMobilityMode::LocationDependent, &[2], script);
+
+    sys.run_until(SimTime::from_secs(10));
+
+    // The roaming monitor: complete, duplicate-free, ordered delivery of the
+    // REBECA and SIENA quotes (2 of every 3 publications).
+    let monitor_log = sys.client_log(monitor);
+    assert!(monitor_log.is_clean(), "{:?}", monitor_log.violations());
+    let expected: Vec<u64> = (1..=quotes).filter(|i| (i - 1) % 3 != 2).collect();
+    assert_eq!(monitor_log.distinct_publisher_seqs(exchange), expected);
+    // It never receives parking traffic.
+    assert!(monitor_log
+        .deliveries()
+        .iter()
+        .all(|d| d.envelope.publisher == exchange));
+
+    // The archive receives every stock quote exactly once.
+    let archive_log = sys.client_log(archive);
+    assert!(archive_log.is_clean());
+    assert_eq!(
+        archive_log.distinct_publisher_seqs(exchange),
+        (1..=quotes).collect::<Vec<u64>>()
+    );
+
+    // The parking client only receives vacancies for rooms it was in, and it
+    // receives a non-trivial number of them.
+    let driver_log = sys.client_log(driver);
+    assert!(driver_log.len() > 3);
+    for d in driver_log.deliveries() {
+        let loc = d
+            .envelope
+            .notification
+            .get("location")
+            .and_then(|v| v.as_location())
+            .unwrap();
+        assert!(loc <= 2, "driver only ever announced locations 0, 1, 2; got {loc}");
+    }
+}
+
+/// The facade re-exports compose: filters built from the root crate work with
+/// the routing engine, location model and simulator types directly.
+#[test]
+fn facade_types_compose() {
+    use rebeca::routing::RoutingEngine;
+
+    let filter = Filter::new()
+        .with("service", Constraint::Eq("parking".into()))
+        .with("cost", Constraint::Lt(3.into()));
+    let mut engine: RoutingEngine<u8> = RoutingEngine::new(RoutingStrategyKind::Covering);
+    assert!(!engine.handle_subscribe(filter.clone(), 1, &[1, 2]).is_empty());
+
+    let graph = MovementGraph::paper_example();
+    let a = graph.space().id("a").unwrap();
+    let plan = AdaptivityPlan::adaptive(100_000, &[120_000, 50_000, 50_000]);
+    assert_eq!(plan.steps(), &[0, 1, 1, 2]);
+    assert_eq!(plan.location_sets(&graph, a)[0].len(), 1);
+
+    let n = Notification::builder()
+        .attr("service", "parking")
+        .attr("cost", 1)
+        .build();
+    assert!(filter.matches(&n));
+}
+
+/// Scenario stress: many consumers with overlapping subscriptions across a
+/// larger tree all observe clean logs while several of them roam.
+#[test]
+fn many_roaming_consumers_stay_consistent() {
+    let config = BrokerConfig {
+        strategy: RoutingStrategyKind::Covering,
+        movement_graph: MovementGraph::grid(3, 3),
+        relocation_timeout: SimDuration::from_secs(20),
+    };
+    let mut sys = MobilitySystem::new(
+        &Topology::balanced_tree(3, 2),
+        config,
+        DelayModel::constant_millis(5),
+        7,
+    );
+    let broker_count = sys.broker_count();
+
+    // Six consumers, all subscribed to the same stock stream, starting at
+    // different brokers and each moving once at a different time.
+    let consumers: Vec<ClientId> = (1..=6).map(ClientId).collect();
+    for (i, &c) in consumers.iter().enumerate() {
+        let start = 1 + (i % (broker_count - 1));
+        let target = 1 + ((i + 3) % (broker_count - 1));
+        sys.add_client(
+            c,
+            LogicalMobilityMode::LocationDependent,
+            &[start, target],
+            vec![
+                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(start) }),
+                (
+                    SimTime::from_millis(2),
+                    ClientAction::Subscribe(stock_filter(&["REBECA"])),
+                ),
+                (
+                    SimTime::from_millis(400 + i as u64 * 150),
+                    ClientAction::MoveTo { broker: sys.broker_node(target) },
+                ),
+            ],
+        );
+    }
+
+    let exchange = ClientId(100);
+    let publications = 50u64;
+    let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) })];
+    for i in 0..publications {
+        script.push((
+            SimTime::from_millis(100 + i * 30),
+            ClientAction::Publish(stock_quote("REBECA", i as i64)),
+        ));
+    }
+    sys.add_client(exchange, LogicalMobilityMode::LocationDependent, &[0], script);
+
+    sys.run_until(SimTime::from_secs(15));
+
+    for &c in &consumers {
+        let log = sys.client_log(c);
+        assert!(log.is_clean(), "consumer {c}: {:?}", log.violations());
+        assert_eq!(
+            log.distinct_publisher_seqs(exchange),
+            (1..=publications).collect::<Vec<u64>>(),
+            "consumer {c} must receive the full stream"
+        );
+    }
+}
