@@ -2,13 +2,17 @@
 //! covering and merging — the operations on every broker's hot path.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rebeca_filter::{Constraint, Filter, FilterSet, Notification, Value};
+use rebeca_filter::{Constraint, Filter, Notification, Value};
+use rebeca_matcher::FilterSet;
 
 fn sample_filter(i: u32) -> Filter {
     Filter::new()
         .with("service", Constraint::Eq("parking".into()))
         .with("cost", Constraint::Lt(Value::Int(3 + (i % 10) as i64)))
-        .with("location", Constraint::any_location_of([i % 50, (i + 1) % 50]))
+        .with(
+            "location",
+            Constraint::any_location_of([i % 50, (i + 1) % 50]),
+        )
 }
 
 fn sample_notification(i: u32) -> Notification {
@@ -77,5 +81,11 @@ fn bench_filterset(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matching, bench_covering, bench_merging, bench_filterset);
+criterion_group!(
+    benches,
+    bench_matching,
+    bench_covering,
+    bench_merging,
+    bench_filterset
+);
 criterion_main!(benches);

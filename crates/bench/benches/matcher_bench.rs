@@ -1,0 +1,169 @@
+//! Benchmarks for the attribute-partitioned predicate index
+//! (`rebeca-matcher`) against the linear scan it replaced.
+//!
+//! The workload models the paper's parking-guidance scenario at city scale:
+//! `n` stored subscriptions over a handful of services, price bounds and
+//! location sets, matched against a stream of notifications.  The linear
+//! baseline evaluates `Filter::matches` over every stored filter — exactly
+//! what `RoutingTable::matching_destinations` did before the index.
+//!
+//! `BENCH_matcher.json` at the repository root is generated from this bench
+//! (see the file header there for the command).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rebeca_filter::{Constraint, Filter, Notification, Value};
+use rebeca_matcher::FilterIndex;
+
+/// Deterministic subscription mix: equality on service, numeric price
+/// bounds, location sets — the constraint kinds brokers actually store.
+fn subscription(i: u32) -> Filter {
+    let service = ["parking", "weather", "traffic", "stock"][(i % 4) as usize];
+    let mut f = Filter::new().with("service", Constraint::Eq(service.into()));
+    match i % 3 {
+        0 => {
+            f = f.with("cost", Constraint::Lt(Value::Int((i % 40) as i64)));
+        }
+        1 => {
+            f = f.with(
+                "cost",
+                Constraint::Between(
+                    Value::Int((i % 20) as i64),
+                    Value::Int((i % 20 + 10) as i64),
+                ),
+            );
+        }
+        _ => {}
+    }
+    if i.is_multiple_of(2) {
+        f = f.with(
+            "location",
+            Constraint::any_location_of([i % 100, (i + 7) % 100]),
+        );
+    }
+    f
+}
+
+fn notification(i: u32) -> Notification {
+    let service = ["parking", "weather", "traffic", "stock"][(i % 4) as usize];
+    Notification::builder()
+        .attr("service", service)
+        .attr("cost", (i % 45) as i64)
+        .attr("location", Value::Location(i % 100))
+        .attr("spot", i as i64)
+        .build()
+}
+
+fn build_filters(n: u32) -> Vec<Filter> {
+    (0..n).map(subscription).collect()
+}
+
+fn build_index(filters: &[Filter]) -> FilterIndex<u32> {
+    let mut index = FilterIndex::new();
+    for (i, f) in filters.iter().enumerate() {
+        index.insert(i as u32, f);
+    }
+    index
+}
+
+/// Matching throughput: indexed counting algorithm vs. linear scan, at
+/// routing-table sizes from 1k to 100k subscriptions.
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher/match");
+    for &n in &[1_000u32, 10_000, 100_000] {
+        let filters = build_filters(n);
+        let index = build_index(&filters);
+        let notifications: Vec<Notification> = (0..64).map(notification).collect();
+
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let n = &notifications[i % notifications.len()];
+                i += 1;
+                black_box(
+                    filters
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| f.matches(n))
+                        .count(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let n = &notifications[i % notifications.len()];
+                i += 1;
+                black_box(index.matching_keys(n).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Covering queries: "is this new subscription already covered?" — the
+/// decision `FilterSet::insert_covering` and `RoutingTable::is_covered`
+/// make on every subscription.  Measured for probes that are covered (the
+/// linear scan usually early-exits) and for probes that are not (the linear
+/// scan must visit every filter; the index walk visits one constraint-level
+/// test per *distinct* predicate).
+fn bench_covering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher/covering");
+    for &n in &[1_000u32, 10_000] {
+        let filters = build_filters(n);
+        let index = build_index(&filters);
+        let covered: Vec<Filter> = (0..64).map(|i| subscription(i * 31 + 5)).collect();
+        // Not covered: a service value no stored filter accepts, so the
+        // linear scan cannot early-exit.
+        let uncovered: Vec<Filter> = (0..64)
+            .map(|i| {
+                subscription(i * 31 + 5).with("service", Constraint::Eq(format!("tele-{i}").into()))
+            })
+            .collect();
+
+        for (kind, probes) in [("hit", &covered), ("miss", &uncovered)] {
+            group.bench_with_input(BenchmarkId::new(format!("linear_{kind}"), n), &n, |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let probe = &probes[i % probes.len()];
+                    i += 1;
+                    black_box(filters.iter().any(|f| f.covers(probe)))
+                })
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("indexed_{kind}"), n),
+                &n,
+                |b, _| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let probe = &probes[i % probes.len()];
+                        i += 1;
+                        black_box(index.covers_any(probe))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Index maintenance: build cost and single insert/remove churn at 10k.
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher/maintenance");
+    let filters = build_filters(10_000);
+    group.sample_size(10);
+    group.bench_function("build/10000", |b| {
+        b.iter(|| black_box(build_index(&filters)).len())
+    });
+    let mut index = build_index(&filters);
+    let churn = subscription(123_457);
+    group.bench_function("churn/10000", |b| {
+        b.iter(|| {
+            index.insert(u32::MAX, &churn);
+            index.remove(&u32::MAX)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_covering, bench_maintenance);
+criterion_main!(benches);

@@ -23,7 +23,12 @@ fn bench_ploc(c: &mut Criterion) {
 fn bench_adaptivity(c: &mut Criterion) {
     let delays: Vec<u64> = (0..32).map(|i| 5_000 + i * 100).collect();
     c.bench_function("location/adaptivity_plan_32_hops", |b| {
-        b.iter(|| black_box(AdaptivityPlan::adaptive(black_box(1_000_000), black_box(&delays))))
+        b.iter(|| {
+            black_box(AdaptivityPlan::adaptive(
+                black_box(1_000_000),
+                black_box(&delays),
+            ))
+        })
     });
     let graph = MovementGraph::grid(10, 10);
     let plan = AdaptivityPlan::adaptive(1_000_000, &delays);

@@ -9,13 +9,19 @@ fn main() {
         "Figure 3: blackout after a location change (line of {} brokers, t_d = {} ms per link)\n",
         params.brokers, params.link_delay_ms
     );
-    println!("{:<48} {:>13} {:>15}", "scheme", "blackout [ms]", "total messages");
+    println!(
+        "{:<48} {:>13} {:>15}",
+        "scheme", "blackout [ms]", "total messages"
+    );
     for row in figure3(&params) {
         let blackout = row
             .blackout_ms
             .map(|b| b.to_string())
             .unwrap_or_else(|| "never recovered".to_string());
-        println!("{:<48} {:>13} {:>15}", row.scheme, blackout, row.total_messages);
+        println!(
+            "{:<48} {:>13} {:>15}",
+            row.scheme, blackout, row.total_messages
+        );
     }
     println!(
         "\nExpected shape: the baseline starves for about 2*t_d (~{} ms), the other two\nrecover within roughly one client-link round trip.",

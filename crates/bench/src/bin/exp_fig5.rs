@@ -7,9 +7,21 @@ fn main() {
     println!("publications received exactly once : {}", report.received);
     println!("publications lost                  : {}", report.lost);
     println!("publications duplicated            : {}", report.duplicated);
-    println!("sender-FIFO order preserved        : {}", report.fifo_preserved);
-    println!("junction brokers detected          : {}", report.junctions_detected);
+    println!(
+        "sender-FIFO order preserved        : {}",
+        report.fifo_preserved
+    );
+    println!(
+        "junction brokers detected          : {}",
+        report.junctions_detected
+    );
     println!("notifications replayed             : {}", report.replayed);
-    println!("old border broker garbage collected: {}", report.old_broker_clean);
-    println!("total link messages                : {}", report.total_messages);
+    println!(
+        "old border broker garbage collected: {}",
+        report.old_broker_clean
+    );
+    println!(
+        "total link messages                : {}",
+        report.total_messages
+    );
 }

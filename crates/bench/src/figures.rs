@@ -149,7 +149,12 @@ pub fn figure3(params: &Figure3Params) -> Vec<Figure3Row> {
             mode,
             &[0],
             vec![
-                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
+                (
+                    SimTime::from_millis(1),
+                    ClientAction::Attach {
+                        broker: sys.broker_node(0),
+                    },
+                ),
                 (
                     SimTime::from_millis(2),
                     ClientAction::LocSubscribe {
@@ -162,7 +167,12 @@ pub fn figure3(params: &Figure3Params) -> Vec<Figure3Row> {
             ],
         );
         let far = params.brokers - 1;
-        let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(far) })];
+        let mut script = vec![(
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: sys.broker_node(far),
+            },
+        )];
         let mut t = SimTime::from_millis(40);
         let mut spot = 0i64;
         while t < horizon {
@@ -170,9 +180,14 @@ pub fn figure3(params: &Figure3Params) -> Vec<Figure3Row> {
                 script.push((t, ClientAction::Publish(vacancy_at(location, spot))));
                 spot += 1;
             }
-            t = t + SimDuration::from_millis(params.publish_interval_ms);
+            t += SimDuration::from_millis(params.publish_interval_ms);
         }
-        sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[far], script);
+        sys.add_client(
+            producer,
+            LogicalMobilityMode::LocationDependent,
+            &[far],
+            script,
+        );
         sys.run_until(horizon);
 
         // Blackout: first delivery for location b at or after the move.
@@ -267,14 +282,35 @@ pub fn figure5() -> Figure5Report {
         LogicalMobilityMode::LocationDependent,
         &[5, 0],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(5) }),
-            (SimTime::from_millis(2), ClientAction::Subscribe(scenarios::parking_filter())),
-            (SimTime::from_millis(500), ClientAction::MoveTo { broker: sys.broker_node(0) }),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(5),
+                },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(scenarios::parking_filter()),
+            ),
+            (
+                SimTime::from_millis(500),
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(0),
+                },
+            ),
         ],
     );
     let mut script = vec![
-        (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(7) }),
-        (SimTime::from_millis(2), ClientAction::Advertise(scenarios::parking_filter())),
+        (
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: sys.broker_node(7),
+            },
+        ),
+        (
+            SimTime::from_millis(2),
+            ClientAction::Advertise(scenarios::parking_filter()),
+        ),
     ];
     let publications = 40u64;
     for i in 0..publications {
@@ -283,7 +319,12 @@ pub fn figure5() -> Figure5Report {
             ClientAction::Publish(vacancy_at(LocationId(0), i as i64)),
         ));
     }
-    sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[7], script);
+    sys.add_client(
+        producer,
+        LogicalMobilityMode::LocationDependent,
+        &[7],
+        script,
+    );
     sys.run_until(SimTime::from_secs(10));
 
     let log = sys.client_log(consumer);
@@ -372,7 +413,11 @@ pub fn figure9(params: &Figure9Params) -> Vec<Figure9Series> {
     };
 
     let runs = [
-        ("flooding", LogicalScheme::Flooding, SimDuration::from_secs(1)),
+        (
+            "flooding",
+            LogicalScheme::Flooding,
+            SimDuration::from_secs(1),
+        ),
         (
             "new alg. Delta=1s",
             LogicalScheme::LocationDependent(AdaptivityPlan::adaptive(1_000_000, &hop_delays)),
@@ -411,7 +456,10 @@ mod tests {
         assert_eq!(relocation.duplicated, 0);
         assert!(relocation.fifo_preserved);
         let naive_signoff = &rows[1];
-        assert!(naive_signoff.lost > 0, "naive sign-off must lose notifications");
+        assert!(
+            naive_signoff.lost > 0,
+            "naive sign-off must lose notifications"
+        );
         let naive_silent = &rows[2];
         assert!(
             naive_silent.duplicated > 0,
@@ -429,7 +477,10 @@ mod tests {
         // The baseline blackout is about 2·t_d (the subscription travels to
         // the producer and notifications travel back) — with 20 ms links and
         // 4 brokers that is at least ~100 ms.
-        assert!(baseline >= 100, "baseline blackout too short: {baseline} ms");
+        assert!(
+            baseline >= 100,
+            "baseline blackout too short: {baseline} ms"
+        );
         // Flooding and the location-dependent scheme recover within roughly
         // one client-link round trip plus one publication interval.
         assert!(flooding < 100, "flooding blackout too long: {flooding} ms");

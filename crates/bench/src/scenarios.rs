@@ -121,23 +121,47 @@ pub fn run_physical(params: &PhysicalScenario) -> PhysicalOutcome {
         LogicalMobilityMode::LocationDependent,
         &[5, 0],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: old_broker }),
-            (SimTime::from_millis(2), ClientAction::Subscribe(parking_filter())),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach { broker: old_broker },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(parking_filter()),
+            ),
             (params.move_at, move_action),
         ],
     );
     let mut script = vec![
-        (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(7) }),
-        (SimTime::from_millis(2), ClientAction::Advertise(parking_filter())),
+        (
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: sys.broker_node(7),
+            },
+        ),
+        (
+            SimTime::from_millis(2),
+            ClientAction::Advertise(parking_filter()),
+        ),
     ];
     for i in 0..params.publications {
         let at = SimTime::from_millis(50) + params.publish_interval.saturating_mul(i);
-        script.push((at, ClientAction::Publish(vacancy_at(LocationId(0), i as i64))));
+        script.push((
+            at,
+            ClientAction::Publish(vacancy_at(LocationId(0), i as i64)),
+        ));
     }
-    sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[7], script);
+    sys.add_client(
+        producer,
+        LogicalMobilityMode::LocationDependent,
+        &[7],
+        script,
+    );
 
     let horizon = SimTime::from_millis(50)
-        + params.publish_interval.saturating_mul(params.publications + 10)
+        + params
+            .publish_interval
+            .saturating_mul(params.publications + 10)
         + SimDuration::from_secs(2);
     sys.run_until(horizon);
 
@@ -274,7 +298,12 @@ pub fn run_logical(params: &LogicalScenario) -> LogicalOutcome {
         ),
     };
     let mut consumer_script = vec![
-        (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
+        (
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: sys.broker_node(0),
+            },
+        ),
         (
             SimTime::from_millis(2),
             ClientAction::LocSubscribe {
@@ -298,14 +327,19 @@ pub fn run_logical(params: &LogicalScenario) -> LogicalOutcome {
     let locations: Vec<LocationId> = params.movement_graph.space().ids().collect();
     for p in 0..params.producers {
         let id = ClientId(100 + p as u32);
-        let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(far) })];
+        let mut script = vec![(
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: sys.broker_node(far),
+            },
+        )];
         let mut t = SimTime::from_millis(40 + p as u64 * 7);
         let mut spot = 0i64;
         while t < params.horizon {
             let location = locations[rng.gen_range(0..locations.len())];
             script.push((t, ClientAction::Publish(vacancy_at(location, spot))));
             spot += 1;
-            t = t + params.publish_interval;
+            t += params.publish_interval;
         }
         sys.add_client(id, LogicalMobilityMode::LocationDependent, &[far], script);
     }
@@ -378,9 +412,6 @@ mod tests {
         assert!(flooding.total_messages > managed.total_messages);
         assert!(!managed.message_series.is_empty());
         // The cumulative series is non-decreasing.
-        assert!(managed
-            .message_series
-            .windows(2)
-            .all(|w| w[0].1 <= w[1].1));
+        assert!(managed.message_series.windows(2).all(|w| w[0].1 <= w[1].1));
     }
 }

@@ -115,11 +115,7 @@ pub fn table2() -> Vec<FilterRow> {
             let x = graph.space().id(name).expect("location exists");
             let sets = plan.location_sets(&graph, x);
             // The paper prints F3 F2 F1 F0 (left to right).
-            let filters = sets
-                .iter()
-                .rev()
-                .map(|s| render_set(&graph, s))
-                .collect();
+            let filters = sets.iter().rev().map(|s| render_set(&graph, s)).collect();
             FilterRow {
                 t,
                 location: (*name).to_string(),

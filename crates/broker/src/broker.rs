@@ -345,9 +345,9 @@ impl BrokerCore {
 
         // Broker-to-broker forwarding.
         let all_links = self.broker_links.clone();
-        let destinations =
-            self.engine
-                .route(&envelope.notification, exclude.as_ref(), &all_links);
+        let destinations = self
+            .engine
+            .route(&envelope.notification, exclude.as_ref(), &all_links);
         for dest in destinations {
             if self.broker_links.contains(&dest) {
                 out.push((dest, Message::Notification(envelope.clone())));
@@ -451,7 +451,9 @@ mod tests {
         b.handle_attach(ClientId(1), NodeId(100));
         let out = b.handle_subscribe(ClientId(1), parking(), NodeId(100));
         assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|(_, m)| matches!(m, Message::Subscribe { .. })));
+        assert!(out
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Subscribe { .. })));
         assert_eq!(b.client(ClientId(1)).unwrap().subscriptions.len(), 1);
     }
 
@@ -480,7 +482,9 @@ mod tests {
         b.handle_attach(ClientId(1), NodeId(100));
         let wide2 = Filter::new().with("service", Constraint::Exists);
         b.handle_subscribe(ClientId(5), wide2, NodeId(11));
-        assert!(b.handle_subscribe(ClientId(1), parking(), NodeId(100)).is_empty());
+        assert!(b
+            .handle_subscribe(ClientId(1), parking(), NodeId(100))
+            .is_empty());
     }
 
     #[test]
@@ -564,7 +568,10 @@ mod tests {
         b.handle_detach(ClientId(1));
         b.handle_attach(ClientId(2), NodeId(101));
         let out = b.handle_publish(ClientId(2), vacancy(), NodeId(101));
-        assert!(out.is_empty(), "nothing must be sent to a disconnected client");
+        assert!(
+            out.is_empty(),
+            "nothing must be sent to a disconnected client"
+        );
         let parked = b.take_parked();
         assert_eq!(parked.len(), 1);
         assert_eq!(parked[0].seq, 1);
@@ -578,10 +585,18 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, NodeId(11));
         // Duplicate advertisement from the same link is suppressed.
-        assert!(b.handle_advertise(ClientId(9), parking(), NodeId(10)).is_empty());
+        assert!(b
+            .handle_advertise(ClientId(9), parking(), NodeId(10))
+            .is_empty());
         // Retraction propagates once.
-        assert_eq!(b.handle_unadvertise(ClientId(9), parking(), NodeId(10)).len(), 1);
-        assert!(b.handle_unadvertise(ClientId(9), parking(), NodeId(10)).is_empty());
+        assert_eq!(
+            b.handle_unadvertise(ClientId(9), parking(), NodeId(10))
+                .len(),
+            1
+        );
+        assert!(b
+            .handle_unadvertise(ClientId(9), parking(), NodeId(10))
+            .is_empty());
     }
 
     #[test]
@@ -594,13 +609,20 @@ mod tests {
         assert!(b.client(ClientId(1)).unwrap().subscriptions.is_empty());
         // Publishing afterwards delivers nothing.
         b.handle_attach(ClientId(2), NodeId(101));
-        assert!(b.handle_publish(ClientId(2), vacancy(), NodeId(101)).is_empty());
+        assert!(b
+            .handle_publish(ClientId(2), vacancy(), NodeId(101))
+            .is_empty());
     }
 
     #[test]
     fn handle_message_dispatches_and_rejects_mobility_messages() {
         let mut b = broker();
-        let ok = b.handle_message(NodeId(100), Message::Attach { client: ClientId(1) });
+        let ok = b.handle_message(
+            NodeId(100),
+            Message::Attach {
+                client: ClientId(1),
+            },
+        );
         assert!(ok.is_ok());
         let err = b.handle_message(
             NodeId(10),

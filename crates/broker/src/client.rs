@@ -76,10 +76,7 @@ impl ConsumerLog {
         }
         seen.push(publication);
 
-        let last = self
-            .last_seq
-            .entry(delivery.filter.clone())
-            .or_insert(0);
+        let last = self.last_seq.entry(delivery.filter.clone()).or_insert(0);
         if delivery.seq > *last {
             *last = delivery.seq;
         }
@@ -153,7 +150,11 @@ impl ConsumerLog {
 
     /// Checks completeness against an expected set of publisher sequence
     /// numbers: returns the numbers that never arrived.
-    pub fn missing_from(&self, publisher: ClientId, expected: impl IntoIterator<Item = u64>) -> Vec<u64> {
+    pub fn missing_from(
+        &self,
+        publisher: ClientId,
+        expected: impl IntoIterator<Item = u64>,
+    ) -> Vec<u64> {
         let received = self.distinct_publisher_seqs(publisher);
         expected
             .into_iter()
@@ -217,7 +218,10 @@ mod tests {
         assert!(!log.is_clean());
         assert!(matches!(
             log.violations()[0],
-            DeliveryViolation::Duplicate { publisher_seq: 1, .. }
+            DeliveryViolation::Duplicate {
+                publisher_seq: 1,
+                ..
+            }
         ));
         assert_eq!(log.duplicate_publications(ClientId(9)), 1);
     }

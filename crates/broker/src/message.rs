@@ -292,14 +292,19 @@ mod tests {
             hop: 1
         }
         .is_mobility_admin());
-        assert!(!Message::Attach { client: ClientId(1) }.is_data());
+        assert!(!Message::Attach {
+            client: ClientId(1)
+        }
+        .is_data());
     }
 
     #[test]
     fn kind_names_are_distinct_for_the_main_kinds() {
         let n = Notification::new();
-        let msgs = vec![
-            Message::Attach { client: ClientId(1) },
+        let msgs = [
+            Message::Attach {
+                client: ClientId(1),
+            },
             Message::Publish {
                 publisher: ClientId(1),
                 notification: n.clone(),
@@ -319,8 +324,7 @@ mod tests {
                 },
             }),
         ];
-        let names: std::collections::BTreeSet<&str> =
-            msgs.iter().map(|m| m.kind_name()).collect();
+        let names: std::collections::BTreeSet<&str> = msgs.iter().map(|m| m.kind_name()).collect();
         assert_eq!(names.len(), msgs.len());
     }
 }

@@ -31,10 +31,7 @@ impl SequenceRegistry {
     /// Returns the next sequence number for the stream and advances it.
     /// The first number of a fresh stream is 1.
     pub fn next(&mut self, client: ClientId, filter: &Filter) -> u64 {
-        let counter = self
-            .next
-            .entry((client, filter.clone()))
-            .or_insert(1);
+        let counter = self.next.entry((client, filter.clone())).or_insert(1);
         let seq = *counter;
         *counter += 1;
         seq
@@ -149,8 +146,8 @@ impl DeliveryBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rebeca_filter::{Constraint, Notification};
     use crate::message::Envelope;
+    use rebeca_filter::{Constraint, Notification};
 
     fn filter() -> Filter {
         Filter::new().with("service", Constraint::Eq("parking".into()))
@@ -235,7 +232,10 @@ mod tests {
             buf.push(delivery(seq));
         }
         let drained = buf.drain_ordered();
-        assert_eq!(drained.iter().map(|d| d.seq).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            drained.iter().map(|d| d.seq).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
         assert!(buf.is_empty());
         assert_eq!(buf.last_seq(), 0);
     }

@@ -176,7 +176,12 @@ impl ClientNode {
         }
     }
 
-    fn instantiate_manual(&self, template: &LocationDependentFilter, vicinity: usize, location: LocationId) -> Filter {
+    fn instantiate_manual(
+        &self,
+        template: &LocationDependentFilter,
+        vicinity: usize,
+        location: LocationId,
+    ) -> Filter {
         let locations = self
             .movement_graph
             .ploc(location, vicinity)
@@ -377,8 +382,7 @@ impl ClientNode {
                     }
                     LogicalMobilityMode::ManualSubUnsub { vicinity } => {
                         if let Some((template, old_filter)) = self.manual_loc_filter.clone() {
-                            let new_filter =
-                                self.instantiate_manual(&template, vicinity, location);
+                            let new_filter = self.instantiate_manual(&template, vicinity, location);
                             if new_filter != old_filter {
                                 self.subscriptions.retain(|f| f != &old_filter);
                                 if !self.subscriptions.contains(&new_filter) {
@@ -457,6 +461,7 @@ mod tests {
     }
 
     /// Wrapper so a network can host both clients and sinks.
+    #[allow(clippy::large_enum_variant)]
     enum TestNode {
         Client(ClientNode),
         Sink(Sink),
@@ -483,7 +488,11 @@ mod tests {
         let client = net.add_node(TestNode::Client(client_node));
         net.connect(broker, client, DelayModel::constant_millis(1));
         for (i, _) in script.iter().enumerate() {
-            net.schedule_timer(client, rebeca_sim::SimDuration::from_millis(i as u64 + 1), i as u64);
+            net.schedule_timer(
+                client,
+                rebeca_sim::SimDuration::from_millis(i as u64 + 1),
+                i as u64,
+            );
         }
         net.run(10_000);
         let received = match net.node(broker) {
@@ -527,10 +536,7 @@ mod tests {
             ClientAction::SetLocation(LocationId(1)),
         ];
         let (received, client) = run_script(script);
-        assert!(matches!(
-            received[1],
-            Message::LocSubscribe { hop: 0, .. }
-        ));
+        assert!(matches!(received[1], Message::LocSubscribe { hop: 0, .. }));
         assert!(matches!(
             received[2],
             Message::LocationUpdate {
@@ -566,7 +572,11 @@ mod tests {
         let client = net.add_node(TestNode::Client(client_node));
         net.connect(broker, client, DelayModel::constant_millis(1));
         for (i, _) in script.iter().enumerate() {
-            net.schedule_timer(client, rebeca_sim::SimDuration::from_millis(i as u64 + 1), i as u64);
+            net.schedule_timer(
+                client,
+                rebeca_sim::SimDuration::from_millis(i as u64 + 1),
+                i as u64,
+            );
         }
         net.run(10_000);
         let received = match net.node(broker) {
@@ -612,8 +622,12 @@ mod tests {
         // Attach, Subscribe, Attach (new), Subscribe (new) — no Detach, no
         // Unsubscribe.
         assert_eq!(received.len(), 4);
-        assert!(received.iter().all(|m| !matches!(m, Message::Detach { .. })));
-        assert!(received.iter().all(|m| !matches!(m, Message::Unsubscribe { .. })));
+        assert!(received
+            .iter()
+            .all(|m| !matches!(m, Message::Detach { .. })));
+        assert!(received
+            .iter()
+            .all(|m| !matches!(m, Message::Unsubscribe { .. })));
     }
 
     #[test]

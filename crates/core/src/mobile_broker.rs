@@ -345,14 +345,12 @@ impl MobileBroker {
 
         // Install the subscription for the new path (without ordinary
         // propagation — the Relocate message itself propagates).
-        let already_routed_to_new_path = self
-            .core
-            .engine()
-            .table()
-            .filters_for(&from)
-            .contains(&filter);
+        let already_routed_to_new_path = self.core.engine().table().contains_entry(&filter, &from);
         if !already_routed_to_new_path {
-            self.core.engine_mut().table_mut().insert(filter.clone(), from);
+            self.core
+                .engine_mut()
+                .table_mut()
+                .insert(filter.clone(), from);
         }
 
         // Junction test: an identical filter from a *different* link means the
@@ -456,14 +454,11 @@ impl MobileBroker {
             .filter(|l| self.core.broker_links().contains(l))
             .collect();
         if let Some(&next) = old_links.first() {
-            if !self
-                .core
-                .engine()
-                .table()
-                .filters_for(&from)
-                .contains(&filter)
-            {
-                self.core.engine_mut().table_mut().insert(filter.clone(), from);
+            if !self.core.engine().table().contains_entry(&filter, &from) {
+                self.core
+                    .engine_mut()
+                    .table_mut()
+                    .insert(filter.clone(), from);
             }
             ctx.metrics().incr("mobility.fetch_forwarded");
             out.push((
@@ -499,13 +494,7 @@ impl MobileBroker {
         // and the new border broker (or host producers): future notifications
         // matching the subscription must keep flowing towards the new
         // location, so the delivery path is re-pointed here as well.
-        if !self
-            .core
-            .engine()
-            .table()
-            .filters_for(&towards)
-            .contains(filter)
-        {
+        if !self.core.engine().table().contains_entry(filter, &towards) {
             self.core
                 .engine_mut()
                 .table_mut()
@@ -633,7 +622,11 @@ impl MobileBroker {
 
     /// Relocation timeout: if the replay never arrived, flush the holding
     /// buffer so the client at least receives the fresh notifications.
-    fn handle_timeout(&mut self, tag: u64, ctx: &mut Context<'_, Message>) -> Vec<(NodeId, Message)> {
+    fn handle_timeout(
+        &mut self,
+        tag: u64,
+        ctx: &mut Context<'_, Message>,
+    ) -> Vec<(NodeId, Message)> {
         let Some(key) = self.timeout_tags.remove(&tag) else {
             return Vec::new();
         };
@@ -702,6 +695,7 @@ impl MobileBroker {
 
     /// Handles a location-dependent subscription entering or travelling
     /// through the network.
+    #[allow(clippy::too_many_arguments)] // mirrors the LocSubscribe message fields
     fn handle_loc_subscribe(
         &mut self,
         sub_id: SubscriptionId,
@@ -874,10 +868,10 @@ impl Node for MobileBroker {
                         plan,
                         location,
                         hop,
-                    } => self.handle_loc_subscribe(sub_id, template, plan, location, hop, from, ctx),
-                    Message::LocUnsubscribe { sub_id } => {
-                        self.handle_loc_unsubscribe(sub_id, from)
+                    } => {
+                        self.handle_loc_subscribe(sub_id, template, plan, location, hop, from, ctx)
                     }
+                    Message::LocUnsubscribe { sub_id } => self.handle_loc_unsubscribe(sub_id, from),
                     Message::LocationUpdate {
                         sub_id,
                         location,

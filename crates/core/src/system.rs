@@ -9,8 +9,8 @@
 
 use std::collections::BTreeMap;
 
-use rebeca_broker::{ClientId, ConsumerLog};
 use rebeca_broker::{BrokerRole, Message};
+use rebeca_broker::{ClientId, ConsumerLog};
 use rebeca_sim::{
     Context, DelayModel, Incoming, Metrics, Network, Node, NodeId, SimDuration, SimTime, Topology,
 };
@@ -20,6 +20,7 @@ use crate::mobile_broker::{BrokerConfig, MobileBroker};
 
 /// A node of the simulated system: either a broker or a client.
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one node per simulated process; size is irrelevant
 pub enum SystemNode {
     /// A mobility-aware broker.
     Broker(MobileBroker),
@@ -243,13 +244,23 @@ mod tests {
             LogicalMobilityMode::LocationDependent,
             &[0],
             vec![
-                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
-                (SimTime::from_millis(2), ClientAction::Subscribe(parking_filter())),
+                (
+                    SimTime::from_millis(1),
+                    ClientAction::Attach {
+                        broker: sys.broker_node(0),
+                    },
+                ),
+                (
+                    SimTime::from_millis(2),
+                    ClientAction::Subscribe(parking_filter()),
+                ),
             ],
         );
         let mut script = vec![(
             SimTime::from_millis(1),
-            ClientAction::Attach { broker: sys.broker_node(2) },
+            ClientAction::Attach {
+                broker: sys.broker_node(2),
+            },
         )];
         for i in 0..10 {
             script.push((
@@ -257,7 +268,12 @@ mod tests {
                 ClientAction::Publish(vacancy(i as i64)),
             ));
         }
-        sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[2], script);
+        sys.add_client(
+            producer,
+            LogicalMobilityMode::LocationDependent,
+            &[2],
+            script,
+        );
 
         sys.run_until(SimTime::from_secs(2));
 
@@ -287,8 +303,16 @@ mod tests {
             LogicalMobilityMode::LocationDependent,
             &[0],
             vec![
-                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
-                (SimTime::from_millis(2), ClientAction::Subscribe(parking_filter())),
+                (
+                    SimTime::from_millis(1),
+                    ClientAction::Attach {
+                        broker: sys.broker_node(0),
+                    },
+                ),
+                (
+                    SimTime::from_millis(2),
+                    ClientAction::Subscribe(parking_filter()),
+                ),
             ],
         );
         sys.add_client(
@@ -296,7 +320,12 @@ mod tests {
             LogicalMobilityMode::LocationDependent,
             &[2],
             vec![
-                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(2) }),
+                (
+                    SimTime::from_millis(1),
+                    ClientAction::Attach {
+                        broker: sys.broker_node(2),
+                    },
+                ),
                 (SimTime::from_millis(100), ClientAction::Publish(vacancy(1))),
                 (SimTime::from_millis(110), ClientAction::Publish(vacancy(2))),
             ],
@@ -318,7 +347,12 @@ mod tests {
             LogicalMobilityMode::LocationDependent,
             &[0],
             vec![
-                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
+                (
+                    SimTime::from_millis(1),
+                    ClientAction::Attach {
+                        broker: sys.broker_node(0),
+                    },
+                ),
                 (
                     SimTime::from_millis(2),
                     ClientAction::Subscribe(
@@ -332,7 +366,12 @@ mod tests {
             LogicalMobilityMode::LocationDependent,
             &[1],
             vec![
-                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(1) }),
+                (
+                    SimTime::from_millis(1),
+                    ClientAction::Attach {
+                        broker: sys.broker_node(1),
+                    },
+                ),
                 (SimTime::from_millis(100), ClientAction::Publish(vacancy(1))),
             ],
         );
@@ -352,7 +391,12 @@ mod tests {
             c,
             LogicalMobilityMode::LocationDependent,
             &[1],
-            vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(1) })],
+            vec![(
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(1),
+                },
+            )],
         );
         sys.run_until(SimTime::from_millis(50));
         assert_eq!(sys.client(c).id(), c);

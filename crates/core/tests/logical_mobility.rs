@@ -70,7 +70,12 @@ fn per_hop_filters_reproduce_table_2() {
         LogicalMobilityMode::LocationDependent,
         &[0],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(0),
+                },
+            ),
             (
                 SimTime::from_millis(2),
                 ClientAction::LocSubscribe {
@@ -86,24 +91,32 @@ fn per_hop_filters_reproduce_table_2() {
 
     // Row t = 0 of Table 2 (client at a): F0 = {a}, F1 = {a,b,c}, F2 = {a,b,c,d}.
     sys.run_until(SimTime::from_millis(500));
-    let ids = |names: &[&str]| -> BTreeSet<u32> {
-        names.iter().map(|n| loc(&graph, n).raw()).collect()
-    };
+    let ids =
+        |names: &[&str]| -> BTreeSet<u32> { names.iter().map(|n| loc(&graph, n).raw()).collect() };
     assert_eq!(installed_locations(&sys, 0, sub), ids(&["a"]));
     assert_eq!(installed_locations(&sys, 1, sub), ids(&["a", "b", "c"]));
-    assert_eq!(installed_locations(&sys, 2, sub), ids(&["a", "b", "c", "d"]));
+    assert_eq!(
+        installed_locations(&sys, 2, sub),
+        ids(&["a", "b", "c", "d"])
+    );
 
     // Row t = 1 (client at b): F0 = {b}, F1 = {a,b,d}, F2 = {a,b,c,d}.
     sys.run_until(SimTime::from_millis(1_500));
     assert_eq!(installed_locations(&sys, 0, sub), ids(&["b"]));
     assert_eq!(installed_locations(&sys, 1, sub), ids(&["a", "b", "d"]));
-    assert_eq!(installed_locations(&sys, 2, sub), ids(&["a", "b", "c", "d"]));
+    assert_eq!(
+        installed_locations(&sys, 2, sub),
+        ids(&["a", "b", "c", "d"])
+    );
 
     // Row t = 2 (client at d): F0 = {d}, F1 = {b,c,d}, F2 = {a,b,c,d}.
     sys.run_until(SimTime::from_millis(2_500));
     assert_eq!(installed_locations(&sys, 0, sub), ids(&["d"]));
     assert_eq!(installed_locations(&sys, 1, sub), ids(&["b", "c", "d"]));
-    assert_eq!(installed_locations(&sys, 2, sub), ids(&["a", "b", "c", "d"]));
+    assert_eq!(
+        installed_locations(&sys, 2, sub),
+        ids(&["a", "b", "c", "d"])
+    );
 
     // The brokers also record the consumer's latest location.
     assert_eq!(sys.broker(0).loc_sub_location(sub), Some(d));
@@ -135,7 +148,12 @@ fn blackout_scenario(
         mode,
         &[0],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(0),
+                },
+            ),
             (
                 SimTime::from_millis(2),
                 ClientAction::LocSubscribe {
@@ -149,15 +167,25 @@ fn blackout_scenario(
     );
 
     // The producer publishes a vacancy for every location every 20 ms.
-    let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(3) })];
+    let mut script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: sys.broker_node(3),
+        },
+    )];
     let mut t = SimTime::from_millis(40);
     while t < horizon {
         for location in graph.space().ids() {
             script.push((t, ClientAction::Publish(vacancy_at(location))));
         }
-        t = t + SimDuration::from_millis(20);
+        t += SimDuration::from_millis(20);
     }
-    sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[3], script);
+    sys.add_client(
+        producer,
+        LogicalMobilityMode::LocationDependent,
+        &[3],
+        script,
+    );
 
     (sys, consumer, graph)
 }
@@ -179,7 +207,10 @@ fn deliveries_for_location_in_window(
         .filter(|(d, (t, _))| {
             *t >= from
                 && *t <= to
-                && d.envelope.notification.get("location").and_then(|v| v.as_location())
+                && d.envelope
+                    .notification
+                    .get("location")
+                    .and_then(|v| v.as_location())
                     == Some(location.raw())
         })
         .count()
@@ -261,23 +292,42 @@ fn flooding_with_client_side_filtering_avoids_the_blackout_but_costs_more() {
             mode,
             &[0],
             vec![
-                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
+                (
+                    SimTime::from_millis(1),
+                    ClientAction::Attach {
+                        broker: sys.broker_node(0),
+                    },
+                ),
                 (
                     SimTime::from_millis(2),
-                    ClientAction::LocSubscribe { template: template(), plan, location: a },
+                    ClientAction::LocSubscribe {
+                        template: template(),
+                        plan,
+                        location: a,
+                    },
                 ),
                 (move_at, ClientAction::SetLocation(b)),
             ],
         );
-        let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(3) })];
+        let mut script = vec![(
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: sys.broker_node(3),
+            },
+        )];
         let mut t = SimTime::from_millis(40);
         while t < horizon {
             for location in graph.space().ids() {
                 script.push((t, ClientAction::Publish(vacancy_at(location))));
             }
-            t = t + SimDuration::from_millis(20);
+            t += SimDuration::from_millis(20);
         }
-        sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[3], script);
+        sys.add_client(
+            producer,
+            LogicalMobilityMode::LocationDependent,
+            &[3],
+            script,
+        );
         sys.run_until(horizon);
         (sys, consumer)
     };
@@ -336,7 +386,12 @@ fn delivered_notifications_always_match_a_recent_location() {
             LogicalMobilityMode::LocationDependent,
             &[0],
             vec![
-                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
+                (
+                    SimTime::from_millis(1),
+                    ClientAction::Attach {
+                        broker: sys.broker_node(0),
+                    },
+                ),
                 (
                     SimTime::from_millis(2),
                     ClientAction::LocSubscribe {
@@ -349,20 +404,34 @@ fn delivered_notifications_always_match_a_recent_location() {
                 (SimTime::from_secs(2), ClientAction::SetLocation(d)),
             ],
         );
-        let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(3) })];
+        let mut script = vec![(
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: sys.broker_node(3),
+            },
+        )];
         let mut t = SimTime::from_millis(40);
         while t < SimTime::from_secs(3) {
             for location in graph.space().ids() {
                 script.push((t, ClientAction::Publish(vacancy_at(location))));
             }
-            t = t + SimDuration::from_millis(20);
+            t += SimDuration::from_millis(20);
         }
-        sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[3], script);
+        sys.add_client(
+            producer,
+            LogicalMobilityMode::LocationDependent,
+            &[3],
+            script,
+        );
         (sys, consumer, producer)
     };
     sys.run_until(SimTime::from_secs(3));
 
-    let itinerary = [(SimTime::ZERO, a), (SimTime::from_secs(1), b), (SimTime::from_secs(2), d)];
+    let itinerary = [
+        (SimTime::ZERO, a),
+        (SimTime::from_secs(1), b),
+        (SimTime::from_secs(2), d),
+    ];
     let location_at = |t: SimTime| {
         itinerary
             .iter()
@@ -373,7 +442,10 @@ fn delivered_notifications_always_match_a_recent_location() {
     };
 
     let client = sys.client(consumer);
-    assert!(client.log().len() > 50, "the consumer must receive a steady stream");
+    assert!(
+        client.log().len() > 50,
+        "the consumer must receive a steady stream"
+    );
     for delivery in client.log().deliveries() {
         let delivered_loc = delivery
             .envelope
@@ -429,7 +501,12 @@ fn loc_unsubscribe_removes_state_everywhere() {
         LogicalMobilityMode::LocationDependent,
         &[0],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) }),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(0),
+                },
+            ),
             (
                 SimTime::from_millis(2),
                 ClientAction::LocSubscribe {
@@ -454,7 +531,12 @@ fn loc_unsubscribe_removes_state_everywhere() {
         LogicalMobilityMode::LocationDependent,
         &[0],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: sys2.broker_node(0) }),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys2.broker_node(0),
+                },
+            ),
             (
                 SimTime::from_millis(2),
                 ClientAction::LocSubscribe {
@@ -463,7 +545,10 @@ fn loc_unsubscribe_removes_state_everywhere() {
                     location: a,
                 },
             ),
-            (SimTime::from_millis(500), ClientAction::LocUnsubscribe { index: 0 }),
+            (
+                SimTime::from_millis(500),
+                ClientAction::LocUnsubscribe { index: 0 },
+            ),
         ],
     );
     sys2.run_until(SimTime::from_secs(1));

@@ -60,15 +60,29 @@ fn figure5_scenario(
         LogicalMobilityMode::LocationDependent,
         &[5, 0],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: old_broker }),
-            (SimTime::from_millis(2), ClientAction::Subscribe(parking_filter())),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach { broker: old_broker },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(parking_filter()),
+            ),
             (move_at, move_action),
         ],
     );
 
     let mut producer_script = vec![
-        (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(7) }),
-        (SimTime::from_millis(2), ClientAction::Advertise(parking_filter())),
+        (
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: sys.broker_node(7),
+            },
+        ),
+        (
+            SimTime::from_millis(2),
+            ClientAction::Advertise(parking_filter()),
+        ),
     ];
     for i in 0..publications {
         producer_script.push((
@@ -123,13 +137,8 @@ fn relocation_is_complete_ordered_and_duplicate_free() {
 fn relocation_works_under_other_routing_strategies() {
     for strategy in [RoutingStrategyKind::Simple, RoutingStrategyKind::Merging] {
         let publications = 20;
-        let (mut sys, consumer, producer) = figure5_scenario(
-            strategy,
-            SimTime::from_millis(300),
-            publications,
-            20,
-            None,
-        );
+        let (mut sys, consumer, producer) =
+            figure5_scenario(strategy, SimTime::from_millis(300), publications, 20, None);
         sys.run_until(SimTime::from_secs(10));
         let log = sys.client_log(consumer);
         assert!(log.is_clean(), "{strategy:?}: {:?}", log.violations());
@@ -155,8 +164,15 @@ fn old_broker_garbage_collects_after_relocation() {
     sys.run_until(SimTime::from_secs(10));
 
     let old_broker = sys.broker(5); // B6
-    assert_eq!(old_broker.counterpart_count(), 0, "counterpart must be garbage collected");
-    assert!(old_broker.core().client(consumer).is_none(), "client record must be gone");
+    assert_eq!(
+        old_broker.counterpart_count(),
+        0,
+        "counterpart must be garbage collected"
+    );
+    assert!(
+        old_broker.core().client(consumer).is_none(),
+        "client record must be gone"
+    );
     assert_eq!(old_broker.buffered_deliveries(), 0);
 
     // The new border broker has taken over the client and holds no pending
@@ -190,23 +206,40 @@ fn notifications_during_disconnection_are_replayed() {
         LogicalMobilityMode::LocationDependent,
         &[5, 0],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: old_broker }),
-            (SimTime::from_millis(2), ClientAction::Subscribe(parking_filter())),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach { broker: old_broker },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(parking_filter()),
+            ),
             // Modelled as two steps: the old broker detects the link drop at
             // 200 ms, the client shows up at the new broker at 800 ms.
-            (SimTime::from_millis(200), ClientAction::MoveTo { broker: new_broker }),
+            (
+                SimTime::from_millis(200),
+                ClientAction::MoveTo { broker: new_broker },
+            ),
         ],
     );
-    let mut producer_script = vec![
-        (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(7) }),
-    ];
+    let mut producer_script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: sys.broker_node(7),
+        },
+    )];
     for i in 0..30u64 {
         producer_script.push((
             SimTime::from_millis(50 + i * 20),
             ClientAction::Publish(vacancy(i as i64)),
         ));
     }
-    sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[7], producer_script);
+    sys.add_client(
+        producer,
+        LogicalMobilityMode::LocationDependent,
+        &[7],
+        producer_script,
+    );
 
     sys.run_until(SimTime::from_secs(10));
     let log = sys.client_log(consumer);
@@ -237,23 +270,40 @@ fn reconnecting_to_the_same_broker_replays_locally() {
         LogicalMobilityMode::LocationDependent,
         &[0],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: home }),
-            (SimTime::from_millis(2), ClientAction::Subscribe(parking_filter())),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach { broker: home },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(parking_filter()),
+            ),
             // Disconnect (detected by the broker), then come back to the same
             // broker later.
-            (SimTime::from_millis(300), ClientAction::MoveTo { broker: home }),
+            (
+                SimTime::from_millis(300),
+                ClientAction::MoveTo { broker: home },
+            ),
         ],
     );
-    let mut producer_script = vec![
-        (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(2) }),
-    ];
+    let mut producer_script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: sys.broker_node(2),
+        },
+    )];
     for i in 0..20u64 {
         producer_script.push((
             SimTime::from_millis(50 + i * 20),
             ClientAction::Publish(vacancy(i as i64)),
         ));
     }
-    sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[2], producer_script);
+    sys.add_client(
+        producer,
+        LogicalMobilityMode::LocationDependent,
+        &[2],
+        producer_script,
+    );
 
     sys.run_until(SimTime::from_secs(5));
     let log = sys.client_log(consumer);
@@ -363,22 +413,43 @@ fn relocation_with_multiple_producers() {
         LogicalMobilityMode::LocationDependent,
         &[5, 0],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(5) }),
-            (SimTime::from_millis(2), ClientAction::Subscribe(parking_filter())),
-            (SimTime::from_millis(500), ClientAction::MoveTo { broker: sys.broker_node(0) }),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(5),
+                },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(parking_filter()),
+            ),
+            (
+                SimTime::from_millis(500),
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(0),
+                },
+            ),
         ],
     );
     for (client, broker_index) in [(producer_far, 7usize), (producer_near, 1usize)] {
-        let mut script = vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(broker_index) }),
-        ];
+        let mut script = vec![(
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: sys.broker_node(broker_index),
+            },
+        )];
         for i in 0..30u64 {
             script.push((
                 SimTime::from_millis(60 + i * 30),
                 ClientAction::Publish(vacancy(i as i64)),
             ));
         }
-        sys.add_client(client, LogicalMobilityMode::LocationDependent, &[broker_index], script);
+        sys.add_client(
+            client,
+            LogicalMobilityMode::LocationDependent,
+            &[broker_index],
+            script,
+        );
     }
 
     sys.run_until(SimTime::from_secs(10));
@@ -412,22 +483,48 @@ fn repeated_relocations_preserve_the_stream() {
         LogicalMobilityMode::LocationDependent,
         &[5, 0, 2],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(5) }),
-            (SimTime::from_millis(2), ClientAction::Subscribe(parking_filter())),
-            (SimTime::from_millis(400), ClientAction::MoveTo { broker: sys.broker_node(0) }),
-            (SimTime::from_millis(900), ClientAction::MoveTo { broker: sys.broker_node(2) }),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(5),
+                },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(parking_filter()),
+            ),
+            (
+                SimTime::from_millis(400),
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(0),
+                },
+            ),
+            (
+                SimTime::from_millis(900),
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(2),
+                },
+            ),
         ],
     );
-    let mut producer_script = vec![
-        (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(7) }),
-    ];
+    let mut producer_script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: sys.broker_node(7),
+        },
+    )];
     for i in 0..50u64 {
         producer_script.push((
             SimTime::from_millis(50 + i * 25),
             ClientAction::Publish(vacancy(i as i64)),
         ));
     }
-    sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[7], producer_script);
+    sys.add_client(
+        producer,
+        LogicalMobilityMode::LocationDependent,
+        &[7],
+        producer_script,
+    );
 
     sys.run_until(SimTime::from_secs(15));
     let log = sys.client_log(consumer);

@@ -97,23 +97,40 @@ fn run(s: &Scenario) -> (MobilitySystem, ClientId, ClientId) {
         LogicalMobilityMode::LocationDependent,
         &reachable,
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(s.start) }),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(s.start),
+                },
+            ),
             (SimTime::from_millis(2), ClientAction::Subscribe(filter())),
             (
                 SimTime::from_millis(s.move_at_ms),
-                ClientAction::MoveTo { broker: sys.broker_node(s.target) },
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(s.target),
+                },
             ),
         ],
     );
 
-    let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(s.producer_at) })];
+    let mut script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: sys.broker_node(s.producer_at),
+        },
+    )];
     for i in 0..s.publications {
         script.push((
             SimTime::from_millis(50 + i * 20),
             ClientAction::Publish(sample(i)),
         ));
     }
-    sys.add_client(producer, LogicalMobilityMode::LocationDependent, &[s.producer_at], script);
+    sys.add_client(
+        producer,
+        LogicalMobilityMode::LocationDependent,
+        &[s.producer_at],
+        script,
+    );
 
     sys.run_until(SimTime::from_secs(30));
     (sys, consumer, producer)

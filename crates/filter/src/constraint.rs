@@ -105,7 +105,10 @@ impl Constraint {
             // Coverage of point constraints: just test membership.
             (c, Eq(v)) => c.matches_value(v),
 
-            (Eq(_), _) => other.as_singleton().map(|v| self.matches_value(&v)).unwrap_or(false),
+            (Eq(_), _) => other
+                .as_singleton()
+                .map(|v| self.matches_value(&v))
+                .unwrap_or(false),
 
             (In(s1), In(s2)) => s2.iter().all(|v| s1.iter().any(|w| w.value_eq(v))),
             (In(_), Between(lo, hi)) => {
@@ -132,9 +135,9 @@ impl Constraint {
 
             (Prefix(p1), Prefix(p2)) => p2.starts_with(p1),
             (Suffix(p1), Suffix(p2)) => p2.ends_with(p1),
-            (Contains(p1), Prefix(p2)) | (Contains(p1), Suffix(p2)) | (Contains(p1), Contains(p2)) => {
-                p2.contains(p1)
-            }
+            (Contains(p1), Prefix(p2))
+            | (Contains(p1), Suffix(p2))
+            | (Contains(p1), Contains(p2)) => p2.contains(p1),
             (Prefix(_), In(s)) | (Suffix(_), In(s)) | (Contains(_), In(s)) => {
                 !s.is_empty() && s.iter().all(|v| self.matches_value(v))
             }
@@ -334,8 +337,12 @@ mod tests {
         assert!(!Constraint::Prefix("Rebeca".into()).covers(&Constraint::Prefix("Re".into())));
         assert!(Constraint::Contains("e".into()).covers(&Constraint::Contains("Rebeca".into())));
         assert!(Constraint::Prefix("Re".into()).covers(&Constraint::Eq(Value::from("Rebeca"))));
-        assert!(Constraint::Contains("bec".into())
-            .covers(&Constraint::any_of([Value::from("Rebeca"), Value::from("Quebec")])));
+        assert!(
+            Constraint::Contains("bec".into()).covers(&Constraint::any_of([
+                Value::from("Rebeca"),
+                Value::from("Quebec")
+            ]))
+        );
     }
 
     #[test]
@@ -359,7 +366,11 @@ mod tests {
     fn covering_is_consistent_with_matching_spot_checks() {
         // If c1 covers c2 then any value matching c2 must match c1.
         let cases = vec![
-            (Constraint::Lt(i(10)), Constraint::Lt(i(5)), vec![i(4), i(0), i(-3)]),
+            (
+                Constraint::Lt(i(10)),
+                Constraint::Lt(i(5)),
+                vec![i(4), i(0), i(-3)],
+            ),
             (
                 Constraint::any_of([1, 2, 3, 4]),
                 Constraint::any_of([2, 4]),

@@ -200,11 +200,7 @@ fn merge_constraints(a: &Constraint, b: &Constraint) -> Option<Constraint> {
         // Adjacent or overlapping intervals merge into their hull when the
         // hull contains no gap.
         (Between(lo1, hi1), Between(lo2, hi2)) => {
-            let (first_hi, second_lo) = if le(lo1, lo2) {
-                (hi1, lo2)
-            } else {
-                (hi2, lo1)
-            };
+            let (first_hi, second_lo) = if le(lo1, lo2) { (hi1, lo2) } else { (hi2, lo1) };
             if ge(first_hi, second_lo) || adjacent_ints(first_hi, second_lo) {
                 let lo = if le(lo1, lo2) { lo1 } else { lo2 };
                 let hi = if ge(hi1, hi2) { hi1 } else { hi2 };
@@ -450,7 +446,9 @@ mod tests {
 
     #[test]
     fn from_iterator_builds_filter() {
-        let f: Filter = vec![("a".to_string(), Constraint::Exists)].into_iter().collect();
+        let f: Filter = vec![("a".to_string(), Constraint::Exists)]
+            .into_iter()
+            .collect();
         assert_eq!(f.constraint("a"), Some(&Constraint::Exists));
     }
 }

@@ -17,8 +17,6 @@
 //!   string predicates) with covering and overlap checks.
 //! * [`Filter`] — conjunctions of constraints; the unit of subscription and
 //!   of routing-table entries.
-//! * [`FilterSet`] — covering/merging-aware collections of filters, the
-//!   building block of routing tables.
 //! * [`LocationDependentFilter`] — subscription templates with `myloc`
 //!   markers, instantiated against concrete location sets by the
 //!   logical-mobility layer.
@@ -46,16 +44,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// The covering/merging-aware `FilterSet` that used to live here moved to
+// `rebeca-matcher`, where it is backed by the attribute-partitioned
+// predicate index (this crate stays the dependency-free data model).
 mod constraint;
 mod filter;
-mod filterset;
 mod notification;
 mod template;
 mod value;
 
 pub use constraint::Constraint;
 pub use filter::Filter;
-pub use filterset::{FilterSet, InsertOutcome};
 pub use notification::{Notification, NotificationBuilder};
 pub use template::{LocationDependentFilter, TemplateConstraint};
 pub use value::{Value, ValueKind};

@@ -273,7 +273,10 @@ mod tests {
 
     #[test]
     fn different_kinds_do_not_compare() {
-        assert_eq!(Value::Int(1).partial_cmp_value(&Value::Str("1".into())), None);
+        assert_eq!(
+            Value::Int(1).partial_cmp_value(&Value::Str("1".into())),
+            None
+        );
         assert!(!Value::Bool(true).value_eq(&Value::Int(1)));
     }
 

@@ -35,7 +35,10 @@ impl Itinerary {
 
     /// Creates an itinerary visiting the given locations, staying
     /// `residence_micros` at each.
-    pub fn uniform<I: IntoIterator<Item = LocationId>>(locations: I, residence_micros: u64) -> Self {
+    pub fn uniform<I: IntoIterator<Item = LocationId>>(
+        locations: I,
+        residence_micros: u64,
+    ) -> Self {
         Self {
             stops: locations
                 .into_iter()
@@ -115,9 +118,9 @@ impl Itinerary {
     /// location or one movement-graph step apart (the "maximum speed"
     /// restriction of Section 5.1).
     pub fn respects(&self, graph: &MovementGraph) -> bool {
-        self.stops.windows(2).all(|w| {
-            w[0].location == w[1].location || graph.has_edge(w[0].location, w[1].location)
-        })
+        self.stops
+            .windows(2)
+            .all(|w| w[0].location == w[1].location || graph.has_edge(w[0].location, w[1].location))
     }
 
     /// Generates a random walk itinerary of `steps` stops on the graph,
@@ -170,7 +173,10 @@ mod tests {
 
     #[test]
     fn location_at_respects_residence_times() {
-        let it = Itinerary::new().then(id(0), 100).then(id(1), 50).then(id(2), 50);
+        let it = Itinerary::new()
+            .then(id(0), 100)
+            .then(id(1), 50)
+            .then(id(2), 50);
         assert_eq!(it.location_at(0), Some(id(0)));
         assert_eq!(it.location_at(99), Some(id(0)));
         assert_eq!(it.location_at(100), Some(id(1)));
@@ -192,7 +198,10 @@ mod tests {
 
     #[test]
     fn change_times_skip_the_first_stop() {
-        let it = Itinerary::new().then(id(0), 100).then(id(1), 50).then(id(3), 10);
+        let it = Itinerary::new()
+            .then(id(0), 100)
+            .then(id(1), 50)
+            .then(id(3), 10);
         assert_eq!(it.change_times(), vec![(100, id(1)), (150, id(3))]);
     }
 

@@ -1,17 +1,24 @@
-//! Covering-aware filter collections.
+//! Covering-aware filter collections, backed by the predicate index.
 //!
-//! [`FilterSet`] is the building block of broker routing tables: a set of
+//! [`FilterSet`] is the building block of broker routing state: a set of
 //! filters associated with one destination, optionally reduced under the
 //! covering relation so that only the most general filters are kept
 //! (Rebeca's *covering routing*), and optionally compacted further by
 //! perfect merging (*merging routing*).
+//!
+//! This is the index-backed successor of the linear-scan `FilterSet` that
+//! used to live in `rebeca-filter`: matching delegates to the counting
+//! algorithm of [`FilterIndex`], and every covering/merging decision runs
+//! the index's exact covering queries instead of scanning all stored
+//! filters.  Observable behaviour (including iteration order, which follows
+//! insertion order) is unchanged.
 
+use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use rebeca_filter::{Filter, Notification};
 
-use crate::filter::Filter;
-use crate::notification::Notification;
+use crate::index::FilterIndex;
 
 /// Outcome of inserting a filter into a [`FilterSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,9 +34,14 @@ pub enum InsertOutcome {
 }
 
 /// A set of filters with covering-based redundancy elimination.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FilterSet {
-    filters: Vec<Filter>,
+    /// `(stable id, filter)` in insertion order.
+    filters: Vec<(u64, Filter)>,
+    /// Stable id → current position in `filters`.
+    pos: HashMap<u64, usize>,
+    index: FilterIndex<u64>,
+    next_id: u64,
 }
 
 impl FilterSet {
@@ -48,24 +60,68 @@ impl FilterSet {
         self.filters.is_empty()
     }
 
-    /// Iterates over the stored filters.
+    /// Iterates over the stored filters in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Filter> {
-        self.filters.iter()
+        self.filters.iter().map(|(_, f)| f)
     }
 
     /// Returns `true` when any stored filter matches the notification.
     pub fn matches(&self, notification: &Notification) -> bool {
-        self.filters.iter().any(|f| f.matches(notification))
+        self.index.any_match(notification)
     }
 
     /// Returns `true` when any stored filter covers the given filter.
     pub fn covers(&self, filter: &Filter) -> bool {
-        self.filters.iter().any(|f| f.covers(filter))
+        self.index.covers_any(filter)
     }
 
     /// Returns `true` when the exact filter (structural equality) is stored.
     pub fn contains(&self, filter: &Filter) -> bool {
-        self.filters.iter().any(|f| f == filter)
+        // Structural equality implies covering, so every equal filter is
+        // among the covering keys.
+        self.index
+            .covering_keys(filter)
+            .into_iter()
+            .any(|id| &self.filters[self.pos[id]].1 == filter)
+    }
+
+    fn push(&mut self, filter: Filter) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.index.insert(id, &filter);
+        self.pos.insert(id, self.filters.len());
+        self.filters.push((id, filter));
+    }
+
+    /// Removes the entries at the given positions (any order), preserving
+    /// the relative order of the survivors.
+    fn remove_positions(&mut self, mut positions: Vec<usize>) {
+        if positions.is_empty() {
+            return;
+        }
+        positions.sort_unstable();
+        positions.dedup();
+        for &p in positions.iter().rev() {
+            let (id, _) = self.filters.remove(p);
+            self.index.remove(&id);
+            self.pos.remove(&id);
+        }
+        // Positions after the first removal point have shifted; rebuild them.
+        for (p, (id, _)) in self.filters.iter().enumerate().skip(positions[0]) {
+            self.pos.insert(*id, p);
+        }
+    }
+
+    /// Positions (in insertion order) of stored filters covered by `filter`.
+    fn covered_positions(&self, filter: &Filter) -> Vec<usize> {
+        let mut positions: Vec<usize> = self
+            .index
+            .covered_keys(filter)
+            .into_iter()
+            .map(|id| self.pos[id])
+            .collect();
+        positions.sort_unstable();
+        positions
     }
 
     /// Inserts a filter without any covering optimization (simple routing).
@@ -73,7 +129,7 @@ impl FilterSet {
         if self.contains(&filter) {
             return InsertOutcome::Covered;
         }
-        self.filters.push(filter);
+        self.push(filter);
         InsertOutcome::Added
     }
 
@@ -84,10 +140,10 @@ impl FilterSet {
         if self.covers(&filter) {
             return InsertOutcome::Covered;
         }
-        let before = self.filters.len();
-        self.filters.retain(|f| !filter.covers(f));
-        let removed = before - self.filters.len();
-        self.filters.push(filter);
+        let covered = self.covered_positions(&filter);
+        let removed = covered.len();
+        self.remove_positions(covered);
+        self.push(filter);
         if removed > 0 {
             InsertOutcome::Replaced(removed)
         } else {
@@ -96,14 +152,28 @@ impl FilterSet {
     }
 
     /// Inserts a filter, first trying a perfect merge with an existing entry
-    /// and falling back to covering insertion.
+    /// (the earliest-inserted mergeable one, like the linear scan it
+    /// replaces) and falling back to covering insertion.
     pub fn insert_merging(&mut self, filter: Filter) -> InsertOutcome {
         if self.covers(&filter) {
             return InsertOutcome::Covered;
         }
-        for i in 0..self.filters.len() {
-            if let Some(merged) = self.filters[i].try_merge(&filter) {
-                self.filters.remove(i);
+        // A perfect merger exists only when one filter covers the other or
+        // both constrain the same attribute set — so every possible partner
+        // is among the covering, covered or same-attribute keys of `filter`.
+        let mut candidates: Vec<usize> = self
+            .index
+            .covering_keys(&filter)
+            .into_iter()
+            .chain(self.index.covered_keys(&filter))
+            .chain(self.index.same_attr_keys(&filter))
+            .map(|id| self.pos[id])
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        for p in candidates {
+            if let Some(merged) = self.filters[p].1.try_merge(&filter) {
+                self.remove_positions(vec![p]);
                 // The merged filter may in turn cover or merge with others.
                 self.insert_merging(merged);
                 return InsertOutcome::Merged;
@@ -115,31 +185,61 @@ impl FilterSet {
     /// Removes the exact filter (structural equality).  Returns `true` when
     /// something was removed.
     pub fn remove(&mut self, filter: &Filter) -> bool {
-        let before = self.filters.len();
-        self.filters.retain(|f| f != filter);
-        before != self.filters.len()
+        let positions: Vec<usize> = self
+            .index
+            .covering_keys(filter)
+            .into_iter()
+            .map(|id| self.pos[id])
+            .filter(|&p| &self.filters[p].1 == filter)
+            .collect();
+        let removed = !positions.is_empty();
+        self.remove_positions(positions);
+        removed
     }
 
     /// Removes every filter covered by `filter` (including exact matches).
-    /// Returns the removed filters.
+    /// Returns the removed filters in insertion order.
     pub fn remove_covered_by(&mut self, filter: &Filter) -> Vec<Filter> {
-        let (removed, kept): (Vec<Filter>, Vec<Filter>) = std::mem::take(&mut self.filters)
-            .into_iter()
-            .partition(|f| filter.covers(f));
-        self.filters = kept;
+        let positions = self.covered_positions(filter);
+        let removed: Vec<Filter> = positions
+            .iter()
+            .map(|&p| self.filters[p].1.clone())
+            .collect();
+        self.remove_positions(positions);
         removed
     }
 
     /// Removes every stored filter and returns them.
     pub fn drain(&mut self) -> Vec<Filter> {
-        std::mem::take(&mut self.filters)
+        let filters = std::mem::take(&mut self.filters)
+            .into_iter()
+            .map(|(_, f)| f)
+            .collect();
+        self.pos.clear();
+        self.index.clear();
+        filters
+    }
+}
+
+impl PartialEq for FilterSet {
+    /// Multiset equality on the stored filters (the stable ids and index
+    /// internals are representation, not state).
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let mut a: Vec<&Filter> = self.iter().collect();
+        let mut b: Vec<&Filter> = other.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
     }
 }
 
 impl fmt::Display for FilterSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, filter) in self.filters.iter().enumerate() {
+        for (i, filter) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, "; ")?;
             }
@@ -162,7 +262,7 @@ impl FromIterator<Filter> for FilterSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::constraint::Constraint;
+    use rebeca_filter::{Constraint, Value};
 
     fn cost_lt(v: i64) -> Filter {
         Filter::new()
@@ -171,7 +271,10 @@ mod tests {
     }
 
     fn loc_set(locs: &[u32]) -> Filter {
-        Filter::new().with("location", Constraint::any_location_of(locs.iter().copied()))
+        Filter::new().with(
+            "location",
+            Constraint::any_location_of(locs.iter().copied()),
+        )
     }
 
     #[test]
@@ -230,11 +333,11 @@ mod tests {
         set.insert_covering(cost_lt(3));
         set.insert_covering(loc_set(&[7]));
         let n = Notification::builder()
-            .attr("location", crate::Value::Location(7))
+            .attr("location", Value::Location(7))
             .build();
         assert!(set.matches(&n));
         let miss = Notification::builder()
-            .attr("location", crate::Value::Location(8))
+            .attr("location", Value::Location(8))
             .build();
         assert!(!set.matches(&miss));
     }
@@ -260,11 +363,14 @@ mod tests {
         let drained = set.drain();
         assert_eq!(drained.len(), 2);
         assert!(set.is_empty());
+        assert!(!set.matches(&Notification::builder().attr("cost", 1).build()));
     }
 
     #[test]
     fn from_iterator_applies_covering() {
-        let set: FilterSet = vec![cost_lt(3), cost_lt(10), cost_lt(5)].into_iter().collect();
+        let set: FilterSet = vec![cost_lt(3), cost_lt(10), cost_lt(5)]
+            .into_iter()
+            .collect();
         assert_eq!(set.len(), 1);
         assert!(set.covers(&cost_lt(9)));
     }
@@ -274,5 +380,18 @@ mod tests {
         let mut set = FilterSet::new();
         set.insert_simple(Filter::universal());
         assert_eq!(set.to_string(), "[(true)]");
+    }
+
+    #[test]
+    fn multiset_equality_ignores_insertion_order() {
+        let mut a = FilterSet::new();
+        a.insert_simple(cost_lt(3));
+        a.insert_simple(loc_set(&[1]));
+        let mut b = FilterSet::new();
+        b.insert_simple(loc_set(&[1]));
+        b.insert_simple(cost_lt(3));
+        assert_eq!(a, b);
+        b.insert_simple(cost_lt(5));
+        assert_ne!(a, b);
     }
 }

@@ -32,7 +32,8 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use rebeca_filter::{Filter, FilterSet, Notification};
+use rebeca_filter::{Filter, Notification};
+use rebeca_matcher::FilterSet;
 
 use crate::table::RoutingTable;
 
@@ -111,12 +112,7 @@ impl<D: Ord + Clone> RoutingEngine<D> {
     /// broker knows (`all_links`) except the one the notification came from;
     /// under every other strategy it is the set of links with a matching
     /// subscription.
-    pub fn route(
-        &self,
-        notification: &Notification,
-        from: Option<&D>,
-        all_links: &[D],
-    ) -> Vec<D> {
+    pub fn route(&self, notification: &Notification, from: Option<&D>, all_links: &[D]) -> Vec<D> {
         match self.kind {
             RoutingStrategyKind::Flooding => all_links
                 .iter()
@@ -208,6 +204,19 @@ impl<D: Ord + Clone> RoutingEngine<D> {
             };
         }
 
+        // Remaining subscriptions the retracted filter still pays for,
+        // pruned through the index instead of a full table scan (identical
+        // filters cover each other, so `covered_entries` subsumes the
+        // equality case used by simple/identity routing).
+        let dependants: Vec<D> = match self.kind {
+            RoutingStrategyKind::Covering | RoutingStrategyKind::Merging => self
+                .table
+                .covered_entries(filter)
+                .into_iter()
+                .map(|(link, _)| link.clone())
+                .collect(),
+            _ => self.table.destinations_with_identical(filter, None),
+        };
         let mut forwards = Vec::new();
         for target in neighbours {
             if target == from {
@@ -217,15 +226,7 @@ impl<D: Ord + Clone> RoutingEngine<D> {
             // from target) still required?  It is, when some remaining
             // subscription from a link other than `target` is covered by the
             // retracted filter (identity/simple: is identical to it).
-            let still_needed = self.table.iter().any(|(link, f)| {
-                link != target
-                    && match self.kind {
-                        RoutingStrategyKind::Covering | RoutingStrategyKind::Merging => {
-                            filter.covers(f) || f == filter
-                        }
-                        _ => f == filter,
-                    }
-            });
+            let still_needed = dependants.iter().any(|link| link != target);
             if still_needed {
                 continue;
             }
@@ -430,6 +431,9 @@ mod tests {
 
     #[test]
     fn default_strategy_is_covering() {
-        assert_eq!(RoutingStrategyKind::default(), RoutingStrategyKind::Covering);
+        assert_eq!(
+            RoutingStrategyKind::default(),
+            RoutingStrategyKind::Covering
+        );
     }
 }

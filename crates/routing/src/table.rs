@@ -3,11 +3,21 @@
 //! Each broker maintains a routing table whose entries are pairs `(F, L)` of
 //! a filter and the link it was received from, denoting that notifications
 //! matching `F` are to be forwarded along `L` (Section 2.2 of the paper).
+//!
+//! The table is backed by the attribute-partitioned predicate index of
+//! [`rebeca_matcher::FilterIndex`]: every entry is registered in the index
+//! under a stable id, so [`RoutingTable::matching_destinations`] runs the
+//! counting algorithm instead of scanning all filters, and the
+//! covering-based queries ([`RoutingTable::is_covered`],
+//! [`RoutingTable::remove_covered_by`], [`RoutingTable::covered_entries`])
+//! run the same counting walk over deduplicated predicates in the covering
+//! domain.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 use rebeca_filter::{Filter, Notification};
+use rebeca_matcher::FilterIndex;
 
 /// A routing table mapping destinations (links) to the filters subscribed
 /// from that direction.
@@ -16,15 +26,23 @@ use rebeca_filter::{Filter, Notification};
 /// routing decision is always exact regardless of which optimization the
 /// surrounding [`RoutingEngine`](crate::RoutingEngine) applies to the
 /// *forwarding* of administration messages.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RoutingTable<D> {
-    entries: BTreeMap<D, Vec<Filter>>,
+    /// Entry ids per destination, in insertion order.
+    dests: BTreeMap<D, Vec<u64>>,
+    /// Entry id → `(destination, filter)`.
+    entries: HashMap<u64, (D, Filter)>,
+    index: FilterIndex<u64>,
+    next_id: u64,
 }
 
 impl<D: Ord + Clone> Default for RoutingTable<D> {
     fn default() -> Self {
         Self {
-            entries: BTreeMap::new(),
+            dests: BTreeMap::new(),
+            entries: HashMap::new(),
+            index: FilterIndex::new(),
+            next_id: 0,
         }
     }
 }
@@ -37,122 +55,194 @@ impl<D: Ord + Clone> RoutingTable<D> {
 
     /// Adds an entry `(filter, destination)`.
     pub fn insert(&mut self, filter: Filter, destination: D) {
-        self.entries.entry(destination).or_default().push(filter);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.index.insert(id, &filter);
+        self.dests.entry(destination.clone()).or_default().push(id);
+        self.entries.insert(id, (destination, filter));
+    }
+
+    fn remove_id(&mut self, id: u64) -> Option<(D, Filter)> {
+        let (dest, filter) = self.entries.remove(&id)?;
+        self.index.remove(&id);
+        if let Some(ids) = self.dests.get_mut(&dest) {
+            ids.retain(|&i| i != id);
+            if ids.is_empty() {
+                self.dests.remove(&dest);
+            }
+        }
+        Some((dest, filter))
     }
 
     /// Removes **one** instance of the exact filter for the destination.
     /// Returns `true` when an entry was removed.
     pub fn remove(&mut self, filter: &Filter, destination: &D) -> bool {
-        if let Some(filters) = self.entries.get_mut(destination) {
-            if let Some(pos) = filters.iter().position(|f| f == filter) {
-                filters.remove(pos);
-                if filters.is_empty() {
-                    self.entries.remove(destination);
-                }
-                return true;
+        let Some(ids) = self.dests.get(destination) else {
+            return false;
+        };
+        let found = ids.iter().find(|id| &self.entries[id].1 == filter).copied();
+        match found {
+            Some(id) => {
+                self.remove_id(id);
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Removes every entry for the destination and returns the filters.
     pub fn remove_destination(&mut self, destination: &D) -> Vec<Filter> {
-        self.entries.remove(destination).unwrap_or_default()
+        let ids = self.dests.remove(destination).unwrap_or_default();
+        ids.into_iter()
+            .map(|id| {
+                self.index.remove(&id);
+                self.entries.remove(&id).expect("live entry").1
+            })
+            .collect()
+    }
+
+    /// Entry ids whose filter is covered by `filter`, in deterministic
+    /// (destination, insertion) order.
+    fn covered_ids(&self, filter: &Filter) -> Vec<u64> {
+        // Report grouped by destination, insertion order within each
+        // (matching the pre-index behaviour) — but sort only the covered
+        // ids instead of walking the whole table.
+        let mut keyed: Vec<((&D, usize), u64)> = self
+            .index
+            .covered_keys(filter)
+            .into_iter()
+            .map(|&id| {
+                let dest = &self.entries[&id].0;
+                let pos = self.dests[dest]
+                    .iter()
+                    .position(|&i| i == id)
+                    .expect("id in its destination's list");
+                ((dest, pos), id)
+            })
+            .collect();
+        keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        keyed.into_iter().map(|(_, id)| id).collect()
     }
 
     /// Removes every entry (for any destination) covered by `filter` and
     /// returns the removed `(destination, filter)` pairs.
     pub fn remove_covered_by(&mut self, filter: &Filter) -> Vec<(D, Filter)> {
-        let mut removed = Vec::new();
-        self.entries.retain(|dest, filters| {
-            let mut kept = Vec::with_capacity(filters.len());
-            for f in filters.drain(..) {
-                if filter.covers(&f) {
-                    removed.push((dest.clone(), f));
-                } else {
-                    kept.push(f);
-                }
-            }
-            *filters = kept;
-            !filters.is_empty()
-        });
-        removed
+        self.covered_ids(filter)
+            .into_iter()
+            .map(|id| self.remove_id(id).expect("live entry"))
+            .collect()
+    }
+
+    /// The `(destination, filter)` entries covered by `filter` (including
+    /// exact matches), answered by the index's exact covering query.
+    pub fn covered_entries(&self, filter: &Filter) -> Vec<(&D, &Filter)> {
+        self.covered_ids(filter)
+            .into_iter()
+            .map(|id| {
+                let (d, f) = &self.entries[&id];
+                (d, f)
+            })
+            .collect()
     }
 
     /// The destinations whose filters match the notification.  The optional
     /// `exclude` destination (usually the link the notification came from)
     /// is never returned.
+    ///
+    /// Runs the index's counting algorithm: cost is proportional to the
+    /// matching entries, not the table size.
     pub fn matching_destinations(&self, n: &Notification, exclude: Option<&D>) -> Vec<D> {
-        self.entries
-            .iter()
-            .filter(|(dest, _)| Some(*dest) != exclude)
-            .filter(|(_, filters)| filters.iter().any(|f| f.matches(n)))
-            .map(|(dest, _)| dest.clone())
-            .collect()
+        let dests: BTreeSet<&D> = self
+            .index
+            .matching_keys(n)
+            .into_iter()
+            .map(|id| &self.entries[id].0)
+            .filter(|d| Some(*d) != exclude)
+            .collect();
+        dests.into_iter().cloned().collect()
     }
 
     /// The destinations holding at least one filter that *overlaps* the given
     /// filter (used to decide where a new subscription or a fetch request has
     /// to travel).
     pub fn destinations_overlapping(&self, filter: &Filter, exclude: Option<&D>) -> Vec<D> {
-        self.entries
+        self.dests
             .iter()
             .filter(|(dest, _)| Some(*dest) != exclude)
-            .filter(|(_, filters)| filters.iter().any(|f| f.overlaps(filter)))
+            .filter(|(_, ids)| ids.iter().any(|id| self.entries[id].1.overlaps(filter)))
             .map(|(dest, _)| dest.clone())
             .collect()
     }
 
     /// The destinations holding at least one filter identical to `filter`.
     pub fn destinations_with_identical(&self, filter: &Filter, exclude: Option<&D>) -> Vec<D> {
-        self.entries
-            .iter()
-            .filter(|(dest, _)| Some(*dest) != exclude)
-            .filter(|(_, filters)| filters.iter().any(|f| f == filter))
-            .map(|(dest, _)| dest.clone())
-            .collect()
+        // Identical filters cover each other, so they are always among the
+        // covering keys; collect their destinations in order.
+        let identical: BTreeSet<&D> = self
+            .index
+            .covering_keys(filter)
+            .into_iter()
+            .filter(|id| &self.entries[*id].1 == filter)
+            .map(|id| &self.entries[id].0)
+            .filter(|d| Some(*d) != exclude)
+            .collect();
+        identical.into_iter().cloned().collect()
     }
 
-    /// All filters currently stored for a destination.
-    pub fn filters_for(&self, destination: &D) -> &[Filter] {
-        self.entries
+    /// All filters currently stored for a destination, in insertion order.
+    pub fn filters_for(&self, destination: &D) -> Vec<&Filter> {
+        self.dests
             .get(destination)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map(|ids| ids.iter().map(|id| &self.entries[id].1).collect())
+            .unwrap_or_default()
     }
 
-    /// Iterates over every `(destination, filter)` entry.
+    /// `true` when the exact filter is stored for the destination.
+    pub fn contains_entry(&self, filter: &Filter, destination: &D) -> bool {
+        self.dests
+            .get(destination)
+            .is_some_and(|ids| ids.iter().any(|id| &self.entries[id].1 == filter))
+    }
+
+    /// Iterates over every `(destination, filter)` entry in deterministic
+    /// (destination, insertion) order.
     pub fn iter(&self) -> impl Iterator<Item = (&D, &Filter)> {
-        self.entries
+        self.dests
             .iter()
-            .flat_map(|(d, fs)| fs.iter().map(move |f| (d, f)))
+            .flat_map(move |(d, ids)| ids.iter().map(move |id| (d, &self.entries[id].1)))
     }
 
     /// All destinations currently present in the table.
     pub fn destinations(&self) -> impl Iterator<Item = &D> {
-        self.entries.keys()
+        self.dests.keys()
     }
 
     /// Returns `true` when any stored filter (from any destination other than
-    /// `exclude`) covers the given filter.
+    /// `exclude`) covers the given filter, via the index's exact covering
+    /// query.
     pub fn is_covered(&self, filter: &Filter, exclude: Option<&D>) -> bool {
-        self.entries
-            .iter()
-            .filter(|(dest, _)| Some(*dest) != exclude)
-            .any(|(_, filters)| filters.iter().any(|f| f.covers(filter)))
+        match exclude {
+            None => self.index.covers_any(filter),
+            Some(excl) => self
+                .index
+                .covering_keys(filter)
+                .into_iter()
+                .any(|id| &self.entries[id].0 != excl),
+        }
     }
 
     /// Returns `true` when any stored filter from any destination equals the
     /// given filter.
     pub fn contains_identical(&self, filter: &Filter, exclude: Option<&D>) -> bool {
-        !self
-            .destinations_with_identical(filter, exclude)
-            .is_empty()
+        self.index.covering_keys(filter).into_iter().any(|id| {
+            let (dest, f) = &self.entries[id];
+            Some(dest) != exclude && f == filter
+        })
     }
 
     /// Total number of `(filter, destination)` entries.
     pub fn len(&self) -> usize {
-        self.entries.values().map(Vec::len).sum()
+        self.entries.len()
     }
 
     /// `true` when the table has no entries.
@@ -161,12 +251,33 @@ impl<D: Ord + Clone> RoutingTable<D> {
     }
 }
 
+impl<D: Ord + Clone> PartialEq for RoutingTable<D> {
+    /// Logical equality: the same destinations hold the same multisets of
+    /// filters (entry ids and index internals are representation).
+    fn eq(&self, other: &Self) -> bool {
+        if self.dests.len() != other.dests.len() {
+            return false;
+        }
+        self.dests
+            .iter()
+            .zip(other.dests.iter())
+            .all(|((d1, ids1), (d2, ids2))| {
+                if d1 != d2 || ids1.len() != ids2.len() {
+                    return false;
+                }
+                let mut f1: Vec<&Filter> = ids1.iter().map(|id| &self.entries[id].1).collect();
+                let mut f2: Vec<&Filter> = ids2.iter().map(|id| &other.entries[id].1).collect();
+                f1.sort_unstable();
+                f2.sort_unstable();
+                f1 == f2
+            })
+    }
+}
+
 impl<D: Ord + Clone + fmt::Debug> fmt::Display for RoutingTable<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (dest, filters) in &self.entries {
-            for filter in filters {
-                writeln!(f, "{filter}  ->  {dest:?}")?;
-            }
+        for (dest, filter) in self.iter() {
+            writeln!(f, "{filter}  ->  {dest:?}")?;
         }
         Ok(())
     }
@@ -253,6 +364,8 @@ mod tests {
         assert!(!t.is_covered(&parking(3), Some(&1)));
         assert!(t.contains_identical(&parking(10), None));
         assert!(!t.contains_identical(&parking(3), None));
+        assert!(t.contains_entry(&parking(10), &1));
+        assert!(!t.contains_entry(&parking(10), &2));
     }
 
     #[test]
@@ -273,5 +386,27 @@ mod tests {
         let dests: Vec<u32> = t.destinations().copied().collect();
         assert_eq!(dests, vec![1, 2]);
         assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn covered_entries_lists_destination_and_filter() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        t.insert(parking(3), 1);
+        t.insert(parking(20), 2);
+        let covered = t.covered_entries(&parking(10));
+        assert_eq!(covered, vec![(&1, &parking(3))]);
+    }
+
+    #[test]
+    fn logical_equality_ignores_entry_ids() {
+        let mut a: RoutingTable<u32> = RoutingTable::new();
+        a.insert(parking(3), 1);
+        a.insert(parking(5), 1);
+        let mut b: RoutingTable<u32> = RoutingTable::new();
+        b.insert(parking(5), 1);
+        b.insert(parking(3), 1);
+        assert_eq!(a, b);
+        b.insert(parking(9), 2);
+        assert_ne!(a, b);
     }
 }

@@ -11,8 +11,8 @@ use rebeca_routing::{RoutingEngine, RoutingStrategyKind};
 fn filter() -> impl Strategy<Value = Filter> {
     prop_oneof![
         // location subscriptions
-        prop::collection::btree_set(0u32..6, 1..4).prop_map(|locs| Filter::new()
-            .with("location", Constraint::any_location_of(locs))),
+        prop::collection::btree_set(0u32..6, 1..4)
+            .prop_map(|locs| Filter::new().with("location", Constraint::any_location_of(locs))),
         // price subscriptions
         (1i64..10).prop_map(|p| Filter::new().with("cost", Constraint::Lt(Value::Int(p)))),
         // combined

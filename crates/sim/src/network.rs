@@ -301,7 +301,9 @@ impl<N: Node> Network<N> {
         self.events_processed += 1;
 
         let id = scheduled.to;
-        let mut node = self.nodes[id.0].take().expect("node is busy (re-entrant event?)");
+        let mut node = self.nodes[id.0]
+            .take()
+            .expect("node is busy (re-entrant event?)");
         let mut ctx = Context {
             now: self.now,
             self_id: id,
@@ -441,10 +443,14 @@ mod tests {
 
     #[test]
     fn fifo_order_is_preserved_despite_random_delays() {
-        let (mut net, ids) = line(2, false, DelayModel::Uniform {
-            min_micros: 1_000,
-            max_micros: 50_000,
-        });
+        let (mut net, ids) = line(
+            2,
+            false,
+            DelayModel::Uniform {
+                min_micros: 1_000,
+                max_micros: 50_000,
+            },
+        );
         for i in 0..50 {
             net.inject(ids[0], i);
         }
@@ -453,9 +459,22 @@ mod tests {
         net.run(1000);
         // Re-test with a forwarding chain: send many messages from node 0 to 1.
         let mut net2: Network<Echo> = Network::new(7);
-        let a = net2.add_node(Echo { seen: vec![], forward: true });
-        let b = net2.add_node(Echo { seen: vec![], forward: false });
-        net2.connect(a, b, DelayModel::Uniform { min_micros: 100, max_micros: 100_000 });
+        let a = net2.add_node(Echo {
+            seen: vec![],
+            forward: true,
+        });
+        let b = net2.add_node(Echo {
+            seen: vec![],
+            forward: false,
+        });
+        net2.connect(
+            a,
+            b,
+            DelayModel::Uniform {
+                min_micros: 100,
+                max_micros: 100_000,
+            },
+        );
         for i in 0..100 {
             net2.inject(a, i);
         }
@@ -510,9 +529,22 @@ mod tests {
     fn determinism_for_equal_seeds() {
         let run = |seed| {
             let mut net: Network<Echo> = Network::new(seed);
-            let a = net.add_node(Echo { seen: vec![], forward: true });
-            let b = net.add_node(Echo { seen: vec![], forward: false });
-            net.connect(a, b, DelayModel::Uniform { min_micros: 0, max_micros: 10_000 });
+            let a = net.add_node(Echo {
+                seen: vec![],
+                forward: true,
+            });
+            let b = net.add_node(Echo {
+                seen: vec![],
+                forward: false,
+            });
+            net.connect(
+                a,
+                b,
+                DelayModel::Uniform {
+                    min_micros: 0,
+                    max_micros: 10_000,
+                },
+            );
             for i in 0..20 {
                 net.inject(a, i);
             }

@@ -176,7 +176,10 @@ mod tests {
 
     #[test]
     fn duration_multiplication() {
-        assert_eq!(SimDuration::from_millis(10).saturating_mul(3).as_millis(), 30);
+        assert_eq!(
+            SimDuration::from_millis(10).saturating_mul(3).as_millis(),
+            30
+        );
         assert_eq!(
             SimDuration::from_micros(5) + SimDuration::from_micros(6),
             SimDuration::from_micros(11)

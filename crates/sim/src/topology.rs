@@ -34,7 +34,10 @@ impl Topology {
     /// Panics when an endpoint is out of range, the edge is a self-loop, or
     /// the edge already exists.
     pub fn add_edge(&mut self, a: usize, b: usize) {
-        assert!(a < self.nodes && b < self.nodes, "edge endpoint out of range");
+        assert!(
+            a < self.nodes && b < self.nodes,
+            "edge endpoint out of range"
+        );
         assert_ne!(a, b, "self loops are not allowed");
         assert!(!self.has_edge(a, b), "duplicate edge {a} - {b}");
         self.edges.push((a.min(b), a.max(b)));

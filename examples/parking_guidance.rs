@@ -22,7 +22,7 @@ fn vacancy(block: LocationId, spot: i64) -> Notification {
     Notification::builder()
         .attr("service", "parking")
         .attr("location", Value::Location(block.raw()))
-        .attr("cost", (spot % 4) as i64)
+        .attr("cost", spot % 4)
         .attr("spot", spot)
         .build()
 }
@@ -58,7 +58,12 @@ fn main() {
     let plan = AdaptivityPlan::adaptive(1_000_000, &[10_000, 10_000, 10_000]);
 
     let mut car_script = vec![
-        (SimTime::from_millis(1), ClientAction::Attach { broker: system.broker_node(0) }),
+        (
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: system.broker_node(0),
+            },
+        ),
         (
             SimTime::from_millis(2),
             ClientAction::LocSubscribe {
@@ -75,20 +80,30 @@ fn main() {
             ClientAction::SetLocation(LocationId(*block)),
         ));
     }
-    system.add_client(car, LogicalMobilityMode::LocationDependent, &[0], car_script);
+    system.add_client(
+        car,
+        LogicalMobilityMode::LocationDependent,
+        &[0],
+        car_script,
+    );
 
     // The parking sensors: one producer per row of the city, each reporting a
     // vacancy somewhere in its row every 150 ms.
     for row in 0..5u32 {
         let sensor = ClientId(100 + row);
-        let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: system.broker_node(3) })];
+        let mut script = vec![(
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: system.broker_node(3),
+            },
+        )];
         let mut t = SimTime::from_millis(50 + row as u64 * 10);
         let mut spot = 0i64;
         while t < SimTime::from_secs(6) {
             let block = LocationId(row * 5 + (spot as u32 % 5));
             script.push((t, ClientAction::Publish(vacancy(block, spot))));
             spot += 1;
-            t = t + SimDuration::from_millis(150);
+            t += SimDuration::from_millis(150);
         }
         system.add_client(sensor, LogicalMobilityMode::LocationDependent, &[3], script);
     }
@@ -97,7 +112,10 @@ fn main() {
 
     let log = system.client_log(car);
     println!("vacancies delivered to the car: {}", log.len());
-    println!("total messages in the network : {}", system.total_messages());
+    println!(
+        "total messages in the network : {}",
+        system.total_messages()
+    );
 
     // Every delivered vacancy is at most one block away from where the car
     // was when its border broker forwarded it.
@@ -114,7 +132,10 @@ fn main() {
         let near_route = visited
             .iter()
             .any(|b| city.distance(LocationId(block), *b).unwrap_or(usize::MAX) <= 1);
-        assert!(near_route, "vacancy at block {block} is far from the car's route");
+        assert!(
+            near_route,
+            "vacancy at block {block} is far from the car's route"
+        );
     }
     println!("\nvacancies per block (car drove along blocks 0..4):");
     for (block, count) in per_block {

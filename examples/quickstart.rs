@@ -35,33 +35,62 @@ fn main() {
         LogicalMobilityMode::LocationDependent,
         &[0, 1], // brokers the consumer will ever attach to
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: system.broker_node(0) }),
-            (SimTime::from_millis(2), ClientAction::Subscribe(subscription)),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: system.broker_node(0),
+                },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(subscription),
+            ),
             // Halfway through, the consumer roams to the middle broker.  The
             // middleware relocates the subscription transparently.
-            (SimTime::from_millis(500), ClientAction::MoveTo { broker: system.broker_node(1) }),
+            (
+                SimTime::from_millis(500),
+                ClientAction::MoveTo {
+                    broker: system.broker_node(1),
+                },
+            ),
         ],
     );
 
     // 3. A producer of parking vacancies at the far end of the line.
     let producer = ClientId(2);
-    let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: system.broker_node(2) })];
+    let mut script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: system.broker_node(2),
+        },
+    )];
     for i in 0..20u64 {
         let vacancy = Notification::builder()
             .attr("service", "parking")
             .attr("cost", (i % 3) as i64)
             .attr("spot", i as i64)
             .build();
-        script.push((SimTime::from_millis(100 + i * 50), ClientAction::Publish(vacancy)));
+        script.push((
+            SimTime::from_millis(100 + i * 50),
+            ClientAction::Publish(vacancy),
+        ));
     }
-    system.add_client(producer, LogicalMobilityMode::LocationDependent, &[2], script);
+    system.add_client(
+        producer,
+        LogicalMobilityMode::LocationDependent,
+        &[2],
+        script,
+    );
 
     // 4. Run the simulation and inspect the consumer's delivery log.
     system.run_until(SimTime::from_secs(3));
 
     let log = system.client_log(consumer);
     println!("deliveries received : {}", log.len());
-    println!("delivery log clean  : {} (no duplicates, FIFO preserved)", log.is_clean());
+    println!(
+        "delivery log clean  : {} (no duplicates, FIFO preserved)",
+        log.is_clean()
+    );
     println!(
         "missing publications: {:?}",
         log.missing_from(producer, 1..=20)

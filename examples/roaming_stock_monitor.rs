@@ -53,12 +53,24 @@ fn main() {
         LogicalMobilityMode::LocationDependent,
         &[3, 5, 6],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: home }),
-            (SimTime::from_millis(2), ClientAction::Subscribe(watchlist.clone())),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach { broker: home },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(watchlist.clone()),
+            ),
             // 7:30 — leave home, connect from the train.
-            (SimTime::from_secs(2), ClientAction::MoveTo { broker: train }),
+            (
+                SimTime::from_secs(2),
+                ClientAction::MoveTo { broker: train },
+            ),
             // 8:00 — arrive at the office.
-            (SimTime::from_secs(4), ClientAction::MoveTo { broker: office }),
+            (
+                SimTime::from_secs(4),
+                ClientAction::MoveTo { broker: office },
+            ),
         ],
     );
 
@@ -66,23 +78,39 @@ fn main() {
     // symbols.
     let symbols = ["REBECA", "SIENA", "ELVIN", "GRYPHON", "JEDI"];
     for (e, broker_index) in [(ClientId(10), 1usize), (ClientId(11), 2usize)] {
-        let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: system.broker_node(broker_index) })];
+        let mut script = vec![(
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: system.broker_node(broker_index),
+            },
+        )];
         let mut t = SimTime::from_millis(100);
         let mut update = 0i64;
         while t < SimTime::from_secs(6) {
             let symbol = symbols[(update as usize) % symbols.len()];
-            script.push((t, ClientAction::Publish(quote(symbol, 100 + update % 17, update))));
+            script.push((
+                t,
+                ClientAction::Publish(quote(symbol, 100 + update % 17, update)),
+            ));
             update += 1;
-            t = t + SimDuration::from_millis(80);
+            t += SimDuration::from_millis(80);
         }
-        system.add_client(e, LogicalMobilityMode::LocationDependent, &[broker_index], script);
+        system.add_client(
+            e,
+            LogicalMobilityMode::LocationDependent,
+            &[broker_index],
+            script,
+        );
     }
 
     system.run_until(SimTime::from_secs(8));
 
     let log = system.client_log(monitor);
     println!("quotes delivered to the roaming monitor: {}", log.len());
-    println!("delivery log clean (no dup, FIFO)      : {}", log.is_clean());
+    println!(
+        "delivery log clean (no dup, FIFO)      : {}",
+        log.is_clean()
+    );
     for publisher in [ClientId(10), ClientId(11)] {
         println!(
             "  exchange {publisher}: received {} distinct updates, {} duplicates",

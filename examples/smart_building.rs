@@ -55,7 +55,12 @@ fn main() {
         movement_graph: graph.clone(),
         relocation_timeout: SimDuration::from_secs(10),
     };
-    let mut system = MobilitySystem::new(&Topology::star(3), config, DelayModel::constant_millis(4), 99);
+    let mut system = MobilitySystem::new(
+        &Topology::star(3),
+        config,
+        DelayModel::constant_millis(4),
+        99,
+    );
 
     let ground_floor_ap = system.broker_node(1);
     let first_floor_ap = system.broker_node(2);
@@ -72,7 +77,12 @@ fn main() {
         LogicalMobilityMode::LocationDependent,
         &[1, 2],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: ground_floor_ap }),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: ground_floor_ap,
+                },
+            ),
             (
                 SimTime::from_millis(2),
                 ClientAction::LocSubscribe {
@@ -82,19 +92,38 @@ fn main() {
                 },
             ),
             // Walk through the building, one room every two seconds.
-            (SimTime::from_secs(2), ClientAction::SetLocation(room("corridor"))),
-            (SimTime::from_secs(4), ClientAction::SetLocation(room("office"))),
+            (
+                SimTime::from_secs(2),
+                ClientAction::SetLocation(room("corridor")),
+            ),
+            (
+                SimTime::from_secs(4),
+                ClientAction::SetLocation(room("office")),
+            ),
             // Upstairs: the tablet re-associates with the first-floor access
             // point (physical mobility) while staying subscribed.
-            (SimTime::from_millis(5_000), ClientAction::MoveTo { broker: first_floor_ap }),
-            (SimTime::from_secs(6), ClientAction::SetLocation(room("meeting-room"))),
+            (
+                SimTime::from_millis(5_000),
+                ClientAction::MoveTo {
+                    broker: first_floor_ap,
+                },
+            ),
+            (
+                SimTime::from_secs(6),
+                ClientAction::SetLocation(room("meeting-room")),
+            ),
         ],
     );
 
     // The sensor gateway publishes events for every room round-robin.
     let gateway = ClientId(50);
     let kinds = ["temperature", "printer", "meeting-reminder"];
-    let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: system.broker_node(sensor_gateway_broker) })];
+    let mut script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: system.broker_node(sensor_gateway_broker),
+        },
+    )];
     let mut t = SimTime::from_millis(60);
     let mut i = 0i64;
     while t < SimTime::from_secs(8) {
@@ -102,15 +131,23 @@ fn main() {
         let kind = kinds[(i as usize) % kinds.len()];
         script.push((t, ClientAction::Publish(facility_event(kind, room_id, i))));
         i += 1;
-        t = t + SimDuration::from_millis(100);
+        t += SimDuration::from_millis(100);
     }
-    system.add_client(gateway, LogicalMobilityMode::LocationDependent, &[sensor_gateway_broker], script);
+    system.add_client(
+        gateway,
+        LogicalMobilityMode::LocationDependent,
+        &[sensor_gateway_broker],
+        script,
+    );
 
     system.run_until(SimTime::from_secs(8));
 
     let log = system.client_log(tablet);
     println!("facility events shown on the tablet: {}", log.len());
-    println!("total messages in the network      : {}", system.total_messages());
+    println!(
+        "total messages in the network      : {}",
+        system.total_messages()
+    );
 
     let mut per_room = std::collections::BTreeMap::new();
     for delivery in log.deliveries() {
@@ -120,7 +157,11 @@ fn main() {
             .get("location")
             .and_then(|v| v.as_location())
             .unwrap();
-        let name = graph.space().name(rebeca::LocationId(room_id)).unwrap().to_string();
+        let name = graph
+            .space()
+            .name(rebeca::LocationId(room_id))
+            .unwrap()
+            .to_string();
         *per_room.entry(name).or_insert(0u32) += 1;
     }
     println!("\nevents per room (itinerary: lobby -> corridor -> office -> meeting-room):");
@@ -129,6 +170,11 @@ fn main() {
     }
     // The kitchen was never visited, so no kitchen events were shown.
     assert!(!per_room.contains_key("kitchen"));
-    assert!(log.len() > 10, "the tablet must have received a steady stream");
-    println!("\nsmart building finished: the tablet only ever showed events for the room it was in.");
+    assert!(
+        log.len() > 10,
+        "the tablet must have received a steady stream"
+    );
+    println!(
+        "\nsmart building finished: the tablet only ever showed events for the room it was in."
+    );
 }

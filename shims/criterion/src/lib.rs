@@ -1,0 +1,392 @@
+//! Offline API stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API the workspace benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, `criterion_group!`, `criterion_main!`) with a
+//! real measurement loop: each benchmark is warmed up, then timed over
+//! adaptively sized batches until the target measurement time is reached,
+//! and the median per-iteration time is reported.
+//!
+//! Reporting:
+//! * human-readable lines on stdout (`name ... time: 1.234 µs/iter`), and
+//! * when the environment variable `CRITERION_JSON` is set, a JSON array of
+//!   `{"name", "ns_per_iter", "iters"}` records appended to that file —
+//!   used by the repo's `BENCH_matcher.json` baseline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a value/computation under test.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One benchmark measurement, as recorded by the harness.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Fully qualified benchmark name (`group/function/param`).
+    pub name: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations executed during measurement.
+    pub iters: u64,
+}
+
+/// Entry point object handed to every bench target (mirrors
+/// `criterion::Criterion`).
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: duration_from_env("CRITERION_MEASUREMENT_MS", 300),
+            warm_up_time: duration_from_env("CRITERION_WARMUP_MS", 60),
+            results: Vec::new(),
+        }
+    }
+}
+
+fn duration_from_env(var: &str, default_ms: u64) -> Duration {
+    let ms = std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default_ms);
+    Duration::from_millis(ms)
+}
+
+impl Criterion {
+    /// Overrides the measurement time (chainable, like criterion's builder).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up time.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes samples by time.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample = run_bench(name, self.warm_up_time, self.measurement_time, &mut f);
+        self.results.push(sample);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// All samples measured so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// Writes the JSON report when `CRITERION_JSON` is set.  Called by
+    /// [`criterion_main!`]; harmless to call more than once.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if self.results.is_empty() {
+            return;
+        }
+        let mut out = String::from("[\n");
+        for (i, s) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"name\": {:?}, \"ns_per_iter\": {:.1}, \"iters\": {}}}",
+                s.name, s.ns_per_iter, s.iters
+            ));
+        }
+        out.push_str("\n]\n");
+        // Appends one JSON document per bench binary; the collector that
+        // builds BENCH_matcher.json runs one binary per file.
+        let result = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(out.as_bytes()));
+        if let Err(e) = result {
+            eprintln!("criterion shim: cannot write {path}: {e}");
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix (mirrors
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the stand-in sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (throughput annotation is not used in
+    /// the reports the stand-in produces).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        let sample = run_bench(
+            &name,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            &mut f,
+        );
+        self.criterion.results.push(sample);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark (mirrors `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various id forms accepted by `bench_function`.
+pub trait IntoBenchmarkId {
+    /// The display name used in reports.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark timing handle (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine` (call-overhead amortized).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) -> Sample {
+    // Warm-up and batch-size calibration: grow the batch until one batch
+    // takes at least ~1/20 of the measurement window (or the warm-up budget
+    // is exhausted for very slow routines).
+    let mut batch = 1u64;
+    let warm_start = Instant::now();
+    let mut per_iter_estimate;
+    loop {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_estimate = b.elapsed.as_secs_f64() / batch as f64;
+        if b.elapsed >= measurement / 20 || warm_start.elapsed() >= warm_up {
+            break;
+        }
+        batch = batch.saturating_mul(2);
+    }
+    // Choose a batch so that ~10 batches fill the measurement window.
+    let target_batch_secs = measurement.as_secs_f64() / 10.0;
+    if per_iter_estimate > 0.0 {
+        batch = ((target_batch_secs / per_iter_estimate) as u64).clamp(1, u64::MAX);
+    }
+
+    let mut samples_ns: Vec<f64> = Vec::new();
+    let mut total_iters = 0u64;
+    let measure_start = Instant::now();
+    while measure_start.elapsed() < measurement || samples_ns.len() < 3 {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / batch as f64);
+        total_iters += batch;
+        if samples_ns.len() >= 200 {
+            break;
+        }
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    println!(
+        "{name:<60} time: {:>12}/iter ({total_iters} iters)",
+        format_ns(median)
+    );
+    Sample {
+        name: name.to_string(),
+        ns_per_iter: median,
+        iters: total_iters,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of bench targets (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.finalize();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main` (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_routine() {
+        std::env::remove_var("CRITERION_JSON");
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.samples().len(), 1);
+        assert!(c.samples()[0].ns_per_iter >= 0.0);
+        assert!(c.samples()[0].iters > 0);
+    }
+
+    #[test]
+    fn group_names_are_qualified() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert_eq!(c.samples()[0].name, "grp/f/3");
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline API stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! applications built on top can serialize them with real serde, but the
+//! build environment for this repository cannot reach crates.io.  This shim
+//! keeps the *API surface* (trait names in bounds, `#[derive(..)]`
+//! attributes) compiling without providing an actual data format:
+//!
+//! * the derive macros (re-exported from the `serde_derive` shim) expand to
+//!   nothing, and
+//! * the traits below are blanket-implemented for every type, so bounds such
+//!   as `T: Serialize` are always satisfied.
+//!
+//! Swapping in real serde is a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Sub-module mirroring `serde::de` for code that names the owned variant.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -21,8 +21,9 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`filter`] | `rebeca-filter` | notifications, content-based filters, covering/merging, `myloc` templates |
+//! | [`matcher`] | `rebeca-matcher` | attribute-partitioned predicate index: counting matcher, covering candidates, `FilterSet` |
 //! | [`location`] | `rebeca-location` | location spaces, movement graphs, `ploc`, adaptivity plans |
-//! | [`routing`] | `rebeca-routing` | routing tables and the flooding/simple/identity/covering/merging strategies |
+//! | [`routing`] | `rebeca-routing` | index-backed routing tables and the flooding/simple/identity/covering/merging strategies |
 //! | [`sim`] | `rebeca-sim` | deterministic discrete-event simulator (FIFO links, delays, metrics, topologies) |
 //! | [`broker`] | `rebeca-broker` | the static Rebeca broker, message vocabulary, sequence numbering, delivery logs |
 //! | [`mobility`] | `rebeca-core` | the paper's contribution: the mobility-aware broker, scripted clients, the deployment facade |
@@ -87,6 +88,12 @@ pub mod location {
     pub use rebeca_location::*;
 }
 
+/// Sub-linear content-based matching: the attribute-partitioned predicate
+/// index and the index-backed filter set (re-export of `rebeca-matcher`).
+pub mod matcher {
+    pub use rebeca_matcher::*;
+}
+
 /// Content-based routing engine (re-export of `rebeca-routing`).
 pub mod routing {
     pub use rebeca_routing::*;
@@ -112,9 +119,8 @@ pub use rebeca_broker::{ClientId, ConsumerLog, Delivery, Envelope, Message, Subs
 pub use rebeca_core::{
     BrokerConfig, ClientAction, ClientNode, LogicalMobilityMode, MobileBroker, MobilitySystem,
 };
-pub use rebeca_filter::{
-    Constraint, Filter, FilterSet, LocationDependentFilter, Notification, Value,
-};
+pub use rebeca_filter::{Constraint, Filter, LocationDependentFilter, Notification, Value};
 pub use rebeca_location::{AdaptivityPlan, Itinerary, LocationId, LocationSpace, MovementGraph};
+pub use rebeca_matcher::{FilterIndex, FilterSet};
 pub use rebeca_routing::RoutingStrategyKind;
 pub use rebeca_sim::{DelayModel, Metrics, SimDuration, SimTime, Topology};

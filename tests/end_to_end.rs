@@ -61,12 +61,22 @@ fn mixed_deployment_serves_every_client_correctly() {
         LogicalMobilityMode::LocationDependent,
         &[3, 4],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(3) }),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(3),
+                },
+            ),
             (
                 SimTime::from_millis(2),
                 ClientAction::Subscribe(stock_filter(&["REBECA", "SIENA"])),
             ),
-            (SimTime::from_secs(1), ClientAction::MoveTo { broker: sys.broker_node(4) }),
+            (
+                SimTime::from_secs(1),
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(4),
+                },
+            ),
         ],
     );
 
@@ -77,7 +87,12 @@ fn mixed_deployment_serves_every_client_correctly() {
         LogicalMobilityMode::LocationDependent,
         &[5],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(5) }),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(5),
+                },
+            ),
             (
                 SimTime::from_millis(2),
                 ClientAction::LocSubscribe {
@@ -86,8 +101,14 @@ fn mixed_deployment_serves_every_client_correctly() {
                     location: LocationId(0),
                 },
             ),
-            (SimTime::from_secs(1), ClientAction::SetLocation(LocationId(1))),
-            (SimTime::from_secs(2), ClientAction::SetLocation(LocationId(2))),
+            (
+                SimTime::from_secs(1),
+                ClientAction::SetLocation(LocationId(1)),
+            ),
+            (
+                SimTime::from_secs(2),
+                ClientAction::SetLocation(LocationId(2)),
+            ),
         ],
     );
 
@@ -98,10 +119,17 @@ fn mixed_deployment_serves_every_client_correctly() {
         LogicalMobilityMode::LocationDependent,
         &[6],
         vec![
-            (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(6) }),
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(6),
+                },
+            ),
             (
                 SimTime::from_millis(2),
-                ClientAction::Subscribe(Filter::new().with("service", Constraint::Eq("stock".into()))),
+                ClientAction::Subscribe(
+                    Filter::new().with("service", Constraint::Eq("stock".into())),
+                ),
             ),
         ],
     );
@@ -109,7 +137,12 @@ fn mixed_deployment_serves_every_client_correctly() {
     // Producer A: stock quotes at broker 1.
     let exchange = ClientId(10);
     let symbols = ["REBECA", "SIENA", "GRYPHON"];
-    let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(1) })];
+    let mut script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: sys.broker_node(1),
+        },
+    )];
     let quotes = 60u64;
     for i in 0..quotes {
         script.push((
@@ -117,18 +150,33 @@ fn mixed_deployment_serves_every_client_correctly() {
             ClientAction::Publish(stock_quote(symbols[(i % 3) as usize], i as i64)),
         ));
     }
-    sys.add_client(exchange, LogicalMobilityMode::LocationDependent, &[1], script);
+    sys.add_client(
+        exchange,
+        LogicalMobilityMode::LocationDependent,
+        &[1],
+        script,
+    );
 
     // Producer B: parking vacancies at broker 2, cycling through locations.
     let sensors = ClientId(11);
-    let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(2) })];
+    let mut script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: sys.broker_node(2),
+        },
+    )];
     for i in 0..60u64 {
         script.push((
             SimTime::from_millis(100 + i * 40),
             ClientAction::Publish(vacancy(LocationId((i % 9) as u32), i as i64)),
         ));
     }
-    sys.add_client(sensors, LogicalMobilityMode::LocationDependent, &[2], script);
+    sys.add_client(
+        sensors,
+        LogicalMobilityMode::LocationDependent,
+        &[2],
+        script,
+    );
 
     sys.run_until(SimTime::from_secs(10));
 
@@ -163,7 +211,10 @@ fn mixed_deployment_serves_every_client_correctly() {
             .get("location")
             .and_then(|v| v.as_location())
             .unwrap();
-        assert!(loc <= 2, "driver only ever announced locations 0, 1, 2; got {loc}");
+        assert!(
+            loc <= 2,
+            "driver only ever announced locations 0, 1, 2; got {loc}"
+        );
     }
 }
 
@@ -177,7 +228,9 @@ fn facade_types_compose() {
         .with("service", Constraint::Eq("parking".into()))
         .with("cost", Constraint::Lt(3.into()));
     let mut engine: RoutingEngine<u8> = RoutingEngine::new(RoutingStrategyKind::Covering);
-    assert!(!engine.handle_subscribe(filter.clone(), 1, &[1, 2]).is_empty());
+    assert!(!engine
+        .handle_subscribe(filter.clone(), 1, &[1, 2])
+        .is_empty());
 
     let graph = MovementGraph::paper_example();
     let a = graph.space().id("a").unwrap();
@@ -220,14 +273,21 @@ fn many_roaming_consumers_stay_consistent() {
             LogicalMobilityMode::LocationDependent,
             &[start, target],
             vec![
-                (SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(start) }),
+                (
+                    SimTime::from_millis(1),
+                    ClientAction::Attach {
+                        broker: sys.broker_node(start),
+                    },
+                ),
                 (
                     SimTime::from_millis(2),
                     ClientAction::Subscribe(stock_filter(&["REBECA"])),
                 ),
                 (
                     SimTime::from_millis(400 + i as u64 * 150),
-                    ClientAction::MoveTo { broker: sys.broker_node(target) },
+                    ClientAction::MoveTo {
+                        broker: sys.broker_node(target),
+                    },
                 ),
             ],
         );
@@ -235,14 +295,24 @@ fn many_roaming_consumers_stay_consistent() {
 
     let exchange = ClientId(100);
     let publications = 50u64;
-    let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: sys.broker_node(0) })];
+    let mut script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: sys.broker_node(0),
+        },
+    )];
     for i in 0..publications {
         script.push((
             SimTime::from_millis(100 + i * 30),
             ClientAction::Publish(stock_quote("REBECA", i as i64)),
         ));
     }
-    sys.add_client(exchange, LogicalMobilityMode::LocationDependent, &[0], script);
+    sys.add_client(
+        exchange,
+        LogicalMobilityMode::LocationDependent,
+        &[0],
+        script,
+    );
 
     sys.run_until(SimTime::from_secs(15));
 
