@@ -1,0 +1,178 @@
+//! Benchmarks for the sharded, batch-parallel matching engine
+//! (`rebeca-matcher`'s `ShardedFilterIndex` and the `match_batch` kernel)
+//! against the single-thread, per-notification baseline of PR 1.
+//!
+//! The workload is the same city-scale subscription mix as
+//! `matcher_bench.rs`, so numbers are comparable with
+//! `BENCH_matcher.json`.  Three questions are measured:
+//!
+//! 1. **Single-notification latency** must not regress: the sharded walk at
+//!    8 shards versus the sequential index (`shards/single/*`).
+//! 2. **Batch throughput** is the headline: matching a 256-notification
+//!    queue through `match_batch` (per-predicate lane masks, every posting
+//!    list walked once per 64-lane chunk) versus calling `matching_keys`
+//!    once per notification (`shards/batch/*`; per iteration = one whole
+//!    queue).
+//! 3. **Maintenance** stays cheap: building the 8-shard index at 100k
+//!    subscriptions (`shards/maintenance/*`).
+//!
+//! `BENCH_shards.json` at the repository root is generated from this bench
+//! (see the file header there for the command); `scripts/bench_gate.py`
+//! regression-gates both files in CI.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rebeca_filter::{Constraint, Filter, Notification, Value};
+use rebeca_matcher::{FilterIndex, ShardedFilterIndex};
+
+/// Deterministic subscription mix: equality on service, numeric price
+/// bounds, location sets — the constraint kinds brokers actually store
+/// (identical to `matcher_bench.rs`).
+fn subscription(i: u32) -> Filter {
+    let service = ["parking", "weather", "traffic", "stock"][(i % 4) as usize];
+    let mut f = Filter::new().with("service", Constraint::Eq(service.into()));
+    match i % 3 {
+        0 => {
+            f = f.with("cost", Constraint::Lt(Value::Int((i % 40) as i64)));
+        }
+        1 => {
+            f = f.with(
+                "cost",
+                Constraint::Between(
+                    Value::Int((i % 20) as i64),
+                    Value::Int((i % 20 + 10) as i64),
+                ),
+            );
+        }
+        _ => {}
+    }
+    if i.is_multiple_of(2) {
+        f = f.with(
+            "location",
+            Constraint::any_location_of([i % 100, (i + 7) % 100]),
+        );
+    }
+    f
+}
+
+fn notification(i: u32) -> Notification {
+    let service = ["parking", "weather", "traffic", "stock"][(i % 4) as usize];
+    Notification::builder()
+        .attr("service", service)
+        .attr("cost", (i % 45) as i64)
+        .attr("location", Value::Location(i % 100))
+        .attr("spot", i as i64)
+        .build()
+}
+
+fn build_sequential(n: u32) -> FilterIndex<u32> {
+    let mut index = FilterIndex::new();
+    for i in 0..n {
+        index.insert(i, &subscription(i));
+    }
+    index
+}
+
+fn build_sharded(n: u32, shards: usize) -> ShardedFilterIndex<u32> {
+    let mut index = ShardedFilterIndex::with_shards(shards);
+    for i in 0..n {
+        index.insert(i, &subscription(i));
+    }
+    index
+}
+
+/// Size of the notification queue matched per batch iteration.
+const BATCH: u32 = 256;
+
+/// Single-notification matching latency: the sharded index must stay at the
+/// sequential index's level (the counting walk is the same; only the
+/// attribute→shard dispatch differs).
+fn bench_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shards/single");
+    for &n in &[10_000u32, 100_000] {
+        let sequential = build_sequential(n);
+        let sharded = build_sharded(n, 8);
+        let notifications: Vec<Notification> = (0..64).map(notification).collect();
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let n = &notifications[i % notifications.len()];
+                i += 1;
+                black_box(sequential.matching_keys(n).len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sharded8", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let n = &notifications[i % notifications.len()];
+                i += 1;
+                black_box(sharded.matching_keys(n).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Batch throughput: one iteration matches the whole 256-notification
+/// queue.  `per_notification_loop` is the PR 1 baseline (sequential index,
+/// one `matching_keys` call per notification); `match_batch/*` run the
+/// lane-mask kernel at 1 and 8 shards with auto worker fan-out.
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shards/batch");
+    for &n in &[10_000u32, 100_000] {
+        let sequential = build_sequential(n);
+        let sharded1 = build_sharded(n, 1);
+        let sharded8 = build_sharded(n, 8);
+        let queue: Vec<Notification> = (0..BATCH).map(notification).collect();
+
+        group.bench_with_input(BenchmarkId::new("per_notification_loop", n), &n, |b, _| {
+            b.iter(|| {
+                let mut matches = 0usize;
+                for q in &queue {
+                    matches += sequential.matching_keys(q).len();
+                }
+                black_box(matches)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("match_batch_seq1", n), &n, |b, _| {
+            b.iter(|| {
+                let results = sequential.match_batch(&queue);
+                black_box(results.iter().map(Vec::len).sum::<usize>())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("match_batch_shards1", n), &n, |b, _| {
+            b.iter(|| {
+                let results = sharded1.match_batch(&queue);
+                black_box(results.iter().map(Vec::len).sum::<usize>())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("match_batch_shards8", n), &n, |b, _| {
+            b.iter(|| {
+                let results = sharded8.match_batch(&queue);
+                black_box(results.iter().map(Vec::len).sum::<usize>())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Maintenance: building the sharded index from scratch at 100k
+/// subscriptions (insert fan-out across shards).
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shards/maintenance");
+    group.sample_size(10);
+    group.bench_function("build_shards8/100000", |b| {
+        b.iter(|| black_box(build_sharded(100_000, 8)).len())
+    });
+    let mut index = build_sharded(100_000, 8);
+    let churn = subscription(123_457);
+    group.bench_function("churn_shards8/100000", |b| {
+        b.iter(|| {
+            index.insert(u32::MAX, &churn);
+            index.remove(&u32::MAX)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single, bench_batch, bench_maintenance);
+criterion_main!(benches);

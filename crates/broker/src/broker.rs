@@ -23,7 +23,7 @@
 //! plain static broker simply drops them (which is exactly the naive
 //! behaviour whose notification loss Figure 2 of the paper illustrates).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -72,7 +72,10 @@ pub struct BrokerCore {
     engine: RoutingEngine<NodeId>,
     ads: AdvertisementTable<NodeId>,
     seq: SequenceRegistry,
-    publisher_seq: BTreeMap<ClientId, u64>,
+    /// Next per-publisher sequence number.  Looked up on every publish and
+    /// never iterated in order, so a hash map beats the ordered map it
+    /// replaced.
+    publisher_seq: HashMap<ClientId, u64>,
     parked: Vec<Delivery>,
 }
 
@@ -93,7 +96,7 @@ impl BrokerCore {
             engine: RoutingEngine::new(strategy),
             ads: AdvertisementTable::new(),
             seq: SequenceRegistry::new(),
-            publisher_seq: BTreeMap::new(),
+            publisher_seq: HashMap::new(),
             parked: Vec::new(),
         }
     }
@@ -333,9 +336,44 @@ impl BrokerCore {
         self.route_envelope(envelope, Some(from))
     }
 
+    /// A local client publishes a whole queue of notifications at once.
+    /// The border broker assigns consecutive per-publisher sequence numbers
+    /// and routes the queue through the batch matching path.
+    pub fn handle_publish_batch(
+        &mut self,
+        publisher: ClientId,
+        notifications: Vec<Notification>,
+        from: NodeId,
+    ) -> Outgoing {
+        let counter = self.publisher_seq.entry(publisher).or_insert(0);
+        let envelopes: Vec<Envelope> = notifications
+            .into_iter()
+            .map(|notification| {
+                *counter += 1;
+                Envelope {
+                    publisher,
+                    publisher_seq: *counter,
+                    notification,
+                }
+            })
+            .collect();
+        self.route_envelope_batch(envelopes, Some(from))
+    }
+
     /// A routed notification arrives from a neighbouring broker.
     pub fn handle_notification(&mut self, envelope: Envelope, from: NodeId) -> Outgoing {
         self.route_envelope(envelope, Some(from))
+    }
+
+    /// A queue of routed notifications arrives from a neighbouring broker:
+    /// drain it through batch matching, then re-group the survivors per
+    /// next-hop link.
+    pub fn handle_notification_batch(
+        &mut self,
+        envelopes: Vec<Envelope>,
+        from: NodeId,
+    ) -> Outgoing {
+        self.route_envelope_batch(envelopes, Some(from))
     }
 
     /// Routes an envelope: forwards it to matching neighbouring brokers and
@@ -343,18 +381,83 @@ impl BrokerCore {
     pub fn route_envelope(&mut self, envelope: Envelope, exclude: Option<NodeId>) -> Outgoing {
         let mut out = Vec::new();
 
-        // Broker-to-broker forwarding.
+        // Broker-to-broker forwarding, via the routing engine's visitor walk
+        // (skips the matching-key and cloned-destination vectors).
         let all_links = self.broker_links.clone();
-        let destinations = self
-            .engine
-            .route(&envelope.notification, exclude.as_ref(), &all_links);
-        for dest in destinations {
-            if self.broker_links.contains(&dest) {
-                out.push((dest, Message::Notification(envelope.clone())));
+        let broker_links = &self.broker_links;
+        self.engine.for_each_route(
+            &envelope.notification,
+            exclude.as_ref(),
+            &all_links,
+            |dest| {
+                if broker_links.contains(dest) {
+                    out.push((*dest, Message::Notification(envelope.clone())));
+                }
+            },
+        );
+
+        self.deliver_locally(&envelope, exclude, &mut out);
+        out
+    }
+
+    /// Routes a queue of envelopes through the batch matcher: one matching
+    /// pass for the whole queue, survivors re-grouped into per-link
+    /// [`Message::NotificationBatch`]s (a single survivor travels as a
+    /// plain [`Message::Notification`]), local deliveries as usual.
+    pub fn route_envelope_batch(
+        &mut self,
+        envelopes: Vec<Envelope>,
+        exclude: Option<NodeId>,
+    ) -> Outgoing {
+        match envelopes.len() {
+            0 => return Vec::new(),
+            1 => {
+                let envelope = envelopes.into_iter().next().expect("one envelope");
+                return self.route_envelope(envelope, exclude);
+            }
+            _ => {}
+        }
+        let all_links = self.broker_links.clone();
+        let destinations = {
+            let ns: Vec<&Notification> = envelopes.iter().map(|e| &e.notification).collect();
+            self.engine.route_batch(&ns, exclude.as_ref(), &all_links)
+        };
+        let mut per_dest: BTreeMap<NodeId, Vec<Envelope>> = BTreeMap::new();
+        for (envelope, dests) in envelopes.iter().zip(&destinations) {
+            for dest in dests {
+                if self.broker_links.contains(dest) {
+                    per_dest.entry(*dest).or_default().push(envelope.clone());
+                }
             }
         }
+        let mut out: Outgoing = per_dest
+            .into_iter()
+            .map(|(dest, mut batch)| {
+                if batch.len() == 1 {
+                    (
+                        dest,
+                        Message::Notification(batch.pop().expect("one envelope")),
+                    )
+                } else {
+                    (dest, Message::NotificationBatch(batch))
+                }
+            })
+            .collect();
+        for envelope in &envelopes {
+            self.deliver_locally(envelope, exclude, &mut out);
+        }
+        out
+    }
 
-        // Local delivery with per-(client, filter) sequence annotation.
+    /// Delivers an envelope (with per-`(client, filter)` sequence
+    /// annotation) to matching local clients, parking deliveries addressed
+    /// to disconnected ones.
+    fn deliver_locally(
+        &mut self,
+        envelope: &Envelope,
+        exclude: Option<NodeId>,
+        out: &mut Outgoing,
+    ) {
         let matches: Vec<(ClientId, NodeId, bool, Filter)> = self
             .clients
             .iter()
@@ -382,7 +485,6 @@ impl BrokerCore {
                 self.parked.push(delivery);
             }
         }
-        out
     }
 
     /// Dispatches a raw [`Message`] to the appropriate handler.  Mobility
@@ -397,7 +499,14 @@ impl BrokerCore {
                 publisher,
                 notification,
             } => Ok(self.handle_publish(publisher, notification, from)),
+            Message::PublishBatch {
+                publisher,
+                notifications,
+            } => Ok(self.handle_publish_batch(publisher, notifications, from)),
             Message::Notification(envelope) => Ok(self.handle_notification(envelope, from)),
+            Message::NotificationBatch(envelopes) => {
+                Ok(self.handle_notification_batch(envelopes, from))
+            }
             Message::Subscribe { subscriber, filter } => {
                 Ok(self.handle_subscribe(subscriber, filter, from))
             }
@@ -612,6 +721,109 @@ mod tests {
         assert!(b
             .handle_publish(ClientId(2), vacancy(), NodeId(101))
             .is_empty());
+    }
+
+    #[test]
+    fn publish_batch_assigns_consecutive_seqs_and_matches_per_notification() {
+        let mut b = broker();
+        b.handle_attach(ClientId(1), NodeId(100));
+        b.handle_subscribe(ClientId(1), parking(), NodeId(100));
+        b.handle_attach(ClientId(2), NodeId(101));
+
+        // A batch of three: two matching, one not.
+        let miss = Notification::builder().attr("service", "weather").build();
+        let out =
+            b.handle_publish_batch(ClientId(2), vec![vacancy(), miss, vacancy()], NodeId(101));
+        let delivers: Vec<&Delivery> = out
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Message::Deliver(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivers.len(), 2);
+        assert_eq!(delivers[0].envelope.publisher_seq, 1);
+        assert_eq!(delivers[1].envelope.publisher_seq, 3);
+        assert_eq!(delivers[0].seq, 1);
+        assert_eq!(delivers[1].seq, 2);
+
+        // A later single publish continues the same sequence.
+        let out = b.handle_publish(ClientId(2), vacancy(), NodeId(101));
+        let d = out
+            .iter()
+            .find_map(|(_, m)| match m {
+                Message::Deliver(d) => Some(d),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(d.envelope.publisher_seq, 4);
+    }
+
+    #[test]
+    fn notification_batches_are_regrouped_per_link() {
+        let mut b = broker();
+        // Two remote subscriptions behind different links.
+        b.handle_subscribe(ClientId(5), parking(), NodeId(10));
+        b.handle_subscribe(ClientId(6), weather(), NodeId(11));
+        let envelope = |seq: u64, service: &str| Envelope {
+            publisher: ClientId(9),
+            publisher_seq: seq,
+            notification: Notification::builder()
+                .attr("service", service)
+                .attr("cost", 2)
+                .build(),
+        };
+        // Arrives from a third direction: parking notifications go to link
+        // 10 as a batch, the weather one to link 11 as a single message.
+        let batch = vec![
+            envelope(1, "parking"),
+            envelope(2, "weather"),
+            envelope(3, "parking"),
+        ];
+        let mut out = b.handle_message(NodeId(100), Message::NotificationBatch(batch.clone()));
+        // NodeId(100) is no broker link, so nothing bounces back there.
+        let out = out.as_mut().expect("static message");
+        out.sort_by_key(|(dest, _)| *dest);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, NodeId(10));
+        match &out[0].1 {
+            Message::NotificationBatch(envs) => {
+                assert_eq!(
+                    envs.iter().map(|e| e.publisher_seq).collect::<Vec<_>>(),
+                    vec![1, 3]
+                );
+            }
+            other => panic!("expected a batch towards link 10, got {other:?}"),
+        }
+        assert_eq!(out[1].0, NodeId(11));
+        assert!(matches!(&out[1].1, Message::Notification(e) if e.publisher_seq == 2));
+
+        // The batch path agrees with routing each envelope individually.
+        let mut single_dests: Vec<NodeId> = batch
+            .iter()
+            .flat_map(|e| {
+                b.handle_notification(e.clone(), NodeId(100))
+                    .into_iter()
+                    .map(|(d, _)| d)
+            })
+            .collect();
+        single_dests.sort_unstable();
+        assert_eq!(single_dests, vec![NodeId(10), NodeId(10), NodeId(11)]);
+    }
+
+    #[test]
+    fn batched_deliveries_to_disconnected_clients_are_parked() {
+        let mut b = broker();
+        b.handle_attach(ClientId(1), NodeId(100));
+        b.handle_subscribe(ClientId(1), parking(), NodeId(100));
+        b.handle_detach(ClientId(1));
+        b.handle_attach(ClientId(2), NodeId(101));
+        let out = b.handle_publish_batch(ClientId(2), vec![vacancy(), vacancy()], NodeId(101));
+        assert!(out.is_empty());
+        let parked = b.take_parked();
+        assert_eq!(parked.len(), 2);
+        assert_eq!(parked[0].seq, 1);
+        assert_eq!(parked[1].seq, 2);
     }
 
     #[test]

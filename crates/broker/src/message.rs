@@ -69,8 +69,22 @@ pub enum Message {
         /// The notification to publish.
         notification: Notification,
     },
+    /// A client publishes a whole queue of notifications through its border
+    /// broker in one message.  The broker assigns consecutive per-publisher
+    /// sequence numbers and routes the queue through the batch matching
+    /// path (`handle_publish_batch`).
+    PublishBatch {
+        /// The publishing client.
+        publisher: ClientId,
+        /// The notifications to publish, in publication order.
+        notifications: Vec<Notification>,
+    },
     /// A routed notification travelling between brokers.
     Notification(Envelope),
+    /// A queue of routed notifications travelling between brokers as one
+    /// message: the receiving broker drains it through batch matching and
+    /// re-groups the survivors per next-hop link.
+    NotificationBatch(Vec<Envelope>),
     /// A subscription travelling from a client into (and through) the broker
     /// network.
     Subscribe {
@@ -230,7 +244,11 @@ impl Message {
     pub fn is_data(&self) -> bool {
         matches!(
             self,
-            Message::Publish { .. } | Message::Notification(_) | Message::Deliver(_)
+            Message::Publish { .. }
+                | Message::PublishBatch { .. }
+                | Message::Notification(_)
+                | Message::NotificationBatch(_)
+                | Message::Deliver(_)
         )
     }
 
@@ -240,7 +258,9 @@ impl Message {
             Message::Attach { .. } => "attach",
             Message::Detach { .. } => "detach",
             Message::Publish { .. } => "publish",
+            Message::PublishBatch { .. } => "publish_batch",
             Message::Notification(_) => "notification",
+            Message::NotificationBatch(_) => "notification_batch",
             Message::Subscribe { .. } => "subscribe",
             Message::Unsubscribe { .. } => "unsubscribe",
             Message::Advertise { .. } => "advertise",

@@ -47,6 +47,10 @@ pub enum ClientAction {
     Advertise(Filter),
     /// Publish one notification.
     Publish(Notification),
+    /// Publish a whole queue of notifications in one message; the border
+    /// broker assigns consecutive sequence numbers and routes the queue
+    /// through its batch matching path.
+    PublishBatch(Vec<Notification>),
     /// Physically move to a different border broker using the paper's
     /// relocation protocol: the old broker observes the connection drop, the
     /// client re-subscribes at the new broker with the last received
@@ -234,6 +238,16 @@ impl ClientNode {
                     Message::Publish {
                         publisher: self.id,
                         notification,
+                    },
+                );
+            }
+            ClientAction::PublishBatch(notifications) => {
+                self.published += notifications.len() as u64;
+                self.send_to_broker(
+                    ctx,
+                    Message::PublishBatch {
+                        publisher: self.id,
+                        notifications,
                     },
                 );
             }

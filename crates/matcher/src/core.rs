@@ -1,0 +1,562 @@
+//! The shared index engine behind [`FilterIndex`](crate::FilterIndex) and
+//! [`ShardedFilterIndex`](crate::ShardedFilterIndex).
+//!
+//! An [`IndexCore`] owns one or more [`PredStore`] shards (attribute
+//! partitions, interned constraints) plus the entry table mapping external
+//! keys to indexed filters.  Attributes are assigned to shards by a fixed
+//! FNV-1a hash of the attribute name, so the assignment is deterministic
+//! across runs and independent of process hash seeds; with a single store
+//! every attribute trivially lands in shard 0 and no hashing happens.
+//!
+//! # Single-notification matching
+//!
+//! [`IndexCore::for_each_match`] runs the classic counting walk: per
+//! notification attribute, the owning shard's satisfied predicates are
+//! enumerated and their posting lists bump per-entry counters in a
+//! [`MatchScratch`]; an entry matches when its counter reaches its
+//! constraint count.  Shards are walked sequentially into one scratch — the
+//! partial per-shard counts merge by simple accumulation, so the result is
+//! byte-identical to the unsharded walk.
+//!
+//! # Batch matching
+//!
+//! [`IndexCore::match_batch_fids`] matches up to 64 notifications per
+//! *lane chunk* using per-predicate bitmasks: each satisfied predicate
+//! accumulates a mask of the lanes satisfying it, and every posting list is
+//! then walked **once per chunk** (folding the mask into a per-entry
+//! AND-accumulator) instead of once per notification.  An entry matches
+//! lane `j` exactly when all of its predicates were seen and bit `j`
+//! survived the conjunction.  Chunks are independent, so a queue of
+//! notifications fans out across `std::thread::scope` workers, one scratch
+//! per worker.
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+use rebeca_filter::{Filter, Notification};
+
+use crate::scratch::{with_thread_scratch, MatchScratch, LANE_COUNT};
+use crate::store::PredStore;
+
+/// Deterministic attribute → shard assignment (FNV-1a, fixed seed).
+#[inline]
+fn attr_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Location of one constraint of an indexed filter.
+#[derive(Debug, Clone, Copy)]
+struct PredRef {
+    store: u32,
+    attr: u32,
+    pred: u32,
+}
+
+/// One indexed filter.
+#[derive(Debug, Clone)]
+struct IndexEntry<K> {
+    key: K,
+    constraint_count: u32,
+    preds: Vec<PredRef>,
+}
+
+/// The sharded predicate index engine.
+#[derive(Debug, Clone)]
+pub(crate) struct IndexCore<K> {
+    stores: Vec<PredStore>,
+    keys: HashMap<K, u32>,
+    entries: Vec<Option<IndexEntry<K>>>,
+    free: Vec<u32>,
+    /// Filters with zero constraints (they match everything and cover
+    /// nothing but other universal filters); kept sorted for determinism.
+    universal: BTreeSet<u32>,
+}
+
+impl<K> IndexCore<K> {
+    pub(crate) fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        IndexCore {
+            stores: (0..shards).map(|_| PredStore::default()).collect(),
+            keys: HashMap::new(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            universal: BTreeSet::new(),
+        }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.stores.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, name: &str) -> usize {
+        if self.stores.len() == 1 {
+            0
+        } else {
+            (attr_hash(name) % self.stores.len() as u64) as usize
+        }
+    }
+
+    #[inline]
+    fn entry(&self, fid: u32) -> &IndexEntry<K> {
+        self.entries[fid as usize].as_ref().expect("live entry")
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub(crate) fn predicate_count(&self) -> usize {
+        self.stores.iter().map(PredStore::pred_count).sum()
+    }
+
+    pub(crate) fn interned_constraint_count(&self) -> usize {
+        self.stores.iter().map(PredStore::interned_count).sum()
+    }
+}
+
+impl<K: Eq + Hash + Clone> IndexCore<K> {
+    pub(crate) fn contains_key(&self, key: &K) -> bool {
+        self.keys.contains_key(key)
+    }
+
+    pub(crate) fn insert(&mut self, key: K, filter: &Filter) {
+        if self.keys.contains_key(&key) {
+            self.remove(&key);
+        }
+        let fid = match self.free.pop() {
+            Some(fid) => fid,
+            None => {
+                self.entries.push(None);
+                (self.entries.len() - 1) as u32
+            }
+        };
+        let mut preds = Vec::with_capacity(filter.len());
+        for (name, constraint) in filter.iter() {
+            let store_id = self.shard_of(name);
+            let store = &mut self.stores[store_id];
+            let attr = store.ensure_attr(name);
+            let pred = store.add_constraint(attr, constraint, fid);
+            preds.push(PredRef {
+                store: store_id as u32,
+                attr,
+                pred,
+            });
+        }
+        if preds.is_empty() {
+            self.universal.insert(fid);
+        }
+        self.entries[fid as usize] = Some(IndexEntry {
+            key: key.clone(),
+            constraint_count: preds.len() as u32,
+            preds,
+        });
+        self.keys.insert(key, fid);
+    }
+
+    pub(crate) fn remove(&mut self, key: &K) -> bool {
+        let Some(fid) = self.keys.remove(key) else {
+            return false;
+        };
+        let entry = self.entries[fid as usize].take().expect("live entry");
+        for PredRef { store, attr, pred } in entry.preds {
+            self.stores[store as usize].remove_constraint(attr, pred, fid);
+        }
+        self.universal.remove(&fid);
+        self.free.push(fid);
+        true
+    }
+
+    pub(crate) fn clear(&mut self) {
+        *self = IndexCore::with_shards(self.stores.len());
+    }
+
+    /// Visits the key of every matching filter: universal filters first (in
+    /// insertion-slot order), then each remaining match once, in the
+    /// deterministic order its counter completes during the walk.
+    pub(crate) fn for_each_match<'a>(
+        &'a self,
+        notification: &Notification,
+        scratch: &mut MatchScratch,
+        visit: &mut impl FnMut(&'a K),
+    ) {
+        for &fid in &self.universal {
+            visit(&self.entry(fid).key);
+        }
+        scratch.begin(self.entries.len());
+        for (name, value) in notification.iter() {
+            let store = &self.stores[self.shard_of(name)];
+            let Some(attr_id) = store.attr_id(name) else {
+                continue;
+            };
+            store.for_each_satisfied(attr_id, value, &mut |pred| {
+                for &fid in &pred.postings {
+                    let entry = self.entry(fid);
+                    if scratch.bump(fid) == entry.constraint_count {
+                        visit(&entry.key);
+                    }
+                }
+            });
+        }
+    }
+
+    pub(crate) fn matching_keys<'a>(
+        &'a self,
+        notification: &Notification,
+        scratch: &mut MatchScratch,
+    ) -> Vec<&'a K> {
+        let mut result = Vec::new();
+        self.for_each_match(notification, scratch, &mut |k| result.push(k));
+        result
+    }
+
+    pub(crate) fn any_match(
+        &self,
+        notification: &Notification,
+        scratch: &mut MatchScratch,
+    ) -> bool {
+        if !self.universal.is_empty() {
+            return true;
+        }
+        scratch.begin(self.entries.len());
+        for (name, value) in notification.iter() {
+            let store = &self.stores[self.shard_of(name)];
+            let Some(attr_id) = store.attr_id(name) else {
+                continue;
+            };
+            let mut found = false;
+            store.for_each_satisfied(attr_id, value, &mut |pred| {
+                if found {
+                    return;
+                }
+                for &fid in &pred.postings {
+                    if scratch.bump(fid) == self.entry(fid).constraint_count {
+                        found = true;
+                        return;
+                    }
+                }
+            });
+            if found {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn keys_of(&self, mut fids: Vec<u32>) -> Vec<&K> {
+        fids.sort_unstable();
+        fids.iter().map(|&fid| &self.entry(fid).key).collect()
+    }
+
+    /// Keys of **exactly** the stored filters covering `filter`, sorted by
+    /// insertion slot.
+    pub(crate) fn covering_keys(&self, filter: &Filter, scratch: &mut MatchScratch) -> Vec<&K> {
+        let mut fids: Vec<u32> = self.universal.iter().copied().collect();
+        scratch.begin(self.entries.len());
+        for (name, constraint) in filter.iter() {
+            let store = &self.stores[self.shard_of(name)];
+            let Some(attr_id) = store.attr_id(name) else {
+                continue;
+            };
+            store.for_each_covering(attr_id, constraint, &mut |pred| {
+                for &fid in &pred.postings {
+                    if scratch.bump(fid) == self.entry(fid).constraint_count {
+                        fids.push(fid);
+                    }
+                }
+            });
+        }
+        self.keys_of(fids)
+    }
+
+    /// `true` when at least one stored filter covers `filter`.
+    pub(crate) fn covers_any(&self, filter: &Filter, scratch: &mut MatchScratch) -> bool {
+        if !self.universal.is_empty() {
+            return true;
+        }
+        scratch.begin(self.entries.len());
+        for (name, constraint) in filter.iter() {
+            let store = &self.stores[self.shard_of(name)];
+            let Some(attr_id) = store.attr_id(name) else {
+                continue;
+            };
+            let mut found = false;
+            store.for_each_covering(attr_id, constraint, &mut |pred| {
+                if found {
+                    return;
+                }
+                for &fid in &pred.postings {
+                    if scratch.bump(fid) == self.entry(fid).constraint_count {
+                        found = true;
+                        return;
+                    }
+                }
+            });
+            if found {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Keys of **exactly** the stored filters `filter` covers, sorted by
+    /// insertion slot.
+    pub(crate) fn covered_keys(&self, filter: &Filter, scratch: &mut MatchScratch) -> Vec<&K> {
+        if filter.is_empty() {
+            // The universal filter covers everything.
+            return self.keys_of(self.keys.values().copied().collect());
+        }
+        let needed = filter.len() as u32;
+        let mut fids = Vec::new();
+        scratch.begin(self.entries.len());
+        for (name, constraint) in filter.iter() {
+            let store = &self.stores[self.shard_of(name)];
+            let Some(attr_id) = store.attr_id(name) else {
+                // Some attribute of `filter` is constrained by no stored
+                // filter at all — nothing can be covered.
+                return Vec::new();
+            };
+            store.for_each_covered(attr_id, constraint, &mut |pred| {
+                for &fid in &pred.postings {
+                    if scratch.bump(fid) == needed {
+                        fids.push(fid);
+                    }
+                }
+            });
+        }
+        self.keys_of(fids)
+    }
+
+    /// Keys of the stored filters constraining **exactly** the same
+    /// attribute set as `filter`, sorted by insertion slot.
+    pub(crate) fn same_attr_keys(&self, filter: &Filter, scratch: &mut MatchScratch) -> Vec<&K> {
+        if filter.is_empty() {
+            return self.keys_of(self.universal.iter().copied().collect());
+        }
+        let needed = filter.len() as u32;
+        let mut fids = Vec::new();
+        scratch.begin(self.entries.len());
+        for (name, _) in filter.iter() {
+            let store = &self.stores[self.shard_of(name)];
+            let Some(attr_id) = store.attr_id(name) else {
+                return Vec::new();
+            };
+            for fid in store.attr_filters(attr_id) {
+                let entry = self.entry(fid);
+                // Reaching `needed` hits means the filter constrains every
+                // attribute of the probe; an equal constraint count then
+                // means it constrains nothing else.
+                if scratch.bump(fid) == needed && entry.constraint_count == needed {
+                    fids.push(fid);
+                }
+            }
+        }
+        self.keys_of(fids)
+    }
+
+    /// Matches one chunk of at most [`LANE_COUNT`] notifications, returning
+    /// each lane's matching keys in insertion-slot order.
+    fn match_chunk_keys<'a, N: std::borrow::Borrow<Notification>>(
+        &'a self,
+        chunk: &[N],
+        scratch: &mut MatchScratch,
+    ) -> Vec<Vec<&'a K>> {
+        debug_assert!(chunk.len() <= LANE_COUNT);
+        scratch.begin_entries_batch(self.entries.len());
+        // Every store's predicate slots are mapped into one dense scratch
+        // range (`base[s] + slot`), so a single pass over each lane's
+        // attributes — one shard lookup per attribute — marks masks for all
+        // shards at once.
+        let mut bases = Vec::with_capacity(self.stores.len());
+        let mut total_slots = 0usize;
+        for store in &self.stores {
+            bases.push(total_slots as u32);
+            total_slots += store.mask_slot_count();
+        }
+        scratch.begin_preds(total_slots);
+        {
+            // Phase 1: per-predicate lane masks.  A predicate satisfied by
+            // several lanes accumulates all their bits before its postings
+            // are touched at all.
+            let MatchScratch {
+                pred_stamps,
+                pred_masks,
+                pred_epoch,
+                touched_preds,
+                ..
+            } = scratch;
+            let epoch = *pred_epoch;
+            for (lane, n) in chunk.iter().enumerate() {
+                let lane_bit = 1u64 << lane;
+                for (name, value) in n.borrow().iter() {
+                    let store_id = self.shard_of(name);
+                    let store = &self.stores[store_id];
+                    let Some(attr_id) = store.attr_id(name) else {
+                        continue;
+                    };
+                    let base = bases[store_id];
+                    store.for_each_satisfied(attr_id, value, &mut |pred| {
+                        let slot = (base + pred.mask_slot) as usize;
+                        if pred_stamps[slot] == epoch {
+                            pred_masks[slot] |= lane_bit;
+                        } else {
+                            pred_stamps[slot] = epoch;
+                            pred_masks[slot] = lane_bit;
+                            touched_preds.push((store_id as u32, attr_id, pred.id));
+                        }
+                    });
+                }
+            }
+        }
+        {
+            // Phase 2: fold each touched predicate's mask into its postings'
+            // conjunction accumulators — one posting-list walk per chunk.
+            // Dense chunks (most entries touched) stop recording touched
+            // entries once the harvest would switch to a linear stamp scan
+            // anyway.
+            let MatchScratch {
+                pred_masks,
+                touched_preds,
+                entry_stamps,
+                entry_masks,
+                entry_counts,
+                entry_epoch,
+                touched_entries,
+                ..
+            } = scratch;
+            let epoch = *entry_epoch;
+            let dense_limit = self.entries.len() / 8;
+            for &(store_id, attr_id, pred_id) in touched_preds.iter() {
+                let store = &self.stores[store_id as usize];
+                let pred = store.pred(attr_id, pred_id);
+                let mask = pred_masks[(bases[store_id as usize] + pred.mask_slot) as usize];
+                for &fid in pred.postings.as_slice() {
+                    let f = fid as usize;
+                    if entry_stamps[f] == epoch {
+                        entry_masks[f] &= mask;
+                        entry_counts[f] += 1;
+                    } else {
+                        entry_stamps[f] = epoch;
+                        entry_masks[f] = mask;
+                        entry_counts[f] = 1;
+                        if touched_entries.len() <= dense_limit {
+                            touched_entries.push(fid);
+                        }
+                    }
+                }
+            }
+        }
+        // Harvest: an entry matches lane `j` when every one of its
+        // predicates was satisfied by some lane (count reached) and bit `j`
+        // survived the conjunction.  Universal entries match every lane.
+        let full: u64 = if chunk.len() == LANE_COUNT {
+            u64::MAX
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        let mut candidates: Vec<(u32, u64, &K)> = Vec::new();
+        let push_candidate =
+            |candidates: &mut Vec<(u32, u64, &'a K)>, scratch: &MatchScratch, fid: u32| {
+                let f = fid as usize;
+                let mask = scratch.entry_masks[f];
+                if mask != 0 {
+                    let entry = self.entry(fid);
+                    if scratch.entry_counts[f] == entry.constraint_count {
+                        candidates.push((fid, mask, &entry.key));
+                    }
+                }
+            };
+        // Candidates must come out in insertion-slot order.  When most
+        // entries were touched, a linear scan over the stamp array is far
+        // cheaper than sorting the touched list (phase 2 stops recording
+        // past that threshold); when few were, sorting the short list wins.
+        if scratch.touched_entries.len() * 8 >= self.entries.len() {
+            for f in 0..self.entries.len() {
+                if scratch.entry_stamps[f] == scratch.entry_epoch {
+                    push_candidate(&mut candidates, scratch, f as u32);
+                }
+            }
+        } else {
+            let mut touched_entries = std::mem::take(&mut scratch.touched_entries);
+            touched_entries.sort_unstable();
+            for &fid in &touched_entries {
+                push_candidate(&mut candidates, scratch, fid);
+            }
+            scratch.touched_entries = touched_entries;
+        }
+        if !self.universal.is_empty() {
+            candidates.extend(
+                self.universal
+                    .iter()
+                    .map(|&fid| (fid, full, &self.entry(fid).key)),
+            );
+            candidates.sort_unstable_by_key(|&(fid, _, _)| fid);
+        }
+        let mut out: Vec<Vec<&'a K>> = (0..chunk.len()).map(|_| Vec::new()).collect();
+        for (_, mask, key) in candidates {
+            let mut m = mask;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                out[lane].push(key);
+                m &= m - 1;
+            }
+        }
+        out
+    }
+
+    /// Matches every notification of `ns`, fanning lane chunks across
+    /// `workers` scoped threads (sequential when `workers <= 1` or the
+    /// batch fits one chunk).  Per-lane results are keys in insertion-slot
+    /// order.
+    pub(crate) fn match_batch<'a, N>(&'a self, ns: &[N], workers: usize) -> Vec<Vec<&'a K>>
+    where
+        N: std::borrow::Borrow<Notification> + Sync,
+        K: Sync,
+    {
+        let chunks: Vec<&[N]> = ns.chunks(LANE_COUNT).collect();
+        let workers = workers.clamp(1, chunks.len().max(1));
+        if workers <= 1 {
+            return with_thread_scratch(|scratch| {
+                let mut out = Vec::with_capacity(ns.len());
+                for chunk in chunks {
+                    out.extend(self.match_chunk_keys(chunk, scratch));
+                }
+                out
+            });
+        }
+        // Deal chunks round-robin so workers stay balanced even when the
+        // queue length is not a multiple of the worker count.
+        type ChunkSlot<'s, 'a, K> = (usize, &'s mut Vec<Vec<&'a K>>);
+        let mut results: Vec<Vec<Vec<&'a K>>> = Vec::with_capacity(chunks.len());
+        results.resize_with(chunks.len(), Vec::new);
+        std::thread::scope(|scope| {
+            let mut worker_slots: Vec<Vec<ChunkSlot<'_, 'a, K>>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, slot) in results.iter_mut().enumerate() {
+                worker_slots[i % workers].push((i, slot));
+            }
+            for assigned in worker_slots {
+                let chunks = &chunks;
+                scope.spawn(move || {
+                    let mut scratch = MatchScratch::new();
+                    for (i, slot) in assigned {
+                        *slot = self.match_chunk_keys(chunks[i], &mut scratch);
+                    }
+                });
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// Default worker count for auto-parallel batch matching.
+pub(crate) fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

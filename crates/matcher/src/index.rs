@@ -1,23 +1,17 @@
-//! The attribute-partitioned predicate index.
+//! The sequential (single-shard) predicate index.
 //!
 //! # Data structure
 //!
 //! A [`FilterIndex`] decomposes every inserted [`Filter`] into its
-//! per-attribute [`Constraint`]s.  Constraints are **deduplicated**: each
-//! distinct `(attribute, constraint)` pair is stored once as a *predicate*
-//! with a posting list of the filters using it.  Predicates are partitioned
-//! by attribute, and within one attribute by evaluation class:
-//!
-//! * **equality** (`Eq`, `In`) — a hash table from canonical value keys to
-//!   predicates, so an attribute value finds all candidate equality
-//!   predicates with one lookup;
-//! * **ordered numeric** (`Lt`, `Le`, `Gt`, `Ge`, `Between` with `Int`/
-//!   `Float` bounds) — ordered maps keyed by a monotone encoding of the
-//!   bound, so one range scan yields every satisfied predicate;
-//! * **existence** (`Exists`) — satisfied by presence alone;
-//! * **residual** (string predicates, `Ne`, non-numeric ordered bounds) —
-//!   a short list evaluated directly with [`Constraint::matches_value`];
-//!   exactness is never traded for speed.
+//! per-attribute [`Constraint`]s.  Constraints are **interned and
+//! deduplicated**: each distinct `(attribute, constraint)` pair is stored
+//! once as a *predicate* with an inline small-vector posting list of the
+//! filters using it, and the constraint payload itself lives once in a
+//! per-store arena shared across attributes.  Predicates are partitioned by
+//! attribute, and within one attribute by evaluation class (hashed equality
+//! classes, ordered numeric bound maps over monotone `f64` sort keys, an
+//! existence class, and an exact residual class) — see
+//! [`store`](crate::store) for the partition layout.
 //!
 //! # Matching: the counting algorithm
 //!
@@ -29,389 +23,35 @@
 //! is proportional to the satisfied predicates and their postings — not to
 //! the number of stored filters.
 //!
+//! Counters live in an external [`MatchScratch`] (caller-provided via the
+//! `*_with` methods, or a thread-local fallback), so the index is
+//! `Send + Sync` and any number of threads can match against a shared
+//! `&FilterIndex` concurrently.  [`FilterIndex::match_batch`] additionally
+//! matches whole queues of notifications with per-predicate lane masks,
+//! walking every posting list once per 64-notification chunk; see
+//! [`ShardedFilterIndex`](crate::ShardedFilterIndex) for the multi-shard
+//! variant.
+//!
 //! # Covering queries
 //!
 //! The covering/merging optimizations of Fiege et al. §2.2 run the *same*
 //! counting walk in the covering domain: for each attribute of a probe
-//! filter, the attribute's **deduplicated** predicates are tested once with
-//! [`Constraint::covers`] and the covering predicates' postings are
-//! counted.  A stored filter covers the probe exactly when its counter
-//! reaches its constraint count, so [`FilterIndex::covering_keys`] and
-//! [`FilterIndex::covered_keys`] are **exact** (identical to running
-//! [`Filter::covers`] against every stored filter) while paying one
-//! constraint-level test per distinct predicate instead of one filter-level
-//! test per stored filter.  [`FilterIndex::same_attr_keys`] completes the
-//! merge-partner search of `FilterSet::insert_merging`.
+//! filter, the attribute's deduplicated predicates whose partition ranges
+//! overlap the probe are tested with [`Constraint::covers`] and the
+//! covering predicates' postings are counted.  A stored filter covers the
+//! probe exactly when its counter reaches its constraint count, so
+//! [`FilterIndex::covering_keys`] and [`FilterIndex::covered_keys`] are
+//! **exact** (identical to running [`Filter::covers`] against every stored
+//! filter) while paying one constraint-level test per distinct predicate
+//! *overlapping the probe's bounds*.  [`FilterIndex::same_attr_keys`]
+//! completes the merge-partner search of `FilterSet::insert_merging`.
 
-use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
-use std::ops::Bound::{Excluded, Unbounded};
 
-use rebeca_filter::{Constraint, Filter, Notification, Value};
+use rebeca_filter::{Filter, Notification};
 
-/// Canonical hash key of a value under the filter model's equality
-/// semantics ([`Value::value_eq`]): numeric values collapse onto the total
-/// order of `f64`, every other kind is keyed by its exact payload.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum CanonKey {
-    /// `Int` or `Float`, encoded with [`num_sort_key`].
-    Num(u64),
-    Str(String),
-    Bool(bool),
-    Loc(u32),
-}
-
-/// Monotone encoding of the `f64` total order into `u64`: `a.total_cmp(b)`
-/// agrees with `num_sort_key(a).cmp(&num_sort_key(b))`.
-fn num_sort_key(f: f64) -> u64 {
-    let bits = f.to_bits();
-    if bits >> 63 == 1 {
-        !bits
-    } else {
-        bits | (1 << 63)
-    }
-}
-
-/// Numeric sort key of a value, when it has one.
-fn value_num_key(v: &Value) -> Option<u64> {
-    match v {
-        Value::Int(i) => Some(num_sort_key(*i as f64)),
-        Value::Float(f) => Some(num_sort_key(*f)),
-        _ => None,
-    }
-}
-
-fn canon_key(v: &Value) -> CanonKey {
-    match v {
-        Value::Int(i) => CanonKey::Num(num_sort_key(*i as f64)),
-        Value::Float(f) => CanonKey::Num(num_sort_key(*f)),
-        Value::Str(s) => CanonKey::Str(s.clone()),
-        Value::Bool(b) => CanonKey::Bool(*b),
-        Value::Location(l) => CanonKey::Loc(*l),
-    }
-}
-
-/// Where a predicate lives inside its attribute partition (needed to undo
-/// the insertion when the last filter using the predicate is removed).
-#[derive(Debug, Clone)]
-enum Slot {
-    Eq(Vec<CanonKey>),
-    Lt(u64),
-    Le(u64),
-    Gt(u64),
-    Ge(u64),
-    /// Keyed by the sort key of the lower bound.
-    Between(u64),
-    Exists,
-    Residual,
-}
-
-/// One deduplicated `(attribute, constraint)` predicate.
-#[derive(Debug, Clone)]
-struct Pred {
-    constraint: Constraint,
-    slot: Slot,
-    /// Filters using this predicate (insertion order, deterministic).
-    postings: Vec<usize>,
-}
-
-/// All predicates of one attribute, partitioned by evaluation class.
-#[derive(Debug, Clone, Default)]
-struct AttrIndex {
-    /// Deduplication map: constraint → predicate slot in `preds`.
-    dedup: HashMap<Constraint, usize>,
-    preds: Vec<Option<Pred>>,
-    free: Vec<usize>,
-    /// Equality classes: canonical value key → predicates that a value with
-    /// this key may satisfy (`Eq`, `In`).  Verified exactly on lookup.
-    eq: HashMap<CanonKey, Vec<usize>>,
-    /// Ordered numeric predicates, keyed by the bound's sort key.  A query
-    /// value strictly below/above the key is satisfied without further
-    /// checks; the boundary class is verified exactly (this keeps huge-`i64`
-    /// versus `f64` edge cases byte-identical to the linear scan).
-    lt: BTreeMap<u64, Vec<usize>>,
-    le: BTreeMap<u64, Vec<usize>>,
-    gt: BTreeMap<u64, Vec<usize>>,
-    ge: BTreeMap<u64, Vec<usize>>,
-    /// `Between` predicates keyed by lower-bound sort key; candidates with a
-    /// lower bound ≤ the query value are verified exactly.
-    between: BTreeMap<u64, Vec<usize>>,
-    /// `Exists` predicates — satisfied by attribute presence.
-    exists: Vec<usize>,
-    /// Predicates evaluated directly (`Ne`, string predicates, ordered
-    /// constraints with non-numeric bounds).
-    residual: Vec<usize>,
-    /// Filters constraining this attribute (sorted, deterministic), used by
-    /// the covering-candidate counting walks.
-    filters: BTreeMap<usize, ()>,
-}
-
-impl AttrIndex {
-    fn alloc_pred(&mut self, pred: Pred) -> usize {
-        match self.free.pop() {
-            Some(slot) => {
-                self.preds[slot] = Some(pred);
-                slot
-            }
-            None => {
-                self.preds.push(Some(pred));
-                self.preds.len() - 1
-            }
-        }
-    }
-
-    /// Classifies a constraint and registers the new predicate in the right
-    /// partition, returning its slot.
-    fn add_pred(&mut self, constraint: &Constraint) -> usize {
-        let slot = match constraint {
-            Constraint::Eq(v) => Slot::Eq(vec![canon_key(v)]),
-            Constraint::In(set) => {
-                let mut keys: Vec<CanonKey> = Vec::with_capacity(set.len());
-                for v in set {
-                    let k = canon_key(v);
-                    if !keys.contains(&k) {
-                        keys.push(k);
-                    }
-                }
-                Slot::Eq(keys)
-            }
-            Constraint::Lt(v) => match value_num_key(v) {
-                Some(k) => Slot::Lt(k),
-                None => Slot::Residual,
-            },
-            Constraint::Le(v) => match value_num_key(v) {
-                Some(k) => Slot::Le(k),
-                None => Slot::Residual,
-            },
-            Constraint::Gt(v) => match value_num_key(v) {
-                Some(k) => Slot::Gt(k),
-                None => Slot::Residual,
-            },
-            Constraint::Ge(v) => match value_num_key(v) {
-                Some(k) => Slot::Ge(k),
-                None => Slot::Residual,
-            },
-            Constraint::Between(lo, hi) => match (value_num_key(lo), value_num_key(hi)) {
-                (Some(lo_key), Some(_)) => Slot::Between(lo_key),
-                _ => Slot::Residual,
-            },
-            Constraint::Exists => Slot::Exists,
-            Constraint::Ne(_)
-            | Constraint::Prefix(_)
-            | Constraint::Suffix(_)
-            | Constraint::Contains(_) => Slot::Residual,
-        };
-        let id = self.alloc_pred(Pred {
-            constraint: constraint.clone(),
-            slot: slot.clone(),
-            postings: Vec::new(),
-        });
-        match slot {
-            Slot::Eq(keys) => {
-                for k in keys {
-                    self.eq.entry(k).or_default().push(id);
-                }
-            }
-            Slot::Lt(k) => self.lt.entry(k).or_default().push(id),
-            Slot::Le(k) => self.le.entry(k).or_default().push(id),
-            Slot::Gt(k) => self.gt.entry(k).or_default().push(id),
-            Slot::Ge(k) => self.ge.entry(k).or_default().push(id),
-            Slot::Between(k) => self.between.entry(k).or_default().push(id),
-            Slot::Exists => self.exists.push(id),
-            Slot::Residual => self.residual.push(id),
-        }
-        id
-    }
-
-    /// Unregisters a predicate that no filter uses anymore.
-    fn drop_pred(&mut self, id: usize) {
-        let pred = self.preds[id].take().expect("predicate must be live");
-        debug_assert!(pred.postings.is_empty());
-        self.dedup.remove(&pred.constraint);
-        fn remove_from(list: &mut Vec<usize>, id: usize) {
-            let pos = list
-                .iter()
-                .position(|p| *p == id)
-                .expect("pred in partition");
-            list.remove(pos);
-        }
-        fn remove_from_map(map: &mut BTreeMap<u64, Vec<usize>>, key: u64, id: usize) {
-            let list = map.get_mut(&key).expect("bound class exists");
-            remove_from(list, id);
-            if list.is_empty() {
-                map.remove(&key);
-            }
-        }
-        match &pred.slot {
-            Slot::Eq(keys) => {
-                for k in keys {
-                    let list = self.eq.get_mut(k).expect("eq class exists");
-                    remove_from(list, id);
-                    if list.is_empty() {
-                        self.eq.remove(k);
-                    }
-                }
-            }
-            Slot::Lt(k) => remove_from_map(&mut self.lt, *k, id),
-            Slot::Le(k) => remove_from_map(&mut self.le, *k, id),
-            Slot::Gt(k) => remove_from_map(&mut self.gt, *k, id),
-            Slot::Ge(k) => remove_from_map(&mut self.ge, *k, id),
-            Slot::Between(k) => remove_from_map(&mut self.between, *k, id),
-            Slot::Exists => remove_from(&mut self.exists, id),
-            Slot::Residual => remove_from(&mut self.residual, id),
-        }
-        self.free.push(id);
-    }
-
-    /// Walks every live predicate of this attribute whose constraint
-    /// **covers** `probe`, exactly once each, in deterministic (slot) order.
-    ///
-    /// The covering test runs once per *deduplicated* predicate — for a
-    /// routing table holding thousands of filters over a handful of distinct
-    /// constraints, this is the entire pruning.
-    fn for_each_covering(&self, probe: &Constraint, visit: &mut impl FnMut(&Pred)) {
-        for pred in self.preds.iter().flatten() {
-            if pred.constraint.covers(probe) {
-                visit(pred);
-            }
-        }
-    }
-
-    /// Walks every live predicate of this attribute whose constraint is
-    /// **covered by** `probe`, exactly once each, in deterministic order.
-    fn for_each_covered(&self, probe: &Constraint, visit: &mut impl FnMut(&Pred)) {
-        for pred in self.preds.iter().flatten() {
-            if probe.covers(&pred.constraint) {
-                visit(pred);
-            }
-        }
-    }
-
-    /// Walks every predicate this attribute value satisfies, exactly once
-    /// each, in deterministic order.
-    fn for_each_satisfied(&self, value: &Value, visit: &mut impl FnMut(&Pred)) {
-        // Equality class: one hash lookup, then exact verification (canonical
-        // numeric keys can collide across `i64`/`f64` extremes).
-        if let Some(list) = self.eq.get(&canon_key(value)) {
-            for &id in list {
-                let pred = self.preds[id].as_ref().expect("live pred");
-                if pred.constraint.matches_value(value) {
-                    visit(pred);
-                }
-            }
-        }
-        // Ordered numeric partitions: strictly-inside classes are satisfied
-        // by construction of the sort key; the boundary class is verified.
-        if let Some(vk) = value_num_key(value) {
-            for (&k, list) in self.lt.range((Excluded(vk), Unbounded)) {
-                debug_assert!(k > vk);
-                for &id in list {
-                    visit(self.preds[id].as_ref().expect("live pred"));
-                }
-            }
-            for (&k, list) in self.le.range(vk..) {
-                for &id in list {
-                    let pred = self.preds[id].as_ref().expect("live pred");
-                    if k > vk || pred.constraint.matches_value(value) {
-                        visit(pred);
-                    }
-                }
-            }
-            for (&k, list) in self.gt.range(..vk) {
-                debug_assert!(k < vk);
-                for &id in list {
-                    visit(self.preds[id].as_ref().expect("live pred"));
-                }
-            }
-            for (&k, list) in self.ge.range(..=vk) {
-                for &id in list {
-                    let pred = self.preds[id].as_ref().expect("live pred");
-                    if k < vk || pred.constraint.matches_value(value) {
-                        visit(pred);
-                    }
-                }
-            }
-            // Boundary classes of the strict partitions still need the exact
-            // check (e.g. `Int(2^53)` and `Float(2^53 as f64)` share a key).
-            if let Some(list) = self.lt.get(&vk) {
-                for &id in list {
-                    let pred = self.preds[id].as_ref().expect("live pred");
-                    if pred.constraint.matches_value(value) {
-                        visit(pred);
-                    }
-                }
-            }
-            if let Some(list) = self.gt.get(&vk) {
-                for &id in list {
-                    let pred = self.preds[id].as_ref().expect("live pred");
-                    if pred.constraint.matches_value(value) {
-                        visit(pred);
-                    }
-                }
-            }
-            // `Between` candidates: every class whose lower bound is ≤ the
-            // value, verified exactly (the upper bound needs checking anyway).
-            for (_, list) in self.between.range(..=vk) {
-                for &id in list {
-                    let pred = self.preds[id].as_ref().expect("live pred");
-                    if pred.constraint.matches_value(value) {
-                        visit(pred);
-                    }
-                }
-            }
-        }
-        // Presence satisfies every `Exists` predicate.
-        for &id in &self.exists {
-            visit(self.preds[id].as_ref().expect("live pred"));
-        }
-        // Residual predicates: direct evaluation.
-        for &id in &self.residual {
-            let pred = self.preds[id].as_ref().expect("live pred");
-            if pred.constraint.matches_value(value) {
-                visit(pred);
-            }
-        }
-    }
-}
-
-/// One indexed filter.
-#[derive(Debug, Clone)]
-struct IndexEntry<K> {
-    key: K,
-    constraint_count: u32,
-    /// `(attribute id, predicate id)` of every constraint.
-    preds: Vec<(usize, usize)>,
-}
-
-/// Epoch-stamped counter scratchpad, reused across matching walks so that a
-/// match costs no allocation and no O(#filters) clearing.
-#[derive(Debug, Clone, Default)]
-struct Scratch {
-    stamps: Vec<u64>,
-    counts: Vec<u32>,
-    epoch: u64,
-}
-
-impl Scratch {
-    fn begin(&mut self, size: usize) {
-        if self.stamps.len() < size {
-            self.stamps.resize(size, 0);
-            self.counts.resize(size, 0);
-        }
-        self.epoch += 1;
-    }
-
-    /// Increments the counter for `fid`, returning the new count.
-    fn bump(&mut self, fid: usize) -> u32 {
-        if self.stamps[fid] != self.epoch {
-            self.stamps[fid] = self.epoch;
-            self.counts[fid] = 0;
-        }
-        self.counts[fid] += 1;
-        self.counts[fid]
-    }
-}
+use crate::core::{default_workers, IndexCore};
+use crate::scratch::{with_thread_scratch, MatchScratch};
 
 /// An attribute-partitioned predicate index over content-based filters.
 ///
@@ -421,7 +61,9 @@ impl Scratch {
 /// and algorithm description.
 ///
 /// All query results are deterministic: they depend only on the sequence of
-/// insertions and removals, never on hash iteration order.
+/// insertions and removals, never on hash iteration order.  The index holds
+/// no interior mutability — matching state lives in a [`MatchScratch`] —
+/// so `&FilterIndex` is freely shareable across threads.
 ///
 /// # Examples
 ///
@@ -441,27 +83,13 @@ impl Scratch {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FilterIndex<K> {
-    keys: HashMap<K, usize>,
-    entries: Vec<Option<IndexEntry<K>>>,
-    free: Vec<usize>,
-    /// Filters with zero constraints (they match everything and cover
-    /// nothing but other universal filters); kept sorted for determinism.
-    universal: BTreeMap<usize, ()>,
-    attr_ids: HashMap<String, usize>,
-    attrs: Vec<AttrIndex>,
-    scratch: RefCell<Scratch>,
+    core: IndexCore<K>,
 }
 
 impl<K> Default for FilterIndex<K> {
     fn default() -> Self {
         FilterIndex {
-            keys: HashMap::new(),
-            entries: Vec::new(),
-            free: Vec::new(),
-            universal: BTreeMap::new(),
-            attr_ids: HashMap::new(),
-            attrs: Vec::new(),
-            scratch: RefCell::new(Scratch::default()),
+            core: IndexCore::with_shards(1),
         }
     }
 }
@@ -474,298 +102,151 @@ impl<K: Eq + Hash + Clone> FilterIndex<K> {
 
     /// Number of indexed filters.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.core.len()
     }
 
     /// `true` when nothing is indexed.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.core.len() == 0
     }
 
     /// `true` when a filter is registered under `key`.
     pub fn contains_key(&self, key: &K) -> bool {
-        self.keys.contains_key(key)
+        self.core.contains_key(key)
     }
 
     /// Indexes `filter` under `key`, replacing any previous filter with the
     /// same key.
     pub fn insert(&mut self, key: K, filter: &Filter) {
-        if self.keys.contains_key(&key) {
-            self.remove(&key);
-        }
-        let fid = match self.free.pop() {
-            Some(fid) => fid,
-            None => {
-                self.entries.push(None);
-                self.entries.len() - 1
-            }
-        };
-        let mut preds = Vec::with_capacity(filter.len());
-        for (name, constraint) in filter.iter() {
-            let attr_id = match self.attr_ids.get(name) {
-                Some(&id) => id,
-                None => {
-                    let id = self.attrs.len();
-                    self.attr_ids.insert(name.to_string(), id);
-                    self.attrs.push(AttrIndex::default());
-                    id
-                }
-            };
-            let attr = &mut self.attrs[attr_id];
-            let pred_id = if let Some(&id) = attr.dedup.get(constraint) {
-                id
-            } else {
-                let id = attr.add_pred(constraint);
-                attr.dedup.insert(constraint.clone(), id);
-                id
-            };
-            attr.preds[pred_id]
-                .as_mut()
-                .expect("live pred")
-                .postings
-                .push(fid);
-            attr.filters.insert(fid, ());
-            preds.push((attr_id, pred_id));
-        }
-        if preds.is_empty() {
-            self.universal.insert(fid, ());
-        }
-        self.entries[fid] = Some(IndexEntry {
-            key: key.clone(),
-            constraint_count: preds.len() as u32,
-            preds,
-        });
-        self.keys.insert(key, fid);
+        self.core.insert(key, filter);
     }
 
     /// Removes the filter registered under `key`; returns `true` when one
     /// was present.
     pub fn remove(&mut self, key: &K) -> bool {
-        let Some(fid) = self.keys.remove(key) else {
-            return false;
-        };
-        let entry = self.entries[fid].take().expect("live entry");
-        for (attr_id, pred_id) in entry.preds {
-            let attr = &mut self.attrs[attr_id];
-            let postings = &mut attr.preds[pred_id].as_mut().expect("live pred").postings;
-            let pos = postings
-                .iter()
-                .position(|&f| f == fid)
-                .expect("fid in postings");
-            postings.remove(pos);
-            if postings.is_empty() {
-                attr.drop_pred(pred_id);
-            }
-            attr.filters.remove(&fid);
-        }
-        self.universal.remove(&fid);
-        self.free.push(fid);
-        true
+        self.core.remove(key)
     }
 
     /// Removes every filter.
     pub fn clear(&mut self) {
-        *self = FilterIndex::default();
+        self.core.clear();
     }
 
     /// Keys of every filter matching the notification, via the counting
-    /// algorithm.  Deterministic order (index insertion history).
+    /// algorithm: universal filters first (insertion-slot order), then each
+    /// match in the deterministic order its counter completes.
     pub fn matching_keys(&self, notification: &Notification) -> Vec<&K> {
-        let mut result: Vec<&K> = self
-            .universal
-            .keys()
-            .map(|&fid| &self.entries[fid].as_ref().expect("live entry").key)
-            .collect();
-        let mut scratch = self.scratch.borrow_mut();
-        scratch.begin(self.entries.len());
-        for (name, value) in notification.iter() {
-            let Some(&attr_id) = self.attr_ids.get(name) else {
-                continue;
-            };
-            self.attrs[attr_id].for_each_satisfied(value, &mut |pred| {
-                for &fid in &pred.postings {
-                    let entry = self.entries[fid].as_ref().expect("live entry");
-                    if scratch.bump(fid) == entry.constraint_count {
-                        result.push(&entry.key);
-                    }
-                }
-            });
-        }
-        result
+        with_thread_scratch(|s| self.core.matching_keys(notification, s))
+    }
+
+    /// [`FilterIndex::matching_keys`] with a caller-provided scratchpad
+    /// (one per worker thread for parallel matching).
+    pub fn matching_keys_with(
+        &self,
+        notification: &Notification,
+        scratch: &mut MatchScratch,
+    ) -> Vec<&K> {
+        self.core.matching_keys(notification, scratch)
+    }
+
+    /// Visits the key of every matching filter without building a vector
+    /// (the allocation-free variant of [`FilterIndex::matching_keys`], in
+    /// the same order).
+    pub fn for_each_match<'a>(&'a self, notification: &Notification, mut visit: impl FnMut(&'a K)) {
+        with_thread_scratch(|s| self.core.for_each_match(notification, s, &mut visit))
+    }
+
+    /// [`FilterIndex::for_each_match`] with a caller-provided scratchpad.
+    pub fn for_each_match_with<'a>(
+        &'a self,
+        notification: &Notification,
+        scratch: &mut MatchScratch,
+        mut visit: impl FnMut(&'a K),
+    ) {
+        self.core.for_each_match(notification, scratch, &mut visit)
     }
 
     /// `true` when at least one indexed filter matches the notification.
     pub fn any_match(&self, notification: &Notification) -> bool {
-        if !self.universal.is_empty() {
-            return true;
-        }
-        let mut scratch = self.scratch.borrow_mut();
-        scratch.begin(self.entries.len());
-        let mut found = false;
-        for (name, value) in notification.iter() {
-            let Some(&attr_id) = self.attr_ids.get(name) else {
-                continue;
-            };
-            self.attrs[attr_id].for_each_satisfied(value, &mut |pred| {
-                if found {
-                    return;
-                }
-                for &fid in &pred.postings {
-                    let entry = self.entries[fid].as_ref().expect("live entry");
-                    if scratch.bump(fid) == entry.constraint_count {
-                        found = true;
-                        return;
-                    }
-                }
-            });
-            if found {
-                return true;
-            }
-        }
-        false
-    }
-
-    fn keys_of(&self, mut fids: Vec<usize>) -> Vec<&K> {
-        fids.sort_unstable();
-        fids.iter()
-            .map(|&fid| &self.entries[fid].as_ref().expect("live entry").key)
-            .collect()
+        with_thread_scratch(|s| self.core.any_match(notification, s))
     }
 
     /// Keys of **exactly** the stored filters that cover `filter` (in the
-    /// sense of [`Filter::covers`]), sorted by insertion slot.
+    /// sense of [`rebeca_filter::Filter::covers`]), sorted by insertion
+    /// slot.
     ///
     /// Runs the counting algorithm in the covering domain: for every
-    /// attribute of `filter`, the deduplicated predicates of that attribute
-    /// are tested once with [`Constraint::covers`] — not once per filter —
-    /// and the covering predicates' postings are counted.  A filter covers
-    /// `filter` exactly when all of its constraints do, i.e. when its
-    /// counter reaches its constraint count.
+    /// attribute of `filter`, the deduplicated predicates overlapping the
+    /// probe's partition ranges are tested with
+    /// [`rebeca_filter::Constraint::covers`] — not once per filter — and
+    /// the covering predicates' postings are counted.
     pub fn covering_keys(&self, filter: &Filter) -> Vec<&K> {
-        let mut fids: Vec<usize> = self.universal.keys().copied().collect();
-        let mut scratch = self.scratch.borrow_mut();
-        scratch.begin(self.entries.len());
-        for (name, constraint) in filter.iter() {
-            let Some(&attr_id) = self.attr_ids.get(name) else {
-                continue;
-            };
-            self.attrs[attr_id].for_each_covering(constraint, &mut |pred| {
-                for &fid in &pred.postings {
-                    let entry = self.entries[fid].as_ref().expect("live entry");
-                    if scratch.bump(fid) == entry.constraint_count {
-                        fids.push(fid);
-                    }
-                }
-            });
-        }
-        drop(scratch);
-        self.keys_of(fids)
+        with_thread_scratch(|s| self.core.covering_keys(filter, s))
     }
 
     /// `true` when at least one stored filter covers `filter` — the
     /// early-exiting variant of [`FilterIndex::covering_keys`].
     pub fn covers_any(&self, filter: &Filter) -> bool {
-        if !self.universal.is_empty() {
-            return true;
-        }
-        let mut scratch = self.scratch.borrow_mut();
-        scratch.begin(self.entries.len());
-        let mut found = false;
-        for (name, constraint) in filter.iter() {
-            let Some(&attr_id) = self.attr_ids.get(name) else {
-                continue;
-            };
-            self.attrs[attr_id].for_each_covering(constraint, &mut |pred| {
-                if found {
-                    return;
-                }
-                for &fid in &pred.postings {
-                    let entry = self.entries[fid].as_ref().expect("live entry");
-                    if scratch.bump(fid) == entry.constraint_count {
-                        found = true;
-                        return;
-                    }
-                }
-            });
-            if found {
-                return true;
-            }
-        }
-        false
+        with_thread_scratch(|s| self.core.covers_any(filter, s))
     }
 
     /// Keys of **exactly** the stored filters that `filter` covers, sorted
     /// by insertion slot.  Same counting walk as
     /// [`FilterIndex::covering_keys`], with the covering test reversed.
     pub fn covered_keys(&self, filter: &Filter) -> Vec<&K> {
-        if filter.is_empty() {
-            // The universal filter covers everything.
-            return self.keys_of(self.keys.values().copied().collect());
-        }
-        let needed = filter.len() as u32;
-        let mut fids = Vec::new();
-        let mut scratch = self.scratch.borrow_mut();
-        scratch.begin(self.entries.len());
-        for (name, constraint) in filter.iter() {
-            let Some(&attr_id) = self.attr_ids.get(name) else {
-                // Some attribute of `filter` is constrained by no stored
-                // filter at all — nothing can be covered.
-                return Vec::new();
-            };
-            self.attrs[attr_id].for_each_covered(constraint, &mut |pred| {
-                for &fid in &pred.postings {
-                    if scratch.bump(fid) == needed {
-                        fids.push(fid);
-                    }
-                }
-            });
-        }
-        drop(scratch);
-        self.keys_of(fids)
+        with_thread_scratch(|s| self.core.covered_keys(filter, s))
     }
 
     /// Keys of the stored filters constraining **exactly** the same
     /// attribute set as `filter` (used to find perfect-merge partners that
     /// neither cover nor are covered), sorted by insertion slot.
     pub fn same_attr_keys(&self, filter: &Filter) -> Vec<&K> {
-        if filter.is_empty() {
-            return self.keys_of(self.universal.keys().copied().collect());
-        }
-        let needed = filter.len() as u32;
-        let mut fids = Vec::new();
-        let mut scratch = self.scratch.borrow_mut();
-        scratch.begin(self.entries.len());
-        for (name, _) in filter.iter() {
-            let Some(&attr_id) = self.attr_ids.get(name) else {
-                return Vec::new();
-            };
-            for &fid in self.attrs[attr_id].filters.keys() {
-                let entry = self.entries[fid].as_ref().expect("live entry");
-                // Reaching `needed` hits means the filter constrains every
-                // attribute of the probe; an equal constraint count then
-                // means it constrains nothing else.
-                if scratch.bump(fid) == needed && entry.constraint_count == needed {
-                    fids.push(fid);
-                }
-            }
-        }
-        drop(scratch);
-        self.keys_of(fids)
+        with_thread_scratch(|s| self.core.same_attr_keys(filter, s))
+    }
+
+    /// Matches a queue of notifications at once, returning each
+    /// notification's matching keys in insertion-slot order.
+    ///
+    /// Batches are processed in 64-notification lane chunks with
+    /// per-predicate bitmasks, so every posting list is walked once per
+    /// chunk instead of once per notification; chunks fan out across
+    /// `std::thread::scope` workers (one [`MatchScratch`] per worker) when
+    /// the machine has more than one core.
+    pub fn match_batch<N>(&self, notifications: &[N]) -> Vec<Vec<&K>>
+    where
+        N: std::borrow::Borrow<Notification> + Sync,
+        K: Sync,
+    {
+        self.core.match_batch(notifications, default_workers())
+    }
+
+    /// [`FilterIndex::match_batch`] with an explicit worker-thread count
+    /// (`0` or `1` forces the sequential path).
+    pub fn match_batch_with_workers<N>(&self, notifications: &[N], workers: usize) -> Vec<Vec<&K>>
+    where
+        N: std::borrow::Borrow<Notification> + Sync,
+        K: Sync,
+    {
+        self.core.match_batch(notifications, workers)
     }
 
     /// Number of distinct predicates currently stored (after deduplication);
     /// exposed for diagnostics and benchmarks.
     pub fn predicate_count(&self) -> usize {
-        self.attrs
-            .iter()
-            .map(|a| a.preds.len() - a.free.len())
-            .sum()
+        self.core.predicate_count()
+    }
+
+    /// Number of distinct interned constraints (shared across attributes);
+    /// exposed for diagnostics and benchmarks.
+    pub fn interned_constraint_count(&self) -> usize {
+        self.core.interned_constraint_count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rebeca_filter::Constraint;
 
     fn parking(max: i64) -> Filter {
         Filter::new()
@@ -811,6 +292,7 @@ mod tests {
         assert!(!idx.remove(&"a"));
         assert!(idx.is_empty());
         assert_eq!(idx.predicate_count(), 0);
+        assert_eq!(idx.interned_constraint_count(), 0);
         assert!(idx.matching_keys(&vacancy(1)).is_empty());
     }
 
@@ -823,6 +305,23 @@ mod tests {
         // Two distinct predicates (service eq, cost lt) shared by 10 filters.
         assert_eq!(idx.predicate_count(), 2);
         assert_eq!(idx.matching_keys(&vacancy(1)).len(), 10);
+    }
+
+    #[test]
+    fn constraints_are_interned_across_attributes() {
+        let mut idx: FilterIndex<u32> = FilterIndex::new();
+        // The same constraint on two different attributes is two predicates
+        // but one interned constraint.
+        idx.insert(
+            1,
+            &Filter::new()
+                .with("a", Constraint::Eq(1.into()))
+                .with("b", Constraint::Eq(1.into())),
+        );
+        assert_eq!(idx.predicate_count(), 2);
+        assert_eq!(idx.interned_constraint_count(), 1);
+        idx.remove(&1);
+        assert_eq!(idx.interned_constraint_count(), 0);
     }
 
     #[test]
@@ -909,5 +408,64 @@ mod tests {
         assert_eq!(names("Rebeca"), vec!["ne", "pre", "strlt"]);
         assert_eq!(names("abc"), vec!["ne", "strlt"]);
         assert_eq!(names("x"), vec![] as Vec<&str>);
+    }
+
+    #[test]
+    fn empty_in_sets_match_nothing_but_take_part_in_covering() {
+        let mut idx: FilterIndex<&str> = FilterIndex::new();
+        let empty = Filter::new().with("x", Constraint::In(Default::default()));
+        idx.insert("empty", &empty);
+        assert!(idx
+            .matching_keys(&Notification::builder().attr("x", 1).build())
+            .is_empty());
+        // Any `In` probe covers the empty set; the empty set covers only
+        // itself.
+        let wide = Filter::new().with("x", Constraint::any_of([1, 2]));
+        assert_eq!(idx.covered_keys(&wide), vec![&"empty"]);
+        assert_eq!(idx.covering_keys(&empty), vec![&"empty"]);
+        assert!(idx.covering_keys(&wide).is_empty());
+
+        // The reverse direction: stored `In` and numeric `Between` filters
+        // cover an empty-`In` probe vacuously (`Constraint::covers`'s
+        // `all()` over no members), so the covering walk must surface them.
+        idx.insert("in", &wide);
+        idx.insert(
+            "bw",
+            &Filter::new().with("x", Constraint::Between(1.into(), 5.into())),
+        );
+        idx.insert("lt", &Filter::new().with("x", Constraint::Lt(9.into())));
+        let mut covering: Vec<&str> = idx.covering_keys(&empty).into_iter().copied().collect();
+        covering.sort_unstable();
+        assert_eq!(covering, vec!["bw", "empty", "in"]);
+        assert!(idx.covers_any(&empty));
+    }
+
+    #[test]
+    fn match_batch_agrees_with_single_matching() {
+        let mut idx: FilterIndex<u32> = FilterIndex::new();
+        for i in 0..100 {
+            idx.insert(i, &parking((i % 10) as i64));
+        }
+        idx.insert(100, &Filter::universal());
+        let batch: Vec<Notification> = (0..150).map(|i| vacancy(i % 12)).collect();
+        let got = idx.match_batch(&batch);
+        assert_eq!(got.len(), batch.len());
+        for (n, keys) in batch.iter().zip(&got) {
+            let mut expected: Vec<u32> = idx.matching_keys(n).into_iter().copied().collect();
+            expected.sort_unstable();
+            let found: Vec<u32> = keys.iter().map(|k| **k).collect();
+            assert_eq!(found, expected, "batch disagrees on {n}");
+        }
+    }
+
+    #[test]
+    fn for_each_match_visits_the_matching_keys() {
+        let mut idx: FilterIndex<u32> = FilterIndex::new();
+        idx.insert(1, &parking(3));
+        idx.insert(2, &parking(10));
+        let mut seen = Vec::new();
+        idx.for_each_match(&vacancy(2), |k| seen.push(*k));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2]);
     }
 }

@@ -1,0 +1,313 @@
+//! The sharded, batch-parallel predicate index.
+//!
+//! A [`ShardedFilterIndex`] partitions the predicate space of
+//! [`FilterIndex`](crate::FilterIndex) across `N` worker shards by a fixed
+//! hash of the attribute name: each shard owns the per-attribute partitions
+//! (and interned constraints) of its attributes, while the entry table —
+//! keys, constraint counts, universal filters — stays global.  Inserting or
+//! removing a filter fans its constraints out to their shards; matching
+//! runs an independent counting walk per shard whose partial per-entry
+//! counts merge into the final tally (counters simply accumulate across
+//! shards, so the merged result is byte-identical to the unsharded walk).
+//!
+//! Shards exist for *write and cache locality* — each shard's partitions
+//! are an independently growable unit — while **parallelism** comes from
+//! [`ShardedFilterIndex::match_batch`]: notification queues are split into
+//! 64-lane chunks and fanned across `std::thread::scope` workers, one
+//! [`MatchScratch`] per worker, with every worker reading the shared
+//! `&ShardedFilterIndex` (the index is `Send + Sync`; no runtime or
+//! unsafe code involved).
+//!
+//! All query results are deterministic and **independent of the shard
+//! count**: key-list queries return insertion-slot order (the visitor and
+//! `matching_keys` walk order additionally depends on the deterministic
+//! attribute→shard assignment, never on hash-map iteration).
+
+use std::hash::Hash;
+
+use rebeca_filter::{Filter, Notification};
+
+use crate::core::{default_workers, IndexCore};
+use crate::scratch::{with_thread_scratch, MatchScratch};
+
+/// Default shard count for [`ShardedFilterIndex::new`].
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// An attribute-hash-sharded predicate index over content-based filters.
+///
+/// Functionally identical to [`FilterIndex`](crate::FilterIndex) (both are
+/// exact and deterministic); the sharded layout adds the per-shard
+/// partition structure and is the type routing tables use.  See the
+/// [module documentation](self).
+///
+/// # Examples
+///
+/// ```
+/// use rebeca_filter::{Constraint, Filter, Notification};
+/// use rebeca_matcher::ShardedFilterIndex;
+///
+/// let mut index: ShardedFilterIndex<u64> = ShardedFilterIndex::with_shards(4);
+/// for i in 0..1000u64 {
+///     index.insert(i, &Filter::new()
+///         .with("stock", Constraint::Eq("REBECA".into()))
+///         .with("price", Constraint::Lt((i as i64).into())));
+/// }
+/// let ticks: Vec<Notification> = (0..128)
+///     .map(|i| Notification::builder().attr("stock", "REBECA").attr("price", 990 + i % 10).build())
+///     .collect();
+/// // One batch call matches all 128 ticks; every posting list is walked
+/// // once per 64-tick chunk instead of once per tick.
+/// let matches = index.match_batch(&ticks);
+/// assert_eq!(matches.len(), 128);
+/// assert_eq!(matches[0].len(), index.matching_keys(&ticks[0]).len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedFilterIndex<K> {
+    core: IndexCore<K>,
+}
+
+impl<K> Default for ShardedFilterIndex<K> {
+    fn default() -> Self {
+        ShardedFilterIndex {
+            core: IndexCore::with_shards(DEFAULT_SHARDS),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> ShardedFilterIndex<K> {
+    /// Creates an empty index with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty index with `shards` worker shards (clamped to at
+    /// least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedFilterIndex {
+            core: IndexCore::with_shards(shards),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.core.shard_count()
+    }
+
+    /// Number of indexed filters.
+    pub fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.core.len() == 0
+    }
+
+    /// `true` when a filter is registered under `key`.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.core.contains_key(key)
+    }
+
+    /// Indexes `filter` under `key`, fanning its constraints out to their
+    /// attribute shards; replaces any previous filter with the same key.
+    pub fn insert(&mut self, key: K, filter: &Filter) {
+        self.core.insert(key, filter);
+    }
+
+    /// Removes the filter registered under `key`; returns `true` when one
+    /// was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.core.remove(key)
+    }
+
+    /// Removes every filter.
+    pub fn clear(&mut self) {
+        self.core.clear();
+    }
+
+    /// Keys of every filter matching the notification: universal filters
+    /// first (insertion-slot order), then each match in the deterministic
+    /// order its per-shard counter completes.
+    pub fn matching_keys(&self, notification: &Notification) -> Vec<&K> {
+        with_thread_scratch(|s| self.core.matching_keys(notification, s))
+    }
+
+    /// [`ShardedFilterIndex::matching_keys`] with a caller-provided
+    /// scratchpad (one per worker thread for parallel matching).
+    pub fn matching_keys_with(
+        &self,
+        notification: &Notification,
+        scratch: &mut MatchScratch,
+    ) -> Vec<&K> {
+        self.core.matching_keys(notification, scratch)
+    }
+
+    /// Visits the key of every matching filter without building a vector.
+    pub fn for_each_match<'a>(&'a self, notification: &Notification, mut visit: impl FnMut(&'a K)) {
+        with_thread_scratch(|s| self.core.for_each_match(notification, s, &mut visit))
+    }
+
+    /// [`ShardedFilterIndex::for_each_match`] with a caller-provided
+    /// scratchpad.
+    pub fn for_each_match_with<'a>(
+        &'a self,
+        notification: &Notification,
+        scratch: &mut MatchScratch,
+        mut visit: impl FnMut(&'a K),
+    ) {
+        self.core.for_each_match(notification, scratch, &mut visit)
+    }
+
+    /// `true` when at least one indexed filter matches the notification.
+    pub fn any_match(&self, notification: &Notification) -> bool {
+        with_thread_scratch(|s| self.core.any_match(notification, s))
+    }
+
+    /// Keys of **exactly** the stored filters that cover `filter`, sorted
+    /// by insertion slot (shard-count independent).
+    pub fn covering_keys(&self, filter: &Filter) -> Vec<&K> {
+        with_thread_scratch(|s| self.core.covering_keys(filter, s))
+    }
+
+    /// `true` when at least one stored filter covers `filter`.
+    pub fn covers_any(&self, filter: &Filter) -> bool {
+        with_thread_scratch(|s| self.core.covers_any(filter, s))
+    }
+
+    /// Keys of **exactly** the stored filters that `filter` covers, sorted
+    /// by insertion slot.
+    pub fn covered_keys(&self, filter: &Filter) -> Vec<&K> {
+        with_thread_scratch(|s| self.core.covered_keys(filter, s))
+    }
+
+    /// Keys of the stored filters constraining **exactly** the same
+    /// attribute set as `filter`, sorted by insertion slot.
+    pub fn same_attr_keys(&self, filter: &Filter) -> Vec<&K> {
+        with_thread_scratch(|s| self.core.same_attr_keys(filter, s))
+    }
+
+    /// Matches a queue of notifications at once, returning each
+    /// notification's matching keys in insertion-slot order.
+    ///
+    /// The queue is split into 64-notification lane chunks; each chunk runs
+    /// the per-shard mask walks (every posting list touched once per chunk)
+    /// and chunks fan out across `std::thread::scope` workers sized to the
+    /// machine's available parallelism.
+    pub fn match_batch<N>(&self, notifications: &[N]) -> Vec<Vec<&K>>
+    where
+        N: std::borrow::Borrow<Notification> + Sync,
+        K: Sync,
+    {
+        self.core.match_batch(notifications, default_workers())
+    }
+
+    /// [`ShardedFilterIndex::match_batch`] with an explicit worker-thread
+    /// count (`0` or `1` forces the sequential path).
+    pub fn match_batch_with_workers<N>(&self, notifications: &[N], workers: usize) -> Vec<Vec<&K>>
+    where
+        N: std::borrow::Borrow<Notification> + Sync,
+        K: Sync,
+    {
+        self.core.match_batch(notifications, workers)
+    }
+
+    /// Number of distinct predicates currently stored across all shards.
+    pub fn predicate_count(&self) -> usize {
+        self.core.predicate_count()
+    }
+
+    /// Number of distinct interned constraints across all shards.
+    pub fn interned_constraint_count(&self) -> usize {
+        self.core.interned_constraint_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_filter::Constraint;
+
+    fn parking(max: i64) -> Filter {
+        Filter::new()
+            .with("service", Constraint::Eq("parking".into()))
+            .with("cost", Constraint::Lt(max.into()))
+    }
+
+    fn vacancy(cost: i64) -> Notification {
+        Notification::builder()
+            .attr("service", "parking")
+            .attr("cost", cost)
+            .build()
+    }
+
+    #[test]
+    fn sharded_counting_merges_partial_counts() {
+        // `service` and `cost` land in different shards with high
+        // probability at 8 shards; the conjunction must still hold.
+        for shards in [1, 2, 3, 8] {
+            let mut idx: ShardedFilterIndex<u32> = ShardedFilterIndex::with_shards(shards);
+            idx.insert(1, &parking(3));
+            idx.insert(2, &parking(10));
+            let mut got: Vec<u32> = idx
+                .matching_keys(&vacancy(2))
+                .into_iter()
+                .copied()
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2], "{shards} shards");
+            assert_eq!(idx.matching_keys(&vacancy(5)), vec![&2], "{shards} shards");
+            assert!(
+                idx.matching_keys(&vacancy(20)).is_empty(),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_is_observable_and_clamped() {
+        let idx: ShardedFilterIndex<u32> = ShardedFilterIndex::with_shards(0);
+        assert_eq!(idx.shard_count(), 1);
+        let idx: ShardedFilterIndex<u32> = ShardedFilterIndex::new();
+        assert_eq!(idx.shard_count(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn batch_results_are_shard_count_independent() {
+        let build = |shards| {
+            let mut idx: ShardedFilterIndex<u32> = ShardedFilterIndex::with_shards(shards);
+            for i in 0..50 {
+                idx.insert(i, &parking((i % 7) as i64));
+            }
+            idx.insert(99, &Filter::universal());
+            idx
+        };
+        let ns: Vec<Notification> = (0..70).map(|i| vacancy(i % 9)).collect();
+        let one = build(1);
+        let eight = build(8);
+        let got1: Vec<Vec<u32>> = one
+            .match_batch(&ns)
+            .into_iter()
+            .map(|ks| ks.into_iter().copied().collect())
+            .collect();
+        let got8: Vec<Vec<u32>> = eight
+            .match_batch_with_workers(&ns, 3)
+            .into_iter()
+            .map(|ks| ks.into_iter().copied().collect())
+            .collect();
+        assert_eq!(got1, got8);
+    }
+
+    #[test]
+    fn covering_queries_work_across_shards() {
+        let mut idx: ShardedFilterIndex<u32> = ShardedFilterIndex::with_shards(8);
+        idx.insert(1, &Filter::new().with("service", Constraint::Exists));
+        idx.insert(2, &parking(3));
+        idx.insert(4, &Filter::universal());
+        assert_eq!(idx.covering_keys(&parking(1)), vec![&1, &2, &4]);
+        assert!(idx.covers_any(&parking(1)));
+        assert_eq!(idx.covered_keys(&parking(10)), vec![&2]);
+        assert_eq!(idx.same_attr_keys(&parking(99)), vec![&2]);
+        assert!(idx.remove(&2));
+        assert!(idx.covered_keys(&parking(10)).is_empty());
+    }
+}

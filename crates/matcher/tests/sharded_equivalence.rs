@@ -1,0 +1,287 @@
+//! Equivalence of the sharded index and the batch matcher with the
+//! sequential [`FilterIndex`] oracle (which is itself property-tested
+//! against the linear scan in `equivalence.rs`).
+//!
+//! These tests are the exactness contract of the sharding and batching
+//! layers: at 1, 2 and 8 shards, and for every batch size and worker
+//! count, [`ShardedFilterIndex`] must return **byte-identical** results
+//! (canonicalized to insertion order) to the sequential index and to the
+//! linear scan — across randomized filters, notifications and removal
+//! churn.  A compile-time check pins the `Send + Sync` bounds the parallel
+//! paths rely on, and a smoke test hammers one shared index from several
+//! threads at once.
+
+use proptest::prelude::*;
+use rebeca_filter::{Constraint, Filter, Notification, Value};
+use rebeca_matcher::{FilterIndex, MatchScratch, ShardedFilterIndex};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Values over a small shared domain so filters and notifications interact
+/// often; includes every `Value` kind plus int/float aliasing (`3` vs `3.0`).
+fn small_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-12i64..12).prop_map(Value::Int),
+        (-12i64..12).prop_map(|i| Value::Float(i as f64 / 2.0)),
+        (0u32..8).prop_map(Value::Location),
+        prop_oneof![
+            Just("parking"),
+            Just("weather"),
+            Just("Rebeca Drive"),
+            Just("Re"),
+            Just("stock")
+        ]
+        .prop_map(|s| Value::Str(s.to_string())),
+        prop_oneof![Just(true), Just(false)].prop_map(Value::Bool),
+    ]
+}
+
+fn ordered_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-12i64..12).prop_map(Value::Int),
+        (-12i64..12).prop_map(|i| Value::Float(i as f64 / 2.0)),
+        prop_oneof![Just("m"), Just("Re"), Just("parking")].prop_map(|s| Value::Str(s.to_string())),
+    ]
+}
+
+/// Every constraint kind, so all index partitions are exercised.
+fn constraint() -> impl Strategy<Value = Constraint> {
+    prop_oneof![
+        small_value().prop_map(Constraint::Eq),
+        small_value().prop_map(Constraint::Ne),
+        ordered_value().prop_map(Constraint::Lt),
+        ordered_value().prop_map(Constraint::Le),
+        ordered_value().prop_map(Constraint::Gt),
+        ordered_value().prop_map(Constraint::Ge),
+        (-12i64..12, 0i64..10)
+            .prop_map(|(lo, len)| Constraint::Between(Value::Int(lo), Value::Int(lo + len))),
+        // `0..4` includes the empty set: `In(∅)` matches nothing but is
+        // covered vacuously by every `In`/`Between`, which once slipped
+        // past the range-partitioned covering walk.
+        prop::collection::btree_set(small_value(), 0..4).prop_map(Constraint::In),
+        prop_oneof![Just("Re"), Just("park"), Just("e")]
+            .prop_map(|p| Constraint::Prefix(p.to_string())),
+        prop_oneof![Just("Drive"), Just("ing")].prop_map(|p| Constraint::Suffix(p.to_string())),
+        prop_oneof![Just("bec"), Just("a")].prop_map(|p| Constraint::Contains(p.to_string())),
+        Just(Constraint::Exists),
+    ]
+}
+
+/// Filters over a small attribute alphabet (several attributes, so at 2 and
+/// 8 shards a filter's constraints really spread over multiple shards).
+fn filter() -> impl Strategy<Value = Filter> {
+    prop::collection::btree_map(
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("d"), Just("location")],
+        constraint(),
+        0..4,
+    )
+    .prop_map(|m| {
+        m.into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<Filter>()
+    })
+}
+
+fn notification() -> impl Strategy<Value = Notification> {
+    prop::collection::btree_map(
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("d"), Just("location")],
+        small_value(),
+        0..5,
+    )
+    .prop_map(|m| {
+        let mut b = Notification::builder();
+        for (k, v) in m {
+            b = b.attr(k, v);
+        }
+        b.build()
+    })
+}
+
+/// A filter workload with interleaved removals: `(filters, removal mask)`.
+fn workload() -> impl Strategy<Value = (Vec<Filter>, Vec<bool>)> {
+    (
+        prop::collection::vec(filter(), 0..24),
+        prop::collection::vec(prop_oneof![Just(false), Just(true)], 24..25),
+    )
+}
+
+/// Builds the sequential oracle index and one sharded index per shard
+/// count, applying the same insertion/removal history to all of them.
+fn build(
+    filters: &[Filter],
+    removed: &[bool],
+) -> (FilterIndex<usize>, Vec<ShardedFilterIndex<usize>>) {
+    let mut oracle = FilterIndex::new();
+    let mut sharded: Vec<ShardedFilterIndex<usize>> = SHARD_COUNTS
+        .iter()
+        .map(|&s| ShardedFilterIndex::with_shards(s))
+        .collect();
+    for (i, f) in filters.iter().enumerate() {
+        oracle.insert(i, f);
+        for idx in &mut sharded {
+            idx.insert(i, f);
+        }
+    }
+    for (i, _) in filters.iter().enumerate() {
+        if removed[i % removed.len()] {
+            oracle.remove(&i);
+            for idx in &mut sharded {
+                idx.remove(&i);
+            }
+        }
+    }
+    (oracle, sharded)
+}
+
+/// Canonicalizes a key list to insertion order.
+fn sorted(keys: Vec<&usize>) -> Vec<usize> {
+    let mut v: Vec<usize> = keys.into_iter().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Sharded matching at every shard count is byte-identical (canonical
+    /// order) to the sequential index.
+    #[test]
+    fn sharded_matching_equals_sequential((filters, removed) in workload(), n in notification()) {
+        let (oracle, sharded) = build(&filters, &removed);
+        let expected = sorted(oracle.matching_keys(&n));
+        for idx in &sharded {
+            prop_assert_eq!(
+                sorted(idx.matching_keys(&n)),
+                expected.clone(),
+                "{} shards disagree on {}", idx.shard_count(), n
+            );
+            prop_assert_eq!(idx.any_match(&n), !expected.is_empty());
+        }
+    }
+
+    /// `match_batch` — sequential and with forced workers — returns, per
+    /// lane, exactly the sequential per-notification result.
+    #[test]
+    fn match_batch_equals_sequential(
+        (filters, removed) in workload(),
+        ns in prop::collection::vec(notification(), 0..80),
+        workers in 0usize..4,
+    ) {
+        let (oracle, sharded) = build(&filters, &removed);
+        let expected: Vec<Vec<usize>> = ns
+            .iter()
+            .map(|n| sorted(oracle.matching_keys(n)))
+            .collect();
+        // The sequential index's own batch kernel…
+        let got: Vec<Vec<usize>> = oracle
+            .match_batch_with_workers(&ns, workers)
+            .into_iter()
+            .map(|ks| ks.into_iter().copied().collect())
+            .collect();
+        prop_assert_eq!(&got, &expected, "FilterIndex::match_batch disagrees");
+        // …and every sharded layout.
+        for idx in &sharded {
+            let got: Vec<Vec<usize>> = idx
+                .match_batch_with_workers(&ns, workers)
+                .into_iter()
+                .map(|ks| ks.into_iter().copied().collect())
+                .collect();
+            prop_assert_eq!(&got, &expected, "{} shards disagree", idx.shard_count());
+        }
+    }
+
+    /// The covering-domain queries are shard-count independent.
+    #[test]
+    fn sharded_covering_queries_equal_sequential((filters, removed) in workload(), probe in filter()) {
+        let (oracle, sharded) = build(&filters, &removed);
+        let covering = sorted(oracle.covering_keys(&probe));
+        let covered = sorted(oracle.covered_keys(&probe));
+        let same_attr = sorted(oracle.same_attr_keys(&probe));
+        for idx in &sharded {
+            let s = idx.shard_count();
+            prop_assert_eq!(sorted(idx.covering_keys(&probe)), covering.clone(), "{} shards", s);
+            prop_assert_eq!(idx.covers_any(&probe), !covering.is_empty(), "{} shards", s);
+            prop_assert_eq!(sorted(idx.covered_keys(&probe)), covered.clone(), "{} shards", s);
+            prop_assert_eq!(sorted(idx.same_attr_keys(&probe)), same_attr.clone(), "{} shards", s);
+        }
+    }
+}
+
+/// The parallel paths require the indexes to be shareable across threads;
+/// pin that at compile time so a reintroduced `RefCell` (or any other
+/// interior mutability) fails the build, not a race.
+#[test]
+fn indexes_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FilterIndex<u64>>();
+    assert_send_sync::<ShardedFilterIndex<u64>>();
+    assert_send_sync::<MatchScratch>();
+}
+
+/// Several threads match concurrently against one shared `&index`, each
+/// with its own scratch, while the main thread runs batch matching with
+/// forced workers — results must all agree with the sequential walk.
+#[test]
+fn concurrent_matching_smoke() {
+    let mut index: ShardedFilterIndex<u32> = ShardedFilterIndex::with_shards(8);
+    for i in 0..2000u32 {
+        let service = ["parking", "weather", "traffic", "stock"][(i % 4) as usize];
+        let mut f = Filter::new().with("service", Constraint::Eq(service.into()));
+        if i % 3 == 0 {
+            f = f.with("cost", Constraint::Lt(Value::Int((i % 40) as i64)));
+        }
+        if i % 2 == 0 {
+            f = f.with(
+                "location",
+                Constraint::any_location_of([i % 50, (i + 7) % 50]),
+            );
+        }
+        index.insert(i, &f);
+    }
+    let notifications: Vec<Notification> = (0..256)
+        .map(|i| {
+            Notification::builder()
+                .attr(
+                    "service",
+                    ["parking", "weather", "traffic", "stock"][(i % 4) as usize],
+                )
+                .attr("cost", (i % 45) as i64)
+                .attr("location", Value::Location(i % 50))
+                .build()
+        })
+        .collect();
+    let expected: Vec<Vec<u32>> = notifications
+        .iter()
+        .map(|n| {
+            let mut v: Vec<u32> = index.matching_keys(n).into_iter().copied().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let index = &index;
+            let notifications = &notifications;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut scratch = MatchScratch::new();
+                for (i, n) in notifications.iter().enumerate().skip(t).step_by(4) {
+                    let mut got: Vec<u32> = index
+                        .matching_keys_with(n, &mut scratch)
+                        .into_iter()
+                        .copied()
+                        .collect();
+                    got.sort_unstable();
+                    assert_eq!(got, expected[i], "thread {t} disagrees on {n}");
+                }
+            });
+        }
+        // Meanwhile: batch matching with forced parallel workers.
+        let batched = index.match_batch_with_workers(&notifications, 4);
+        for (i, keys) in batched.into_iter().enumerate() {
+            let got: Vec<u32> = keys.into_iter().copied().collect();
+            assert_eq!(got, expected[i], "batch lane {i} disagrees");
+        }
+    });
+}

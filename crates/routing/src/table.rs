@@ -4,20 +4,21 @@
 //! a filter and the link it was received from, denoting that notifications
 //! matching `F` are to be forwarded along `L` (Section 2.2 of the paper).
 //!
-//! The table is backed by the attribute-partitioned predicate index of
-//! [`rebeca_matcher::FilterIndex`]: every entry is registered in the index
-//! under a stable id, so [`RoutingTable::matching_destinations`] runs the
-//! counting algorithm instead of scanning all filters, and the
-//! covering-based queries ([`RoutingTable::is_covered`],
-//! [`RoutingTable::remove_covered_by`], [`RoutingTable::covered_entries`])
-//! run the same counting walk over deduplicated predicates in the covering
-//! domain.
+//! The table is backed by the sharded predicate index of
+//! [`rebeca_matcher::ShardedFilterIndex`]: every entry is registered in the
+//! index under a stable id, so [`RoutingTable::matching_destinations`] runs
+//! the counting algorithm instead of scanning all filters (and
+//! [`RoutingTable::matching_destinations_batch`] matches whole notification
+//! queues with the index's batch kernel), while the covering-based queries
+//! ([`RoutingTable::is_covered`], [`RoutingTable::remove_covered_by`],
+//! [`RoutingTable::covered_entries`]) run the same counting walk over
+//! deduplicated predicates in the covering domain.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 use rebeca_filter::{Filter, Notification};
-use rebeca_matcher::FilterIndex;
+use rebeca_matcher::ShardedFilterIndex;
 
 /// A routing table mapping destinations (links) to the filters subscribed
 /// from that direction.
@@ -32,7 +33,7 @@ pub struct RoutingTable<D> {
     dests: BTreeMap<D, Vec<u64>>,
     /// Entry id → `(destination, filter)`.
     entries: HashMap<u64, (D, Filter)>,
-    index: FilterIndex<u64>,
+    index: ShardedFilterIndex<u64>,
     next_id: u64,
 }
 
@@ -41,16 +42,28 @@ impl<D: Ord + Clone> Default for RoutingTable<D> {
         Self {
             dests: BTreeMap::new(),
             entries: HashMap::new(),
-            index: FilterIndex::new(),
+            index: ShardedFilterIndex::new(),
             next_id: 0,
         }
     }
 }
 
 impl<D: Ord + Clone> RoutingTable<D> {
-    /// Creates an empty routing table.
+    /// Creates an empty routing table (default shard count).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty routing table whose index uses `shards` worker
+    /// shards.  Results are independent of the shard count; the parameter
+    /// only tunes the index layout.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            dests: BTreeMap::new(),
+            entries: HashMap::new(),
+            index: ShardedFilterIndex::with_shards(shards),
+            next_id: 0,
+        }
     }
 
     /// Adds an entry `(filter, destination)`.
@@ -152,14 +165,57 @@ impl<D: Ord + Clone> RoutingTable<D> {
     /// Runs the index's counting algorithm: cost is proportional to the
     /// matching entries, not the table size.
     pub fn matching_destinations(&self, n: &Notification, exclude: Option<&D>) -> Vec<D> {
-        let dests: BTreeSet<&D> = self
-            .index
-            .matching_keys(n)
+        let mut dests: Vec<D> = Vec::new();
+        self.for_each_matching_destination(n, exclude, |d| dests.push(d.clone()));
+        dests
+    }
+
+    /// Visits each destination with a matching filter exactly once, in
+    /// ascending destination order, skipping `exclude`.  Unlike
+    /// [`RoutingTable::matching_destinations`] it neither materializes the
+    /// matching entry-id vector nor clones the destinations — only the
+    /// deduplication set (one `&D` per distinct matching destination) is
+    /// built per call.
+    pub fn for_each_matching_destination(
+        &self,
+        n: &Notification,
+        exclude: Option<&D>,
+        mut visit: impl FnMut(&D),
+    ) {
+        let mut dests: BTreeSet<&D> = BTreeSet::new();
+        self.index.for_each_match(n, |id| {
+            let dest = &self.entries[id].0;
+            if Some(dest) != exclude {
+                dests.insert(dest);
+            }
+        });
+        for d in dests {
+            visit(d);
+        }
+    }
+
+    /// The matching destinations of a whole queue of notifications, via the
+    /// index's batch kernel (every posting list is walked once per
+    /// 64-notification chunk; chunks fan out across worker threads on
+    /// multicore machines).  Equivalent to calling
+    /// [`RoutingTable::matching_destinations`] per notification.
+    pub fn matching_destinations_batch<N>(&self, ns: &[N], exclude: Option<&D>) -> Vec<Vec<D>>
+    where
+        N: std::borrow::Borrow<Notification> + Sync,
+        D: Sync,
+    {
+        self.index
+            .match_batch(ns)
             .into_iter()
-            .map(|id| &self.entries[id].0)
-            .filter(|d| Some(*d) != exclude)
-            .collect();
-        dests.into_iter().cloned().collect()
+            .map(|ids| {
+                let dests: BTreeSet<&D> = ids
+                    .into_iter()
+                    .map(|id| &self.entries[id].0)
+                    .filter(|d| Some(*d) != exclude)
+                    .collect();
+                dests.into_iter().cloned().collect()
+            })
+            .collect()
     }
 
     /// The destinations holding at least one filter that *overlaps* the given
@@ -395,6 +451,38 @@ mod tests {
         t.insert(parking(20), 2);
         let covered = t.covered_entries(&parking(10));
         assert_eq!(covered, vec![(&1, &parking(3))]);
+    }
+
+    #[test]
+    fn batch_matching_agrees_with_per_notification_routing() {
+        for shards in [1, 4] {
+            let mut t: RoutingTable<u32> = RoutingTable::with_shards(shards);
+            for i in 0..40 {
+                t.insert(parking((i % 7) as i64), i % 5);
+            }
+            let ns: Vec<Notification> = (0..90).map(|i| vacancy((i % 9) as i64)).collect();
+            let batch = t.matching_destinations_batch(&ns, Some(&2));
+            assert_eq!(batch.len(), ns.len());
+            for (n, dests) in ns.iter().zip(&batch) {
+                assert_eq!(
+                    dests,
+                    &t.matching_destinations(n, Some(&2)),
+                    "{shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn destination_visitor_agrees_with_matching_destinations() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        t.insert(parking(3), 1);
+        t.insert(parking(3), 2);
+        t.insert(parking(10), 3);
+        let mut seen = Vec::new();
+        t.for_each_matching_destination(&vacancy(1), Some(&2), |d| seen.push(*d));
+        assert_eq!(seen, t.matching_destinations(&vacancy(1), Some(&2)));
+        assert_eq!(seen, vec![1, 3]);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Bench regression gate: run the matcher + shard criterion benches and fail
+when hot-path performance regresses against the checked-in baselines.
+
+Usage:
+    python3 scripts/bench_gate.py [--skip-run]
+
+Two kinds of checks, because absolute wall-clock numbers do not transfer
+between machines:
+
+  * **Within-run ratio gates** (machine-independent, the primary signal):
+    pairs measured in the *same* run — indexed vs linear matching, indexed
+    vs linear covering, sharded vs sequential single-notification latency,
+    and the 8-shard batch kernel vs the per-notification loop — must not
+    regress by more than `BENCH_GATE_TOLERANCE` (default 25%) against the
+    same pair's ratio in the baseline file.  The headline batch speedup at
+    100k subscriptions must additionally stay above
+    `BENCH_GATE_MIN_BATCH_SPEEDUP` (default 4.0).
+  * **Absolute median gates**: every gated median (`matcher/match/*`,
+    `matcher/covering/*`, `shards/single/*`, `shards/batch/*`) is compared
+    against the baseline's ns/iter with `BENCH_GATE_ABS_TOLERANCE`
+    (default 25%).  On hardware unlike the reference machine, raise the
+    env var (CI uses a looser bound) — the ratio gates still hold exactly.
+
+Behaviour:
+  1. Runs `cargo bench -p rebeca-bench --bench matcher_bench` and
+     `--bench shard_bench` with `CRITERION_JSON` set, honouring whatever
+     `CRITERION_MEASUREMENT_MS` / `CRITERION_WARMUP_MS` the caller exports
+     (pass `--skip-run` to reuse `$BENCH_GATE_DIR` output from a previous
+     run).
+  2. Applies the checks above and exits 1 on any failure.
+
+Regenerate the baselines on the reference machine with the commands in the
+JSON file headers when a deliberate change shifts them.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOLERANCE = float(os.environ.get("BENCH_GATE_TOLERANCE", "0.25"))
+ABS_TOLERANCE = float(os.environ.get("BENCH_GATE_ABS_TOLERANCE", "0.25"))
+MIN_BATCH_SPEEDUP = float(os.environ.get("BENCH_GATE_MIN_BATCH_SPEEDUP", "4.0"))
+OUT_DIR = os.environ.get("BENCH_GATE_DIR", "/tmp/bench_gate")
+
+BENCHES = {
+    "matcher_bench": "BENCH_matcher.json",
+    "shard_bench": "BENCH_shards.json",
+}
+
+# Prefixes of benchmark names whose absolute medians are gated (hot paths;
+# maintenance benches are reported but not gated).
+GATED_PREFIXES = (
+    "matcher/match/",
+    "matcher/covering/",
+    "shards/single/",
+    "shards/batch/",
+)
+
+# Within-run pairs gated on their ratio (slow/fast): the optimized side must
+# not lose ground against the reference side measured in the same process.
+RATIO_GATES = [
+    ("matcher/match/linear/1000", "matcher/match/indexed/1000"),
+    ("matcher/match/linear/10000", "matcher/match/indexed/10000"),
+    ("matcher/match/linear/100000", "matcher/match/indexed/100000"),
+    ("matcher/covering/linear_miss/1000", "matcher/covering/indexed_miss/1000"),
+    ("matcher/covering/linear_miss/10000", "matcher/covering/indexed_miss/10000"),
+    ("shards/single/sequential/10000", "shards/single/sharded8/10000"),
+    ("shards/single/sequential/100000", "shards/single/sharded8/100000"),
+    ("shards/batch/per_notification_loop/10000", "shards/batch/match_batch_shards8/10000"),
+    ("shards/batch/per_notification_loop/100000", "shards/batch/match_batch_shards8/100000"),
+]
+
+
+def load_concat_json(path):
+    """The criterion shim appends one JSON array per bench binary; parse all."""
+    with open(path) as fh:
+        text = fh.read()
+    decoder = json.JSONDecoder()
+    results, i = [], 0
+    while i < len(text):
+        while i < len(text) and text[i] != "[":
+            i += 1
+        if i >= len(text):
+            break
+        arr, i = decoder.raw_decode(text, i)
+        results.extend(arr)
+    return {r["name"]: r["ns_per_iter"] for r in results}
+
+
+def run_bench(bench, out_path):
+    env = dict(os.environ, CRITERION_JSON=out_path)
+    cmd = ["cargo", "bench", "-p", "rebeca-bench", "--bench", bench]
+    print(f"bench-gate: running {' '.join(cmd)}")
+    subprocess.run(cmd, cwd=REPO, env=env, check=True)
+
+
+def main():
+    skip_run = "--skip-run" in sys.argv
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    failures = []
+    current, baseline = {}, {}
+    for bench, baseline_file in BENCHES.items():
+        out_path = os.path.join(OUT_DIR, f"{bench}.json")
+        if not skip_run:
+            if os.path.exists(out_path):
+                os.remove(out_path)
+            run_bench(bench, out_path)
+        current.update(load_concat_json(out_path))
+        with open(os.path.join(REPO, baseline_file)) as fh:
+            baseline.update(
+                {r["name"]: r["ns_per_iter"] for r in json.load(fh)["results"]}
+            )
+
+    # Within-run ratio gates (machine-independent).
+    for slow, fast in RATIO_GATES:
+        missing = [n for n in (slow, fast) if n not in current or n not in baseline]
+        if missing:
+            failures.append(f"ratio gate {slow} / {fast}: missing {missing}")
+            continue
+        base_speedup = baseline[slow] / baseline[fast]
+        cur_speedup = current[slow] / current[fast]
+        # The fast side regresses when the within-run speedup shrinks.
+        ratio = base_speedup / cur_speedup
+        marker = "OK "
+        if ratio > 1.0 + TOLERANCE:
+            marker = "FAIL"
+            failures.append(
+                f"ratio {fast} vs {slow}: speedup {cur_speedup:.2f}x vs baseline "
+                f"{base_speedup:.2f}x ({(ratio - 1.0) * 100:+.1f}%, tolerance {TOLERANCE * 100:.0f}%)"
+            )
+        print(
+            f"bench-gate: {marker} ratio {fast:<48} {cur_speedup:>7.2f}x "
+            f"(baseline {base_speedup:.2f}x)"
+        )
+
+    # Headline check: the 8-shard batch kernel at 100k subscriptions.
+    loop_ns = current.get("shards/batch/per_notification_loop/100000")
+    batch_ns = current.get("shards/batch/match_batch_shards8/100000")
+    if loop_ns is None or batch_ns is None:
+        failures.append("shard_bench did not report the 100000-subscription batch pair")
+    else:
+        speedup = loop_ns / batch_ns
+        status = "OK " if speedup >= MIN_BATCH_SPEEDUP else "FAIL"
+        print(
+            f"bench-gate: {status} batch speedup @100k/8 shards: {speedup:.2f}x "
+            f"(minimum {MIN_BATCH_SPEEDUP:.1f}x)"
+        )
+        if speedup < MIN_BATCH_SPEEDUP:
+            failures.append(
+                f"batch speedup @100k/8 shards: {speedup:.2f}x < {MIN_BATCH_SPEEDUP:.1f}x"
+            )
+
+    # Absolute median gates.
+    checked = 0
+    for name, base_ns in sorted(baseline.items()):
+        if not name.startswith(GATED_PREFIXES):
+            continue
+        if name not in current:
+            failures.append(f"{name}: present in the baseline but not measured")
+            continue
+        checked += 1
+        ratio = current[name] / base_ns
+        marker = "OK "
+        if ratio > 1.0 + ABS_TOLERANCE:
+            marker = "FAIL"
+            failures.append(
+                f"{name}: {current[name]:.0f} ns vs baseline {base_ns:.0f} ns "
+                f"({(ratio - 1.0) * 100:+.1f}%, tolerance {ABS_TOLERANCE * 100:.0f}%)"
+            )
+        print(
+            f"bench-gate: {marker} {name:<55} {current[name]:>12.0f} ns "
+            f"(baseline {base_ns:.0f}, {(ratio - 1.0) * 100:+.1f}%)"
+        )
+
+    print(f"bench-gate: checked {len(RATIO_GATES)} ratios + {checked} absolute medians")
+    if failures:
+        print("bench-gate: FAILED")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("bench-gate: all gated benches within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,255 @@
+//! Offline API stand-in for the `smallvec` crate.
+//!
+//! Implements the slice of the smallvec API the workspace uses: a vector
+//! that stores up to `N` elements inline (no heap allocation) and spills to
+//! a `Vec<T>` beyond that.  The matcher's posting lists and partition class
+//! lists are overwhelmingly short (most predicates are used by one or two
+//! filters, most bound classes hold one predicate), so inline storage
+//! removes a pointer chase and a heap allocation from the hot matching walk.
+//!
+//! Differences from the real crate, deliberately accepted for an offline
+//! build environment:
+//!
+//! * the element type must be `Copy + Default` (the inline buffer is a plain
+//!   `[T; N]`, so the shim needs no `unsafe` code and can keep
+//!   `#![forbid(unsafe_code)]`);
+//! * the generic parameters are `SmallVec<T, N>` (const generics) instead of
+//!   the real crate's `SmallVec<[T; N]>` array-type parameter;
+//! * only the API subset used by this workspace is provided.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A vector storing up to `N` elements inline, spilling to the heap beyond.
+#[derive(Clone)]
+pub struct SmallVec<T: Copy + Default, const N: usize> {
+    /// Number of live elements when not spilled (`heap.is_empty()`).
+    len: usize,
+    buf: [T; N],
+    /// Once spilled, all elements live here and `buf`/`len` are ignored.
+    heap: Vec<T>,
+    spilled: bool,
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// Creates an empty vector (no heap allocation).
+    pub fn new() -> Self {
+        SmallVec {
+            len: 0,
+            buf: [T::default(); N],
+            heap: Vec::new(),
+            spilled: false,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        if self.spilled {
+            self.heap.len()
+        } else {
+            self.len
+        }
+    }
+
+    /// `true` when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` once the contents have moved to the heap.
+    pub fn spilled(&self) -> bool {
+        self.spilled
+    }
+
+    /// Appends an element, spilling to the heap when the inline buffer is
+    /// full.
+    pub fn push(&mut self, value: T) {
+        if self.spilled {
+            self.heap.push(value);
+        } else if self.len < N {
+            self.buf[self.len] = value;
+            self.len += 1;
+        } else {
+            self.heap.reserve(N + 1);
+            self.heap.extend_from_slice(&self.buf[..self.len]);
+            self.heap.push(value);
+            self.spilled = true;
+        }
+    }
+
+    /// Removes and returns the element at `index`, shifting the tail left.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn remove(&mut self, index: usize) -> T {
+        if self.spilled {
+            self.heap.remove(index)
+        } else {
+            assert!(index < self.len, "index {index} out of bounds");
+            let value = self.buf[index];
+            self.buf.copy_within(index + 1..self.len, index);
+            self.len -= 1;
+            value
+        }
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.spilled {
+            self.heap.pop()
+        } else if self.len > 0 {
+            self.len -= 1;
+            Some(self.buf[self.len])
+        } else {
+            None
+        }
+    }
+
+    /// Removes every element (the spilled allocation is kept).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.len = 0;
+        self.spilled = false;
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.spilled {
+            &self.heap
+        } else {
+            &self.buf[..self.len]
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spilled {
+            &mut self.heap
+        } else {
+            &mut self.buf[..self.len]
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = SmallVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_until_capacity() {
+        let mut v: SmallVec<u32, 3> = SmallVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+        v.push(4);
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[1, 2, 3, 4]);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn remove_preserves_order_inline_and_spilled() {
+        let mut v: SmallVec<u32, 2> = [10, 20].into_iter().collect();
+        assert_eq!(v.remove(0), 10);
+        assert_eq!(v.as_slice(), &[20]);
+        let mut v: SmallVec<u32, 2> = [1, 2, 3, 4].into_iter().collect();
+        assert!(v.spilled());
+        assert_eq!(v.remove(1), 2);
+        assert_eq!(v.as_slice(), &[1, 3, 4]);
+    }
+
+    #[test]
+    fn pop_and_clear() {
+        let mut v: SmallVec<u32, 2> = [1, 2, 3].into_iter().collect();
+        assert_eq!(v.pop(), Some(3));
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.pop(), None);
+        v.push(9);
+        assert_eq!(v.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn deref_and_iteration() {
+        let v: SmallVec<u32, 4> = [5, 6].into_iter().collect();
+        let doubled: Vec<u32> = v.iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![10, 12]);
+        assert_eq!(v[1], 6);
+        let w: SmallVec<u32, 4> = [5, 6].into_iter().collect();
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn remove_out_of_bounds_panics() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        v.push(1);
+        v.remove(1);
+    }
+}
