@@ -134,6 +134,7 @@ pub fn figure3(params: &Figure3Params) -> Vec<Figure3Row> {
             strategy,
             movement_graph: graph.clone(),
             relocation_timeout: SimDuration::from_secs(30),
+            ..BrokerConfig::default()
         };
         let topo = Topology::line(params.brokers);
         let mut sys = MobilitySystem::new(
@@ -272,6 +273,7 @@ pub fn figure5() -> Figure5Report {
         strategy: RoutingStrategyKind::Covering,
         movement_graph: MovementGraph::paper_example(),
         relocation_timeout: SimDuration::from_secs(30),
+        ..BrokerConfig::default()
     };
     let mut sys = MobilitySystem::new(&topo, config, DelayModel::constant_millis(5), 23);
     let consumer = scenarios::CONSUMER;

@@ -99,6 +99,7 @@ pub fn run_physical(params: &PhysicalScenario) -> PhysicalOutcome {
         strategy: params.strategy,
         movement_graph: MovementGraph::paper_example(),
         relocation_timeout: SimDuration::from_secs(30),
+        ..BrokerConfig::default()
     };
     let mut sys = MobilitySystem::new(&topo, config, params.link_delay, 17);
     let producer = ClientId(2);
@@ -277,6 +278,7 @@ pub fn run_logical(params: &LogicalScenario) -> LogicalOutcome {
         strategy,
         movement_graph: params.movement_graph.clone(),
         relocation_timeout: SimDuration::from_secs(30),
+        ..BrokerConfig::default()
     };
     let topo = Topology::line(params.brokers);
     let mut sys = MobilitySystem::new(&topo, config, params.link_delay, params.seed);
@@ -381,6 +383,214 @@ pub fn run_logical(params: &LogicalScenario) -> LogicalOutcome {
     }
 }
 
+/// Parameters of the relocation-churn scenario: a whole population of
+/// mobile consumers on a broker line, each relocating once mid-stream while
+/// a producer publishes round-robin over subscription groups.  This is the
+/// mobility engine's end-to-end stress load (durable counterpart appends,
+/// relocation floods, batched replays) and the workload behind
+/// `BENCH_mobility.json`.
+#[derive(Debug, Clone)]
+pub struct ChurnScenario {
+    /// Number of mobile consumers.
+    pub clients: usize,
+    /// Number of distinct subscription groups (each notification matches
+    /// exactly `clients / groups` consumers).
+    pub groups: usize,
+    /// Brokers in the line topology (the last one hosts the producer).
+    pub brokers: usize,
+    /// Number of publications, round-robin over the groups.
+    pub publications: u64,
+    /// Gap between publications.
+    pub publish_interval: SimDuration,
+    /// Whether every consumer relocates once (staggered over ~200 ms).
+    pub relocate: bool,
+    /// Broker-side drain interval (`None` routes every transit notification
+    /// immediately).
+    pub drain_interval: Option<SimDuration>,
+    /// Per-link delay.
+    pub link_delay: DelayModel,
+    /// Simulation seed.
+    pub seed: u64,
+    /// When set, the outcome additionally audits every consumer log for
+    /// lost and duplicated publications (linear in clients × publications;
+    /// leave off inside timed benchmark loops).
+    pub verify: bool,
+}
+
+impl Default for ChurnScenario {
+    fn default() -> Self {
+        Self {
+            clients: 2_000,
+            groups: 50,
+            brokers: 6,
+            publications: 200,
+            publish_interval: SimDuration::from_millis(1),
+            relocate: true,
+            drain_interval: None,
+            link_delay: DelayModel::constant_millis(1),
+            seed: 29,
+            verify: false,
+        }
+    }
+}
+
+/// Result of a relocation-churn run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnOutcome {
+    /// Deliveries that reached consumers.
+    pub delivered: u64,
+    /// Deliveries the scenario owes its consumers.
+    pub expected: u64,
+    /// Publications a consumer never received (audited only with
+    /// [`ChurnScenario::verify`]; completeness must always hold).
+    pub lost: u64,
+    /// Publications a consumer received more than once (audited only with
+    /// [`ChurnScenario::verify`]).  A small number is inherent to the
+    /// simulator's hand-over model: a delivery in flight on the old client
+    /// link at the instant of the move is recorded by the client *and* —
+    /// when the new border broker lies downstream of the old one — held and
+    /// re-delivered at the new broker (the same bounded race the flooding
+    /// hand-over test documents).
+    pub duplicated: u64,
+    /// Notifications replayed from virtual counterparts.
+    pub replayed: u64,
+    /// Total messages transmitted over links.
+    pub total_messages: u64,
+    /// Relocation-timeout guards still alive at the end (must be 0: the tag
+    /// map is reclaimed per settled relocation).
+    pub leaked_timeout_guards: usize,
+}
+
+/// The subscription of churn group `g`.
+fn churn_filter(g: usize) -> Filter {
+    Filter::new()
+        .with("service", Constraint::Eq("telemetry".into()))
+        .with("group", Constraint::Eq(Value::Int(g as i64)))
+}
+
+/// Runs the relocation-churn scenario.
+pub fn run_churn(params: &ChurnScenario) -> ChurnOutcome {
+    assert!(params.brokers >= 3, "need at least producer + two homes");
+    assert!(params.clients >= params.groups && params.groups > 0);
+    let config = BrokerConfig {
+        strategy: RoutingStrategyKind::Covering,
+        movement_graph: MovementGraph::paper_example(),
+        relocation_timeout: SimDuration::from_secs(60),
+        drain_interval: params.drain_interval,
+        ..BrokerConfig::default()
+    };
+    let topo = Topology::line(params.brokers);
+    let mut sys = MobilitySystem::new(&topo, config, params.link_delay, params.seed);
+
+    // Consumers spread over the brokers before the producer's; each one
+    // relocates to the neighbouring home broker, staggered over ~200 ms so
+    // relocations overlap the publication stream.
+    let homes = params.brokers - 1;
+    for i in 0..params.clients {
+        let id = ClientId(10 + i as u32);
+        let group = i % params.groups;
+        let home = i % homes;
+        let target = (home + 1) % homes;
+        let mut script = vec![
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(home),
+                },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(churn_filter(group)),
+            ),
+        ];
+        let mut reachable = vec![home];
+        if params.relocate {
+            if target != home {
+                reachable.push(target);
+            }
+            script.push((
+                SimTime::from_millis(120 + (i % 211) as u64),
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(target),
+                },
+            ));
+        }
+        sys.add_client(
+            id,
+            LogicalMobilityMode::LocationDependent,
+            &reachable,
+            script,
+        );
+    }
+
+    // Producer at the far end, publishing round-robin over the groups.
+    let producer = ClientId(2);
+    let mut script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: sys.broker_node(params.brokers - 1),
+        },
+    )];
+    for i in 0..params.publications {
+        let at = SimTime::from_millis(50) + params.publish_interval.saturating_mul(i);
+        let notification = Notification::builder()
+            .attr("service", "telemetry")
+            .attr("group", (i as usize % params.groups) as i64)
+            .attr("reading", i as i64)
+            .build();
+        script.push((at, ClientAction::Publish(notification)));
+    }
+    sys.add_client(
+        producer,
+        LogicalMobilityMode::LocationDependent,
+        &[params.brokers - 1],
+        script,
+    );
+
+    let horizon = SimTime::from_millis(50)
+        + params
+            .publish_interval
+            .saturating_mul(params.publications + 1)
+        + SimDuration::from_secs(3);
+    sys.run_until(horizon);
+
+    let leaked_timeout_guards = (0..sys.broker_count())
+        .map(|b| sys.broker(b).timeout_tag_count())
+        .sum();
+    // Group g holds every client index ≡ g (mod groups); publication i goes
+    // to group i mod groups.
+    let group_size = |g: usize| -> u64 {
+        (params.clients / params.groups + usize::from(g < params.clients % params.groups)) as u64
+    };
+    let expected = (0..params.publications)
+        .map(|i| group_size(i as usize % params.groups))
+        .sum();
+    let (mut lost, mut duplicated) = (0u64, 0u64);
+    if params.verify {
+        for i in 0..params.clients {
+            let id = ClientId(10 + i as u32);
+            let group = i % params.groups;
+            let log = sys.client_log(id);
+            // Publication j (publisher_seq j + 1) goes to group j mod groups.
+            let expected_seqs = (0..params.publications)
+                .filter(|j| (*j as usize) % params.groups == group)
+                .map(|j| j + 1);
+            let received = log.distinct_publisher_seqs(producer);
+            lost += expected_seqs.filter(|s| !received.contains(s)).count() as u64;
+            duplicated += log.duplicate_publications(producer) as u64;
+        }
+    }
+    ChurnOutcome {
+        delivered: sys.metrics().counter("client.delivered"),
+        expected,
+        lost,
+        duplicated,
+        replayed: sys.metrics().counter("mobility.replayed"),
+        total_messages: sys.total_messages(),
+        leaked_timeout_guards,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +640,56 @@ mod tests {
         // …while spending fewer link messages for the same publication
         // rate (batches travel broker-to-broker as one message).
         assert!(batched.total_messages < single.total_messages);
+    }
+
+    #[test]
+    fn churn_scenario_is_complete_and_leak_free() {
+        // 200 publications at 1 ms span t = 50..250 ms, overlapping the
+        // relocation window (moves staggered from 120 ms), so counterparts
+        // really buffer and replay.
+        let outcome = run_churn(&ChurnScenario {
+            clients: 60,
+            groups: 12,
+            verify: true,
+            ..ChurnScenario::default()
+        });
+        assert_eq!(outcome.lost, 0, "relocation churn must lose nothing");
+        assert!(
+            outcome.duplicated * 50 <= outcome.expected,
+            "hand-over duplicates must stay a bounded sliver: {} of {}",
+            outcome.duplicated,
+            outcome.expected
+        );
+        assert_eq!(outcome.delivered, outcome.expected + outcome.duplicated);
+        assert!(
+            outcome.replayed > 0,
+            "relocations must exercise the replay path"
+        );
+        assert_eq!(outcome.leaked_timeout_guards, 0);
+    }
+
+    #[test]
+    fn churn_draining_reduces_messages_at_equal_deliveries() {
+        let base = ChurnScenario {
+            clients: 60,
+            groups: 60,
+            publications: 200,
+            relocate: false,
+            ..ChurnScenario::default()
+        };
+        let immediate = run_churn(&base);
+        let drained = run_churn(&ChurnScenario {
+            drain_interval: Some(SimDuration::from_millis(5)),
+            ..base
+        });
+        assert_eq!(immediate.delivered, immediate.expected);
+        assert_eq!(drained.delivered, immediate.delivered);
+        assert!(
+            drained.total_messages < immediate.total_messages,
+            "drained {} vs immediate {}",
+            drained.total_messages,
+            immediate.total_messages
+        );
     }
 
     #[test]

@@ -116,6 +116,16 @@ impl BrokerCore {
         &self.broker_links
     }
 
+    /// The neighbouring broker nodes except `exclude` (the flood-forwarding
+    /// set for a message that arrived over `exclude`).
+    pub fn broker_links_except(&self, exclude: NodeId) -> Vec<NodeId> {
+        self.broker_links
+            .iter()
+            .copied()
+            .filter(|&l| l != exclude)
+            .collect()
+    }
+
     /// Read access to the routing engine.
     pub fn engine(&self) -> &RoutingEngine<NodeId> {
         &self.engine

@@ -116,6 +116,11 @@ pub enum Message {
     },
     /// A notification delivered by a border broker to a local consumer.
     Deliver(Delivery),
+    /// A queue of deliveries travelling to a local consumer as one message.
+    /// Used by the mobility engine to ship counterpart replays (and merged
+    /// held-back notifications) as a single batch instead of N
+    /// per-notification sends.
+    DeliverBatch(Vec<Delivery>),
 
     // ------------------------------------------------------------------
     // Physical mobility: the relocation protocol of Section 4
@@ -249,6 +254,7 @@ impl Message {
                 | Message::Notification(_)
                 | Message::NotificationBatch(_)
                 | Message::Deliver(_)
+                | Message::DeliverBatch(_)
         )
     }
 
@@ -266,6 +272,7 @@ impl Message {
             Message::Advertise { .. } => "advertise",
             Message::Unadvertise { .. } => "unadvertise",
             Message::Deliver(_) => "deliver",
+            Message::DeliverBatch(_) => "deliver_batch",
             Message::ReSubscribe { .. } => "resubscribe",
             Message::Relocate { .. } => "relocate",
             Message::Fetch { .. } => "fetch",

@@ -437,14 +437,25 @@ impl Node for ClientNode {
                     self.execute(action, ctx);
                 }
             }
-            Incoming::Message { message, .. } => {
-                if let Message::Deliver(delivery) = message {
+            Incoming::Message { message, .. } => match message {
+                Message::Deliver(delivery) => {
                     ctx.metrics().incr("client.delivered");
                     self.delivery_times
                         .push((ctx.now(), delivery.envelope.publisher_seq));
                     self.log.record(delivery);
                 }
-            }
+                Message::DeliverBatch(deliveries) => {
+                    // A counterpart replay (or merged holding flush) arriving
+                    // as one batch message: record each delivery in order.
+                    for delivery in deliveries {
+                        ctx.metrics().incr("client.delivered");
+                        self.delivery_times
+                            .push((ctx.now(), delivery.envelope.publisher_seq));
+                        self.log.record(delivery);
+                    }
+                }
+                _ => {}
+            },
         }
     }
 }

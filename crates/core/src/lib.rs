@@ -79,3 +79,9 @@ mod system;
 pub use client::{ClientAction, ClientNode, LogicalMobilityMode};
 pub use mobile_broker::{BrokerConfig, MobileBroker};
 pub use system::{MobilitySystem, SystemNode};
+
+// Re-exported so deployments can configure durability and inspect relocation
+// phases without depending on `rebeca-mobility` directly.
+pub use rebeca_mobility::{
+    HandoffLog, LogBackend, MemoryBackend, PersistenceConfig, RelocationMachine, RelocationPhase,
+};

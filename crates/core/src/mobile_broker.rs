@@ -1,44 +1,46 @@
-//! The mobility-aware Rebeca broker.
+//! The mobility-aware Rebeca broker — a thin adapter over the extracted
+//! mobility engine.
 //!
 //! [`MobileBroker`] wraps the static [`BrokerCore`] of `rebeca-broker` and
-//! adds the two extensions the paper contributes:
+//! wires it to the two mobility layers:
 //!
-//! * **Physical mobility** (Section 4): virtual counterparts that buffer
-//!   deliveries for disconnected clients, the reactive relocation protocol
-//!   (re-subscription with the last received sequence number, junction
-//!   detection against routing and advertisement tables, fetch requests that
-//!   re-point the old delivery path, replay, in-order merge at the new border
-//!   broker, and garbage collection at the old one).
-//! * **Logical mobility** (Section 5): location-dependent subscriptions whose
-//!   per-hop filters are instantiated from `ploc(location, q_hop)` according
-//!   to an [`AdaptivityPlan`], and the location-update protocol that swaps
-//!   those filters hop by hop when the client moves.
+//! * **Physical mobility** (Section 4 of the paper) is implemented by the
+//!   [`RelocationMachine`] of `rebeca-mobility`: virtual counterparts with a
+//!   write-ahead [`HandoffLog`], the reactive relocation protocol (junction
+//!   detection, fetch, batched replay, in-order merge at the new border
+//!   broker, garbage collection at the old one) and crash recovery.  This
+//!   adapter only demultiplexes messages into machine transitions and
+//!   interprets the returned [`Effect`]s against the simulator's
+//!   [`Context`] (sends, timers, metrics).
+//! * **Logical mobility** (Section 5): location-dependent subscriptions
+//!   whose per-hop filters are instantiated from `ploc(location, q_hop)`
+//!   according to an [`AdaptivityPlan`], and the location-update protocol
+//!   that swaps those filters hop by hop when the client moves.
+//!
+//! The adapter also owns the **drain queue**: with
+//! [`BrokerConfig::drain_interval`] set, transit notifications are coalesced
+//! and flushed through the batch matching path
+//! (`BrokerCore::route_envelope_batch`) on a timer, so under load fewer,
+//! larger [`Message::NotificationBatch`]es travel per link.
 //!
 //! All control traffic uses the ordinary [`Message`] vocabulary and travels
 //! over the ordinary broker links ("pub/sub adherence").
 
 use std::collections::BTreeMap;
 
-use rebeca_broker::{
-    BrokerCore, BrokerRole, ClientId, Delivery, DeliveryBuffer, Envelope, Message, SubscriptionId,
-};
+use rebeca_broker::{BrokerCore, BrokerRole, ClientId, Envelope, Message, SubscriptionId};
 use rebeca_filter::{Filter, LocationDependentFilter};
 use rebeca_location::{AdaptivityPlan, LocationId, MovementGraph};
+use rebeca_mobility::{
+    Effect, HandoffLog, PersistenceConfig, RelocationMachine, RelocationPhase,
+    DEFAULT_CHECKPOINT_EVERY,
+};
 use rebeca_routing::RoutingStrategyKind;
 use rebeca_sim::{Context, Incoming, Node, NodeId, SimDuration};
 
-/// State kept by the *new* border broker for one in-flight relocation: fresh
-/// notifications are held back until the replay from the old border broker
-/// has been merged in, so the client sees the old messages first (Section
-/// 4.1).
-#[derive(Debug, Clone, Default)]
-struct HoldingBuffer {
-    /// Envelopes that arrived for the relocating subscription since the
-    /// re-subscription, in arrival order.
-    envelopes: Vec<Envelope>,
-    /// The last sequence number the client reported on re-subscription.
-    last_seq: u64,
-}
+/// Timer tag reserved for the drain-queue flush (relocation timeouts use
+/// tags counted up from zero, so the top of the range never collides).
+const DRAIN_TIMER_TAG: u64 = u64::MAX;
 
 /// Per-broker state of one location-dependent subscription.
 #[derive(Debug, Clone)]
@@ -71,6 +73,15 @@ pub struct BrokerConfig {
     /// buffering approaches guarantee completeness only "within the
     /// boundaries of time and/or space limitations").
     pub relocation_timeout: SimDuration,
+    /// When set, transit notifications are queued and flushed through the
+    /// batch matching path every `drain_interval` instead of being routed
+    /// one at a time — fewer link messages at equal deliveries under load.
+    /// `None` (the default) routes every notification immediately.
+    pub drain_interval: Option<SimDuration>,
+    /// Where the per-broker write-ahead handoff logs live.
+    pub persistence: PersistenceConfig,
+    /// Records between WAL compaction checkpoints (0 disables compaction).
+    pub wal_checkpoint_every: usize,
 }
 
 impl Default for BrokerConfig {
@@ -79,6 +90,9 @@ impl Default for BrokerConfig {
             strategy: RoutingStrategyKind::Covering,
             movement_graph: MovementGraph::paper_example(),
             relocation_timeout: SimDuration::from_secs(10),
+            drain_interval: None,
+            persistence: PersistenceConfig::InMemory,
+            wal_checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
         }
     }
 }
@@ -88,42 +102,76 @@ impl Default for BrokerConfig {
 pub struct MobileBroker {
     core: BrokerCore,
     config: BrokerConfig,
-    /// Virtual counterparts: buffered deliveries per disconnected
-    /// `(client, filter)` at this (old border) broker.
-    counterparts: BTreeMap<(ClientId, Filter), DeliveryBuffer>,
-    /// Holding buffers per relocating `(client, filter)` at this (new border)
-    /// broker.
-    holding: BTreeMap<(ClientId, Filter), HoldingBuffer>,
-    /// Next hop for replay messages per relocating `(client, filter)`:
-    /// towards the new border broker on the new path, towards the junction on
-    /// the old path.
-    replay_route: BTreeMap<(ClientId, Filter), NodeId>,
+    /// The extracted relocation engine (state machine + write-ahead log).
+    machine: RelocationMachine,
     /// Location-dependent subscription state per subscription id.
     loc_subs: BTreeMap<SubscriptionId, LocSubState>,
-    /// Monotonically increasing timer tags for relocation timeouts, mapping
-    /// back to the relocation they guard.
-    timeout_tags: BTreeMap<u64, (ClientId, Filter)>,
-    next_timeout_tag: u64,
+    /// Coalescing queue for transit notifications, keyed by arrival link
+    /// (the routing exclude differs per source).
+    drain_queue: BTreeMap<NodeId, Vec<Envelope>>,
+    /// Whether a drain-flush timer is currently armed.
+    drain_armed: bool,
 }
 
 impl MobileBroker {
-    /// Creates a mobility-aware broker.
+    /// Creates a mobility-aware broker with a fresh in-memory handoff log.
     pub fn new(
         id: NodeId,
         role: BrokerRole,
         broker_links: Vec<NodeId>,
         config: BrokerConfig,
     ) -> Self {
+        let log = HandoffLog::in_memory().checkpoint_every(config.wal_checkpoint_every);
+        Self::with_log(id, role, broker_links, config, log)
+    }
+
+    /// Creates a mobility-aware broker over an explicit handoff log (the
+    /// deployment facade passes per-broker logs whose backends it keeps
+    /// handles to, so the "disk" survives a broker crash).
+    pub fn with_log(
+        id: NodeId,
+        role: BrokerRole,
+        broker_links: Vec<NodeId>,
+        config: BrokerConfig,
+        log: HandoffLog,
+    ) -> Self {
+        let machine = RelocationMachine::new(config.relocation_timeout, log);
         Self {
             core: BrokerCore::new(id, role, broker_links, config.strategy),
             config,
-            counterparts: BTreeMap::new(),
-            holding: BTreeMap::new(),
-            replay_route: BTreeMap::new(),
+            machine,
             loc_subs: BTreeMap::new(),
-            timeout_tags: BTreeMap::new(),
-            next_timeout_tag: 0,
+            drain_queue: BTreeMap::new(),
+            drain_armed: false,
         }
+    }
+
+    /// Restarts a broker from its write-ahead handoff log: the machine and
+    /// the mobility-relevant parts of the static broker (disconnected
+    /// client records, their routing entries, sequence watermarks, buffered
+    /// counterparts) are reconstructed exactly.  Returns the broker plus
+    /// the timer tags of recovered relocation holdings; the caller must
+    /// re-arm each with the configured relocation timeout.
+    pub fn recover(
+        id: NodeId,
+        role: BrokerRole,
+        broker_links: Vec<NodeId>,
+        config: BrokerConfig,
+        log: HandoffLog,
+    ) -> (Self, Vec<u64>) {
+        let mut core = BrokerCore::new(id, role, broker_links, config.strategy);
+        let (machine, tags) = RelocationMachine::recover(config.relocation_timeout, log, &mut core);
+        (
+            Self {
+                core,
+                config,
+                machine,
+                loc_subs: BTreeMap::new(),
+                drain_queue: BTreeMap::new(),
+                drain_armed: false,
+            },
+            tags,
+        )
     }
 
     /// Read access to the wrapped static broker.
@@ -136,21 +184,44 @@ impl MobileBroker {
         &self.config
     }
 
+    /// Read access to the relocation engine.
+    pub fn machine(&self) -> &RelocationMachine {
+        &self.machine
+    }
+
     /// Number of `(client, filter)` streams currently buffered by virtual
     /// counterparts at this broker.
     pub fn counterpart_count(&self) -> usize {
-        self.counterparts.len()
+        self.machine.counterpart_count()
     }
 
     /// Total number of deliveries currently buffered by virtual counterparts.
     pub fn buffered_deliveries(&self) -> usize {
-        self.counterparts.values().map(DeliveryBuffer::len).sum()
+        self.machine.buffered_deliveries()
     }
 
     /// Number of relocations currently waiting for their replay at this
     /// broker.
     pub fn pending_relocations(&self) -> usize {
-        self.holding.len()
+        self.machine.pending_relocations()
+    }
+
+    /// Number of live relocation-timeout guards (zero once every relocation
+    /// has settled — guards of completed relocations are reclaimed, not
+    /// leaked).
+    pub fn timeout_tag_count(&self) -> usize {
+        self.machine.timeout_tag_count()
+    }
+
+    /// The relocation phase of a stream at this broker.
+    pub fn relocation_phase(&self, client: ClientId, filter: &Filter) -> RelocationPhase {
+        self.machine.phase(client, filter)
+    }
+
+    /// Number of transit notifications currently queued for the next drain
+    /// flush.
+    pub fn drain_queue_len(&self) -> usize {
+        self.drain_queue.values().map(Vec::len).sum()
     }
 
     /// Number of location-dependent subscriptions installed at this broker.
@@ -174,40 +245,8 @@ impl MobileBroker {
     // Shared helpers
     // ------------------------------------------------------------------
 
-    /// Moves parked deliveries (addressed to disconnected local clients) into
-    /// their virtual counterparts.
-    fn absorb_parked(&mut self) {
-        for delivery in self.core.take_parked() {
-            let key = (delivery.subscriber, delivery.filter.clone());
-            self.counterparts.entry(key).or_default().push(delivery);
-        }
-    }
-
-    /// Post-processes the static broker's output: deliveries that belong to a
-    /// relocating subscription are held back instead of sent.
-    fn intercept_holding(&mut self, out: Vec<(NodeId, Message)>) -> Vec<(NodeId, Message)> {
-        if self.holding.is_empty() {
-            return out;
-        }
-        let mut kept = Vec::with_capacity(out.len());
-        for (node, message) in out {
-            match message {
-                Message::Deliver(delivery) => {
-                    let key = (delivery.subscriber, delivery.filter.clone());
-                    if let Some(holding) = self.holding.get_mut(&key) {
-                        holding.envelopes.push(delivery.envelope);
-                    } else {
-                        kept.push((node, Message::Deliver(delivery)));
-                    }
-                }
-                other => kept.push((node, other)),
-            }
-        }
-        kept
-    }
-
-    /// Runs a static-broker handler and applies the mobility post-processing
-    /// (holding interception and counterpart absorption).
+    /// Runs a static-broker handler and applies the mobility
+    /// post-processing (holding interception and counterpart absorption).
     fn run_core(&mut self, from: NodeId, message: Message) -> Vec<(NodeId, Message)> {
         let out = match self.core.handle_message(from, message) {
             Ok(out) => out,
@@ -215,448 +254,88 @@ impl MobileBroker {
                 unreachable!("static broker rejected a non-mobility message: {unhandled:?}")
             }
         };
-        let out = self.intercept_holding(out);
-        self.absorb_parked();
+        let out = self.machine.intercept_holding(out);
+        self.machine.absorb_parked(&mut self.core);
         out
     }
 
-    fn broker_links_except(&self, exclude: NodeId) -> Vec<NodeId> {
-        self.core
-            .broker_links()
-            .iter()
-            .copied()
-            .filter(|&l| l != exclude)
-            .collect()
+    /// Interprets machine effects against the simulation context, collecting
+    /// outgoing messages.
+    fn apply_effects(
+        &mut self,
+        effects: Vec<Effect>,
+        ctx: &mut Context<'_, Message>,
+        out: &mut Vec<(NodeId, Message)>,
+    ) {
+        for effect in effects {
+            match effect {
+                Effect::Send(to, message) => out.push((to, message)),
+                Effect::SetTimer(delay, tag) => ctx.set_timer(delay, tag),
+                Effect::Incr(name) => ctx.metrics().incr(name),
+                Effect::Add(name, amount) => ctx.metrics().add(name, amount),
+            }
+        }
     }
 
     // ------------------------------------------------------------------
-    // Physical mobility (Section 4)
+    // Batch draining
     // ------------------------------------------------------------------
 
-    /// Handles the re-subscription of a roaming client at this (new) border
-    /// broker.
-    fn handle_resubscribe(
+    /// Queues transit envelopes for the next drain flush, arming the flush
+    /// timer when the queue was empty.
+    fn enqueue_for_drain(
         &mut self,
-        client: ClientId,
-        filter: Filter,
-        last_seq: u64,
         from: NodeId,
+        envelopes: Vec<Envelope>,
+        interval: SimDuration,
         ctx: &mut Context<'_, Message>,
-    ) -> Vec<(NodeId, Message)> {
-        let mut out = Vec::new();
-
-        // Did this broker already serve the subscription before the client
-        // disappeared?  Then it is its own "old border broker" and can replay
-        // locally without any relocation round trip.
-        let was_local_subscription = self
-            .core
-            .client(client)
-            .map(|r| r.subscriptions.contains(&filter))
-            .unwrap_or(false);
-
-        // The client is (re-)attached locally and its subscription installed
-        // so that *new* notifications start flowing towards this broker.
-        out.extend(self.run_core(from, Message::Attach { client }));
-        let sub_out = self.core.handle_subscribe(client, filter.clone(), from);
-        // The ordinary Subscribe propagation is replaced by the Relocate
-        // control message below, so the forwards are dropped.
-        drop(sub_out);
-
-        let key = (client, filter.clone());
-
-        // Case 1: the client reconnected to the very broker that holds its
-        // virtual counterpart — replay locally, no relocation needed.
-        if was_local_subscription || self.counterparts.contains_key(&key) {
-            let buffer = self.counterparts.remove(&key).unwrap_or_default();
-            let replay = buffer.replay_after(last_seq);
-            let next_seq = replay
-                .iter()
-                .map(|d| d.seq)
-                .max()
-                .unwrap_or(last_seq)
-                .saturating_add(1);
-            self.core
-                .sequences_mut()
-                .fast_forward(client, &filter, next_seq);
-            for delivery in replay {
-                ctx.metrics().incr("mobility.replayed");
-                out.push((from, Message::Deliver(delivery)));
-            }
-            return out;
-        }
-
-        // Case 2: genuine relocation — hold fresh notifications, look for the
-        // old path.
-        self.holding.insert(
-            key.clone(),
-            HoldingBuffer {
-                envelopes: Vec::new(),
-                last_seq,
-            },
-        );
-        self.replay_route.insert(key.clone(), from);
-        let tag = self.next_timeout_tag;
-        self.next_timeout_tag += 1;
-        self.timeout_tags.insert(tag, key);
-        ctx.set_timer(self.config.relocation_timeout, tag);
-
-        let relocate = Message::Relocate {
-            client,
-            filter,
-            last_seq,
-            new_broker: self.core.id(),
-        };
-        for link in self.core.broker_links().to_vec() {
-            ctx.metrics().incr("mobility.relocate_sent");
-            out.push((link, relocate.clone()));
-        }
-        out
-    }
-
-    /// Handles a relocation request travelling through the broker network.
-    fn handle_relocate(
-        &mut self,
-        client: ClientId,
-        filter: Filter,
-        last_seq: u64,
-        new_broker: NodeId,
-        from: NodeId,
-        ctx: &mut Context<'_, Message>,
-    ) -> Vec<(NodeId, Message)> {
-        let mut out = Vec::new();
-        let key = (client, filter.clone());
-
-        // Remember the way back towards the new border broker for the replay.
-        self.replay_route.entry(key.clone()).or_insert(from);
-
-        // Case 1: this broker is the old border broker itself (it holds the
-        // virtual counterpart) — it is its own junction: replay directly and
-        // garbage collect.
-        if self.counterparts.contains_key(&key)
-            || self
-                .core
-                .client(client)
-                .map(|r| !r.connected && r.subscriptions.contains(&filter))
-                .unwrap_or(false)
-        {
-            out.extend(self.replay_and_collect(client, &filter, last_seq, from, ctx));
-            return out;
-        }
-
-        // Install the subscription for the new path (without ordinary
-        // propagation — the Relocate message itself propagates).
-        let already_routed_to_new_path = self.core.engine().table().contains_entry(&filter, &from);
-        if !already_routed_to_new_path {
-            self.core
-                .engine_mut()
-                .table_mut()
-                .insert(filter.clone(), from);
-        }
-
-        // Junction test: an identical filter from a *different* link means the
-        // old delivery path runs through this broker (Section 4.1: the broker
-        // compares the re-issued subscription against its routing table and
-        // advertisements).
-        let old_links = self
-            .core
-            .engine()
-            .table()
-            .destinations_with_identical(&filter, Some(&from));
-        let old_broker_links: Vec<NodeId> = old_links
-            .into_iter()
-            .filter(|l| self.core.broker_links().contains(l))
-            .collect();
-
-        if let Some(&old_link) = old_broker_links.first() {
-            // This broker looks like the junction: from here on notifications
-            // also flow towards the new path (the entry inserted above), and
-            // the buffered ones are fetched from the old border broker.  The
-            // old entry is *kept*: it may still serve other subscribers with
-            // an identical filter behind the old path; notifications that
-            // follow it after the old border broker has garbage collected the
-            // roaming client are simply dropped there (see DESIGN.md,
-            // "Deviations").
-            ctx.metrics().incr("mobility.junction_detected");
-            ctx.metrics().incr("mobility.fetch_sent");
-            out.push((
-                old_link,
-                Message::Fetch {
-                    client,
-                    filter: filter.clone(),
-                    last_seq,
-                    junction: self.core.id(),
-                },
-            ));
-        }
-        // The relocation request keeps propagating like a subscription even
-        // past an apparent junction: with several clients holding identical
-        // filters, the "identical filter from another link" test can point
-        // away from this client's actual old path, so the flooded request is
-        // what guarantees that the old border broker (which holds the virtual
-        // counterpart) is always reached.  Redundant fetches and replays are
-        // idempotent: whoever asks after the counterpart has been collected
-        // gets nothing.
-        for link in self.broker_links_except(from) {
-            ctx.metrics().incr("mobility.relocate_sent");
-            out.push((
-                link,
-                Message::Relocate {
-                    client,
-                    filter: filter.clone(),
-                    last_seq,
-                    new_broker,
-                },
-            ));
-        }
-        out
-    }
-
-    /// Handles a fetch request travelling down the old delivery path towards
-    /// the old border broker.
-    fn handle_fetch(
-        &mut self,
-        client: ClientId,
-        filter: Filter,
-        last_seq: u64,
-        junction: NodeId,
-        from: NodeId,
-        ctx: &mut Context<'_, Message>,
-    ) -> Vec<(NodeId, Message)> {
-        let mut out = Vec::new();
-        let key = (client, filter.clone());
-
-        // The replay will travel back the way the fetch came.
-        self.replay_route.insert(key.clone(), from);
-
-        // Old border broker: replay and clean up.
-        if self.counterparts.contains_key(&key)
-            || self
-                .core
-                .client(client)
-                .map(|r| r.subscriptions.contains(&filter))
-                .unwrap_or(false)
-        {
-            out.extend(self.replay_and_collect(client, &filter, last_seq, from, ctx));
-            return out;
-        }
-
-        // Intermediate broker on the old path: point the delivery path
-        // towards the junction as well and forward the fetch towards the old
-        // border broker.  The entry towards the old border broker is kept for
-        // the same aliasing reason as at the junction; the old border broker
-        // drops traffic for the departed client after garbage collection.
-        let old_links: Vec<NodeId> = self
-            .core
-            .engine()
-            .table()
-            .destinations_with_identical(&filter, Some(&from))
-            .into_iter()
-            .filter(|l| self.core.broker_links().contains(l))
-            .collect();
-        if let Some(&next) = old_links.first() {
-            if !self.core.engine().table().contains_entry(&filter, &from) {
-                self.core
-                    .engine_mut()
-                    .table_mut()
-                    .insert(filter.clone(), from);
-            }
-            ctx.metrics().incr("mobility.fetch_forwarded");
-            out.push((
-                next,
-                Message::Fetch {
-                    client,
-                    filter,
-                    last_seq,
-                    junction,
-                },
-            ));
-        } else {
-            ctx.metrics().incr("mobility.fetch_dead_end");
-        }
-        out
-    }
-
-    /// Replays the virtual counterpart of `(client, filter)` towards
-    /// `towards` and garbage collects every resource associated with the
-    /// roaming client at this broker.
-    fn replay_and_collect(
-        &mut self,
-        client: ClientId,
-        filter: &Filter,
-        last_seq: u64,
-        towards: NodeId,
-        ctx: &mut Context<'_, Message>,
-    ) -> Vec<(NodeId, Message)> {
-        let key = (client, filter.clone());
-        let buffer = self.counterparts.remove(&key).unwrap_or_default();
-        let deliveries = buffer.replay_after(last_seq);
-        // The old border broker may itself sit on the path between producers
-        // and the new border broker (or host producers): future notifications
-        // matching the subscription must keep flowing towards the new
-        // location, so the delivery path is re-pointed here as well.
-        if !self.core.engine().table().contains_entry(filter, &towards) {
-            self.core
-                .engine_mut()
-                .table_mut()
-                .insert(filter.clone(), towards);
-        }
-        ctx.metrics().incr("mobility.replay_sent");
+    ) {
         ctx.metrics()
-            .add("mobility.replayed", deliveries.len() as u64);
-
-        // Garbage collection: the subscription of the departed client and its
-        // sequence state disappear from this broker; the routing entry
-        // pointing at the (gone) client node is dropped.
-        if let Some(record) = self.core.client(client).cloned() {
-            self.core
-                .engine_mut()
-                .table_mut()
-                .remove(filter, &record.node);
-            self.core.sequences_mut().remove(client, filter);
-            if let Some(rec) = self.core.client_mut(client) {
-                rec.subscriptions.retain(|f| f != filter);
-            }
-            let now_empty = self
-                .core
-                .client(client)
-                .map(|r| r.subscriptions.is_empty())
-                .unwrap_or(false);
-            if now_empty {
-                self.core.remove_client(client);
-            }
-        }
-        ctx.metrics().incr("mobility.gc_old_broker");
-
-        vec![(
-            towards,
-            Message::Replay {
-                client,
-                filter: filter.clone(),
-                deliveries,
-            },
-        )]
-    }
-
-    /// Handles a replay travelling back towards the new border broker.
-    fn handle_replay(
-        &mut self,
-        client: ClientId,
-        filter: Filter,
-        deliveries: Vec<Delivery>,
-        _from: NodeId,
-        ctx: &mut Context<'_, Message>,
-    ) -> Vec<(NodeId, Message)> {
-        let key = (client, filter.clone());
-
-        // New border broker: merge replayed and held-back notifications in
-        // order and release them to the client.
-        if let Some(holding) = self.holding.remove(&key) {
-            let mut out = Vec::new();
-            let client_node = match self.core.client(client) {
-                Some(record) => record.node,
-                None => {
-                    // The client detached again in the meantime; buffer
-                    // everything in a fresh counterpart instead.
-                    let counterpart = self.counterparts.entry(key).or_default();
-                    for d in deliveries {
-                        counterpart.push(d);
-                    }
-                    return Vec::new();
-                }
-            };
-            let mut max_seq = holding.last_seq;
-            // Publications contained in the replay must not be delivered a
-            // second time from the holding buffer (under flooding routing the
-            // same notification reaches both the old and the new border
-            // broker during the hand-over window).
-            let mut replayed_publications = std::collections::BTreeSet::new();
-            for delivery in deliveries {
-                max_seq = max_seq.max(delivery.seq);
-                replayed_publications
-                    .insert((delivery.envelope.publisher, delivery.envelope.publisher_seq));
-                ctx.metrics().incr("mobility.replay_delivered");
-                out.push((client_node, Message::Deliver(delivery)));
-            }
-            // Continue the sequence numbering where the replay ended, then
-            // release the held-back fresh notifications in arrival order.
-            self.core
-                .sequences_mut()
-                .fast_forward(client, &filter, max_seq.saturating_add(1));
-            for envelope in holding.envelopes {
-                if replayed_publications.contains(&(envelope.publisher, envelope.publisher_seq)) {
-                    ctx.metrics().incr("mobility.held_duplicate_suppressed");
-                    continue;
-                }
-                let seq = self.core.sequences_mut().next(client, &filter);
-                ctx.metrics().incr("mobility.held_delivered");
-                out.push((
-                    client_node,
-                    Message::Deliver(Delivery {
-                        subscriber: client,
-                        filter: filter.clone(),
-                        seq,
-                        envelope,
-                    }),
-                ));
-            }
-            self.replay_route.remove(&key);
-            return out;
-        }
-
-        // Intermediate broker: forward along the recorded route.
-        if let Some(next) = self.replay_route.remove(&key) {
-            ctx.metrics().incr("mobility.replay_forwarded");
-            vec![(
-                next,
-                Message::Replay {
-                    client,
-                    filter,
-                    deliveries,
-                },
-            )]
-        } else {
-            ctx.metrics().incr("mobility.replay_dropped");
-            Vec::new()
+            .add("broker.drain_queued", envelopes.len() as u64);
+        self.drain_queue.entry(from).or_default().extend(envelopes);
+        if !self.drain_armed {
+            self.drain_armed = true;
+            ctx.set_timer(interval, DRAIN_TIMER_TAG);
         }
     }
 
-    /// Relocation timeout: if the replay never arrived, flush the holding
-    /// buffer so the client at least receives the fresh notifications.
-    fn handle_timeout(
-        &mut self,
-        tag: u64,
-        ctx: &mut Context<'_, Message>,
-    ) -> Vec<(NodeId, Message)> {
-        let Some(key) = self.timeout_tags.remove(&tag) else {
-            return Vec::new();
-        };
-        let Some(holding) = self.holding.remove(&key) else {
-            return Vec::new(); // replay already arrived
-        };
-        let (client, filter) = key.clone();
-        let Some(record) = self.core.client(client) else {
-            return Vec::new();
-        };
-        let client_node = record.node;
-        ctx.metrics().incr("mobility.relocation_timeout");
+    /// Flushes the coalescing queue through the batch matching path: one
+    /// `route_envelope_batch` call per arrival link, survivors re-grouped
+    /// into per-link [`Message::NotificationBatch`]es by the engine.
+    fn drain_queued(&mut self, ctx: &mut Context<'_, Message>) -> Vec<(NodeId, Message)> {
+        self.drain_armed = false;
+        let queues = std::mem::take(&mut self.drain_queue);
         let mut out = Vec::new();
-        self.core
-            .sequences_mut()
-            .fast_forward(client, &filter, holding.last_seq.saturating_add(1));
-        for envelope in holding.envelopes {
-            let seq = self.core.sequences_mut().next(client, &filter);
-            out.push((
-                client_node,
-                Message::Deliver(Delivery {
-                    subscriber: client,
-                    filter: filter.clone(),
-                    seq,
-                    envelope,
-                }),
-            ));
+        for (from, envelopes) in queues {
+            ctx.metrics().add("broker.drained", envelopes.len() as u64);
+            let routed = self.core.route_envelope_batch(envelopes, Some(from));
+            let routed = self.machine.intercept_holding(routed);
+            self.machine.absorb_parked(&mut self.core);
+            out.extend(routed);
         }
-        self.replay_route.remove(&key);
+        ctx.metrics().incr("broker.drain_flush");
         out
+    }
+
+    /// Flushes the drain queue ahead of a mobility control message.
+    ///
+    /// The relocation protocol relies on per-link FIFO order between
+    /// notifications and the control messages that chase them (a
+    /// notification forwarded before a `Relocate`/`Fetch` must reach the
+    /// old border broker before it, so it lands in the counterpart and not
+    /// in the void after garbage collection).  Coalescing would let control
+    /// messages overtake queued notifications, so the queue is flushed —
+    /// and the flushed messages emitted — *before* the control message is
+    /// handled, restoring the FIFO relationship.
+    fn flush_drain_for_control(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+    ) -> Vec<(NodeId, Message)> {
+        if self.drain_queue.is_empty() {
+            return Vec::new();
+        }
+        ctx.metrics().incr("broker.drain_control_flush");
+        self.drain_queued(ctx)
     }
 
     // ------------------------------------------------------------------
@@ -733,7 +412,8 @@ impl MobileBroker {
         );
         ctx.metrics().incr("logical.subscription_installed");
 
-        self.broker_links_except(from)
+        self.core
+            .broker_links_except(from)
             .into_iter()
             .map(|link| {
                 ctx.metrics().incr("logical.subscribe_forwarded");
@@ -768,7 +448,8 @@ impl MobileBroker {
                 }
             }
         }
-        self.broker_links_except(from)
+        self.core
+            .broker_links_except(from)
             .into_iter()
             .map(|link| (link, Message::LocUnsubscribe { sub_id }))
             .collect()
@@ -813,7 +494,8 @@ impl MobileBroker {
             ctx.metrics().incr("logical.filter_swapped");
         }
 
-        self.broker_links_except(from)
+        self.core
+            .broker_links_except(from)
             .into_iter()
             .map(|link| {
                 ctx.metrics().incr("logical.update_forwarded");
@@ -834,8 +516,17 @@ impl Node for MobileBroker {
     type Message = Message;
 
     fn handle(&mut self, ctx: &mut Context<'_, Message>, event: Incoming<Message>) {
-        let out = match event {
-            Incoming::Timer { tag } => self.handle_timeout(tag, ctx),
+        let mut out = Vec::new();
+        match event {
+            Incoming::Timer {
+                tag: DRAIN_TIMER_TAG,
+            } => {
+                out = self.drain_queued(ctx);
+            }
+            Incoming::Timer { tag } => {
+                let effects = self.machine.on_timeout(&mut self.core, tag);
+                self.apply_effects(effects, ctx, &mut out);
+            }
             Incoming::Message { from, message } => {
                 ctx.metrics()
                     .incr(&format!("broker.rx.{}", message.kind_name()));
@@ -844,24 +535,85 @@ impl Node for MobileBroker {
                         client,
                         filter,
                         last_seq,
-                    } => self.handle_resubscribe(client, filter, last_seq, from, ctx),
+                    } => {
+                        out = self.flush_drain_for_control(ctx);
+                        let effects = self.machine.on_resubscribe(
+                            &mut self.core,
+                            client,
+                            filter,
+                            last_seq,
+                            from,
+                        );
+                        self.apply_effects(effects, ctx, &mut out);
+                    }
                     Message::Relocate {
                         client,
                         filter,
                         last_seq,
                         new_broker,
-                    } => self.handle_relocate(client, filter, last_seq, new_broker, from, ctx),
+                    } => {
+                        out = self.flush_drain_for_control(ctx);
+                        let effects = self.machine.on_relocate(
+                            &mut self.core,
+                            client,
+                            filter,
+                            last_seq,
+                            new_broker,
+                            from,
+                        );
+                        self.apply_effects(effects, ctx, &mut out);
+                    }
                     Message::Fetch {
                         client,
                         filter,
                         last_seq,
                         junction,
-                    } => self.handle_fetch(client, filter, last_seq, junction, from, ctx),
+                    } => {
+                        out = self.flush_drain_for_control(ctx);
+                        let effects = self.machine.on_fetch(
+                            &mut self.core,
+                            client,
+                            filter,
+                            last_seq,
+                            junction,
+                            from,
+                        );
+                        self.apply_effects(effects, ctx, &mut out);
+                    }
                     Message::Replay {
                         client,
                         filter,
                         deliveries,
-                    } => self.handle_replay(client, filter, deliveries, from, ctx),
+                    } => {
+                        out = self.flush_drain_for_control(ctx);
+                        let effects = self.machine.on_replay(
+                            &mut self.core,
+                            client,
+                            filter,
+                            deliveries,
+                            from,
+                        );
+                        self.apply_effects(effects, ctx, &mut out);
+                    }
+                    Message::Detach { client } => {
+                        // Queued notifications arrived before the detach:
+                        // deliver them first, then let the static broker
+                        // mark the client disconnected and the machine open
+                        // durable counterparts for what is left behind.
+                        out = self.flush_drain_for_control(ctx);
+                        out.extend(self.run_core(from, Message::Detach { client }));
+                        self.machine.on_detach(&self.core, client);
+                    }
+                    Message::Notification(envelope) if self.config.drain_interval.is_some() => {
+                        let interval = self.config.drain_interval.expect("checked above");
+                        self.enqueue_for_drain(from, vec![envelope], interval, ctx);
+                    }
+                    Message::NotificationBatch(envelopes)
+                        if self.config.drain_interval.is_some() =>
+                    {
+                        let interval = self.config.drain_interval.expect("checked above");
+                        self.enqueue_for_drain(from, envelopes, interval, ctx);
+                    }
                     Message::LocSubscribe {
                         sub_id,
                         template,
@@ -869,18 +621,23 @@ impl Node for MobileBroker {
                         location,
                         hop,
                     } => {
-                        self.handle_loc_subscribe(sub_id, template, plan, location, hop, from, ctx)
+                        out = self
+                            .handle_loc_subscribe(sub_id, template, plan, location, hop, from, ctx);
                     }
-                    Message::LocUnsubscribe { sub_id } => self.handle_loc_unsubscribe(sub_id, from),
+                    Message::LocUnsubscribe { sub_id } => {
+                        out = self.handle_loc_unsubscribe(sub_id, from);
+                    }
                     Message::LocationUpdate {
                         sub_id,
                         location,
                         hop,
-                    } => self.handle_location_update(sub_id, location, hop, from, ctx),
-                    other => self.run_core(from, other),
+                    } => {
+                        out = self.handle_location_update(sub_id, location, hop, from, ctx);
+                    }
+                    other => out = self.run_core(from, other),
                 }
             }
-        };
+        }
         for (to, message) in out {
             ctx.metrics()
                 .incr(&format!("broker.tx.{}", message.kind_name()));

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use rebeca_broker::{BrokerRole, Message};
 use rebeca_broker::{ClientId, ConsumerLog};
+use rebeca_mobility::{HandoffLog, LogBackend};
 use rebeca_sim::{
     Context, DelayModel, Incoming, Metrics, Network, Node, NodeId, SimDuration, SimTime, Topology,
 };
@@ -45,6 +46,11 @@ pub struct MobilitySystem {
     broker_nodes: Vec<NodeId>,
     clients: BTreeMap<ClientId, NodeId>,
     client_link_delay: DelayModel,
+    /// Per-broker handles to the write-ahead handoff log backends.  The
+    /// handles share storage with the brokers' own backends (the "disk"),
+    /// so a crashed broker's log survives and a restarted broker recovers
+    /// from it.
+    wal_backends: Vec<Box<dyn LogBackend>>,
 }
 
 impl MobilitySystem {
@@ -61,14 +67,20 @@ impl MobilitySystem {
         let mut network: Network<SystemNode> = Network::new(seed);
 
         // First pass: allocate node ids so that broker index i gets NodeId(i).
+        let mut wal_backends: Vec<Box<dyn LogBackend>> = Vec::with_capacity(topology.len());
         let broker_nodes: Vec<NodeId> = (0..topology.len())
             .map(|i| {
                 let links: Vec<NodeId> = topology.neighbours(i).into_iter().map(NodeId).collect();
-                network.add_node(SystemNode::Broker(MobileBroker::new(
+                let backend = config.persistence.backend_for(i);
+                let log = HandoffLog::with_backend(backend.boxed_clone())
+                    .checkpoint_every(config.wal_checkpoint_every);
+                wal_backends.push(backend);
+                network.add_node(SystemNode::Broker(MobileBroker::with_log(
                     NodeId(i),
                     BrokerRole::Border,
                     links,
                     config.clone(),
+                    log,
                 )))
             })
             .collect();
@@ -81,6 +93,7 @@ impl MobilitySystem {
             broker_nodes,
             clients: BTreeMap::new(),
             client_link_delay: broker_link_delay,
+            wal_backends,
         }
     }
 
@@ -172,6 +185,50 @@ impl MobilitySystem {
         self.network.metrics().counter("network.messages")
     }
 
+    /// Crashes broker `index` and immediately restarts it from its
+    /// write-ahead handoff log, as a quickly rebooting process would: every
+    /// in-memory state of the broker is discarded, then the mobility-relevant
+    /// state (virtual counterparts, disconnected client records, sequence
+    /// watermarks, routing re-points, unresolved relocation holdings) is
+    /// reconstructed from the surviving log.  Links and in-flight messages
+    /// addressed to the broker are untouched; recovered relocation holdings
+    /// get their timeout re-armed from the current virtual time.  Returns
+    /// the crashed broker state (e.g. for post-mortem assertions).
+    pub fn crash_and_restart_broker(&mut self, index: usize) -> MobileBroker {
+        let node_id = self.broker_nodes[index];
+        let (role, links, config) = match self.network.node(node_id) {
+            SystemNode::Broker(b) => (
+                b.core().role(),
+                b.core().broker_links().to_vec(),
+                b.config().clone(),
+            ),
+            SystemNode::Client(_) => unreachable!("broker index maps to a broker node"),
+        };
+        let log = HandoffLog::with_backend(self.wal_backends[index].boxed_clone())
+            .checkpoint_every(config.wal_checkpoint_every);
+        let relocation_timeout = config.relocation_timeout;
+        let (restarted, recovered_tags) = MobileBroker::recover(node_id, role, links, config, log);
+        let old = match self
+            .network
+            .replace_node(node_id, SystemNode::Broker(restarted))
+        {
+            SystemNode::Broker(b) => b,
+            SystemNode::Client(_) => unreachable!("broker index maps to a broker node"),
+        };
+        for tag in recovered_tags {
+            self.network
+                .schedule_timer(node_id, relocation_timeout, tag);
+        }
+        self.network.metrics_mut().incr("mobility.broker_restart");
+        old
+    }
+
+    /// A durable handle to the write-ahead log backend of broker `index`
+    /// (shares storage with the broker's own backend).
+    pub fn wal_backend(&self, index: usize) -> Box<dyn LogBackend> {
+        self.wal_backends[index].boxed_clone()
+    }
+
     /// Read access to a broker by topology index.
     pub fn broker(&self, index: usize) -> &MobileBroker {
         match self.network.node(self.broker_nodes[index]) {
@@ -227,6 +284,7 @@ mod tests {
             strategy: RoutingStrategyKind::Covering,
             movement_graph: MovementGraph::paper_example(),
             relocation_timeout: SimDuration::from_secs(5),
+            ..BrokerConfig::default()
         }
     }
 

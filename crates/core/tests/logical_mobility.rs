@@ -17,6 +17,7 @@ fn config() -> BrokerConfig {
         strategy: RoutingStrategyKind::Covering,
         movement_graph: MovementGraph::paper_example(),
         relocation_timeout: SimDuration::from_secs(10),
+        ..BrokerConfig::default()
     }
 }
 

@@ -25,6 +25,7 @@ fn config(strategy: RoutingStrategyKind) -> BrokerConfig {
         strategy,
         movement_graph: MovementGraph::paper_example(),
         relocation_timeout: SimDuration::from_secs(30),
+        ..BrokerConfig::default()
     }
 }
 
@@ -180,6 +181,92 @@ fn old_broker_garbage_collects_after_relocation() {
     let new_broker = sys.broker(0); // B1
     assert!(new_broker.core().client(consumer).is_some());
     assert_eq!(new_broker.pending_relocations(), 0);
+}
+
+/// Regression test for the timeout-tag leak: the guard of a relocation that
+/// completes *before* its timeout used to stay in the tag map forever.  The
+/// guard map must be empty on every broker once the relocation has settled
+/// — reclaimed on replay completion, not only when the timer fires.
+#[test]
+fn settled_relocations_leave_no_timeout_guards() {
+    let (mut sys, consumer, producer) = figure5_scenario(
+        RoutingStrategyKind::Covering,
+        SimTime::from_millis(500),
+        40,
+        25,
+        None,
+    );
+    // Run well past the relocation but far short of the 30 s timeout, so a
+    // leaked guard could not have been cleaned up by the timer firing.
+    sys.run_until(SimTime::from_secs(10));
+    let log = sys.client_log(consumer);
+    assert!(log.is_clean());
+    assert_eq!(log.distinct_publisher_seqs(producer).len(), 40);
+    for b in 0..sys.broker_count() {
+        assert_eq!(
+            sys.broker(b).timeout_tag_count(),
+            0,
+            "broker {b} leaked a relocation-timeout guard after the relocation settled"
+        );
+        assert_eq!(sys.broker(b).pending_relocations(), 0);
+    }
+}
+
+/// Repeated relocations do not accumulate guards either (the map is churned
+/// and emptied once per move).
+#[test]
+fn repeated_relocations_do_not_accumulate_timeout_guards() {
+    let topo = Topology::figure5();
+    let mut sys = MobilitySystem::new(
+        &topo,
+        config(RoutingStrategyKind::Covering),
+        DelayModel::constant_millis(5),
+        13,
+    );
+    let consumer = ClientId(1);
+    sys.add_client(
+        consumer,
+        LogicalMobilityMode::LocationDependent,
+        &[5, 0, 2],
+        vec![
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(5),
+                },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(parking_filter()),
+            ),
+            (
+                SimTime::from_millis(400),
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(0),
+                },
+            ),
+            (
+                SimTime::from_millis(900),
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(2),
+                },
+            ),
+            (
+                SimTime::from_millis(1400),
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(5),
+                },
+            ),
+        ],
+    );
+    sys.run_until(SimTime::from_secs(5));
+    for b in 0..sys.broker_count() {
+        assert_eq!(
+            sys.broker(b).timeout_tag_count(),
+            0,
+            "broker {b} accumulated guards across repeated relocations"
+        );
+    }
 }
 
 /// Notifications published *while the client is disconnected* (between the

@@ -84,6 +84,7 @@ fn run(s: &Scenario) -> (MobilitySystem, ClientId, ClientId) {
         strategy: s.strategy,
         movement_graph: MovementGraph::paper_example(),
         relocation_timeout: SimDuration::from_secs(60),
+        ..BrokerConfig::default()
     };
     let mut sys = MobilitySystem::new(&topo, config, DelayModel::constant_millis(5), s.seed);
 
@@ -159,7 +160,10 @@ proptest! {
     }
 
     /// After the dust settles, no broker is left holding virtual-counterpart
-    /// buffers or pending relocations for the roamed client.
+    /// buffers, pending relocations or relocation-timeout guards for the
+    /// roamed client (the guard map is reclaimed on replay completion — the
+    /// 60 s timeout of these scenarios never fires within the 30 s horizon,
+    /// so a leaked tag would be visible here).
     #[test]
     fn relocation_leaves_no_dangling_buffers(s in scenario()) {
         let (sys, _, _) = run(&s);
@@ -168,6 +172,8 @@ proptest! {
                 "broker {} still holds a pending relocation in scenario {:?}", b, s);
             prop_assert_eq!(sys.broker(b).buffered_deliveries(), 0,
                 "broker {} still buffers deliveries in scenario {:?}", b, s);
+            prop_assert_eq!(sys.broker(b).timeout_tag_count(), 0,
+                "broker {} leaked a timeout guard in scenario {:?}", b, s);
         }
     }
 }

@@ -1,0 +1,1278 @@
+//! The transport-agnostic relocation state machine.
+//!
+//! [`RelocationMachine`] is the extracted heart of the paper's Section 4
+//! protocol: virtual counterparts, reactive relocation, junction fetch,
+//! in-order replay merge and garbage collection — previously an ad-hoc trio
+//! of `BTreeMap`s inside the mobility-aware broker.  The machine owns all
+//! per-stream relocation state, appends every durable event to its
+//! [`HandoffLog`] *before* mutating memory, and communicates with the
+//! outside world exclusively through returned [`Effect`]s, so it runs
+//! unchanged under the deterministic simulator, a threaded runtime, or a
+//! unit test driving it directly.
+//!
+//! # Stream life cycle
+//!
+//! Every `(client, filter)` stream moves through four phases:
+//!
+//! ```text
+//!             detach                    ReSubscribe (elsewhere)
+//!   ┌───────┐ (counterpart buffers) ┌─────────┐  Relocate/Fetch   ┌────────────────┐
+//!   │ Local │──────────────────────▶│  Local  │ ────────────────▶ │ AwaitingReplay │
+//!   └───────┘                       │ +buffer │   (route noted)   └───────┬────────┘
+//!       ▲                           └─────────┘                           │ Replay
+//!       │                                                                 ▼
+//!       │          Replay merged / timeout flush                   ┌─────────┐
+//!       └────────────────◀──────── [Flushed] ◀─────────────────────│ Holding │
+//!            (resources GC'd)                                      └─────────┘
+//! ```
+//!
+//! * **Local** — the stream is served normally; at the *old* border broker a
+//!   disconnected stream stays Local with its virtual counterpart buffering
+//!   in place of the client.
+//! * **Holding** — the *new* border broker created a holding buffer on
+//!   re-subscription: fresh deliveries are held back until the replay has
+//!   been merged (or the relocation timeout fires).
+//! * **AwaitingReplay** — a broker recorded the route a replay will travel
+//!   back over (the junction and every broker a `Relocate`/`Fetch` passed).
+//! * **Flushed** — terminal: the relocation settled (replay merged or
+//!   holding flushed by timeout); its resources — including the timeout tag
+//!   guarding it — are reclaimed in the same event, so a settled stream
+//!   reads as Local again.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rebeca_broker::{BrokerCore, ClientId, Delivery, DeliveryBuffer, Envelope, Message, Outgoing};
+use rebeca_filter::Filter;
+use rebeca_sim::{NodeId, SimDuration};
+
+use crate::log::{HandoffLog, HoldingSnapshot, StreamSnapshot, WalRecord};
+
+/// Identity of one relocatable subscription stream.
+pub type StreamKey = (ClientId, Filter);
+
+/// Observable phase of a stream's relocation (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelocationPhase {
+    /// Served normally (possibly buffering into a virtual counterpart).
+    Local,
+    /// Fresh deliveries held back at the new border broker, replay awaited.
+    Holding,
+    /// A replay route is recorded; the replay is expected to pass through.
+    AwaitingReplay,
+    /// The relocation settled; resources are reclaimed immediately, so this
+    /// phase is only observable while the settling event is being handled.
+    Flushed,
+}
+
+/// A side effect requested by the machine, interpreted by the hosting
+/// broker adapter (send over a link, arm a timer, bump a metric).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Send a message to a node.
+    Send(NodeId, Message),
+    /// Arm a timer that fires back into [`RelocationMachine::on_timeout`]
+    /// with the given tag.
+    SetTimer(SimDuration, u64),
+    /// Increment a metrics counter by one.
+    Incr(&'static str),
+    /// Add to a metrics counter.
+    Add(&'static str, u64),
+}
+
+/// Holding-buffer state at the new border broker for one in-flight
+/// relocation.
+#[derive(Debug, Clone, Default)]
+struct HoldingState {
+    /// Envelopes that arrived for the relocating subscription since the
+    /// re-subscription, in arrival order.
+    envelopes: Vec<Envelope>,
+    /// The last sequence number the client reported on re-subscription.
+    last_seq: u64,
+    /// The timer tag guarding this relocation.
+    timeout_tag: u64,
+}
+
+/// All relocation state of one `(client, filter)` stream at this broker.
+#[derive(Debug, Clone, Default)]
+struct StreamState {
+    /// Virtual counterpart buffer (`Some` once the client detached here).
+    counterpart: Option<DeliveryBuffer>,
+    /// The node the (disconnected) client was last reachable at.
+    client_node: Option<NodeId>,
+    /// Sequence watermark at the time the counterpart was opened.
+    next_seq: u64,
+    /// Holding buffer (`Some` at the new border broker mid-relocation).
+    holding: Option<HoldingState>,
+    /// Next hop for replay messages travelling back towards the new border
+    /// broker.
+    replay_route: Option<NodeId>,
+}
+
+impl StreamState {
+    fn is_empty(&self) -> bool {
+        self.counterpart.is_none() && self.holding.is_none() && self.replay_route.is_none()
+    }
+}
+
+/// The relocation protocol engine: explicit transitions over per-stream
+/// states, write-ahead logging, and effect-based output.
+#[derive(Debug, Clone)]
+pub struct RelocationMachine {
+    streams: BTreeMap<StreamKey, StreamState>,
+    /// Timer tags mapping back to the relocation they guard.  Tags are
+    /// removed both when the timer fires *and* when the replay settles the
+    /// relocation first, so the map stays empty across settled relocations.
+    timeout_tags: BTreeMap<u64, StreamKey>,
+    next_timeout_tag: u64,
+    holding_count: usize,
+    /// Routing re-points of committed relocations, kept so checkpoints can
+    /// carry them (recovery must re-install them; see
+    /// [`WalRecord::RelocationCommit`]).  Deduplicated, so growth is
+    /// bounded by distinct `(filter, link)` pairs, not by relocation count.
+    repoints: BTreeSet<(Filter, NodeId)>,
+    /// Restart generation: timeout tags are numbered from
+    /// `generation << 32`, so timers armed by a previous (crashed)
+    /// incarnation — which survive in the simulator's event queue and
+    /// cannot be cancelled — can never alias a tag of this one.
+    generation: u64,
+    relocation_timeout: SimDuration,
+    log: HandoffLog,
+}
+
+impl RelocationMachine {
+    /// Creates a machine with an empty state over the given log.
+    pub fn new(relocation_timeout: SimDuration, log: HandoffLog) -> Self {
+        Self {
+            streams: BTreeMap::new(),
+            timeout_tags: BTreeMap::new(),
+            next_timeout_tag: 0,
+            holding_count: 0,
+            repoints: BTreeSet::new(),
+            generation: 0,
+            relocation_timeout,
+            log,
+        }
+    }
+
+    /// Reconstructs a machine (and the mobility-relevant parts of the
+    /// static broker: disconnected client records, their routing entries and
+    /// sequence watermarks) from the write-ahead log, as a restarted broker
+    /// does.  Returns the machine plus the timer tags of recovered holdings,
+    /// which the host must re-arm with [`RelocationMachine::timeout`]
+    /// externally (a restarted node has no live timer context).
+    pub fn recover(
+        relocation_timeout: SimDuration,
+        log: HandoffLog,
+        core: &mut BrokerCore,
+    ) -> (Self, Vec<u64>) {
+        let recovered = log.recover();
+        let mut machine = Self::new(relocation_timeout, log);
+        // Tags of the previous incarnation (whose timers may still be
+        // queued) all live below the new generation's range.
+        machine.generation = recovered.generation + 1;
+        machine.next_timeout_tag = machine.generation << 32;
+        machine.log.append(&WalRecord::Epoch {
+            generation: machine.generation,
+        });
+
+        for snap in recovered.streams {
+            // Reconstruct the disconnected client record and its
+            // subscription so parked deliveries keep feeding the
+            // counterpart after the restart.
+            if snap.client_node != NodeId(usize::MAX) {
+                core.handle_attach(snap.client, snap.client_node);
+                if let Some(record) = core.client_mut(snap.client) {
+                    record.connected = false;
+                    if !record.subscriptions.contains(&snap.filter) {
+                        record.subscriptions.push(snap.filter.clone());
+                    }
+                }
+                if !core
+                    .engine()
+                    .table()
+                    .contains_entry(&snap.filter, &snap.client_node)
+                {
+                    core.engine_mut()
+                        .table_mut()
+                        .insert(snap.filter.clone(), snap.client_node);
+                }
+            }
+            let next_seq = snap
+                .next_seq
+                .max(snap.buffered.iter().map(|d| d.seq).max().unwrap_or(0) + 1);
+            core.sequences_mut()
+                .fast_forward(snap.client, &snap.filter, next_seq);
+
+            let mut buffer = DeliveryBuffer::new();
+            for delivery in snap.buffered {
+                buffer.push(delivery);
+            }
+            let state = machine
+                .streams
+                .entry((snap.client, snap.filter))
+                .or_default();
+            state.counterpart = Some(buffer);
+            state.client_node = Some(snap.client_node);
+            state.next_seq = snap.next_seq;
+        }
+
+        // Re-point delivery paths of relocations that committed before the
+        // crash, so post-commit traffic keeps flowing to the new location
+        // (kept in the machine as well, so later checkpoints keep carrying
+        // them).
+        for (filter, towards) in recovered.repoints {
+            if !core.engine().table().contains_entry(&filter, &towards) {
+                core.engine_mut()
+                    .table_mut()
+                    .insert(filter.clone(), towards);
+            }
+            machine.repoints.insert((filter, towards));
+        }
+
+        let mut tags = Vec::new();
+        for holding in recovered.holdings {
+            // Reconstruct the attached client and its subscription, so the
+            // replay merge (which looks the client up) and fresh deliveries
+            // work after the restart.  Held envelopes from before the crash
+            // are not persisted (see the crate docs on scope).
+            if holding.client_node != NodeId(usize::MAX) {
+                core.handle_attach(holding.client, holding.client_node);
+                if let Some(record) = core.client_mut(holding.client) {
+                    if !record.subscriptions.contains(&holding.filter) {
+                        record.subscriptions.push(holding.filter.clone());
+                    }
+                }
+                if !core
+                    .engine()
+                    .table()
+                    .contains_entry(&holding.filter, &holding.client_node)
+                {
+                    core.engine_mut()
+                        .table_mut()
+                        .insert(holding.filter.clone(), holding.client_node);
+                }
+            }
+            let tag = machine.next_timeout_tag;
+            machine.next_timeout_tag += 1;
+            let key = (holding.client, holding.filter);
+            machine.timeout_tags.insert(tag, key.clone());
+            let state = machine.streams.entry(key).or_default();
+            state.holding = Some(HoldingState {
+                envelopes: Vec::new(),
+                last_seq: holding.last_seq,
+                timeout_tag: tag,
+            });
+            machine.holding_count += 1;
+            tags.push(tag);
+        }
+        (machine, tags)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The relocation timeout the machine arms for new holdings.
+    pub fn timeout(&self) -> SimDuration {
+        self.relocation_timeout
+    }
+
+    /// The restart generation (0 for a machine that never recovered; each
+    /// recovery increments it and numbers timeout tags from
+    /// `generation << 32`).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Read access to the write-ahead log.
+    pub fn log(&self) -> &HandoffLog {
+        &self.log
+    }
+
+    /// Number of streams with an active virtual counterpart.
+    pub fn counterpart_count(&self) -> usize {
+        self.streams
+            .values()
+            .filter(|s| s.counterpart.is_some())
+            .count()
+    }
+
+    /// Total number of deliveries buffered by virtual counterparts.
+    pub fn buffered_deliveries(&self) -> usize {
+        self.streams
+            .values()
+            .filter_map(|s| s.counterpart.as_ref())
+            .map(DeliveryBuffer::len)
+            .sum()
+    }
+
+    /// Number of relocations currently holding back fresh deliveries.
+    pub fn pending_relocations(&self) -> usize {
+        self.holding_count
+    }
+
+    /// Number of live relocation-timeout guards.  Stays zero across settled
+    /// relocations: the guard of a relocation that completes before its
+    /// timeout is reclaimed on replay completion, not leaked.
+    pub fn timeout_tag_count(&self) -> usize {
+        self.timeout_tags.len()
+    }
+
+    /// The current phase of a stream at this broker.
+    pub fn phase(&self, client: ClientId, filter: &Filter) -> RelocationPhase {
+        match self.streams.get(&(client, filter.clone())) {
+            None => RelocationPhase::Local,
+            Some(s) if s.holding.is_some() => RelocationPhase::Holding,
+            Some(s) if s.replay_route.is_some() => RelocationPhase::AwaitingReplay,
+            Some(s) if s.counterpart.is_some() => RelocationPhase::Local,
+            Some(_) => RelocationPhase::Flushed,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Durable buffering (old border broker side)
+    // ------------------------------------------------------------------
+
+    /// Observes a client disconnect: opens a durable virtual counterpart for
+    /// every subscription the client leaves behind.
+    pub fn on_detach(&mut self, core: &BrokerCore, client: ClientId) {
+        let Some(record) = core.client(client) else {
+            return;
+        };
+        let node = record.node;
+        for filter in record.subscriptions.clone() {
+            let key = (client, filter.clone());
+            let state = self.streams.entry(key).or_default();
+            if state.counterpart.is_none() {
+                let next_seq = core.sequences().peek(client, &filter);
+                self.log.append(&WalRecord::StreamOpen {
+                    client,
+                    client_node: node,
+                    filter,
+                    next_seq,
+                });
+                state.counterpart = Some(DeliveryBuffer::new());
+                state.client_node = Some(node);
+                state.next_seq = next_seq;
+            }
+        }
+        self.maybe_checkpoint();
+    }
+
+    /// Moves parked deliveries (addressed to disconnected local clients)
+    /// into their virtual counterparts, logging each append.
+    pub fn absorb_parked(&mut self, core: &mut BrokerCore) {
+        let parked = core.take_parked();
+        if parked.is_empty() {
+            return;
+        }
+        for delivery in parked {
+            let key = (delivery.subscriber, delivery.filter.clone());
+            let state = self.streams.entry(key).or_default();
+            if state.counterpart.is_none() {
+                // A subscription that was never observed detaching (e.g.
+                // installed while the client was already away): open the
+                // stream on first append.
+                let node = core
+                    .client(delivery.subscriber)
+                    .map(|r| r.node)
+                    .unwrap_or(NodeId(usize::MAX));
+                self.log.append(&WalRecord::StreamOpen {
+                    client: delivery.subscriber,
+                    client_node: node,
+                    filter: delivery.filter.clone(),
+                    next_seq: delivery.seq,
+                });
+                state.counterpart = Some(DeliveryBuffer::new());
+                state.client_node = Some(node);
+                state.next_seq = delivery.seq;
+            }
+            self.log.append(&WalRecord::Buffered {
+                delivery: delivery.clone(),
+            });
+            state
+                .counterpart
+                .as_mut()
+                .expect("counterpart opened above")
+                .push(delivery);
+        }
+        self.maybe_checkpoint();
+    }
+
+    /// Post-processes broker output: deliveries that belong to a relocating
+    /// (held) subscription are retained instead of sent.
+    pub fn intercept_holding(&mut self, out: Outgoing) -> Outgoing {
+        if self.holding_count == 0 {
+            return out;
+        }
+        let mut kept = Vec::with_capacity(out.len());
+        for (node, message) in out {
+            match message {
+                Message::Deliver(delivery) => {
+                    let key = (delivery.subscriber, delivery.filter.clone());
+                    match self.streams.get_mut(&key).and_then(|s| s.holding.as_mut()) {
+                        Some(holding) => holding.envelopes.push(delivery.envelope),
+                        None => kept.push((node, Message::Deliver(delivery))),
+                    }
+                }
+                other => kept.push((node, other)),
+            }
+        }
+        kept
+    }
+
+    // ------------------------------------------------------------------
+    // Transitions
+    // ------------------------------------------------------------------
+
+    /// Handles the re-subscription of a roaming client at this (new) border
+    /// broker: either replays locally (the client returned to the broker
+    /// that holds its counterpart) or enters Holding and floods the
+    /// relocation request.
+    pub fn on_resubscribe(
+        &mut self,
+        core: &mut BrokerCore,
+        client: ClientId,
+        filter: Filter,
+        last_seq: u64,
+        from: NodeId,
+    ) -> Vec<Effect> {
+        let mut out = Vec::new();
+
+        // Did this broker already serve the subscription before the client
+        // disappeared?  Then it is its own "old border broker" and can
+        // replay locally without any relocation round trip.
+        let was_local_subscription = core
+            .client(client)
+            .map(|r| r.subscriptions.contains(&filter))
+            .unwrap_or(false);
+
+        // The client is (re-)attached locally and its subscription installed
+        // so that *new* notifications start flowing towards this broker.
+        // The ordinary Subscribe propagation is replaced by the Relocate
+        // control message below, so the forwards are dropped.
+        core.handle_attach(client, from);
+        drop(core.handle_subscribe(client, filter.clone(), from));
+
+        let key = (client, filter.clone());
+        let counterpart_here = self
+            .streams
+            .get(&key)
+            .map(|s| s.counterpart.is_some())
+            .unwrap_or(false);
+
+        // Case 1: the client reconnected to the very broker that holds its
+        // virtual counterpart — replay locally, no relocation needed.
+        if was_local_subscription || counterpart_here {
+            let buffer = self
+                .streams
+                .get_mut(&key)
+                .and_then(|s| s.counterpart.take())
+                .unwrap_or_default();
+            self.log.append(&WalRecord::RelocationCommit {
+                client,
+                filter: filter.clone(),
+                towards: from,
+            });
+            self.repoints.insert((filter.clone(), from));
+            self.gc_stream(&key);
+            let replay = buffer.replay_after(last_seq);
+            let next_seq = replay
+                .iter()
+                .map(|d| d.seq)
+                .max()
+                .unwrap_or(last_seq)
+                .saturating_add(1);
+            core.sequences_mut().fast_forward(client, &filter, next_seq);
+            out.push(Effect::Add("mobility.replayed", replay.len() as u64));
+            out.extend(deliver_batch(from, replay));
+            self.maybe_checkpoint();
+            return out;
+        }
+
+        // Case 2: genuine relocation — hold fresh notifications, look for
+        // the old path.
+        self.log.append(&WalRecord::RelocationBegin {
+            client,
+            client_node: from,
+            filter: filter.clone(),
+            last_seq,
+        });
+        let tag = self.next_timeout_tag;
+        self.next_timeout_tag += 1;
+        self.timeout_tags.insert(tag, key.clone());
+        let state = self.streams.entry(key).or_default();
+        state.holding = Some(HoldingState {
+            envelopes: Vec::new(),
+            last_seq,
+            timeout_tag: tag,
+        });
+        state.client_node = Some(from);
+        state.replay_route = Some(from);
+        self.holding_count += 1;
+        out.push(Effect::SetTimer(self.relocation_timeout, tag));
+
+        let relocate = Message::Relocate {
+            client,
+            filter,
+            last_seq,
+            new_broker: core.id(),
+        };
+        for link in core.broker_links().to_vec() {
+            out.push(Effect::Incr("mobility.relocate_sent"));
+            out.push(Effect::Send(link, relocate.clone()));
+        }
+        self.maybe_checkpoint();
+        out
+    }
+
+    /// Handles a relocation request travelling through the broker network:
+    /// replays directly when this broker holds the counterpart, otherwise
+    /// performs the junction test, re-points the delivery path and keeps the
+    /// request flooding.
+    pub fn on_relocate(
+        &mut self,
+        core: &mut BrokerCore,
+        client: ClientId,
+        filter: Filter,
+        last_seq: u64,
+        new_broker: NodeId,
+        from: NodeId,
+    ) -> Vec<Effect> {
+        let mut out = Vec::new();
+        let key = (client, filter.clone());
+
+        // Remember the way back towards the new border broker for the
+        // replay.  The latest flood wins: following the `from` pointers of
+        // the current relocation always leads back to the new border broker,
+        // whereas a route left over from an *earlier, settled* relocation of
+        // the same stream may point anywhere (the pre-engine broker kept the
+        // first-ever route, which silently misdirected the replay of a
+        // client returning to a previously visited broker).
+        self.streams.entry(key.clone()).or_default().replay_route = Some(from);
+
+        // Case 1: this broker is the old border broker itself (it holds the
+        // virtual counterpart) — it is its own junction: replay directly
+        // and garbage collect.
+        let counterpart_here = self
+            .streams
+            .get(&key)
+            .map(|s| s.counterpart.is_some())
+            .unwrap_or(false);
+        if counterpart_here
+            || core
+                .client(client)
+                .map(|r| !r.connected && r.subscriptions.contains(&filter))
+                .unwrap_or(false)
+        {
+            out.extend(self.replay_and_collect(core, client, &filter, last_seq, from));
+            return out;
+        }
+
+        // Install the subscription for the new path (without ordinary
+        // propagation — the Relocate message itself propagates).
+        let already_routed_to_new_path = core.engine().table().contains_entry(&filter, &from);
+        if !already_routed_to_new_path {
+            core.engine_mut().table_mut().insert(filter.clone(), from);
+        }
+
+        // Junction test: an identical filter from a *different* link means
+        // the old delivery path runs through this broker (Section 4.1: the
+        // broker compares the re-issued subscription against its routing
+        // table and advertisements).
+        let old_links = core
+            .engine()
+            .table()
+            .destinations_with_identical(&filter, Some(&from));
+        let old_broker_links: Vec<NodeId> = old_links
+            .into_iter()
+            .filter(|l| core.broker_links().contains(l))
+            .collect();
+
+        if let Some(&old_link) = old_broker_links.first() {
+            // This broker looks like the junction: from here on
+            // notifications also flow towards the new path (the entry
+            // inserted above), and the buffered ones are fetched from the
+            // old border broker.  The old entry is *kept*: it may still
+            // serve other subscribers with an identical filter behind the
+            // old path.
+            out.push(Effect::Incr("mobility.junction_detected"));
+            out.push(Effect::Incr("mobility.fetch_sent"));
+            out.push(Effect::Send(
+                old_link,
+                Message::Fetch {
+                    client,
+                    filter: filter.clone(),
+                    last_seq,
+                    junction: core.id(),
+                },
+            ));
+        }
+        // The relocation request keeps propagating like a subscription even
+        // past an apparent junction: with several clients holding identical
+        // filters, the "identical filter from another link" test can point
+        // away from this client's actual old path, so the flooded request
+        // is what guarantees that the old border broker (which holds the
+        // virtual counterpart) is always reached.  Redundant fetches and
+        // replays are idempotent: whoever asks after the counterpart has
+        // been collected gets nothing.
+        for link in core.broker_links_except(from) {
+            out.push(Effect::Incr("mobility.relocate_sent"));
+            out.push(Effect::Send(
+                link,
+                Message::Relocate {
+                    client,
+                    filter: filter.clone(),
+                    last_seq,
+                    new_broker,
+                },
+            ));
+        }
+        out
+    }
+
+    /// Handles a fetch request travelling down the old delivery path towards
+    /// the old border broker.
+    pub fn on_fetch(
+        &mut self,
+        core: &mut BrokerCore,
+        client: ClientId,
+        filter: Filter,
+        last_seq: u64,
+        junction: NodeId,
+        from: NodeId,
+    ) -> Vec<Effect> {
+        let mut out = Vec::new();
+        let key = (client, filter.clone());
+
+        // The replay will travel back the way the fetch came.
+        self.streams.entry(key.clone()).or_default().replay_route = Some(from);
+
+        // Old border broker: replay and clean up.
+        let counterpart_here = self
+            .streams
+            .get(&key)
+            .map(|s| s.counterpart.is_some())
+            .unwrap_or(false);
+        if counterpart_here
+            || core
+                .client(client)
+                .map(|r| r.subscriptions.contains(&filter))
+                .unwrap_or(false)
+        {
+            out.extend(self.replay_and_collect(core, client, &filter, last_seq, from));
+            return out;
+        }
+
+        // Intermediate broker on the old path: point the delivery path
+        // towards the junction as well and forward the fetch towards the
+        // old border broker.
+        let old_links: Vec<NodeId> = core
+            .engine()
+            .table()
+            .destinations_with_identical(&filter, Some(&from))
+            .into_iter()
+            .filter(|l| core.broker_links().contains(l))
+            .collect();
+        if let Some(&next) = old_links.first() {
+            if !core.engine().table().contains_entry(&filter, &from) {
+                core.engine_mut().table_mut().insert(filter.clone(), from);
+            }
+            out.push(Effect::Incr("mobility.fetch_forwarded"));
+            out.push(Effect::Send(
+                next,
+                Message::Fetch {
+                    client,
+                    filter,
+                    last_seq,
+                    junction,
+                },
+            ));
+        } else {
+            out.push(Effect::Incr("mobility.fetch_dead_end"));
+        }
+        out
+    }
+
+    /// Replays the virtual counterpart of `(client, filter)` towards
+    /// `towards` and garbage collects every resource associated with the
+    /// roaming client at this broker.  The commit is logged *before* the
+    /// counterpart is dropped from memory.
+    fn replay_and_collect(
+        &mut self,
+        core: &mut BrokerCore,
+        client: ClientId,
+        filter: &Filter,
+        last_seq: u64,
+        towards: NodeId,
+    ) -> Vec<Effect> {
+        let key = (client, filter.clone());
+        self.log.append(&WalRecord::RelocationCommit {
+            client,
+            filter: filter.clone(),
+            towards,
+        });
+        self.repoints.insert((filter.clone(), towards));
+        let buffer = self
+            .streams
+            .get_mut(&key)
+            .and_then(|s| s.counterpart.take())
+            .unwrap_or_default();
+        let deliveries = buffer.replay_after(last_seq);
+        // The old border broker may itself sit on the path between
+        // producers and the new border broker (or host producers): future
+        // notifications matching the subscription must keep flowing towards
+        // the new location, so the delivery path is re-pointed here as
+        // well.
+        if !core.engine().table().contains_entry(filter, &towards) {
+            core.engine_mut()
+                .table_mut()
+                .insert(filter.clone(), towards);
+        }
+        let mut out = vec![
+            Effect::Incr("mobility.replay_sent"),
+            Effect::Add("mobility.replayed", deliveries.len() as u64),
+        ];
+
+        // Garbage collection: the subscription of the departed client and
+        // its sequence state disappear from this broker; the routing entry
+        // pointing at the (gone) client node is dropped.
+        if let Some(record) = core.client(client).cloned() {
+            core.engine_mut().table_mut().remove(filter, &record.node);
+            core.sequences_mut().remove(client, filter);
+            if let Some(rec) = core.client_mut(client) {
+                rec.subscriptions.retain(|f| f != filter);
+            }
+            let now_empty = core
+                .client(client)
+                .map(|r| r.subscriptions.is_empty())
+                .unwrap_or(false);
+            if now_empty {
+                core.remove_client(client);
+            }
+        }
+        out.push(Effect::Incr("mobility.gc_old_broker"));
+        self.maybe_checkpoint();
+
+        out.push(Effect::Send(
+            towards,
+            Message::Replay {
+                client,
+                filter: filter.clone(),
+                deliveries,
+            },
+        ));
+        out
+    }
+
+    /// Handles a replay travelling back towards the new border broker: the
+    /// new border broker merges replayed and held-back notifications in
+    /// order and releases them to the client as one batch; intermediate
+    /// brokers forward along the recorded route.
+    pub fn on_replay(
+        &mut self,
+        core: &mut BrokerCore,
+        client: ClientId,
+        filter: Filter,
+        deliveries: Vec<Delivery>,
+        _from: NodeId,
+    ) -> Vec<Effect> {
+        let key = (client, filter.clone());
+
+        // New border broker: merge replayed and held-back notifications in
+        // order and release them to the client.
+        let holding = self.streams.get_mut(&key).and_then(|s| s.holding.take());
+        if let Some(holding) = holding {
+            self.holding_count -= 1;
+            // The relocation settled before its timeout: reclaim the guard
+            // so the tag map does not grow with every completed relocation.
+            self.timeout_tags.remove(&holding.timeout_tag);
+            self.log.append(&WalRecord::ReplayAck {
+                client,
+                filter: filter.clone(),
+            });
+
+            let client_node = match core.client(client) {
+                Some(record) => record.node,
+                None => {
+                    // The client detached again in the meantime; buffer
+                    // everything in a fresh counterpart instead.
+                    for delivery in deliveries {
+                        self.log.append(&WalRecord::Buffered {
+                            delivery: delivery.clone(),
+                        });
+                        let state = self.streams.entry(key.clone()).or_default();
+                        state
+                            .counterpart
+                            .get_or_insert_with(DeliveryBuffer::new)
+                            .push(delivery);
+                    }
+                    self.maybe_checkpoint();
+                    return Vec::new();
+                }
+            };
+            let mut out = Vec::new();
+            let mut batch = Vec::new();
+            let mut max_seq = holding.last_seq;
+            // Publications contained in the replay must not be delivered a
+            // second time from the holding buffer (under flooding routing
+            // the same notification reaches both the old and the new border
+            // broker during the hand-over window).
+            let mut replayed_publications = std::collections::BTreeSet::new();
+            for delivery in deliveries {
+                max_seq = max_seq.max(delivery.seq);
+                replayed_publications
+                    .insert((delivery.envelope.publisher, delivery.envelope.publisher_seq));
+                batch.push(delivery);
+            }
+            out.push(Effect::Add("mobility.replay_delivered", batch.len() as u64));
+            // Continue the sequence numbering where the replay ended, then
+            // release the held-back fresh notifications in arrival order.
+            core.sequences_mut()
+                .fast_forward(client, &filter, max_seq.saturating_add(1));
+            for envelope in holding.envelopes {
+                if replayed_publications.contains(&(envelope.publisher, envelope.publisher_seq)) {
+                    out.push(Effect::Incr("mobility.held_duplicate_suppressed"));
+                    continue;
+                }
+                let seq = core.sequences_mut().next(client, &filter);
+                out.push(Effect::Incr("mobility.held_delivered"));
+                batch.push(Delivery {
+                    subscriber: client,
+                    filter: filter.clone(),
+                    seq,
+                    envelope,
+                });
+            }
+            out.extend(deliver_batch(client_node, batch));
+            if let Some(state) = self.streams.get_mut(&key) {
+                state.replay_route = None;
+            }
+            self.gc_stream(&key);
+            self.maybe_checkpoint();
+            return out;
+        }
+
+        // Intermediate broker: forward along the recorded route.
+        let route = self
+            .streams
+            .get_mut(&key)
+            .and_then(|s| s.replay_route.take());
+        if let Some(next) = route {
+            self.gc_stream(&key);
+            vec![
+                Effect::Incr("mobility.replay_forwarded"),
+                Effect::Send(
+                    next,
+                    Message::Replay {
+                        client,
+                        filter,
+                        deliveries,
+                    },
+                ),
+            ]
+        } else {
+            vec![Effect::Incr("mobility.replay_dropped")]
+        }
+    }
+
+    /// Relocation timeout: if the replay never arrived, flush the holding
+    /// buffer so the client at least receives the fresh notifications.
+    pub fn on_timeout(&mut self, core: &mut BrokerCore, tag: u64) -> Vec<Effect> {
+        let Some(key) = self.timeout_tags.remove(&tag) else {
+            return Vec::new();
+        };
+        let holding = self.streams.get_mut(&key).and_then(|s| s.holding.take());
+        let Some(holding) = holding else {
+            self.gc_stream(&key);
+            return Vec::new(); // replay already arrived
+        };
+        self.holding_count -= 1;
+        let (client, filter) = key.clone();
+        self.log.append(&WalRecord::ReplayAck {
+            client,
+            filter: filter.clone(),
+        });
+        let Some(record) = core.client(client) else {
+            self.gc_stream(&key);
+            self.maybe_checkpoint();
+            return Vec::new();
+        };
+        let client_node = record.node;
+        let mut out = vec![Effect::Incr("mobility.relocation_timeout")];
+        core.sequences_mut()
+            .fast_forward(client, &filter, holding.last_seq.saturating_add(1));
+        let mut batch = Vec::new();
+        for envelope in holding.envelopes {
+            let seq = core.sequences_mut().next(client, &filter);
+            batch.push(Delivery {
+                subscriber: client,
+                filter: filter.clone(),
+                seq,
+                envelope,
+            });
+        }
+        out.extend(deliver_batch(client_node, batch));
+        if let Some(state) = self.streams.get_mut(&key) {
+            state.replay_route = None;
+        }
+        self.gc_stream(&key);
+        self.maybe_checkpoint();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Housekeeping
+    // ------------------------------------------------------------------
+
+    /// Drops a stream entry whose relocation state is fully reclaimed
+    /// (the Flushed → Local collapse of the state diagram).
+    fn gc_stream(&mut self, key: &StreamKey) {
+        if self
+            .streams
+            .get(key)
+            .map(StreamState::is_empty)
+            .unwrap_or(false)
+        {
+            self.streams.remove(key);
+        }
+    }
+
+    /// Durable snapshot of the machine (what a checkpoint writes).
+    pub fn snapshot(&self) -> (Vec<StreamSnapshot>, Vec<HoldingSnapshot>) {
+        let mut streams = Vec::new();
+        let mut holdings = Vec::new();
+        for ((client, filter), state) in &self.streams {
+            if let Some(buffer) = &state.counterpart {
+                streams.push(StreamSnapshot {
+                    client: *client,
+                    client_node: state.client_node.unwrap_or(NodeId(usize::MAX)),
+                    filter: filter.clone(),
+                    next_seq: state.next_seq,
+                    buffered: buffer.replay_after(0),
+                });
+            }
+            if let Some(holding) = &state.holding {
+                holdings.push(HoldingSnapshot {
+                    client: *client,
+                    client_node: state.client_node.unwrap_or(NodeId(usize::MAX)),
+                    filter: filter.clone(),
+                    last_seq: holding.last_seq,
+                });
+            }
+        }
+        (streams, holdings)
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        if self.log.wants_checkpoint() {
+            let (streams, holdings) = self.snapshot();
+            let repoints: Vec<(Filter, NodeId)> = self.repoints.iter().cloned().collect();
+            self.log
+                .compact(streams, holdings, repoints, self.generation);
+        }
+    }
+}
+
+/// Packages replay/flush deliveries for the client link: one
+/// [`Message::DeliverBatch`] when there is more than one delivery (so
+/// replays are observed on the wire as a single batch message instead of N
+/// per-notification sends), a plain [`Message::Deliver`] for a single one.
+fn deliver_batch(to: NodeId, mut batch: Vec<Delivery>) -> Vec<Effect> {
+    match batch.len() {
+        0 => Vec::new(),
+        1 => vec![Effect::Send(
+            to,
+            Message::Deliver(batch.pop().expect("one delivery")),
+        )],
+        _ => vec![Effect::Send(to, Message::DeliverBatch(batch))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_broker::{BrokerRole, Envelope};
+    use rebeca_filter::{Constraint, Notification};
+    use rebeca_routing::RoutingStrategyKind;
+
+    fn filter() -> Filter {
+        Filter::new().with("service", Constraint::Eq("parking".into()))
+    }
+
+    fn notification(i: i64) -> Notification {
+        Notification::builder()
+            .attr("service", "parking")
+            .attr("spot", i)
+            .build()
+    }
+
+    fn core() -> BrokerCore {
+        BrokerCore::new(
+            NodeId(0),
+            BrokerRole::Border,
+            vec![NodeId(10), NodeId(11)],
+            RoutingStrategyKind::Covering,
+        )
+    }
+
+    fn machine() -> RelocationMachine {
+        RelocationMachine::new(SimDuration::from_secs(10), HandoffLog::in_memory())
+    }
+
+    fn sends(effects: &[Effect]) -> Vec<(NodeId, Message)> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send(to, m) => Some((*to, m.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Publishes `n` matching notifications through the core (so parked
+    /// deliveries accumulate for disconnected subscribers).
+    fn publish(core: &mut BrokerCore, n: u64) {
+        core.handle_attach(ClientId(9), NodeId(101));
+        for i in 0..n {
+            core.handle_publish(ClientId(9), notification(i as i64), NodeId(101));
+        }
+    }
+
+    #[test]
+    fn detach_then_parked_deliveries_build_a_durable_counterpart() {
+        let mut core = core();
+        let mut m = machine();
+        core.handle_attach(ClientId(1), NodeId(100));
+        core.handle_subscribe(ClientId(1), filter(), NodeId(100));
+        core.handle_detach(ClientId(1));
+        m.on_detach(&core, ClientId(1));
+        assert_eq!(m.counterpart_count(), 1);
+        assert_eq!(m.phase(ClientId(1), &filter()), RelocationPhase::Local);
+
+        publish(&mut core, 3);
+        m.absorb_parked(&mut core);
+        assert_eq!(m.buffered_deliveries(), 3);
+
+        // The WAL alone reconstructs the same counterpart.
+        let recovered = m.log().recover();
+        assert_eq!(recovered.streams.len(), 1);
+        assert_eq!(recovered.streams[0].buffered.len(), 3);
+        assert_eq!(recovered.streams[0].client_node, NodeId(100));
+    }
+
+    #[test]
+    fn resubscribe_enters_holding_and_floods_relocate() {
+        let mut core = core();
+        let mut m = machine();
+        let effects = m.on_resubscribe(&mut core, ClientId(1), filter(), 5, NodeId(100));
+        assert_eq!(m.phase(ClientId(1), &filter()), RelocationPhase::Holding);
+        assert_eq!(m.pending_relocations(), 1);
+        assert_eq!(m.timeout_tag_count(), 1);
+        let sent = sends(&effects);
+        assert_eq!(sent.len(), 2, "one Relocate per broker link");
+        assert!(sent
+            .iter()
+            .all(|(_, msg)| matches!(msg, Message::Relocate { last_seq: 5, .. })));
+        assert!(effects.iter().any(|e| matches!(e, Effect::SetTimer(_, _))));
+    }
+
+    #[test]
+    fn replay_merge_settles_holding_and_reclaims_the_timeout_tag() {
+        let mut core = core();
+        let mut m = machine();
+        m.on_resubscribe(&mut core, ClientId(1), filter(), 0, NodeId(100));
+        assert_eq!(m.timeout_tag_count(), 1);
+
+        let deliveries: Vec<Delivery> = (1..=3)
+            .map(|seq| Delivery {
+                subscriber: ClientId(1),
+                filter: filter(),
+                seq,
+                envelope: Envelope {
+                    publisher: ClientId(9),
+                    publisher_seq: seq,
+                    notification: notification(seq as i64),
+                },
+            })
+            .collect();
+        let effects = m.on_replay(&mut core, ClientId(1), filter(), deliveries, NodeId(10));
+        // Settled: no pending relocation, and crucially no leaked guard.
+        assert_eq!(m.pending_relocations(), 0);
+        assert_eq!(m.timeout_tag_count(), 0, "tag must be reclaimed on merge");
+        assert_eq!(m.phase(ClientId(1), &filter()), RelocationPhase::Local);
+        // The replay reaches the client as one batch message.
+        let sent = sends(&effects);
+        assert_eq!(sent.len(), 1);
+        assert!(
+            matches!(&sent[0].1, Message::DeliverBatch(ds) if ds.len() == 3),
+            "replay must travel as a batch, got {:?}",
+            sent[0].1
+        );
+    }
+
+    #[test]
+    fn timeout_flushes_holding_and_late_replay_is_dropped() {
+        let mut core = core();
+        let mut m = machine();
+        let effects = m.on_resubscribe(&mut core, ClientId(1), filter(), 0, NodeId(100));
+        let tag = effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::SetTimer(_, tag) => Some(*tag),
+                _ => None,
+            })
+            .expect("timer armed");
+        let held = Envelope {
+            publisher: ClientId(9),
+            publisher_seq: 1,
+            notification: notification(1),
+        };
+        let kept = m.intercept_holding(vec![(
+            NodeId(100),
+            Message::Deliver(Delivery {
+                subscriber: ClientId(1),
+                filter: filter(),
+                seq: 1,
+                envelope: held,
+            }),
+        )]);
+        assert!(kept.is_empty(), "held deliveries are retained");
+
+        let effects = m.on_timeout(&mut core, tag);
+        assert_eq!(m.pending_relocations(), 0);
+        assert_eq!(m.timeout_tag_count(), 0);
+        let sent = sends(&effects);
+        assert_eq!(sent.len(), 1, "the held envelope is flushed to the client");
+        // A replay arriving after the flush is dropped, not re-held.
+        let effects = m.on_replay(&mut core, ClientId(1), filter(), Vec::new(), NodeId(10));
+        assert!(sends(&effects).is_empty());
+        assert!(effects.contains(&Effect::Incr("mobility.replay_dropped")));
+    }
+
+    #[test]
+    fn recover_rebuilds_counterparts_and_core_state() {
+        let backend = crate::log::MemoryBackend::new();
+        let mut core1 = core();
+        let mut m = RelocationMachine::new(
+            SimDuration::from_secs(10),
+            HandoffLog::with_backend(Box::new(backend.clone())),
+        );
+        core1.handle_attach(ClientId(1), NodeId(100));
+        core1.handle_subscribe(ClientId(1), filter(), NodeId(100));
+        core1.handle_detach(ClientId(1));
+        m.on_detach(&core1, ClientId(1));
+        publish(&mut core1, 4);
+        m.absorb_parked(&mut core1);
+
+        // "Crash": fresh core + machine recovered from the surviving WAL.
+        let mut core2 = core();
+        let (recovered, tags) = RelocationMachine::recover(
+            SimDuration::from_secs(10),
+            HandoffLog::with_backend(Box::new(backend)),
+            &mut core2,
+        );
+        assert!(tags.is_empty(), "no holdings were open");
+        assert_eq!(recovered.counterpart_count(), 1);
+        assert_eq!(recovered.buffered_deliveries(), 4);
+        let record = core2.client(ClientId(1)).expect("client reconstructed");
+        assert!(!record.connected);
+        assert_eq!(record.node, NodeId(100));
+        assert!(record.subscriptions.contains(&filter()));
+        // The sequence watermark continues where the crashed broker left.
+        assert_eq!(core2.sequences().peek(ClientId(1), &filter()), 5);
+    }
+
+    #[test]
+    fn checkpoints_carry_commit_repoints_and_recovery_bumps_the_generation() {
+        let backend = crate::log::MemoryBackend::new();
+        let mut core1 = core();
+        let mut m = RelocationMachine::new(
+            SimDuration::from_secs(10),
+            HandoffLog::with_backend(Box::new(backend.clone())).checkpoint_every(2),
+        );
+        // A full relocation commits at this (old border) broker and
+        // re-points the delivery path towards link 10.
+        core1.handle_attach(ClientId(1), NodeId(100));
+        core1.handle_subscribe(ClientId(1), filter(), NodeId(100));
+        core1.handle_detach(ClientId(1));
+        m.on_detach(&core1, ClientId(1));
+        m.on_relocate(&mut core1, ClientId(1), filter(), 0, NodeId(10), NodeId(10));
+        // Enough later activity (a second detaching client) to trigger a
+        // compaction checkpoint *after* the commit record.
+        core1.handle_attach(ClientId(2), NodeId(102));
+        core1.handle_subscribe(ClientId(2), filter(), NodeId(102));
+        core1.handle_detach(ClientId(2));
+        m.on_detach(&core1, ClientId(2));
+        publish(&mut core1, 3);
+        m.absorb_parked(&mut core1);
+        let recovered_raw = m.log().recover();
+        assert!(
+            recovered_raw.records_read < 5,
+            "compaction must have collapsed the history (read {} records)",
+            recovered_raw.records_read
+        );
+        assert!(
+            recovered_raw.repoints.contains(&(filter(), NodeId(10))),
+            "the checkpoint must carry the commit re-point, got {:?}",
+            recovered_raw.repoints
+        );
+
+        // First restart: the re-point is re-installed and the generation
+        // moves past the crashed incarnation's tag range.
+        let mut core2 = core();
+        let (m2, _) = RelocationMachine::recover(
+            SimDuration::from_secs(10),
+            HandoffLog::with_backend(Box::new(backend.clone())).checkpoint_every(2),
+            &mut core2,
+        );
+        assert!(core2
+            .engine()
+            .table()
+            .contains_entry(&filter(), &NodeId(10)));
+        assert_eq!(m2.generation(), 1);
+
+        // Second restart from the same log: strictly newer generation, so
+        // tags can never alias across incarnations.
+        let mut core3 = core();
+        let (m3, _) = RelocationMachine::recover(
+            SimDuration::from_secs(10),
+            HandoffLog::with_backend(Box::new(backend)).checkpoint_every(2),
+            &mut core3,
+        );
+        assert_eq!(m3.generation(), 2);
+        let effects = {
+            let mut m3 = m3;
+            m3.on_resubscribe(&mut core3, ClientId(9), filter(), 0, NodeId(100))
+        };
+        let tag = effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::SetTimer(_, tag) => Some(*tag),
+                _ => None,
+            })
+            .expect("timer armed");
+        assert_eq!(tag >> 32, 2, "tags are namespaced by generation");
+    }
+
+    #[test]
+    fn checkpoint_compaction_keeps_recovery_equivalent() {
+        let backend = crate::log::MemoryBackend::new();
+        let mut core1 = core();
+        let mut m = RelocationMachine::new(
+            SimDuration::from_secs(10),
+            HandoffLog::with_backend(Box::new(backend.clone())).checkpoint_every(4),
+        );
+        core1.handle_attach(ClientId(1), NodeId(100));
+        core1.handle_subscribe(ClientId(1), filter(), NodeId(100));
+        core1.handle_detach(ClientId(1));
+        m.on_detach(&core1, ClientId(1));
+        publish(&mut core1, 10);
+        m.absorb_parked(&mut core1);
+
+        let recovered = HandoffLog::with_backend(Box::new(backend.clone())).recover();
+        assert!(recovered.records_read < 11, "the log was compacted");
+        assert_eq!(recovered.streams.len(), 1);
+        assert_eq!(recovered.streams[0].buffered.len(), 10);
+    }
+}

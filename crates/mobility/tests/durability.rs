@@ -1,0 +1,584 @@
+//! Crash/restart durability of the relocation protocol.
+//!
+//! The headline property: a broker killed at an **arbitrary point
+//! mid-relocation** and restarted from its write-ahead handoff log yields
+//! per-client delivery sequences identical to a run without the crash — the
+//! WAL makes the crash invisible to consumers.  Plus: replays are observed
+//! on the wire as batch messages, and a corrupted WAL recovers to the last
+//! valid record instead of panicking.
+
+use proptest::prelude::*;
+
+use rebeca_broker::{ClientId, Delivery};
+use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem};
+use rebeca_filter::{Constraint, Filter, Notification};
+use rebeca_location::MovementGraph;
+use rebeca_mobility::HandoffLog;
+use rebeca_routing::RoutingStrategyKind;
+use rebeca_sim::{DelayModel, SimDuration, SimTime, Topology};
+
+fn filter() -> Filter {
+    Filter::new().with("service", Constraint::Eq("telemetry".into()))
+}
+
+fn sample(i: u64) -> Notification {
+    Notification::builder()
+        .attr("service", "telemetry")
+        .attr("reading", i as i64)
+        .build()
+}
+
+/// Parameters of one randomized crash scenario on the Figure 5 topology:
+/// the consumer starts at B6 (index 5, the broker that will crash), moves
+/// to B1 (index 0) at `move_at_ms`, and the old border broker is killed and
+/// restarted from its WAL at `move_at_ms + crash_offset_ms` — inside the
+/// relocation window.
+#[derive(Debug, Clone)]
+struct CrashScenario {
+    seed: u64,
+    move_at_ms: u64,
+    crash_offset_ms: u64,
+    publications: u64,
+    publish_interval_ms: u64,
+    wal_checkpoint_every: usize,
+    strategy: RoutingStrategyKind,
+    /// Crash the broker a second time, 10 ms after the first restart.
+    double_crash: bool,
+}
+
+fn scenario() -> impl Strategy<Value = CrashScenario> {
+    (
+        any::<u64>(),
+        200u64..800,
+        15u64..400,
+        8u64..40,
+        prop_oneof![
+            Just(RoutingStrategyKind::Simple),
+            Just(RoutingStrategyKind::Covering),
+            Just(RoutingStrategyKind::Merging),
+        ],
+        any::<bool>(),
+    )
+        .prop_map(
+            |(seed, move_at_ms, crash_offset_ms, publications, strategy, double_crash)| {
+                CrashScenario {
+                    seed,
+                    move_at_ms,
+                    crash_offset_ms,
+                    publications,
+                    publish_interval_ms: 20,
+                    wal_checkpoint_every: 8,
+                    strategy,
+                    double_crash,
+                }
+            },
+        )
+}
+
+const CONSUMER: ClientId = ClientId(1);
+const PRODUCER: ClientId = ClientId(2);
+const OLD_BROKER: usize = 5; // B6 in the paper's Figure 5
+const NEW_BROKER: usize = 0; // B1
+
+fn build(s: &CrashScenario) -> MobilitySystem {
+    let config = BrokerConfig {
+        strategy: s.strategy,
+        movement_graph: MovementGraph::paper_example(),
+        relocation_timeout: SimDuration::from_secs(60),
+        // Usually a small checkpoint interval, so compaction happens
+        // mid-scenario too.
+        wal_checkpoint_every: s.wal_checkpoint_every,
+        ..BrokerConfig::default()
+    };
+    let mut sys = MobilitySystem::new(
+        &Topology::figure5(),
+        config,
+        DelayModel::constant_millis(5),
+        s.seed,
+    );
+    sys.add_client(
+        CONSUMER,
+        LogicalMobilityMode::LocationDependent,
+        &[OLD_BROKER, NEW_BROKER],
+        vec![
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(OLD_BROKER),
+                },
+            ),
+            (SimTime::from_millis(2), ClientAction::Subscribe(filter())),
+            (
+                SimTime::from_millis(s.move_at_ms),
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(NEW_BROKER),
+                },
+            ),
+        ],
+    );
+    let mut script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: sys.broker_node(7),
+        },
+    )];
+    for i in 0..s.publications {
+        script.push((
+            SimTime::from_millis(50 + i * s.publish_interval_ms),
+            ClientAction::Publish(sample(i)),
+        ));
+    }
+    sys.add_client(
+        PRODUCER,
+        LogicalMobilityMode::LocationDependent,
+        &[7],
+        script,
+    );
+    sys
+}
+
+/// Runs a scenario, optionally crash-restarting the old border broker at
+/// the scripted times, and returns the consumer's delivered sequence.
+fn run(s: &CrashScenario, crash: bool) -> Vec<Delivery> {
+    let mut sys = build(s);
+    let crash_at = SimTime::from_millis(s.move_at_ms + s.crash_offset_ms);
+    // Both runs pass the same run_until boundaries so the event pump is
+    // identical; only the crash differs.
+    sys.run_until(crash_at);
+    if crash {
+        sys.crash_and_restart_broker(OLD_BROKER);
+    }
+    let second = SimTime::from_millis(s.move_at_ms + s.crash_offset_ms + 10);
+    sys.run_until(second);
+    if crash && s.double_crash {
+        sys.crash_and_restart_broker(OLD_BROKER);
+    }
+    sys.run_until(SimTime::from_secs(30));
+    sys.client_log(CONSUMER).deliveries().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 18, ..ProptestConfig::default() })]
+
+    /// A broker restarted from its handoff log mid-relocation is invisible
+    /// to consumers: the delivered sequence is byte-identical to the
+    /// no-crash oracle (same deliveries, same order, same sequence
+    /// numbers), for every crash instant, move time, publication count and
+    /// routing strategy — even when the broker crashes twice.
+    #[test]
+    fn restart_from_wal_matches_the_no_crash_oracle(s in scenario()) {
+        let oracle = run(&s, false);
+        let crashed = run(&s, true);
+        prop_assert_eq!(
+            &crashed,
+            &oracle,
+            "scenario {:?}: delivery sequence diverged after crash/restart",
+            s
+        );
+        // Sanity: the oracle itself is a complete, clean stream.
+        prop_assert_eq!(oracle.len() as u64, s.publications, "oracle incomplete for {:?}", s);
+    }
+}
+
+/// Deterministic spot check (fast, runs even when the proptest budget is
+/// tight): crash right in the middle of the buffering window and compare.
+#[test]
+fn mid_buffering_crash_is_invisible() {
+    let s = CrashScenario {
+        seed: 7,
+        move_at_ms: 400,
+        crash_offset_ms: 30,
+        publications: 25,
+        publish_interval_ms: 20,
+        wal_checkpoint_every: 8,
+        strategy: RoutingStrategyKind::Covering,
+        double_crash: false,
+    };
+    let oracle = run(&s, false);
+    let crashed = run(&s, true);
+    assert_eq!(crashed, oracle);
+    assert_eq!(oracle.len(), 25);
+}
+
+/// The restarted broker really was rebuilt from the log: immediately after
+/// the crash it holds the same buffered deliveries the crashed instance
+/// had.
+#[test]
+fn restart_reconstructs_counterparts_exactly() {
+    let s = CrashScenario {
+        seed: 11,
+        move_at_ms: 300,
+        crash_offset_ms: 20,
+        publications: 60,
+        publish_interval_ms: 5,
+        wal_checkpoint_every: 8,
+        strategy: RoutingStrategyKind::Covering,
+        double_crash: false,
+    };
+    let mut sys = build(&s);
+    sys.run_until(SimTime::from_millis(s.move_at_ms + s.crash_offset_ms));
+    let crashed = sys.crash_and_restart_broker(OLD_BROKER);
+    let restarted = sys.broker(OLD_BROKER);
+    assert_eq!(
+        restarted.buffered_deliveries(),
+        crashed.buffered_deliveries(),
+        "recovered counterpart must hold exactly the crashed broker's buffer"
+    );
+    assert_eq!(restarted.counterpart_count(), crashed.counterpart_count());
+    assert!(
+        crashed.buffered_deliveries() > 0,
+        "the crash window must actually cover buffered deliveries for this seed"
+    );
+    assert_eq!(
+        sys.metrics().counter("mobility.broker_restart"),
+        1,
+        "the restart is accounted"
+    );
+}
+
+/// Counterpart replays travel the wire as `DeliverBatch`/`Replay` batch
+/// messages, not as N per-notification sends: with many deliveries
+/// buffered during the hand-over, at least one batch delivery message is
+/// observed and the per-delivery replay fan-out of the pre-engine broker
+/// (one `Deliver` per replayed notification) is gone.
+#[test]
+fn replays_travel_as_batches_on_the_wire() {
+    let s = CrashScenario {
+        seed: 3,
+        move_at_ms: 300,
+        crash_offset_ms: 30,
+        publications: 60,
+        publish_interval_ms: 5,
+        wal_checkpoint_every: 8,
+        strategy: RoutingStrategyKind::Covering,
+        double_crash: false,
+    };
+    let mut sys = build(&s);
+    sys.run_until(SimTime::from_secs(30));
+    let log = sys.client_log(CONSUMER);
+    assert!(log.is_clean(), "violations: {:?}", log.violations());
+    assert_eq!(log.len() as u64, s.publications);
+
+    let replayed = sys.metrics().counter("mobility.replay_delivered");
+    assert!(
+        replayed >= 2,
+        "scenario must replay at least two buffered deliveries, got {replayed}"
+    );
+    let batch_sends = sys.metrics().counter("broker.tx.deliver_batch");
+    assert!(
+        batch_sends >= 1,
+        "the merged replay must leave the new border broker as one batch message"
+    );
+    // The replayed deliveries did not fan out as single Deliver messages:
+    // every single Deliver on the wire is accounted for by live (non-replay)
+    // traffic, so their count stays below the total delivered.
+    let single_delivers = sys.metrics().counter("broker.tx.deliver");
+    assert!(
+        single_delivers + replayed <= sys.metrics().counter("client.delivered") + 1,
+        "replayed deliveries must not also travel as per-notification sends \
+         (single={single_delivers}, replayed={replayed})"
+    );
+}
+
+/// WAL-corruption smoke test: truncating the log or flipping bytes makes
+/// recovery stop at the last valid record — never panic — and a broker
+/// restarted from the damaged log still leaves the system running.
+#[test]
+fn corrupted_wal_recovers_to_the_last_valid_record() {
+    let s = CrashScenario {
+        seed: 19,
+        move_at_ms: 300,
+        crash_offset_ms: 60,
+        publications: 60,
+        publish_interval_ms: 5,
+        // No mid-scenario compaction: the corruption drills below need a
+        // multi-record history to damage.
+        wal_checkpoint_every: 4096,
+        strategy: RoutingStrategyKind::Covering,
+        double_crash: false,
+    };
+    let mut sys = build(&s);
+    sys.run_until(SimTime::from_millis(s.move_at_ms + s.crash_offset_ms));
+
+    let backend = sys.wal_backend(OLD_BROKER);
+    let intact = HandoffLog::with_backend(backend.boxed_clone()).recover();
+    assert!(!intact.truncated);
+    assert!(intact.records_read >= 2, "scenario produced records");
+    let bytes = backend.read_all().expect("wal readable");
+
+    // (a) Torn tail: drop the last few bytes.
+    let torn = bytes[..bytes.len() - 3].to_vec();
+    // (b) Flipped byte inside the payload of the middle record.
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0xA5;
+    // (c) Garbage length prefix appended after valid records.
+    let mut garbage = bytes.clone();
+    garbage.extend_from_slice(&[0xFF; 8]);
+
+    for (name, corrupted) in [("torn", torn), ("flipped", flipped), ("garbage", garbage)] {
+        let mut damaged = backend.boxed_clone();
+        damaged.reset(&corrupted).expect("reset");
+        let recovered = HandoffLog::with_backend(damaged).recover();
+        assert!(
+            recovered.truncated,
+            "{name}: corruption must be detected, not silently accepted"
+        );
+        assert!(
+            recovered.records_read <= intact.records_read,
+            "{name}: recovery must stop at or before the intact record count"
+        );
+        assert!(
+            recovered.records_read >= 1,
+            "{name}: the valid prefix must survive"
+        );
+    }
+
+    // Restarting from the torn log must not panic and the system keeps
+    // running to completion (deliveries may be fewer — durability degrades
+    // to the valid prefix — but nothing crashes).
+    let mut damaged = backend.boxed_clone();
+    damaged.reset(&bytes[..bytes.len() - 3]).expect("reset");
+    sys.crash_and_restart_broker(OLD_BROKER);
+    sys.run_until(SimTime::from_secs(30));
+    assert!(sys.client_log(CONSUMER).is_clean());
+}
+
+/// The drain queue and the WAL compose: with batch draining enabled, a
+/// crash after the relocation committed (in a quiescent window, so the
+/// volatile drain queue is empty — queued-but-unrouted envelopes are
+/// explicitly outside the durability contract) still satisfies the oracle
+/// equality.  The consumer moves at 200 ms mid-stream, the relocation
+/// settles around 260 ms, the first publication wave drains by ~350 ms, the
+/// broker crashes at 450 ms, and a second wave from 600 ms exercises the
+/// restarted broker.
+#[test]
+fn crash_with_batch_draining_enabled_matches_oracle() {
+    let run_drained = |crash: bool| -> Vec<Delivery> {
+        let config = BrokerConfig {
+            strategy: RoutingStrategyKind::Covering,
+            movement_graph: MovementGraph::paper_example(),
+            relocation_timeout: SimDuration::from_secs(60),
+            drain_interval: Some(SimDuration::from_millis(8)),
+            wal_checkpoint_every: 8,
+            ..BrokerConfig::default()
+        };
+        let mut sys = MobilitySystem::new(
+            &Topology::figure5(),
+            config,
+            DelayModel::constant_millis(5),
+            23,
+        );
+        sys.add_client(
+            CONSUMER,
+            LogicalMobilityMode::LocationDependent,
+            &[OLD_BROKER, NEW_BROKER],
+            vec![
+                (
+                    SimTime::from_millis(1),
+                    ClientAction::Attach {
+                        broker: sys.broker_node(OLD_BROKER),
+                    },
+                ),
+                (SimTime::from_millis(2), ClientAction::Subscribe(filter())),
+                (
+                    SimTime::from_millis(200),
+                    ClientAction::MoveTo {
+                        broker: sys.broker_node(NEW_BROKER),
+                    },
+                ),
+            ],
+        );
+        let mut script = vec![(
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: sys.broker_node(7),
+            },
+        )];
+        for i in 0..12u64 {
+            script.push((
+                SimTime::from_millis(50 + i * 20),
+                ClientAction::Publish(sample(i)),
+            ));
+        }
+        for i in 12..25u64 {
+            script.push((
+                SimTime::from_millis(600 + (i - 12) * 20),
+                ClientAction::Publish(sample(i)),
+            ));
+        }
+        sys.add_client(
+            PRODUCER,
+            LogicalMobilityMode::LocationDependent,
+            &[7],
+            script,
+        );
+        sys.run_until(SimTime::from_millis(450));
+        if crash {
+            sys.crash_and_restart_broker(OLD_BROKER);
+        }
+        sys.run_until(SimTime::from_secs(30));
+        sys.client_log(CONSUMER).deliveries().to_vec()
+    };
+    let oracle = run_drained(false);
+    let crashed = run_drained(true);
+    assert_eq!(crashed, oracle);
+    assert_eq!(oracle.len(), 25);
+}
+
+/// A crash of the *new* border broker mid-relocation (before any fresh
+/// envelope was held back): `RelocationBegin` carries the client's node, so
+/// recovery re-attaches the client, re-arms the timeout and the replay
+/// still merges — the delivered sequence matches the no-crash oracle.
+#[test]
+fn new_border_broker_crash_mid_holding_matches_oracle() {
+    let run_new_border = |crash: bool| -> Vec<Delivery> {
+        let s = CrashScenario {
+            seed: 31,
+            move_at_ms: 300,
+            crash_offset_ms: 0, // unused; we crash the NEW broker below
+            publications: 60,
+            publish_interval_ms: 5,
+            wal_checkpoint_every: 8,
+            strategy: RoutingStrategyKind::Covering,
+            double_crash: false,
+        };
+        let mut sys = build(&s);
+        // Holding opens at ~305 ms; the earliest held envelope can reach
+        // B1 at ~335 ms (the junction must see the Relocate first), so a
+        // crash at 312 ms hits an open, still-empty holding.
+        sys.run_until(SimTime::from_millis(312));
+        if crash {
+            sys.crash_and_restart_broker(NEW_BROKER);
+        }
+        sys.run_until(SimTime::from_secs(30));
+        sys.client_log(CONSUMER).deliveries().to_vec()
+    };
+    let oracle = run_new_border(false);
+    let crashed = run_new_border(true);
+    assert_eq!(crashed, oracle);
+    assert_eq!(oracle.len(), 60);
+}
+
+/// Regression test for restart timeout-tag aliasing: timers armed by a
+/// crashed incarnation survive in the event queue and cannot be
+/// cancelled.  Recovery numbers its tags from a fresh generation, so a
+/// stale timer of an *earlier, settled* relocation firing while a
+/// *recovered* holding is open must be a no-op — not flush the holding
+/// and drop its replay.
+#[test]
+fn stale_timers_from_before_the_crash_cannot_flush_recovered_holdings() {
+    let run_triple_move = |crash: bool| -> Vec<Delivery> {
+        let config = BrokerConfig {
+            strategy: RoutingStrategyKind::Covering,
+            movement_graph: MovementGraph::paper_example(),
+            // Short timeout: the guard armed by relocation 1 (at ~205 ms)
+            // fires at ~905 ms — after the crash at 885 ms, while the
+            // recovered holding of relocation 3 is still waiting for its
+            // replay (merge at ~925 ms).  Tag aliasing would flush it.
+            relocation_timeout: SimDuration::from_millis(700),
+            wal_checkpoint_every: 8,
+            ..BrokerConfig::default()
+        };
+        let mut sys = MobilitySystem::new(
+            &Topology::figure5(),
+            config,
+            DelayModel::constant_millis(5),
+            37,
+        );
+        sys.add_client(
+            CONSUMER,
+            LogicalMobilityMode::LocationDependent,
+            &[OLD_BROKER, NEW_BROKER],
+            vec![
+                (
+                    SimTime::from_millis(1),
+                    ClientAction::Attach {
+                        broker: sys.broker_node(OLD_BROKER),
+                    },
+                ),
+                (SimTime::from_millis(2), ClientAction::Subscribe(filter())),
+                // Move 1 arms guard tag 0 at broker B1 (fires ~905 ms).
+                (
+                    SimTime::from_millis(200),
+                    ClientAction::MoveTo {
+                        broker: sys.broker_node(NEW_BROKER),
+                    },
+                ),
+                // Move 2 returns to B6.
+                (
+                    SimTime::from_millis(500),
+                    ClientAction::MoveTo {
+                        broker: sys.broker_node(OLD_BROKER),
+                    },
+                ),
+                // Move 3 back to B1: a fresh holding at the broker about to
+                // crash.
+                (
+                    SimTime::from_millis(870),
+                    ClientAction::MoveTo {
+                        broker: sys.broker_node(NEW_BROKER),
+                    },
+                ),
+            ],
+        );
+        let mut script = vec![(
+            SimTime::from_millis(1),
+            ClientAction::Attach {
+                broker: sys.broker_node(7),
+            },
+        )];
+        // Three carefully phased publication waves around move 3 (870 ms):
+        // the steady wave ends at 845 ms so nothing sits in the one-pub
+        // in-flight window at the move instant (which would add the benign
+        // bounded hand-over duplicate and obscure this regression); a tail
+        // burst at 865–880 ms arrives at B6 only after the detach (filling
+        // the counterpart the replay must carry) and at B1 only after the
+        // crash (held envelopes are volatile); the final wave from 1000 ms
+        // exercises live delivery through the restarted broker.
+        for i in 0..159u64 {
+            script.push((
+                SimTime::from_millis(50 + i * 5),
+                ClientAction::Publish(sample(i)),
+            ));
+        }
+        for i in 159..163u64 {
+            script.push((
+                SimTime::from_millis(865 + (i - 159) * 5),
+                ClientAction::Publish(sample(i)),
+            ));
+        }
+        for i in 163..203u64 {
+            script.push((
+                SimTime::from_millis(1000 + (i - 163) * 5),
+                ClientAction::Publish(sample(i)),
+            ));
+        }
+        sys.add_client(
+            PRODUCER,
+            LogicalMobilityMode::LocationDependent,
+            &[7],
+            script,
+        );
+
+        sys.run_until(SimTime::from_millis(885));
+        if crash {
+            // Crash B1 while its third-relocation holding is open and the
+            // stale move-1 guard timer is still queued against it.
+            sys.crash_and_restart_broker(NEW_BROKER);
+        }
+        sys.run_until(SimTime::from_secs(30));
+        sys.client_log(CONSUMER).deliveries().to_vec()
+    };
+    let oracle = run_triple_move(false);
+    let crashed = run_triple_move(true);
+    assert_eq!(
+        crashed, oracle,
+        "a stale pre-crash timer must not flush a recovered holding"
+    );
+    assert_eq!(
+        oracle.len(),
+        203,
+        "oracle stream complete across three moves"
+    );
+}

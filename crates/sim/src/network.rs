@@ -254,6 +254,22 @@ impl<N: Node> Network<N> {
         self.nodes[id.0].as_mut().expect("node is busy")
     }
 
+    /// Replaces a node's behaviour/state in place, returning the old node —
+    /// the crash/restart hook: links, queued events and in-flight messages
+    /// addressed to the node are untouched, only the node state changes
+    /// (e.g. a broker restarted from its write-ahead log).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is unknown or the node is currently handling an
+    /// event (never the case between `run_*` calls).
+    pub fn replace_node(&mut self, id: NodeId, node: N) -> N {
+        assert!(id.0 < self.nodes.len(), "unknown node {id}");
+        self.nodes[id.0]
+            .replace(node)
+            .expect("node is busy (re-entrant replace?)")
+    }
+
     /// Injects a message from "outside the system" (e.g. an application
     /// driving a client) to be delivered to `to` at the current time.
     pub fn inject(&mut self, to: NodeId, message: N::Message) {

@@ -37,6 +37,7 @@ fn main() {
         strategy: RoutingStrategyKind::Covering,
         movement_graph: city.clone(),
         relocation_timeout: SimDuration::from_secs(10),
+        ..BrokerConfig::default()
     };
     let mut system = MobilitySystem::new(
         &Topology::line(4),

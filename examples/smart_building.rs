@@ -54,6 +54,7 @@ fn main() {
         strategy: RoutingStrategyKind::Merging,
         movement_graph: graph.clone(),
         relocation_timeout: SimDuration::from_secs(10),
+        ..BrokerConfig::default()
     };
     let mut system = MobilitySystem::new(
         &Topology::star(3),

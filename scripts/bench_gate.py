@@ -48,6 +48,7 @@ OUT_DIR = os.environ.get("BENCH_GATE_DIR", "/tmp/bench_gate")
 BENCHES = {
     "matcher_bench": "BENCH_matcher.json",
     "shard_bench": "BENCH_shards.json",
+    "churn_bench": "BENCH_mobility.json",
 }
 
 # Prefixes of benchmark names whose absolute medians are gated (hot paths;
@@ -57,6 +58,8 @@ GATED_PREFIXES = (
     "matcher/covering/",
     "shards/single/",
     "shards/batch/",
+    "churn/relocation/",
+    "churn/drain_",
 )
 
 # Within-run pairs gated on their ratio (slow/fast): the optimized side must
@@ -71,6 +74,16 @@ RATIO_GATES = [
     ("shards/single/sequential/100000", "shards/single/sharded8/100000"),
     ("shards/batch/per_notification_loop/10000", "shards/batch/match_batch_shards8/10000"),
     ("shards/batch/per_notification_loop/100000", "shards/batch/match_batch_shards8/100000"),
+    # Mobility engine: the drained transit path must not grow more expensive
+    # relative to immediate routing (the drain's link-message reduction is
+    # asserted inside churn_bench itself; this guards its CPU cost), and the
+    # full relocation churn must stay within its multiple of the
+    # no-relocation event-loop floor.
+    ("churn/drain_off/2000", "churn/drain_on/2000"),
+    # Reference side = the static (no-relocation) floor: the gate trips when
+    # the relocation run loses ground against it, i.e. when per-relocation
+    # overhead (WAL appends, floods, replays) regresses.
+    ("churn/static/2000", "churn/relocation/2000"),
 ]
 
 

@@ -46,6 +46,7 @@ fn mixed_deployment_serves_every_client_correctly() {
         strategy: RoutingStrategyKind::Covering,
         movement_graph: graph.clone(),
         relocation_timeout: SimDuration::from_secs(20),
+        ..BrokerConfig::default()
     };
     let mut sys = MobilitySystem::new(
         &Topology::balanced_tree(2, 2),
@@ -253,6 +254,7 @@ fn many_roaming_consumers_stay_consistent() {
         strategy: RoutingStrategyKind::Covering,
         movement_graph: MovementGraph::grid(3, 3),
         relocation_timeout: SimDuration::from_secs(20),
+        ..BrokerConfig::default()
     };
     let mut sys = MobilitySystem::new(
         &Topology::balanced_tree(3, 2),
