@@ -1,0 +1,147 @@
+//! Session-API overhead microbench: the quickstart scenario driven through
+//! the pre-scripted adapter vs interactive sessions.
+//!
+//! The session redesign routes *both* paths through the same per-client
+//! action queue (a scripted client is a thin adapter that replays its script
+//! through the session machinery), so the two runs must cost the same — the
+//! redesign may not add routing-path overhead.  `scripts/bench_gate.py`
+//! gates the `session/quickstart/scripted` vs `session/quickstart/session`
+//! ratio against `BENCH_session.json`.
+//!
+//! Both runs are verified (outside the timed loop) to deliver the identical
+//! clean log, so the timings compare equivalent work.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rebeca_broker::ClientId;
+use rebeca_core::{ClientAction, LogicalMobilityMode, MobilitySystem, SystemBuilder};
+use rebeca_filter::{Constraint, Filter, Notification};
+use rebeca_sim::{DelayModel, SimTime, Topology};
+
+const PUBLICATIONS: u64 = 200;
+
+fn subscription() -> Filter {
+    Filter::new().with("service", Constraint::Eq("parking".into()))
+}
+
+fn vacancy(i: u64) -> Notification {
+    Notification::builder()
+        .attr("service", "parking")
+        .attr("spot", i as i64)
+        .build()
+}
+
+fn system() -> MobilitySystem {
+    SystemBuilder::new(&Topology::line(3))
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(42)
+        .build()
+        .expect("non-empty topology")
+}
+
+/// The scripted run: everything pre-arranged, one `run_until` to the end.
+fn run_scripted() -> MobilitySystem {
+    let mut sys = system();
+    sys.add_client(
+        ClientId::new(1),
+        LogicalMobilityMode::LocationDependent,
+        &[0, 1],
+        vec![
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(0).unwrap(),
+                },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(subscription()),
+            ),
+            (
+                SimTime::from_millis(500),
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(1).unwrap(),
+                },
+            ),
+        ],
+    )
+    .unwrap();
+    let mut script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: sys.broker_node(2).unwrap(),
+        },
+    )];
+    for i in 0..PUBLICATIONS {
+        script.push((
+            SimTime::from_millis(100 + i * 5),
+            ClientAction::Publish(vacancy(i)),
+        ));
+    }
+    sys.add_client(
+        ClientId::new(2),
+        LogicalMobilityMode::LocationDependent,
+        &[2],
+        script,
+    )
+    .unwrap();
+    sys.run_until(SimTime::from_secs(3));
+    sys
+}
+
+/// The session run: the identical scenario issued imperatively, with
+/// `run_until` interleaved per publication (the realistic interactive
+/// access pattern).
+fn run_session() -> MobilitySystem {
+    let mut sys = system();
+    let consumer = sys.connect(ClientId::new(1), 0).unwrap();
+    consumer.subscribe(&mut sys, subscription()).unwrap();
+    let producer = sys.connect(ClientId::new(2), 2).unwrap();
+    for i in 0..PUBLICATIONS {
+        sys.run_until(SimTime::from_millis(100 + i * 5));
+        if i == 80 {
+            // t = 500 ms, matching the scripted move.
+            consumer.move_to(&mut sys, 1).unwrap();
+        }
+        producer.publish(&mut sys, vacancy(i)).unwrap();
+    }
+    sys.run_until(SimTime::from_secs(3));
+    sys
+}
+
+fn verify(sys: &MobilitySystem, label: &str) {
+    let log = sys.client_log(ClientId::new(1)).unwrap();
+    assert!(log.is_clean(), "{label}: {:?}", log.violations());
+    assert_eq!(
+        log.distinct_publisher_seqs(ClientId::new(2)),
+        (1..=PUBLICATIONS).collect::<Vec<u64>>(),
+        "{label}: incomplete delivery"
+    );
+}
+
+fn bench_session_overhead(c: &mut Criterion) {
+    // Equivalent work outside the timed loop: both paths deliver the same
+    // clean stream.
+    let scripted = run_scripted();
+    let session = run_session();
+    verify(&scripted, "scripted");
+    verify(&session, "session");
+    assert_eq!(
+        scripted.client_log(ClientId::new(1)).unwrap(),
+        session.client_log(ClientId::new(1)).unwrap(),
+        "the two paths must record identical deliveries"
+    );
+
+    let mut group = c.benchmark_group("session/quickstart");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::new("scripted", PUBLICATIONS), &(), |b, _| {
+        b.iter(|| black_box(run_scripted()))
+    });
+    group.bench_with_input(BenchmarkId::new("session", PUBLICATIONS), &(), |b, _| {
+        b.iter(|| black_box(run_session()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_overhead);
+criterion_main!(benches);

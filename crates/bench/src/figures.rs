@@ -8,7 +8,7 @@
 use serde::Serialize;
 
 use rebeca_broker::ClientId;
-use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem};
+use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, SystemBuilder};
 use rebeca_location::{AdaptivityPlan, LocationId, MovementGraph};
 use rebeca_routing::RoutingStrategyKind;
 use rebeca_sim::{DelayModel, SimDuration, SimTime, Topology};
@@ -130,21 +130,19 @@ pub fn figure3(params: &Figure3Params) -> Vec<Figure3Row> {
                mode: LogicalMobilityMode,
                plan: AdaptivityPlan|
      -> Figure3Row {
-        let config = BrokerConfig {
-            strategy,
-            movement_graph: graph.clone(),
-            relocation_timeout: SimDuration::from_secs(30),
-            ..BrokerConfig::default()
-        };
+        let config = BrokerConfig::default()
+            .with_strategy(strategy)
+            .with_movement_graph(graph.clone())
+            .with_relocation_timeout(SimDuration::from_secs(30));
         let topo = Topology::line(params.brokers);
-        let mut sys = MobilitySystem::new(
-            &topo,
-            config,
-            DelayModel::constant_millis(params.link_delay_ms),
-            5,
-        );
+        let mut sys = SystemBuilder::new(&topo)
+            .config(config)
+            .link_delay(DelayModel::constant_millis(params.link_delay_ms))
+            .seed(5)
+            .build()
+            .unwrap();
         let consumer = scenarios::CONSUMER;
-        let producer = ClientId(2);
+        let producer = ClientId::new(2);
         sys.add_client(
             consumer,
             mode,
@@ -153,7 +151,7 @@ pub fn figure3(params: &Figure3Params) -> Vec<Figure3Row> {
                 (
                     SimTime::from_millis(1),
                     ClientAction::Attach {
-                        broker: sys.broker_node(0),
+                        broker: sys.broker_node(0).unwrap(),
                     },
                 ),
                 (
@@ -166,12 +164,13 @@ pub fn figure3(params: &Figure3Params) -> Vec<Figure3Row> {
                 ),
                 (move_at, ClientAction::SetLocation(b)),
             ],
-        );
+        )
+        .unwrap();
         let far = params.brokers - 1;
         let mut script = vec![(
             SimTime::from_millis(1),
             ClientAction::Attach {
-                broker: sys.broker_node(far),
+                broker: sys.broker_node(far).unwrap(),
             },
         )];
         let mut t = SimTime::from_millis(40);
@@ -188,11 +187,12 @@ pub fn figure3(params: &Figure3Params) -> Vec<Figure3Row> {
             LogicalMobilityMode::LocationDependent,
             &[far],
             script,
-        );
+        )
+        .unwrap();
         sys.run_until(horizon);
 
         // Blackout: first delivery for location b at or after the move.
-        let client = sys.client(consumer);
+        let client = sys.client(consumer).unwrap();
         let blackout_ms = client
             .log()
             .deliveries()
@@ -269,15 +269,18 @@ pub struct Figure5Report {
 /// moving B6 → B1) and reports the protocol-internal counters.
 pub fn figure5() -> Figure5Report {
     let topo = Topology::figure5();
-    let config = BrokerConfig {
-        strategy: RoutingStrategyKind::Covering,
-        movement_graph: MovementGraph::paper_example(),
-        relocation_timeout: SimDuration::from_secs(30),
-        ..BrokerConfig::default()
-    };
-    let mut sys = MobilitySystem::new(&topo, config, DelayModel::constant_millis(5), 23);
+    let config = BrokerConfig::default()
+        .with_strategy(RoutingStrategyKind::Covering)
+        .with_movement_graph(MovementGraph::paper_example())
+        .with_relocation_timeout(SimDuration::from_secs(30));
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config)
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(23)
+        .build()
+        .unwrap();
     let consumer = scenarios::CONSUMER;
-    let producer = ClientId(2);
+    let producer = ClientId::new(2);
 
     sys.add_client(
         consumer,
@@ -287,7 +290,7 @@ pub fn figure5() -> Figure5Report {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(5),
+                    broker: sys.broker_node(5).unwrap(),
                 },
             ),
             (
@@ -297,16 +300,17 @@ pub fn figure5() -> Figure5Report {
             (
                 SimTime::from_millis(500),
                 ClientAction::MoveTo {
-                    broker: sys.broker_node(0),
+                    broker: sys.broker_node(0).unwrap(),
                 },
             ),
         ],
-    );
+    )
+    .unwrap();
     let mut script = vec![
         (
             SimTime::from_millis(1),
             ClientAction::Attach {
-                broker: sys.broker_node(7),
+                broker: sys.broker_node(7).unwrap(),
             },
         ),
         (
@@ -326,10 +330,11 @@ pub fn figure5() -> Figure5Report {
         LogicalMobilityMode::LocationDependent,
         &[7],
         script,
-    );
+    )
+    .unwrap();
     sys.run_until(SimTime::from_secs(10));
 
-    let log = sys.client_log(consumer);
+    let log = sys.client_log(consumer).unwrap();
     Figure5Report {
         received: log.distinct_publisher_seqs(producer).len(),
         lost: log.missing_from(producer, 1..=publications).len(),
@@ -337,8 +342,8 @@ pub fn figure5() -> Figure5Report {
         fifo_preserved: log.is_clean(),
         junctions_detected: sys.metrics().counter("mobility.junction_detected"),
         replayed: sys.metrics().counter("mobility.replayed"),
-        old_broker_clean: sys.broker(5).counterpart_count() == 0
-            && sys.broker(5).core().client(consumer).is_none(),
+        old_broker_clean: sys.broker(5).unwrap().counterpart_count() == 0
+            && sys.broker(5).unwrap().core().client(consumer).is_none(),
         total_messages: sys.total_messages(),
     }
 }

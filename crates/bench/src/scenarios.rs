@@ -1,18 +1,19 @@
 //! Shared simulation scenarios used by the figure experiments.
 //!
-//! Each builder assembles a [`MobilitySystem`] that mirrors one of the
+//! Each builder assembles a [`MobilitySystem`](rebeca_core::MobilitySystem)
+//! that mirrors one of the
 //! paper's evaluation settings; the figure modules run them with different
 //! parameters and extract the series the paper plots.
 
 use rebeca_broker::ClientId;
-use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem};
+use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, SystemBuilder};
 use rebeca_filter::{Constraint, Filter, LocationDependentFilter, Notification, Value};
 use rebeca_location::{AdaptivityPlan, LocationId, MovementGraph};
 use rebeca_routing::RoutingStrategyKind;
 use rebeca_sim::{DelayModel, SimDuration, SimTime, Topology};
 
 /// Identity of the roaming / location-aware consumer in every scenario.
-pub const CONSUMER: ClientId = ClientId(1);
+pub const CONSUMER: ClientId = ClientId::new(1);
 
 /// The parking-service subscription used throughout the experiments.
 pub fn parking_filter() -> Filter {
@@ -95,16 +96,19 @@ pub struct PhysicalOutcome {
 /// the given parameters and reports completeness / duplication / ordering.
 pub fn run_physical(params: &PhysicalScenario) -> PhysicalOutcome {
     let topo = Topology::figure5();
-    let config = BrokerConfig {
-        strategy: params.strategy,
-        movement_graph: MovementGraph::paper_example(),
-        relocation_timeout: SimDuration::from_secs(30),
-        ..BrokerConfig::default()
-    };
-    let mut sys = MobilitySystem::new(&topo, config, params.link_delay, 17);
-    let producer = ClientId(2);
-    let old_broker = sys.broker_node(5);
-    let new_broker = sys.broker_node(0);
+    let config = BrokerConfig::default()
+        .with_strategy(params.strategy)
+        .with_movement_graph(MovementGraph::paper_example())
+        .with_relocation_timeout(SimDuration::from_secs(30));
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config)
+        .link_delay(params.link_delay)
+        .seed(17)
+        .build()
+        .unwrap();
+    let producer = ClientId::new(2);
+    let old_broker = sys.broker_node(5).unwrap();
+    let new_broker = sys.broker_node(0).unwrap();
 
     let move_action = match params.handoff {
         HandoffKind::Relocation => ClientAction::MoveTo { broker: new_broker },
@@ -132,12 +136,13 @@ pub fn run_physical(params: &PhysicalScenario) -> PhysicalOutcome {
             ),
             (params.move_at, move_action),
         ],
-    );
+    )
+    .unwrap();
     let mut script = vec![
         (
             SimTime::from_millis(1),
             ClientAction::Attach {
-                broker: sys.broker_node(7),
+                broker: sys.broker_node(7).unwrap(),
             },
         ),
         (
@@ -157,7 +162,8 @@ pub fn run_physical(params: &PhysicalScenario) -> PhysicalOutcome {
         LogicalMobilityMode::LocationDependent,
         &[7],
         script,
-    );
+    )
+    .unwrap();
 
     let horizon = SimTime::from_millis(50)
         + params
@@ -166,7 +172,7 @@ pub fn run_physical(params: &PhysicalScenario) -> PhysicalOutcome {
         + SimDuration::from_secs(2);
     sys.run_until(horizon);
 
-    let log = sys.client_log(CONSUMER);
+    let log = sys.client_log(CONSUMER).unwrap();
     let received = log.distinct_publisher_seqs(producer).len();
     let lost = log.missing_from(producer, 1..=params.publications).len();
     let duplicated = log.duplicate_publications(producer);
@@ -274,14 +280,17 @@ pub fn run_logical(params: &LogicalScenario) -> LogicalOutcome {
         LogicalScheme::Flooding => RoutingStrategyKind::Flooding,
         _ => RoutingStrategyKind::Covering,
     };
-    let config = BrokerConfig {
-        strategy,
-        movement_graph: params.movement_graph.clone(),
-        relocation_timeout: SimDuration::from_secs(30),
-        ..BrokerConfig::default()
-    };
+    let config = BrokerConfig::default()
+        .with_strategy(strategy)
+        .with_movement_graph(params.movement_graph.clone())
+        .with_relocation_timeout(SimDuration::from_secs(30));
     let topo = Topology::line(params.brokers);
-    let mut sys = MobilitySystem::new(&topo, config, params.link_delay, params.seed);
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config)
+        .link_delay(params.link_delay)
+        .seed(params.seed)
+        .build()
+        .unwrap();
 
     // Consumer: a random walk over the movement graph, one step per residence
     // period.
@@ -311,7 +320,7 @@ pub fn run_logical(params: &LogicalScenario) -> LogicalOutcome {
         (
             SimTime::from_millis(1),
             ClientAction::Attach {
-                broker: sys.broker_node(0),
+                broker: sys.broker_node(0).unwrap(),
             },
         ),
         (
@@ -329,18 +338,19 @@ pub fn run_logical(params: &LogicalScenario) -> LogicalOutcome {
         move_times.push(at);
         consumer_script.push((at, ClientAction::SetLocation(location)));
     }
-    sys.add_client(CONSUMER, mode, &[0], consumer_script);
+    sys.add_client(CONSUMER, mode, &[0], consumer_script)
+        .unwrap();
 
     // Producers at the far broker, each publishing to a uniformly random
     // location (one of the paper's explicitly conservative assumptions).
     let far = params.brokers - 1;
     let locations: Vec<LocationId> = params.movement_graph.space().ids().collect();
     for p in 0..params.producers {
-        let id = ClientId(100 + p as u32);
+        let id = ClientId::new(100 + p as u32);
         let mut script = vec![(
             SimTime::from_millis(1),
             ClientAction::Attach {
-                broker: sys.broker_node(far),
+                broker: sys.broker_node(far).unwrap(),
             },
         )];
         let mut t = SimTime::from_millis(40 + p as u64 * 7);
@@ -361,7 +371,8 @@ pub fn run_logical(params: &LogicalScenario) -> LogicalOutcome {
             script.push((t, action));
             t += params.publish_interval.saturating_mul(batch_size as u64);
         }
-        sys.add_client(id, LogicalMobilityMode::LocationDependent, &[far], script);
+        sys.add_client(id, LogicalMobilityMode::LocationDependent, &[far], script)
+            .unwrap();
     }
 
     // Run second by second, sampling the cumulative link-message count.
@@ -373,7 +384,7 @@ pub fn run_logical(params: &LogicalScenario) -> LogicalOutcome {
     }
     sys.run_until(params.horizon);
 
-    let client = sys.client(CONSUMER);
+    let client = sys.client(CONSUMER).unwrap();
     LogicalOutcome {
         delivered: client.log().len(),
         total_messages: sys.total_messages(),
@@ -472,22 +483,25 @@ fn churn_filter(g: usize) -> Filter {
 pub fn run_churn(params: &ChurnScenario) -> ChurnOutcome {
     assert!(params.brokers >= 3, "need at least producer + two homes");
     assert!(params.clients >= params.groups && params.groups > 0);
-    let config = BrokerConfig {
-        strategy: RoutingStrategyKind::Covering,
-        movement_graph: MovementGraph::paper_example(),
-        relocation_timeout: SimDuration::from_secs(60),
-        drain_interval: params.drain_interval,
-        ..BrokerConfig::default()
-    };
+    let config = BrokerConfig::default()
+        .with_strategy(RoutingStrategyKind::Covering)
+        .with_movement_graph(MovementGraph::paper_example())
+        .with_relocation_timeout(SimDuration::from_secs(60))
+        .with_drain_interval(params.drain_interval);
     let topo = Topology::line(params.brokers);
-    let mut sys = MobilitySystem::new(&topo, config, params.link_delay, params.seed);
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config)
+        .link_delay(params.link_delay)
+        .seed(params.seed)
+        .build()
+        .unwrap();
 
     // Consumers spread over the brokers before the producer's; each one
     // relocates to the neighbouring home broker, staggered over ~200 ms so
     // relocations overlap the publication stream.
     let homes = params.brokers - 1;
     for i in 0..params.clients {
-        let id = ClientId(10 + i as u32);
+        let id = ClientId::new(10 + i as u32);
         let group = i % params.groups;
         let home = i % homes;
         let target = (home + 1) % homes;
@@ -495,7 +509,7 @@ pub fn run_churn(params: &ChurnScenario) -> ChurnOutcome {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(home),
+                    broker: sys.broker_node(home).unwrap(),
                 },
             ),
             (
@@ -511,7 +525,7 @@ pub fn run_churn(params: &ChurnScenario) -> ChurnOutcome {
             script.push((
                 SimTime::from_millis(120 + (i % 211) as u64),
                 ClientAction::MoveTo {
-                    broker: sys.broker_node(target),
+                    broker: sys.broker_node(target).unwrap(),
                 },
             ));
         }
@@ -520,15 +534,16 @@ pub fn run_churn(params: &ChurnScenario) -> ChurnOutcome {
             LogicalMobilityMode::LocationDependent,
             &reachable,
             script,
-        );
+        )
+        .unwrap();
     }
 
     // Producer at the far end, publishing round-robin over the groups.
-    let producer = ClientId(2);
+    let producer = ClientId::new(2);
     let mut script = vec![(
         SimTime::from_millis(1),
         ClientAction::Attach {
-            broker: sys.broker_node(params.brokers - 1),
+            broker: sys.broker_node(params.brokers - 1).unwrap(),
         },
     )];
     for i in 0..params.publications {
@@ -545,7 +560,8 @@ pub fn run_churn(params: &ChurnScenario) -> ChurnOutcome {
         LogicalMobilityMode::LocationDependent,
         &[params.brokers - 1],
         script,
-    );
+    )
+    .unwrap();
 
     let horizon = SimTime::from_millis(50)
         + params
@@ -555,7 +571,7 @@ pub fn run_churn(params: &ChurnScenario) -> ChurnOutcome {
     sys.run_until(horizon);
 
     let leaked_timeout_guards = (0..sys.broker_count())
-        .map(|b| sys.broker(b).timeout_tag_count())
+        .map(|b| sys.broker(b).unwrap().timeout_tag_count())
         .sum();
     // Group g holds every client index ≡ g (mod groups); publication i goes
     // to group i mod groups.
@@ -568,9 +584,9 @@ pub fn run_churn(params: &ChurnScenario) -> ChurnOutcome {
     let (mut lost, mut duplicated) = (0u64, 0u64);
     if params.verify {
         for i in 0..params.clients {
-            let id = ClientId(10 + i as u32);
+            let id = ClientId::new(10 + i as u32);
             let group = i % params.groups;
-            let log = sys.client_log(id);
+            let log = sys.client_log(id).unwrap();
             // Publication j (publisher_seq j + 1) goes to group j mod groups.
             let expected_seqs = (0..params.publications)
                 .filter(|j| (*j as usize) % params.groups == group)

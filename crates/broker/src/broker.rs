@@ -567,19 +567,19 @@ mod tests {
     #[test]
     fn local_subscription_is_forwarded_to_all_broker_links() {
         let mut b = broker();
-        b.handle_attach(ClientId(1), NodeId(100));
-        let out = b.handle_subscribe(ClientId(1), parking(), NodeId(100));
+        b.handle_attach(ClientId::new(1), NodeId(100));
+        let out = b.handle_subscribe(ClientId::new(1), parking(), NodeId(100));
         assert_eq!(out.len(), 2);
         assert!(out
             .iter()
             .all(|(_, m)| matches!(m, Message::Subscribe { .. })));
-        assert_eq!(b.client(ClientId(1)).unwrap().subscriptions.len(), 1);
+        assert_eq!(b.client(ClientId::new(1)).unwrap().subscriptions.len(), 1);
     }
 
     #[test]
     fn remote_subscription_is_forwarded_to_the_other_links_only() {
         let mut b = broker();
-        let out = b.handle_subscribe(ClientId(5), parking(), NodeId(10));
+        let out = b.handle_subscribe(ClientId::new(5), parking(), NodeId(10));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, NodeId(11));
     }
@@ -589,31 +589,34 @@ mod tests {
         let mut b = broker();
         let wide = Filter::new().with("service", Constraint::Exists);
         // The wide filter from link 10 is forwarded to link 11 only.
-        assert_eq!(b.handle_subscribe(ClientId(5), wide, NodeId(10)).len(), 1);
+        assert_eq!(
+            b.handle_subscribe(ClientId::new(5), wide, NodeId(10)).len(),
+            1
+        );
         // A covered filter from link 11 does not need to be propagated to
         // link 11 again (it came from there) nor re-announced to it; only
         // link 10 — which has not been told about any cover — learns it.
-        let out = b.handle_subscribe(ClientId(6), parking(), NodeId(11));
+        let out = b.handle_subscribe(ClientId::new(6), parking(), NodeId(11));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, NodeId(10));
         // A third covered filter from a local client adds no new forwards at
         // all: both broker links already know a cover.
-        b.handle_attach(ClientId(1), NodeId(100));
+        b.handle_attach(ClientId::new(1), NodeId(100));
         let wide2 = Filter::new().with("service", Constraint::Exists);
-        b.handle_subscribe(ClientId(5), wide2, NodeId(11));
+        b.handle_subscribe(ClientId::new(5), wide2, NodeId(11));
         assert!(b
-            .handle_subscribe(ClientId(1), parking(), NodeId(100))
+            .handle_subscribe(ClientId::new(1), parking(), NodeId(100))
             .is_empty());
     }
 
     #[test]
     fn publication_reaches_local_subscriber_with_sequence_numbers() {
         let mut b = broker();
-        b.handle_attach(ClientId(1), NodeId(100));
-        b.handle_subscribe(ClientId(1), parking(), NodeId(100));
-        b.handle_attach(ClientId(2), NodeId(101));
+        b.handle_attach(ClientId::new(1), NodeId(100));
+        b.handle_subscribe(ClientId::new(1), parking(), NodeId(100));
+        b.handle_attach(ClientId::new(2), NodeId(101));
 
-        let out = b.handle_publish(ClientId(2), vacancy(), NodeId(101));
+        let out = b.handle_publish(ClientId::new(2), vacancy(), NodeId(101));
         // Delivered locally only (no remote subscriptions).
         let delivers: Vec<&Delivery> = out
             .iter()
@@ -624,12 +627,12 @@ mod tests {
             .collect();
         assert_eq!(delivers.len(), 1);
         assert_eq!(delivers[0].seq, 1);
-        assert_eq!(delivers[0].subscriber, ClientId(1));
-        assert_eq!(delivers[0].envelope.publisher, ClientId(2));
+        assert_eq!(delivers[0].subscriber, ClientId::new(1));
+        assert_eq!(delivers[0].envelope.publisher, ClientId::new(2));
         assert_eq!(delivers[0].envelope.publisher_seq, 1);
 
         // A second publication gets the next sequence numbers.
-        let out = b.handle_publish(ClientId(2), vacancy(), NodeId(101));
+        let out = b.handle_publish(ClientId::new(2), vacancy(), NodeId(101));
         let d = out
             .iter()
             .find_map(|(_, m)| match m {
@@ -645,9 +648,9 @@ mod tests {
     fn remote_notification_is_forwarded_towards_matching_subscriptions() {
         let mut b = broker();
         // Subscription from broker link 11.
-        b.handle_subscribe(ClientId(5), parking(), NodeId(11));
+        b.handle_subscribe(ClientId::new(5), parking(), NodeId(11));
         let envelope = Envelope {
-            publisher: ClientId(9),
+            publisher: ClientId::new(9),
             publisher_seq: 1,
             notification: vacancy(),
         };
@@ -660,9 +663,9 @@ mod tests {
     #[test]
     fn notifications_do_not_bounce_back_to_their_source_link() {
         let mut b = broker();
-        b.handle_subscribe(ClientId(5), parking(), NodeId(10));
+        b.handle_subscribe(ClientId::new(5), parking(), NodeId(10));
         let envelope = Envelope {
-            publisher: ClientId(9),
+            publisher: ClientId::new(9),
             publisher_seq: 1,
             notification: vacancy(),
         };
@@ -673,20 +676,20 @@ mod tests {
     #[test]
     fn non_matching_notifications_are_dropped() {
         let mut b = broker();
-        b.handle_attach(ClientId(1), NodeId(100));
-        b.handle_subscribe(ClientId(1), weather(), NodeId(100));
-        let out = b.handle_publish(ClientId(1), vacancy(), NodeId(100));
+        b.handle_attach(ClientId::new(1), NodeId(100));
+        b.handle_subscribe(ClientId::new(1), weather(), NodeId(100));
+        let out = b.handle_publish(ClientId::new(1), vacancy(), NodeId(100));
         assert!(out.is_empty());
     }
 
     #[test]
     fn deliveries_to_disconnected_clients_are_parked() {
         let mut b = broker();
-        b.handle_attach(ClientId(1), NodeId(100));
-        b.handle_subscribe(ClientId(1), parking(), NodeId(100));
-        b.handle_detach(ClientId(1));
-        b.handle_attach(ClientId(2), NodeId(101));
-        let out = b.handle_publish(ClientId(2), vacancy(), NodeId(101));
+        b.handle_attach(ClientId::new(1), NodeId(100));
+        b.handle_subscribe(ClientId::new(1), parking(), NodeId(100));
+        b.handle_detach(ClientId::new(1));
+        b.handle_attach(ClientId::new(2), NodeId(101));
+        let out = b.handle_publish(ClientId::new(2), vacancy(), NodeId(101));
         assert!(
             out.is_empty(),
             "nothing must be sent to a disconnected client"
@@ -700,50 +703,53 @@ mod tests {
     #[test]
     fn advertisements_flood_once() {
         let mut b = broker();
-        let out = b.handle_advertise(ClientId(9), parking(), NodeId(10));
+        let out = b.handle_advertise(ClientId::new(9), parking(), NodeId(10));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, NodeId(11));
         // Duplicate advertisement from the same link is suppressed.
         assert!(b
-            .handle_advertise(ClientId(9), parking(), NodeId(10))
+            .handle_advertise(ClientId::new(9), parking(), NodeId(10))
             .is_empty());
         // Retraction propagates once.
         assert_eq!(
-            b.handle_unadvertise(ClientId(9), parking(), NodeId(10))
+            b.handle_unadvertise(ClientId::new(9), parking(), NodeId(10))
                 .len(),
             1
         );
         assert!(b
-            .handle_unadvertise(ClientId(9), parking(), NodeId(10))
+            .handle_unadvertise(ClientId::new(9), parking(), NodeId(10))
             .is_empty());
     }
 
     #[test]
     fn unsubscribe_removes_the_client_subscription_and_propagates() {
         let mut b = broker();
-        b.handle_attach(ClientId(1), NodeId(100));
-        b.handle_subscribe(ClientId(1), parking(), NodeId(100));
-        let out = b.handle_unsubscribe(ClientId(1), parking(), NodeId(100));
+        b.handle_attach(ClientId::new(1), NodeId(100));
+        b.handle_subscribe(ClientId::new(1), parking(), NodeId(100));
+        let out = b.handle_unsubscribe(ClientId::new(1), parking(), NodeId(100));
         assert_eq!(out.len(), 2);
-        assert!(b.client(ClientId(1)).unwrap().subscriptions.is_empty());
+        assert!(b.client(ClientId::new(1)).unwrap().subscriptions.is_empty());
         // Publishing afterwards delivers nothing.
-        b.handle_attach(ClientId(2), NodeId(101));
+        b.handle_attach(ClientId::new(2), NodeId(101));
         assert!(b
-            .handle_publish(ClientId(2), vacancy(), NodeId(101))
+            .handle_publish(ClientId::new(2), vacancy(), NodeId(101))
             .is_empty());
     }
 
     #[test]
     fn publish_batch_assigns_consecutive_seqs_and_matches_per_notification() {
         let mut b = broker();
-        b.handle_attach(ClientId(1), NodeId(100));
-        b.handle_subscribe(ClientId(1), parking(), NodeId(100));
-        b.handle_attach(ClientId(2), NodeId(101));
+        b.handle_attach(ClientId::new(1), NodeId(100));
+        b.handle_subscribe(ClientId::new(1), parking(), NodeId(100));
+        b.handle_attach(ClientId::new(2), NodeId(101));
 
         // A batch of three: two matching, one not.
         let miss = Notification::builder().attr("service", "weather").build();
-        let out =
-            b.handle_publish_batch(ClientId(2), vec![vacancy(), miss, vacancy()], NodeId(101));
+        let out = b.handle_publish_batch(
+            ClientId::new(2),
+            vec![vacancy(), miss, vacancy()],
+            NodeId(101),
+        );
         let delivers: Vec<&Delivery> = out
             .iter()
             .filter_map(|(_, m)| match m {
@@ -758,7 +764,7 @@ mod tests {
         assert_eq!(delivers[1].seq, 2);
 
         // A later single publish continues the same sequence.
-        let out = b.handle_publish(ClientId(2), vacancy(), NodeId(101));
+        let out = b.handle_publish(ClientId::new(2), vacancy(), NodeId(101));
         let d = out
             .iter()
             .find_map(|(_, m)| match m {
@@ -773,10 +779,10 @@ mod tests {
     fn notification_batches_are_regrouped_per_link() {
         let mut b = broker();
         // Two remote subscriptions behind different links.
-        b.handle_subscribe(ClientId(5), parking(), NodeId(10));
-        b.handle_subscribe(ClientId(6), weather(), NodeId(11));
+        b.handle_subscribe(ClientId::new(5), parking(), NodeId(10));
+        b.handle_subscribe(ClientId::new(6), weather(), NodeId(11));
         let envelope = |seq: u64, service: &str| Envelope {
-            publisher: ClientId(9),
+            publisher: ClientId::new(9),
             publisher_seq: seq,
             notification: Notification::builder()
                 .attr("service", service)
@@ -824,11 +830,11 @@ mod tests {
     #[test]
     fn batched_deliveries_to_disconnected_clients_are_parked() {
         let mut b = broker();
-        b.handle_attach(ClientId(1), NodeId(100));
-        b.handle_subscribe(ClientId(1), parking(), NodeId(100));
-        b.handle_detach(ClientId(1));
-        b.handle_attach(ClientId(2), NodeId(101));
-        let out = b.handle_publish_batch(ClientId(2), vec![vacancy(), vacancy()], NodeId(101));
+        b.handle_attach(ClientId::new(1), NodeId(100));
+        b.handle_subscribe(ClientId::new(1), parking(), NodeId(100));
+        b.handle_detach(ClientId::new(1));
+        b.handle_attach(ClientId::new(2), NodeId(101));
+        let out = b.handle_publish_batch(ClientId::new(2), vec![vacancy(), vacancy()], NodeId(101));
         assert!(out.is_empty());
         let parked = b.take_parked();
         assert_eq!(parked.len(), 2);
@@ -842,14 +848,14 @@ mod tests {
         let ok = b.handle_message(
             NodeId(100),
             Message::Attach {
-                client: ClientId(1),
+                client: ClientId::new(1),
             },
         );
         assert!(ok.is_ok());
         let err = b.handle_message(
             NodeId(10),
             Message::Fetch {
-                client: ClientId(1),
+                client: ClientId::new(1),
                 filter: parking(),
                 last_seq: 0,
                 junction: NodeId(0),
@@ -861,12 +867,12 @@ mod tests {
     #[test]
     fn client_bookkeeping_accessors() {
         let mut b = broker();
-        b.handle_attach(ClientId(1), NodeId(100));
-        assert_eq!(b.client_by_node(NodeId(100)), Some(ClientId(1)));
+        b.handle_attach(ClientId::new(1), NodeId(100));
+        assert_eq!(b.client_by_node(NodeId(100)), Some(ClientId::new(1)));
         assert_eq!(b.client_by_node(NodeId(7)), None);
         assert_eq!(b.clients().count(), 1);
-        assert!(b.remove_client(ClientId(1)).is_some());
-        assert!(b.remove_client(ClientId(1)).is_none());
+        assert!(b.remove_client(ClientId::new(1)).is_some());
+        assert!(b.remove_client(ClientId::new(1)).is_none());
         assert_eq!(b.role(), BrokerRole::Border);
         assert_eq!(b.id(), NodeId(0));
         assert_eq!(b.broker_links(), &[NodeId(10), NodeId(11)]);
@@ -875,10 +881,10 @@ mod tests {
     #[test]
     fn reattach_marks_the_client_connected_again() {
         let mut b = broker();
-        b.handle_attach(ClientId(1), NodeId(100));
-        b.handle_detach(ClientId(1));
-        assert!(!b.client(ClientId(1)).unwrap().connected);
-        b.handle_attach(ClientId(1), NodeId(100));
-        assert!(b.client(ClientId(1)).unwrap().connected);
+        b.handle_attach(ClientId::new(1), NodeId(100));
+        b.handle_detach(ClientId::new(1));
+        assert!(!b.client(ClientId::new(1)).unwrap().connected);
+        b.handle_attach(ClientId::new(1), NodeId(100));
+        assert!(b.client(ClientId::new(1)).unwrap().connected);
     }
 }

@@ -186,11 +186,11 @@ mod tests {
 
     fn delivery(seq: u64, publisher_seq: u64) -> Delivery {
         Delivery {
-            subscriber: ClientId(1),
+            subscriber: ClientId::new(1),
             filter: parking(),
             seq,
             envelope: Envelope {
-                publisher: ClientId(9),
+                publisher: ClientId::new(9),
                 publisher_seq,
                 notification: Notification::builder().attr("service", "parking").build(),
             },
@@ -206,8 +206,8 @@ mod tests {
         assert!(log.is_clean());
         assert_eq!(log.len(), 5);
         assert_eq!(log.last_seq(&parking()), 5);
-        assert_eq!(log.publisher_seqs(ClientId(9)), vec![1, 2, 3, 4, 5]);
-        assert!(log.missing_from(ClientId(9), 1..=5).is_empty());
+        assert_eq!(log.publisher_seqs(ClientId::new(9)), vec![1, 2, 3, 4, 5]);
+        assert!(log.missing_from(ClientId::new(9), 1..=5).is_empty());
     }
 
     #[test]
@@ -223,7 +223,7 @@ mod tests {
                 ..
             }
         ));
-        assert_eq!(log.duplicate_publications(ClientId(9)), 1);
+        assert_eq!(log.duplicate_publications(ClientId::new(9)), 1);
     }
 
     #[test]
@@ -247,8 +247,8 @@ mod tests {
         let mut log = ConsumerLog::new();
         log.record(delivery(1, 1));
         log.record(delivery(2, 3));
-        assert_eq!(log.missing_from(ClientId(9), 1..=3), vec![2]);
-        assert_eq!(log.distinct_publisher_seqs(ClientId(9)), vec![1, 3]);
+        assert_eq!(log.missing_from(ClientId::new(9), 1..=3), vec![2]);
+        assert_eq!(log.distinct_publisher_seqs(ClientId::new(9)), vec![1, 3]);
     }
 
     #[test]
@@ -263,10 +263,10 @@ mod tests {
         let mut log = ConsumerLog::new();
         log.record(delivery(1, 1));
         let mut other = delivery(2, 7);
-        other.envelope.publisher = ClientId(8);
+        other.envelope.publisher = ClientId::new(8);
         log.record(other);
-        assert_eq!(log.publisher_seqs(ClientId(9)), vec![1]);
-        assert_eq!(log.publisher_seqs(ClientId(8)), vec![7]);
+        assert_eq!(log.publisher_seqs(ClientId::new(9)), vec![1]);
+        assert_eq!(log.publisher_seqs(ClientId::new(8)), vec![7]);
         assert!(log.is_clean());
     }
 }

@@ -13,7 +13,19 @@ use serde::{Deserialize, Serialize};
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
 )]
-pub struct ClientId(pub u32);
+pub struct ClientId(u32);
+
+impl ClientId {
+    /// Creates a client id from its raw numeric identity.
+    pub const fn new(raw: u32) -> Self {
+        ClientId(raw)
+    }
+
+    /// The raw numeric identity (e.g. for wire encodings and displays).
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
 
 impl fmt::Display for ClientId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -297,30 +297,30 @@ mod tests {
     fn message_classification() {
         let n = Notification::builder().attr("service", "parking").build();
         assert!(Message::Publish {
-            publisher: ClientId(1),
+            publisher: ClientId::new(1),
             notification: n.clone()
         }
         .is_data());
         assert!(Message::Subscribe {
-            subscriber: ClientId(1),
+            subscriber: ClientId::new(1),
             filter: filter()
         }
         .is_plain_admin());
         assert!(Message::Fetch {
-            client: ClientId(1),
+            client: ClientId::new(1),
             filter: filter(),
             last_seq: 3,
             junction: NodeId(2)
         }
         .is_mobility_admin());
         assert!(Message::LocationUpdate {
-            sub_id: SubscriptionId::new(ClientId(1), 0),
+            sub_id: SubscriptionId::new(ClientId::new(1), 0),
             location: LocationId(4),
             hop: 1
         }
         .is_mobility_admin());
         assert!(!Message::Attach {
-            client: ClientId(1)
+            client: ClientId::new(1)
         }
         .is_data());
     }
@@ -330,22 +330,22 @@ mod tests {
         let n = Notification::new();
         let msgs = [
             Message::Attach {
-                client: ClientId(1),
+                client: ClientId::new(1),
             },
             Message::Publish {
-                publisher: ClientId(1),
+                publisher: ClientId::new(1),
                 notification: n.clone(),
             },
             Message::Subscribe {
-                subscriber: ClientId(1),
+                subscriber: ClientId::new(1),
                 filter: filter(),
             },
             Message::Deliver(Delivery {
-                subscriber: ClientId(1),
+                subscriber: ClientId::new(1),
                 filter: filter(),
                 seq: 1,
                 envelope: Envelope {
-                    publisher: ClientId(2),
+                    publisher: ClientId::new(2),
                     publisher_seq: 1,
                     notification: n,
                 },

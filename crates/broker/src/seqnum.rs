@@ -159,11 +159,11 @@ mod tests {
 
     fn delivery(seq: u64) -> Delivery {
         Delivery {
-            subscriber: ClientId(1),
+            subscriber: ClientId::new(1),
             filter: filter(),
             seq,
             envelope: Envelope {
-                publisher: ClientId(9),
+                publisher: ClientId::new(9),
                 publisher_seq: seq,
                 notification: Notification::builder().attr("service", "parking").build(),
             },
@@ -173,33 +173,33 @@ mod tests {
     #[test]
     fn sequence_numbers_are_consecutive_per_stream() {
         let mut reg = SequenceRegistry::new();
-        assert_eq!(reg.next(ClientId(1), &filter()), 1);
-        assert_eq!(reg.next(ClientId(1), &filter()), 2);
-        assert_eq!(reg.next(ClientId(1), &other_filter()), 1);
-        assert_eq!(reg.next(ClientId(2), &filter()), 1);
-        assert_eq!(reg.last_assigned(ClientId(1), &filter()), 2);
-        assert_eq!(reg.peek(ClientId(1), &filter()), 3);
+        assert_eq!(reg.next(ClientId::new(1), &filter()), 1);
+        assert_eq!(reg.next(ClientId::new(1), &filter()), 2);
+        assert_eq!(reg.next(ClientId::new(1), &other_filter()), 1);
+        assert_eq!(reg.next(ClientId::new(2), &filter()), 1);
+        assert_eq!(reg.last_assigned(ClientId::new(1), &filter()), 2);
+        assert_eq!(reg.peek(ClientId::new(1), &filter()), 3);
         assert_eq!(reg.len(), 3);
     }
 
     #[test]
     fn fast_forward_never_goes_backwards() {
         let mut reg = SequenceRegistry::new();
-        reg.fast_forward(ClientId(1), &filter(), 100);
-        assert_eq!(reg.next(ClientId(1), &filter()), 100);
-        reg.fast_forward(ClientId(1), &filter(), 50);
-        assert_eq!(reg.next(ClientId(1), &filter()), 101);
+        reg.fast_forward(ClientId::new(1), &filter(), 100);
+        assert_eq!(reg.next(ClientId::new(1), &filter()), 100);
+        reg.fast_forward(ClientId::new(1), &filter(), 50);
+        assert_eq!(reg.next(ClientId::new(1), &filter()), 101);
     }
 
     #[test]
     fn remove_and_remove_client() {
         let mut reg = SequenceRegistry::new();
-        reg.next(ClientId(1), &filter());
-        reg.next(ClientId(1), &other_filter());
-        reg.next(ClientId(2), &filter());
-        assert!(reg.remove(ClientId(1), &filter()));
-        assert!(!reg.remove(ClientId(1), &filter()));
-        assert_eq!(reg.remove_client(ClientId(1)), 1);
+        reg.next(ClientId::new(1), &filter());
+        reg.next(ClientId::new(1), &other_filter());
+        reg.next(ClientId::new(2), &filter());
+        assert!(reg.remove(ClientId::new(1), &filter()));
+        assert!(!reg.remove(ClientId::new(1), &filter()));
+        assert_eq!(reg.remove_client(ClientId::new(1)), 1);
         assert_eq!(reg.len(), 1);
         assert!(!reg.is_empty());
     }

@@ -8,7 +8,7 @@
 //! requirements (completeness, no duplicates, sender-FIFO order) and to
 //! measure blackout periods.
 
-use rebeca_broker::{ClientId, ConsumerLog, Message, SubscriptionId};
+use rebeca_broker::{ClientId, ConsumerLog, Delivery, Message, SubscriptionId};
 use rebeca_filter::{Filter, LocationDependentFilter, Notification};
 use rebeca_location::{AdaptivityPlan, LocationId, MovementGraph};
 use rebeca_sim::{Context, Incoming, Node, NodeId, SimTime};
@@ -39,6 +39,10 @@ pub enum ClientAction {
         /// The broker node to attach to.
         broker: NodeId,
     },
+    /// Detach from the current border broker (explicit sign-off).  The
+    /// broker keeps a virtual counterpart buffering for the client, so a
+    /// later [`ClientAction::MoveTo`] resumes the stream without loss.
+    Detach,
     /// Issue a plain (location-independent) subscription.
     Subscribe(Filter),
     /// Retract a plain subscription.
@@ -106,6 +110,13 @@ pub struct ClientNode {
     location: Option<LocationId>,
     log: ConsumerLog,
     delivery_times: Vec<(SimTime, u64)>,
+    /// Deliveries received since the last [`ClientNode::drain_deliveries`]
+    /// call — the application-facing mailbox behind
+    /// [`Session::poll_deliveries`](crate::Session::poll_deliveries).
+    /// Only filled while `mailbox` is on (interactive clients): scripted
+    /// clients never poll, and buffering for them would grow without bound.
+    pending: Vec<Delivery>,
+    mailbox: bool,
     published: u64,
     next_sub_index: u32,
 }
@@ -133,9 +144,35 @@ impl ClientNode {
             location: None,
             log: ConsumerLog::new(),
             delivery_times: Vec::new(),
+            pending: Vec::new(),
+            mailbox: false,
             published: 0,
             next_sub_index: 0,
         }
+    }
+
+    /// Turns the poll mailbox on: deliveries are additionally buffered until
+    /// [`ClientNode::drain_deliveries`] collects them.  Enabled by the
+    /// interactive [`Session`](crate::Session) path; scripted clients leave
+    /// it off (they are read through [`ClientNode::log`]).
+    pub fn enable_mailbox(&mut self) {
+        self.mailbox = true;
+    }
+
+    /// Appends an action to the client's action queue and returns the timer
+    /// tag that executes it.  The deployment facade schedules a timer with
+    /// this tag — immediately for interactive [`Session`](crate::Session)
+    /// operations, at the scripted virtual time for the scripted adapter
+    /// (both paths replay through the same queue).
+    pub fn enqueue(&mut self, action: ClientAction) -> u64 {
+        self.script.push(action);
+        (self.script.len() - 1) as u64
+    }
+
+    /// Drains every delivery received since the previous drain, in arrival
+    /// order.
+    pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.pending)
     }
 
     /// The client's identity.
@@ -199,6 +236,11 @@ impl ClientNode {
             ClientAction::Attach { broker } => {
                 self.broker = Some(broker);
                 ctx.send(broker, Message::Attach { client: self.id });
+            }
+            ClientAction::Detach => {
+                if let Some(old) = self.broker.take() {
+                    ctx.send(old, Message::Detach { client: self.id });
+                }
             }
             ClientAction::Subscribe(filter) => {
                 if !self.subscriptions.contains(&filter) {
@@ -442,6 +484,9 @@ impl Node for ClientNode {
                     ctx.metrics().incr("client.delivered");
                     self.delivery_times
                         .push((ctx.now(), delivery.envelope.publisher_seq));
+                    if self.mailbox {
+                        self.pending.push(delivery.clone());
+                    }
                     self.log.record(delivery);
                 }
                 Message::DeliverBatch(deliveries) => {
@@ -451,6 +496,9 @@ impl Node for ClientNode {
                         ctx.metrics().incr("client.delivered");
                         self.delivery_times
                             .push((ctx.now(), delivery.envelope.publisher_seq));
+                        if self.mailbox {
+                            self.pending.push(delivery.clone());
+                        }
                         self.log.record(delivery);
                     }
                 }
@@ -505,7 +553,7 @@ mod tests {
         let mut net: Network<TestNode> = Network::new(1);
         let broker = net.add_node(TestNode::Sink(Sink::default()));
         let client_node = ClientNode::new(
-            ClientId(1),
+            ClientId::new(1),
             script.clone(),
             LogicalMobilityMode::LocationDependent,
             MovementGraph::paper_example(),
@@ -589,7 +637,7 @@ mod tests {
         let mut net: Network<TestNode> = Network::new(1);
         let broker = net.add_node(TestNode::Sink(Sink::default()));
         let client_node = ClientNode::new(
-            ClientId(1),
+            ClientId::new(1),
             script.clone(),
             LogicalMobilityMode::ManualSubUnsub { vicinity: 0 },
             MovementGraph::paper_example(),
@@ -658,7 +706,7 @@ mod tests {
     #[test]
     fn deliveries_are_logged_with_arrival_times() {
         let mut client = ClientNode::new(
-            ClientId(1),
+            ClientId::new(1),
             Vec::new(),
             LogicalMobilityMode::LocationDependent,
             MovementGraph::paper_example(),
@@ -673,11 +721,11 @@ mod tests {
         net.inject(
             c,
             Message::Deliver(Delivery {
-                subscriber: ClientId(1),
+                subscriber: ClientId::new(1),
                 filter: parking(),
                 seq: 1,
                 envelope: Envelope {
-                    publisher: ClientId(9),
+                    publisher: ClientId::new(9),
                     publisher_seq: 1,
                     notification: Notification::builder().attr("service", "parking").build(),
                 },

@@ -1,0 +1,181 @@
+//! The sans-IO driver boundary between the mobility runtime and an event
+//! loop.
+//!
+//! The broker and client runtimes of this workspace are written sans-IO:
+//! a node ([`MobileBroker`](crate::MobileBroker),
+//! [`ClientNode`](crate::ClientNode)) is a pure state machine that consumes
+//! timestamped [`Incoming`](rebeca_sim::Incoming) events and, through the
+//! harvest side of [`Context`](rebeca_sim::Context), emits outgoing messages
+//! and timer requests — it never sleeps, never opens a socket, never reads a
+//! clock.  What *moves* those messages and *fires* those timers is a
+//! [`Driver`].
+//!
+//! Two drivers ship with the workspace:
+//!
+//! * [`SimDriver`] — the deterministic discrete-event simulator of
+//!   `rebeca-sim` (virtual time, seeded delays, single-threaded).  This is
+//!   the testbed every protocol test runs on.
+//! * [`ThreadedDriver`](crate::ThreadedDriver) — a wall-clock, in-process
+//!   deployment: one thread per node, `std::sync::mpsc` channels as FIFO
+//!   links, real [`std::time::Instant`] timers.  No async runtime required.
+//!
+//! [`MobilitySystem`](crate::MobilitySystem) is written against the trait
+//! only, so a future network transport (a tokio reactor, an io_uring loop, a
+//! process-per-broker harness) plugs in by implementing [`Driver`] without
+//! touching the protocol code.
+
+use rebeca_sim::{DelayModel, Metrics, Network, NodeId, SimTime};
+
+use crate::system::SystemNode;
+
+/// An event loop hosting the deployment's nodes: it delivers timestamped
+/// events *into* the sans-IO runtime and shuttles the harvested outgoing
+/// messages and timer requests between nodes.
+///
+/// Implementations must preserve the transport contract the protocols are
+/// verified against (Section 2.1 of the paper): links are point-to-point,
+/// error-free and FIFO per direction, and a node's timers fire in tag order
+/// at (or after) their requested time.
+pub trait Driver {
+    /// Adds a node and returns its id.
+    fn add_node(&mut self, node: SystemNode) -> NodeId;
+
+    /// Creates the bidirectional FIFO link between two nodes unless it
+    /// already exists.  Returns `true` when the link was created.
+    fn ensure_link(&mut self, a: NodeId, b: NodeId, delay: DelayModel) -> bool;
+
+    /// Schedules a timer event for a node at the given absolute time (times
+    /// in the past fire as soon as the driver runs) with a caller-chosen tag.
+    fn schedule_timer(&mut self, node: NodeId, at: SimTime, tag: u64);
+
+    /// The driver's current time.  Virtual for [`SimDriver`]; elapsed wall
+    /// time since construction for wall-clock drivers.
+    fn now(&self) -> SimTime;
+
+    /// Processes a single event if one is due.  Returns `false` when there
+    /// was nothing to do.  Wall-clock drivers interpret this as a minimal
+    /// forward step rather than exactly one event.
+    fn step(&mut self) -> bool;
+
+    /// Runs the event loop until the driver's clock reaches `until`.
+    /// Returns the number of events processed.
+    fn run_until(&mut self, until: SimTime) -> u64;
+
+    /// Runs until no further events are pending, bounded by `max_events`
+    /// (a safety net against livelock).  Returns the number of events
+    /// processed.  On wall-clock drivers this sleeps through real timer
+    /// gaps; prefer [`Driver::run_until`] there.
+    fn run_to_idle(&mut self, max_events: u64) -> u64;
+
+    /// Immutable access to a node.  Callers guarantee the id exists (ids
+    /// come from [`Driver::add_node`]).
+    fn node(&self, id: NodeId) -> &SystemNode;
+
+    /// Mutable access to a node (e.g. to drain an interactive client's
+    /// mailbox between runs).
+    fn node_mut(&mut self, id: NodeId) -> &mut SystemNode;
+
+    /// Replaces a node's state in place, returning the old node — the
+    /// crash/restart hook: links and in-flight traffic addressed to the node
+    /// are untouched.
+    fn replace_node(&mut self, id: NodeId, node: SystemNode) -> SystemNode;
+
+    /// Number of nodes hosted by the driver.
+    fn node_count(&self) -> usize;
+
+    /// Read access to the global metrics.
+    fn metrics(&self) -> &Metrics;
+
+    /// Mutable access to the global metrics.
+    fn metrics_mut(&mut self) -> &mut Metrics;
+}
+
+/// The discrete-event simulation driver: a thin adapter over
+/// [`rebeca_sim::Network`] giving the deterministic virtual-time testbed the
+/// [`Driver`] contract.
+pub struct SimDriver {
+    network: Network<SystemNode>,
+}
+
+impl SimDriver {
+    /// Creates an empty simulated network whose random delays derive from
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            network: Network::new(seed),
+        }
+    }
+
+    /// The underlying simulated network (e.g. for sim-only inspection that
+    /// the driver contract does not cover).
+    pub fn network(&self) -> &Network<SystemNode> {
+        &self.network
+    }
+}
+
+impl Driver for SimDriver {
+    fn add_node(&mut self, node: SystemNode) -> NodeId {
+        self.network.add_node(node)
+    }
+
+    fn ensure_link(&mut self, a: NodeId, b: NodeId, delay: DelayModel) -> bool {
+        if self.network.has_link(a, b) {
+            return false;
+        }
+        self.network.connect(a, b, delay);
+        true
+    }
+
+    fn schedule_timer(&mut self, node: NodeId, at: SimTime, tag: u64) {
+        let delay = at.since(self.network.now());
+        self.network.schedule_timer(node, delay, tag);
+    }
+
+    fn now(&self) -> SimTime {
+        self.network.now()
+    }
+
+    fn step(&mut self) -> bool {
+        self.network.step()
+    }
+
+    fn run_until(&mut self, until: SimTime) -> u64 {
+        self.network.run_until(until)
+    }
+
+    fn run_to_idle(&mut self, max_events: u64) -> u64 {
+        self.network.run(max_events)
+    }
+
+    fn node(&self, id: NodeId) -> &SystemNode {
+        self.network.node(id)
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut SystemNode {
+        self.network.node_mut(id)
+    }
+
+    fn replace_node(&mut self, id: NodeId, node: SystemNode) -> SystemNode {
+        self.network.replace_node(id, node)
+    }
+
+    fn node_count(&self) -> usize {
+        self.network.len()
+    }
+
+    fn metrics(&self) -> &Metrics {
+        self.network.metrics()
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        self.network.metrics_mut()
+    }
+}
+
+impl std::fmt::Debug for SimDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimDriver")
+            .field("network", &self.network)
+            .finish()
+    }
+}

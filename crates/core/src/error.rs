@@ -1,0 +1,89 @@
+//! Typed errors for the deployment facade.
+//!
+//! Every public entry point of [`MobilitySystem`](crate::MobilitySystem),
+//! [`SystemBuilder`](crate::SystemBuilder) and [`Session`](crate::Session)
+//! reports bad input through [`RebecaError`] instead of panicking, so an
+//! application embedding the middleware can react to misconfiguration
+//! (unknown broker indices, duplicate client identities, empty topologies)
+//! without crashing the process.
+
+use std::error::Error;
+use std::fmt;
+
+use rebeca_broker::ClientId;
+
+/// An error raised by the public deployment API.
+///
+/// The enum is `#[non_exhaustive]`: future versions may add variants without
+/// a breaking change, so match with a wildcard arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RebecaError {
+    /// A broker was addressed by a topology index that does not exist.
+    UnknownBroker {
+        /// The offending index.
+        index: usize,
+        /// Number of brokers in the deployment.
+        brokers: usize,
+    },
+    /// A client id was used that was never connected or added.
+    UnknownClient(ClientId),
+    /// A client id was connected or added twice.
+    DuplicateClient(ClientId),
+    /// The topology handed to the builder has no brokers.
+    EmptyTopology,
+    /// A session operation addressed a node that is not a client (or a
+    /// broker operation addressed a client node).  This indicates id reuse
+    /// across node kinds and cannot arise through the public API.
+    NotAClient(ClientId),
+}
+
+impl fmt::Display for RebecaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RebecaError::UnknownBroker { index, brokers } => write!(
+                f,
+                "unknown broker index {index} (the deployment has {brokers} brokers)"
+            ),
+            RebecaError::UnknownClient(id) => write!(f, "unknown client {id}"),
+            RebecaError::DuplicateClient(id) => write!(f, "client {id} already exists"),
+            RebecaError::EmptyTopology => write!(f, "the topology has no brokers"),
+            RebecaError::NotAClient(id) => write!(f, "node of client {id} is not a client node"),
+        }
+    }
+}
+
+impl Error for RebecaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            RebecaError::UnknownBroker {
+                index: 9,
+                brokers: 3
+            }
+            .to_string(),
+            "unknown broker index 9 (the deployment has 3 brokers)"
+        );
+        assert!(RebecaError::UnknownClient(ClientId::new(4))
+            .to_string()
+            .contains("c4"));
+        assert!(RebecaError::DuplicateClient(ClientId::new(1))
+            .to_string()
+            .contains("already exists"));
+        assert_eq!(
+            RebecaError::EmptyTopology.to_string(),
+            "the topology has no brokers"
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error(_: &dyn Error) {}
+        takes_error(&RebecaError::EmptyTopology);
+    }
+}

@@ -17,68 +17,69 @@
 //!     [`AdaptivityPlan`](rebeca_location::AdaptivityPlan), plus the
 //!     location-update protocol that swaps those filters when the client
 //!     moves).
-//! * [`ClientNode`] — scripted producers and consumers, including roaming
-//!   clients (relocation protocol or the naive hand-off baseline of
-//!   Figure 2) and logically mobile clients (location-dependent
-//!   subscriptions or the manual sub/unsub baseline of Figure 3a).
-//! * [`MobilitySystem`] — the deployment facade: builds a broker network
-//!   from a [`Topology`](rebeca_sim::Topology), attaches clients, runs the
-//!   simulation and exposes delivery logs and metrics.
+//! * [`MobilitySystem`] + [`SystemBuilder`] — the deployment facade: builds
+//!   a broker network from a [`Topology`](rebeca_sim::Topology) on a sans-IO
+//!   [`Driver`] and runs it.  Clients are driven **interactively** through
+//!   [`Session`] handles (subscribe/publish/move/poll, interleaved with
+//!   [`MobilitySystem::run_until`]) or through pre-arranged scripts
+//!   ([`ClientNode`], a thin adapter over the session machinery).
+//! * Two [`Driver`] implementations: [`SimDriver`] (the deterministic
+//!   discrete-event testbed) and [`ThreadedDriver`] (wall clock, one thread
+//!   per node, std channels — the first deployment mode without the
+//!   simulator, and the template for real network transports).
 //!
 //! # Quick start
 //!
 //! ```
 //! use rebeca_broker::ClientId;
-//! use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem};
+//! use rebeca_core::SystemBuilder;
 //! use rebeca_filter::{Constraint, Filter, Notification};
 //! use rebeca_sim::{DelayModel, SimTime, Topology};
 //!
+//! # fn main() -> Result<(), rebeca_core::RebecaError> {
 //! // Three brokers in a line; a consumer at broker 0, a producer at broker 2.
-//! let mut system = MobilitySystem::new(
-//!     &Topology::line(3),
-//!     BrokerConfig::default(),
-//!     DelayModel::constant_millis(5),
-//!     42,
-//! );
+//! let mut system = SystemBuilder::new(&Topology::line(3))
+//!     .link_delay(DelayModel::constant_millis(5))
+//!     .seed(42)
+//!     .build()?;
 //!
-//! let filter = Filter::new().with("service", Constraint::Eq("parking".into()));
-//! let consumer = ClientId(1);
-//! system.add_client(
-//!     consumer,
-//!     LogicalMobilityMode::LocationDependent,
-//!     &[0],
-//!     vec![
-//!         (SimTime::from_millis(1), ClientAction::Attach { broker: system.broker_node(0) }),
-//!         (SimTime::from_millis(2), ClientAction::Subscribe(filter)),
-//!     ],
-//! );
-//! system.add_client(
-//!     ClientId(2),
-//!     LogicalMobilityMode::LocationDependent,
-//!     &[2],
-//!     vec![
-//!         (SimTime::from_millis(1), ClientAction::Attach { broker: system.broker_node(2) }),
-//!         (
-//!             SimTime::from_millis(100),
-//!             ClientAction::Publish(Notification::builder().attr("service", "parking").build()),
-//!         ),
-//!     ],
-//! );
+//! let consumer = system.connect(ClientId::new(1), 0)?;
+//! consumer.subscribe(
+//!     &mut system,
+//!     Filter::new().with("service", Constraint::Eq("parking".into())),
+//! )?;
+//! let producer = system.connect(ClientId::new(2), 2)?;
+//! system.run_until(SimTime::from_millis(50));
 //!
+//! producer.publish(
+//!     &mut system,
+//!     Notification::builder().attr("service", "parking").build(),
+//! )?;
 //! system.run_until(SimTime::from_secs(1));
-//! assert_eq!(system.client_log(consumer).len(), 1);
+//!
+//! assert_eq!(consumer.poll_deliveries(&mut system)?.len(), 1);
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod client;
+mod driver;
+mod error;
 mod mobile_broker;
+mod session;
 mod system;
+mod threaded;
 
 pub use client::{ClientAction, ClientNode, LogicalMobilityMode};
+pub use driver::{Driver, SimDriver};
+pub use error::RebecaError;
 pub use mobile_broker::{BrokerConfig, MobileBroker};
-pub use system::{MobilitySystem, SystemNode};
+pub use session::Session;
+pub use system::{MobilitySystem, SystemBuilder, SystemNode};
+pub use threaded::ThreadedDriver;
 
 // Re-exported so deployments can configure durability and inspect relocation
 // phases without depending on `rebeca-mobility` directly.

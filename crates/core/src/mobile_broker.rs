@@ -61,7 +61,12 @@ struct LocSubState {
 }
 
 /// Configuration shared by all brokers of a deployment.
+///
+/// The struct is `#[non_exhaustive]`: build it with
+/// [`BrokerConfig::default`] and the `with_*` setters (or mutate the public
+/// fields on a default instance) so future fields are not a breaking change.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct BrokerConfig {
     /// Routing strategy used by the static routing engine.
     pub strategy: RoutingStrategyKind,
@@ -94,6 +99,47 @@ impl Default for BrokerConfig {
             persistence: PersistenceConfig::InMemory,
             wal_checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
         }
+    }
+}
+
+impl BrokerConfig {
+    /// Sets the routing strategy.
+    pub fn with_strategy(mut self, strategy: RoutingStrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the movement graph over which `ploc` is evaluated.
+    pub fn with_movement_graph(mut self, graph: MovementGraph) -> Self {
+        self.movement_graph = graph;
+        self
+    }
+
+    /// Sets the holding-buffer safety-valve timeout of the relocation
+    /// protocol.
+    pub fn with_relocation_timeout(mut self, timeout: SimDuration) -> Self {
+        self.relocation_timeout = timeout;
+        self
+    }
+
+    /// Sets (or, with `None`, disables) the transit-notification drain
+    /// interval.
+    pub fn with_drain_interval(mut self, interval: Option<SimDuration>) -> Self {
+        self.drain_interval = interval;
+        self
+    }
+
+    /// Sets where the per-broker write-ahead handoff logs live.
+    pub fn with_persistence(mut self, persistence: PersistenceConfig) -> Self {
+        self.persistence = persistence;
+        self
+    }
+
+    /// Sets the number of WAL records between compaction checkpoints
+    /// (0 disables compaction).
+    pub fn with_wal_checkpoint_every(mut self, records: usize) -> Self {
+        self.wal_checkpoint_every = records;
+        self
     }
 }
 

@@ -1,0 +1,549 @@
+//! A wall-clock, in-process driver: one thread per node, std channels as
+//! FIFO links, real `Instant` timers — no async runtime required.
+//!
+//! [`ThreadedDriver`] is the first deployment mode that runs the mobility
+//! runtime outside the discrete-event simulator and thereby *proves* the
+//! sans-IO [`Driver`] boundary: the protocol code (brokers, clients, the
+//! relocation machine) is byte-for-byte the same code the simulator runs;
+//! only the event loop differs.
+//!
+//! # How a run phase works
+//!
+//! Time is modelled as elapsed wall time since the driver was constructed,
+//! reported as a [`SimTime`] so the two drivers share one clock vocabulary.
+//! [`Driver::run_until`] executes one *phase*:
+//!
+//! 1. every node is moved into a worker thread together with its pending
+//!    events (undelivered messages and unfired timers carried over from
+//!    earlier phases),
+//! 2. workers deliver events when their deadline is reached on the wall
+//!    clock, dispatch them into the node, sample link delays for the
+//!    harvested sends and push them into the destination's channel
+//!    (clamped monotonically per link direction, preserving the FIFO link
+//!    contract even under random delay models),
+//! 3. when the phase deadline passes, a stop flag is raised; workers stop
+//!    dispatching, meet at a panic-tolerant rendezvous (after which no
+//!    further sends can happen), drain their inboxes into their pending
+//!    sets and return the node plus leftovers to the driver.
+//!
+//! Between phases the nodes are parked in the driver, so sessions can poll
+//! mailboxes, enqueue actions and inspect broker state exactly as under the
+//! simulator.  Unlike [`SimDriver`](crate::SimDriver), runs are *not*
+//! deterministic: scheduling jitter reorders concurrent events, which is
+//! precisely the point of a wall-clock smoke deployment.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rebeca_broker::Message;
+use rebeca_sim::{Context, DelayModel, Incoming, Metrics, Node, NodeId, SimDuration, SimTime};
+
+use crate::driver::Driver;
+use crate::system::SystemNode;
+
+/// Upper bound on how long a worker blocks waiting for channel traffic
+/// before re-checking the stop flag and its timer heap.
+const MAX_WAIT: Duration = Duration::from_millis(1);
+
+/// One event waiting to be delivered to a node, stamped with the absolute
+/// driver time at which it becomes due.
+#[derive(Debug, Clone)]
+struct Pending {
+    due: SimTime,
+    seq: u64,
+    event: Incoming<Message>,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// A message in flight over a channel link.
+struct Wire {
+    from: NodeId,
+    due: SimTime,
+    message: Message,
+}
+
+/// What a worker thread hands back at the end of a phase.
+struct WorkerReturn {
+    node: SystemNode,
+    pending: BinaryHeap<Reverse<Pending>>,
+    last_due: Vec<(NodeId, SimTime)>,
+    metrics: Metrics,
+}
+
+/// The wall-clock driver.  See the module docs for the execution model.
+pub struct ThreadedDriver {
+    nodes: Vec<Option<SystemNode>>,
+    neighbours: Vec<Vec<NodeId>>,
+    delays: HashMap<(NodeId, NodeId), DelayModel>,
+    /// FIFO clamp per directed link, carried across phases.
+    last_due: HashMap<(NodeId, NodeId), SimTime>,
+    /// Events not yet delivered, per node, carried across phases.
+    pending: Vec<BinaryHeap<Reverse<Pending>>>,
+    now: SimTime,
+    seed: u64,
+    phase: u64,
+    seq: u64,
+    metrics: Metrics,
+}
+
+impl ThreadedDriver {
+    /// Creates an empty wall-clock driver; `seed` feeds the per-link delay
+    /// sampling.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            neighbours: Vec::new(),
+            delays: HashMap::new(),
+            last_due: HashMap::new(),
+            pending: Vec::new(),
+            now: SimTime::ZERO,
+            seed,
+            phase: 0,
+            seq: 0,
+            metrics: Metrics::new(),
+        }
+    }
+
+    fn push_pending(&mut self, to: NodeId, due: SimTime, event: Incoming<Message>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.pending[to.index()].push(Reverse(Pending { due, seq, event }));
+    }
+
+    /// The earliest due time over every pending event, if any.
+    fn next_due(&self) -> Option<SimTime> {
+        self.pending
+            .iter()
+            .filter_map(|h| h.peek().map(|Reverse(p)| p.due))
+            .min()
+    }
+
+    /// Executes one wall-clock phase up to absolute driver time `until`.
+    fn run_phase(&mut self, until: SimTime) -> u64 {
+        if until <= self.now {
+            return 0;
+        }
+        let n = self.nodes.len();
+        if n == 0 {
+            self.now = until;
+            return 0;
+        }
+        self.phase += 1;
+
+        // Channels: one inbox per node; senders handed to every node (the
+        // link topology is enforced by the send path, which only knows the
+        // delay models of existing links).
+        let mut inboxes: Vec<Option<Receiver<Wire>>> = Vec::with_capacity(n);
+        let mut senders: Vec<Sender<Wire>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            inboxes.push(Some(rx));
+            senders.push(tx);
+        }
+
+        let phase_started = Instant::now();
+        let phase_base = self.now;
+        let stop = AtomicBool::new(false);
+        let rendezvous = Rendezvous::new(n);
+        let processed = AtomicU64::new(0);
+
+        // Move per-node state into the workers.
+        let mut workers: Vec<Worker> = (0..n)
+            .map(|i| {
+                let id = NodeId::new(i);
+                Worker {
+                    id,
+                    node: self.nodes[i].take().expect("node parked between phases"),
+                    pending: std::mem::take(&mut self.pending[i]),
+                    inbox: inboxes[i].take().expect("inbox unclaimed"),
+                    senders: senders.clone(),
+                    neighbours: self.neighbours[i].clone(),
+                    delays: self.neighbours[i]
+                        .iter()
+                        .map(|&to| (to, self.delays[&(id, to)]))
+                        .collect(),
+                    last_due: self.neighbours[i]
+                        .iter()
+                        .map(|&to| (to, *self.last_due.get(&(id, to)).unwrap_or(&SimTime::ZERO)))
+                        .collect(),
+                    rng: StdRng::seed_from_u64(self.seed ^ (self.phase << 20) ^ (i as u64)),
+                    // Sequence numbers only ever compare within one node's
+                    // heap, and they are always assigned by that node's own
+                    // worker (or by the driver between phases).  Starting
+                    // every worker at the driver's monotonic counter keeps
+                    // in-phase events tie-breaking after everything already
+                    // pending — including events carried over from earlier
+                    // phases — so equal clamped due times on a FIFO link
+                    // dispatch in send order.
+                    seq_base: self.seq,
+                    metrics: Metrics::new(),
+                }
+            })
+            .collect();
+        drop(senders);
+
+        let returns: Vec<WorkerReturn> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .drain(..)
+                .map(|worker| {
+                    let stop = &stop;
+                    let rendezvous = &rendezvous;
+                    let processed = &processed;
+                    scope.spawn(move || {
+                        worker.run(phase_started, phase_base, stop, rendezvous, processed)
+                    })
+                })
+                .collect();
+
+            // The main thread owns the phase clock: sleep until the
+            // deadline, then raise the stop flag.
+            let deadline =
+                phase_started + Duration::from_micros(until.since(phase_base).as_micros());
+            let now = Instant::now();
+            if deadline > now {
+                std::thread::sleep(deadline - now);
+            }
+            stop.store(true, Ordering::SeqCst);
+
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+
+        // Merge per-node state back.
+        for (i, ret) in returns.into_iter().enumerate() {
+            let id = NodeId::new(i);
+            self.nodes[i] = Some(ret.node);
+            self.pending[i] = ret.pending;
+            for (to, due) in ret.last_due {
+                let entry = self.last_due.entry((id, to)).or_insert(SimTime::ZERO);
+                if due > *entry {
+                    *entry = due;
+                }
+            }
+            self.metrics.merge(&ret.metrics);
+        }
+        // Jump the driver counter past anything a worker can have assigned
+        // this phase, so future events keep tie-breaking after past ones.
+        self.seq += SEQ_SLICE;
+        self.now = until;
+        processed.load(Ordering::SeqCst)
+    }
+}
+
+/// How far the driver-wide sequence counter advances per phase — an upper
+/// bound on the events one node can produce within a single phase.
+const SEQ_SLICE: u64 = 1 << 32;
+
+/// A panic-tolerant end-of-phase barrier.  A worker *arrives* when it has
+/// stopped dispatching (and can therefore no longer send); a worker that
+/// unwinds instead *defects* via its [`RendezvousGuard`].  Waiting
+/// completes once every live worker has arrived, so a panicking node never
+/// parks its peers forever — the panic propagates through the scope join.
+struct Rendezvous {
+    arrived: AtomicU64,
+    active: AtomicU64,
+}
+
+impl Rendezvous {
+    fn new(n: usize) -> Self {
+        Self {
+            arrived: AtomicU64::new(0),
+            active: AtomicU64::new(n as u64),
+        }
+    }
+
+    /// Marks the calling worker as arrived and waits until every worker
+    /// still alive has arrived too.
+    fn arrive_and_wait(&self) {
+        self.arrived.fetch_add(1, Ordering::SeqCst);
+        while self.arrived.load(Ordering::SeqCst) < self.active.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+}
+
+/// Drop guard registering a worker's defection when its thread unwinds
+/// before reaching the rendezvous.
+struct RendezvousGuard<'a> {
+    rendezvous: &'a Rendezvous,
+    arrived: bool,
+}
+
+impl Drop for RendezvousGuard<'_> {
+    fn drop(&mut self) {
+        if !self.arrived {
+            self.rendezvous.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Per-node worker state for one phase.
+struct Worker {
+    id: NodeId,
+    node: SystemNode,
+    pending: BinaryHeap<Reverse<Pending>>,
+    inbox: Receiver<Wire>,
+    senders: Vec<Sender<Wire>>,
+    neighbours: Vec<NodeId>,
+    delays: HashMap<NodeId, DelayModel>,
+    last_due: HashMap<NodeId, SimTime>,
+    rng: StdRng,
+    seq_base: u64,
+    metrics: Metrics,
+}
+
+impl Worker {
+    fn run(
+        mut self,
+        phase_started: Instant,
+        phase_base: SimTime,
+        stop: &AtomicBool,
+        rendezvous: &Rendezvous,
+        processed: &AtomicU64,
+    ) -> WorkerReturn {
+        // If this worker unwinds (a node handler panic), the guard defects
+        // from the rendezvous so the other workers do not wait forever.
+        let mut guard = RendezvousGuard {
+            rendezvous,
+            arrived: false,
+        };
+        let to_wall = |t: SimTime| -> Instant {
+            phase_started + Duration::from_micros(t.since(phase_base).as_micros())
+        };
+        let to_sim = |i: Instant| -> SimTime {
+            phase_base
+                + SimDuration::from_micros(i.duration_since(phase_started).as_micros() as u64)
+        };
+        let mut seq = self.seq_base;
+
+        while !stop.load(Ordering::SeqCst) {
+            let wall_now = Instant::now();
+            let sim_now = to_sim(wall_now);
+
+            // Dispatch everything that is due.
+            let due_now = self
+                .pending
+                .peek()
+                .is_some_and(|Reverse(p)| p.due <= sim_now);
+            if due_now {
+                let Reverse(pending) = self.pending.pop().expect("peeked");
+                // A node observes its event no earlier than the event's
+                // deadline, even if the thread woke early.
+                let at = pending.due.max(sim_now);
+                let mut ctx = Context::external(at, self.id, &self.neighbours, &mut self.metrics);
+                self.node.handle(&mut ctx, pending.event);
+                let (outgoing, timers) = ctx.into_harvest();
+                processed.fetch_add(1, Ordering::Relaxed);
+                for (to, message) in outgoing {
+                    let delay = self
+                        .delays
+                        .get(&to)
+                        .unwrap_or_else(|| panic!("no link {} -> {}", self.id, to))
+                        .sample(&mut self.rng);
+                    let mut due = at + delay;
+                    let clamp = self.last_due.entry(to).or_insert(SimTime::ZERO);
+                    if due < *clamp {
+                        due = *clamp;
+                    }
+                    *clamp = due;
+                    self.metrics.incr("network.messages");
+                    // A send only fails when the destination worker died
+                    // mid-phase (a node handler panic); propagate — the
+                    // rendezvous guards keep the teardown deadlock-free and
+                    // the scope join surfaces the original panic.
+                    self.senders[to.index()]
+                        .send(Wire {
+                            from: self.id,
+                            due,
+                            message,
+                        })
+                        .expect("destination worker died mid-phase");
+                }
+                for (delay, tag) in timers {
+                    seq += 1;
+                    self.pending.push(Reverse(Pending {
+                        due: at + delay,
+                        seq,
+                        event: Incoming::Timer { tag },
+                    }));
+                }
+                continue;
+            }
+
+            // Nothing due: wait for traffic, capped so the stop flag and the
+            // next local deadline are honoured.
+            let mut wait = MAX_WAIT;
+            if let Some(Reverse(p)) = self.pending.peek() {
+                wait = wait.min(to_wall(p.due).saturating_duration_since(wall_now));
+            }
+            let wait = wait.max(Duration::from_micros(20));
+            match self.inbox.recv_timeout(wait) {
+                Ok(wire) => {
+                    seq += 1;
+                    self.pending.push(Reverse(Pending {
+                        due: wire.due,
+                        seq,
+                        event: Incoming::Message {
+                            from: wire.from,
+                            message: wire.message,
+                        },
+                    }));
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // All senders dropped: only possible at teardown.
+                    break;
+                }
+            }
+        }
+
+        // After every live worker has arrived here, no thread dispatches any
+        // more, so no further sends can happen and draining the inbox below
+        // observes the final traffic of the phase.
+        drop(self.senders);
+        guard.arrived = true;
+        rendezvous.arrive_and_wait();
+        while let Ok(wire) = self.inbox.try_recv() {
+            seq += 1;
+            self.pending.push(Reverse(Pending {
+                due: wire.due,
+                seq,
+                event: Incoming::Message {
+                    from: wire.from,
+                    message: wire.message,
+                },
+            }));
+        }
+
+        WorkerReturn {
+            node: self.node,
+            pending: self.pending,
+            last_due: self.last_due.into_iter().collect(),
+            metrics: self.metrics,
+        }
+    }
+}
+
+impl Driver for ThreadedDriver {
+    fn add_node(&mut self, node: SystemNode) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(Some(node));
+        self.neighbours.push(Vec::new());
+        self.pending.push(BinaryHeap::new());
+        id
+    }
+
+    fn ensure_link(&mut self, a: NodeId, b: NodeId, delay: DelayModel) -> bool {
+        if self.delays.contains_key(&(a, b)) {
+            return false;
+        }
+        self.delays.insert((a, b), delay);
+        self.delays.insert((b, a), delay);
+        self.neighbours[a.index()].push(b);
+        self.neighbours[b.index()].push(a);
+        true
+    }
+
+    fn schedule_timer(&mut self, node: NodeId, at: SimTime, tag: u64) {
+        let due = at.max(self.now);
+        self.push_pending(node, due, Incoming::Timer { tag });
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn step(&mut self) -> bool {
+        match self.next_due() {
+            Some(due) => {
+                let target = due.max(self.now) + SimDuration::from_micros(1);
+                self.run_phase(target) > 0
+            }
+            None => false,
+        }
+    }
+
+    fn run_until(&mut self, until: SimTime) -> u64 {
+        self.run_phase(until)
+    }
+
+    fn run_to_idle(&mut self, max_events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_events {
+            let Some(due) = self.next_due() else { break };
+            // Jump to the next deadline plus a small settling window so
+            // cascades of immediate follow-up events drain in one phase.
+            let target = due.max(self.now) + SimDuration::from_millis(20);
+            processed += self.run_phase(target);
+        }
+        processed
+    }
+
+    fn node(&self, id: NodeId) -> &SystemNode {
+        self.nodes[id.index()]
+            .as_ref()
+            .expect("node parked between phases")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut SystemNode {
+        self.nodes[id.index()]
+            .as_mut()
+            .expect("node parked between phases")
+    }
+
+    fn replace_node(&mut self, id: NodeId, node: SystemNode) -> SystemNode {
+        self.nodes[id.index()]
+            .replace(node)
+            .expect("node parked between phases")
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+}
+
+impl std::fmt::Debug for ThreadedDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedDriver")
+            .field("nodes", &self.nodes.len())
+            .field("links", &(self.delays.len() / 2))
+            .field("now", &self.now)
+            .field(
+                "pending",
+                &self.pending.iter().map(|h| h.len()).sum::<usize>(),
+            )
+            .finish()
+    }
+}

@@ -4,7 +4,7 @@
 //! messages.
 
 use rebeca_broker::ClientId;
-use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem};
+use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, SystemBuilder};
 use rebeca_filter::{Constraint, Filter, Notification};
 use rebeca_location::MovementGraph;
 use rebeca_routing::RoutingStrategyKind;
@@ -25,21 +25,19 @@ fn reading(i: u64) -> Notification {
 /// other; returns `(delivered publisher seqs, total link messages,
 /// drain flushes)`.
 fn run_line(drain_interval: Option<SimDuration>) -> (Vec<u64>, u64, u64) {
-    let config = BrokerConfig {
-        strategy: RoutingStrategyKind::Covering,
-        movement_graph: MovementGraph::paper_example(),
-        relocation_timeout: SimDuration::from_secs(10),
-        drain_interval,
-        ..BrokerConfig::default()
-    };
-    let mut sys = MobilitySystem::new(
-        &Topology::line(5),
-        config,
-        DelayModel::constant_millis(5),
-        42,
-    );
-    let consumer = ClientId(1);
-    let producer = ClientId(2);
+    let config = BrokerConfig::default()
+        .with_strategy(RoutingStrategyKind::Covering)
+        .with_movement_graph(MovementGraph::paper_example())
+        .with_relocation_timeout(SimDuration::from_secs(10))
+        .with_drain_interval(drain_interval);
+    let mut sys = SystemBuilder::new(&Topology::line(5))
+        .config(config)
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(42)
+        .build()
+        .unwrap();
+    let consumer = ClientId::new(1);
+    let producer = ClientId::new(2);
     sys.add_client(
         consumer,
         LogicalMobilityMode::LocationDependent,
@@ -48,7 +46,7 @@ fn run_line(drain_interval: Option<SimDuration>) -> (Vec<u64>, u64, u64) {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(0),
+                    broker: sys.broker_node(0).unwrap(),
                 },
             ),
             (
@@ -56,11 +54,12 @@ fn run_line(drain_interval: Option<SimDuration>) -> (Vec<u64>, u64, u64) {
                 ClientAction::Subscribe(telemetry_filter()),
             ),
         ],
-    );
+    )
+    .unwrap();
     let mut script = vec![(
         SimTime::from_millis(1),
         ClientAction::Attach {
-            broker: sys.broker_node(4),
+            broker: sys.broker_node(4).unwrap(),
         },
     )];
     // 60 publications, 2 ms apart: with a 10 ms drain interval several
@@ -76,10 +75,11 @@ fn run_line(drain_interval: Option<SimDuration>) -> (Vec<u64>, u64, u64) {
         LogicalMobilityMode::LocationDependent,
         &[4],
         script,
-    );
+    )
+    .unwrap();
     sys.run_until(SimTime::from_secs(5));
 
-    let log = sys.client_log(consumer);
+    let log = sys.client_log(consumer).unwrap();
     assert!(log.is_clean(), "violations: {:?}", log.violations());
     (
         log.publisher_seqs(producer),
@@ -123,21 +123,19 @@ fn draining_reduces_link_messages_at_equal_deliveries() {
 /// an active drain queue still gets a complete, ordered stream.
 #[test]
 fn draining_composes_with_relocation() {
-    let config = BrokerConfig {
-        strategy: RoutingStrategyKind::Covering,
-        movement_graph: MovementGraph::paper_example(),
-        relocation_timeout: SimDuration::from_secs(30),
-        drain_interval: Some(SimDuration::from_millis(10)),
-        ..BrokerConfig::default()
-    };
-    let mut sys = MobilitySystem::new(
-        &Topology::figure5(),
-        config,
-        DelayModel::constant_millis(5),
-        7,
-    );
-    let consumer = ClientId(1);
-    let producer = ClientId(2);
+    let config = BrokerConfig::default()
+        .with_strategy(RoutingStrategyKind::Covering)
+        .with_movement_graph(MovementGraph::paper_example())
+        .with_relocation_timeout(SimDuration::from_secs(30))
+        .with_drain_interval(Some(SimDuration::from_millis(10)));
+    let mut sys = SystemBuilder::new(&Topology::figure5())
+        .config(config)
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(7)
+        .build()
+        .unwrap();
+    let consumer = ClientId::new(1);
+    let producer = ClientId::new(2);
     sys.add_client(
         consumer,
         LogicalMobilityMode::LocationDependent,
@@ -146,7 +144,7 @@ fn draining_composes_with_relocation() {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(5),
+                    broker: sys.broker_node(5).unwrap(),
                 },
             ),
             (
@@ -156,15 +154,16 @@ fn draining_composes_with_relocation() {
             (
                 SimTime::from_millis(300),
                 ClientAction::MoveTo {
-                    broker: sys.broker_node(0),
+                    broker: sys.broker_node(0).unwrap(),
                 },
             ),
         ],
-    );
+    )
+    .unwrap();
     let mut script = vec![(
         SimTime::from_millis(1),
         ClientAction::Attach {
-            broker: sys.broker_node(7),
+            broker: sys.broker_node(7).unwrap(),
         },
     )];
     for i in 0..80u64 {
@@ -178,10 +177,11 @@ fn draining_composes_with_relocation() {
         LogicalMobilityMode::LocationDependent,
         &[7],
         script,
-    );
+    )
+    .unwrap();
     sys.run_until(SimTime::from_secs(10));
 
-    let log = sys.client_log(consumer);
+    let log = sys.client_log(consumer).unwrap();
     assert!(log.is_clean(), "violations: {:?}", log.violations());
     assert_eq!(
         log.distinct_publisher_seqs(producer),

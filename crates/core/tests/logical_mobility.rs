@@ -6,19 +6,17 @@
 use std::collections::BTreeSet;
 
 use rebeca_broker::{ClientId, SubscriptionId};
-use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem};
+use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem, SystemBuilder};
 use rebeca_filter::{Constraint, Filter, LocationDependentFilter, Notification, Value};
 use rebeca_location::{AdaptivityPlan, LocationId, MovementGraph};
 use rebeca_routing::RoutingStrategyKind;
 use rebeca_sim::{DelayModel, SimDuration, SimTime, Topology};
 
 fn config() -> BrokerConfig {
-    BrokerConfig {
-        strategy: RoutingStrategyKind::Covering,
-        movement_graph: MovementGraph::paper_example(),
-        relocation_timeout: SimDuration::from_secs(10),
-        ..BrokerConfig::default()
-    }
+    BrokerConfig::default()
+        .with_strategy(RoutingStrategyKind::Covering)
+        .with_movement_graph(MovementGraph::paper_example())
+        .with_relocation_timeout(SimDuration::from_secs(10))
 }
 
 fn template() -> LocationDependentFilter {
@@ -42,6 +40,7 @@ fn loc(graph: &MovementGraph, name: &str) -> LocationId {
 fn installed_locations(sys: &MobilitySystem, broker: usize, sub: SubscriptionId) -> BTreeSet<u32> {
     let filter: &Filter = sys
         .broker(broker)
+        .unwrap()
         .loc_sub_filter(sub)
         .expect("broker must participate in the subscription");
     filter
@@ -62,8 +61,13 @@ fn per_hop_filters_reproduce_table_2() {
     let d = loc(&graph, "d");
 
     let topo = Topology::line(3);
-    let mut sys = MobilitySystem::new(&topo, config(), DelayModel::constant_millis(5), 1);
-    let consumer = ClientId(1);
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config())
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(1)
+        .build()
+        .unwrap();
+    let consumer = ClientId::new(1);
     let sub = SubscriptionId::new(consumer, 0);
 
     sys.add_client(
@@ -74,7 +78,7 @@ fn per_hop_filters_reproduce_table_2() {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(0),
+                    broker: sys.broker_node(0).unwrap(),
                 },
             ),
             (
@@ -88,7 +92,8 @@ fn per_hop_filters_reproduce_table_2() {
             (SimTime::from_secs(1), ClientAction::SetLocation(b)),
             (SimTime::from_secs(2), ClientAction::SetLocation(d)),
         ],
-    );
+    )
+    .unwrap();
 
     // Row t = 0 of Table 2 (client at a): F0 = {a}, F1 = {a,b,c}, F2 = {a,b,c,d}.
     sys.run_until(SimTime::from_millis(500));
@@ -120,8 +125,8 @@ fn per_hop_filters_reproduce_table_2() {
     );
 
     // The brokers also record the consumer's latest location.
-    assert_eq!(sys.broker(0).loc_sub_location(sub), Some(d));
-    assert_eq!(sys.broker(2).loc_sub_location(sub), Some(d));
+    assert_eq!(sys.broker(0).unwrap().loc_sub_location(sub), Some(d));
+    assert_eq!(sys.broker(2).unwrap().loc_sub_location(sub), Some(d));
 }
 
 /// Builds the blackout scenario of Figure 3: a producer at the far end of a
@@ -139,10 +144,15 @@ fn blackout_scenario(
     let b = loc(&graph, "b");
 
     let topo = Topology::line(4);
-    let mut sys = MobilitySystem::new(&topo, config(), DelayModel::constant_millis(20), 3);
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config())
+        .link_delay(DelayModel::constant_millis(20))
+        .seed(3)
+        .build()
+        .unwrap();
 
-    let consumer = ClientId(1);
-    let producer = ClientId(2);
+    let consumer = ClientId::new(1);
+    let producer = ClientId::new(2);
 
     sys.add_client(
         consumer,
@@ -152,7 +162,7 @@ fn blackout_scenario(
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(0),
+                    broker: sys.broker_node(0).unwrap(),
                 },
             ),
             (
@@ -165,13 +175,14 @@ fn blackout_scenario(
             ),
             (move_at, ClientAction::SetLocation(b)),
         ],
-    );
+    )
+    .unwrap();
 
     // The producer publishes a vacancy for every location every 20 ms.
     let mut script = vec![(
         SimTime::from_millis(1),
         ClientAction::Attach {
-            broker: sys.broker_node(3),
+            broker: sys.broker_node(3).unwrap(),
         },
     )];
     let mut t = SimTime::from_millis(40);
@@ -186,7 +197,8 @@ fn blackout_scenario(
         LogicalMobilityMode::LocationDependent,
         &[3],
         script,
-    );
+    )
+    .unwrap();
 
     (sys, consumer, graph)
 }
@@ -200,7 +212,7 @@ fn deliveries_for_location_in_window(
     from: SimTime,
     to: SimTime,
 ) -> usize {
-    let node = sys.client(client);
+    let node = sys.client(client).unwrap();
     node.log()
         .deliveries()
         .iter()
@@ -265,7 +277,8 @@ fn location_dependent_subscriptions_avoid_the_blackout_period() {
     // Over the whole run the managed consumer never receives less than the
     // baseline.
     assert!(
-        managed_sys.client(consumer).log().len() >= baseline_sys.client(consumer_b).log().len(),
+        managed_sys.client(consumer).unwrap().log().len()
+            >= baseline_sys.client(consumer_b).unwrap().log().len(),
         "the paper's scheme must dominate the baseline"
     );
 }
@@ -285,9 +298,14 @@ fn flooding_with_client_side_filtering_avoids_the_blackout_but_costs_more() {
         let topo = Topology::line(4);
         let mut cfg = config();
         cfg.strategy = strategy;
-        let mut sys = MobilitySystem::new(&topo, cfg, DelayModel::constant_millis(20), 3);
-        let consumer = ClientId(1);
-        let producer = ClientId(2);
+        let mut sys = SystemBuilder::new(&topo)
+            .config(cfg)
+            .link_delay(DelayModel::constant_millis(20))
+            .seed(3)
+            .build()
+            .unwrap();
+        let consumer = ClientId::new(1);
+        let producer = ClientId::new(2);
         sys.add_client(
             consumer,
             mode,
@@ -296,7 +314,7 @@ fn flooding_with_client_side_filtering_avoids_the_blackout_but_costs_more() {
                 (
                     SimTime::from_millis(1),
                     ClientAction::Attach {
-                        broker: sys.broker_node(0),
+                        broker: sys.broker_node(0).unwrap(),
                     },
                 ),
                 (
@@ -309,11 +327,12 @@ fn flooding_with_client_side_filtering_avoids_the_blackout_but_costs_more() {
                 ),
                 (move_at, ClientAction::SetLocation(b)),
             ],
-        );
+        )
+        .unwrap();
         let mut script = vec![(
             SimTime::from_millis(1),
             ClientAction::Attach {
-                broker: sys.broker_node(3),
+                broker: sys.broker_node(3).unwrap(),
             },
         )];
         let mut t = SimTime::from_millis(40);
@@ -328,7 +347,8 @@ fn flooding_with_client_side_filtering_avoids_the_blackout_but_costs_more() {
             LogicalMobilityMode::LocationDependent,
             &[3],
             script,
-        );
+        )
+        .unwrap();
         sys.run_until(horizon);
         (sys, consumer)
     };
@@ -379,9 +399,14 @@ fn delivered_notifications_always_match_a_recent_location() {
 
     let (mut sys, consumer, _) = {
         let topo = Topology::line(4);
-        let mut sys = MobilitySystem::new(&topo, config(), DelayModel::constant_millis(20), 9);
-        let consumer = ClientId(1);
-        let producer = ClientId(2);
+        let mut sys = SystemBuilder::new(&topo)
+            .config(config())
+            .link_delay(DelayModel::constant_millis(20))
+            .seed(9)
+            .build()
+            .unwrap();
+        let consumer = ClientId::new(1);
+        let producer = ClientId::new(2);
         sys.add_client(
             consumer,
             LogicalMobilityMode::LocationDependent,
@@ -390,7 +415,7 @@ fn delivered_notifications_always_match_a_recent_location() {
                 (
                     SimTime::from_millis(1),
                     ClientAction::Attach {
-                        broker: sys.broker_node(0),
+                        broker: sys.broker_node(0).unwrap(),
                     },
                 ),
                 (
@@ -404,11 +429,12 @@ fn delivered_notifications_always_match_a_recent_location() {
                 (SimTime::from_secs(1), ClientAction::SetLocation(b)),
                 (SimTime::from_secs(2), ClientAction::SetLocation(d)),
             ],
-        );
+        )
+        .unwrap();
         let mut script = vec![(
             SimTime::from_millis(1),
             ClientAction::Attach {
-                broker: sys.broker_node(3),
+                broker: sys.broker_node(3).unwrap(),
             },
         )];
         let mut t = SimTime::from_millis(40);
@@ -423,7 +449,8 @@ fn delivered_notifications_always_match_a_recent_location() {
             LogicalMobilityMode::LocationDependent,
             &[3],
             script,
-        );
+        )
+        .unwrap();
         (sys, consumer, producer)
     };
     sys.run_until(SimTime::from_secs(3));
@@ -442,7 +469,7 @@ fn delivered_notifications_always_match_a_recent_location() {
             .unwrap()
     };
 
-    let client = sys.client(consumer);
+    let client = sys.client(consumer).unwrap();
     assert!(
         client.log().len() > 50,
         "the consumer must receive a steady stream"
@@ -493,8 +520,13 @@ fn loc_unsubscribe_removes_state_everywhere() {
     let graph = MovementGraph::paper_example();
     let a = loc(&graph, "a");
     let topo = Topology::line(3);
-    let mut sys = MobilitySystem::new(&topo, config(), DelayModel::constant_millis(5), 1);
-    let consumer = ClientId(1);
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config())
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(1)
+        .build()
+        .unwrap();
+    let consumer = ClientId::new(1);
     let sub = SubscriptionId::new(consumer, 0);
 
     sys.add_client(
@@ -505,7 +537,7 @@ fn loc_unsubscribe_removes_state_everywhere() {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(0),
+                    broker: sys.broker_node(0).unwrap(),
                 },
             ),
             (
@@ -517,16 +549,22 @@ fn loc_unsubscribe_removes_state_everywhere() {
                 },
             ),
         ],
-    );
+    )
+    .unwrap();
     sys.run_until(SimTime::from_millis(500));
-    assert!(sys.broker(0).loc_sub_filter(sub).is_some());
-    assert!(sys.broker(2).loc_sub_filter(sub).is_some());
-    assert_eq!(sys.broker(1).loc_sub_count(), 1);
+    assert!(sys.broker(0).unwrap().loc_sub_filter(sub).is_some());
+    assert!(sys.broker(2).unwrap().loc_sub_filter(sub).is_some());
+    assert_eq!(sys.broker(1).unwrap().loc_sub_count(), 1);
 
     // Retract by injecting the unsubscribe through the client's broker: the
     // cleanest way within the scripted model is a second system run; here we
     // drive it directly by scripting the unsubscribe in a fresh system.
-    let mut sys2 = MobilitySystem::new(&topo, config(), DelayModel::constant_millis(5), 1);
+    let mut sys2 = SystemBuilder::new(&topo)
+        .config(config())
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(1)
+        .build()
+        .unwrap();
     sys2.add_client(
         consumer,
         LogicalMobilityMode::LocationDependent,
@@ -535,7 +573,7 @@ fn loc_unsubscribe_removes_state_everywhere() {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys2.broker_node(0),
+                    broker: sys2.broker_node(0).unwrap(),
                 },
             ),
             (
@@ -551,11 +589,12 @@ fn loc_unsubscribe_removes_state_everywhere() {
                 ClientAction::LocUnsubscribe { index: 0 },
             ),
         ],
-    );
+    )
+    .unwrap();
     sys2.run_until(SimTime::from_secs(1));
     for broker in 0..3 {
         assert_eq!(
-            sys2.broker(broker).loc_sub_count(),
+            sys2.broker(broker).unwrap().loc_sub_count(),
             0,
             "broker {broker} must have dropped the subscription state"
         );

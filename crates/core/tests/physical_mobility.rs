@@ -3,7 +3,7 @@
 //! naive hand-off baseline of Figure 2.
 
 use rebeca_broker::ClientId;
-use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem};
+use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem, SystemBuilder};
 use rebeca_filter::{Constraint, Filter, Notification};
 use rebeca_location::MovementGraph;
 use rebeca_routing::RoutingStrategyKind;
@@ -21,12 +21,10 @@ fn vacancy(i: i64) -> Notification {
 }
 
 fn config(strategy: RoutingStrategyKind) -> BrokerConfig {
-    BrokerConfig {
-        strategy,
-        movement_graph: MovementGraph::paper_example(),
-        relocation_timeout: SimDuration::from_secs(30),
-        ..BrokerConfig::default()
-    }
+    BrokerConfig::default()
+        .with_strategy(strategy)
+        .with_movement_graph(MovementGraph::paper_example())
+        .with_relocation_timeout(SimDuration::from_secs(30))
 }
 
 /// Builds the Figure 5 scenario: the producer attaches at B8 (index 7), the
@@ -41,13 +39,18 @@ fn figure5_scenario(
     naive: Option<bool>,
 ) -> (MobilitySystem, ClientId, ClientId) {
     let topo = Topology::figure5();
-    let mut sys = MobilitySystem::new(&topo, config(strategy), DelayModel::constant_millis(5), 7);
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config(strategy))
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(7)
+        .build()
+        .unwrap();
 
-    let consumer = ClientId(1);
-    let producer = ClientId(2);
+    let consumer = ClientId::new(1);
+    let producer = ClientId::new(2);
 
-    let old_broker = sys.broker_node(5); // B6
-    let new_broker = sys.broker_node(0); // B1
+    let old_broker = sys.broker_node(5).unwrap(); // B6
+    let new_broker = sys.broker_node(0).unwrap(); // B1
 
     let move_action = match naive {
         None => ClientAction::MoveTo { broker: new_broker },
@@ -71,13 +74,14 @@ fn figure5_scenario(
             ),
             (move_at, move_action),
         ],
-    );
+    )
+    .unwrap();
 
     let mut producer_script = vec![
         (
             SimTime::from_millis(1),
             ClientAction::Attach {
-                broker: sys.broker_node(7),
+                broker: sys.broker_node(7).unwrap(),
             },
         ),
         (
@@ -96,7 +100,8 @@ fn figure5_scenario(
         LogicalMobilityMode::LocationDependent,
         &[7],
         producer_script,
-    );
+    )
+    .unwrap();
 
     (sys, consumer, producer)
 }
@@ -117,7 +122,7 @@ fn relocation_is_complete_ordered_and_duplicate_free() {
     );
     sys.run_until(SimTime::from_secs(10));
 
-    let log = sys.client_log(consumer);
+    let log = sys.client_log(consumer).unwrap();
     assert!(log.is_clean(), "violations: {:?}", log.violations());
     assert_eq!(
         log.distinct_publisher_seqs(producer),
@@ -141,7 +146,7 @@ fn relocation_works_under_other_routing_strategies() {
         let (mut sys, consumer, producer) =
             figure5_scenario(strategy, SimTime::from_millis(300), publications, 20, None);
         sys.run_until(SimTime::from_secs(10));
-        let log = sys.client_log(consumer);
+        let log = sys.client_log(consumer).unwrap();
         assert!(log.is_clean(), "{strategy:?}: {:?}", log.violations());
         assert_eq!(
             log.distinct_publisher_seqs(producer),
@@ -164,7 +169,7 @@ fn old_broker_garbage_collects_after_relocation() {
     );
     sys.run_until(SimTime::from_secs(10));
 
-    let old_broker = sys.broker(5); // B6
+    let old_broker = sys.broker(5).unwrap(); // B6
     assert_eq!(
         old_broker.counterpart_count(),
         0,
@@ -178,7 +183,7 @@ fn old_broker_garbage_collects_after_relocation() {
 
     // The new border broker has taken over the client and holds no pending
     // relocation state either.
-    let new_broker = sys.broker(0); // B1
+    let new_broker = sys.broker(0).unwrap(); // B1
     assert!(new_broker.core().client(consumer).is_some());
     assert_eq!(new_broker.pending_relocations(), 0);
 }
@@ -199,16 +204,16 @@ fn settled_relocations_leave_no_timeout_guards() {
     // Run well past the relocation but far short of the 30 s timeout, so a
     // leaked guard could not have been cleaned up by the timer firing.
     sys.run_until(SimTime::from_secs(10));
-    let log = sys.client_log(consumer);
+    let log = sys.client_log(consumer).unwrap();
     assert!(log.is_clean());
     assert_eq!(log.distinct_publisher_seqs(producer).len(), 40);
     for b in 0..sys.broker_count() {
         assert_eq!(
-            sys.broker(b).timeout_tag_count(),
+            sys.broker(b).unwrap().timeout_tag_count(),
             0,
             "broker {b} leaked a relocation-timeout guard after the relocation settled"
         );
-        assert_eq!(sys.broker(b).pending_relocations(), 0);
+        assert_eq!(sys.broker(b).unwrap().pending_relocations(), 0);
     }
 }
 
@@ -217,13 +222,13 @@ fn settled_relocations_leave_no_timeout_guards() {
 #[test]
 fn repeated_relocations_do_not_accumulate_timeout_guards() {
     let topo = Topology::figure5();
-    let mut sys = MobilitySystem::new(
-        &topo,
-        config(RoutingStrategyKind::Covering),
-        DelayModel::constant_millis(5),
-        13,
-    );
-    let consumer = ClientId(1);
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config(RoutingStrategyKind::Covering))
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(13)
+        .build()
+        .unwrap();
+    let consumer = ClientId::new(1);
     sys.add_client(
         consumer,
         LogicalMobilityMode::LocationDependent,
@@ -232,7 +237,7 @@ fn repeated_relocations_do_not_accumulate_timeout_guards() {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(5),
+                    broker: sys.broker_node(5).unwrap(),
                 },
             ),
             (
@@ -242,27 +247,28 @@ fn repeated_relocations_do_not_accumulate_timeout_guards() {
             (
                 SimTime::from_millis(400),
                 ClientAction::MoveTo {
-                    broker: sys.broker_node(0),
+                    broker: sys.broker_node(0).unwrap(),
                 },
             ),
             (
                 SimTime::from_millis(900),
                 ClientAction::MoveTo {
-                    broker: sys.broker_node(2),
+                    broker: sys.broker_node(2).unwrap(),
                 },
             ),
             (
                 SimTime::from_millis(1400),
                 ClientAction::MoveTo {
-                    broker: sys.broker_node(5),
+                    broker: sys.broker_node(5).unwrap(),
                 },
             ),
         ],
-    );
+    )
+    .unwrap();
     sys.run_until(SimTime::from_secs(5));
     for b in 0..sys.broker_count() {
         assert_eq!(
-            sys.broker(b).timeout_tag_count(),
+            sys.broker(b).unwrap().timeout_tag_count(),
             0,
             "broker {b} accumulated guards across repeated relocations"
         );
@@ -275,16 +281,16 @@ fn repeated_relocations_do_not_accumulate_timeout_guards() {
 #[test]
 fn notifications_during_disconnection_are_replayed() {
     let topo = Topology::figure5();
-    let mut sys = MobilitySystem::new(
-        &topo,
-        config(RoutingStrategyKind::Covering),
-        DelayModel::constant_millis(5),
-        3,
-    );
-    let consumer = ClientId(1);
-    let producer = ClientId(2);
-    let old_broker = sys.broker_node(5);
-    let new_broker = sys.broker_node(0);
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config(RoutingStrategyKind::Covering))
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(3)
+        .build()
+        .unwrap();
+    let consumer = ClientId::new(1);
+    let producer = ClientId::new(2);
+    let old_broker = sys.broker_node(5).unwrap();
+    let new_broker = sys.broker_node(0).unwrap();
 
     // The consumer detaches at t = 200 ms and only re-subscribes at the new
     // broker at t = 800 ms; the producer publishes throughout.
@@ -308,11 +314,12 @@ fn notifications_during_disconnection_are_replayed() {
                 ClientAction::MoveTo { broker: new_broker },
             ),
         ],
-    );
+    )
+    .unwrap();
     let mut producer_script = vec![(
         SimTime::from_millis(1),
         ClientAction::Attach {
-            broker: sys.broker_node(7),
+            broker: sys.broker_node(7).unwrap(),
         },
     )];
     for i in 0..30u64 {
@@ -326,10 +333,11 @@ fn notifications_during_disconnection_are_replayed() {
         LogicalMobilityMode::LocationDependent,
         &[7],
         producer_script,
-    );
+    )
+    .unwrap();
 
     sys.run_until(SimTime::from_secs(10));
-    let log = sys.client_log(consumer);
+    let log = sys.client_log(consumer).unwrap();
     assert!(log.is_clean(), "violations: {:?}", log.violations());
     assert_eq!(
         log.distinct_publisher_seqs(producer),
@@ -342,15 +350,15 @@ fn notifications_during_disconnection_are_replayed() {
 #[test]
 fn reconnecting_to_the_same_broker_replays_locally() {
     let topo = Topology::line(3);
-    let mut sys = MobilitySystem::new(
-        &topo,
-        config(RoutingStrategyKind::Covering),
-        DelayModel::constant_millis(5),
-        5,
-    );
-    let consumer = ClientId(1);
-    let producer = ClientId(2);
-    let home = sys.broker_node(0);
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config(RoutingStrategyKind::Covering))
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(5)
+        .build()
+        .unwrap();
+    let consumer = ClientId::new(1);
+    let producer = ClientId::new(2);
+    let home = sys.broker_node(0).unwrap();
 
     sys.add_client(
         consumer,
@@ -372,11 +380,12 @@ fn reconnecting_to_the_same_broker_replays_locally() {
                 ClientAction::MoveTo { broker: home },
             ),
         ],
-    );
+    )
+    .unwrap();
     let mut producer_script = vec![(
         SimTime::from_millis(1),
         ClientAction::Attach {
-            broker: sys.broker_node(2),
+            broker: sys.broker_node(2).unwrap(),
         },
     )];
     for i in 0..20u64 {
@@ -390,10 +399,11 @@ fn reconnecting_to_the_same_broker_replays_locally() {
         LogicalMobilityMode::LocationDependent,
         &[2],
         producer_script,
-    );
+    )
+    .unwrap();
 
     sys.run_until(SimTime::from_secs(5));
-    let log = sys.client_log(consumer);
+    let log = sys.client_log(consumer).unwrap();
     assert!(log.is_clean(), "violations: {:?}", log.violations());
     assert_eq!(
         log.distinct_publisher_seqs(producer),
@@ -416,7 +426,7 @@ fn naive_handoff_with_sign_off_loses_notifications() {
         Some(true),
     );
     sys.run_until(SimTime::from_secs(10));
-    let log = sys.client_log(consumer);
+    let log = sys.client_log(consumer).unwrap();
     let missing = log.missing_from(producer, 1..=publications);
     assert!(
         !missing.is_empty(),
@@ -440,7 +450,7 @@ fn naive_handoff_without_sign_off_duplicates_notifications_under_flooding() {
         Some(false),
     );
     sys.run_until(SimTime::from_secs(10));
-    let log = sys.client_log(consumer);
+    let log = sys.client_log(consumer).unwrap();
     assert!(
         log.duplicate_publications(producer) > 0,
         "without a sign-off the client must receive some publications twice"
@@ -466,7 +476,7 @@ fn relocation_under_flooding_is_complete_with_bounded_handover_duplicates() {
         None,
     );
     sys.run_until(SimTime::from_secs(10));
-    let log = sys.client_log(consumer);
+    let log = sys.client_log(consumer).unwrap();
     assert_eq!(
         log.distinct_publisher_seqs(producer),
         (1..=publications).collect::<Vec<u64>>(),
@@ -485,15 +495,15 @@ fn relocation_under_flooding_is_complete_with_bounded_handover_duplicates() {
 #[test]
 fn relocation_with_multiple_producers() {
     let topo = Topology::figure5();
-    let mut sys = MobilitySystem::new(
-        &topo,
-        config(RoutingStrategyKind::Covering),
-        DelayModel::constant_millis(5),
-        11,
-    );
-    let consumer = ClientId(1);
-    let producer_far = ClientId(2); // at B8 (index 7), beyond the junction
-    let producer_near = ClientId(3); // at B2 (index 1), on the new path
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config(RoutingStrategyKind::Covering))
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(11)
+        .build()
+        .unwrap();
+    let consumer = ClientId::new(1);
+    let producer_far = ClientId::new(2); // at B8 (index 7), beyond the junction
+    let producer_near = ClientId::new(3); // at B2 (index 1), on the new path
 
     sys.add_client(
         consumer,
@@ -503,7 +513,7 @@ fn relocation_with_multiple_producers() {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(5),
+                    broker: sys.broker_node(5).unwrap(),
                 },
             ),
             (
@@ -513,16 +523,17 @@ fn relocation_with_multiple_producers() {
             (
                 SimTime::from_millis(500),
                 ClientAction::MoveTo {
-                    broker: sys.broker_node(0),
+                    broker: sys.broker_node(0).unwrap(),
                 },
             ),
         ],
-    );
+    )
+    .unwrap();
     for (client, broker_index) in [(producer_far, 7usize), (producer_near, 1usize)] {
         let mut script = vec![(
             SimTime::from_millis(1),
             ClientAction::Attach {
-                broker: sys.broker_node(broker_index),
+                broker: sys.broker_node(broker_index).unwrap(),
             },
         )];
         for i in 0..30u64 {
@@ -536,11 +547,12 @@ fn relocation_with_multiple_producers() {
             LogicalMobilityMode::LocationDependent,
             &[broker_index],
             script,
-        );
+        )
+        .unwrap();
     }
 
     sys.run_until(SimTime::from_secs(10));
-    let log = sys.client_log(consumer);
+    let log = sys.client_log(consumer).unwrap();
     assert!(log.is_clean(), "violations: {:?}", log.violations());
     for producer in [producer_far, producer_near] {
         assert_eq!(
@@ -556,14 +568,14 @@ fn relocation_with_multiple_producers() {
 #[test]
 fn repeated_relocations_preserve_the_stream() {
     let topo = Topology::figure5();
-    let mut sys = MobilitySystem::new(
-        &topo,
-        config(RoutingStrategyKind::Covering),
-        DelayModel::constant_millis(5),
-        13,
-    );
-    let consumer = ClientId(1);
-    let producer = ClientId(2);
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config(RoutingStrategyKind::Covering))
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(13)
+        .build()
+        .unwrap();
+    let consumer = ClientId::new(1);
+    let producer = ClientId::new(2);
 
     sys.add_client(
         consumer,
@@ -573,7 +585,7 @@ fn repeated_relocations_preserve_the_stream() {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(5),
+                    broker: sys.broker_node(5).unwrap(),
                 },
             ),
             (
@@ -583,21 +595,22 @@ fn repeated_relocations_preserve_the_stream() {
             (
                 SimTime::from_millis(400),
                 ClientAction::MoveTo {
-                    broker: sys.broker_node(0),
+                    broker: sys.broker_node(0).unwrap(),
                 },
             ),
             (
                 SimTime::from_millis(900),
                 ClientAction::MoveTo {
-                    broker: sys.broker_node(2),
+                    broker: sys.broker_node(2).unwrap(),
                 },
             ),
         ],
-    );
+    )
+    .unwrap();
     let mut producer_script = vec![(
         SimTime::from_millis(1),
         ClientAction::Attach {
-            broker: sys.broker_node(7),
+            broker: sys.broker_node(7).unwrap(),
         },
     )];
     for i in 0..50u64 {
@@ -611,10 +624,11 @@ fn repeated_relocations_preserve_the_stream() {
         LogicalMobilityMode::LocationDependent,
         &[7],
         producer_script,
-    );
+    )
+    .unwrap();
 
     sys.run_until(SimTime::from_secs(15));
-    let log = sys.client_log(consumer);
+    let log = sys.client_log(consumer).unwrap();
     assert!(log.is_clean(), "violations: {:?}", log.violations());
     assert_eq!(
         log.distinct_publisher_seqs(producer),

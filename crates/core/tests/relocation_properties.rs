@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 
 use rebeca_broker::ClientId;
-use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem};
+use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem, SystemBuilder};
 use rebeca_filter::{Constraint, Filter, Notification};
 use rebeca_location::MovementGraph;
 use rebeca_routing::RoutingStrategyKind;
@@ -80,16 +80,19 @@ fn run(s: &Scenario) -> (MobilitySystem, ClientId, ClientId) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(s.seed);
     let topo = Topology::random_tree(s.brokers, &mut rng);
 
-    let config = BrokerConfig {
-        strategy: s.strategy,
-        movement_graph: MovementGraph::paper_example(),
-        relocation_timeout: SimDuration::from_secs(60),
-        ..BrokerConfig::default()
-    };
-    let mut sys = MobilitySystem::new(&topo, config, DelayModel::constant_millis(5), s.seed);
+    let config = BrokerConfig::default()
+        .with_strategy(s.strategy)
+        .with_movement_graph(MovementGraph::paper_example())
+        .with_relocation_timeout(SimDuration::from_secs(60));
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config)
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(s.seed)
+        .build()
+        .unwrap();
 
-    let consumer = ClientId(1);
-    let producer = ClientId(2);
+    let consumer = ClientId::new(1);
+    let producer = ClientId::new(2);
 
     let mut reachable = vec![s.start, s.target];
     reachable.dedup();
@@ -101,23 +104,24 @@ fn run(s: &Scenario) -> (MobilitySystem, ClientId, ClientId) {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(s.start),
+                    broker: sys.broker_node(s.start).unwrap(),
                 },
             ),
             (SimTime::from_millis(2), ClientAction::Subscribe(filter())),
             (
                 SimTime::from_millis(s.move_at_ms),
                 ClientAction::MoveTo {
-                    broker: sys.broker_node(s.target),
+                    broker: sys.broker_node(s.target).unwrap(),
                 },
             ),
         ],
-    );
+    )
+    .unwrap();
 
     let mut script = vec![(
         SimTime::from_millis(1),
         ClientAction::Attach {
-            broker: sys.broker_node(s.producer_at),
+            broker: sys.broker_node(s.producer_at).unwrap(),
         },
     )];
     for i in 0..s.publications {
@@ -131,7 +135,8 @@ fn run(s: &Scenario) -> (MobilitySystem, ClientId, ClientId) {
         LogicalMobilityMode::LocationDependent,
         &[s.producer_at],
         script,
-    );
+    )
+    .unwrap();
 
     sys.run_until(SimTime::from_secs(30));
     (sys, consumer, producer)
@@ -145,7 +150,7 @@ proptest! {
     #[test]
     fn relocation_is_always_complete_ordered_and_duplicate_free(s in scenario()) {
         let (sys, consumer, producer) = run(&s);
-        let log = sys.client_log(consumer);
+        let log = sys.client_log(consumer).unwrap();
         prop_assert!(log.is_clean(), "scenario {:?}: violations {:?}", s, log.violations());
         prop_assert_eq!(
             log.distinct_publisher_seqs(producer),
@@ -168,11 +173,11 @@ proptest! {
     fn relocation_leaves_no_dangling_buffers(s in scenario()) {
         let (sys, _, _) = run(&s);
         for b in 0..sys.broker_count() {
-            prop_assert_eq!(sys.broker(b).pending_relocations(), 0,
+            prop_assert_eq!(sys.broker(b).unwrap().pending_relocations(), 0,
                 "broker {} still holds a pending relocation in scenario {:?}", b, s);
-            prop_assert_eq!(sys.broker(b).buffered_deliveries(), 0,
+            prop_assert_eq!(sys.broker(b).unwrap().buffered_deliveries(), 0,
                 "broker {} still buffers deliveries in scenario {:?}", b, s);
-            prop_assert_eq!(sys.broker(b).timeout_tag_count(), 0,
+            prop_assert_eq!(sys.broker(b).unwrap().timeout_tag_count(), 0,
                 "broker {} leaked a timeout guard in scenario {:?}", b, s);
         }
     }

@@ -1,0 +1,221 @@
+//! The session API against the scripted adapter: driving the same scenario
+//! both ways must produce *identical* consumer state, because the scripted
+//! path is a thin adapter over the session machinery.
+
+use rebeca_broker::ClientId;
+use rebeca_core::{ClientAction, LogicalMobilityMode, MobilitySystem, RebecaError, SystemBuilder};
+use rebeca_filter::{Constraint, Filter, Notification};
+use rebeca_sim::{DelayModel, SimTime, Topology};
+
+fn subscription() -> Filter {
+    Filter::new()
+        .with("service", Constraint::Eq("parking".into()))
+        .with("cost", Constraint::Lt(3.into()))
+}
+
+fn vacancy(i: u64) -> Notification {
+    Notification::builder()
+        .attr("service", "parking")
+        .attr("cost", (i % 3) as i64)
+        .attr("spot", i as i64)
+        .build()
+}
+
+fn quickstart_system() -> MobilitySystem {
+    SystemBuilder::new(&Topology::line(3))
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(42)
+        .build()
+        .expect("non-empty topology")
+}
+
+/// The quickstart scenario, pre-scripted: every `(time, action)` pair is
+/// known up front.
+fn run_scripted() -> MobilitySystem {
+    let mut sys = quickstart_system();
+    sys.add_client(
+        ClientId::new(1),
+        LogicalMobilityMode::LocationDependent,
+        &[0, 1],
+        vec![
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(0).unwrap(),
+                },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(subscription()),
+            ),
+            (
+                SimTime::from_millis(500),
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(1).unwrap(),
+                },
+            ),
+        ],
+    )
+    .unwrap();
+    let mut script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: sys.broker_node(2).unwrap(),
+        },
+    )];
+    for i in 0..20u64 {
+        script.push((
+            SimTime::from_millis(100 + i * 50),
+            ClientAction::Publish(vacancy(i)),
+        ));
+    }
+    sys.add_client(
+        ClientId::new(2),
+        LogicalMobilityMode::LocationDependent,
+        &[2],
+        script,
+    )
+    .unwrap();
+    sys.run_until(SimTime::from_secs(3));
+    sys
+}
+
+/// The same scenario driven interactively: sessions issue each action at the
+/// moment the scripted run would have executed it.
+fn run_session() -> Result<MobilitySystem, RebecaError> {
+    let mut sys = quickstart_system();
+    let consumer = sys.connect(ClientId::new(1), 0)?;
+    consumer.subscribe(&mut sys, subscription())?;
+    let producer = sys.connect(ClientId::new(2), 2)?;
+    for i in 0..20u64 {
+        sys.run_until(SimTime::from_millis(100 + i * 50));
+        if i == 8 {
+            // t = 500 ms: the scripted consumer's move executes before the
+            // producer's publication of the same instant (script order);
+            // mirror that order here.
+            consumer.move_to(&mut sys, 1)?;
+        }
+        producer.publish(&mut sys, vacancy(i))?;
+    }
+    sys.run_until(SimTime::from_secs(3));
+    Ok(sys)
+}
+
+/// The headline equivalence: byte-identical `ConsumerLog`s from the
+/// scripted and the session-driven quickstart.
+#[test]
+fn scripted_and_session_runs_are_byte_identical() {
+    let scripted = run_scripted();
+    let session = run_session().expect("session run");
+
+    let scripted_log = scripted.client_log(ClientId::new(1)).unwrap();
+    let session_log = session.client_log(ClientId::new(1)).unwrap();
+
+    assert!(scripted_log.is_clean() && session_log.is_clean());
+    assert_eq!(scripted_log.len(), 20);
+    assert_eq!(
+        scripted_log, session_log,
+        "scripted and session-driven runs must record identical deliveries"
+    );
+    // Literally byte-identical, not just structurally equal.
+    assert_eq!(
+        format!("{scripted_log:?}").into_bytes(),
+        format!("{session_log:?}").into_bytes()
+    );
+}
+
+/// `poll_deliveries` and the persistent log observe the same stream: the
+/// mailbox drains incrementally, the log keeps everything.
+#[test]
+fn mailbox_drains_what_the_log_keeps() {
+    let mut sys = quickstart_system();
+    let consumer = sys.connect(ClientId::new(1), 0).unwrap();
+    consumer.subscribe(&mut sys, subscription()).unwrap();
+    let producer = sys.connect(ClientId::new(2), 2).unwrap();
+    sys.run_until(SimTime::from_millis(50));
+
+    let mut polled = Vec::new();
+    for i in 0..12u64 {
+        producer.publish(&mut sys, vacancy(i)).unwrap();
+        sys.run_until(SimTime::from_millis(50 + (i + 1) * 25));
+        polled.extend(consumer.poll_deliveries(&mut sys).unwrap());
+    }
+    sys.run_until(SimTime::from_secs(2));
+    polled.extend(consumer.poll_deliveries(&mut sys).unwrap());
+
+    let log = consumer.log(&sys).unwrap();
+    assert_eq!(polled.len(), log.len());
+    assert_eq!(polled.as_slice(), log.deliveries());
+}
+
+/// Detach parks the stream at the border broker; a later move resumes it
+/// without loss (the counterpart keeps buffering while detached).
+#[test]
+fn detach_then_move_resumes_the_stream() {
+    let mut sys = quickstart_system();
+    let consumer = sys.connect(ClientId::new(1), 0).unwrap();
+    consumer.subscribe(&mut sys, subscription()).unwrap();
+    let producer = sys.connect(ClientId::new(2), 2).unwrap();
+    sys.run_until(SimTime::from_millis(50));
+
+    for i in 0..4u64 {
+        producer.publish(&mut sys, vacancy(i)).unwrap();
+    }
+    sys.run_until(SimTime::from_millis(200));
+    consumer.detach(&mut sys).unwrap();
+    sys.run_until(SimTime::from_millis(250));
+    // Published while the consumer is offline: buffered by the counterpart.
+    for i in 4..8u64 {
+        producer.publish(&mut sys, vacancy(i)).unwrap();
+    }
+    sys.run_until(SimTime::from_millis(400));
+    consumer.move_to(&mut sys, 1).unwrap();
+    sys.run_until(SimTime::from_secs(12));
+
+    let log = consumer.log(&sys).unwrap();
+    assert!(log.is_clean(), "violations: {:?}", log.violations());
+    assert_eq!(
+        log.distinct_publisher_seqs(producer.client()),
+        (1..=8).collect::<Vec<u64>>(),
+        "offline publications must be replayed after re-attachment"
+    );
+}
+
+/// Unsubscribing through a session stops the stream.
+#[test]
+fn unsubscribe_stops_the_stream() {
+    let mut sys = quickstart_system();
+    let consumer = sys.connect(ClientId::new(1), 0).unwrap();
+    consumer.subscribe(&mut sys, subscription()).unwrap();
+    let producer = sys.connect(ClientId::new(2), 2).unwrap();
+    sys.run_until(SimTime::from_millis(50));
+
+    producer.publish(&mut sys, vacancy(0)).unwrap();
+    sys.run_until(SimTime::from_millis(200));
+    consumer.unsubscribe(&mut sys, subscription()).unwrap();
+    sys.run_until(SimTime::from_millis(300));
+    producer.publish(&mut sys, vacancy(1)).unwrap();
+    sys.run_until(SimTime::from_secs(1));
+
+    let log = consumer.log(&sys).unwrap();
+    assert_eq!(log.len(), 1, "only the pre-unsubscribe publication arrives");
+}
+
+/// Session operations on a client the system does not know fail with a
+/// typed error (the handle outlives nothing — there is no dangling state).
+#[test]
+fn sessions_of_unknown_clients_error() {
+    let mut a = quickstart_system();
+    let mut b = quickstart_system();
+    let foreign = a.connect(ClientId::new(7), 0).unwrap();
+    // Using a session handle against a system that never connected the
+    // client is reported, not a panic.
+    assert_eq!(
+        foreign.subscribe(&mut b, subscription()).unwrap_err(),
+        RebecaError::UnknownClient(ClientId::new(7))
+    );
+    assert_eq!(
+        foreign.poll_deliveries(&mut b).unwrap_err(),
+        RebecaError::UnknownClient(ClientId::new(7))
+    );
+}

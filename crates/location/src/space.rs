@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// A stable identifier for one location within a [`LocationSpace`].
 ///
 /// The raw `u32` is what appears inside notifications as
-/// [`Value::Location`](rebeca_filter::Value) (the filter crate stays
+/// `Value::Location` of the filter crate (which stays
 /// independent of this crate, so it stores the raw id).
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
@@ -22,8 +22,13 @@ use serde::{Deserialize, Serialize};
 pub struct LocationId(pub u32);
 
 impl LocationId {
+    /// Creates a location id from its raw numeric id.
+    pub const fn new(raw: u32) -> Self {
+        LocationId(raw)
+    }
+
     /// The raw numeric id.
-    pub fn raw(self) -> u32 {
+    pub const fn raw(self) -> u32 {
         self.0
     }
 }

@@ -57,7 +57,7 @@ use crate::scratch::{with_thread_scratch, MatchScratch};
 ///
 /// Filters are registered under an external key `K` (a routing-table entry
 /// id, a destination, a subscription id …) and matched with the counting
-/// algorithm; see the [module documentation](self) for the data-structure
+/// algorithm; see the module source docs for the data-structure
 /// and algorithm description.
 ///
 /// All query results are deterministic: they depend only on the sequence of

@@ -37,8 +37,8 @@ pub const DEFAULT_SHARDS: usize = 8;
 ///
 /// Functionally identical to [`FilterIndex`](crate::FilterIndex) (both are
 /// exact and deterministic); the sharded layout adds the per-shard
-/// partition structure and is the type routing tables use.  See the
-/// [module documentation](self).
+/// partition structure and is the type routing tables use.
+///
 ///
 /// # Examples
 ///

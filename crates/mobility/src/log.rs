@@ -488,13 +488,13 @@ fn put_notification(buf: &mut Vec<u8>, n: &Notification) {
 }
 
 fn put_envelope(buf: &mut Vec<u8>, e: &Envelope) {
-    put_u32(buf, e.publisher.0);
+    put_u32(buf, e.publisher.raw());
     put_u64(buf, e.publisher_seq);
     put_notification(buf, &e.notification);
 }
 
 fn put_delivery(buf: &mut Vec<u8>, d: &Delivery) {
-    put_u32(buf, d.subscriber.0);
+    put_u32(buf, d.subscriber.raw());
     put_filter(buf, &d.filter);
     put_u64(buf, d.seq);
     put_envelope(buf, &d.envelope);
@@ -610,7 +610,7 @@ impl<'a> Reader<'a> {
 
     fn envelope(&mut self) -> Result<Envelope, DecodeError> {
         Ok(Envelope {
-            publisher: ClientId(self.u32()?),
+            publisher: ClientId::new(self.u32()?),
             publisher_seq: self.u64()?,
             notification: self.notification()?,
         })
@@ -618,7 +618,7 @@ impl<'a> Reader<'a> {
 
     fn delivery(&mut self) -> Result<Delivery, DecodeError> {
         Ok(Delivery {
-            subscriber: ClientId(self.u32()?),
+            subscriber: ClientId::new(self.u32()?),
             filter: self.filter()?,
             seq: self.u64()?,
             envelope: self.envelope()?,
@@ -638,7 +638,7 @@ impl WalRecord {
                 next_seq,
             } => {
                 put_u8(&mut buf, TAG_STREAM_OPEN);
-                put_u32(&mut buf, client.0);
+                put_u32(&mut buf, client.raw());
                 put_node(&mut buf, *client_node);
                 put_filter(&mut buf, filter);
                 put_u64(&mut buf, *next_seq);
@@ -654,7 +654,7 @@ impl WalRecord {
                 last_seq,
             } => {
                 put_u8(&mut buf, TAG_RELOCATION_BEGIN);
-                put_u32(&mut buf, client.0);
+                put_u32(&mut buf, client.raw());
                 put_node(&mut buf, *client_node);
                 put_filter(&mut buf, filter);
                 put_u64(&mut buf, *last_seq);
@@ -665,13 +665,13 @@ impl WalRecord {
                 towards,
             } => {
                 put_u8(&mut buf, TAG_RELOCATION_COMMIT);
-                put_u32(&mut buf, client.0);
+                put_u32(&mut buf, client.raw());
                 put_filter(&mut buf, filter);
                 put_node(&mut buf, *towards);
             }
             WalRecord::ReplayAck { client, filter } => {
                 put_u8(&mut buf, TAG_REPLAY_ACK);
-                put_u32(&mut buf, client.0);
+                put_u32(&mut buf, client.raw());
                 put_filter(&mut buf, filter);
             }
             WalRecord::Checkpoint {
@@ -683,7 +683,7 @@ impl WalRecord {
                 put_u8(&mut buf, TAG_CHECKPOINT);
                 put_u32(&mut buf, streams.len() as u32);
                 for s in streams {
-                    put_u32(&mut buf, s.client.0);
+                    put_u32(&mut buf, s.client.raw());
                     put_node(&mut buf, s.client_node);
                     put_filter(&mut buf, &s.filter);
                     put_u64(&mut buf, s.next_seq);
@@ -694,7 +694,7 @@ impl WalRecord {
                 }
                 put_u32(&mut buf, holdings.len() as u32);
                 for h in holdings {
-                    put_u32(&mut buf, h.client.0);
+                    put_u32(&mut buf, h.client.raw());
                     put_node(&mut buf, h.client_node);
                     put_filter(&mut buf, &h.filter);
                     put_u64(&mut buf, h.last_seq);
@@ -728,7 +728,7 @@ impl WalRecord {
         let mut r = Reader::new(payload);
         let record = match r.u8()? {
             TAG_STREAM_OPEN => WalRecord::StreamOpen {
-                client: ClientId(r.u32()?),
+                client: ClientId::new(r.u32()?),
                 client_node: r.node()?,
                 filter: r.filter()?,
                 next_seq: r.u64()?,
@@ -737,25 +737,25 @@ impl WalRecord {
                 delivery: r.delivery()?,
             },
             TAG_RELOCATION_BEGIN => WalRecord::RelocationBegin {
-                client: ClientId(r.u32()?),
+                client: ClientId::new(r.u32()?),
                 client_node: r.node()?,
                 filter: r.filter()?,
                 last_seq: r.u64()?,
             },
             TAG_RELOCATION_COMMIT => WalRecord::RelocationCommit {
-                client: ClientId(r.u32()?),
+                client: ClientId::new(r.u32()?),
                 filter: r.filter()?,
                 towards: r.node()?,
             },
             TAG_REPLAY_ACK => WalRecord::ReplayAck {
-                client: ClientId(r.u32()?),
+                client: ClientId::new(r.u32()?),
                 filter: r.filter()?,
             },
             TAG_CHECKPOINT => {
                 let n_streams = r.u32()? as usize;
                 let mut streams = Vec::with_capacity(n_streams.min(1024));
                 for _ in 0..n_streams {
-                    let client = ClientId(r.u32()?);
+                    let client = ClientId::new(r.u32()?);
                     let client_node = r.node()?;
                     let filter = r.filter()?;
                     let next_seq = r.u64()?;
@@ -776,7 +776,7 @@ impl WalRecord {
                 let mut holdings = Vec::with_capacity(n_holdings.min(1024));
                 for _ in 0..n_holdings {
                     holdings.push(HoldingSnapshot {
-                        client: ClientId(r.u32()?),
+                        client: ClientId::new(r.u32()?),
                         client_node: r.node()?,
                         filter: r.filter()?,
                         last_seq: r.u64()?,
@@ -1066,11 +1066,11 @@ mod tests {
 
     fn delivery(seq: u64) -> Delivery {
         Delivery {
-            subscriber: ClientId(1),
+            subscriber: ClientId::new(1),
             filter: filter(),
             seq,
             envelope: Envelope {
-                publisher: ClientId(9),
+                publisher: ClientId::new(9),
                 publisher_seq: seq,
                 notification: Notification::builder()
                     .attr("service", "parking")
@@ -1086,7 +1086,7 @@ mod tests {
     fn sample_records() -> Vec<WalRecord> {
         vec![
             WalRecord::StreamOpen {
-                client: ClientId(1),
+                client: ClientId::new(1),
                 client_node: NodeId(100),
                 filter: filter(),
                 next_seq: 4,
@@ -1098,7 +1098,7 @@ mod tests {
                 delivery: delivery(5),
             },
             WalRecord::RelocationBegin {
-                client: ClientId(1),
+                client: ClientId::new(1),
                 client_node: NodeId(101),
                 filter: filter(),
                 last_seq: 3,
@@ -1112,17 +1112,17 @@ mod tests {
             sample_records(),
             vec![
                 WalRecord::RelocationCommit {
-                    client: ClientId(1),
+                    client: ClientId::new(1),
                     filter: filter(),
                     towards: NodeId(7),
                 },
                 WalRecord::ReplayAck {
-                    client: ClientId(1),
+                    client: ClientId::new(1),
                     filter: filter(),
                 },
                 WalRecord::Checkpoint {
                     streams: vec![StreamSnapshot {
-                        client: ClientId(2),
+                        client: ClientId::new(2),
                         client_node: NodeId(3),
                         filter: Filter::new().with(
                             "tags",
@@ -1132,7 +1132,7 @@ mod tests {
                         buffered: vec![delivery(10), delivery(11)],
                     }],
                     holdings: vec![HoldingSnapshot {
-                        client: ClientId(2),
+                        client: ClientId::new(2),
                         client_node: NodeId(9),
                         filter: filter(),
                         last_seq: 9,
@@ -1163,12 +1163,12 @@ mod tests {
             log.append(&r);
         }
         log.append(&WalRecord::RelocationCommit {
-            client: ClientId(1),
+            client: ClientId::new(1),
             filter: filter(),
             towards: NodeId(7),
         });
         log.append(&WalRecord::ReplayAck {
-            client: ClientId(1),
+            client: ClientId::new(1),
             filter: filter(),
         });
         let state = log.recover();
@@ -1189,7 +1189,7 @@ mod tests {
         assert!(!state.truncated);
         assert_eq!(state.streams.len(), 1);
         let s = &state.streams[0];
-        assert_eq!(s.client, ClientId(1));
+        assert_eq!(s.client, ClientId::new(1));
         assert_eq!(s.client_node, NodeId(100));
         assert_eq!(s.next_seq, 4);
         assert_eq!(

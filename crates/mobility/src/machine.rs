@@ -1033,9 +1033,9 @@ mod tests {
     /// Publishes `n` matching notifications through the core (so parked
     /// deliveries accumulate for disconnected subscribers).
     fn publish(core: &mut BrokerCore, n: u64) {
-        core.handle_attach(ClientId(9), NodeId(101));
+        core.handle_attach(ClientId::new(9), NodeId(101));
         for i in 0..n {
-            core.handle_publish(ClientId(9), notification(i as i64), NodeId(101));
+            core.handle_publish(ClientId::new(9), notification(i as i64), NodeId(101));
         }
     }
 
@@ -1043,12 +1043,12 @@ mod tests {
     fn detach_then_parked_deliveries_build_a_durable_counterpart() {
         let mut core = core();
         let mut m = machine();
-        core.handle_attach(ClientId(1), NodeId(100));
-        core.handle_subscribe(ClientId(1), filter(), NodeId(100));
-        core.handle_detach(ClientId(1));
-        m.on_detach(&core, ClientId(1));
+        core.handle_attach(ClientId::new(1), NodeId(100));
+        core.handle_subscribe(ClientId::new(1), filter(), NodeId(100));
+        core.handle_detach(ClientId::new(1));
+        m.on_detach(&core, ClientId::new(1));
         assert_eq!(m.counterpart_count(), 1);
-        assert_eq!(m.phase(ClientId(1), &filter()), RelocationPhase::Local);
+        assert_eq!(m.phase(ClientId::new(1), &filter()), RelocationPhase::Local);
 
         publish(&mut core, 3);
         m.absorb_parked(&mut core);
@@ -1065,8 +1065,11 @@ mod tests {
     fn resubscribe_enters_holding_and_floods_relocate() {
         let mut core = core();
         let mut m = machine();
-        let effects = m.on_resubscribe(&mut core, ClientId(1), filter(), 5, NodeId(100));
-        assert_eq!(m.phase(ClientId(1), &filter()), RelocationPhase::Holding);
+        let effects = m.on_resubscribe(&mut core, ClientId::new(1), filter(), 5, NodeId(100));
+        assert_eq!(
+            m.phase(ClientId::new(1), &filter()),
+            RelocationPhase::Holding
+        );
         assert_eq!(m.pending_relocations(), 1);
         assert_eq!(m.timeout_tag_count(), 1);
         let sent = sends(&effects);
@@ -1081,26 +1084,32 @@ mod tests {
     fn replay_merge_settles_holding_and_reclaims_the_timeout_tag() {
         let mut core = core();
         let mut m = machine();
-        m.on_resubscribe(&mut core, ClientId(1), filter(), 0, NodeId(100));
+        m.on_resubscribe(&mut core, ClientId::new(1), filter(), 0, NodeId(100));
         assert_eq!(m.timeout_tag_count(), 1);
 
         let deliveries: Vec<Delivery> = (1..=3)
             .map(|seq| Delivery {
-                subscriber: ClientId(1),
+                subscriber: ClientId::new(1),
                 filter: filter(),
                 seq,
                 envelope: Envelope {
-                    publisher: ClientId(9),
+                    publisher: ClientId::new(9),
                     publisher_seq: seq,
                     notification: notification(seq as i64),
                 },
             })
             .collect();
-        let effects = m.on_replay(&mut core, ClientId(1), filter(), deliveries, NodeId(10));
+        let effects = m.on_replay(
+            &mut core,
+            ClientId::new(1),
+            filter(),
+            deliveries,
+            NodeId(10),
+        );
         // Settled: no pending relocation, and crucially no leaked guard.
         assert_eq!(m.pending_relocations(), 0);
         assert_eq!(m.timeout_tag_count(), 0, "tag must be reclaimed on merge");
-        assert_eq!(m.phase(ClientId(1), &filter()), RelocationPhase::Local);
+        assert_eq!(m.phase(ClientId::new(1), &filter()), RelocationPhase::Local);
         // The replay reaches the client as one batch message.
         let sent = sends(&effects);
         assert_eq!(sent.len(), 1);
@@ -1115,7 +1124,7 @@ mod tests {
     fn timeout_flushes_holding_and_late_replay_is_dropped() {
         let mut core = core();
         let mut m = machine();
-        let effects = m.on_resubscribe(&mut core, ClientId(1), filter(), 0, NodeId(100));
+        let effects = m.on_resubscribe(&mut core, ClientId::new(1), filter(), 0, NodeId(100));
         let tag = effects
             .iter()
             .find_map(|e| match e {
@@ -1124,14 +1133,14 @@ mod tests {
             })
             .expect("timer armed");
         let held = Envelope {
-            publisher: ClientId(9),
+            publisher: ClientId::new(9),
             publisher_seq: 1,
             notification: notification(1),
         };
         let kept = m.intercept_holding(vec![(
             NodeId(100),
             Message::Deliver(Delivery {
-                subscriber: ClientId(1),
+                subscriber: ClientId::new(1),
                 filter: filter(),
                 seq: 1,
                 envelope: held,
@@ -1145,7 +1154,13 @@ mod tests {
         let sent = sends(&effects);
         assert_eq!(sent.len(), 1, "the held envelope is flushed to the client");
         // A replay arriving after the flush is dropped, not re-held.
-        let effects = m.on_replay(&mut core, ClientId(1), filter(), Vec::new(), NodeId(10));
+        let effects = m.on_replay(
+            &mut core,
+            ClientId::new(1),
+            filter(),
+            Vec::new(),
+            NodeId(10),
+        );
         assert!(sends(&effects).is_empty());
         assert!(effects.contains(&Effect::Incr("mobility.replay_dropped")));
     }
@@ -1158,10 +1173,10 @@ mod tests {
             SimDuration::from_secs(10),
             HandoffLog::with_backend(Box::new(backend.clone())),
         );
-        core1.handle_attach(ClientId(1), NodeId(100));
-        core1.handle_subscribe(ClientId(1), filter(), NodeId(100));
-        core1.handle_detach(ClientId(1));
-        m.on_detach(&core1, ClientId(1));
+        core1.handle_attach(ClientId::new(1), NodeId(100));
+        core1.handle_subscribe(ClientId::new(1), filter(), NodeId(100));
+        core1.handle_detach(ClientId::new(1));
+        m.on_detach(&core1, ClientId::new(1));
         publish(&mut core1, 4);
         m.absorb_parked(&mut core1);
 
@@ -1175,12 +1190,14 @@ mod tests {
         assert!(tags.is_empty(), "no holdings were open");
         assert_eq!(recovered.counterpart_count(), 1);
         assert_eq!(recovered.buffered_deliveries(), 4);
-        let record = core2.client(ClientId(1)).expect("client reconstructed");
+        let record = core2
+            .client(ClientId::new(1))
+            .expect("client reconstructed");
         assert!(!record.connected);
         assert_eq!(record.node, NodeId(100));
         assert!(record.subscriptions.contains(&filter()));
         // The sequence watermark continues where the crashed broker left.
-        assert_eq!(core2.sequences().peek(ClientId(1), &filter()), 5);
+        assert_eq!(core2.sequences().peek(ClientId::new(1), &filter()), 5);
     }
 
     #[test]
@@ -1193,17 +1210,24 @@ mod tests {
         );
         // A full relocation commits at this (old border) broker and
         // re-points the delivery path towards link 10.
-        core1.handle_attach(ClientId(1), NodeId(100));
-        core1.handle_subscribe(ClientId(1), filter(), NodeId(100));
-        core1.handle_detach(ClientId(1));
-        m.on_detach(&core1, ClientId(1));
-        m.on_relocate(&mut core1, ClientId(1), filter(), 0, NodeId(10), NodeId(10));
+        core1.handle_attach(ClientId::new(1), NodeId(100));
+        core1.handle_subscribe(ClientId::new(1), filter(), NodeId(100));
+        core1.handle_detach(ClientId::new(1));
+        m.on_detach(&core1, ClientId::new(1));
+        m.on_relocate(
+            &mut core1,
+            ClientId::new(1),
+            filter(),
+            0,
+            NodeId(10),
+            NodeId(10),
+        );
         // Enough later activity (a second detaching client) to trigger a
         // compaction checkpoint *after* the commit record.
-        core1.handle_attach(ClientId(2), NodeId(102));
-        core1.handle_subscribe(ClientId(2), filter(), NodeId(102));
-        core1.handle_detach(ClientId(2));
-        m.on_detach(&core1, ClientId(2));
+        core1.handle_attach(ClientId::new(2), NodeId(102));
+        core1.handle_subscribe(ClientId::new(2), filter(), NodeId(102));
+        core1.handle_detach(ClientId::new(2));
+        m.on_detach(&core1, ClientId::new(2));
         publish(&mut core1, 3);
         m.absorb_parked(&mut core1);
         let recovered_raw = m.log().recover();
@@ -1243,7 +1267,7 @@ mod tests {
         assert_eq!(m3.generation(), 2);
         let effects = {
             let mut m3 = m3;
-            m3.on_resubscribe(&mut core3, ClientId(9), filter(), 0, NodeId(100))
+            m3.on_resubscribe(&mut core3, ClientId::new(9), filter(), 0, NodeId(100))
         };
         let tag = effects
             .iter()
@@ -1263,10 +1287,10 @@ mod tests {
             SimDuration::from_secs(10),
             HandoffLog::with_backend(Box::new(backend.clone())).checkpoint_every(4),
         );
-        core1.handle_attach(ClientId(1), NodeId(100));
-        core1.handle_subscribe(ClientId(1), filter(), NodeId(100));
-        core1.handle_detach(ClientId(1));
-        m.on_detach(&core1, ClientId(1));
+        core1.handle_attach(ClientId::new(1), NodeId(100));
+        core1.handle_subscribe(ClientId::new(1), filter(), NodeId(100));
+        core1.handle_detach(ClientId::new(1));
+        m.on_detach(&core1, ClientId::new(1));
         publish(&mut core1, 10);
         m.absorb_parked(&mut core1);
 

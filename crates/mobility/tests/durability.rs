@@ -10,7 +10,7 @@
 use proptest::prelude::*;
 
 use rebeca_broker::{ClientId, Delivery};
-use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem};
+use rebeca_core::{BrokerConfig, ClientAction, LogicalMobilityMode, MobilitySystem, SystemBuilder};
 use rebeca_filter::{Constraint, Filter, Notification};
 use rebeca_location::MovementGraph;
 use rebeca_mobility::HandoffLog;
@@ -75,27 +75,25 @@ fn scenario() -> impl Strategy<Value = CrashScenario> {
         )
 }
 
-const CONSUMER: ClientId = ClientId(1);
-const PRODUCER: ClientId = ClientId(2);
+const CONSUMER: ClientId = ClientId::new(1);
+const PRODUCER: ClientId = ClientId::new(2);
 const OLD_BROKER: usize = 5; // B6 in the paper's Figure 5
 const NEW_BROKER: usize = 0; // B1
 
 fn build(s: &CrashScenario) -> MobilitySystem {
-    let config = BrokerConfig {
-        strategy: s.strategy,
-        movement_graph: MovementGraph::paper_example(),
-        relocation_timeout: SimDuration::from_secs(60),
+    let config = BrokerConfig::default()
+        .with_strategy(s.strategy)
+        .with_movement_graph(MovementGraph::paper_example())
+        .with_relocation_timeout(SimDuration::from_secs(60))
         // Usually a small checkpoint interval, so compaction happens
         // mid-scenario too.
-        wal_checkpoint_every: s.wal_checkpoint_every,
-        ..BrokerConfig::default()
-    };
-    let mut sys = MobilitySystem::new(
-        &Topology::figure5(),
-        config,
-        DelayModel::constant_millis(5),
-        s.seed,
-    );
+        .with_wal_checkpoint_every(s.wal_checkpoint_every);
+    let mut sys = SystemBuilder::new(&Topology::figure5())
+        .config(config)
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(s.seed)
+        .build()
+        .unwrap();
     sys.add_client(
         CONSUMER,
         LogicalMobilityMode::LocationDependent,
@@ -104,22 +102,23 @@ fn build(s: &CrashScenario) -> MobilitySystem {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(OLD_BROKER),
+                    broker: sys.broker_node(OLD_BROKER).unwrap(),
                 },
             ),
             (SimTime::from_millis(2), ClientAction::Subscribe(filter())),
             (
                 SimTime::from_millis(s.move_at_ms),
                 ClientAction::MoveTo {
-                    broker: sys.broker_node(NEW_BROKER),
+                    broker: sys.broker_node(NEW_BROKER).unwrap(),
                 },
             ),
         ],
-    );
+    )
+    .unwrap();
     let mut script = vec![(
         SimTime::from_millis(1),
         ClientAction::Attach {
-            broker: sys.broker_node(7),
+            broker: sys.broker_node(7).unwrap(),
         },
     )];
     for i in 0..s.publications {
@@ -133,7 +132,8 @@ fn build(s: &CrashScenario) -> MobilitySystem {
         LogicalMobilityMode::LocationDependent,
         &[7],
         script,
-    );
+    )
+    .unwrap();
     sys
 }
 
@@ -146,15 +146,15 @@ fn run(s: &CrashScenario, crash: bool) -> Vec<Delivery> {
     // identical; only the crash differs.
     sys.run_until(crash_at);
     if crash {
-        sys.crash_and_restart_broker(OLD_BROKER);
+        sys.crash_and_restart_broker(OLD_BROKER).unwrap();
     }
     let second = SimTime::from_millis(s.move_at_ms + s.crash_offset_ms + 10);
     sys.run_until(second);
     if crash && s.double_crash {
-        sys.crash_and_restart_broker(OLD_BROKER);
+        sys.crash_and_restart_broker(OLD_BROKER).unwrap();
     }
     sys.run_until(SimTime::from_secs(30));
-    sys.client_log(CONSUMER).deliveries().to_vec()
+    sys.client_log(CONSUMER).unwrap().deliveries().to_vec()
 }
 
 proptest! {
@@ -217,8 +217,8 @@ fn restart_reconstructs_counterparts_exactly() {
     };
     let mut sys = build(&s);
     sys.run_until(SimTime::from_millis(s.move_at_ms + s.crash_offset_ms));
-    let crashed = sys.crash_and_restart_broker(OLD_BROKER);
-    let restarted = sys.broker(OLD_BROKER);
+    let crashed = sys.crash_and_restart_broker(OLD_BROKER).unwrap();
+    let restarted = sys.broker(OLD_BROKER).unwrap();
     assert_eq!(
         restarted.buffered_deliveries(),
         crashed.buffered_deliveries(),
@@ -255,7 +255,7 @@ fn replays_travel_as_batches_on_the_wire() {
     };
     let mut sys = build(&s);
     sys.run_until(SimTime::from_secs(30));
-    let log = sys.client_log(CONSUMER);
+    let log = sys.client_log(CONSUMER).unwrap();
     assert!(log.is_clean(), "violations: {:?}", log.violations());
     assert_eq!(log.len() as u64, s.publications);
 
@@ -300,7 +300,7 @@ fn corrupted_wal_recovers_to_the_last_valid_record() {
     let mut sys = build(&s);
     sys.run_until(SimTime::from_millis(s.move_at_ms + s.crash_offset_ms));
 
-    let backend = sys.wal_backend(OLD_BROKER);
+    let backend = sys.wal_backend(OLD_BROKER).unwrap();
     let intact = HandoffLog::with_backend(backend.boxed_clone()).recover();
     assert!(!intact.truncated);
     assert!(intact.records_read >= 2, "scenario produced records");
@@ -339,9 +339,9 @@ fn corrupted_wal_recovers_to_the_last_valid_record() {
     // to the valid prefix — but nothing crashes).
     let mut damaged = backend.boxed_clone();
     damaged.reset(&bytes[..bytes.len() - 3]).expect("reset");
-    sys.crash_and_restart_broker(OLD_BROKER);
+    sys.crash_and_restart_broker(OLD_BROKER).unwrap();
     sys.run_until(SimTime::from_secs(30));
-    assert!(sys.client_log(CONSUMER).is_clean());
+    assert!(sys.client_log(CONSUMER).unwrap().is_clean());
 }
 
 /// The drain queue and the WAL compose: with batch draining enabled, a
@@ -355,20 +355,18 @@ fn corrupted_wal_recovers_to_the_last_valid_record() {
 #[test]
 fn crash_with_batch_draining_enabled_matches_oracle() {
     let run_drained = |crash: bool| -> Vec<Delivery> {
-        let config = BrokerConfig {
-            strategy: RoutingStrategyKind::Covering,
-            movement_graph: MovementGraph::paper_example(),
-            relocation_timeout: SimDuration::from_secs(60),
-            drain_interval: Some(SimDuration::from_millis(8)),
-            wal_checkpoint_every: 8,
-            ..BrokerConfig::default()
-        };
-        let mut sys = MobilitySystem::new(
-            &Topology::figure5(),
-            config,
-            DelayModel::constant_millis(5),
-            23,
-        );
+        let config = BrokerConfig::default()
+            .with_strategy(RoutingStrategyKind::Covering)
+            .with_movement_graph(MovementGraph::paper_example())
+            .with_relocation_timeout(SimDuration::from_secs(60))
+            .with_drain_interval(Some(SimDuration::from_millis(8)))
+            .with_wal_checkpoint_every(8);
+        let mut sys = SystemBuilder::new(&Topology::figure5())
+            .config(config)
+            .link_delay(DelayModel::constant_millis(5))
+            .seed(23)
+            .build()
+            .unwrap();
         sys.add_client(
             CONSUMER,
             LogicalMobilityMode::LocationDependent,
@@ -377,22 +375,23 @@ fn crash_with_batch_draining_enabled_matches_oracle() {
                 (
                     SimTime::from_millis(1),
                     ClientAction::Attach {
-                        broker: sys.broker_node(OLD_BROKER),
+                        broker: sys.broker_node(OLD_BROKER).unwrap(),
                     },
                 ),
                 (SimTime::from_millis(2), ClientAction::Subscribe(filter())),
                 (
                     SimTime::from_millis(200),
                     ClientAction::MoveTo {
-                        broker: sys.broker_node(NEW_BROKER),
+                        broker: sys.broker_node(NEW_BROKER).unwrap(),
                     },
                 ),
             ],
-        );
+        )
+        .unwrap();
         let mut script = vec![(
             SimTime::from_millis(1),
             ClientAction::Attach {
-                broker: sys.broker_node(7),
+                broker: sys.broker_node(7).unwrap(),
             },
         )];
         for i in 0..12u64 {
@@ -412,13 +411,14 @@ fn crash_with_batch_draining_enabled_matches_oracle() {
             LogicalMobilityMode::LocationDependent,
             &[7],
             script,
-        );
+        )
+        .unwrap();
         sys.run_until(SimTime::from_millis(450));
         if crash {
-            sys.crash_and_restart_broker(OLD_BROKER);
+            sys.crash_and_restart_broker(OLD_BROKER).unwrap();
         }
         sys.run_until(SimTime::from_secs(30));
-        sys.client_log(CONSUMER).deliveries().to_vec()
+        sys.client_log(CONSUMER).unwrap().deliveries().to_vec()
     };
     let oracle = run_drained(false);
     let crashed = run_drained(true);
@@ -449,10 +449,10 @@ fn new_border_broker_crash_mid_holding_matches_oracle() {
         // crash at 312 ms hits an open, still-empty holding.
         sys.run_until(SimTime::from_millis(312));
         if crash {
-            sys.crash_and_restart_broker(NEW_BROKER);
+            sys.crash_and_restart_broker(NEW_BROKER).unwrap();
         }
         sys.run_until(SimTime::from_secs(30));
-        sys.client_log(CONSUMER).deliveries().to_vec()
+        sys.client_log(CONSUMER).unwrap().deliveries().to_vec()
     };
     let oracle = run_new_border(false);
     let crashed = run_new_border(true);
@@ -469,23 +469,21 @@ fn new_border_broker_crash_mid_holding_matches_oracle() {
 #[test]
 fn stale_timers_from_before_the_crash_cannot_flush_recovered_holdings() {
     let run_triple_move = |crash: bool| -> Vec<Delivery> {
-        let config = BrokerConfig {
-            strategy: RoutingStrategyKind::Covering,
-            movement_graph: MovementGraph::paper_example(),
+        let config = BrokerConfig::default()
+            .with_strategy(RoutingStrategyKind::Covering)
+            .with_movement_graph(MovementGraph::paper_example())
             // Short timeout: the guard armed by relocation 1 (at ~205 ms)
             // fires at ~905 ms — after the crash at 885 ms, while the
             // recovered holding of relocation 3 is still waiting for its
             // replay (merge at ~925 ms).  Tag aliasing would flush it.
-            relocation_timeout: SimDuration::from_millis(700),
-            wal_checkpoint_every: 8,
-            ..BrokerConfig::default()
-        };
-        let mut sys = MobilitySystem::new(
-            &Topology::figure5(),
-            config,
-            DelayModel::constant_millis(5),
-            37,
-        );
+            .with_relocation_timeout(SimDuration::from_millis(700))
+            .with_wal_checkpoint_every(8);
+        let mut sys = SystemBuilder::new(&Topology::figure5())
+            .config(config)
+            .link_delay(DelayModel::constant_millis(5))
+            .seed(37)
+            .build()
+            .unwrap();
         sys.add_client(
             CONSUMER,
             LogicalMobilityMode::LocationDependent,
@@ -494,7 +492,7 @@ fn stale_timers_from_before_the_crash_cannot_flush_recovered_holdings() {
                 (
                     SimTime::from_millis(1),
                     ClientAction::Attach {
-                        broker: sys.broker_node(OLD_BROKER),
+                        broker: sys.broker_node(OLD_BROKER).unwrap(),
                     },
                 ),
                 (SimTime::from_millis(2), ClientAction::Subscribe(filter())),
@@ -502,14 +500,14 @@ fn stale_timers_from_before_the_crash_cannot_flush_recovered_holdings() {
                 (
                     SimTime::from_millis(200),
                     ClientAction::MoveTo {
-                        broker: sys.broker_node(NEW_BROKER),
+                        broker: sys.broker_node(NEW_BROKER).unwrap(),
                     },
                 ),
                 // Move 2 returns to B6.
                 (
                     SimTime::from_millis(500),
                     ClientAction::MoveTo {
-                        broker: sys.broker_node(OLD_BROKER),
+                        broker: sys.broker_node(OLD_BROKER).unwrap(),
                     },
                 ),
                 // Move 3 back to B1: a fresh holding at the broker about to
@@ -517,15 +515,16 @@ fn stale_timers_from_before_the_crash_cannot_flush_recovered_holdings() {
                 (
                     SimTime::from_millis(870),
                     ClientAction::MoveTo {
-                        broker: sys.broker_node(NEW_BROKER),
+                        broker: sys.broker_node(NEW_BROKER).unwrap(),
                     },
                 ),
             ],
-        );
+        )
+        .unwrap();
         let mut script = vec![(
             SimTime::from_millis(1),
             ClientAction::Attach {
-                broker: sys.broker_node(7),
+                broker: sys.broker_node(7).unwrap(),
             },
         )];
         // Three carefully phased publication waves around move 3 (870 ms):
@@ -559,16 +558,17 @@ fn stale_timers_from_before_the_crash_cannot_flush_recovered_holdings() {
             LogicalMobilityMode::LocationDependent,
             &[7],
             script,
-        );
+        )
+        .unwrap();
 
         sys.run_until(SimTime::from_millis(885));
         if crash {
             // Crash B1 while its third-relocation holding is open and the
             // stale move-1 guard timer is still queued against it.
-            sys.crash_and_restart_broker(NEW_BROKER);
+            sys.crash_and_restart_broker(NEW_BROKER).unwrap();
         }
         sys.run_until(SimTime::from_secs(30));
-        sys.client_log(CONSUMER).deliveries().to_vec()
+        sys.client_log(CONSUMER).unwrap().deliveries().to_vec()
     };
     let oracle = run_triple_move(false);
     let crashed = run_triple_move(true);

@@ -58,6 +58,6 @@ mod topology;
 
 pub use delay::DelayModel;
 pub use metrics::{Metrics, Sample};
-pub use network::{Context, Incoming, Network, Node, NodeId};
+pub use network::{Context, Harvest, Incoming, Network, Node, NodeId};
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;

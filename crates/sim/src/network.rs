@@ -25,6 +25,18 @@ use crate::time::{SimDuration, SimTime};
 )]
 pub struct NodeId(pub usize);
 
+impl NodeId {
+    /// Creates a node id from a dense index.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of the node (usable as a `Vec` index).
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "n{}", self.0)
@@ -60,6 +72,11 @@ pub trait Node {
     fn handle(&mut self, ctx: &mut Context<'_, Self::Message>, event: Incoming<Self::Message>);
 }
 
+/// What one dispatch produced: messages to transmit (destination, payload)
+/// and timers to arm (delay from now, tag) — the harvest side of the
+/// sans-IO node interface.
+pub type Harvest<M> = (Vec<(NodeId, M)>, Vec<(SimDuration, u64)>);
+
 /// The API a node uses while handling an event.
 pub struct Context<'a, M> {
     now: SimTime,
@@ -71,6 +88,34 @@ pub struct Context<'a, M> {
 }
 
 impl<'a, M> Context<'a, M> {
+    /// Creates a context for a single dispatch — the entry point for
+    /// *external* drivers (wall-clock event loops, future network
+    /// transports) hosting sans-IO nodes outside a [`Network`].  The driver
+    /// hands the node this context together with the event, then collects
+    /// the node's output with [`Context::into_harvest`].
+    pub fn external(
+        now: SimTime,
+        self_id: NodeId,
+        neighbours: &'a [NodeId],
+        metrics: &'a mut Metrics,
+    ) -> Self {
+        Self {
+            now,
+            self_id,
+            neighbours,
+            metrics,
+            outgoing: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// Consumes the context and returns what the node produced during the
+    /// dispatch: messages to transmit (destination, payload) and timers to
+    /// arm (delay from now, tag).
+    pub fn into_harvest(self) -> Harvest<M> {
+        (self.outgoing, self.timers)
+    }
+
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -205,6 +250,12 @@ impl<N: Node> Network<N> {
     /// The neighbours of a node.
     pub fn neighbours(&self, id: NodeId) -> &[NodeId] {
         &self.neighbours[id.0]
+    }
+
+    /// `true` when a link between the two nodes exists (in either direction;
+    /// links are always bidirectional).
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.links.contains_key(&(a, b))
     }
 
     /// Number of nodes.

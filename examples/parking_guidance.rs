@@ -7,6 +7,11 @@
 //! position by pre-subscribing to the possible next blocks (`ploc`) at
 //! brokers further away from the car (Section 5 of the paper).
 //!
+//! The car is an interactive [`rebeca::Session`]: it announces each block as
+//! it drives, interleaved with the running system — exactly how an embedded
+//! navigation unit would use the middleware.  The city's parking sensors are
+//! scripted clients.
+//!
 //! Run with:
 //! ```text
 //! cargo run --example parking_guidance
@@ -14,8 +19,8 @@
 
 use rebeca::{
     AdaptivityPlan, BrokerConfig, ClientAction, ClientId, Constraint, DelayModel,
-    LocationDependentFilter, LocationId, LogicalMobilityMode, MobilitySystem, MovementGraph,
-    Notification, RoutingStrategyKind, SimDuration, SimTime, Topology, Value,
+    LocationDependentFilter, LocationId, LogicalMobilityMode, Notification, RebecaError,
+    RoutingStrategyKind, SimDuration, SimTime, SystemBuilder, Topology, Value,
 };
 
 fn vacancy(block: LocationId, spot: i64) -> Notification {
@@ -27,91 +32,66 @@ fn vacancy(block: LocationId, spot: i64) -> Notification {
         .build()
 }
 
-fn main() {
+fn main() -> Result<(), RebecaError> {
     // The city: a 5×5 grid of blocks; cars move one block per step.
-    let city = MovementGraph::grid(5, 5);
+    let city = rebeca::MovementGraph::grid(5, 5);
 
     // The pub/sub deployment: four brokers in a line — the car talks to
     // broker 0, the city's parking sensors publish through broker 3.
-    let config = BrokerConfig {
-        strategy: RoutingStrategyKind::Covering,
-        movement_graph: city.clone(),
-        relocation_timeout: SimDuration::from_secs(10),
-        ..BrokerConfig::default()
-    };
-    let mut system = MobilitySystem::new(
-        &Topology::line(4),
-        config,
-        DelayModel::constant_millis(10),
-        7,
-    );
-
-    // The car: subscribes to "free parking spaces at most one block from
-    // myloc" and then drives along the first row of the grid, one block per
-    // second.
-    let car = ClientId(1);
-    let start = LocationId(0);
-    let subscription = LocationDependentFilter::new("location", 1)
-        .with_concrete("service", Constraint::Eq("parking".into()));
-    // The adaptivity plan: the car stays ~1 s per block, subscriptions take
-    // ~10 ms per hop to process — the paper's rule derives how much
-    // "uncertainty" each hop needs.
-    let plan = AdaptivityPlan::adaptive(1_000_000, &[10_000, 10_000, 10_000]);
-
-    let mut car_script = vec![
-        (
-            SimTime::from_millis(1),
-            ClientAction::Attach {
-                broker: system.broker_node(0),
-            },
-        ),
-        (
-            SimTime::from_millis(2),
-            ClientAction::LocSubscribe {
-                template: subscription,
-                plan,
-                location: start,
-            },
-        ),
-    ];
-    // Drive east along the first row: blocks 0, 1, 2, 3, 4.
-    for (step, block) in [1u32, 2, 3, 4].iter().enumerate() {
-        car_script.push((
-            SimTime::from_secs(1 + step as u64),
-            ClientAction::SetLocation(LocationId(*block)),
-        ));
-    }
-    system.add_client(
-        car,
-        LogicalMobilityMode::LocationDependent,
-        &[0],
-        car_script,
-    );
+    let mut system = SystemBuilder::new(&Topology::line(4))
+        .config(
+            BrokerConfig::default()
+                .with_strategy(RoutingStrategyKind::Covering)
+                .with_movement_graph(city.clone())
+                .with_relocation_timeout(SimDuration::from_secs(10)),
+        )
+        .link_delay(DelayModel::constant_millis(10))
+        .seed(7)
+        .build()?;
 
     // The parking sensors: one producer per row of the city, each reporting a
     // vacancy somewhere in its row every 150 ms.
     for row in 0..5u32 {
-        let sensor = ClientId(100 + row);
+        let sensor = ClientId::new(100 + row);
         let mut script = vec![(
             SimTime::from_millis(1),
             ClientAction::Attach {
-                broker: system.broker_node(3),
+                broker: system.broker_node(3)?,
             },
         )];
         let mut t = SimTime::from_millis(50 + row as u64 * 10);
         let mut spot = 0i64;
         while t < SimTime::from_secs(6) {
-            let block = LocationId(row * 5 + (spot as u32 % 5));
+            let block = LocationId::new(row * 5 + (spot as u32 % 5));
             script.push((t, ClientAction::Publish(vacancy(block, spot))));
             spot += 1;
             t += SimDuration::from_millis(150);
         }
-        system.add_client(sensor, LogicalMobilityMode::LocationDependent, &[3], script);
+        system.add_client(sensor, LogicalMobilityMode::LocationDependent, &[3], script)?;
     }
 
+    // The car: subscribes to "free parking spaces at most one block from
+    // myloc" and then drives along the first row of the grid, one block per
+    // second.  The adaptivity plan: the car stays ~1 s per block,
+    // subscriptions take ~10 ms per hop to process — the paper's rule
+    // derives how much "uncertainty" each hop needs.
+    let car = system.connect(ClientId::new(1), 0)?;
+    car.loc_subscribe(
+        &mut system,
+        LocationDependentFilter::new("location", 1)
+            .with_concrete("service", Constraint::Eq("parking".into())),
+        AdaptivityPlan::adaptive(1_000_000, &[10_000, 10_000, 10_000]),
+        LocationId::new(0),
+    )?;
+
+    // Drive east along the first row: blocks 0, 1, 2, 3, 4.
+    for (step, block) in [1u32, 2, 3, 4].iter().enumerate() {
+        system.run_until(SimTime::from_secs(1 + step as u64));
+        car.set_location(&mut system, LocationId::new(*block))?;
+    }
     system.run_until(SimTime::from_secs(6));
 
-    let log = system.client_log(car);
+    let log = car.log(&system)?;
     println!("vacancies delivered to the car: {}", log.len());
     println!(
         "total messages in the network : {}",
@@ -120,7 +100,7 @@ fn main() {
 
     // Every delivered vacancy is at most one block away from where the car
     // was when its border broker forwarded it.
-    let visited: Vec<LocationId> = (0..5).map(LocationId).collect();
+    let visited: Vec<LocationId> = (0..5).map(LocationId::new).collect();
     let mut per_block = std::collections::BTreeMap::new();
     for delivery in log.deliveries() {
         let block = delivery
@@ -130,9 +110,11 @@ fn main() {
             .and_then(|v| v.as_location())
             .unwrap();
         *per_block.entry(block).or_insert(0u32) += 1;
-        let near_route = visited
-            .iter()
-            .any(|b| city.distance(LocationId(block), *b).unwrap_or(usize::MAX) <= 1);
+        let near_route = visited.iter().any(|b| {
+            city.distance(LocationId::new(block), *b)
+                .unwrap_or(usize::MAX)
+                <= 1
+        });
         assert!(
             near_route,
             "vacancy at block {block} is far from the car's route"
@@ -143,4 +125,5 @@ fn main() {
         println!("  block {block:>2}: {count}");
     }
     println!("\nparking guidance finished: only nearby vacancies were delivered.");
+    Ok(())
 }

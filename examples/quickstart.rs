@@ -1,5 +1,5 @@
 //! Quickstart: a minimal publish/subscribe deployment with one roaming
-//! consumer.
+//! consumer, driven through the interactive session API.
 //!
 //! Three brokers in a line, a producer publishing parking vacancies at one
 //! end, a consumer at the other end that moves to the middle broker halfway
@@ -12,80 +12,49 @@
 //! ```
 
 use rebeca::{
-    BrokerConfig, ClientAction, ClientId, Constraint, DelayModel, Filter, LogicalMobilityMode,
-    MobilitySystem, Notification, SimTime, Topology,
+    ClientId, Constraint, DelayModel, Filter, Notification, RebecaError, SimTime, SystemBuilder,
+    Topology,
 };
 
-fn main() {
+fn main() -> Result<(), RebecaError> {
     // 1. A broker network: three brokers connected in a line, 5 ms per link.
-    let mut system = MobilitySystem::new(
-        &Topology::line(3),
-        BrokerConfig::default(),
-        DelayModel::constant_millis(5),
-        42,
-    );
+    let mut system = SystemBuilder::new(&Topology::line(3))
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(42)
+        .build()?;
 
-    // 2. A consumer interested in parking vacancies cheaper than 3 EUR.
-    let consumer = ClientId(1);
-    let subscription = Filter::new()
-        .with("service", Constraint::Eq("parking".into()))
-        .with("cost", Constraint::Lt(3.into()));
-    system.add_client(
-        consumer,
-        LogicalMobilityMode::LocationDependent,
-        &[0, 1], // brokers the consumer will ever attach to
-        vec![
-            (
-                SimTime::from_millis(1),
-                ClientAction::Attach {
-                    broker: system.broker_node(0),
-                },
-            ),
-            (
-                SimTime::from_millis(2),
-                ClientAction::Subscribe(subscription),
-            ),
-            // Halfway through, the consumer roams to the middle broker.  The
-            // middleware relocates the subscription transparently.
-            (
-                SimTime::from_millis(500),
-                ClientAction::MoveTo {
-                    broker: system.broker_node(1),
-                },
-            ),
-        ],
-    );
+    // 2. A consumer interested in parking vacancies cheaper than 3 EUR,
+    //    connected at one end of the line.
+    let consumer = system.connect(ClientId::new(1), 0)?;
+    consumer.subscribe(
+        &mut system,
+        Filter::new()
+            .with("service", Constraint::Eq("parking".into()))
+            .with("cost", Constraint::Lt(3.into())),
+    )?;
 
     // 3. A producer of parking vacancies at the far end of the line.
-    let producer = ClientId(2);
-    let mut script = vec![(
-        SimTime::from_millis(1),
-        ClientAction::Attach {
-            broker: system.broker_node(2),
-        },
-    )];
+    let producer = system.connect(ClientId::new(2), 2)?;
+    system.run_until(SimTime::from_millis(50));
+
+    // 4. Publish twenty vacancies, roaming the consumer to the middle broker
+    //    halfway through.  The session calls interleave with `run_until`.
     for i in 0..20u64 {
+        if i == 10 {
+            consumer.move_to(&mut system, 1)?;
+        }
         let vacancy = Notification::builder()
             .attr("service", "parking")
             .attr("cost", (i % 3) as i64)
             .attr("spot", i as i64)
             .build();
-        script.push((
-            SimTime::from_millis(100 + i * 50),
-            ClientAction::Publish(vacancy),
-        ));
+        producer.publish(&mut system, vacancy)?;
+        system.run_until(SimTime::from_millis(100 + i * 50));
     }
-    system.add_client(
-        producer,
-        LogicalMobilityMode::LocationDependent,
-        &[2],
-        script,
-    );
-
-    // 4. Run the simulation and inspect the consumer's delivery log.
     system.run_until(SimTime::from_secs(3));
 
-    let log = system.client_log(consumer);
+    // 5. Inspect the consumer's delivery log.
+    let log = consumer.log(&system)?;
     println!("deliveries received : {}", log.len());
     println!(
         "delivery log clean  : {} (no duplicates, FIFO preserved)",
@@ -93,7 +62,7 @@ fn main() {
     );
     println!(
         "missing publications: {:?}",
-        log.missing_from(producer, 1..=20)
+        log.missing_from(producer.client(), 1..=20)
     );
     println!("\nfirst five deliveries:");
     for delivery in log.deliveries().iter().take(5) {
@@ -104,6 +73,7 @@ fn main() {
     }
 
     assert!(log.is_clean());
-    assert!(log.missing_from(producer, 1..=20).is_empty());
+    assert!(log.missing_from(producer.client(), 1..=20).is_empty());
     println!("\nquickstart finished: the roaming consumer missed nothing.");
+    Ok(())
 }

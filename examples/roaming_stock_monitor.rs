@@ -3,11 +3,13 @@
 //! Section 4).
 //!
 //! A stock-quote monitor subscribes to price updates for a handful of
-//! symbols.  Its user commutes between home, the train and the office — the
-//! client disconnects and re-attaches at a different border broker twice,
-//! while three exchanges keep publishing quotes.  The application code never
-//! changes: the relocation protocol buffers and replays quotes so the monitor
-//! sees a gapless, duplicate-free, in-order stream.
+//! symbols through an interactive [`rebeca::Session`].  Its user commutes
+//! between home, the train and the office — the client disconnects and
+//! re-attaches at a different border broker twice, while two exchanges
+//! (scripted clients: the adapter that replays a script through the same
+//! session machinery) keep publishing quotes.  The application code never
+//! changes: the relocation protocol buffers and replays quotes so the
+//! monitor sees a gapless, duplicate-free, in-order stream.
 //!
 //! Run with:
 //! ```text
@@ -15,8 +17,8 @@
 //! ```
 
 use rebeca::{
-    BrokerConfig, ClientAction, ClientId, Constraint, DelayModel, Filter, LogicalMobilityMode,
-    MobilitySystem, Notification, SimDuration, SimTime, Topology,
+    ClientAction, ClientId, Constraint, DelayModel, Filter, LogicalMobilityMode, Notification,
+    RebecaError, SimDuration, SimTime, SystemBuilder, Topology,
 };
 
 fn quote(symbol: &str, price: i64, update: i64) -> Notification {
@@ -28,60 +30,23 @@ fn quote(symbol: &str, price: i64, update: i64) -> Notification {
         .build()
 }
 
-fn main() {
+fn main() -> Result<(), RebecaError> {
     // A metropolitan broker network: a balanced binary tree of 7 brokers.
     // Broker 3 serves the home district, broker 5 the train line, broker 6
     // the office district; the exchanges feed in at brokers 1 and 2.
-    let mut system = MobilitySystem::new(
-        &Topology::balanced_tree(2, 2),
-        BrokerConfig::default(),
-        DelayModel::constant_millis(8),
-        2024,
-    );
-
-    let monitor = ClientId(1);
-    let watchlist = Filter::new()
-        .with("service", Constraint::Eq("stock".into()))
-        .with("symbol", Constraint::any_of(["REBECA", "SIENA", "ELVIN"]));
-
-    let home = system.broker_node(3);
-    let train = system.broker_node(5);
-    let office = system.broker_node(6);
-
-    system.add_client(
-        monitor,
-        LogicalMobilityMode::LocationDependent,
-        &[3, 5, 6],
-        vec![
-            (
-                SimTime::from_millis(1),
-                ClientAction::Attach { broker: home },
-            ),
-            (
-                SimTime::from_millis(2),
-                ClientAction::Subscribe(watchlist.clone()),
-            ),
-            // 7:30 — leave home, connect from the train.
-            (
-                SimTime::from_secs(2),
-                ClientAction::MoveTo { broker: train },
-            ),
-            // 8:00 — arrive at the office.
-            (
-                SimTime::from_secs(4),
-                ClientAction::MoveTo { broker: office },
-            ),
-        ],
-    );
+    let mut system = SystemBuilder::new(&Topology::balanced_tree(2, 2))
+        .link_delay(DelayModel::constant_millis(8))
+        .seed(2024)
+        .build()?;
 
     // Two exchanges publishing quotes for the watched and some unwatched
-    // symbols.
+    // symbols — scripted clients, pre-arranged before the run.
     let symbols = ["REBECA", "SIENA", "ELVIN", "GRYPHON", "JEDI"];
-    for (e, broker_index) in [(ClientId(10), 1usize), (ClientId(11), 2usize)] {
+    for (e, broker_index) in [(ClientId::new(10), 1usize), (ClientId::new(11), 2usize)] {
         let mut script = vec![(
             SimTime::from_millis(1),
             ClientAction::Attach {
-                broker: system.broker_node(broker_index),
+                broker: system.broker_node(broker_index)?,
             },
         )];
         let mut t = SimTime::from_millis(100);
@@ -100,18 +65,38 @@ fn main() {
             LogicalMobilityMode::LocationDependent,
             &[broker_index],
             script,
-        );
+        )?;
     }
 
-    system.run_until(SimTime::from_secs(8));
+    // The monitor: an interactive session that starts at the home broker...
+    let monitor = system.connect(ClientId::new(1), 3)?;
+    monitor.subscribe(
+        &mut system,
+        Filter::new()
+            .with("service", Constraint::Eq("stock".into()))
+            .with("symbol", Constraint::any_of(["REBECA", "SIENA", "ELVIN"])),
+    )?;
 
-    let log = system.client_log(monitor);
-    println!("quotes delivered to the roaming monitor: {}", log.len());
-    println!(
-        "delivery log clean (no dup, FIFO)      : {}",
-        log.is_clean()
-    );
-    for publisher in [ClientId(10), ClientId(11)] {
+    // ...rides the morning commute (7:30 — leave home, connect from the
+    // train; 8:00 — arrive at the office), reading its inbox along the way.
+    system.run_until(SimTime::from_secs(2));
+    monitor.move_to(&mut system, 5)?;
+    let on_the_couch = monitor.poll_deliveries(&mut system)?.len();
+
+    system.run_until(SimTime::from_secs(4));
+    monitor.move_to(&mut system, 6)?;
+    let on_the_train = monitor.poll_deliveries(&mut system)?.len();
+
+    system.run_until(SimTime::from_secs(8));
+    let at_the_office = monitor.poll_deliveries(&mut system)?.len();
+
+    let log = monitor.log(&system)?;
+    println!("quotes read at home   : {on_the_couch}");
+    println!("quotes read on train  : {on_the_train}");
+    println!("quotes read at office : {at_the_office}");
+    println!("quotes delivered total: {}", log.len());
+    println!("delivery log clean    : {}", log.is_clean());
+    for publisher in [ClientId::new(10), ClientId::new(11)] {
         println!(
             "  exchange {publisher}: received {} distinct updates, {} duplicates",
             log.distinct_publisher_seqs(publisher).len(),
@@ -129,4 +114,5 @@ fn main() {
     }));
     assert!(log.is_clean());
     println!("\nroaming stock monitor finished: two hand-overs, zero gaps, zero duplicates.");
+    Ok(())
 }

@@ -8,6 +8,10 @@
 //! switches from the ground-floor access point to the first-floor access
 //! point (physical mobility), exercising both protocols together.
 //!
+//! The tablet is an interactive [`rebeca::Session`] — each room change and
+//! the access-point switch are imperative calls interleaved with the running
+//! system.  The sensor gateway is a scripted client.
+//!
 //! Run with:
 //! ```text
 //! cargo run --example smart_building
@@ -15,8 +19,8 @@
 
 use rebeca::{
     AdaptivityPlan, BrokerConfig, ClientAction, ClientId, Constraint, DelayModel,
-    LocationDependentFilter, LocationSpace, LogicalMobilityMode, MobilitySystem, MovementGraph,
-    Notification, RoutingStrategyKind, SimDuration, SimTime, Topology, Value,
+    LocationDependentFilter, LocationSpace, LogicalMobilityMode, MovementGraph, Notification,
+    RebecaError, RoutingStrategyKind, SimDuration, SimTime, SystemBuilder, Topology, Value,
 };
 
 fn building() -> MovementGraph {
@@ -43,86 +47,31 @@ fn facility_event(kind: &str, room: u32, detail: i64) -> Notification {
         .build()
 }
 
-fn main() {
+fn main() -> Result<(), RebecaError> {
     let graph = building();
     let room = |name: &str| graph.space().id(name).unwrap();
 
     // Broker network: a star — the building controller broker in the middle
     // (broker 0), access points on brokers 1 (ground floor) and 2 (first
     // floor), the sensor gateway on broker 3.
-    let config = BrokerConfig {
-        strategy: RoutingStrategyKind::Merging,
-        movement_graph: graph.clone(),
-        relocation_timeout: SimDuration::from_secs(10),
-        ..BrokerConfig::default()
-    };
-    let mut system = MobilitySystem::new(
-        &Topology::star(3),
-        config,
-        DelayModel::constant_millis(4),
-        99,
-    );
-
-    let ground_floor_ap = system.broker_node(1);
-    let first_floor_ap = system.broker_node(2);
-    let sensor_gateway_broker = 3usize;
-
-    // The employee's tablet: facility events for the current room only.
-    let tablet = ClientId(1);
-    let subscription = LocationDependentFilter::new("location", 0)
-        .with_concrete("service", Constraint::Eq("facility".into()));
-    let plan = AdaptivityPlan::adaptive(2_000_000, &[4_000, 4_000]);
-
-    system.add_client(
-        tablet,
-        LogicalMobilityMode::LocationDependent,
-        &[1, 2],
-        vec![
-            (
-                SimTime::from_millis(1),
-                ClientAction::Attach {
-                    broker: ground_floor_ap,
-                },
-            ),
-            (
-                SimTime::from_millis(2),
-                ClientAction::LocSubscribe {
-                    template: subscription,
-                    plan,
-                    location: room("lobby"),
-                },
-            ),
-            // Walk through the building, one room every two seconds.
-            (
-                SimTime::from_secs(2),
-                ClientAction::SetLocation(room("corridor")),
-            ),
-            (
-                SimTime::from_secs(4),
-                ClientAction::SetLocation(room("office")),
-            ),
-            // Upstairs: the tablet re-associates with the first-floor access
-            // point (physical mobility) while staying subscribed.
-            (
-                SimTime::from_millis(5_000),
-                ClientAction::MoveTo {
-                    broker: first_floor_ap,
-                },
-            ),
-            (
-                SimTime::from_secs(6),
-                ClientAction::SetLocation(room("meeting-room")),
-            ),
-        ],
-    );
+    let mut system = SystemBuilder::new(&Topology::star(3))
+        .config(
+            BrokerConfig::default()
+                .with_strategy(RoutingStrategyKind::Merging)
+                .with_movement_graph(graph.clone())
+                .with_relocation_timeout(SimDuration::from_secs(10)),
+        )
+        .link_delay(DelayModel::constant_millis(4))
+        .seed(99)
+        .build()?;
 
     // The sensor gateway publishes events for every room round-robin.
-    let gateway = ClientId(50);
+    let gateway = ClientId::new(50);
     let kinds = ["temperature", "printer", "meeting-reminder"];
     let mut script = vec![(
         SimTime::from_millis(1),
         ClientAction::Attach {
-            broker: system.broker_node(sensor_gateway_broker),
+            broker: system.broker_node(3)?,
         },
     )];
     let mut t = SimTime::from_millis(60);
@@ -137,13 +86,35 @@ fn main() {
     system.add_client(
         gateway,
         LogicalMobilityMode::LocationDependent,
-        &[sensor_gateway_broker],
+        &[3],
         script,
-    );
+    )?;
 
+    // The employee's tablet: facility events for the current room only,
+    // driven interactively at the ground-floor access point (broker 1).
+    let tablet = system.connect(ClientId::new(1), 1)?;
+    tablet.loc_subscribe(
+        &mut system,
+        LocationDependentFilter::new("location", 0)
+            .with_concrete("service", Constraint::Eq("facility".into())),
+        AdaptivityPlan::adaptive(2_000_000, &[4_000, 4_000]),
+        room("lobby"),
+    )?;
+
+    // Walk through the building, one room every two seconds.
+    system.run_until(SimTime::from_secs(2));
+    tablet.set_location(&mut system, room("corridor"))?;
+    system.run_until(SimTime::from_secs(4));
+    tablet.set_location(&mut system, room("office"))?;
+    // Upstairs: the tablet re-associates with the first-floor access point
+    // (physical mobility) while staying subscribed.
+    system.run_until(SimTime::from_millis(5_000));
+    tablet.move_to(&mut system, 2)?;
+    system.run_until(SimTime::from_secs(6));
+    tablet.set_location(&mut system, room("meeting-room"))?;
     system.run_until(SimTime::from_secs(8));
 
-    let log = system.client_log(tablet);
+    let log = tablet.log(&system)?;
     println!("facility events shown on the tablet: {}", log.len());
     println!(
         "total messages in the network      : {}",
@@ -160,7 +131,7 @@ fn main() {
             .unwrap();
         let name = graph
             .space()
-            .name(rebeca::LocationId(room_id))
+            .name(rebeca::LocationId::new(room_id))
             .unwrap()
             .to_string();
         *per_room.entry(name).or_insert(0u32) += 1;
@@ -178,4 +149,5 @@ fn main() {
     println!(
         "\nsmart building finished: the tablet only ever showed events for the room it was in."
     );
+    Ok(())
 }

@@ -49,6 +49,7 @@ BENCHES = {
     "matcher_bench": "BENCH_matcher.json",
     "shard_bench": "BENCH_shards.json",
     "churn_bench": "BENCH_mobility.json",
+    "session_bench": "BENCH_session.json",
 }
 
 # Prefixes of benchmark names whose absolute medians are gated (hot paths;
@@ -60,6 +61,7 @@ GATED_PREFIXES = (
     "shards/batch/",
     "churn/relocation/",
     "churn/drain_",
+    "session/quickstart/",
 )
 
 # Within-run pairs gated on their ratio (slow/fast): the optimized side must
@@ -84,6 +86,10 @@ RATIO_GATES = [
     # the relocation run loses ground against it, i.e. when per-relocation
     # overhead (WAL appends, floods, replays) regresses.
     ("churn/static/2000", "churn/relocation/2000"),
+    # Session-API overhead: the interactive session path must stay at parity
+    # with the pre-scripted adapter (both replay through the same per-client
+    # action queue; the gate trips when the session side picks up overhead).
+    ("session/quickstart/scripted/200", "session/quickstart/session/200"),
 ]
 
 

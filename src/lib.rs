@@ -26,52 +26,55 @@
 //! | [`routing`] | `rebeca-routing` | index-backed routing tables and the flooding/simple/identity/covering/merging strategies |
 //! | [`sim`] | `rebeca-sim` | deterministic discrete-event simulator (FIFO links, delays, metrics, topologies) |
 //! | [`broker`] | `rebeca-broker` | the static Rebeca broker, message vocabulary, sequence numbering, delivery logs |
-//! | [`mobility`] | `rebeca-core` | the paper's contribution: the mobility-aware broker, scripted clients, the deployment facade |
+//! | [`mobility`] | `rebeca-core` | the paper's contribution: the mobility-aware broker, sessions, drivers, the deployment facade |
 //!
-//! The most convenient entry points are re-exported at the crate root.
+//! The most convenient entry points are re-exported at the crate root:
+//! [`SystemBuilder`] constructs a deployment, [`MobilitySystem::connect`]
+//! opens an interactive [`Session`], and the sans-IO [`Driver`] boundary
+//! picks between the deterministic simulator and the wall-clock
+//! [`ThreadedDriver`].
 //!
 //! # Example
 //!
 //! ```
 //! use rebeca::{
-//!     BrokerConfig, ClientAction, ClientId, Constraint, DelayModel, Filter, LogicalMobilityMode,
-//!     MobilitySystem, Notification, SimTime, Topology,
+//!     ClientId, Constraint, DelayModel, Filter, Notification, RebecaError, SimTime,
+//!     SystemBuilder, Topology,
 //! };
 //!
-//! let mut system = MobilitySystem::new(
-//!     &Topology::figure5(),
-//!     BrokerConfig::default(),
-//!     DelayModel::constant_millis(5),
-//!     42,
-//! );
+//! # fn main() -> Result<(), RebecaError> {
+//! let mut system = SystemBuilder::new(&Topology::figure5())
+//!     .link_delay(DelayModel::constant_millis(5))
+//!     .seed(42)
+//!     .build()?;
 //!
-//! // A consumer that starts at broker B6 and roams to B1 mid-stream.
-//! let consumer = ClientId(1);
-//! let filter = Filter::new().with("service", Constraint::Eq("parking".into()));
-//! system.add_client(
-//!     consumer,
-//!     LogicalMobilityMode::LocationDependent,
-//!     &[5, 0],
-//!     vec![
-//!         (SimTime::from_millis(1), ClientAction::Attach { broker: system.broker_node(5) }),
-//!         (SimTime::from_millis(2), ClientAction::Subscribe(filter)),
-//!         (SimTime::from_millis(400), ClientAction::MoveTo { broker: system.broker_node(0) }),
-//!     ],
-//! );
+//! // A consumer session at broker B6, a producer session at broker B8.
+//! let consumer = system.connect(ClientId::new(1), 5)?;
+//! consumer.subscribe(
+//!     &mut system,
+//!     Filter::new().with("service", Constraint::Eq("parking".into())),
+//! )?;
+//! let producer = system.connect(ClientId::new(2), 7)?;
+//! system.run_until(SimTime::from_millis(50));
 //!
-//! // A producer at broker B8.
-//! let mut script = vec![(SimTime::from_millis(1), ClientAction::Attach { broker: system.broker_node(7) })];
+//! // Publish ten vacancies; the consumer roams to B1 mid-stream — the
+//! // relocation protocol makes the move invisible to the application.
 //! for i in 0..10u64 {
-//!     script.push((
-//!         SimTime::from_millis(100 + i * 50),
-//!         ClientAction::Publish(Notification::builder().attr("service", "parking").attr("spot", i as i64).build()),
-//!     ));
+//!     if i == 5 {
+//!         consumer.move_to(&mut system, 0)?;
+//!     }
+//!     producer.publish(
+//!         &mut system,
+//!         Notification::builder().attr("service", "parking").attr("spot", i as i64).build(),
+//!     )?;
+//!     system.run_until(SimTime::from_millis(100 + i * 50));
 //! }
-//! system.add_client(ClientId(2), LogicalMobilityMode::LocationDependent, &[7], script);
-//!
 //! system.run_until(SimTime::from_secs(5));
-//! assert_eq!(system.client_log(consumer).len(), 10);
-//! assert!(system.client_log(consumer).is_clean());
+//!
+//! assert_eq!(consumer.log(&system)?.len(), 10);
+//! assert!(consumer.log(&system)?.is_clean());
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -117,7 +120,9 @@ pub mod mobility {
 // Convenience re-exports of the most commonly used types.
 pub use rebeca_broker::{ClientId, ConsumerLog, Delivery, Envelope, Message, SubscriptionId};
 pub use rebeca_core::{
-    BrokerConfig, ClientAction, ClientNode, LogicalMobilityMode, MobileBroker, MobilitySystem,
+    BrokerConfig, ClientAction, ClientNode, Driver, LogicalMobilityMode, MobileBroker,
+    MobilitySystem, PersistenceConfig, RebecaError, Session, SimDriver, SystemBuilder,
+    ThreadedDriver,
 };
 pub use rebeca_filter::{Constraint, Filter, LocationDependentFilter, Notification, Value};
 pub use rebeca_location::{AdaptivityPlan, Itinerary, LocationId, LocationSpace, MovementGraph};

@@ -4,8 +4,8 @@
 
 use rebeca::{
     AdaptivityPlan, BrokerConfig, ClientAction, ClientId, Constraint, DelayModel, Filter,
-    LocationDependentFilter, LocationId, LogicalMobilityMode, MobilitySystem, MovementGraph,
-    Notification, RoutingStrategyKind, SimDuration, SimTime, Topology, Value,
+    LocationDependentFilter, LocationId, LogicalMobilityMode, MovementGraph, Notification,
+    RoutingStrategyKind, SimDuration, SimTime, SystemBuilder, Topology, Value,
 };
 
 fn stock_filter(symbols: &[&str]) -> Filter {
@@ -42,21 +42,19 @@ fn vacancy(location: LocationId, spot: i64) -> Notification {
 #[test]
 fn mixed_deployment_serves_every_client_correctly() {
     let graph = MovementGraph::grid(3, 3);
-    let config = BrokerConfig {
-        strategy: RoutingStrategyKind::Covering,
-        movement_graph: graph.clone(),
-        relocation_timeout: SimDuration::from_secs(20),
-        ..BrokerConfig::default()
-    };
-    let mut sys = MobilitySystem::new(
-        &Topology::balanced_tree(2, 2),
-        config,
-        DelayModel::constant_millis(5),
-        2003,
-    );
+    let config = BrokerConfig::default()
+        .with_strategy(RoutingStrategyKind::Covering)
+        .with_movement_graph(graph.clone())
+        .with_relocation_timeout(SimDuration::from_secs(20));
+    let mut sys = SystemBuilder::new(&Topology::balanced_tree(2, 2))
+        .config(config)
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(2003)
+        .build()
+        .unwrap();
 
     // Client 1: roaming stock monitor, moves from broker 3 to broker 4.
-    let monitor = ClientId(1);
+    let monitor = ClientId::new(1);
     sys.add_client(
         monitor,
         LogicalMobilityMode::LocationDependent,
@@ -65,7 +63,7 @@ fn mixed_deployment_serves_every_client_correctly() {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(3),
+                    broker: sys.broker_node(3).unwrap(),
                 },
             ),
             (
@@ -75,14 +73,15 @@ fn mixed_deployment_serves_every_client_correctly() {
             (
                 SimTime::from_secs(1),
                 ClientAction::MoveTo {
-                    broker: sys.broker_node(4),
+                    broker: sys.broker_node(4).unwrap(),
                 },
             ),
         ],
-    );
+    )
+    .unwrap();
 
     // Client 2: logically mobile parking client at broker 5.
-    let driver = ClientId(2);
+    let driver = ClientId::new(2);
     sys.add_client(
         driver,
         LogicalMobilityMode::LocationDependent,
@@ -91,7 +90,7 @@ fn mixed_deployment_serves_every_client_correctly() {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(5),
+                    broker: sys.broker_node(5).unwrap(),
                 },
             ),
             (
@@ -111,10 +110,11 @@ fn mixed_deployment_serves_every_client_correctly() {
                 ClientAction::SetLocation(LocationId(2)),
             ),
         ],
-    );
+    )
+    .unwrap();
 
     // Client 3: immobile consumer of every stock quote at broker 6.
-    let archive = ClientId(3);
+    let archive = ClientId::new(3);
     sys.add_client(
         archive,
         LogicalMobilityMode::LocationDependent,
@@ -123,7 +123,7 @@ fn mixed_deployment_serves_every_client_correctly() {
             (
                 SimTime::from_millis(1),
                 ClientAction::Attach {
-                    broker: sys.broker_node(6),
+                    broker: sys.broker_node(6).unwrap(),
                 },
             ),
             (
@@ -133,15 +133,16 @@ fn mixed_deployment_serves_every_client_correctly() {
                 ),
             ),
         ],
-    );
+    )
+    .unwrap();
 
     // Producer A: stock quotes at broker 1.
-    let exchange = ClientId(10);
+    let exchange = ClientId::new(10);
     let symbols = ["REBECA", "SIENA", "GRYPHON"];
     let mut script = vec![(
         SimTime::from_millis(1),
         ClientAction::Attach {
-            broker: sys.broker_node(1),
+            broker: sys.broker_node(1).unwrap(),
         },
     )];
     let quotes = 60u64;
@@ -156,14 +157,15 @@ fn mixed_deployment_serves_every_client_correctly() {
         LogicalMobilityMode::LocationDependent,
         &[1],
         script,
-    );
+    )
+    .unwrap();
 
     // Producer B: parking vacancies at broker 2, cycling through locations.
-    let sensors = ClientId(11);
+    let sensors = ClientId::new(11);
     let mut script = vec![(
         SimTime::from_millis(1),
         ClientAction::Attach {
-            broker: sys.broker_node(2),
+            broker: sys.broker_node(2).unwrap(),
         },
     )];
     for i in 0..60u64 {
@@ -177,13 +179,14 @@ fn mixed_deployment_serves_every_client_correctly() {
         LogicalMobilityMode::LocationDependent,
         &[2],
         script,
-    );
+    )
+    .unwrap();
 
     sys.run_until(SimTime::from_secs(10));
 
     // The roaming monitor: complete, duplicate-free, ordered delivery of the
     // REBECA and SIENA quotes (2 of every 3 publications).
-    let monitor_log = sys.client_log(monitor);
+    let monitor_log = sys.client_log(monitor).unwrap();
     assert!(monitor_log.is_clean(), "{:?}", monitor_log.violations());
     let expected: Vec<u64> = (1..=quotes).filter(|i| (i - 1) % 3 != 2).collect();
     assert_eq!(monitor_log.distinct_publisher_seqs(exchange), expected);
@@ -194,7 +197,7 @@ fn mixed_deployment_serves_every_client_correctly() {
         .all(|d| d.envelope.publisher == exchange));
 
     // The archive receives every stock quote exactly once.
-    let archive_log = sys.client_log(archive);
+    let archive_log = sys.client_log(archive).unwrap();
     assert!(archive_log.is_clean());
     assert_eq!(
         archive_log.distinct_publisher_seqs(exchange),
@@ -203,7 +206,7 @@ fn mixed_deployment_serves_every_client_correctly() {
 
     // The parking client only receives vacancies for rooms it was in, and it
     // receives a non-trivial number of them.
-    let driver_log = sys.client_log(driver);
+    let driver_log = sys.client_log(driver).unwrap();
     assert!(driver_log.len() > 3);
     for d in driver_log.deliveries() {
         let loc = d
@@ -250,23 +253,21 @@ fn facade_types_compose() {
 /// larger tree all observe clean logs while several of them roam.
 #[test]
 fn many_roaming_consumers_stay_consistent() {
-    let config = BrokerConfig {
-        strategy: RoutingStrategyKind::Covering,
-        movement_graph: MovementGraph::grid(3, 3),
-        relocation_timeout: SimDuration::from_secs(20),
-        ..BrokerConfig::default()
-    };
-    let mut sys = MobilitySystem::new(
-        &Topology::balanced_tree(3, 2),
-        config,
-        DelayModel::constant_millis(5),
-        7,
-    );
+    let config = BrokerConfig::default()
+        .with_strategy(RoutingStrategyKind::Covering)
+        .with_movement_graph(MovementGraph::grid(3, 3))
+        .with_relocation_timeout(SimDuration::from_secs(20));
+    let mut sys = SystemBuilder::new(&Topology::balanced_tree(3, 2))
+        .config(config)
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(7)
+        .build()
+        .unwrap();
     let broker_count = sys.broker_count();
 
     // Six consumers, all subscribed to the same stock stream, starting at
     // different brokers and each moving once at a different time.
-    let consumers: Vec<ClientId> = (1..=6).map(ClientId).collect();
+    let consumers: Vec<ClientId> = (1..=6).map(ClientId::new).collect();
     for (i, &c) in consumers.iter().enumerate() {
         let start = 1 + (i % (broker_count - 1));
         let target = 1 + ((i + 3) % (broker_count - 1));
@@ -278,7 +279,7 @@ fn many_roaming_consumers_stay_consistent() {
                 (
                     SimTime::from_millis(1),
                     ClientAction::Attach {
-                        broker: sys.broker_node(start),
+                        broker: sys.broker_node(start).unwrap(),
                     },
                 ),
                 (
@@ -288,19 +289,20 @@ fn many_roaming_consumers_stay_consistent() {
                 (
                     SimTime::from_millis(400 + i as u64 * 150),
                     ClientAction::MoveTo {
-                        broker: sys.broker_node(target),
+                        broker: sys.broker_node(target).unwrap(),
                     },
                 ),
             ],
-        );
+        )
+        .unwrap();
     }
 
-    let exchange = ClientId(100);
+    let exchange = ClientId::new(100);
     let publications = 50u64;
     let mut script = vec![(
         SimTime::from_millis(1),
         ClientAction::Attach {
-            broker: sys.broker_node(0),
+            broker: sys.broker_node(0).unwrap(),
         },
     )];
     for i in 0..publications {
@@ -314,12 +316,13 @@ fn many_roaming_consumers_stay_consistent() {
         LogicalMobilityMode::LocationDependent,
         &[0],
         script,
-    );
+    )
+    .unwrap();
 
     sys.run_until(SimTime::from_secs(15));
 
     for &c in &consumers {
-        let log = sys.client_log(c);
+        let log = sys.client_log(c).unwrap();
         assert!(log.is_clean(), "consumer {c}: {:?}", log.violations());
         assert_eq!(
             log.distinct_publisher_seqs(exchange),
