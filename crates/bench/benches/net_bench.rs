@@ -1,0 +1,177 @@
+//! Loopback TCP transport bench: publish→deliver throughput and relocation
+//! latency of [`TcpDriver`] vs the in-process [`ThreadedDriver`].
+//!
+//! One iteration = one full wall-clock deployment run: build the system(s),
+//! settle the subscription, publish `PUBLICATIONS` vacancies (relocating
+//! the consumer mid-stream in the `relocation` group), and poll until every
+//! delivery arrived.  The TCP side runs TWO drivers in one process — the
+//! brokers pumped by a background thread, the clients driven by the bench
+//! thread — so every client↔broker message crosses a real loopback socket.
+//!
+//! Both variants share the completion-driven structure (the same settle
+//! window and poll cadence), so their within-run ratio isolates the
+//! transport cost.  `scripts/bench_gate.py` gates the `threaded` vs `tcp`
+//! ratios and the absolute medians against `BENCH_net.json`.
+//!
+//! Each variant is verified once outside the timed loop: exactly-once
+//! delivery of all publications, clean log.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rebeca_broker::{ClientId, ConsumerLog};
+use rebeca_core::{BrokerConfig, MobilitySystem, SystemBuilder};
+use rebeca_filter::{Constraint, Filter, Notification};
+use rebeca_location::MovementGraph;
+use rebeca_net::{Endpoint, NetConfig, SystemBuilderTcp, TcpDriver};
+use rebeca_routing::RoutingStrategyKind;
+use rebeca_sim::{DelayModel, SimDuration, Topology};
+
+const CONSUMER: ClientId = ClientId::new(1);
+const PRODUCER: ClientId = ClientId::new(2);
+const PUBLICATIONS: u64 = 40;
+/// Wall-clock window left for attach + subscription flooding per run.
+const SETTLE: SimDuration = SimDuration::from_millis(30);
+/// Poll cadence while waiting for deliveries.
+const POLL: SimDuration = SimDuration::from_millis(5);
+
+fn subscription() -> Filter {
+    Filter::new().with("service", Constraint::Eq("parking".into()))
+}
+
+fn vacancy(i: u64) -> Notification {
+    Notification::builder()
+        .attr("service", "parking")
+        .attr("spot", i as i64)
+        .build()
+}
+
+fn builder() -> SystemBuilder {
+    SystemBuilder::new(&Topology::line(3))
+        .config(
+            BrokerConfig::default()
+                .with_strategy(RoutingStrategyKind::Covering)
+                .with_movement_graph(MovementGraph::paper_example())
+                .with_relocation_timeout(SimDuration::from_secs(5)),
+        )
+        .link_delay(DelayModel::Constant(200))
+        .seed(7)
+}
+
+fn wait_for_deliveries(sys: &mut MobilitySystem, want: usize) {
+    let deadline = sys.now() + SimDuration::from_secs(10);
+    loop {
+        if sys.client_log(CONSUMER).expect("consumer log").len() >= want {
+            return;
+        }
+        let now = sys.now();
+        assert!(now < deadline, "deliveries stalled at {want} wanted");
+        sys.run_until(now + POLL);
+    }
+}
+
+/// The scenario body shared by both drivers (the system is already built).
+fn drive(sys: &mut MobilitySystem, relocate: bool) {
+    let consumer = sys.connect(CONSUMER, 0).expect("consumer");
+    consumer.subscribe(sys, subscription()).expect("subscribe");
+    let producer = sys.connect(PRODUCER, 2).expect("producer");
+    let now = sys.now();
+    sys.run_until(now + SETTLE);
+
+    let half = PUBLICATIONS / 2;
+    for i in 1..=half {
+        producer.publish(sys, vacancy(i)).expect("publish");
+    }
+    wait_for_deliveries(sys, half as usize);
+    if relocate {
+        consumer.move_to(sys, 1).expect("relocate");
+    }
+    for i in half + 1..=PUBLICATIONS {
+        producer.publish(sys, vacancy(i)).expect("publish");
+    }
+    wait_for_deliveries(sys, PUBLICATIONS as usize);
+}
+
+fn run_threaded(relocate: bool) -> ConsumerLog {
+    let mut sys = builder().build_threaded().expect("threaded system");
+    drive(&mut sys, relocate);
+    sys.client_log(CONSUMER).expect("consumer log").clone()
+}
+
+fn run_tcp(relocate: bool) -> ConsumerLog {
+    // Broker process stand-in: one driver hosting all brokers on an
+    // ephemeral loopback listener, pumped by a background thread.
+    let placeholder = vec![Endpoint::new("127.0.0.1", 0); 3];
+    let driver = TcpDriver::new(NetConfig::new(placeholder).host_all().seed(11))
+        .expect("bind broker listener");
+    let endpoint = driver.listen_endpoint().clone();
+    let broker_sys = builder()
+        .build_with(Box::new(driver))
+        .expect("broker system");
+    let stop = Arc::new(AtomicBool::new(false));
+    let pump = {
+        let stop = stop.clone();
+        let mut sys = broker_sys;
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                let now = sys.now();
+                sys.run_until(now + SimDuration::from_millis(10));
+            }
+        })
+    };
+
+    let mut client_sys = builder()
+        .build_tcp(NetConfig::new(vec![endpoint; 3]).seed(13))
+        .expect("client system");
+    drive(&mut client_sys, relocate);
+    let log = client_sys
+        .client_log(CONSUMER)
+        .expect("consumer log")
+        .clone();
+    stop.store(true, Ordering::SeqCst);
+    pump.join().expect("broker pump");
+    log
+}
+
+fn verify(log: &ConsumerLog, label: &str) {
+    assert!(log.is_clean(), "{label}: {:?}", log.violations());
+    assert_eq!(
+        log.distinct_publisher_seqs(PRODUCER),
+        (1..=PUBLICATIONS).collect::<Vec<u64>>(),
+        "{label}: incomplete delivery"
+    );
+}
+
+fn bench_net(c: &mut Criterion) {
+    // Equivalent work outside the timed loops: both transports deliver the
+    // full stream exactly once, with and without the mid-run relocation.
+    verify(&run_threaded(false), "threaded/quickstart");
+    verify(&run_tcp(false), "tcp/quickstart");
+    verify(&run_threaded(true), "threaded/relocation");
+    verify(&run_tcp(true), "tcp/relocation");
+
+    let mut group = c.benchmark_group("net/quickstart");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("threaded", PUBLICATIONS), &(), |b, _| {
+        b.iter(|| black_box(run_threaded(false)))
+    });
+    group.bench_with_input(BenchmarkId::new("tcp", PUBLICATIONS), &(), |b, _| {
+        b.iter(|| black_box(run_tcp(false)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("net/relocation");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("threaded", PUBLICATIONS), &(), |b, _| {
+        b.iter(|| black_box(run_threaded(true)))
+    });
+    group.bench_with_input(BenchmarkId::new("tcp", PUBLICATIONS), &(), |b, _| {
+        b.iter(|| black_box(run_tcp(true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

@@ -39,6 +39,36 @@ impl From<u32> for ClientId {
     }
 }
 
+/// Error parsing a [`ClientId`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseClientIdError(String);
+
+impl fmt::Display for ParseClientIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid client id {:?} (expected \"c7\" or \"7\")",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseClientIdError {}
+
+impl std::str::FromStr for ClientId {
+    type Err = ParseClientIdError;
+
+    /// Parses the [`Display`](fmt::Display) form `"c7"`, or a bare raw id
+    /// `"7"` as written on a command line.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.strip_prefix('c').unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(ClientId)
+            .map_err(|_| ParseClientIdError(s.to_string()))
+    }
+}
+
 /// Identifier of one location-dependent subscription of a client (a client
 /// may hold several).
 #[derive(
@@ -81,5 +111,19 @@ mod tests {
         let s1 = SubscriptionId::new(ClientId(1), 0);
         let s2 = SubscriptionId::new(ClientId(1), 1);
         assert!(s1 < s2);
+    }
+
+    #[test]
+    fn parsing_roundtrips_display_and_accepts_bare_numbers() {
+        assert_eq!("c7".parse::<ClientId>().unwrap(), ClientId(7));
+        assert_eq!("7".parse::<ClientId>().unwrap(), ClientId(7));
+        assert_eq!(
+            ClientId(12).to_string().parse::<ClientId>().unwrap(),
+            ClientId(12)
+        );
+        for bad in ["", "c", "cx", "n3", "-1", "c-1"] {
+            let err = bad.parse::<ClientId>().unwrap_err();
+            assert!(err.to_string().contains("invalid client id"), "{bad}");
+        }
     }
 }

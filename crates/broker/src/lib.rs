@@ -36,6 +36,6 @@ mod seqnum;
 
 pub use broker::{BrokerCore, BrokerRole, ClientRecord, Outgoing};
 pub use client::{ConsumerLog, DeliveryViolation};
-pub use ids::{ClientId, SubscriptionId};
+pub use ids::{ClientId, ParseClientIdError, SubscriptionId};
 pub use message::{Delivery, Envelope, Message};
 pub use seqnum::{DeliveryBuffer, SequenceRegistry};

@@ -36,7 +36,13 @@ use crate::system::SystemNode;
 /// verified against (Section 2.1 of the paper): links are point-to-point,
 /// error-free and FIFO per direction, and a node's timers fire in tag order
 /// at (or after) their requested time.
-pub trait Driver {
+///
+/// Drivers are `Send`: a whole [`MobilitySystem`](crate::MobilitySystem)
+/// can move into a background thread, which is how multi-driver deployments
+/// (e.g. the TCP transport of `rebeca-net` hosting brokers and clients in
+/// separate drivers of one process) pump their broker side while the
+/// application thread drives the client side.
+pub trait Driver: Send {
     /// Adds a node and returns its id.
     fn add_node(&mut self, node: SystemNode) -> NodeId;
 

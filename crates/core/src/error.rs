@@ -36,6 +36,10 @@ pub enum RebecaError {
     /// broker operation addressed a client node).  This indicates id reuse
     /// across node kinds and cannot arise through the public API.
     NotAClient(ClientId),
+    /// A network transport failed to come up (e.g. the TCP driver of
+    /// `rebeca-net` could not bind its listener).  The string carries the
+    /// underlying I/O error.
+    Transport(String),
 }
 
 impl fmt::Display for RebecaError {
@@ -49,6 +53,7 @@ impl fmt::Display for RebecaError {
             RebecaError::DuplicateClient(id) => write!(f, "client {id} already exists"),
             RebecaError::EmptyTopology => write!(f, "the topology has no brokers"),
             RebecaError::NotAClient(id) => write!(f, "node of client {id} is not a client node"),
+            RebecaError::Transport(err) => write!(f, "transport error: {err}"),
         }
     }
 }

@@ -67,6 +67,7 @@
 
 mod client;
 mod driver;
+pub mod driver_util;
 mod error;
 mod mobile_broker;
 mod session;

@@ -5,7 +5,10 @@
 //! runtime outside the discrete-event simulator and thereby *proves* the
 //! sans-IO [`Driver`] boundary: the protocol code (brokers, clients, the
 //! relocation machine) is byte-for-byte the same code the simulator runs;
-//! only the event loop differs.
+//! only the event loop differs.  The event-ordering pieces (due-time heap
+//! with insertion-order tie-break, per-direction FIFO clamp, wall ↔ sim
+//! time mapping) live in [`driver_util`](crate::driver_util) and are shared
+//! with the TCP transport of `rebeca-net`.
 //!
 //! # How a run phase works
 //!
@@ -32,8 +35,7 @@
 //! deterministic: scheduling jitter reorders concurrent events, which is
 //! precisely the point of a wall-clock smoke deployment.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
@@ -45,37 +47,12 @@ use rebeca_broker::Message;
 use rebeca_sim::{Context, DelayModel, Incoming, Metrics, Node, NodeId, SimDuration, SimTime};
 
 use crate::driver::Driver;
+use crate::driver_util::{FifoClamp, PendingQueue, WallClock};
 use crate::system::SystemNode;
 
 /// Upper bound on how long a worker blocks waiting for channel traffic
 /// before re-checking the stop flag and its timer heap.
 const MAX_WAIT: Duration = Duration::from_millis(1);
-
-/// One event waiting to be delivered to a node, stamped with the absolute
-/// driver time at which it becomes due.
-#[derive(Debug, Clone)]
-struct Pending {
-    due: SimTime,
-    seq: u64,
-    event: Incoming<Message>,
-}
-
-impl PartialEq for Pending {
-    fn eq(&self, other: &Self) -> bool {
-        (self.due, self.seq) == (other.due, other.seq)
-    }
-}
-impl Eq for Pending {}
-impl PartialOrd for Pending {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Pending {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.due, self.seq).cmp(&(other.due, other.seq))
-    }
-}
 
 /// A message in flight over a channel link.
 struct Wire {
@@ -87,8 +64,8 @@ struct Wire {
 /// What a worker thread hands back at the end of a phase.
 struct WorkerReturn {
     node: SystemNode,
-    pending: BinaryHeap<Reverse<Pending>>,
-    last_due: Vec<(NodeId, SimTime)>,
+    pending: PendingQueue,
+    clamp: FifoClamp<NodeId>,
     metrics: Metrics,
 }
 
@@ -98,13 +75,15 @@ pub struct ThreadedDriver {
     neighbours: Vec<Vec<NodeId>>,
     delays: HashMap<(NodeId, NodeId), DelayModel>,
     /// FIFO clamp per directed link, carried across phases.
-    last_due: HashMap<(NodeId, NodeId), SimTime>,
-    /// Events not yet delivered, per node, carried across phases.
-    pending: Vec<BinaryHeap<Reverse<Pending>>>,
+    clamp: FifoClamp<(NodeId, NodeId)>,
+    /// Events not yet delivered, per node, carried across phases.  Each
+    /// queue owns its tie-break counter, which travels with the queue into
+    /// the phase worker and back — so events pushed in a later phase always
+    /// tie-break after events carried over from an earlier one.
+    pending: Vec<PendingQueue>,
     now: SimTime,
     seed: u64,
     phase: u64,
-    seq: u64,
     metrics: Metrics,
 }
 
@@ -116,28 +95,18 @@ impl ThreadedDriver {
             nodes: Vec::new(),
             neighbours: Vec::new(),
             delays: HashMap::new(),
-            last_due: HashMap::new(),
+            clamp: FifoClamp::new(),
             pending: Vec::new(),
             now: SimTime::ZERO,
             seed,
             phase: 0,
-            seq: 0,
             metrics: Metrics::new(),
         }
     }
 
-    fn push_pending(&mut self, to: NodeId, due: SimTime, event: Incoming<Message>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.pending[to.index()].push(Reverse(Pending { due, seq, event }));
-    }
-
     /// The earliest due time over every pending event, if any.
     fn next_due(&self) -> Option<SimTime> {
-        self.pending
-            .iter()
-            .filter_map(|h| h.peek().map(|Reverse(p)| p.due))
-            .min()
+        self.pending.iter().filter_map(|q| q.next_due()).min()
     }
 
     /// Executes one wall-clock phase up to absolute driver time `until`.
@@ -163,8 +132,7 @@ impl ThreadedDriver {
             senders.push(tx);
         }
 
-        let phase_started = Instant::now();
-        let phase_base = self.now;
+        let clock = WallClock::anchored_now(self.now);
         let stop = AtomicBool::new(false);
         let rendezvous = Rendezvous::new(n);
         let processed = AtomicU64::new(0);
@@ -184,20 +152,11 @@ impl ThreadedDriver {
                         .iter()
                         .map(|&to| (to, self.delays[&(id, to)]))
                         .collect(),
-                    last_due: self.neighbours[i]
+                    clamp: self.neighbours[i]
                         .iter()
-                        .map(|&to| (to, *self.last_due.get(&(id, to)).unwrap_or(&SimTime::ZERO)))
+                        .map(|&to| (to, self.clamp.watermark(&(id, to))))
                         .collect(),
                     rng: StdRng::seed_from_u64(self.seed ^ (self.phase << 20) ^ (i as u64)),
-                    // Sequence numbers only ever compare within one node's
-                    // heap, and they are always assigned by that node's own
-                    // worker (or by the driver between phases).  Starting
-                    // every worker at the driver's monotonic counter keeps
-                    // in-phase events tie-breaking after everything already
-                    // pending — including events carried over from earlier
-                    // phases — so equal clamped due times on a FIFO link
-                    // dispatch in send order.
-                    seq_base: self.seq,
                     metrics: Metrics::new(),
                 }
             })
@@ -211,16 +170,13 @@ impl ThreadedDriver {
                     let stop = &stop;
                     let rendezvous = &rendezvous;
                     let processed = &processed;
-                    scope.spawn(move || {
-                        worker.run(phase_started, phase_base, stop, rendezvous, processed)
-                    })
+                    scope.spawn(move || worker.run(clock, stop, rendezvous, processed))
                 })
                 .collect();
 
             // The main thread owns the phase clock: sleep until the
             // deadline, then raise the stop flag.
-            let deadline =
-                phase_started + Duration::from_micros(until.since(phase_base).as_micros());
+            let deadline = clock.to_wall(until);
             let now = Instant::now();
             if deadline > now {
                 std::thread::sleep(deadline - now);
@@ -238,25 +194,15 @@ impl ThreadedDriver {
             let id = NodeId::new(i);
             self.nodes[i] = Some(ret.node);
             self.pending[i] = ret.pending;
-            for (to, due) in ret.last_due {
-                let entry = self.last_due.entry((id, to)).or_insert(SimTime::ZERO);
-                if due > *entry {
-                    *entry = due;
-                }
+            for (to, due) in ret.clamp.into_watermarks() {
+                self.clamp.raise((id, to), due);
             }
             self.metrics.merge(&ret.metrics);
         }
-        // Jump the driver counter past anything a worker can have assigned
-        // this phase, so future events keep tie-breaking after past ones.
-        self.seq += SEQ_SLICE;
         self.now = until;
         processed.load(Ordering::SeqCst)
     }
 }
-
-/// How far the driver-wide sequence counter advances per phase — an upper
-/// bound on the events one node can produce within a single phase.
-const SEQ_SLICE: u64 = 1 << 32;
 
 /// A panic-tolerant end-of-phase barrier.  A worker *arrives* when it has
 /// stopped dispatching (and can therefore no longer send); a worker that
@@ -305,22 +251,20 @@ impl Drop for RendezvousGuard<'_> {
 struct Worker {
     id: NodeId,
     node: SystemNode,
-    pending: BinaryHeap<Reverse<Pending>>,
+    pending: PendingQueue,
     inbox: Receiver<Wire>,
     senders: Vec<Sender<Wire>>,
     neighbours: Vec<NodeId>,
     delays: HashMap<NodeId, DelayModel>,
-    last_due: HashMap<NodeId, SimTime>,
+    clamp: FifoClamp<NodeId>,
     rng: StdRng,
-    seq_base: u64,
     metrics: Metrics,
 }
 
 impl Worker {
     fn run(
         mut self,
-        phase_started: Instant,
-        phase_base: SimTime,
+        clock: WallClock,
         stop: &AtomicBool,
         rendezvous: &Rendezvous,
         processed: &AtomicU64,
@@ -331,26 +275,13 @@ impl Worker {
             rendezvous,
             arrived: false,
         };
-        let to_wall = |t: SimTime| -> Instant {
-            phase_started + Duration::from_micros(t.since(phase_base).as_micros())
-        };
-        let to_sim = |i: Instant| -> SimTime {
-            phase_base
-                + SimDuration::from_micros(i.duration_since(phase_started).as_micros() as u64)
-        };
-        let mut seq = self.seq_base;
 
         while !stop.load(Ordering::SeqCst) {
             let wall_now = Instant::now();
-            let sim_now = to_sim(wall_now);
+            let sim_now = clock.to_sim(wall_now);
 
             // Dispatch everything that is due.
-            let due_now = self
-                .pending
-                .peek()
-                .is_some_and(|Reverse(p)| p.due <= sim_now);
-            if due_now {
-                let Reverse(pending) = self.pending.pop().expect("peeked");
+            if let Some(pending) = self.pending.pop_due(sim_now) {
                 // A node observes its event no earlier than the event's
                 // deadline, even if the thread woke early.
                 let at = pending.due.max(sim_now);
@@ -364,12 +295,7 @@ impl Worker {
                         .get(&to)
                         .unwrap_or_else(|| panic!("no link {} -> {}", self.id, to))
                         .sample(&mut self.rng);
-                    let mut due = at + delay;
-                    let clamp = self.last_due.entry(to).or_insert(SimTime::ZERO);
-                    if due < *clamp {
-                        due = *clamp;
-                    }
-                    *clamp = due;
+                    let due = self.clamp.clamp(to, at + delay);
                     self.metrics.incr("network.messages");
                     // A send only fails when the destination worker died
                     // mid-phase (a node handler panic); propagate — the
@@ -384,12 +310,7 @@ impl Worker {
                         .expect("destination worker died mid-phase");
                 }
                 for (delay, tag) in timers {
-                    seq += 1;
-                    self.pending.push(Reverse(Pending {
-                        due: at + delay,
-                        seq,
-                        event: Incoming::Timer { tag },
-                    }));
+                    self.pending.push(at + delay, Incoming::Timer { tag });
                 }
                 continue;
             }
@@ -397,21 +318,19 @@ impl Worker {
             // Nothing due: wait for traffic, capped so the stop flag and the
             // next local deadline are honoured.
             let mut wait = MAX_WAIT;
-            if let Some(Reverse(p)) = self.pending.peek() {
-                wait = wait.min(to_wall(p.due).saturating_duration_since(wall_now));
+            if let Some(due) = self.pending.next_due() {
+                wait = wait.min(clock.to_wall(due).saturating_duration_since(wall_now));
             }
             let wait = wait.max(Duration::from_micros(20));
             match self.inbox.recv_timeout(wait) {
                 Ok(wire) => {
-                    seq += 1;
-                    self.pending.push(Reverse(Pending {
-                        due: wire.due,
-                        seq,
-                        event: Incoming::Message {
+                    self.pending.push(
+                        wire.due,
+                        Incoming::Message {
                             from: wire.from,
                             message: wire.message,
                         },
-                    }));
+                    );
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
@@ -428,21 +347,19 @@ impl Worker {
         guard.arrived = true;
         rendezvous.arrive_and_wait();
         while let Ok(wire) = self.inbox.try_recv() {
-            seq += 1;
-            self.pending.push(Reverse(Pending {
-                due: wire.due,
-                seq,
-                event: Incoming::Message {
+            self.pending.push(
+                wire.due,
+                Incoming::Message {
                     from: wire.from,
                     message: wire.message,
                 },
-            }));
+            );
         }
 
         WorkerReturn {
             node: self.node,
             pending: self.pending,
-            last_due: self.last_due.into_iter().collect(),
+            clamp: self.clamp,
             metrics: self.metrics,
         }
     }
@@ -453,7 +370,7 @@ impl Driver for ThreadedDriver {
         let id = NodeId::new(self.nodes.len());
         self.nodes.push(Some(node));
         self.neighbours.push(Vec::new());
-        self.pending.push(BinaryHeap::new());
+        self.pending.push(PendingQueue::new());
         id
     }
 
@@ -470,7 +387,7 @@ impl Driver for ThreadedDriver {
 
     fn schedule_timer(&mut self, node: NodeId, at: SimTime, tag: u64) {
         let due = at.max(self.now);
-        self.push_pending(node, due, Incoming::Timer { tag });
+        self.pending[node.index()].push(due, Incoming::Timer { tag });
     }
 
     fn now(&self) -> SimTime {
@@ -542,7 +459,7 @@ impl std::fmt::Debug for ThreadedDriver {
             .field("now", &self.now)
             .field(
                 "pending",
-                &self.pending.iter().map(|h| h.len()).sum::<usize>(),
+                &self.pending.iter().map(|q| q.len()).sum::<usize>(),
             )
             .finish()
     }

@@ -92,6 +92,13 @@ impl AdaptivityPlan {
         }
     }
 
+    /// Reassembles a plan from raw per-hop steps (as returned by
+    /// [`AdaptivityPlan::steps`]) — the inverse used by wire codecs that
+    /// ship plans between processes.
+    pub fn from_steps(steps: Vec<usize>) -> Self {
+        Self { steps }
+    }
+
     /// The uncertainty steps, index 0 being the client-side filter.
     pub fn steps(&self) -> &[usize] {
         &self.steps

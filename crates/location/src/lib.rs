@@ -41,4 +41,4 @@ mod space;
 pub use adaptivity::AdaptivityPlan;
 pub use graph::MovementGraph;
 pub use itinerary::{Itinerary, Stop};
-pub use space::{LocationId, LocationSpace};
+pub use space::{LocationId, LocationSpace, ParseLocationIdError};

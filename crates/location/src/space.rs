@@ -45,6 +45,36 @@ impl fmt::Display for LocationId {
     }
 }
 
+/// Error parsing a [`LocationId`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLocationIdError(String);
+
+impl fmt::Display for ParseLocationIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid location id {:?} (expected \"loc#4\" or \"4\")",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseLocationIdError {}
+
+impl std::str::FromStr for LocationId {
+    type Err = ParseLocationIdError;
+
+    /// Parses the [`Display`](fmt::Display) form `"loc#4"`, or a bare raw
+    /// id `"4"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.strip_prefix("loc#").unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(LocationId)
+            .map_err(|_| ParseLocationIdError(s.to_string()))
+    }
+}
+
 /// A finite universe of named locations.
 ///
 /// # Examples
@@ -186,5 +216,19 @@ mod tests {
     fn display_of_ids() {
         assert_eq!(LocationId(4).to_string(), "loc#4");
         assert_eq!(LocationId::from(4u32).raw(), 4);
+    }
+
+    #[test]
+    fn location_ids_parse_from_display_and_bare_numbers() {
+        assert_eq!("loc#4".parse::<LocationId>().unwrap(), LocationId(4));
+        assert_eq!("4".parse::<LocationId>().unwrap(), LocationId(4));
+        assert_eq!(
+            LocationId(11).to_string().parse::<LocationId>().unwrap(),
+            LocationId(11)
+        );
+        for bad in ["", "loc#", "loc#x", "n3", "-1"] {
+            let err = bad.parse::<LocationId>().unwrap_err();
+            assert!(err.to_string().contains("invalid location id"), "{bad}");
+        }
     }
 }

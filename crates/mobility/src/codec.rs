@@ -1,0 +1,427 @@
+//! The shared binary codec behind the WAL records and the network wire
+//! format.
+//!
+//! `rebeca-mobility` introduced a hand-rolled, length-prefixed + CRC32
+//! framing discipline for its write-ahead handoff log (see the
+//! [`HandoffLog`](crate::HandoffLog) docs); the TCP transport of
+//! `rebeca-net` frames its messages the same way.  This module is the
+//! single home of the primitives both framings build on:
+//!
+//! * [`crc32`] — the IEEE CRC-32 used in every frame header;
+//! * `put_*` writers — little-endian encoders for the scalar and protocol
+//!   types ([`Filter`], [`Notification`], [`Envelope`], [`Delivery`], …);
+//! * [`ByteReader`] — the bounds-checked decoder mirror, returning a typed
+//!   [`DecodeError`] (never panicking) on truncated or malformed input.
+//!
+//! Encoders and decoders are exact inverses: for every writer there is a
+//! reader method producing the same value from the written bytes.  All
+//! integers are little-endian; strings are length-prefixed UTF-8; floats
+//! are IEEE-754 bit patterns.
+
+use std::fmt;
+
+use rebeca_broker::{ClientId, Delivery, Envelope};
+use rebeca_filter::{Constraint, Filter, Notification, Value};
+use rebeca_sim::NodeId;
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends one byte.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends a `u16` little-endian.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i64` little-endian.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern, little-endian.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends a string as `len: u32` followed by the UTF-8 bytes.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a [`NodeId`] as its dense index in a `u64`.
+pub fn put_node(buf: &mut Vec<u8>, n: NodeId) {
+    put_u64(buf, n.index() as u64);
+}
+
+/// Appends a [`Value`] as a one-byte kind tag plus the payload.
+pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            put_u8(buf, 0);
+            put_i64(buf, *i);
+        }
+        Value::Float(f) => {
+            put_u8(buf, 1);
+            put_f64(buf, *f);
+        }
+        Value::Str(s) => {
+            put_u8(buf, 2);
+            put_str(buf, s);
+        }
+        Value::Bool(b) => {
+            put_u8(buf, 3);
+            put_u8(buf, u8::from(*b));
+        }
+        Value::Location(l) => {
+            put_u8(buf, 4);
+            put_u32(buf, *l);
+        }
+    }
+}
+
+/// Appends a [`Constraint`] as a one-byte kind tag plus the payload.
+pub fn put_constraint(buf: &mut Vec<u8>, c: &Constraint) {
+    match c {
+        Constraint::Exists => put_u8(buf, 0),
+        Constraint::Eq(v) => {
+            put_u8(buf, 1);
+            put_value(buf, v);
+        }
+        Constraint::Ne(v) => {
+            put_u8(buf, 2);
+            put_value(buf, v);
+        }
+        Constraint::Lt(v) => {
+            put_u8(buf, 3);
+            put_value(buf, v);
+        }
+        Constraint::Le(v) => {
+            put_u8(buf, 4);
+            put_value(buf, v);
+        }
+        Constraint::Gt(v) => {
+            put_u8(buf, 5);
+            put_value(buf, v);
+        }
+        Constraint::Ge(v) => {
+            put_u8(buf, 6);
+            put_value(buf, v);
+        }
+        Constraint::Between(lo, hi) => {
+            put_u8(buf, 7);
+            put_value(buf, lo);
+            put_value(buf, hi);
+        }
+        Constraint::In(set) => {
+            put_u8(buf, 8);
+            put_u32(buf, set.len() as u32);
+            for v in set {
+                put_value(buf, v);
+            }
+        }
+        Constraint::Prefix(s) => {
+            put_u8(buf, 9);
+            put_str(buf, s);
+        }
+        Constraint::Suffix(s) => {
+            put_u8(buf, 10);
+            put_str(buf, s);
+        }
+        Constraint::Contains(s) => {
+            put_u8(buf, 11);
+            put_str(buf, s);
+        }
+    }
+}
+
+/// Appends a [`Filter`] as a count followed by `(name, constraint)` pairs.
+pub fn put_filter(buf: &mut Vec<u8>, f: &Filter) {
+    put_u32(buf, f.len() as u32);
+    for (name, c) in f.iter() {
+        put_str(buf, name);
+        put_constraint(buf, c);
+    }
+}
+
+/// Appends a [`Notification`] as a count followed by `(name, value)` pairs.
+pub fn put_notification(buf: &mut Vec<u8>, n: &Notification) {
+    put_u32(buf, n.len() as u32);
+    for (name, v) in n.iter() {
+        put_str(buf, name);
+        put_value(buf, v);
+    }
+}
+
+/// Appends an [`Envelope`] (publisher, sequence number, notification).
+pub fn put_envelope(buf: &mut Vec<u8>, e: &Envelope) {
+    put_u32(buf, e.publisher.raw());
+    put_u64(buf, e.publisher_seq);
+    put_notification(buf, &e.notification);
+}
+
+/// Appends a [`Delivery`] (subscriber, filter, stream seq, envelope).
+pub fn put_delivery(buf: &mut Vec<u8>, d: &Delivery) {
+    put_u32(buf, d.subscriber.raw());
+    put_filter(buf, &d.filter);
+    put_u64(buf, d.seq);
+    put_envelope(buf, &d.envelope);
+}
+
+/// Decode-side error: any structural problem in an encoded payload —
+/// truncated input, an unknown kind tag, invalid UTF-8.  Decoding is total:
+/// malformed bytes always surface as this error, never as a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError;
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed payload")
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Bounds-checked reader over an encoded payload; the decoding mirror of
+/// the `put_*` writers.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if n > self.buf.len() - self.pos {
+            return Err(DecodeError);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError)
+    }
+
+    /// Reads a [`NodeId`].
+    pub fn node(&mut self) -> Result<NodeId, DecodeError> {
+        Ok(NodeId::new(self.u64()? as usize))
+    }
+
+    /// `true` once every byte has been consumed.
+    pub fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Number of bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads a [`Value`].
+    pub fn value(&mut self) -> Result<Value, DecodeError> {
+        Ok(match self.u8()? {
+            0 => Value::Int(self.i64()?),
+            1 => Value::Float(self.f64()?),
+            2 => Value::Str(self.string()?),
+            3 => Value::Bool(self.u8()? != 0),
+            4 => Value::Location(self.u32()?),
+            _ => return Err(DecodeError),
+        })
+    }
+
+    /// Reads a [`Constraint`].
+    pub fn constraint(&mut self) -> Result<Constraint, DecodeError> {
+        Ok(match self.u8()? {
+            0 => Constraint::Exists,
+            1 => Constraint::Eq(self.value()?),
+            2 => Constraint::Ne(self.value()?),
+            3 => Constraint::Lt(self.value()?),
+            4 => Constraint::Le(self.value()?),
+            5 => Constraint::Gt(self.value()?),
+            6 => Constraint::Ge(self.value()?),
+            7 => Constraint::Between(self.value()?, self.value()?),
+            8 => {
+                let n = self.u32()? as usize;
+                let mut set = std::collections::BTreeSet::new();
+                for _ in 0..n {
+                    set.insert(self.value()?);
+                }
+                Constraint::In(set)
+            }
+            9 => Constraint::Prefix(self.string()?),
+            10 => Constraint::Suffix(self.string()?),
+            11 => Constraint::Contains(self.string()?),
+            _ => return Err(DecodeError),
+        })
+    }
+
+    /// Reads a [`Filter`].
+    pub fn filter(&mut self) -> Result<Filter, DecodeError> {
+        let n = self.u32()? as usize;
+        let mut f = Filter::new();
+        for _ in 0..n {
+            let name = self.string()?;
+            let c = self.constraint()?;
+            f.set(name, c);
+        }
+        Ok(f)
+    }
+
+    /// Reads a [`Notification`].
+    pub fn notification(&mut self) -> Result<Notification, DecodeError> {
+        let n = self.u32()? as usize;
+        let mut b = Notification::builder();
+        for _ in 0..n {
+            let name = self.string()?;
+            let v = self.value()?;
+            b = b.attr(name, v);
+        }
+        Ok(b.build())
+    }
+
+    /// Reads an [`Envelope`].
+    pub fn envelope(&mut self) -> Result<Envelope, DecodeError> {
+        Ok(Envelope {
+            publisher: ClientId::new(self.u32()?),
+            publisher_seq: self.u64()?,
+            notification: self.notification()?,
+        })
+    }
+
+    /// Reads a [`Delivery`].
+    pub fn delivery(&mut self) -> Result<Delivery, DecodeError> {
+        Ok(Delivery {
+            subscriber: ClientId::new(self.u32()?),
+            filter: self.filter()?,
+            seq: self.u64()?,
+            envelope: self.envelope()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u16(&mut buf, 300);
+        put_u32(&mut buf, 70_000);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i64(&mut buf, -42);
+        put_f64(&mut buf, -2.5);
+        put_str(&mut buf, "héllo");
+        put_node(&mut buf, NodeId::new(9));
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), -2.5);
+        assert_eq!(r.string().unwrap(), "héllo");
+        assert_eq!(r.node().unwrap(), NodeId::new(9));
+        assert!(r.done());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "parking");
+        // Claim more bytes than exist.
+        let mut r = ByteReader::new(&buf[..buf.len() - 2]);
+        assert_eq!(r.string(), Err(DecodeError));
+        let mut r = ByteReader::new(&[]);
+        assert_eq!(r.u64(), Err(DecodeError));
+        // An absurd length prefix must not overflow the bounds check.
+        let mut huge = Vec::new();
+        put_u32(&mut huge, u32::MAX);
+        let mut r = ByteReader::new(&huge);
+        assert_eq!(r.string(), Err(DecodeError));
+    }
+
+    #[test]
+    fn invalid_utf8_and_unknown_tags_error() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(ByteReader::new(&buf).string(), Err(DecodeError));
+        assert_eq!(ByteReader::new(&[99]).value(), Err(DecodeError));
+        assert_eq!(ByteReader::new(&[99]).constraint(), Err(DecodeError));
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_reference_vector() {
+        // The canonical "123456789" check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

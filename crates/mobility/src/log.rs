@@ -57,9 +57,13 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
-use rebeca_broker::{ClientId, Delivery, Envelope};
-use rebeca_filter::{Constraint, Filter, Notification, Value};
+use rebeca_broker::{ClientId, Delivery};
+use rebeca_filter::Filter;
 use rebeca_sim::NodeId;
+
+use crate::codec::{
+    crc32, put_delivery, put_filter, put_node, put_u32, put_u64, put_u8, ByteReader, DecodeError,
+};
 
 // ---------------------------------------------------------------------------
 // Backends
@@ -356,276 +360,6 @@ const TAG_REPLAY_ACK: u8 = 5;
 const TAG_CHECKPOINT: u8 = 6;
 const TAG_EPOCH: u8 = 7;
 
-/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) of `bytes`.
-fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
-
-fn put_u8(buf: &mut Vec<u8>, v: u8) {
-    buf.push(v);
-}
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-fn put_i64(buf: &mut Vec<u8>, v: i64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-fn put_f64(buf: &mut Vec<u8>, v: f64) {
-    buf.extend_from_slice(&v.to_bits().to_le_bytes());
-}
-fn put_str(buf: &mut Vec<u8>, s: &str) {
-    put_u32(buf, s.len() as u32);
-    buf.extend_from_slice(s.as_bytes());
-}
-fn put_node(buf: &mut Vec<u8>, n: NodeId) {
-    put_u64(buf, n.0 as u64);
-}
-
-fn put_value(buf: &mut Vec<u8>, v: &Value) {
-    match v {
-        Value::Int(i) => {
-            put_u8(buf, 0);
-            put_i64(buf, *i);
-        }
-        Value::Float(f) => {
-            put_u8(buf, 1);
-            put_f64(buf, *f);
-        }
-        Value::Str(s) => {
-            put_u8(buf, 2);
-            put_str(buf, s);
-        }
-        Value::Bool(b) => {
-            put_u8(buf, 3);
-            put_u8(buf, u8::from(*b));
-        }
-        Value::Location(l) => {
-            put_u8(buf, 4);
-            put_u32(buf, *l);
-        }
-    }
-}
-
-fn put_constraint(buf: &mut Vec<u8>, c: &Constraint) {
-    match c {
-        Constraint::Exists => put_u8(buf, 0),
-        Constraint::Eq(v) => {
-            put_u8(buf, 1);
-            put_value(buf, v);
-        }
-        Constraint::Ne(v) => {
-            put_u8(buf, 2);
-            put_value(buf, v);
-        }
-        Constraint::Lt(v) => {
-            put_u8(buf, 3);
-            put_value(buf, v);
-        }
-        Constraint::Le(v) => {
-            put_u8(buf, 4);
-            put_value(buf, v);
-        }
-        Constraint::Gt(v) => {
-            put_u8(buf, 5);
-            put_value(buf, v);
-        }
-        Constraint::Ge(v) => {
-            put_u8(buf, 6);
-            put_value(buf, v);
-        }
-        Constraint::Between(lo, hi) => {
-            put_u8(buf, 7);
-            put_value(buf, lo);
-            put_value(buf, hi);
-        }
-        Constraint::In(set) => {
-            put_u8(buf, 8);
-            put_u32(buf, set.len() as u32);
-            for v in set {
-                put_value(buf, v);
-            }
-        }
-        Constraint::Prefix(s) => {
-            put_u8(buf, 9);
-            put_str(buf, s);
-        }
-        Constraint::Suffix(s) => {
-            put_u8(buf, 10);
-            put_str(buf, s);
-        }
-        Constraint::Contains(s) => {
-            put_u8(buf, 11);
-            put_str(buf, s);
-        }
-    }
-}
-
-fn put_filter(buf: &mut Vec<u8>, f: &Filter) {
-    put_u32(buf, f.len() as u32);
-    for (name, c) in f.iter() {
-        put_str(buf, name);
-        put_constraint(buf, c);
-    }
-}
-
-fn put_notification(buf: &mut Vec<u8>, n: &Notification) {
-    put_u32(buf, n.len() as u32);
-    for (name, v) in n.iter() {
-        put_str(buf, name);
-        put_value(buf, v);
-    }
-}
-
-fn put_envelope(buf: &mut Vec<u8>, e: &Envelope) {
-    put_u32(buf, e.publisher.raw());
-    put_u64(buf, e.publisher_seq);
-    put_notification(buf, &e.notification);
-}
-
-fn put_delivery(buf: &mut Vec<u8>, d: &Delivery) {
-    put_u32(buf, d.subscriber.raw());
-    put_filter(buf, &d.filter);
-    put_u64(buf, d.seq);
-    put_envelope(buf, &d.envelope);
-}
-
-/// Decode-side error: any structural problem in a record payload.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct DecodeError;
-
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.buf.len() {
-            return Err(DecodeError);
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
-    }
-    fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-    fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    fn i64(&mut self) -> Result<i64, DecodeError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    fn f64(&mut self) -> Result<f64, DecodeError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-    fn string(&mut self) -> Result<String, DecodeError> {
-        let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError)
-    }
-    fn node(&mut self) -> Result<NodeId, DecodeError> {
-        Ok(NodeId(self.u64()? as usize))
-    }
-    fn done(&self) -> bool {
-        self.pos == self.buf.len()
-    }
-
-    fn value(&mut self) -> Result<Value, DecodeError> {
-        Ok(match self.u8()? {
-            0 => Value::Int(self.i64()?),
-            1 => Value::Float(self.f64()?),
-            2 => Value::Str(self.string()?),
-            3 => Value::Bool(self.u8()? != 0),
-            4 => Value::Location(self.u32()?),
-            _ => return Err(DecodeError),
-        })
-    }
-
-    fn constraint(&mut self) -> Result<Constraint, DecodeError> {
-        Ok(match self.u8()? {
-            0 => Constraint::Exists,
-            1 => Constraint::Eq(self.value()?),
-            2 => Constraint::Ne(self.value()?),
-            3 => Constraint::Lt(self.value()?),
-            4 => Constraint::Le(self.value()?),
-            5 => Constraint::Gt(self.value()?),
-            6 => Constraint::Ge(self.value()?),
-            7 => Constraint::Between(self.value()?, self.value()?),
-            8 => {
-                let n = self.u32()? as usize;
-                let mut set = std::collections::BTreeSet::new();
-                for _ in 0..n {
-                    set.insert(self.value()?);
-                }
-                Constraint::In(set)
-            }
-            9 => Constraint::Prefix(self.string()?),
-            10 => Constraint::Suffix(self.string()?),
-            11 => Constraint::Contains(self.string()?),
-            _ => return Err(DecodeError),
-        })
-    }
-
-    fn filter(&mut self) -> Result<Filter, DecodeError> {
-        let n = self.u32()? as usize;
-        let mut f = Filter::new();
-        for _ in 0..n {
-            let name = self.string()?;
-            let c = self.constraint()?;
-            f.set(name, c);
-        }
-        Ok(f)
-    }
-
-    fn notification(&mut self) -> Result<Notification, DecodeError> {
-        let n = self.u32()? as usize;
-        let mut b = Notification::builder();
-        for _ in 0..n {
-            let name = self.string()?;
-            let v = self.value()?;
-            b = b.attr(name, v);
-        }
-        Ok(b.build())
-    }
-
-    fn envelope(&mut self) -> Result<Envelope, DecodeError> {
-        Ok(Envelope {
-            publisher: ClientId::new(self.u32()?),
-            publisher_seq: self.u64()?,
-            notification: self.notification()?,
-        })
-    }
-
-    fn delivery(&mut self) -> Result<Delivery, DecodeError> {
-        Ok(Delivery {
-            subscriber: ClientId::new(self.u32()?),
-            filter: self.filter()?,
-            seq: self.u64()?,
-            envelope: self.envelope()?,
-        })
-    }
-}
-
 impl WalRecord {
     /// Encodes the record payload (without the frame header).
     fn encode_payload(&self) -> Vec<u8> {
@@ -725,7 +459,7 @@ impl WalRecord {
     }
 
     fn decode_payload(payload: &[u8]) -> Result<Self, DecodeError> {
-        let mut r = Reader::new(payload);
+        let mut r = ByteReader::new(payload);
         let record = match r.u8()? {
             TAG_STREAM_OPEN => WalRecord::StreamOpen {
                 client: ClientId::new(r.u32()?),
@@ -1057,6 +791,8 @@ impl HandoffLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rebeca_broker::Envelope;
+    use rebeca_filter::{Constraint, Notification, Value};
 
     fn filter() -> Filter {
         Filter::new()

@@ -1,0 +1,130 @@
+//! `rebeca-node`: one broker process of a TCP deployment.
+//!
+//! ```text
+//! rebeca-node --config cluster.cfg --broker 1 [--run-secs 30] [--epoch 0]
+//! ```
+//!
+//! Reads the shared cluster config (see `rebeca_net::ClusterConfig` for the
+//! format), hosts broker `--broker` on a `TcpDriver`, dials its topology
+//! peers and serves until `--run-secs` elapses (forever when omitted).
+//! Prints a single `listening` line once the socket is bound, so a harness
+//! can wait for readiness, and a metrics summary on clean exit.
+
+use std::process::ExitCode;
+
+use rebeca_core::SystemBuilder;
+use rebeca_net::{ClusterConfig, NetConfig, SystemBuilderTcp};
+use rebeca_sim::SimDuration;
+
+struct Args {
+    config: String,
+    broker: usize,
+    run_secs: Option<u64>,
+    epoch: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = None;
+    let mut broker = None;
+    let mut run_secs = None;
+    let mut epoch = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--config" => config = Some(value("--config")?),
+            "--broker" => {
+                broker = Some(
+                    value("--broker")?
+                        .parse::<usize>()
+                        .map_err(|_| "--broker expects a broker index".to_string())?,
+                )
+            }
+            "--run-secs" => {
+                run_secs = Some(
+                    value("--run-secs")?
+                        .parse::<u64>()
+                        .map_err(|_| "--run-secs expects a number of seconds".to_string())?,
+                )
+            }
+            "--epoch" => {
+                epoch = value("--epoch")?
+                    .parse::<u64>()
+                    .map_err(|_| "--epoch expects a number".to_string())?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args {
+        config: config.ok_or("--config is required")?,
+        broker: broker.ok_or("--broker is required")?,
+        run_secs,
+        epoch,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args().map_err(|e| {
+        format!("{e}\nusage: rebeca-node --config FILE --broker N [--run-secs S] [--epoch E]")
+    })?;
+    let cluster = ClusterConfig::load(&args.config).map_err(|e| e.to_string())?;
+    if args.broker >= cluster.endpoints.len() {
+        return Err(format!(
+            "broker {} not in config (cluster has {} brokers)",
+            args.broker,
+            cluster.endpoints.len()
+        ));
+    }
+
+    let net = NetConfig::new(cluster.endpoints.clone())
+        .host(args.broker)
+        .epoch(args.epoch)
+        .seed(cluster.seed ^ args.broker as u64);
+    let mut system = SystemBuilder::new(&cluster.topology)
+        .link_delay(cluster.delay)
+        .seed(cluster.seed)
+        .build_tcp(net)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "rebeca-node: broker {} listening on {}",
+        args.broker, cluster.endpoints[args.broker]
+    );
+    // The harness waits for this line before starting clients.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    let slice = SimDuration::from_millis(250);
+    let deadline = args
+        .run_secs
+        .map(|secs| system.now() + SimDuration::from_secs(secs));
+    loop {
+        let now = system.now();
+        if let Some(deadline) = deadline {
+            if now >= deadline {
+                break;
+            }
+        }
+        system.run_until(now + slice);
+    }
+
+    let metrics = system.metrics();
+    println!(
+        "rebeca-node: broker {} done (link messages {}, frames in {}, frames out {})",
+        args.broker,
+        metrics.counter("network.messages"),
+        metrics.counter("net.frames_in"),
+        metrics.counter("net.frames_out"),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("rebeca-node: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

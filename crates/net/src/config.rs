@@ -1,0 +1,330 @@
+//! The cluster config file of a process-per-broker deployment.
+//!
+//! A plain, line-oriented format (no external parser dependency), shared by
+//! every process of the cluster so broker indices and endpoints agree:
+//!
+//! ```text
+//! # three brokers in a line
+//! broker 0 127.0.0.1:7101
+//! broker 1 127.0.0.1:7102
+//! broker 2 127.0.0.1:7103
+//! edge 0 1
+//! edge 1 2
+//! delay_ms 5
+//! seed 42
+//! ```
+//!
+//! * `broker <index> <host:port>` — one line per broker; indices must be
+//!   dense from 0.
+//! * `edge <a> <b>` — an undirected broker ↔ broker link.
+//! * `delay_ms <n>` / `delay_us <n>` — constant link delay (default 5 ms).
+//! * `delay_uniform <min_us> <max_us>` — uniformly distributed link delay.
+//! * `delay_jitter <base_us> <jitter_us>` — constant base plus uniform
+//!   jitter.
+//! * `seed <n>` — the delay-sampling seed (default 0).
+//! * `#`-prefixed lines and blank lines are ignored.
+
+use std::fmt;
+use std::path::Path;
+
+use rebeca_sim::{DelayModel, Topology};
+
+use crate::endpoint::Endpoint;
+
+/// A parsed cluster description.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Broker listen endpoints, index == broker index == node id.
+    pub endpoints: Vec<Endpoint>,
+    /// The broker topology.
+    pub topology: Topology,
+    /// The link delay model applied on every link.
+    pub delay: DelayModel,
+    /// The delay-sampling seed.
+    pub seed: u64,
+}
+
+/// A config-file problem, with the offending line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfigError {
+    /// 1-based line number (0 for whole-file problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ClusterConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "cluster config: {}", self.message)
+        } else {
+            write!(f, "cluster config line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ClusterConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ClusterConfigError {
+    ClusterConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl ClusterConfig {
+    /// Parses a cluster config from its text form.
+    pub fn parse(text: &str) -> Result<Self, ClusterConfigError> {
+        let mut brokers: Vec<(usize, Endpoint)> = Vec::new();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut delay = DelayModel::constant_millis(5);
+        let mut seed = 0u64;
+
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let keyword = parts.next().expect("non-empty line has a first token");
+            let rest: Vec<&str> = parts.collect();
+            match keyword {
+                "broker" => {
+                    let [index, endpoint] = rest[..] else {
+                        return Err(err(line_no, "expected: broker <index> <host:port>"));
+                    };
+                    let index: usize = index
+                        .parse()
+                        .map_err(|_| err(line_no, format!("invalid broker index {index:?}")))?;
+                    let endpoint: Endpoint =
+                        endpoint.parse().map_err(|e| err(line_no, format!("{e}")))?;
+                    brokers.push((index, endpoint));
+                }
+                "edge" => {
+                    let [a, b] = rest[..] else {
+                        return Err(err(line_no, "expected: edge <a> <b>"));
+                    };
+                    let a: usize = a
+                        .parse()
+                        .map_err(|_| err(line_no, format!("invalid broker index {a:?}")))?;
+                    let b: usize = b
+                        .parse()
+                        .map_err(|_| err(line_no, format!("invalid broker index {b:?}")))?;
+                    edges.push((a, b));
+                }
+                "delay_ms" => {
+                    let [ms] = rest[..] else {
+                        return Err(err(line_no, "expected: delay_ms <millis>"));
+                    };
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| err(line_no, format!("invalid delay {ms:?}")))?;
+                    delay = DelayModel::constant_millis(ms);
+                }
+                "delay_us" => {
+                    let [us] = rest[..] else {
+                        return Err(err(line_no, "expected: delay_us <micros>"));
+                    };
+                    let us: u64 = us
+                        .parse()
+                        .map_err(|_| err(line_no, format!("invalid delay {us:?}")))?;
+                    delay = DelayModel::Constant(us);
+                }
+                "delay_uniform" => {
+                    let [min, max] = rest[..] else {
+                        return Err(err(line_no, "expected: delay_uniform <min_us> <max_us>"));
+                    };
+                    let min: u64 = min
+                        .parse()
+                        .map_err(|_| err(line_no, format!("invalid delay {min:?}")))?;
+                    let max: u64 = max
+                        .parse()
+                        .map_err(|_| err(line_no, format!("invalid delay {max:?}")))?;
+                    delay = DelayModel::Uniform {
+                        min_micros: min,
+                        max_micros: max,
+                    };
+                }
+                "delay_jitter" => {
+                    let [base, jitter] = rest[..] else {
+                        return Err(err(line_no, "expected: delay_jitter <base_us> <jitter_us>"));
+                    };
+                    let base: u64 = base
+                        .parse()
+                        .map_err(|_| err(line_no, format!("invalid delay {base:?}")))?;
+                    let jitter: u64 = jitter
+                        .parse()
+                        .map_err(|_| err(line_no, format!("invalid delay {jitter:?}")))?;
+                    delay = DelayModel::Jittered {
+                        base_micros: base,
+                        jitter_micros: jitter,
+                    };
+                }
+                "seed" => {
+                    let [s] = rest[..] else {
+                        return Err(err(line_no, "expected: seed <n>"));
+                    };
+                    seed = s
+                        .parse()
+                        .map_err(|_| err(line_no, format!("invalid seed {s:?}")))?;
+                }
+                other => {
+                    return Err(err(line_no, format!("unknown keyword {other:?}")));
+                }
+            }
+        }
+
+        if brokers.is_empty() {
+            return Err(err(0, "no brokers declared"));
+        }
+        brokers.sort_by_key(|(i, _)| *i);
+        let mut endpoints = Vec::with_capacity(brokers.len());
+        for (expected, (index, endpoint)) in brokers.into_iter().enumerate() {
+            if index != expected {
+                return Err(err(
+                    0,
+                    format!(
+                        "broker indices must be dense from 0 (missing or duplicate {expected})"
+                    ),
+                ));
+            }
+            endpoints.push(endpoint);
+        }
+        let mut topology = Topology::new(endpoints.len());
+        for (a, b) in edges {
+            if a >= endpoints.len() || b >= endpoints.len() {
+                return Err(err(0, format!("edge {a} {b} references an unknown broker")));
+            }
+            topology.add_edge(a, b);
+        }
+        Ok(Self {
+            endpoints,
+            topology,
+            delay,
+            seed,
+        })
+    }
+
+    /// Reads and parses a cluster config file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ClusterConfigError> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| err(0, format!("cannot read {}: {e}", path.as_ref().display())))?;
+        Self::parse(&text)
+    }
+
+    /// Renders the config back to its text form (used by test harnesses to
+    /// hand one generated config to every spawned process).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, ep) in self.endpoints.iter().enumerate() {
+            out.push_str(&format!("broker {i} {ep}\n"));
+        }
+        for &(a, b) in self.topology.edges() {
+            out.push_str(&format!("edge {a} {b}\n"));
+        }
+        match self.delay {
+            DelayModel::Constant(micros) => {
+                out.push_str(&format!("delay_us {micros}\n"));
+            }
+            DelayModel::Uniform {
+                min_micros,
+                max_micros,
+            } => {
+                out.push_str(&format!("delay_uniform {min_micros} {max_micros}\n"));
+            }
+            DelayModel::Jittered {
+                base_micros,
+                jitter_micros,
+            } => {
+                out.push_str(&format!("delay_jitter {base_micros} {jitter_micros}\n"));
+            }
+        }
+        out.push_str(&format!("seed {}\n", self.seed));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a line of three
+broker 0 127.0.0.1:7101
+broker 1 127.0.0.1:7102
+broker 2 127.0.0.1:7103
+edge 0 1
+edge 1 2
+delay_ms 3
+seed 9
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let cfg = ClusterConfig::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.endpoints.len(), 3);
+        assert_eq!(cfg.endpoints[2], Endpoint::new("127.0.0.1", 7103));
+        assert_eq!(cfg.topology.len(), 3);
+        assert!(cfg.topology.has_edge(0, 1));
+        assert!(cfg.topology.has_edge(1, 2));
+        assert!(!cfg.topology.has_edge(0, 2));
+        assert_eq!(cfg.delay, DelayModel::constant_millis(3));
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let mut cfg = ClusterConfig::parse(SAMPLE).unwrap();
+        // Every delay model roundtrips exactly, including sub-millisecond
+        // constants.
+        for delay in [
+            DelayModel::Constant(500),
+            DelayModel::Uniform {
+                min_micros: 100,
+                max_micros: 900,
+            },
+            DelayModel::Jittered {
+                base_micros: 2000,
+                jitter_micros: 250,
+            },
+        ] {
+            cfg.delay = delay;
+            let again = ClusterConfig::parse(&cfg.render()).unwrap();
+            assert_eq!(again.endpoints, cfg.endpoints);
+            assert_eq!(again.topology.edges(), cfg.topology.edges());
+            assert_eq!(again.delay, cfg.delay);
+            assert_eq!(again.seed, cfg.seed);
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = ClusterConfig::parse("broker 0\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("line 1"));
+        let e = ClusterConfig::parse("broker 0 127.0.0.1:7101\nfoo bar\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("foo"));
+        let e = ClusterConfig::parse("broker 0 127.0.0.1:x\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn structural_problems_are_rejected() {
+        assert!(ClusterConfig::parse("# empty\n")
+            .unwrap_err()
+            .to_string()
+            .contains("no brokers"));
+        let gap = "broker 0 127.0.0.1:1\nbroker 2 127.0.0.1:2\n";
+        assert!(ClusterConfig::parse(gap)
+            .unwrap_err()
+            .to_string()
+            .contains("dense"));
+        let bad_edge = "broker 0 127.0.0.1:1\nedge 0 7\n";
+        assert!(ClusterConfig::parse(bad_edge)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown broker"));
+    }
+}

@@ -1,0 +1,223 @@
+//! First-class network addressing: the `host:port` endpoint of a broker or
+//! client process.
+//!
+//! Topology config files and the `rebeca-node` command line address nodes
+//! by [`Endpoint`] instead of raw socket addresses, so typos surface as
+//! typed parse errors before any socket is opened.
+
+use std::fmt;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::str::FromStr;
+
+/// A `host:port` network endpoint.
+///
+/// The host may be a hostname, an IPv4 address, or a bracketed IPv6 address
+/// (`[::1]:7000`); resolution happens at connect time via
+/// [`Endpoint::socket_addr`].
+///
+/// ```
+/// use rebeca_net::Endpoint;
+///
+/// let ep: Endpoint = "127.0.0.1:7101".parse().unwrap();
+/// assert_eq!(ep.host(), "127.0.0.1");
+/// assert_eq!(ep.port(), 7101);
+/// assert_eq!(ep.to_string(), "127.0.0.1:7101");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Endpoint {
+    host: String,
+    port: u16,
+}
+
+impl Endpoint {
+    /// Creates an endpoint from a host and port.
+    pub fn new(host: impl Into<String>, port: u16) -> Self {
+        Self {
+            host: host.into(),
+            port,
+        }
+    }
+
+    /// The host part (hostname or IP literal, without IPv6 brackets).
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The port part.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Resolves the endpoint to a socket address (the first resolution
+    /// result is used).
+    pub fn socket_addr(&self) -> std::io::Result<SocketAddr> {
+        let rendered = self.to_string();
+        rendered
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other(format!("{rendered} resolved to no address")))
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.host.contains(':') {
+            write!(f, "[{}]:{}", self.host, self.port)
+        } else {
+            write!(f, "{}:{}", self.host, self.port)
+        }
+    }
+}
+
+/// Error parsing an [`Endpoint`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseEndpointError {
+    /// The string has no `:` separating host from port.
+    MissingPort(String),
+    /// The host part is empty.
+    EmptyHost(String),
+    /// The port part is not a valid `u16`.
+    BadPort(String),
+    /// The host looks like a bare IPv6 literal; brackets are required to
+    /// disambiguate the port separator (`[::1]:80`).
+    UnbracketedIpv6(String),
+}
+
+impl fmt::Display for ParseEndpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseEndpointError::MissingPort(s) => {
+                write!(f, "endpoint {s:?} has no :port suffix")
+            }
+            ParseEndpointError::EmptyHost(s) => write!(f, "endpoint {s:?} has an empty host"),
+            ParseEndpointError::BadPort(s) => {
+                write!(f, "endpoint {s:?} has an invalid port (expected 0-65535)")
+            }
+            ParseEndpointError::UnbracketedIpv6(s) => {
+                write!(
+                    f,
+                    "endpoint {s:?} looks like a bare IPv6 literal; write it as [addr]:port"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseEndpointError {}
+
+impl FromStr for Endpoint {
+    type Err = ParseEndpointError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // `[v6]:port` or `host:port` (split at the LAST colon so bare IPv6
+        // literals without brackets fail loudly instead of mis-splitting).
+        let (host, port) = match s.strip_prefix('[') {
+            Some(rest) => {
+                let end = rest
+                    .find(']')
+                    .ok_or_else(|| ParseEndpointError::MissingPort(s.to_string()))?;
+                let host = &rest[..end];
+                let after = rest[end + 1..]
+                    .strip_prefix(':')
+                    .ok_or_else(|| ParseEndpointError::MissingPort(s.to_string()))?;
+                (host, after)
+            }
+            None => {
+                let (host, port) = s
+                    .rsplit_once(':')
+                    .ok_or_else(|| ParseEndpointError::MissingPort(s.to_string()))?;
+                if host.contains(':') {
+                    // Only a bracketed host may contain colons; a bare IPv6
+                    // literal would otherwise silently mis-split at its
+                    // last group.
+                    return Err(ParseEndpointError::UnbracketedIpv6(s.to_string()));
+                }
+                (host, port)
+            }
+        };
+        if host.is_empty() {
+            return Err(ParseEndpointError::EmptyHost(s.to_string()));
+        }
+        let port = port
+            .parse::<u16>()
+            .map_err(|_| ParseEndpointError::BadPort(s.to_string()))?;
+        Ok(Endpoint::new(host, port))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_host_port_pairs() {
+        let ep: Endpoint = "127.0.0.1:7101".parse().unwrap();
+        assert_eq!(ep, Endpoint::new("127.0.0.1", 7101));
+        let named: Endpoint = "localhost:80".parse().unwrap();
+        assert_eq!(named.host(), "localhost");
+        assert_eq!(named.port(), 80);
+    }
+
+    #[test]
+    fn parses_bracketed_ipv6() {
+        let ep: Endpoint = "[::1]:7000".parse().unwrap();
+        assert_eq!(ep.host(), "::1");
+        assert_eq!(ep.port(), 7000);
+        assert_eq!(ep.to_string(), "[::1]:7000");
+        assert_eq!(ep.to_string().parse::<Endpoint>().unwrap(), ep);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in ["127.0.0.1:7101", "example.org:443", "[::1]:9"] {
+            let ep: Endpoint = s.parse().unwrap();
+            assert_eq!(ep.to_string(), s);
+            assert_eq!(ep.to_string().parse::<Endpoint>().unwrap(), ep);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_endpoints() {
+        assert!(matches!(
+            "localhost".parse::<Endpoint>(),
+            Err(ParseEndpointError::MissingPort(_))
+        ));
+        assert!(matches!(
+            ":80".parse::<Endpoint>(),
+            Err(ParseEndpointError::EmptyHost(_))
+        ));
+        assert!(matches!(
+            "host:notaport".parse::<Endpoint>(),
+            Err(ParseEndpointError::BadPort(_))
+        ));
+        assert!(matches!(
+            "host:70000".parse::<Endpoint>(),
+            Err(ParseEndpointError::BadPort(_))
+        ));
+        assert!(matches!(
+            "[::1:80".parse::<Endpoint>(),
+            Err(ParseEndpointError::MissingPort(_))
+        ));
+        // Bare IPv6 literals must be bracketed — the last-colon split would
+        // otherwise silently produce a bogus host.
+        assert!(matches!(
+            "::1:80".parse::<Endpoint>(),
+            Err(ParseEndpointError::UnbracketedIpv6(_))
+        ));
+        assert!(matches!(
+            "2001:db8::1".parse::<Endpoint>(),
+            Err(ParseEndpointError::UnbracketedIpv6(_))
+        ));
+        // Errors render the offending input.
+        let err = "localhost".parse::<Endpoint>().unwrap_err();
+        assert!(err.to_string().contains("localhost"));
+    }
+
+    #[test]
+    fn loopback_resolves() {
+        let ep: Endpoint = "127.0.0.1:7101".parse().unwrap();
+        let addr = ep.socket_addr().unwrap();
+        assert_eq!(addr.port(), 7101);
+        assert!(addr.ip().is_loopback());
+    }
+}

@@ -1,0 +1,395 @@
+//! The link layer: blocking sockets, one thread per connection direction.
+//!
+//! A TCP link between two nodes is made of up to two *directed*
+//! connections, each owned by the sending side:
+//!
+//! * the **writer thread** ([`spawn_writer`]) dials the peer's listen
+//!   endpoint (retrying until the peer process is up), sends the
+//!   [`Frame::Hello`] handshake, then pumps queued frames onto the socket —
+//!   interleaving [`Frame::Heartbeat`]s whenever the link has been idle for
+//!   the configured interval;
+//! * the **reader thread** ([`spawn_reader`]) serves one accepted
+//!   connection: it decodes frames off the socket and forwards them as
+//!   [`Inbound`] events into the driver's event loop channel.  A corrupt
+//!   stream (checksum mismatch, unknown tag) closes the connection with a
+//!   logged typed error — never a panic.
+//!
+//! TCP guarantees per-connection FIFO, so per-direction FIFO — the link
+//! contract of the paper's Section 2.1 — holds end to end: driver send
+//! order → writer channel order → socket order → reader order → event
+//! channel order (std mpsc preserves per-sender order).
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rebeca_broker::Message;
+use rebeca_sim::{DelayModel, NodeId, SimDuration};
+
+use crate::endpoint::Endpoint;
+use crate::wire::{Frame, WireError, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+
+/// How long a reader blocks on the socket before re-checking the shutdown
+/// flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// How long the acceptor sleeps between polls of its non-blocking listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// An event arriving over the network, forwarded into the driver loop.
+#[derive(Debug)]
+pub(crate) enum Inbound {
+    /// A peer introduced itself on a fresh connection.
+    Hello {
+        /// The dialing node.
+        from: NodeId,
+        /// The local node the connection feeds.
+        to: NodeId,
+        /// The dialer's restart epoch.
+        epoch: u64,
+        /// Where the dialer's process can be dialled back.
+        listen: Endpoint,
+        /// The link's delay model.
+        delay: DelayModel,
+    },
+    /// A protocol message for a local node.
+    Message {
+        /// The sending node.
+        from: NodeId,
+        /// The destination node.
+        to: NodeId,
+        /// The sender-sampled link delay to apply on top of the transfer.
+        delay: SimDuration,
+        /// The message.
+        message: Message,
+    },
+}
+
+/// Spawns the writer thread for one outbound connection: dial (with retry
+/// until `shutdown`), handshake with `hello`, then pump frames from `rx`,
+/// heart-beating after `heartbeat` of idleness.  Exits when the channel
+/// disconnects, the socket breaks, or `shutdown` is raised.
+pub(crate) fn spawn_writer(
+    target: Endpoint,
+    hello: Frame,
+    rx: Receiver<Frame>,
+    shutdown: Arc<AtomicBool>,
+    heartbeat: Duration,
+    dial_retry: Duration,
+    epoch: u64,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        // Dial until the peer process is up (peers of a cluster start in
+        // arbitrary order).
+        let mut stream = loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match target.socket_addr().and_then(TcpStream::connect) {
+                Ok(stream) => break stream,
+                Err(_) => std::thread::sleep(dial_retry),
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        if stream.write_all(&hello.encode_framed()).is_err() {
+            return;
+        }
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let frame = match rx.recv_timeout(heartbeat) {
+                Ok(frame) => frame,
+                Err(RecvTimeoutError::Timeout) => Frame::Heartbeat { epoch },
+                Err(RecvTimeoutError::Disconnected) => return,
+            };
+            // A frame over the receiver's size limit is split into halves
+            // (batch payloads only) until every piece fits; the halves
+            // travel back to back on the same connection, so per-direction
+            // FIFO — and therefore exactly-once delivery — is preserved.
+            let mut worklist = VecDeque::from([frame]);
+            while let Some(frame) = worklist.pop_front() {
+                let bytes = frame.encode_framed();
+                if bytes.len() > MAX_FRAME_LEN as usize + FRAME_HEADER_LEN {
+                    match split_frame(frame) {
+                        Some((first, second)) => {
+                            worklist.push_front(second);
+                            worklist.push_front(first);
+                            continue;
+                        }
+                        None => {
+                            // An unsplittable message the peer is guaranteed
+                            // to reject: the link cannot honour its
+                            // error-free contract any more — fail it loudly
+                            // rather than silently dropping one message.
+                            eprintln!(
+                                "rebeca-net: unsplittable frame of {} bytes \
+                                 exceeds the {MAX_FRAME_LEN} payload limit; \
+                                 closing link to {target}",
+                                bytes.len()
+                            );
+                            return;
+                        }
+                    }
+                }
+                if let Err(e) = stream.write_all(&bytes) {
+                    // Reconnection with epoch fencing is a ROADMAP
+                    // follow-up; today a dead peer ends the link.
+                    eprintln!("rebeca-net: link to {target} broke: {e}");
+                    return;
+                }
+            }
+        }
+    })
+}
+
+/// Splits an oversized frame into two halves when its message is a batch
+/// (the only unbounded payloads).  `Replay` is deliberately NOT split: the
+/// relocation protocol treats one replay message as the complete buffered
+/// stream, so halving it would flush the holding merge early.
+fn split_frame(frame: Frame) -> Option<(Frame, Frame)> {
+    let Frame::Message {
+        from,
+        to,
+        delay_micros,
+        message,
+    } = frame
+    else {
+        return None;
+    };
+    let remake = |message: Message| Frame::Message {
+        from,
+        to,
+        delay_micros,
+        message,
+    };
+    match message {
+        Message::PublishBatch {
+            publisher,
+            mut notifications,
+        } if notifications.len() >= 2 => {
+            let tail = notifications.split_off(notifications.len() / 2);
+            Some((
+                remake(Message::PublishBatch {
+                    publisher,
+                    notifications,
+                }),
+                remake(Message::PublishBatch {
+                    publisher,
+                    notifications: tail,
+                }),
+            ))
+        }
+        Message::NotificationBatch(mut envelopes) if envelopes.len() >= 2 => {
+            let tail = envelopes.split_off(envelopes.len() / 2);
+            Some((
+                remake(Message::NotificationBatch(envelopes)),
+                remake(Message::NotificationBatch(tail)),
+            ))
+        }
+        Message::DeliverBatch(mut deliveries) if deliveries.len() >= 2 => {
+            let tail = deliveries.split_off(deliveries.len() / 2);
+            Some((
+                remake(Message::DeliverBatch(deliveries)),
+                remake(Message::DeliverBatch(tail)),
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Spawns the reader thread for one accepted connection: decodes frames
+/// and forwards them into `tx`.  Exits on EOF, a corrupt stream, a raised
+/// `shutdown`, or when the driver drops the receiving end.
+///
+/// Bytes are accumulated in a local buffer and frames decoded off its
+/// front, so a read timeout in the *middle* of a frame (slow sender, a
+/// large frame spanning many TCP segments) just waits for more bytes — it
+/// can never desynchronise the framing boundary.
+pub(crate) fn spawn_reader(
+    stream: TcpStream,
+    tx: Sender<Inbound>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        let mut stream = stream;
+        let mut buf: Vec<u8> = Vec::with_capacity(4096);
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let n = match stream.read(&mut chunk) {
+                Ok(0) => return, // EOF
+                Ok(n) => n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(_) => return, // broken pipe
+            };
+            buf.extend_from_slice(&chunk[..n]);
+            let mut consumed = 0;
+            loop {
+                let frame = match Frame::decode_framed(&buf[consumed..]) {
+                    Ok((frame, used)) => {
+                        consumed += used;
+                        frame
+                    }
+                    Err(WireError::Truncated) => break, // need more bytes
+                    Err(e) => {
+                        // Corrupt stream: a typed decode error, never a
+                        // panic.  Closing the connection is the only safe
+                        // reaction — a desynchronised framing boundary
+                        // cannot be recovered.
+                        eprintln!("rebeca-net: closing corrupt connection: {e}");
+                        return;
+                    }
+                };
+                let inbound = match frame {
+                    Frame::Hello {
+                        from,
+                        to,
+                        epoch,
+                        listen,
+                        delay,
+                    } => Inbound::Hello {
+                        from,
+                        to,
+                        epoch,
+                        listen,
+                        delay,
+                    },
+                    Frame::Heartbeat { .. } => continue,
+                    Frame::Message {
+                        from,
+                        to,
+                        delay_micros,
+                        message,
+                    } => Inbound::Message {
+                        from,
+                        to,
+                        delay: SimDuration::from_micros(delay_micros),
+                        message,
+                    },
+                };
+                if tx.send(inbound).is_err() {
+                    return; // driver gone
+                }
+            }
+            buf.drain(..consumed);
+        }
+    })
+}
+
+/// Spawns the accept loop: every inbound connection gets its own reader
+/// thread.  Exits when `shutdown` is raised (the driver wakes the loop by
+/// dialling its own listener once).
+pub(crate) fn spawn_acceptor(
+    listener: TcpListener,
+    tx: Sender<Inbound>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let _ = listener.set_nonblocking(true);
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    // Readers exit on their own via the shutdown flag (or
+                    // the read timeout); no join bookkeeping needed.
+                    let _ = spawn_reader(stream, tx.clone(), shutdown.clone());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => return,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_broker::{ClientId, Envelope};
+    use rebeca_filter::Notification;
+
+    fn envelope(seq: u64) -> Envelope {
+        Envelope {
+            publisher: ClientId::new(1),
+            publisher_seq: seq,
+            notification: Notification::builder().attr("spot", seq as i64).build(),
+        }
+    }
+
+    fn frame(message: Message) -> Frame {
+        Frame::Message {
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            delay_micros: 7,
+            message,
+        }
+    }
+
+    #[test]
+    fn oversized_batches_split_in_order_and_keep_the_route() {
+        let whole = frame(Message::NotificationBatch(vec![
+            envelope(1),
+            envelope(2),
+            envelope(3),
+        ]));
+        let (first, second) = split_frame(whole).expect("batches split");
+        match (&first, &second) {
+            (
+                Frame::Message {
+                    from,
+                    to,
+                    delay_micros,
+                    message: Message::NotificationBatch(a),
+                },
+                Frame::Message {
+                    message: Message::NotificationBatch(b),
+                    ..
+                },
+            ) => {
+                assert_eq!(
+                    (*from, *to, *delay_micros),
+                    (NodeId::new(0), NodeId::new(1), 7)
+                );
+                let seqs: Vec<u64> = a.iter().chain(b).map(|e| e.publisher_seq).collect();
+                assert_eq!(seqs, vec![1, 2, 3], "halves concatenate to the original");
+            }
+            other => panic!("unexpected split {other:?}"),
+        }
+    }
+
+    #[test]
+    fn singletons_and_protocol_steps_refuse_to_split() {
+        // A one-element batch cannot shrink further.
+        assert!(split_frame(frame(Message::NotificationBatch(vec![envelope(1)]))).is_none());
+        // Replay is one protocol step: halving it would flush the holding
+        // merge early.
+        assert!(split_frame(frame(Message::Replay {
+            client: ClientId::new(1),
+            filter: rebeca_filter::Filter::new(),
+            deliveries: Vec::new(),
+        }))
+        .is_none());
+        assert!(split_frame(Frame::Heartbeat { epoch: 1 }).is_none());
+    }
+}

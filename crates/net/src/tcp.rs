@@ -1,0 +1,726 @@
+//! [`TcpDriver`]: the sans-IO [`Driver`] over real TCP sockets.
+//!
+//! A deployment is a set of OS processes, each running one `TcpDriver`
+//! hosting a subset of the global node space — classically one broker per
+//! process (the `rebeca-node` binary), plus one process per application
+//! hosting its client nodes.  Every process shares the same broker
+//! topology, so broker `i` is [`NodeId`] `i` everywhere; client nodes get
+//! ids above the broker range, allocated by the process that hosts them.
+//!
+//! The driver runs a single-threaded event loop over the local nodes
+//! (dispatch due events, harvest sends and timers), with per-connection
+//! reader/writer threads doing the blocking socket work (see
+//! [`link`](crate::link) module docs).  The event-ordering machinery —
+//! due-time heaps with insertion-order tie-break and the per-direction
+//! monotonic due-time clamp — is shared with
+//! [`ThreadedDriver`](rebeca_core::ThreadedDriver) via
+//! [`rebeca_core::driver_util`], so the FIFO rules cannot diverge between
+//! the wall-clock drivers.
+//!
+//! # Remote nodes
+//!
+//! [`Driver::add_node`] calls for nodes another process hosts park the
+//! state as an inert *placeholder*: it is never dispatched, and reading it
+//! through [`Driver::node`] observes the initial state only.  Inspect
+//! brokers and client logs from the process that hosts them.
+//!
+//! # Link delays
+//!
+//! Configured [`DelayModel`]s are honoured over TCP: the sender samples the
+//! delay and ships it in the frame; the receiver schedules the event that
+//! much later than its arrival (clamped per direction, so the link stays
+//! FIFO).  Deployments that want raw socket latency configure
+//! `DelayModel::Constant(0)`.
+
+use std::collections::{BTreeSet, HashMap};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rebeca_core::driver_util::{FifoClamp, PendingQueue, WallClock};
+use rebeca_core::{Driver, MobilitySystem, RebecaError, SystemBuilder, SystemNode};
+use rebeca_sim::{Context, DelayModel, Incoming, Metrics, Node, NodeId, SimDuration, SimTime};
+
+use crate::endpoint::Endpoint;
+use crate::link::{spawn_acceptor, spawn_writer, Inbound};
+use crate::wire::Frame;
+
+/// Upper bound on how long the event loop blocks waiting for network
+/// traffic before re-checking its deadlines.
+const MAX_WAIT: Duration = Duration::from_millis(1);
+
+/// Configuration of one process of a TCP deployment.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Listen endpoint of every broker, indexed by topology index (broker
+    /// `i` is `NodeId(i)` in every process).
+    endpoints: Vec<Endpoint>,
+    /// Which brokers THIS process hosts (empty for a pure client process).
+    local: BTreeSet<usize>,
+    /// Where this process listens.  Defaults to the endpoint of its lowest
+    /// hosted broker, or an ephemeral loopback port for client processes.
+    listen: Option<Endpoint>,
+    /// Restart epoch carried in every handshake (for future epoch fencing).
+    epoch: u64,
+    /// Seed of the per-process link-delay sampling.
+    seed: u64,
+    /// Idle interval after which a writer sends a heartbeat.
+    heartbeat: Duration,
+    /// Interval between dial attempts while a peer process is not up yet.
+    dial_retry: Duration,
+    /// First node id this process allocates for client nodes.  Defaults to
+    /// the end of the broker range; set distinct bases on different client
+    /// processes so their client node ids cannot collide.
+    first_client_node: Option<usize>,
+    /// The endpoint advertised in handshakes for reverse connections.
+    /// Defaults to the listen host (wildcard hosts fall back to loopback)
+    /// with the actually bound port; LAN deployments binding a wildcard
+    /// must set this to a routable address.
+    advertise: Option<Endpoint>,
+}
+
+impl NetConfig {
+    /// Starts a config over the cluster's broker endpoints (index `i` is
+    /// broker `i` of the topology).
+    pub fn new(endpoints: Vec<Endpoint>) -> Self {
+        Self {
+            endpoints,
+            local: BTreeSet::new(),
+            listen: None,
+            epoch: 0,
+            seed: 0,
+            heartbeat: Duration::from_millis(500),
+            dial_retry: Duration::from_millis(50),
+            first_client_node: None,
+            advertise: None,
+        }
+    }
+
+    /// Declares broker `index` as hosted by this process.
+    pub fn host(mut self, index: usize) -> Self {
+        self.local.insert(index);
+        self
+    }
+
+    /// Declares every broker as hosted by this process (a single-process
+    /// cluster over loopback TCP — useful for tests and benches).
+    pub fn host_all(mut self) -> Self {
+        self.local = (0..self.endpoints.len()).collect();
+        self
+    }
+
+    /// Overrides the listen endpoint of this process.
+    pub fn listen(mut self, endpoint: Endpoint) -> Self {
+        self.listen = Some(endpoint);
+        self
+    }
+
+    /// Sets the restart epoch carried in handshakes.
+    pub fn epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Seeds the link-delay sampling of this process.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the writer-idle heartbeat interval.
+    pub fn heartbeat(mut self, interval: Duration) -> Self {
+        self.heartbeat = interval;
+        self
+    }
+
+    /// Sets the first node id allocated for client nodes (see the field
+    /// docs; only needed when several client processes join one cluster).
+    pub fn first_client_node(mut self, base: usize) -> Self {
+        self.first_client_node = Some(base);
+        self
+    }
+
+    /// Sets the endpoint advertised in handshakes for reverse connections
+    /// (needed when the process binds a wildcard address on a LAN — peers
+    /// cannot dial `0.0.0.0` back).
+    pub fn advertise(mut self, endpoint: Endpoint) -> Self {
+        self.advertise = Some(endpoint);
+        self
+    }
+}
+
+/// The TCP transport driver.  See the module docs for the deployment and
+/// execution model.
+pub struct TcpDriver {
+    cfg: NetConfig,
+    /// The endpoint peers dial back (advertised in every Hello).
+    advertised: Endpoint,
+    /// Locally hosted nodes, by node index.
+    nodes: HashMap<usize, SystemNode>,
+    /// Inert stand-ins for nodes hosted by other processes.
+    placeholders: HashMap<usize, SystemNode>,
+    /// Per local node: the peers it may send to.
+    neighbours: HashMap<usize, Vec<NodeId>>,
+    delays: HashMap<(NodeId, NodeId), DelayModel>,
+    /// Listen endpoints of client peers, learned from their handshakes.
+    learned: HashMap<usize, Endpoint>,
+    /// Highest epoch seen per peer (handshake bookkeeping).
+    peer_epochs: HashMap<usize, u64>,
+    /// Receive-side clamp per directed link (network arrivals).
+    clamp_in: FifoClamp<(NodeId, NodeId)>,
+    /// Send-side clamp for local-to-local deliveries.
+    clamp_local: FifoClamp<(NodeId, NodeId)>,
+    pending: HashMap<usize, PendingQueue>,
+    /// Outbound connections: `(local node, peer node)` → frame queue.
+    writers: HashMap<(usize, usize), Sender<Frame>>,
+    incoming_rx: Receiver<Inbound>,
+    clock: WallClock,
+    rng: StdRng,
+    metrics: Metrics,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    wake_addr: std::net::SocketAddr,
+    next_node: usize,
+}
+
+impl TcpDriver {
+    /// Binds the process listener and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Besides bind failures, rejects a config that hosts a broker index
+    /// outside the cluster, and one whose co-hosted brokers have differing
+    /// configured endpoints: the process has exactly one listener, so peers
+    /// resolving any hosted broker must all arrive at the same address
+    /// (otherwise their dial-retry loops would spin forever against an
+    /// endpoint nobody serves).
+    pub fn new(cfg: NetConfig) -> std::io::Result<Self> {
+        if let Some(&bad) = cfg.local.iter().find(|&&i| i >= cfg.endpoints.len()) {
+            return Err(std::io::Error::other(format!(
+                "hosted broker index {bad} is outside the cluster \
+                 (endpoints declare {} brokers, indices 0-{})",
+                cfg.endpoints.len(),
+                cfg.endpoints.len().saturating_sub(1)
+            )));
+        }
+        let mut hosted = cfg.local.iter().filter_map(|&i| cfg.endpoints.get(i));
+        if let Some(first) = hosted.next() {
+            if let Some(other) = hosted.find(|&ep| ep != first) {
+                return Err(std::io::Error::other(format!(
+                    "co-hosted brokers must share one configured endpoint \
+                     (got {first} and {other}); run them in separate \
+                     processes or point their endpoints at the same address"
+                )));
+            }
+        }
+        let listen = match &cfg.listen {
+            Some(ep) => ep.clone(),
+            None => match cfg.local.iter().next() {
+                Some(&lowest) => cfg.endpoints[lowest].clone(),
+                None => Endpoint::new("127.0.0.1", 0),
+            },
+        };
+        let listener = TcpListener::bind(listen.socket_addr()?)?;
+        let bound = listener.local_addr()?;
+        let advertised = match &cfg.advertise {
+            Some(ep) => ep.clone(),
+            None => {
+                // A wildcard bind is reachable on every interface but
+                // dialable on none; default the dial-back address to
+                // loopback (LAN deployments set `NetConfig::advertise`).
+                let host = match listen.host() {
+                    "0.0.0.0" | "::" | "" => "127.0.0.1",
+                    host => host,
+                };
+                Endpoint::new(host, bound.port())
+            }
+        };
+        let (incoming_tx, incoming_rx) = channel();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let acceptor = spawn_acceptor(listener, incoming_tx, shutdown.clone());
+        let seed = cfg.seed;
+        Ok(Self {
+            cfg,
+            advertised,
+            nodes: HashMap::new(),
+            placeholders: HashMap::new(),
+            neighbours: HashMap::new(),
+            delays: HashMap::new(),
+            learned: HashMap::new(),
+            peer_epochs: HashMap::new(),
+            clamp_in: FifoClamp::new(),
+            clamp_local: FifoClamp::new(),
+            pending: HashMap::new(),
+            writers: HashMap::new(),
+            incoming_rx,
+            clock: WallClock::anchored_now(SimTime::ZERO),
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+            shutdown,
+            acceptor: Some(acceptor),
+            wake_addr: bound,
+            next_node: 0,
+        })
+    }
+
+    /// The endpoint this process advertises in handshakes (its bound
+    /// listener; the port is concrete even when configured as `:0`).
+    pub fn listen_endpoint(&self) -> &Endpoint {
+        &self.advertised
+    }
+
+    /// The highest restart epoch a peer has announced, if it ever dialled
+    /// this process.
+    pub fn peer_epoch(&self, node: NodeId) -> Option<u64> {
+        self.peer_epochs.get(&node.index()).copied()
+    }
+
+    fn is_local(&self, index: usize) -> bool {
+        self.nodes.contains_key(&index)
+    }
+
+    /// The endpoint of a peer node: brokers from the config, clients from
+    /// their handshakes.
+    fn endpoint_of(&self, peer: usize) -> Option<Endpoint> {
+        self.cfg
+            .endpoints
+            .get(peer)
+            .cloned()
+            .or_else(|| self.learned.get(&peer).cloned())
+    }
+
+    /// Returns the writer channel for `(local, peer)`, spawning the
+    /// dial-and-pump thread on first use.  `None` while the peer's endpoint
+    /// is still unknown (a client that has not dialled in yet).
+    fn writer_for(&mut self, local: usize, peer: NodeId) -> Option<&Sender<Frame>> {
+        let key = (local, peer.index());
+        if !self.writers.contains_key(&key) {
+            let target = self.endpoint_of(peer.index())?;
+            let delay = self
+                .delays
+                .get(&(NodeId::new(local), peer))
+                .copied()
+                .unwrap_or(DelayModel::Constant(0));
+            let hello = Frame::Hello {
+                from: NodeId::new(local),
+                to: peer,
+                epoch: self.cfg.epoch,
+                listen: self.advertised.clone(),
+                delay,
+            };
+            let (tx, rx) = channel();
+            spawn_writer(
+                target,
+                hello,
+                rx,
+                self.shutdown.clone(),
+                self.cfg.heartbeat,
+                self.cfg.dial_retry,
+                self.cfg.epoch,
+            );
+            self.writers.insert(key, tx);
+        }
+        self.writers.get(&key)
+    }
+
+    fn handle_inbound(&mut self, inbound: Inbound) {
+        match inbound {
+            Inbound::Hello {
+                from,
+                to,
+                epoch,
+                listen,
+                delay,
+            } => {
+                self.learned.insert(from.index(), listen);
+                let known = self.peer_epochs.entry(from.index()).or_insert(epoch);
+                *known = (*known).max(epoch);
+                self.metrics.incr("net.hello_in");
+                if !self.is_local(to.index()) {
+                    self.metrics.incr("net.hello_misrouted");
+                    return;
+                }
+                // A dial-in creates the reverse half of the link on demand
+                // (the dialling side already ran ensure_link; this side may
+                // never have heard of the peer — a client, typically).
+                self.delays.entry((to, from)).or_insert(delay);
+                self.delays.entry((from, to)).or_insert(delay);
+                let neighbours = self.neighbours.entry(to.index()).or_default();
+                if !neighbours.contains(&from) {
+                    neighbours.push(from);
+                }
+            }
+            Inbound::Message {
+                from,
+                to,
+                delay,
+                message,
+            } => {
+                if !self.is_local(to.index()) {
+                    self.metrics.incr("net.frames_misrouted");
+                    return;
+                }
+                self.metrics.incr("net.frames_in");
+                let due = self.clamp_in.clamp((from, to), self.clock.now() + delay);
+                self.pending
+                    .get_mut(&to.index())
+                    .expect("local node has a queue")
+                    .push(due, Incoming::Message { from, message });
+            }
+        }
+    }
+
+    /// Drains everything the reader threads delivered so far.
+    fn drain_incoming(&mut self) {
+        while let Ok(inbound) = self.incoming_rx.try_recv() {
+            self.handle_inbound(inbound);
+        }
+    }
+
+    /// The earliest due time over every local pending event.
+    fn next_due(&self) -> Option<SimTime> {
+        self.pending.values().filter_map(|q| q.next_due()).min()
+    }
+
+    /// Routes one harvested send: straight into a local queue, or framed
+    /// onto the peer's connection.
+    fn send_from(&mut self, from: usize, to: NodeId, at: SimTime, message: rebeca_broker::Message) {
+        let from_id = NodeId::new(from);
+        let delay = self
+            .delays
+            .get(&(from_id, to))
+            .unwrap_or_else(|| panic!("no link {from_id} -> {to}"))
+            .sample(&mut self.rng);
+        self.metrics.incr("network.messages");
+        if self.is_local(to.index()) {
+            let due = self.clamp_local.clamp((from_id, to), at + delay);
+            self.pending
+                .get_mut(&to.index())
+                .expect("local node has a queue")
+                .push(
+                    due,
+                    Incoming::Message {
+                        from: from_id,
+                        message,
+                    },
+                );
+        } else {
+            let frame = Frame::Message {
+                from: from_id,
+                to,
+                delay_micros: delay.as_micros(),
+                message,
+            };
+            match self.writer_for(from, to) {
+                Some(tx) => {
+                    // A send only fails when the writer thread already shut
+                    // down (driver teardown or a dead peer — reconnection
+                    // is a ROADMAP follow-up).
+                    if tx.send(frame).is_ok() {
+                        self.metrics.incr("net.frames_out");
+                    } else {
+                        self.metrics.incr("net.frames_dropped");
+                    }
+                }
+                None => {
+                    self.metrics.incr("net.frames_unroutable");
+                }
+            }
+        }
+    }
+
+    /// Dispatches the earliest due event of node `index`, if any.
+    fn dispatch(&mut self, index: usize, now: SimTime) -> bool {
+        let Some(pending) = self
+            .pending
+            .get_mut(&index)
+            .and_then(|queue| queue.pop_due(now))
+        else {
+            return false;
+        };
+        // A node observes its event no earlier than the event's deadline,
+        // even if the loop woke early.
+        let at = pending.due.max(now);
+        // Move the node and its neighbour list out for the dispatch (no
+        // per-event clone) and put both back before routing the harvest.
+        let mut node = self
+            .nodes
+            .remove(&index)
+            .expect("dispatch targets a local node");
+        let neighbours = self.neighbours.remove(&index).unwrap_or_default();
+        let mut ctx = Context::external(at, NodeId::new(index), &neighbours, &mut self.metrics);
+        node.handle(&mut ctx, pending.event);
+        let (outgoing, timers) = ctx.into_harvest();
+        self.nodes.insert(index, node);
+        self.neighbours.insert(index, neighbours);
+        for (to, message) in outgoing {
+            self.send_from(index, to, at, message);
+        }
+        for (delay, tag) in timers {
+            self.pending
+                .get_mut(&index)
+                .expect("local node has a queue")
+                .push(at + delay, Incoming::Timer { tag });
+        }
+        true
+    }
+
+    /// The core event loop: runs until the wall clock reaches `until`.
+    fn run_phase(&mut self, until: SimTime) -> u64 {
+        let mut processed = 0;
+        loop {
+            self.drain_incoming();
+            let now = self.clock.now();
+            if now >= until {
+                break;
+            }
+            // Dispatch everything due across the local nodes.
+            let due_node = self
+                .pending
+                .iter()
+                .filter_map(|(&i, q)| q.next_due().map(|due| (due, i)))
+                .min();
+            if let Some((due, index)) = due_node {
+                if due <= now && self.dispatch(index, now) {
+                    processed += 1;
+                    continue;
+                }
+            }
+            // Nothing due: wait for network traffic, capped by the next
+            // local deadline and the phase deadline.
+            let wall_now = Instant::now();
+            let mut wait = MAX_WAIT;
+            if let Some((due, _)) = due_node {
+                wait = wait.min(self.clock.to_wall(due).saturating_duration_since(wall_now));
+            }
+            wait = wait.min(
+                self.clock
+                    .to_wall(until)
+                    .saturating_duration_since(wall_now),
+            );
+            let wait = wait.max(Duration::from_micros(20));
+            let received = self.incoming_rx.recv_timeout(wait);
+            match received {
+                Ok(inbound) => self.handle_inbound(inbound),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        processed
+    }
+}
+
+impl Driver for TcpDriver {
+    fn add_node(&mut self, node: SystemNode) -> NodeId {
+        if self.next_node >= self.cfg.endpoints.len() {
+            if let Some(base) = self.cfg.first_client_node {
+                if self.next_node < base {
+                    self.next_node = base;
+                }
+            }
+        }
+        let index = self.next_node;
+        self.next_node += 1;
+        let is_remote_broker = index < self.cfg.endpoints.len() && !self.cfg.local.contains(&index);
+        if is_remote_broker {
+            self.placeholders.insert(index, node);
+        } else {
+            self.nodes.insert(index, node);
+            self.pending.insert(index, PendingQueue::new());
+            self.neighbours.entry(index).or_default();
+        }
+        NodeId::new(index)
+    }
+
+    fn ensure_link(&mut self, a: NodeId, b: NodeId, delay: DelayModel) -> bool {
+        if self.delays.contains_key(&(a, b)) {
+            return false;
+        }
+        self.delays.insert((a, b), delay);
+        self.delays.insert((b, a), delay);
+        for (x, y) in [(a, b), (b, a)] {
+            if self.is_local(x.index()) {
+                let neighbours = self.neighbours.entry(x.index()).or_default();
+                if !neighbours.contains(&y) {
+                    neighbours.push(y);
+                }
+                if !self.is_local(y.index()) {
+                    // Dial eagerly when the peer endpoint is already known
+                    // (a broker); a client peer's endpoint arrives with its
+                    // handshake and the writer spawns on first send.
+                    self.writer_for(x.index(), y);
+                }
+            }
+        }
+        true
+    }
+
+    fn schedule_timer(&mut self, node: NodeId, at: SimTime, tag: u64) {
+        let Some(queue) = self.pending.get_mut(&node.index()) else {
+            // Timers on remote nodes belong to the hosting process.
+            self.metrics.incr("net.timer_misrouted");
+            return;
+        };
+        let due = at.max(self.clock.now());
+        queue.push(due, Incoming::Timer { tag });
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    fn step(&mut self) -> bool {
+        // Dispatch the earliest pending event directly (waiting up to its
+        // deadline) instead of racing a tiny run_phase window against the
+        // live wall clock — `while system.step() {}` must never report idle
+        // while an event is still queued.  The wait watches the incoming
+        // channel, so a network message arriving (and becoming due) before
+        // a far-out timer is dispatched first, as under run_until.
+        loop {
+            self.drain_incoming();
+            let Some((due, index)) = self
+                .pending
+                .iter()
+                .filter_map(|(&i, q)| q.next_due().map(|d| (d, i)))
+                .min()
+            else {
+                return false;
+            };
+            let wall_due = self.clock.to_wall(due);
+            let now = Instant::now();
+            if wall_due <= now {
+                return self.dispatch(index, self.clock.now());
+            }
+            let received = self.incoming_rx.recv_timeout(wall_due - now);
+            match received {
+                // New traffic may carry an earlier due event: re-evaluate.
+                Ok(inbound) => self.handle_inbound(inbound),
+                Err(RecvTimeoutError::Timeout) => {
+                    return self.dispatch(index, self.clock.now());
+                }
+                Err(RecvTimeoutError::Disconnected) => return false,
+            }
+        }
+    }
+
+    fn run_until(&mut self, until: SimTime) -> u64 {
+        self.run_phase(until)
+    }
+
+    fn run_to_idle(&mut self, max_events: u64) -> u64 {
+        let mut processed = 0;
+        let mut idle_rounds = 0;
+        while processed < max_events && idle_rounds < 3 {
+            self.drain_incoming();
+            match self.next_due() {
+                Some(due) => {
+                    idle_rounds = 0;
+                    // Jump to the next deadline plus a settling window so
+                    // cascades of follow-up events drain in one phase.
+                    let target = due.max(self.clock.now()) + SimDuration::from_millis(20);
+                    processed += self.run_phase(target);
+                }
+                None => {
+                    // Locally idle; give in-flight network traffic a grace
+                    // window before concluding the deployment is quiet.
+                    idle_rounds += 1;
+                    let received = self.incoming_rx.recv_timeout(Duration::from_millis(30));
+                    if let Ok(inbound) = received {
+                        self.handle_inbound(inbound);
+                        idle_rounds = 0;
+                    }
+                }
+            }
+        }
+        processed
+    }
+
+    fn node(&self, id: NodeId) -> &SystemNode {
+        self.nodes
+            .get(&id.index())
+            .or_else(|| self.placeholders.get(&id.index()))
+            .expect("node id from add_node")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut SystemNode {
+        self.nodes
+            .get_mut(&id.index())
+            .or_else(|| self.placeholders.get_mut(&id.index()))
+            .expect("node id from add_node")
+    }
+
+    fn replace_node(&mut self, id: NodeId, node: SystemNode) -> SystemNode {
+        let slot = self
+            .nodes
+            .get_mut(&id.index())
+            .or_else(|| self.placeholders.get_mut(&id.index()))
+            .expect("node id from add_node");
+        std::mem::replace(slot, node)
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len() + self.placeholders.len()
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+}
+
+impl Drop for TcpDriver {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Closing the frame queues ends the writer threads.
+        self.writers.clear();
+        // Wake the acceptor out of its poll loop, then join it; readers
+        // notice the flag within their read timeout on their own.
+        let _ = TcpStream::connect(self.wake_addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for TcpDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpDriver")
+            .field("listen", &self.advertised)
+            .field("local_nodes", &self.nodes.len())
+            .field("remote_nodes", &self.placeholders.len())
+            .field("connections_out", &self.writers.len())
+            .field(
+                "pending",
+                &self.pending.values().map(|q| q.len()).sum::<usize>(),
+            )
+            .finish()
+    }
+}
+
+/// Extension trait giving [`SystemBuilder`] a TCP build mode.
+///
+/// (The method lives here rather than on the builder itself because
+/// `rebeca-core` must not depend on the transport crate; importing this
+/// trait makes `builder.build_tcp(net)` read exactly like the built-in
+/// `build()` / `build_threaded()` modes.)
+pub trait SystemBuilderTcp {
+    /// Builds the system on a [`TcpDriver`] configured by `net`: brokers
+    /// this process hosts run here; all others are reached over TCP.
+    fn build_tcp(self, net: NetConfig) -> Result<MobilitySystem, RebecaError>;
+}
+
+impl SystemBuilderTcp for SystemBuilder {
+    fn build_tcp(self, net: NetConfig) -> Result<MobilitySystem, RebecaError> {
+        let driver = TcpDriver::new(net).map_err(|e| RebecaError::Transport(e.to_string()))?;
+        self.build_with(Box::new(driver))
+    }
+}

@@ -1,0 +1,805 @@
+//! The TCP wire format: length-prefixed, checksummed frames carrying the
+//! full [`Message`] vocabulary plus a connection handshake and heartbeats.
+//!
+//! # Frame layout
+//!
+//! Every frame uses the same framing discipline as the mobility WAL
+//! (`rebeca_mobility::codec`):
+//!
+//! ```text
+//! ┌─────────────┬───────────────┬────────────────────┐
+//! │ len: u32 LE │ crc32: u32 LE │ payload (len bytes)│
+//! └─────────────┴───────────────┴────────────────────┘
+//! ```
+//!
+//! `crc32` is the IEEE CRC-32 of the payload.  The payload starts with a
+//! one-byte frame kind:
+//!
+//! | kind | frame       | contents                                          |
+//! |------|-------------|---------------------------------------------------|
+//! | 1    | `Hello`     | from, to, epoch, listen endpoint, link delay model |
+//! | 2    | `Heartbeat` | epoch                                             |
+//! | 3    | `Message`   | from, to, sampled delay, encoded [`Message`]      |
+//!
+//! A connection's first frame is always the [`Frame::Hello`] handshake: it
+//! names the sending node, the node the connection feeds, the sender's
+//! restart epoch, the listen endpoint a reverse connection can dial back,
+//! and the link's delay model.  [`Frame::Heartbeat`]s flow whenever a
+//! writer has been idle for the configured interval, keeping NATs and
+//! liveness checks happy.
+//!
+//! # Robustness
+//!
+//! Decoding is *total*: truncated frames, flipped bits, absurd length
+//! prefixes and unknown tags all surface as a typed [`WireError`], never as
+//! a panic — mirroring the WAL-corruption guarantees of `rebeca-mobility`
+//! (and covered by the same style of corruption tests).
+
+use std::fmt;
+
+use rebeca_broker::{ClientId, Message, SubscriptionId};
+use rebeca_filter::{Filter, LocationDependentFilter, TemplateConstraint};
+use rebeca_location::{AdaptivityPlan, LocationId};
+use rebeca_mobility::codec::{
+    crc32, put_delivery, put_envelope, put_filter, put_node, put_notification, put_str, put_u16,
+    put_u32, put_u64, put_u8, ByteReader, DecodeError,
+};
+use rebeca_sim::{DelayModel, NodeId};
+
+use crate::endpoint::Endpoint;
+
+/// Upper bound on the payload length of a single frame (32 MiB): a header
+/// claiming more is treated as corruption instead of an allocation request.
+pub const MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
+
+/// Size of the frame header (`len` + `crc32`).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+const KIND_HELLO: u8 = 1;
+const KIND_HEARTBEAT: u8 = 2;
+const KIND_MESSAGE: u8 = 3;
+
+const MSG_ATTACH: u8 = 1;
+const MSG_DETACH: u8 = 2;
+const MSG_PUBLISH: u8 = 3;
+const MSG_PUBLISH_BATCH: u8 = 4;
+const MSG_NOTIFICATION: u8 = 5;
+const MSG_NOTIFICATION_BATCH: u8 = 6;
+const MSG_SUBSCRIBE: u8 = 7;
+const MSG_UNSUBSCRIBE: u8 = 8;
+const MSG_ADVERTISE: u8 = 9;
+const MSG_UNADVERTISE: u8 = 10;
+const MSG_DELIVER: u8 = 11;
+const MSG_DELIVER_BATCH: u8 = 12;
+const MSG_RESUBSCRIBE: u8 = 13;
+const MSG_RELOCATE: u8 = 14;
+const MSG_FETCH: u8 = 15;
+const MSG_REPLAY: u8 = 16;
+const MSG_LOC_SUBSCRIBE: u8 = 17;
+const MSG_LOC_UNSUBSCRIBE: u8 = 18;
+const MSG_LOCATION_UPDATE: u8 = 19;
+
+/// A decoding failure of the wire format.  Every malformed input maps to
+/// one of these variants; decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the frame (header or payload) is complete.
+    Truncated,
+    /// The header's length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// The payload's CRC-32 does not match the header.
+    Checksum {
+        /// Checksum claimed by the header.
+        expected: u32,
+        /// Checksum computed over the received payload.
+        found: u32,
+    },
+    /// The payload's frame kind byte is unknown.
+    UnknownFrameKind(u8),
+    /// A structural problem inside the payload (unknown tag, bad UTF-8,
+    /// inner truncation).
+    Malformed,
+    /// The payload decoded cleanly but left unconsumed bytes.
+    TrailingBytes {
+        /// Number of bytes left over.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN} limit")
+            }
+            WireError::Checksum { expected, found } => {
+                write!(
+                    f,
+                    "frame checksum mismatch (header {expected:#010x}, payload {found:#010x})"
+                )
+            }
+            WireError::UnknownFrameKind(kind) => write!(f, "unknown frame kind {kind}"),
+            WireError::Malformed => write!(f, "malformed frame payload"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "frame payload has {extra} trailing bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<DecodeError> for WireError {
+    fn from(_: DecodeError) -> Self {
+        WireError::Malformed
+    }
+}
+
+/// One unit of the TCP wire protocol.  See the module docs for the layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Connection handshake, always the first frame on a connection: the
+    /// sending node, the local node the connection feeds, the sender's
+    /// restart epoch, the endpoint a reverse connection can dial back, and
+    /// the delay model of the link.
+    Hello {
+        /// The dialing node.
+        from: NodeId,
+        /// The node on the accepting side this connection feeds.
+        to: NodeId,
+        /// The dialer's restart epoch (for future epoch fencing).
+        epoch: u64,
+        /// Where the dialer's process listens (for reverse connections).
+        listen: Endpoint,
+        /// The link's delay model, so the accepting side samples the same
+        /// distribution for its own sends back over this link.
+        delay: DelayModel,
+    },
+    /// Liveness beacon sent by an idle writer.
+    Heartbeat {
+        /// The sender's restart epoch.
+        epoch: u64,
+    },
+    /// One routed protocol message.
+    Message {
+        /// The sending node.
+        from: NodeId,
+        /// The destination node.
+        to: NodeId,
+        /// The link delay sampled by the sender, applied by the receiver on
+        /// top of the real network latency (clamped per direction to keep
+        /// the link FIFO).
+        delay_micros: u64,
+        /// The protocol message.
+        message: Message,
+    },
+}
+
+fn put_endpoint(buf: &mut Vec<u8>, ep: &Endpoint) {
+    put_str(buf, ep.host());
+    put_u16(buf, ep.port());
+}
+
+fn read_endpoint(r: &mut ByteReader<'_>) -> Result<Endpoint, DecodeError> {
+    let host = r.string()?;
+    let port = r.u16()?;
+    Ok(Endpoint::new(host, port))
+}
+
+fn put_delay_model(buf: &mut Vec<u8>, delay: &DelayModel) {
+    match delay {
+        DelayModel::Constant(micros) => {
+            put_u8(buf, 0);
+            put_u64(buf, *micros);
+        }
+        DelayModel::Uniform {
+            min_micros,
+            max_micros,
+        } => {
+            put_u8(buf, 1);
+            put_u64(buf, *min_micros);
+            put_u64(buf, *max_micros);
+        }
+        DelayModel::Jittered {
+            base_micros,
+            jitter_micros,
+        } => {
+            put_u8(buf, 2);
+            put_u64(buf, *base_micros);
+            put_u64(buf, *jitter_micros);
+        }
+    }
+}
+
+fn read_delay_model(r: &mut ByteReader<'_>) -> Result<DelayModel, DecodeError> {
+    Ok(match r.u8()? {
+        0 => DelayModel::Constant(r.u64()?),
+        1 => DelayModel::Uniform {
+            min_micros: r.u64()?,
+            max_micros: r.u64()?,
+        },
+        2 => DelayModel::Jittered {
+            base_micros: r.u64()?,
+            jitter_micros: r.u64()?,
+        },
+        _ => return Err(DecodeError),
+    })
+}
+
+fn put_sub_id(buf: &mut Vec<u8>, id: &SubscriptionId) {
+    put_u32(buf, id.client.raw());
+    put_u32(buf, id.index);
+}
+
+fn read_sub_id(r: &mut ByteReader<'_>) -> Result<SubscriptionId, DecodeError> {
+    Ok(SubscriptionId::new(ClientId::new(r.u32()?), r.u32()?))
+}
+
+fn put_template(buf: &mut Vec<u8>, t: &LocationDependentFilter) {
+    let constraints: Vec<_> = t.iter().collect();
+    put_u32(buf, constraints.len() as u32);
+    for (name, c) in constraints {
+        put_str(buf, name);
+        match c {
+            TemplateConstraint::Concrete(c) => {
+                put_u8(buf, 0);
+                rebeca_mobility::codec::put_constraint(buf, c);
+            }
+            TemplateConstraint::MyLoc { vicinity } => {
+                put_u8(buf, 1);
+                put_u64(buf, *vicinity as u64);
+            }
+        }
+    }
+}
+
+fn read_template(r: &mut ByteReader<'_>) -> Result<LocationDependentFilter, DecodeError> {
+    let n = r.u32()? as usize;
+    let mut t = LocationDependentFilter::from_filter(&Filter::new());
+    for _ in 0..n {
+        let name = r.string()?;
+        match r.u8()? {
+            0 => t = t.with_concrete(name, r.constraint()?),
+            1 => t = t.with_myloc(name, r.u64()? as usize),
+            _ => return Err(DecodeError),
+        }
+    }
+    Ok(t)
+}
+
+fn put_plan(buf: &mut Vec<u8>, plan: &AdaptivityPlan) {
+    let steps = plan.steps();
+    put_u32(buf, steps.len() as u32);
+    for &s in steps {
+        put_u64(buf, s as u64);
+    }
+}
+
+fn read_plan(r: &mut ByteReader<'_>) -> Result<AdaptivityPlan, DecodeError> {
+    let n = r.u32()? as usize;
+    let mut steps = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        steps.push(r.u64()? as usize);
+    }
+    Ok(AdaptivityPlan::from_steps(steps))
+}
+
+/// Encodes a [`Message`] (without any frame header) into `buf`.
+pub fn put_message(buf: &mut Vec<u8>, message: &Message) {
+    match message {
+        Message::Attach { client } => {
+            put_u8(buf, MSG_ATTACH);
+            put_u32(buf, client.raw());
+        }
+        Message::Detach { client } => {
+            put_u8(buf, MSG_DETACH);
+            put_u32(buf, client.raw());
+        }
+        Message::Publish {
+            publisher,
+            notification,
+        } => {
+            put_u8(buf, MSG_PUBLISH);
+            put_u32(buf, publisher.raw());
+            put_notification(buf, notification);
+        }
+        Message::PublishBatch {
+            publisher,
+            notifications,
+        } => {
+            put_u8(buf, MSG_PUBLISH_BATCH);
+            put_u32(buf, publisher.raw());
+            put_u32(buf, notifications.len() as u32);
+            for n in notifications {
+                put_notification(buf, n);
+            }
+        }
+        Message::Notification(envelope) => {
+            put_u8(buf, MSG_NOTIFICATION);
+            put_envelope(buf, envelope);
+        }
+        Message::NotificationBatch(envelopes) => {
+            put_u8(buf, MSG_NOTIFICATION_BATCH);
+            put_u32(buf, envelopes.len() as u32);
+            for e in envelopes {
+                put_envelope(buf, e);
+            }
+        }
+        Message::Subscribe { subscriber, filter } => {
+            put_u8(buf, MSG_SUBSCRIBE);
+            put_u32(buf, subscriber.raw());
+            put_filter(buf, filter);
+        }
+        Message::Unsubscribe { subscriber, filter } => {
+            put_u8(buf, MSG_UNSUBSCRIBE);
+            put_u32(buf, subscriber.raw());
+            put_filter(buf, filter);
+        }
+        Message::Advertise { publisher, filter } => {
+            put_u8(buf, MSG_ADVERTISE);
+            put_u32(buf, publisher.raw());
+            put_filter(buf, filter);
+        }
+        Message::Unadvertise { publisher, filter } => {
+            put_u8(buf, MSG_UNADVERTISE);
+            put_u32(buf, publisher.raw());
+            put_filter(buf, filter);
+        }
+        Message::Deliver(delivery) => {
+            put_u8(buf, MSG_DELIVER);
+            put_delivery(buf, delivery);
+        }
+        Message::DeliverBatch(deliveries) => {
+            put_u8(buf, MSG_DELIVER_BATCH);
+            put_u32(buf, deliveries.len() as u32);
+            for d in deliveries {
+                put_delivery(buf, d);
+            }
+        }
+        Message::ReSubscribe {
+            client,
+            filter,
+            last_seq,
+        } => {
+            put_u8(buf, MSG_RESUBSCRIBE);
+            put_u32(buf, client.raw());
+            put_filter(buf, filter);
+            put_u64(buf, *last_seq);
+        }
+        Message::Relocate {
+            client,
+            filter,
+            last_seq,
+            new_broker,
+        } => {
+            put_u8(buf, MSG_RELOCATE);
+            put_u32(buf, client.raw());
+            put_filter(buf, filter);
+            put_u64(buf, *last_seq);
+            put_node(buf, *new_broker);
+        }
+        Message::Fetch {
+            client,
+            filter,
+            last_seq,
+            junction,
+        } => {
+            put_u8(buf, MSG_FETCH);
+            put_u32(buf, client.raw());
+            put_filter(buf, filter);
+            put_u64(buf, *last_seq);
+            put_node(buf, *junction);
+        }
+        Message::Replay {
+            client,
+            filter,
+            deliveries,
+        } => {
+            put_u8(buf, MSG_REPLAY);
+            put_u32(buf, client.raw());
+            put_filter(buf, filter);
+            put_u32(buf, deliveries.len() as u32);
+            for d in deliveries {
+                put_delivery(buf, d);
+            }
+        }
+        Message::LocSubscribe {
+            sub_id,
+            template,
+            plan,
+            location,
+            hop,
+        } => {
+            put_u8(buf, MSG_LOC_SUBSCRIBE);
+            put_sub_id(buf, sub_id);
+            put_template(buf, template);
+            put_plan(buf, plan);
+            put_u32(buf, location.raw());
+            put_u64(buf, *hop as u64);
+        }
+        Message::LocUnsubscribe { sub_id } => {
+            put_u8(buf, MSG_LOC_UNSUBSCRIBE);
+            put_sub_id(buf, sub_id);
+        }
+        Message::LocationUpdate {
+            sub_id,
+            location,
+            hop,
+        } => {
+            put_u8(buf, MSG_LOCATION_UPDATE);
+            put_sub_id(buf, sub_id);
+            put_u32(buf, location.raw());
+            put_u64(buf, *hop as u64);
+        }
+    }
+}
+
+/// Decodes a [`Message`] from the reader (the inverse of [`put_message`]).
+pub fn read_message(r: &mut ByteReader<'_>) -> Result<Message, DecodeError> {
+    Ok(match r.u8()? {
+        MSG_ATTACH => Message::Attach {
+            client: ClientId::new(r.u32()?),
+        },
+        MSG_DETACH => Message::Detach {
+            client: ClientId::new(r.u32()?),
+        },
+        MSG_PUBLISH => Message::Publish {
+            publisher: ClientId::new(r.u32()?),
+            notification: r.notification()?,
+        },
+        MSG_PUBLISH_BATCH => {
+            let publisher = ClientId::new(r.u32()?);
+            let n = r.u32()? as usize;
+            let mut notifications = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                notifications.push(r.notification()?);
+            }
+            Message::PublishBatch {
+                publisher,
+                notifications,
+            }
+        }
+        MSG_NOTIFICATION => Message::Notification(r.envelope()?),
+        MSG_NOTIFICATION_BATCH => {
+            let n = r.u32()? as usize;
+            let mut envelopes = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                envelopes.push(r.envelope()?);
+            }
+            Message::NotificationBatch(envelopes)
+        }
+        MSG_SUBSCRIBE => Message::Subscribe {
+            subscriber: ClientId::new(r.u32()?),
+            filter: r.filter()?,
+        },
+        MSG_UNSUBSCRIBE => Message::Unsubscribe {
+            subscriber: ClientId::new(r.u32()?),
+            filter: r.filter()?,
+        },
+        MSG_ADVERTISE => Message::Advertise {
+            publisher: ClientId::new(r.u32()?),
+            filter: r.filter()?,
+        },
+        MSG_UNADVERTISE => Message::Unadvertise {
+            publisher: ClientId::new(r.u32()?),
+            filter: r.filter()?,
+        },
+        MSG_DELIVER => Message::Deliver(r.delivery()?),
+        MSG_DELIVER_BATCH => {
+            let n = r.u32()? as usize;
+            let mut deliveries = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                deliveries.push(r.delivery()?);
+            }
+            Message::DeliverBatch(deliveries)
+        }
+        MSG_RESUBSCRIBE => Message::ReSubscribe {
+            client: ClientId::new(r.u32()?),
+            filter: r.filter()?,
+            last_seq: r.u64()?,
+        },
+        MSG_RELOCATE => Message::Relocate {
+            client: ClientId::new(r.u32()?),
+            filter: r.filter()?,
+            last_seq: r.u64()?,
+            new_broker: r.node()?,
+        },
+        MSG_FETCH => Message::Fetch {
+            client: ClientId::new(r.u32()?),
+            filter: r.filter()?,
+            last_seq: r.u64()?,
+            junction: r.node()?,
+        },
+        MSG_REPLAY => {
+            let client = ClientId::new(r.u32()?);
+            let filter = r.filter()?;
+            let n = r.u32()? as usize;
+            let mut deliveries = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                deliveries.push(r.delivery()?);
+            }
+            Message::Replay {
+                client,
+                filter,
+                deliveries,
+            }
+        }
+        MSG_LOC_SUBSCRIBE => Message::LocSubscribe {
+            sub_id: read_sub_id(r)?,
+            template: read_template(r)?,
+            plan: read_plan(r)?,
+            location: LocationId::new(r.u32()?),
+            hop: r.u64()? as usize,
+        },
+        MSG_LOC_UNSUBSCRIBE => Message::LocUnsubscribe {
+            sub_id: read_sub_id(r)?,
+        },
+        MSG_LOCATION_UPDATE => Message::LocationUpdate {
+            sub_id: read_sub_id(r)?,
+            location: LocationId::new(r.u32()?),
+            hop: r.u64()? as usize,
+        },
+        _ => return Err(DecodeError),
+    })
+}
+
+impl Frame {
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        match self {
+            Frame::Hello {
+                from,
+                to,
+                epoch,
+                listen,
+                delay,
+            } => {
+                put_u8(&mut buf, KIND_HELLO);
+                put_node(&mut buf, *from);
+                put_node(&mut buf, *to);
+                put_u64(&mut buf, *epoch);
+                put_endpoint(&mut buf, listen);
+                put_delay_model(&mut buf, delay);
+            }
+            Frame::Heartbeat { epoch } => {
+                put_u8(&mut buf, KIND_HEARTBEAT);
+                put_u64(&mut buf, *epoch);
+            }
+            Frame::Message {
+                from,
+                to,
+                delay_micros,
+                message,
+            } => {
+                put_u8(&mut buf, KIND_MESSAGE);
+                put_node(&mut buf, *from);
+                put_node(&mut buf, *to);
+                put_u64(&mut buf, *delay_micros);
+                put_message(&mut buf, message);
+            }
+        }
+        buf
+    }
+
+    /// Encodes the frame as `len ‖ crc32 ‖ payload`, ready to write to a
+    /// socket.
+    pub fn encode_framed(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_HEADER_LEN);
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(payload);
+        let frame = match r.u8()? {
+            KIND_HELLO => Frame::Hello {
+                from: r.node()?,
+                to: r.node()?,
+                epoch: r.u64()?,
+                listen: read_endpoint(&mut r)?,
+                delay: read_delay_model(&mut r)?,
+            },
+            KIND_HEARTBEAT => Frame::Heartbeat { epoch: r.u64()? },
+            KIND_MESSAGE => Frame::Message {
+                from: r.node()?,
+                to: r.node()?,
+                delay_micros: r.u64()?,
+                message: read_message(&mut r)?,
+            },
+            kind => return Err(WireError::UnknownFrameKind(kind)),
+        };
+        if !r.done() {
+            return Err(WireError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        Ok(frame)
+    }
+
+    /// Decodes one frame from the front of `buf`, returning the frame and
+    /// the number of bytes consumed.  [`WireError::Truncated`] means more
+    /// bytes are needed; every other error means the stream is corrupt.
+    pub fn decode_framed(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+        if buf.len() < FRAME_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge { len });
+        }
+        let expected = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let total = FRAME_HEADER_LEN + len as usize;
+        if buf.len() < total {
+            return Err(WireError::Truncated);
+        }
+        let payload = &buf[FRAME_HEADER_LEN..total];
+        let found = crc32(payload);
+        if found != expected {
+            return Err(WireError::Checksum { expected, found });
+        }
+        Ok((Self::decode_payload(payload)?, total))
+    }
+}
+
+// NOTE: there is deliberately no `read socket → Frame` convenience here.
+// Reading frames off a socket needs partial-read buffering (a read timeout
+// can strike mid-frame without losing the consumed prefix); the transport's
+// reader thread in `link.rs` owns that loop, built on
+// [`Frame::decode_framed`]'s `Truncated`-means-more-bytes contract.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_broker::{Delivery, Envelope};
+    use rebeca_filter::{Constraint, Notification};
+
+    fn filter() -> Filter {
+        Filter::new()
+            .with("service", Constraint::Eq("parking".into()))
+            .with("cost", Constraint::Lt(3.into()))
+    }
+
+    fn delivery(seq: u64) -> Delivery {
+        Delivery {
+            subscriber: ClientId::new(1),
+            filter: filter(),
+            seq,
+            envelope: Envelope {
+                publisher: ClientId::new(9),
+                publisher_seq: seq,
+                notification: Notification::builder()
+                    .attr("service", "parking")
+                    .attr("spot", seq as i64)
+                    .build(),
+            },
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = [
+            Frame::Hello {
+                from: NodeId::new(3),
+                to: NodeId::new(0),
+                epoch: 7,
+                listen: Endpoint::new("127.0.0.1", 7200),
+                delay: DelayModel::Jittered {
+                    base_micros: 1000,
+                    jitter_micros: 50,
+                },
+            },
+            Frame::Heartbeat { epoch: 7 },
+            Frame::Message {
+                from: NodeId::new(0),
+                to: NodeId::new(3),
+                delay_micros: 5000,
+                message: Message::Deliver(delivery(4)),
+            },
+        ];
+        for frame in frames {
+            let bytes = frame.encode_framed();
+            let (decoded, consumed) = Frame::decode_framed(&bytes).expect("roundtrip");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_sequentially() {
+        let a = Frame::Heartbeat { epoch: 1 };
+        let b = Frame::Message {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            delay_micros: 0,
+            message: Message::Attach {
+                client: ClientId::new(5),
+            },
+        };
+        let mut bytes = a.encode_framed();
+        bytes.extend_from_slice(&b.encode_framed());
+        let (first, used) = Frame::decode_framed(&bytes).unwrap();
+        assert_eq!(first, a);
+        let (second, used2) = Frame::decode_framed(&bytes[used..]).unwrap();
+        assert_eq!(second, b);
+        assert_eq!(used + used2, bytes.len());
+    }
+
+    #[test]
+    fn truncation_is_reported_not_panicked() {
+        let frame = Frame::Message {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            delay_micros: 10,
+            message: Message::Subscribe {
+                subscriber: ClientId::new(1),
+                filter: filter(),
+            },
+        };
+        let bytes = frame.encode_framed();
+        for cut in [0, 3, FRAME_HEADER_LEN, bytes.len() - 1] {
+            assert_eq!(
+                Frame::decode_framed(&bytes[..cut]).unwrap_err(),
+                WireError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_bits_fail_the_checksum() {
+        let frame = Frame::Heartbeat { epoch: 3 };
+        let mut bytes = frame.encode_framed();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(matches!(
+            Frame::decode_framed(&bytes),
+            Err(WireError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn absurd_length_prefixes_are_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, u32::MAX);
+        put_u32(&mut bytes, 0);
+        assert_eq!(
+            Frame::decode_framed(&bytes).unwrap_err(),
+            WireError::FrameTooLarge { len: u32::MAX }
+        );
+    }
+
+    #[test]
+    fn garbage_with_a_valid_checksum_is_malformed_not_a_panic() {
+        // A well-framed payload whose first byte is an unknown frame kind.
+        let payload = vec![0xEEu8, 1, 2, 3];
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, payload.len() as u32);
+        put_u32(&mut bytes, crc32(&payload));
+        bytes.extend_from_slice(&payload);
+        assert_eq!(
+            Frame::decode_framed(&bytes).unwrap_err(),
+            WireError::UnknownFrameKind(0xEE)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Frame::Heartbeat { epoch: 1 }.encode_payload();
+        payload.push(0);
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, payload.len() as u32);
+        put_u32(&mut bytes, crc32(&payload));
+        bytes.extend_from_slice(&payload);
+        assert_eq!(
+            Frame::decode_framed(&bytes).unwrap_err(),
+            WireError::TrailingBytes { extra: 1 }
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Shared scenario pieces of the TCP integration tests: the quickstart
+//! topology, the mid-run relocation script, and the reference run on the
+//! deterministic simulator the TCP runs must match byte for byte.
+
+use rebeca_broker::{ClientId, ConsumerLog};
+use rebeca_core::{BrokerConfig, MobilitySystem, SystemBuilder};
+use rebeca_filter::{Constraint, Filter, Notification};
+use rebeca_location::MovementGraph;
+use rebeca_routing::RoutingStrategyKind;
+use rebeca_sim::{DelayModel, SimDuration, Topology};
+
+pub const CONSUMER: ClientId = ClientId::new(1);
+pub const PRODUCER: ClientId = ClientId::new(2);
+pub const PUBLICATIONS: u64 = 10;
+/// The consumer relocates from broker 0 to broker 1 after this many
+/// publications have been delivered.
+pub const MOVE_AFTER: u64 = 5;
+
+pub fn parking_filter() -> Filter {
+    Filter::new().with("service", Constraint::Eq("parking".into()))
+}
+
+pub fn vacancy(i: u64) -> Notification {
+    Notification::builder()
+        .attr("service", "parking")
+        .attr("spot", i as i64)
+        .build()
+}
+
+pub fn broker_config() -> BrokerConfig {
+    BrokerConfig::default()
+        .with_strategy(RoutingStrategyKind::Covering)
+        .with_movement_graph(MovementGraph::paper_example())
+        .with_relocation_timeout(SimDuration::from_secs(5))
+}
+
+pub fn builder(delay_millis: u64) -> SystemBuilder {
+    SystemBuilder::new(&Topology::line(3))
+        .config(broker_config())
+        .link_delay(DelayModel::constant_millis(delay_millis))
+        .seed(7)
+}
+
+/// Runs the driver until the consumer's log holds `want` deliveries or the
+/// wall/virtual deadline passes.  Returns whether the target was reached.
+pub fn run_until_deliveries(sys: &mut MobilitySystem, want: usize, budget_ms: u64) -> bool {
+    let deadline = sys.now() + SimDuration::from_millis(budget_ms);
+    loop {
+        if sys.client_log(CONSUMER).unwrap().len() >= want {
+            return true;
+        }
+        let now = sys.now();
+        if now >= deadline {
+            return false;
+        }
+        sys.run_until(now + SimDuration::from_millis(25));
+    }
+}
+
+/// Drives the quickstart-plus-relocation scenario through interactive
+/// sessions on an already-built system (works on any driver): consumer at
+/// broker 0 subscribes, producer at broker 2 publishes
+/// [`PUBLICATIONS`] vacancies, and the consumer moves to broker 1
+/// mid-stream.  Returns the consumer's delivery log.
+pub fn drive_scenario(sys: &mut MobilitySystem, budget_ms: u64) -> ConsumerLog {
+    let consumer = sys.connect(CONSUMER, 0).expect("consumer connects");
+    consumer
+        .subscribe(sys, parking_filter())
+        .expect("subscribe");
+    let producer = sys.connect(PRODUCER, 2).expect("producer connects");
+    // Let attach + subscription flooding settle before publishing.
+    let now = sys.now();
+    sys.run_until(now + SimDuration::from_millis(200));
+
+    for i in 1..=MOVE_AFTER {
+        producer.publish(sys, vacancy(i)).expect("publish");
+    }
+    assert!(
+        run_until_deliveries(sys, MOVE_AFTER as usize, budget_ms),
+        "first half not delivered in time: {:?}",
+        sys.client_log(CONSUMER).unwrap().len()
+    );
+
+    // Mid-run relocation; the next publications race the hand-over.
+    consumer.move_to(sys, 1).expect("relocate");
+    for i in MOVE_AFTER + 1..=PUBLICATIONS {
+        producer.publish(sys, vacancy(i)).expect("publish");
+    }
+    assert!(
+        run_until_deliveries(sys, PUBLICATIONS as usize, budget_ms),
+        "second half not delivered in time: {:?}",
+        sys.client_log(CONSUMER).unwrap().len()
+    );
+    sys.client_log(CONSUMER).unwrap().clone()
+}
+
+/// The reference run: the identical scenario on the deterministic
+/// simulator.  The TCP runs must produce a byte-identical consumer log.
+pub fn reference_sim_log() -> ConsumerLog {
+    let mut sys = builder(1).build().expect("sim build");
+    let log = drive_scenario(&mut sys, 60_000);
+    assert!(log.is_clean(), "reference run must be clean");
+    log
+}
+
+/// Asserts the paper's QoS triple on a finished log: completeness, no
+/// duplicates, sender-FIFO order.
+pub fn assert_exactly_once(log: &ConsumerLog) {
+    assert!(log.is_clean(), "violations: {:?}", log.violations());
+    assert_eq!(log.len(), PUBLICATIONS as usize);
+    assert_eq!(
+        log.distinct_publisher_seqs(PRODUCER),
+        (1..=PUBLICATIONS).collect::<Vec<u64>>(),
+        "incomplete delivery"
+    );
+}

@@ -1,0 +1,156 @@
+//! The multi-process loopback deployment test — the acceptance scenario of
+//! the TCP transport:
+//!
+//! 1. spawn THREE `rebeca-node` OS processes (one broker each, sharing a
+//!    generated cluster config),
+//! 2. drive the quickstart-plus-relocation scenario from this process (the
+//!    client process: consumer + producer sessions over TCP),
+//! 3. assert the consumer's delivery log is byte-identical to the same
+//!    scenario run on the deterministic `SimDriver`, with exactly-once
+//!    delivery — and no protocol-crate code involved in the transport.
+//!
+//! Broker processes self-terminate after `--run-secs` as a safety net; the
+//! test kills them as soon as the scenario completes.  Port collisions
+//! (another process grabbing a probed port between probe and spawn) retry
+//! the whole setup.
+
+mod common;
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::time::Duration;
+
+use rebeca_net::{ClusterConfig, Endpoint, NetConfig, SystemBuilderTcp};
+use rebeca_sim::{DelayModel, Topology};
+
+use common::{assert_exactly_once, drive_scenario, reference_sim_log};
+
+/// Kills the spawned broker processes on scope exit, panic included.
+struct Cluster {
+    children: Vec<Child>,
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Probes three free loopback ports by binding ephemeral listeners.
+fn probe_ports() -> Vec<u16> {
+    let probes: Vec<std::net::TcpListener> = (0..3)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind"))
+        .collect();
+    probes
+        .iter()
+        .map(|l| l.local_addr().unwrap().port())
+        .collect()
+}
+
+/// Spawns the three broker processes and waits for each to report
+/// `listening`.  Returns `None` when any child dies early (port stolen) so
+/// the caller can retry with fresh ports.
+fn spawn_cluster(config_path: &std::path::Path) -> Option<Cluster> {
+    let binary = env!("CARGO_BIN_EXE_rebeca-node");
+    let mut cluster = Cluster {
+        children: Vec::new(),
+    };
+    let (ready_tx, ready_rx) = channel();
+    for broker in 0..3 {
+        let mut child = Command::new(binary)
+            .arg("--config")
+            .arg(config_path)
+            .arg("--broker")
+            .arg(broker.to_string())
+            .arg("--run-secs")
+            .arg("120")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn rebeca-node");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let tx = ready_tx.clone();
+        std::thread::spawn(move || {
+            let mut lines = BufReader::new(stdout).lines();
+            while let Some(Ok(line)) = lines.next() {
+                if line.contains("listening") {
+                    let _ = tx.send(broker);
+                    break;
+                }
+            }
+            // Keep draining so the child never blocks on a full pipe.
+            for _ in lines {}
+        });
+        cluster.children.push(child);
+    }
+    drop(ready_tx);
+
+    let mut ready = 0;
+    while ready < 3 {
+        match ready_rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(_) => ready += 1,
+            Err(RecvTimeoutError::Timeout) => panic!("broker processes not ready after 30s"),
+            Err(RecvTimeoutError::Disconnected) => {
+                // A child exited without reporting (its port was taken).
+                return None;
+            }
+        }
+        // Surface an early death instead of hanging on the scenario.
+        for child in &mut cluster.children {
+            if child.try_wait().expect("try_wait").is_some() {
+                return None;
+            }
+        }
+    }
+    Some(cluster)
+}
+
+#[test]
+fn three_broker_processes_relocation_is_byte_identical_to_the_simulator() {
+    let tmp = std::env::temp_dir().join(format!("rebeca-multiprocess-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create temp dir");
+    let config_path = tmp.join("cluster.cfg");
+
+    let mut attempt = 0;
+    let (cluster, endpoints) = loop {
+        attempt += 1;
+        let ports = probe_ports();
+        let endpoints: Vec<Endpoint> = ports
+            .iter()
+            .map(|&p| Endpoint::new("127.0.0.1", p))
+            .collect();
+        let cluster_cfg = ClusterConfig {
+            endpoints: endpoints.clone(),
+            topology: Topology::line(3),
+            delay: DelayModel::constant_millis(1),
+            seed: 7,
+        };
+        std::fs::write(&config_path, cluster_cfg.render()).expect("write config");
+        match spawn_cluster(&config_path) {
+            Some(cluster) => break (cluster, endpoints),
+            None if attempt < 3 => continue,
+            None => panic!("broker processes failed to start after {attempt} attempts"),
+        }
+    };
+
+    // This process is the client process: consumer + producer sessions over
+    // TCP against the three broker processes.
+    let mut client_sys = common::builder(1)
+        .build_tcp(NetConfig::new(endpoints).seed(5))
+        .expect("client system builds");
+    let tcp_log = drive_scenario(&mut client_sys, 60_000);
+
+    assert_exactly_once(&tcp_log);
+    assert_eq!(
+        tcp_log,
+        reference_sim_log(),
+        "per-client delivery log must be byte-identical to the SimDriver run"
+    );
+
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&tmp);
+}

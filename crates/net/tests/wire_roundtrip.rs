@@ -1,0 +1,347 @@
+//! Wire-codec robustness: proptest roundtrips over every [`Message`]
+//! variant, and corruption smoke tests — a truncated frame, a flipped bit,
+//! a garbage header must all yield a typed decode error, never a panic.
+//! Mirrors the WAL-corruption suite of `crates/mobility`.
+
+use proptest::prelude::*;
+
+use rebeca_broker::{ClientId, Delivery, Envelope, Message, SubscriptionId};
+use rebeca_filter::{Constraint, Filter, LocationDependentFilter, Notification, Value};
+use rebeca_location::{AdaptivityPlan, LocationId};
+use rebeca_net::wire::{Frame, WireError};
+use rebeca_net::Endpoint;
+use rebeca_sim::{DelayModel, NodeId};
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+fn attr_name() -> BoxedStrategy<String> {
+    (0u32..6).prop_map(|i| format!("attr{i}")).boxed()
+}
+
+fn finite_f64() -> BoxedStrategy<f64> {
+    // Finite, non-NaN floats (NaN breaks the equality the roundtrip
+    // assertion relies on — and never appears in protocol payloads).
+    (any::<i32>(), 0u32..1000)
+        .prop_map(|(whole, frac)| whole as f64 + frac as f64 / 1000.0)
+        .boxed()
+}
+
+fn value() -> BoxedStrategy<Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        finite_f64().prop_map(Value::Float),
+        (0u32..100).prop_map(|i| Value::Str(format!("s{i}"))),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u32>().prop_map(Value::Location),
+    ]
+    .boxed()
+}
+
+fn constraint() -> BoxedStrategy<Constraint> {
+    prop_oneof![
+        Just(Constraint::Exists),
+        value().prop_map(Constraint::Eq),
+        value().prop_map(Constraint::Ne),
+        value().prop_map(Constraint::Lt),
+        value().prop_map(Constraint::Le),
+        value().prop_map(Constraint::Gt),
+        value().prop_map(Constraint::Ge),
+        (value(), value()).prop_map(|(lo, hi)| Constraint::Between(lo, hi)),
+        proptest::collection::vec(value(), 0..4)
+            .prop_map(|vs| Constraint::In(vs.into_iter().collect())),
+        (0u32..50).prop_map(|i| Constraint::Prefix(format!("p{i}"))),
+        (0u32..50).prop_map(|i| Constraint::Suffix(format!("s{i}"))),
+        (0u32..50).prop_map(|i| Constraint::Contains(format!("c{i}"))),
+    ]
+    .boxed()
+}
+
+fn filter() -> BoxedStrategy<Filter> {
+    proptest::collection::vec((attr_name(), constraint()), 0..4)
+        .prop_map(|pairs| pairs.into_iter().collect())
+        .boxed()
+}
+
+fn notification() -> BoxedStrategy<Notification> {
+    proptest::collection::vec((attr_name(), value()), 0..4)
+        .prop_map(|pairs| {
+            let mut b = Notification::builder();
+            for (name, v) in pairs {
+                b = b.attr(name, v);
+            }
+            b.build()
+        })
+        .boxed()
+}
+
+fn envelope() -> BoxedStrategy<Envelope> {
+    (any::<u32>(), any::<u64>(), notification())
+        .prop_map(|(publisher, publisher_seq, notification)| Envelope {
+            publisher: ClientId::new(publisher),
+            publisher_seq,
+            notification,
+        })
+        .boxed()
+}
+
+fn delivery() -> BoxedStrategy<Delivery> {
+    (any::<u32>(), filter(), any::<u64>(), envelope())
+        .prop_map(|(subscriber, filter, seq, envelope)| Delivery {
+            subscriber: ClientId::new(subscriber),
+            filter,
+            seq,
+            envelope,
+        })
+        .boxed()
+}
+
+fn client() -> BoxedStrategy<ClientId> {
+    any::<u32>().prop_map(ClientId::new).boxed()
+}
+
+fn node() -> BoxedStrategy<NodeId> {
+    (0usize..1_000_000).prop_map(NodeId::new).boxed()
+}
+
+fn sub_id() -> BoxedStrategy<SubscriptionId> {
+    (any::<u32>(), any::<u32>())
+        .prop_map(|(c, i)| SubscriptionId::new(ClientId::new(c), i))
+        .boxed()
+}
+
+fn template() -> BoxedStrategy<LocationDependentFilter> {
+    proptest::collection::vec((attr_name(), constraint(), 0usize..4, any::<bool>()), 0..4)
+        .prop_map(|slots| {
+            let mut t = LocationDependentFilter::from_filter(&Filter::new());
+            for (name, c, vicinity, myloc) in slots {
+                t = if myloc {
+                    t.with_myloc(name, vicinity)
+                } else {
+                    t.with_concrete(name, c)
+                };
+            }
+            t
+        })
+        .boxed()
+}
+
+fn plan() -> BoxedStrategy<AdaptivityPlan> {
+    proptest::collection::vec(
+        prop_oneof![(0usize..10).boxed(), Just(usize::MAX).boxed()],
+        1..6,
+    )
+    .prop_map(AdaptivityPlan::from_steps)
+    .boxed()
+}
+
+/// Every [`Message`] variant — the codec must cover the whole vocabulary.
+fn message() -> BoxedStrategy<Message> {
+    prop_oneof![
+        client().prop_map(|client| Message::Attach { client }),
+        client().prop_map(|client| Message::Detach { client }),
+        (client(), notification()).prop_map(|(publisher, notification)| Message::Publish {
+            publisher,
+            notification
+        }),
+        (client(), proptest::collection::vec(notification(), 0..5)).prop_map(
+            |(publisher, notifications)| Message::PublishBatch {
+                publisher,
+                notifications
+            }
+        ),
+        envelope().prop_map(Message::Notification),
+        proptest::collection::vec(envelope(), 0..5).prop_map(Message::NotificationBatch),
+        (client(), filter())
+            .prop_map(|(subscriber, filter)| Message::Subscribe { subscriber, filter }),
+        (client(), filter())
+            .prop_map(|(subscriber, filter)| Message::Unsubscribe { subscriber, filter }),
+        (client(), filter())
+            .prop_map(|(publisher, filter)| Message::Advertise { publisher, filter }),
+        (client(), filter())
+            .prop_map(|(publisher, filter)| Message::Unadvertise { publisher, filter }),
+        delivery().prop_map(Message::Deliver),
+        proptest::collection::vec(delivery(), 0..4).prop_map(Message::DeliverBatch),
+        (client(), filter(), any::<u64>()).prop_map(|(client, filter, last_seq)| {
+            Message::ReSubscribe {
+                client,
+                filter,
+                last_seq,
+            }
+        }),
+        (client(), filter(), any::<u64>(), node()).prop_map(
+            |(client, filter, last_seq, new_broker)| Message::Relocate {
+                client,
+                filter,
+                last_seq,
+                new_broker
+            }
+        ),
+        (client(), filter(), any::<u64>(), node()).prop_map(
+            |(client, filter, last_seq, junction)| Message::Fetch {
+                client,
+                filter,
+                last_seq,
+                junction
+            }
+        ),
+        (
+            client(),
+            filter(),
+            proptest::collection::vec(delivery(), 0..4)
+        )
+            .prop_map(|(client, filter, deliveries)| Message::Replay {
+                client,
+                filter,
+                deliveries
+            }),
+        (sub_id(), template(), plan(), any::<u32>(), 0usize..16).prop_map(
+            |(sub_id, template, plan, location, hop)| Message::LocSubscribe {
+                sub_id,
+                template,
+                plan,
+                location: LocationId::new(location),
+                hop
+            }
+        ),
+        sub_id().prop_map(|sub_id| Message::LocUnsubscribe { sub_id }),
+        (sub_id(), any::<u32>(), 0usize..16).prop_map(|(sub_id, location, hop)| {
+            Message::LocationUpdate {
+                sub_id,
+                location: LocationId::new(location),
+                hop,
+            }
+        }),
+    ]
+    .boxed()
+}
+
+fn frame() -> BoxedStrategy<Frame> {
+    prop_oneof![
+        (node(), node(), any::<u64>(), (0u32..10000), any::<u64>()).prop_map(
+            |(from, to, epoch, port, micros)| Frame::Hello {
+                from,
+                to,
+                epoch,
+                listen: Endpoint::new("127.0.0.1", (port % 65536) as u16),
+                delay: DelayModel::Constant(micros),
+            }
+        ),
+        any::<u64>().prop_map(|epoch| Frame::Heartbeat { epoch }),
+        (node(), node(), any::<u64>(), message()).prop_map(|(from, to, delay_micros, message)| {
+            Frame::Message {
+                from,
+                to,
+                delay_micros,
+                message,
+            }
+        }),
+    ]
+    .boxed()
+}
+
+// ---------------------------------------------------------------------------
+// Roundtrip properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every frame (covering every message variant) decodes back to itself.
+    #[test]
+    fn frames_roundtrip(frame in frame()) {
+        let bytes = frame.encode_framed();
+        let (decoded, consumed) = Frame::decode_framed(&bytes).expect("well-formed frame");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Any prefix of a valid frame is `Truncated` — never a panic, never a
+    /// bogus success.
+    #[test]
+    fn truncated_frames_yield_a_typed_error(frame in frame(), cut in 0u32..10_000) {
+        let bytes = frame.encode_framed();
+        let cut = (cut as usize) % bytes.len();
+        prop_assert_eq!(
+            Frame::decode_framed(&bytes[..cut]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    /// Flipping any single bit of a frame yields a typed error or (when the
+    /// flip lands in the length prefix) a shorter/longer but still
+    /// non-panicking parse — decode is total.
+    #[test]
+    fn flipped_bits_never_panic(frame in frame(), bit in any::<u32>()) {
+        let mut bytes = frame.encode_framed();
+        let nbits = bytes.len() * 8;
+        let bit = (bit as usize) % nbits;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        // Must return, not panic; a flip may produce Ok only if it hit a
+        // byte the codec tolerates — then the re-encoded frame must differ
+        // from the corrupted input only in ways the decode normalised away,
+        // which for this codec cannot happen: any accepted decode must
+        // re-encode to exactly the corrupted bytes.
+        if let Ok((decoded, consumed)) = Frame::decode_framed(&bytes) {
+            prop_assert_eq!(&decoded.encode_framed()[..], &bytes[..consumed]);
+        }
+    }
+
+    /// Random garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Frame::decode_framed(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic corruption smoke (mirrors the WAL suite)
+// ---------------------------------------------------------------------------
+
+fn sample_frame() -> Frame {
+    Frame::Message {
+        from: NodeId::new(2),
+        to: NodeId::new(0),
+        delay_micros: 5000,
+        message: Message::Deliver(Delivery {
+            subscriber: ClientId::new(1),
+            filter: Filter::new().with("service", Constraint::Eq("parking".into())),
+            seq: 3,
+            envelope: Envelope {
+                publisher: ClientId::new(9),
+                publisher_seq: 3,
+                notification: Notification::builder().attr("service", "parking").build(),
+            },
+        }),
+    }
+}
+
+#[test]
+fn truncated_frame_is_reported() {
+    let bytes = sample_frame().encode_framed();
+    assert_eq!(
+        Frame::decode_framed(&bytes[..bytes.len() - 3]).unwrap_err(),
+        WireError::Truncated
+    );
+}
+
+#[test]
+fn flipped_payload_bit_fails_the_checksum() {
+    let mut bytes = sample_frame().encode_framed();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    assert!(matches!(
+        Frame::decode_framed(&bytes),
+        Err(WireError::Checksum { .. })
+    ));
+}
+
+#[test]
+fn garbage_header_is_rejected() {
+    let bytes = [0xFFu8; 12];
+    assert!(matches!(
+        Frame::decode_framed(&bytes),
+        Err(WireError::FrameTooLarge { .. })
+    ));
+}

@@ -58,6 +58,6 @@ mod topology;
 
 pub use delay::DelayModel;
 pub use metrics::{Metrics, Sample};
-pub use network::{Context, Harvest, Incoming, Network, Node, NodeId};
+pub use network::{Context, Harvest, Incoming, Network, Node, NodeId, ParseNodeIdError};
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;

@@ -43,6 +43,32 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Error parsing a [`NodeId`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNodeIdError(String);
+
+impl fmt::Display for ParseNodeIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid node id {:?} (expected \"n3\" or \"3\")", self.0)
+    }
+}
+
+impl std::error::Error for ParseNodeIdError {}
+
+impl std::str::FromStr for NodeId {
+    type Err = ParseNodeIdError;
+
+    /// Parses the [`Display`](fmt::Display) form `"n3"`, or a bare index
+    /// `"3"` as written in topology config files.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.strip_prefix('n').unwrap_or(s);
+        digits
+            .parse::<usize>()
+            .map(NodeId)
+            .map_err(|_| ParseNodeIdError(s.to_string()))
+    }
+}
+
 /// An event delivered to a node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Incoming<M> {
@@ -645,6 +671,17 @@ mod tests {
         net.add_node(Rogue);
         net.inject(r, 0);
         net.run(10);
+    }
+
+    #[test]
+    fn node_ids_parse_from_display_and_bare_indices() {
+        assert_eq!("n3".parse::<NodeId>().unwrap(), NodeId(3));
+        assert_eq!("3".parse::<NodeId>().unwrap(), NodeId(3));
+        assert_eq!(NodeId(9).to_string().parse::<NodeId>().unwrap(), NodeId(9));
+        for bad in ["", "n", "nx", "c3", "-1"] {
+            let err = bad.parse::<NodeId>().unwrap_err();
+            assert!(err.to_string().contains("invalid node id"), "{bad}");
+        }
     }
 
     #[test]

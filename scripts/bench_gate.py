@@ -50,6 +50,7 @@ BENCHES = {
     "shard_bench": "BENCH_shards.json",
     "churn_bench": "BENCH_mobility.json",
     "session_bench": "BENCH_session.json",
+    "net_bench": "BENCH_net.json",
 }
 
 # Prefixes of benchmark names whose absolute medians are gated (hot paths;
@@ -62,6 +63,8 @@ GATED_PREFIXES = (
     "churn/relocation/",
     "churn/drain_",
     "session/quickstart/",
+    "net/quickstart/",
+    "net/relocation/",
 )
 
 # Within-run pairs gated on their ratio (slow/fast): the optimized side must
@@ -90,6 +93,13 @@ RATIO_GATES = [
     # with the pre-scripted adapter (both replay through the same per-client
     # action queue; the gate trips when the session side picks up overhead).
     ("session/quickstart/scripted/200", "session/quickstart/session/200"),
+    # TCP transport overhead: reference side = the in-process ThreadedDriver
+    # running the identical completion-driven scenario in the same process.
+    # The gate trips when the TCP side loses ground against it, i.e. when
+    # per-message transport overhead (framing, socket hops, clamp) or
+    # connection setup regresses.
+    ("net/quickstart/threaded/40", "net/quickstart/tcp/40"),
+    ("net/relocation/threaded/40", "net/relocation/tcp/40"),
 ]
 
 

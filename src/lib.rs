@@ -27,6 +27,7 @@
 //! | [`sim`] | `rebeca-sim` | deterministic discrete-event simulator (FIFO links, delays, metrics, topologies) |
 //! | [`broker`] | `rebeca-broker` | the static Rebeca broker, message vocabulary, sequence numbering, delivery logs |
 //! | [`mobility`] | `rebeca-core` | the paper's contribution: the mobility-aware broker, sessions, drivers, the deployment facade |
+//! | [`net`] | `rebeca-net` | real TCP transport behind the [`Driver`] boundary: wire codec, `TcpDriver`, the `rebeca-node` process binary |
 //!
 //! The most convenient entry points are re-exported at the crate root:
 //! [`SystemBuilder`] constructs a deployment, [`MobilitySystem::connect`]
@@ -117,6 +118,12 @@ pub mod mobility {
     pub use rebeca_core::*;
 }
 
+/// TCP transport and process-per-broker deployment (re-export of
+/// `rebeca-net`).
+pub mod net {
+    pub use rebeca_net::*;
+}
+
 // Convenience re-exports of the most commonly used types.
 pub use rebeca_broker::{ClientId, ConsumerLog, Delivery, Envelope, Message, SubscriptionId};
 pub use rebeca_core::{
@@ -127,5 +134,6 @@ pub use rebeca_core::{
 pub use rebeca_filter::{Constraint, Filter, LocationDependentFilter, Notification, Value};
 pub use rebeca_location::{AdaptivityPlan, Itinerary, LocationId, LocationSpace, MovementGraph};
 pub use rebeca_matcher::{FilterIndex, FilterSet};
+pub use rebeca_net::{ClusterConfig, Endpoint, NetConfig, SystemBuilderTcp, TcpDriver};
 pub use rebeca_routing::RoutingStrategyKind;
 pub use rebeca_sim::{DelayModel, Metrics, SimDuration, SimTime, Topology};
