@@ -1,0 +1,224 @@
+//! Instrumentation-overhead bench: the quickstart-plus-relocation scenario
+//! with the observability journal enabled (default) vs disabled (capacity
+//! 0), plus the metric-name microbench behind the `Cow<'static, str>`
+//! counter keys.
+//!
+//! The tentpole claim of the observability PR is that tracing is cheap
+//! enough to leave on: counters, gauges and histograms always record, and
+//! the only toggleable cost is the structured event journal (whose hot-path
+//! call sites are guarded by `journal_enabled`, so a disabled journal
+//! never even formats its detail strings).
+//!
+//! Separate measurement windows drift by far more than the overhead being
+//! bounded (CPU frequency and scheduling noise alone exceed 5% between two
+//! multi-hundred-millisecond windows on a busy machine), so the overhead is
+//! measured as the *median of interleaved pairs*: each round times one
+//! baseline and one instrumented scenario back to back (alternating order
+//! between rounds), and the per-round ratio cancels whatever drift both
+//! sides shared.  The median ratio is reported as the synthetic sample
+//! `obs/quickstart/overhead_x1000/200` (ratio scaled by 1000 so it rides
+//! the `ns_per_iter` field), which `scripts/bench_gate.py` bounds by
+//! `BENCH_GATE_OBS_OVERHEAD` (default 5%).
+//!
+//! The `obs/metrics` pair documents the counter-key satellite: `incr` with
+//! a `&'static str` takes the zero-allocation `Cow::Borrowed` path, while
+//! an owned `String` key (the cost every call paid before the `Cow`
+//! rework, which built a fresh `String` per increment) allocates.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rebeca_broker::ClientId;
+use rebeca_core::{MobilitySystem, SystemBuilder};
+use rebeca_filter::{Constraint, Filter, Notification};
+use rebeca_sim::{DelayModel, Metrics, SimTime, Topology};
+
+const PUBLICATIONS: u64 = 200;
+
+fn subscription() -> Filter {
+    Filter::new().with("service", Constraint::Eq("parking".into()))
+}
+
+fn vacancy(i: u64) -> Notification {
+    Notification::builder()
+        .attr("service", "parking")
+        .attr("spot", i as i64)
+        .build()
+}
+
+/// One full interactive scenario (3-broker line, consumer relocating
+/// mid-stream) with the given journal ring capacity; 0 disables the
+/// journal entirely.
+fn run_quickstart(journal_capacity: usize) -> MobilitySystem {
+    let mut sys = SystemBuilder::new(&Topology::line(3))
+        .link_delay(DelayModel::constant_millis(5))
+        .seed(42)
+        .build()
+        .expect("non-empty topology");
+    sys.metrics_mut().set_journal_capacity(journal_capacity);
+    let consumer = sys.connect(ClientId::new(1), 0).unwrap();
+    consumer.subscribe(&mut sys, subscription()).unwrap();
+    let producer = sys.connect(ClientId::new(2), 2).unwrap();
+    for i in 0..PUBLICATIONS {
+        sys.run_until(SimTime::from_millis(100 + i * 5));
+        if i == 80 {
+            consumer.move_to(&mut sys, 1).unwrap();
+        }
+        producer.publish(&mut sys, vacancy(i)).unwrap();
+    }
+    sys.run_until(SimTime::from_secs(3));
+    sys
+}
+
+fn verify(sys: &MobilitySystem, label: &str) {
+    let log = sys.client_log(ClientId::new(1)).unwrap();
+    assert!(log.is_clean(), "{label}: {:?}", log.violations());
+    assert_eq!(
+        log.distinct_publisher_seqs(ClientId::new(2)),
+        (1..=PUBLICATIONS).collect::<Vec<u64>>(),
+        "{label}: incomplete delivery"
+    );
+}
+
+/// Times one closure invocation in seconds.
+fn time_one<T>(f: impl FnOnce() -> T) -> f64 {
+    let start = std::time::Instant::now();
+    black_box(f());
+    start.elapsed().as_secs_f64()
+}
+
+/// Median instrumented/baseline ratio over interleaved pairs.  Returns the
+/// ratio and the number of pairs measured.
+fn interleaved_overhead_ratio() -> (f64, usize) {
+    let measurement_ms = std::env::var("CRITERION_MEASUREMENT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    // Each pair costs ~2 scenario runs (low single-digit milliseconds);
+    // scale the pair count with the configured measurement window.
+    let rounds = (measurement_ms / 4).clamp(12, 120) as usize;
+    let mut ratios = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        // Alternate the order so a monotone drift penalizes both sides
+        // equally across the round set.
+        let (base, instr) = if round % 2 == 0 {
+            let base = time_one(|| run_quickstart(0));
+            let instr = time_one(|| run_quickstart(1024));
+            (base, instr)
+        } else {
+            let instr = time_one(|| run_quickstart(1024));
+            let base = time_one(|| run_quickstart(0));
+            (base, instr)
+        };
+        ratios.push(instr / base);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    (ratios[ratios.len() / 2], rounds)
+}
+
+/// Appends the synthetic overhead sample to `CRITERION_JSON` in the same
+/// concatenated-array format the criterion shim emits, so
+/// `scripts/bench_gate.py` picks it up alongside the regular samples.
+fn report_overhead(ratio: f64, rounds: usize) {
+    println!(
+        "{:<60} ratio: {ratio:>10.4}x ({rounds} interleaved pairs)",
+        "obs/quickstart/overhead_x1000/200"
+    );
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let record = format!(
+        "[\n  {{\"name\": \"obs/quickstart/overhead_x1000/200\", \"ns_per_iter\": {:.1}, \"iters\": {rounds}}}\n]\n",
+        ratio * 1000.0
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, record.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("obs_bench: cannot write {path}: {e}");
+    }
+}
+
+fn bench_instrumentation_overhead(c: &mut Criterion) {
+    // Equivalence outside the timed loop: both configurations deliver the
+    // identical clean stream, and the instrumented one actually observed
+    // the relocation (journal events + a populated hand-off histogram) —
+    // the overhead comparison is between real work and real tracing.
+    let baseline = run_quickstart(0);
+    let instrumented = run_quickstart(1024);
+    verify(&baseline, "baseline");
+    verify(&instrumented, "instrumented");
+    assert!(baseline.metrics().journal().is_empty());
+    assert!(!instrumented.metrics().journal().is_empty());
+    assert!(
+        instrumented.status().brokers[0]
+            .handoff_latency_micros
+            .count()
+            > 0
+    );
+
+    // The gated signal: drift-cancelling interleaved pairs.
+    let (ratio, rounds) = interleaved_overhead_ratio();
+    report_overhead(ratio, rounds);
+
+    // The absolute medians, for the human-readable report and the
+    // machine-baseline comparison.
+    let mut group = c.benchmark_group("obs/quickstart");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::new("baseline", PUBLICATIONS), &(), |b, _| {
+        b.iter(|| black_box(run_quickstart(0)))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("instrumented", PUBLICATIONS),
+        &(),
+        |b, _| b.iter(|| black_box(run_quickstart(1024))),
+    );
+    group.finish();
+}
+
+/// The counter names every message dispatch touches.
+const HOT_COUNTERS: [&str; 8] = [
+    "broker.rx.publish",
+    "broker.tx.notification",
+    "broker.rx.deliver",
+    "broker.tx.deliver",
+    "network.messages",
+    "engine.forwards",
+    "broker.rx.subscribe",
+    "broker.tx.subscribe",
+];
+
+fn bench_counter_keys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/metrics");
+    group.bench_with_input(
+        BenchmarkId::new("incr_static", HOT_COUNTERS.len()),
+        &(),
+        |b, _| {
+            let mut metrics = Metrics::new();
+            b.iter(|| {
+                for name in HOT_COUNTERS {
+                    metrics.incr(black_box(name));
+                }
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("incr_owned", HOT_COUNTERS.len()),
+        &(),
+        |b, _| {
+            let mut metrics = Metrics::new();
+            b.iter(|| {
+                for name in HOT_COUNTERS {
+                    // What every increment cost before the Cow keys: an
+                    // owned String built per call.
+                    metrics.incr(black_box(name).to_string());
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_instrumentation_overhead, bench_counter_keys);
+criterion_main!(benches);

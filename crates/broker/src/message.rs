@@ -282,6 +282,59 @@ impl Message {
             Message::LocationUpdate { .. } => "location_update",
         }
     }
+
+    /// The pre-interned `broker.rx.<kind>` counter name for this message —
+    /// a static table, so the broker's receive hot path increments its
+    /// per-kind counter without allocating (see `Metrics::add`).
+    pub fn rx_counter(&self) -> &'static str {
+        match self {
+            Message::Attach { .. } => "broker.rx.attach",
+            Message::Detach { .. } => "broker.rx.detach",
+            Message::Publish { .. } => "broker.rx.publish",
+            Message::PublishBatch { .. } => "broker.rx.publish_batch",
+            Message::Notification(_) => "broker.rx.notification",
+            Message::NotificationBatch(_) => "broker.rx.notification_batch",
+            Message::Subscribe { .. } => "broker.rx.subscribe",
+            Message::Unsubscribe { .. } => "broker.rx.unsubscribe",
+            Message::Advertise { .. } => "broker.rx.advertise",
+            Message::Unadvertise { .. } => "broker.rx.unadvertise",
+            Message::Deliver(_) => "broker.rx.deliver",
+            Message::DeliverBatch(_) => "broker.rx.deliver_batch",
+            Message::ReSubscribe { .. } => "broker.rx.resubscribe",
+            Message::Relocate { .. } => "broker.rx.relocate",
+            Message::Fetch { .. } => "broker.rx.fetch",
+            Message::Replay { .. } => "broker.rx.replay",
+            Message::LocSubscribe { .. } => "broker.rx.loc_subscribe",
+            Message::LocUnsubscribe { .. } => "broker.rx.loc_unsubscribe",
+            Message::LocationUpdate { .. } => "broker.rx.location_update",
+        }
+    }
+
+    /// The pre-interned `broker.tx.<kind>` counter name for this message
+    /// (see [`Message::rx_counter`]).
+    pub fn tx_counter(&self) -> &'static str {
+        match self {
+            Message::Attach { .. } => "broker.tx.attach",
+            Message::Detach { .. } => "broker.tx.detach",
+            Message::Publish { .. } => "broker.tx.publish",
+            Message::PublishBatch { .. } => "broker.tx.publish_batch",
+            Message::Notification(_) => "broker.tx.notification",
+            Message::NotificationBatch(_) => "broker.tx.notification_batch",
+            Message::Subscribe { .. } => "broker.tx.subscribe",
+            Message::Unsubscribe { .. } => "broker.tx.unsubscribe",
+            Message::Advertise { .. } => "broker.tx.advertise",
+            Message::Unadvertise { .. } => "broker.tx.unadvertise",
+            Message::Deliver(_) => "broker.tx.deliver",
+            Message::DeliverBatch(_) => "broker.tx.deliver_batch",
+            Message::ReSubscribe { .. } => "broker.tx.resubscribe",
+            Message::Relocate { .. } => "broker.tx.relocate",
+            Message::Fetch { .. } => "broker.tx.fetch",
+            Message::Replay { .. } => "broker.tx.replay",
+            Message::LocSubscribe { .. } => "broker.tx.loc_subscribe",
+            Message::LocUnsubscribe { .. } => "broker.tx.loc_unsubscribe",
+            Message::LocationUpdate { .. } => "broker.tx.location_update",
+        }
+    }
 }
 
 #[cfg(test)]

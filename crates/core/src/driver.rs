@@ -24,8 +24,10 @@
 //! process-per-broker harness) plugs in by implementing [`Driver`] without
 //! touching the protocol code.
 
+use rebeca_obs::StatusReport;
 use rebeca_sim::{DelayModel, Metrics, Network, NodeId, SimTime};
 
+use crate::driver_util::{broker_status, in_process_links};
 use crate::system::SystemNode;
 
 /// An event loop hosting the deployment's nodes: it delivers timestamped
@@ -94,6 +96,15 @@ pub trait Driver: Send {
 
     /// Mutable access to the global metrics.
     fn metrics_mut(&mut self) -> &mut Metrics;
+
+    /// A live status report over every broker the driver hosts: routing
+    /// table size, WAL depth and checkpoint age, restart epoch, relocation
+    /// activity, per-link liveness.  Identical in shape across drivers, so
+    /// tests assert deterministically on the simulator what `rebeca-ctl`
+    /// reads from a TCP cluster.  The report's `events` slice is empty —
+    /// tailing the journal goes through [`Driver::metrics`] in process and
+    /// through the `StatusRequest` cursor over the wire.
+    fn status(&self) -> StatusReport;
 }
 
 /// The discrete-event simulation driver: a thin adapter over
@@ -175,6 +186,30 @@ impl Driver for SimDriver {
 
     fn metrics_mut(&mut self) -> &mut Metrics {
         self.network.metrics_mut()
+    }
+
+    fn status(&self) -> StatusReport {
+        let now = self.network.now();
+        let metrics = self.network.metrics();
+        let brokers = (0..self.network.len())
+            .filter_map(|i| match self.network.node(NodeId(i)) {
+                SystemNode::Broker(broker) => Some(broker_status(
+                    i as u64,
+                    broker,
+                    metrics,
+                    now,
+                    broker.machine().generation(),
+                    in_process_links(broker),
+                )),
+                SystemNode::Client(_) => None,
+            })
+            .collect();
+        StatusReport {
+            now_micros: now.as_micros(),
+            node_count: self.network.len() as u64,
+            brokers,
+            events: Vec::new(),
+        }
     }
 }
 

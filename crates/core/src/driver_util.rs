@@ -22,7 +22,72 @@ use std::hash::Hash;
 use std::time::{Duration, Instant};
 
 use rebeca_broker::Message;
-use rebeca_sim::{Incoming, SimDuration, SimTime};
+use rebeca_obs::{BrokerStatus, LinkStatus};
+use rebeca_sim::{Incoming, Metrics, SimDuration, SimTime};
+
+use crate::mobile_broker::{MobileBroker, HANDOFF_LATENCY_HISTOGRAM};
+
+/// Builds the status-plane entry for one hosted broker from its live state
+/// and the driver's metrics store — shared by every [`Driver`](crate::Driver)
+/// implementation (and the TCP driver of `rebeca-net`), so the report shape
+/// cannot diverge between the simulator and a deployment.
+///
+/// `restart_epoch` is driver-defined (the WAL recovery generation for the
+/// in-process drivers, `max(process epoch, generation)` under TCP); `links`
+/// likewise (always-connected entries in process, live socket state under
+/// TCP).  The hand-off latency histogram and the `mobility.*` counters come
+/// from the driver-wide `metrics` store, which is per-process — and thus
+/// per-broker — under the TCP deployment, and cluster-wide under the
+/// in-process drivers.
+pub fn broker_status(
+    index: u64,
+    broker: &MobileBroker,
+    metrics: &Metrics,
+    now: SimTime,
+    restart_epoch: u64,
+    links: Vec<LinkStatus>,
+) -> BrokerStatus {
+    let log = broker.machine().log();
+    BrokerStatus {
+        broker: index,
+        restart_epoch,
+        generation: broker.machine().generation(),
+        routing_entries: broker.routing_entries() as u64,
+        wal_depth: log.depth(),
+        wal_since_checkpoint: log.since_checkpoint(),
+        last_checkpoint_age_ms: broker
+            .last_checkpoint_at()
+            .map(|at| now.since(at).as_millis()),
+        counterparts: broker.counterpart_count() as u64,
+        buffered_deliveries: broker.buffered_deliveries() as u64,
+        pending_relocations: broker.pending_relocations() as u64,
+        relocations: metrics
+            .counters()
+            .filter(|(name, _)| name.starts_with("mobility."))
+            .map(|(name, value)| (name.to_string(), value))
+            .collect(),
+        handoff_latency_micros: metrics
+            .histogram(HANDOFF_LATENCY_HISTOGRAM)
+            .cloned()
+            .unwrap_or_default(),
+        links,
+    }
+}
+
+/// The always-connected link entries of an in-process driver: one per
+/// broker link, no heartbeat age (in-process links cannot drop).
+pub fn in_process_links(broker: &MobileBroker) -> Vec<LinkStatus> {
+    broker
+        .core()
+        .broker_links()
+        .iter()
+        .map(|peer| LinkStatus {
+            peer: peer.0 as u64,
+            connected: true,
+            last_heartbeat_age_ms: None,
+        })
+        .collect()
+}
 
 /// One event waiting to be delivered to a node, stamped with the absolute
 /// driver time at which it becomes due and a tie-breaking sequence number.

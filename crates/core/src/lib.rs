@@ -77,7 +77,8 @@ mod threaded;
 pub use client::{ClientAction, ClientNode, LogicalMobilityMode};
 pub use driver::{Driver, SimDriver};
 pub use error::RebecaError;
-pub use mobile_broker::{BrokerConfig, MobileBroker};
+pub use mobile_broker::{BrokerConfig, MobileBroker, HANDOFF_LATENCY_HISTOGRAM};
+pub use rebeca_obs::{BrokerStatus, LinkStatus, ObsEvent, StatusReport};
 pub use session::Session;
 pub use system::{MobilitySystem, SystemBuilder, SystemNode};
 pub use threaded::ThreadedDriver;

@@ -36,7 +36,11 @@ use rebeca_mobility::{
     DEFAULT_CHECKPOINT_EVERY,
 };
 use rebeca_routing::RoutingStrategyKind;
-use rebeca_sim::{Context, Incoming, Node, NodeId, SimDuration};
+use rebeca_sim::{Context, Incoming, Node, NodeId, SimDuration, SimTime};
+
+/// Histogram name under which relocation hand-off latencies (ReSubscribe
+/// hold to replay settle, in microseconds) are recorded.
+pub const HANDOFF_LATENCY_HISTOGRAM: &str = "mobility.handoff_latency_micros";
 
 /// Timer tag reserved for the drain-queue flush (relocation timeouts use
 /// tags counted up from zero, so the top of the range never collides).
@@ -157,6 +161,23 @@ pub struct MobileBroker {
     drain_queue: BTreeMap<NodeId, Vec<Envelope>>,
     /// Whether a drain-flush timer is currently armed.
     drain_armed: bool,
+    /// Streams currently held at this (new border) broker and when the hold
+    /// began — settling them feeds the hand-off latency histogram.  A plain
+    /// vector: relocations in flight at one broker are few.
+    holding_since: Vec<((ClientId, Filter), SimTime)>,
+    /// When this broker last compacted its WAL (observed via the log's
+    /// checkpoint counter; `None` until the first compaction).
+    last_checkpoint_at: Option<SimTime>,
+    /// WAL lifetime-append count at the last observation — diffed after
+    /// every event to journal `wal.append` without touching the log's
+    /// append path.
+    wal_appends_seen: u64,
+    /// WAL checkpoint count at the last observation.
+    wal_checkpoints_seen: u64,
+    /// Set by [`MobileBroker::recover`]; the first handled event journals
+    /// it as a `wal.recovered` event (a restarted node has no live metrics
+    /// context at construction time).
+    recovery_note: Option<String>,
 }
 
 impl MobileBroker {
@@ -182,6 +203,8 @@ impl MobileBroker {
         log: HandoffLog,
     ) -> Self {
         let machine = RelocationMachine::new(config.relocation_timeout, log);
+        let wal_appends_seen = machine.log().appends_total();
+        let wal_checkpoints_seen = machine.log().checkpoints_total();
         Self {
             core: BrokerCore::new(id, role, broker_links, config.strategy),
             config,
@@ -189,6 +212,11 @@ impl MobileBroker {
             loc_subs: BTreeMap::new(),
             drain_queue: BTreeMap::new(),
             drain_armed: false,
+            holding_since: Vec::new(),
+            last_checkpoint_at: None,
+            wal_appends_seen,
+            wal_checkpoints_seen,
+            recovery_note: None,
         }
     }
 
@@ -207,6 +235,14 @@ impl MobileBroker {
     ) -> (Self, Vec<u64>) {
         let mut core = BrokerCore::new(id, role, broker_links, config.strategy);
         let (machine, tags) = RelocationMachine::recover(config.relocation_timeout, log, &mut core);
+        let recovery_note = Some(format!(
+            "broker={id} generation={} wal_depth={} rearmed_holdings={}",
+            machine.generation(),
+            machine.log().depth(),
+            tags.len()
+        ));
+        let wal_appends_seen = machine.log().appends_total();
+        let wal_checkpoints_seen = machine.log().checkpoints_total();
         (
             Self {
                 core,
@@ -215,6 +251,11 @@ impl MobileBroker {
                 loc_subs: BTreeMap::new(),
                 drain_queue: BTreeMap::new(),
                 drain_armed: false,
+                holding_since: Vec::new(),
+                last_checkpoint_at: None,
+                wal_appends_seen,
+                wal_checkpoints_seen,
+                recovery_note,
             },
             tags,
         )
@@ -285,6 +326,157 @@ impl MobileBroker {
     /// location-dependent subscription.
     pub fn loc_sub_location(&self, sub_id: SubscriptionId) -> Option<LocationId> {
         self.loc_subs.get(&sub_id).map(|s| s.location)
+    }
+
+    /// Number of entries in the content-based routing table.
+    pub fn routing_entries(&self) -> usize {
+        self.core.engine().table_size()
+    }
+
+    /// When this broker last compacted its WAL (`None` until the first
+    /// compaction of this incarnation).
+    pub fn last_checkpoint_at(&self) -> Option<SimTime> {
+        self.last_checkpoint_at
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Starts the hand-off latency clock for a stream that entered a
+    /// holding phase with this ReSubscribe, and journals the transition.
+    fn note_resubscribed(
+        &mut self,
+        client: ClientId,
+        filter: Filter,
+        ctx: &mut Context<'_, Message>,
+    ) {
+        let phase = self.machine.phase(client, &filter);
+        if !matches!(
+            phase,
+            RelocationPhase::Holding | RelocationPhase::AwaitingReplay
+        ) {
+            return;
+        }
+        let key = (client, filter);
+        if !self.holding_since.iter().any(|(k, _)| *k == key) {
+            if ctx.metrics().journal_enabled() {
+                let now = ctx.now();
+                let detail = format!("broker={} client={} phase={phase:?}", ctx.self_id(), key.0);
+                ctx.metrics()
+                    .record_event(now, "relocation.holding", detail);
+            }
+            let now = ctx.now();
+            self.holding_since.push((key, now));
+        }
+    }
+
+    /// Settles the hand-off latency clock for streams that left their
+    /// holding phase: records the hold duration into the
+    /// [`HANDOFF_LATENCY_HISTOGRAM`] and journals the transition under
+    /// `kind`.
+    ///
+    /// `only` scopes the phase re-check to one client's streams — the
+    /// per-replay path passes the replayed client so thousands of
+    /// concurrent relocations do not turn each settle into a full
+    /// phase-probe sweep of every held stream (`phase` walks the machine's
+    /// relocation map with a filter comparison; the guard below is an
+    /// integer compare).  `None` sweeps everything, for the timeout-flush
+    /// path where the machine may have flushed arbitrary streams.
+    fn note_settled(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        kind: &'static str,
+        only: Option<ClientId>,
+    ) {
+        if self.holding_since.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        let mut settled = Vec::new();
+        self.holding_since.retain(|((client, filter), since)| {
+            if only.is_some_and(|c| c != *client) {
+                return true;
+            }
+            let phase = self.machine.phase(*client, filter);
+            if matches!(
+                phase,
+                RelocationPhase::Holding | RelocationPhase::AwaitingReplay
+            ) {
+                true
+            } else {
+                settled.push((*client, now.since(*since).as_micros()));
+                false
+            }
+        });
+        for (client, latency) in settled {
+            ctx.metrics().observe(HANDOFF_LATENCY_HISTOGRAM, latency);
+            if ctx.metrics().journal_enabled() {
+                let detail = format!(
+                    "broker={} client={client} latency_micros={latency}",
+                    ctx.self_id()
+                );
+                ctx.metrics().record_event(now, kind, detail);
+            }
+        }
+    }
+
+    /// Diffs the WAL's lifetime counters against the last observation and
+    /// journals `wal.append` / `wal.checkpoint` / `wal.recovered` events.
+    /// Called once per handled event: the steady-state cost is two integer
+    /// compares, so the notification hot path stays flat.
+    fn note_wal(&mut self, ctx: &mut Context<'_, Message>) {
+        if let Some(note) = self.recovery_note.take() {
+            ctx.metrics().incr("wal.recoveries");
+            let now = ctx.now();
+            ctx.metrics().record_event(now, "wal.recovered", note);
+        }
+        let appends = self.machine.log().appends_total();
+        if appends != self.wal_appends_seen {
+            let grew = appends - self.wal_appends_seen;
+            self.wal_appends_seen = appends;
+            ctx.metrics().add("wal.appends", grew);
+            if ctx.metrics().journal_enabled() {
+                let now = ctx.now();
+                let detail = format!(
+                    "broker={} records={grew} depth={}",
+                    ctx.self_id(),
+                    self.machine.log().depth()
+                );
+                ctx.metrics().record_event(now, "wal.append", detail);
+            }
+        }
+        let checkpoints = self.machine.log().checkpoints_total();
+        if checkpoints != self.wal_checkpoints_seen {
+            let grew = checkpoints - self.wal_checkpoints_seen;
+            self.wal_checkpoints_seen = checkpoints;
+            self.last_checkpoint_at = Some(ctx.now());
+            ctx.metrics().add("wal.checkpoints", grew);
+            if ctx.metrics().journal_enabled() {
+                let now = ctx.now();
+                let detail = format!(
+                    "broker={} depth={}",
+                    ctx.self_id(),
+                    self.machine.log().depth()
+                );
+                ctx.metrics().record_event(now, "wal.checkpoint", detail);
+            }
+        }
+    }
+
+    /// Journals a relocation-protocol control message (old-broker side of
+    /// the hand-off: Relocate repoints routing, Fetch starts the replay).
+    fn note_control(
+        &mut self,
+        kind: &'static str,
+        client: ClientId,
+        ctx: &mut Context<'_, Message>,
+    ) {
+        if ctx.metrics().journal_enabled() {
+            let now = ctx.now();
+            let detail = format!("broker={} client={client}", ctx.self_id());
+            ctx.metrics().record_event(now, kind, detail);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -572,10 +764,12 @@ impl Node for MobileBroker {
             Incoming::Timer { tag } => {
                 let effects = self.machine.on_timeout(&mut self.core, tag);
                 self.apply_effects(effects, ctx, &mut out);
+                // A fired timeout may have flushed held streams without a
+                // replay — settle their latency clocks under the flush kind.
+                self.note_settled(ctx, "relocation.timeout_flush", None);
             }
             Incoming::Message { from, message } => {
-                ctx.metrics()
-                    .incr(&format!("broker.rx.{}", message.kind_name()));
+                ctx.metrics().incr(message.rx_counter());
                 match message {
                     Message::ReSubscribe {
                         client,
@@ -586,11 +780,12 @@ impl Node for MobileBroker {
                         let effects = self.machine.on_resubscribe(
                             &mut self.core,
                             client,
-                            filter,
+                            filter.clone(),
                             last_seq,
                             from,
                         );
                         self.apply_effects(effects, ctx, &mut out);
+                        self.note_resubscribed(client, filter, ctx);
                     }
                     Message::Relocate {
                         client,
@@ -608,6 +803,7 @@ impl Node for MobileBroker {
                             from,
                         );
                         self.apply_effects(effects, ctx, &mut out);
+                        self.note_control("relocation.relocate", client, ctx);
                     }
                     Message::Fetch {
                         client,
@@ -625,6 +821,7 @@ impl Node for MobileBroker {
                             from,
                         );
                         self.apply_effects(effects, ctx, &mut out);
+                        self.note_control("relocation.fetch", client, ctx);
                     }
                     Message::Replay {
                         client,
@@ -640,6 +837,9 @@ impl Node for MobileBroker {
                             from,
                         );
                         self.apply_effects(effects, ctx, &mut out);
+                        // The replay settles the holding phase; record the
+                        // hand-off latency.
+                        self.note_settled(ctx, "relocation.settled", Some(client));
                     }
                     Message::Detach { client } => {
                         // Queued notifications arrived before the detach:
@@ -649,6 +849,7 @@ impl Node for MobileBroker {
                         out = self.flush_drain_for_control(ctx);
                         out.extend(self.run_core(from, Message::Detach { client }));
                         self.machine.on_detach(&self.core, client);
+                        self.note_control("relocation.detach", client, ctx);
                     }
                     Message::Notification(envelope) if self.config.drain_interval.is_some() => {
                         let interval = self.config.drain_interval.expect("checked above");
@@ -684,9 +885,9 @@ impl Node for MobileBroker {
                 }
             }
         }
+        self.note_wal(ctx);
         for (to, message) in out {
-            ctx.metrics()
-                .incr(&format!("broker.tx.{}", message.kind_name()));
+            ctx.metrics().incr(message.tx_counter());
             ctx.send(to, message);
         }
     }

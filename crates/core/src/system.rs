@@ -466,6 +466,14 @@ impl MobilitySystem {
         self.driver.metrics_mut()
     }
 
+    /// A live status report over every hosted broker (routing table size,
+    /// WAL depth, restart epoch, relocation activity, link liveness) — the
+    /// same shape `rebeca-ctl status` reads from a TCP cluster, answered
+    /// here from the driver's in-process state.
+    pub fn status(&self) -> rebeca_obs::StatusReport {
+        self.driver.status()
+    }
+
     /// Total number of messages transmitted over links so far (notifications
     /// plus administrative messages), the quantity plotted in Figure 9.
     pub fn total_messages(&self) -> u64 {

@@ -449,6 +449,31 @@ impl Driver for ThreadedDriver {
     fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
     }
+
+    fn status(&self) -> rebeca_obs::StatusReport {
+        let brokers = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Some(SystemNode::Broker(broker)) => Some(crate::driver_util::broker_status(
+                    i as u64,
+                    broker,
+                    &self.metrics,
+                    self.now,
+                    broker.machine().generation(),
+                    crate::driver_util::in_process_links(broker),
+                )),
+                _ => None,
+            })
+            .collect();
+        rebeca_obs::StatusReport {
+            now_micros: self.now.as_micros(),
+            node_count: self.nodes.len() as u64,
+            brokers,
+            events: Vec::new(),
+        }
+    }
 }
 
 impl std::fmt::Debug for ThreadedDriver {

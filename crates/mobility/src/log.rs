@@ -553,6 +553,16 @@ pub struct HandoffLog {
     backend: Box<dyn LogBackend>,
     appends_since_checkpoint: usize,
     checkpoint_every: usize,
+    /// Live records in the log right now (appends since the last compaction
+    /// plus the compaction's own checkpoint record) — the "WAL depth" the
+    /// status plane reports.
+    depth: u64,
+    /// Monotonic count of appends over the log's lifetime (never reset by
+    /// compaction) — the observability layer diffs this to journal
+    /// `wal.append` events without touching the append hot path.
+    appends_total: u64,
+    /// Monotonic count of checkpoint compactions.
+    checkpoints_total: u64,
 }
 
 impl Clone for HandoffLog {
@@ -561,6 +571,9 @@ impl Clone for HandoffLog {
             backend: self.backend.boxed_clone(),
             appends_since_checkpoint: self.appends_since_checkpoint,
             checkpoint_every: self.checkpoint_every,
+            depth: self.depth,
+            appends_total: self.appends_total,
+            checkpoints_total: self.checkpoints_total,
         }
     }
 }
@@ -580,6 +593,9 @@ impl HandoffLog {
             backend,
             appends_since_checkpoint: 0,
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            depth: 0,
+            appends_total: 0,
+            checkpoints_total: 0,
         }
     }
 
@@ -607,6 +623,37 @@ impl HandoffLog {
             .append(&record.encode_framed())
             .expect("handoff WAL append failed");
         self.appends_since_checkpoint += 1;
+        self.depth += 1;
+        self.appends_total += 1;
+    }
+
+    /// Live records currently in the log (the status plane's "WAL depth").
+    /// After a recovery, call [`HandoffLog::note_recovered`] to seed this
+    /// with the record count the scan found.
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Records appended since the last checkpoint compaction.
+    pub fn since_checkpoint(&self) -> u64 {
+        self.appends_since_checkpoint as u64
+    }
+
+    /// Monotonic count of appends over the log's lifetime.
+    pub fn appends_total(&self) -> u64 {
+        self.appends_total
+    }
+
+    /// Monotonic count of checkpoint compactions.
+    pub fn checkpoints_total(&self) -> u64 {
+        self.checkpoints_total
+    }
+
+    /// Seeds the depth counter with the record count a recovery scan found
+    /// (the counters only observe operations performed through this
+    /// handle, so a freshly recovered log must be told what it contains).
+    pub fn note_recovered(&mut self, records_read: u64) {
+        self.depth = records_read;
     }
 
     /// `true` when enough records accumulated since the last checkpoint for
@@ -637,6 +684,8 @@ impl HandoffLog {
             .reset(&record.encode_framed())
             .expect("handoff WAL compaction failed");
         self.appends_since_checkpoint = 0;
+        self.depth = 1; // the log is now exactly one checkpoint record
+        self.checkpoints_total += 1;
     }
 
     /// Scans the log and folds every valid record into a [`RecoveredState`].

@@ -171,6 +171,7 @@ impl RelocationMachine {
         // queued) all live below the new generation's range.
         machine.generation = recovered.generation + 1;
         machine.next_timeout_tag = machine.generation << 32;
+        machine.log.note_recovered(recovered.records_read as u64);
         machine.log.append(&WalRecord::Epoch {
             generation: machine.generation,
         });

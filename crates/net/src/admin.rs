@@ -1,0 +1,112 @@
+//! The admin client side of the status plane: dial a broker process, send
+//! one [`Frame::StatusRequest`], read back its [`StatusReport`].
+//!
+//! This is what `rebeca-ctl` (and the integration tests) use; it needs no
+//! `Hello` handshake and no node id — any process that can reach a broker's
+//! listen endpoint can ask for status.  The serving side answers from its
+//! event loop with live state (see `TcpDriver::status_report`), so a report
+//! is a consistent snapshot of one scheduling instant.
+
+use std::io::Read;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rebeca_obs::StatusReport;
+
+use crate::endpoint::Endpoint;
+use crate::wire::{Frame, WireError};
+
+/// Why a status fetch failed.
+#[derive(Debug)]
+pub enum AdminError {
+    /// Dialling, writing or reading the socket failed (covers connection
+    /// refusal and timeouts).
+    Io(std::io::Error),
+    /// The reply stream was corrupt.
+    Wire(WireError),
+    /// The connection closed before a report arrived.
+    ConnectionClosed,
+    /// The deadline elapsed before a complete report arrived.
+    TimedOut,
+}
+
+impl std::fmt::Display for AdminError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdminError::Io(e) => write!(f, "status fetch i/o error: {e}"),
+            AdminError::Wire(e) => write!(f, "status reply corrupt: {e}"),
+            AdminError::ConnectionClosed => {
+                write!(f, "connection closed before a status report arrived")
+            }
+            AdminError::TimedOut => write!(f, "timed out waiting for a status report"),
+        }
+    }
+}
+
+impl std::error::Error for AdminError {}
+
+impl From<std::io::Error> for AdminError {
+    fn from(e: std::io::Error) -> Self {
+        AdminError::Io(e)
+    }
+}
+
+/// Fetches a live [`StatusReport`] from the process listening on
+/// `endpoint`, within `timeout` end to end (dial + request + reply).
+///
+/// `events_after` is the journal cursor: `Some(seq)` asks for the buffered
+/// [`ObsEvent`](rebeca_obs::ObsEvent)s with sequence numbers strictly
+/// greater than `seq` (pass `Some(0)` for "everything still buffered"),
+/// `None` for a snapshot without events.
+///
+/// # Errors
+///
+/// Any dial/transport failure, a corrupt reply, or the deadline elapsing —
+/// callers fanning out over a cluster treat an error as "that broker is
+/// unreachable" and keep going.
+pub fn fetch_status(
+    endpoint: &Endpoint,
+    events_after: Option<u64>,
+    timeout: Duration,
+) -> Result<StatusReport, AdminError> {
+    let deadline = Instant::now() + timeout;
+    let addr = endpoint.socket_addr()?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    let _ = stream.set_nodelay(true);
+    stream.write_all(&Frame::StatusRequest { events_after }.encode_framed())?;
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Frames already buffered take priority over the deadline.
+        loop {
+            match Frame::decode_framed(&buf) {
+                Ok((Frame::StatusReport(report), _)) => return Ok(report),
+                Ok((_, used)) => {
+                    // Not ours (a stray heartbeat, say) — skip it.
+                    buf.drain(..used);
+                }
+                Err(WireError::Truncated) => break,
+                Err(e) => return Err(AdminError::Wire(e)),
+            }
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(AdminError::TimedOut);
+        }
+        stream.set_read_timeout(Some(remaining))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(AdminError::ConnectionClosed),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(AdminError::TimedOut);
+            }
+            Err(e) => return Err(AdminError::Io(e)),
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! `rebeca-ctl`: the operator CLI of a TCP deployment.
+//!
+//! ```text
+//! rebeca-ctl status  --config cluster.cfg [--json] [--timeout-ms 2000]
+//! rebeca-ctl tail    --config cluster.cfg [--broker N] [--interval-ms 500] [--rounds R]
+//! rebeca-ctl publish --config cluster.cfg [--broker N] [--client ID] key=value...
+//! ```
+//!
+//! Reads the same cluster config as `rebeca-node` and talks to the running
+//! broker processes:
+//!
+//! * `status` fans a `StatusRequest` out across every broker of the cluster
+//!   and renders the reports — routing-table size, WAL depth and checkpoint
+//!   age, restart epoch, relocation counters, hand-off latency quantiles,
+//!   per-link liveness.  Unreachable brokers are *reported*, not fatal.
+//!   `--json` emits one JSON object per broker (JSON lines), machine-ready.
+//! * `tail` streams the cluster's observability journal live: it polls each
+//!   broker with a resumable sequence cursor and prints events as they
+//!   happen (relocation phases, WAL appends and checkpoints, link churn).
+//! * `publish` injects one notification into the running cluster through a
+//!   short-lived client session — the smallest possible smoke test that
+//!   routing works end to end.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rebeca_broker::ClientId;
+use rebeca_core::SystemBuilder;
+use rebeca_filter::Notification;
+use rebeca_net::{admin, AdminError, ClusterConfig, Endpoint, NetConfig, SystemBuilderTcp};
+use rebeca_obs::{json_escape, StatusReport};
+use rebeca_sim::SimDuration;
+
+const USAGE: &str = "usage:
+  rebeca-ctl status  --config FILE [--json] [--timeout-ms MS]
+  rebeca-ctl tail    --config FILE [--broker N] [--interval-ms MS] [--rounds R] [--timeout-ms MS]
+  rebeca-ctl publish --config FILE [--broker N] [--client ID] key=value...";
+
+struct CommonArgs {
+    cluster: ClusterConfig,
+    timeout: Duration,
+}
+
+fn parse_u64(flag: &str, value: String) -> Result<u64, String> {
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("{flag} expects a number"))
+}
+
+/// Parses `key=value` into a notification attribute: integers as integers,
+/// everything else as a string.
+fn parse_attr(pair: &str) -> Result<(String, Option<i64>, String), String> {
+    let (key, value) = pair
+        .split_once('=')
+        .ok_or_else(|| format!("expected key=value, got {pair:?}"))?;
+    if key.is_empty() {
+        return Err(format!("empty attribute name in {pair:?}"));
+    }
+    Ok((
+        key.to_string(),
+        value.parse::<i64>().ok(),
+        value.to_string(),
+    ))
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    let command = args.remove(0);
+
+    // Flags shared by every command.
+    let mut config = None;
+    let mut timeout_ms = 2_000;
+    let mut json = false;
+    let mut broker: Option<usize> = None;
+    let mut client = 9_001u32;
+    let mut interval_ms = 500;
+    let mut rounds: Option<u64> = None;
+    let mut positional = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--config" => config = Some(value("--config")?),
+            "--timeout-ms" => timeout_ms = parse_u64("--timeout-ms", value("--timeout-ms")?)?,
+            "--interval-ms" => interval_ms = parse_u64("--interval-ms", value("--interval-ms")?)?,
+            "--rounds" => rounds = Some(parse_u64("--rounds", value("--rounds")?)?),
+            "--json" => json = true,
+            "--broker" => {
+                broker = Some(
+                    value("--broker")?
+                        .parse::<usize>()
+                        .map_err(|_| "--broker expects a broker index".to_string())?,
+                )
+            }
+            "--client" => {
+                client = value("--client")?
+                    .parse::<u32>()
+                    .map_err(|_| "--client expects a client id".to_string())?
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    let config = config.ok_or_else(|| format!("--config is required\n{USAGE}"))?;
+    let cluster = ClusterConfig::load(&config).map_err(|e| e.to_string())?;
+    if let Some(b) = broker {
+        if b >= cluster.endpoints.len() {
+            return Err(format!(
+                "broker {b} not in config (cluster has {} brokers)",
+                cluster.endpoints.len()
+            ));
+        }
+    }
+    let common = CommonArgs {
+        cluster,
+        timeout: Duration::from_millis(timeout_ms),
+    };
+
+    match command.as_str() {
+        "status" => status(&common, json),
+        "tail" => tail(&common, broker, Duration::from_millis(interval_ms), rounds),
+        "publish" => publish(
+            &common,
+            broker.unwrap_or(0),
+            ClientId::new(client),
+            &positional,
+        ),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+/// One fan-out round: fetch every targeted broker's report (or its error).
+fn fetch_all(
+    common: &CommonArgs,
+    only: Option<usize>,
+    events_after: Option<u64>,
+) -> Vec<(usize, &Endpoint, Result<StatusReport, AdminError>)> {
+    common
+        .cluster
+        .endpoints
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| only.is_none() || only == Some(*i))
+        .map(|(i, ep)| (i, ep, admin::fetch_status(ep, events_after, common.timeout)))
+        .collect()
+}
+
+fn status(common: &CommonArgs, json: bool) -> Result<(), String> {
+    let mut unreachable = 0;
+    for (i, endpoint, fetched) in fetch_all(common, None, None) {
+        match fetched {
+            Ok(report) => {
+                if json {
+                    println!(
+                        "{{\"broker\":{i},\"endpoint\":\"{}\",\"reachable\":true,\"report\":{}}}",
+                        json_escape(&endpoint.to_string()),
+                        report.to_json()
+                    );
+                } else {
+                    print_human(i, endpoint, &report);
+                }
+            }
+            Err(e) => {
+                unreachable += 1;
+                if json {
+                    println!(
+                        "{{\"broker\":{i},\"endpoint\":\"{}\",\"reachable\":false,\"error\":\"{}\"}}",
+                        json_escape(&endpoint.to_string()),
+                        json_escape(&e.to_string())
+                    );
+                } else {
+                    println!("broker {i} @ {endpoint}: UNREACHABLE ({e})");
+                }
+            }
+        }
+    }
+    if !json && unreachable > 0 {
+        println!("{unreachable} broker(s) unreachable");
+    }
+    Ok(())
+}
+
+fn print_human(index: usize, endpoint: &Endpoint, report: &StatusReport) {
+    for b in &report.brokers {
+        println!(
+            "broker {} @ {endpoint}: epoch {} gen {} routing {} wal {} (+{} since ckpt{})",
+            b.broker,
+            b.restart_epoch,
+            b.generation,
+            b.routing_entries,
+            b.wal_depth,
+            b.wal_since_checkpoint,
+            match b.last_checkpoint_age_ms {
+                Some(age) => format!(", {age}ms old"),
+                None => String::new(),
+            },
+        );
+        println!(
+            "  relocation: counterparts {} buffered {} pending {}",
+            b.counterparts, b.buffered_deliveries, b.pending_relocations
+        );
+        for (name, count) in &b.relocations {
+            println!("    {name} = {count}");
+        }
+        let h = &b.handoff_latency_micros;
+        if !h.is_empty() {
+            println!(
+                "  handoff latency: n={} p50={}us p95={}us p99={}us",
+                h.count(),
+                h.p50(),
+                h.p95(),
+                h.p99()
+            );
+        }
+        for link in &b.links {
+            println!(
+                "  link -> {}: {}{}",
+                link.peer,
+                if link.connected { "up" } else { "DOWN" },
+                match link.last_heartbeat_age_ms {
+                    Some(age) => format!(" (heard {age}ms ago)"),
+                    None => String::new(),
+                },
+            );
+        }
+    }
+    if report.brokers.is_empty() {
+        println!("broker {index} @ {endpoint}: reachable, hosts no brokers");
+    }
+}
+
+fn tail(
+    common: &CommonArgs,
+    only: Option<usize>,
+    interval: Duration,
+    rounds: Option<u64>,
+) -> Result<(), String> {
+    // Per-broker resumable cursor.  The journal's first event has seq 1, so
+    // `events_after: Some(0)` means "everything still buffered".
+    let mut cursors = vec![0u64; common.cluster.endpoints.len()];
+    let mut round = 0u64;
+    loop {
+        let fetches: Vec<_> = (0..common.cluster.endpoints.len())
+            .filter(|i| only.is_none() || only == Some(*i))
+            .collect();
+        for i in fetches {
+            let endpoint = &common.cluster.endpoints[i];
+            let report = match admin::fetch_status(endpoint, Some(cursors[i]), common.timeout) {
+                Ok(report) => report,
+                Err(_) => continue, // a broker being down is not the tail's business
+            };
+            for event in &report.events {
+                if event.seq <= cursors[i] {
+                    continue;
+                }
+                cursors[i] = event.seq;
+                println!(
+                    "broker={i} seq={} t={}us {} {}",
+                    event.seq, event.at_micros, event.kind, event.detail
+                );
+            }
+        }
+        round += 1;
+        if rounds.is_some_and(|max| round >= max) {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+fn publish(
+    common: &CommonArgs,
+    broker: usize,
+    client: ClientId,
+    attrs: &[String],
+) -> Result<(), String> {
+    if attrs.is_empty() {
+        return Err(format!(
+            "publish needs at least one key=value attribute\n{USAGE}"
+        ));
+    }
+    let mut builder = Notification::builder();
+    for pair in attrs {
+        let (key, int, text) = parse_attr(pair)?;
+        builder = match int {
+            Some(v) => builder.attr(key.as_str(), v),
+            None => builder.attr(key.as_str(), text.as_str()),
+        };
+    }
+    let notification = builder.build();
+
+    let net = NetConfig::new(common.cluster.endpoints.clone()).seed(common.cluster.seed ^ 0xC71);
+    let mut system = SystemBuilder::new(&common.cluster.topology)
+        .link_delay(common.cluster.delay)
+        .seed(common.cluster.seed)
+        .build_tcp(net)
+        .map_err(|e| e.to_string())?;
+    let session = system.connect(client, broker).map_err(|e| e.to_string())?;
+    // Let the attach reach the broker before publishing through it.
+    let now = system.now();
+    system.run_until(now + SimDuration::from_millis(300));
+    session
+        .publish(&mut system, notification)
+        .map_err(|e| e.to_string())?;
+    // Flush the frame out before tearing the driver down.
+    let now = system.now();
+    system.run_until(now + SimDuration::from_millis(300));
+    println!("published to broker {broker} as client {}", client.raw());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rebeca-ctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

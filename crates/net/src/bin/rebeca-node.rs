@@ -1,7 +1,8 @@
 //! `rebeca-node`: one broker process of a TCP deployment.
 //!
 //! ```text
-//! rebeca-node --config cluster.cfg --broker 1 [--run-secs 30] [--epoch 0]
+//! rebeca-node --config cluster.cfg --broker 1 [--run-secs 30] [--epoch 0] \
+//!             [--status-file status.jsonl] [--status-interval-ms 1000]
 //! ```
 //!
 //! Reads the shared cluster config (see `rebeca_net::ClusterConfig` for the
@@ -9,6 +10,11 @@
 //! peers and serves until `--run-secs` elapses (forever when omitted).
 //! Prints a single `listening` line once the socket is bound, so a harness
 //! can wait for readiness, and a metrics summary on clean exit.
+//!
+//! With `--status-file`, the process appends its live status report (the
+//! same JSON `rebeca-ctl status --json` renders) to the given file every
+//! `--status-interval-ms` (default 1000) — a zero-dependency way to scrape
+//! a deployment into flat files.
 
 use std::process::ExitCode;
 
@@ -21,6 +27,8 @@ struct Args {
     broker: usize,
     run_secs: Option<u64>,
     epoch: u64,
+    status_file: Option<String>,
+    status_interval: SimDuration,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +36,8 @@ fn parse_args() -> Result<Args, String> {
     let mut broker = None;
     let mut run_secs = None;
     let mut epoch = 0;
+    let mut status_file = None;
+    let mut status_interval_ms = 1_000;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
@@ -52,6 +62,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse::<u64>()
                     .map_err(|_| "--epoch expects a number".to_string())?
             }
+            "--status-file" => status_file = Some(value("--status-file")?),
+            "--status-interval-ms" => {
+                status_interval_ms = value("--status-interval-ms")?
+                    .parse::<u64>()
+                    .map_err(|_| "--status-interval-ms expects milliseconds".to_string())?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -60,12 +76,17 @@ fn parse_args() -> Result<Args, String> {
         broker: broker.ok_or("--broker is required")?,
         run_secs,
         epoch,
+        status_file,
+        status_interval: SimDuration::from_millis(status_interval_ms),
     })
 }
 
 fn run() -> Result<(), String> {
     let args = parse_args().map_err(|e| {
-        format!("{e}\nusage: rebeca-node --config FILE --broker N [--run-secs S] [--epoch E]")
+        format!(
+            "{e}\nusage: rebeca-node --config FILE --broker N [--run-secs S] [--epoch E] \
+             [--status-file PATH] [--status-interval-ms MS]"
+        )
     })?;
     let cluster = ClusterConfig::load(&args.config).map_err(|e| e.to_string())?;
     if args.broker >= cluster.endpoints.len() {
@@ -94,15 +115,38 @@ fn run() -> Result<(), String> {
     use std::io::Write;
     let _ = std::io::stdout().flush();
 
+    let mut status_sink = match &args.status_file {
+        Some(path) => Some(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot open status file {path:?}: {e}"))?,
+        ),
+        None => None,
+    };
+
     let slice = SimDuration::from_millis(250);
     let deadline = args
         .run_secs
         .map(|secs| system.now() + SimDuration::from_secs(secs));
+    let mut next_status = system.now();
     loop {
         let now = system.now();
         if let Some(deadline) = deadline {
             if now >= deadline {
                 break;
+            }
+        }
+        if let Some(sink) = status_sink.as_mut() {
+            if now >= next_status {
+                next_status = now + args.status_interval;
+                // One status report per line: the same JSON shape
+                // `rebeca-ctl status --json` prints per broker.
+                if writeln!(sink, "{}", system.status().to_json()).is_err() {
+                    eprintln!("rebeca-node: status file write failed; disabling snapshots");
+                    status_sink = None;
+                }
             }
         }
         system.run_until(now + slice);

@@ -22,7 +22,13 @@
 //!    [`rebeca_core::driver_util`];
 //! 4. **deployment harness** — the `rebeca-node` binary hosts one broker
 //!    process from a [`ClusterConfig`] file; client processes embed the
-//!    driver through [`SystemBuilderTcp::build_tcp`].
+//!    driver through [`SystemBuilderTcp::build_tcp`];
+//! 5. **status plane** ([`admin`] + the `rebeca-ctl` binary) — a
+//!    `StatusRequest`/`StatusReport` admin frame pair served live from the
+//!    driver's event loop: routing-table sizes, WAL depth and checkpoint
+//!    age, restart epochs, per-link heartbeat freshness, relocation
+//!    counters and hand-off latency histograms, plus a resumable tail of
+//!    the bounded observability journal ([`rebeca_obs`]).
 //!
 //! # Quick start (single process, loopback TCP)
 //!
@@ -55,12 +61,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 mod config;
 mod endpoint;
 mod link;
 mod tcp;
 pub mod wire;
 
+pub use admin::{fetch_status, AdminError};
 pub use config::{ClusterConfig, ClusterConfigError};
 pub use endpoint::{Endpoint, ParseEndpointError};
 pub use tcp::{NetConfig, SystemBuilderTcp, TcpDriver};

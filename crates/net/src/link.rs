@@ -68,16 +68,49 @@ pub(crate) enum Inbound {
         /// The message.
         message: Message,
     },
+    /// A liveness beacon from an identified peer (a heartbeat before the
+    /// connection's `Hello` has no sender and is dropped at the reader).
+    Heartbeat {
+        /// The peer the connection was introduced by.
+        from: NodeId,
+        /// The peer's restart epoch.
+        epoch: u64,
+    },
+    /// An admin status request; the driver answers by writing a
+    /// [`Frame::StatusReport`] straight back onto `reply`.
+    Status {
+        /// A clone of the requesting connection's stream to answer on.
+        reply: TcpStream,
+        /// Journal cursor: when set, include events with sequence numbers
+        /// strictly greater than this.
+        events_after: Option<u64>,
+    },
+    /// A writer's outbound connection changed state: established (`up`)
+    /// or lost (`!up`).
+    Link {
+        /// The peer the writer dials.
+        peer: NodeId,
+        /// Whether the connection is now established.
+        up: bool,
+    },
 }
 
 /// Spawns the writer thread for one outbound connection: dial (with retry
 /// until `shutdown`), handshake with `hello`, then pump frames from `rx`,
 /// heart-beating after `heartbeat` of idleness.  Exits when the channel
 /// disconnects, the socket breaks, or `shutdown` is raised.
+///
+/// Link state transitions ([`Inbound::Link`]) are reported into `events`:
+/// `up` once the dial + handshake succeeds, `down` when an established
+/// connection is lost (dial retries and orderly shutdown are not "down" —
+/// the link was never up, or the whole driver is going away).
+#[allow(clippy::too_many_arguments)] // one flat knob set per connection, named at the sole call site
 pub(crate) fn spawn_writer(
     target: Endpoint,
+    peer: NodeId,
     hello: Frame,
     rx: Receiver<Frame>,
+    events: Sender<Inbound>,
     shutdown: Arc<AtomicBool>,
     heartbeat: Duration,
     dial_retry: Duration,
@@ -97,8 +130,10 @@ pub(crate) fn spawn_writer(
         };
         let _ = stream.set_nodelay(true);
         if stream.write_all(&hello.encode_framed()).is_err() {
+            let _ = events.send(Inbound::Link { peer, up: false });
             return;
         }
+        let _ = events.send(Inbound::Link { peer, up: true });
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 return;
@@ -133,6 +168,7 @@ pub(crate) fn spawn_writer(
                                  closing link to {target}",
                                 bytes.len()
                             );
+                            let _ = events.send(Inbound::Link { peer, up: false });
                             return;
                         }
                     }
@@ -141,6 +177,7 @@ pub(crate) fn spawn_writer(
                     // Reconnection with epoch fencing is a ROADMAP
                     // follow-up; today a dead peer ends the link.
                     eprintln!("rebeca-net: link to {target} broke: {e}");
+                    let _ = events.send(Inbound::Link { peer, up: false });
                     return;
                 }
             }
@@ -222,6 +259,10 @@ pub(crate) fn spawn_reader(
         let mut stream = stream;
         let mut buf: Vec<u8> = Vec::with_capacity(4096);
         let mut chunk = [0u8; 16 * 1024];
+        // Who is on the other end, learned from the connection's Hello —
+        // needed to attribute heartbeats (admin connections never say
+        // Hello, so their heartbeats, if any, stay anonymous and dropped).
+        let mut peer: Option<NodeId> = None;
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 return;
@@ -264,14 +305,33 @@ pub(crate) fn spawn_reader(
                         epoch,
                         listen,
                         delay,
-                    } => Inbound::Hello {
-                        from,
-                        to,
-                        epoch,
-                        listen,
-                        delay,
+                    } => {
+                        peer = Some(from);
+                        Inbound::Hello {
+                            from,
+                            to,
+                            epoch,
+                            listen,
+                            delay,
+                        }
+                    }
+                    Frame::Heartbeat { epoch } => match peer {
+                        Some(from) => Inbound::Heartbeat { from, epoch },
+                        None => continue,
                     },
-                    Frame::Heartbeat { .. } => continue,
+                    Frame::StatusRequest { events_after } => match stream.try_clone() {
+                        Ok(reply) => Inbound::Status {
+                            reply,
+                            events_after,
+                        },
+                        Err(e) => {
+                            eprintln!("rebeca-net: cannot answer status request: {e}");
+                            continue;
+                        }
+                    },
+                    // A report arriving at a serving node is a confused
+                    // client; ignore it rather than kill the connection.
+                    Frame::StatusReport(_) => continue,
                     Frame::Message {
                         from,
                         to,

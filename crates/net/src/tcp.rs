@@ -33,6 +33,7 @@
 //! `DelayModel::Constant(0)`.
 
 use std::collections::{BTreeSet, HashMap};
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -43,8 +44,9 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use rebeca_core::driver_util::{FifoClamp, PendingQueue, WallClock};
+use rebeca_core::driver_util::{broker_status, FifoClamp, PendingQueue, WallClock};
 use rebeca_core::{Driver, MobilitySystem, RebecaError, SystemBuilder, SystemNode};
+use rebeca_obs::{LinkStatus, StatusReport};
 use rebeca_sim::{Context, DelayModel, Incoming, Metrics, Node, NodeId, SimDuration, SimTime};
 
 use crate::endpoint::Endpoint;
@@ -179,6 +181,16 @@ pub struct TcpDriver {
     pending: HashMap<usize, PendingQueue>,
     /// Outbound connections: `(local node, peer node)` → frame queue.
     writers: HashMap<(usize, usize), Sender<Frame>>,
+    /// When each peer was last heard from (any frame on an inbound
+    /// connection) — the source of `last_heartbeat_age_ms` in status
+    /// reports.
+    last_seen: HashMap<usize, Instant>,
+    /// Whether the outbound connection to a peer is currently established,
+    /// as reported by its writer thread.
+    link_up: HashMap<usize, bool>,
+    /// A handle on the inbound event channel, handed to writer threads so
+    /// they can report link state transitions.
+    incoming_tx: Sender<Inbound>,
     incoming_rx: Receiver<Inbound>,
     clock: WallClock,
     rng: StdRng,
@@ -243,7 +255,7 @@ impl TcpDriver {
         };
         let (incoming_tx, incoming_rx) = channel();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let acceptor = spawn_acceptor(listener, incoming_tx, shutdown.clone());
+        let acceptor = spawn_acceptor(listener, incoming_tx.clone(), shutdown.clone());
         let seed = cfg.seed;
         Ok(Self {
             cfg,
@@ -258,6 +270,9 @@ impl TcpDriver {
             clamp_local: FifoClamp::new(),
             pending: HashMap::new(),
             writers: HashMap::new(),
+            last_seen: HashMap::new(),
+            link_up: HashMap::new(),
+            incoming_tx,
             incoming_rx,
             clock: WallClock::anchored_now(SimTime::ZERO),
             rng: StdRng::seed_from_u64(seed),
@@ -317,8 +332,10 @@ impl TcpDriver {
             let (tx, rx) = channel();
             spawn_writer(
                 target,
+                peer,
                 hello,
                 rx,
+                self.incoming_tx.clone(),
                 self.shutdown.clone(),
                 self.cfg.heartbeat,
                 self.cfg.dial_retry,
@@ -339,6 +356,7 @@ impl TcpDriver {
                 delay,
             } => {
                 self.learned.insert(from.index(), listen);
+                self.last_seen.insert(from.index(), Instant::now());
                 let known = self.peer_epochs.entry(from.index()).or_insert(epoch);
                 *known = (*known).max(epoch);
                 self.metrics.incr("net.hello_in");
@@ -362,6 +380,7 @@ impl TcpDriver {
                 delay,
                 message,
             } => {
+                self.last_seen.insert(from.index(), Instant::now());
                 if !self.is_local(to.index()) {
                     self.metrics.incr("net.frames_misrouted");
                     return;
@@ -373,7 +392,122 @@ impl TcpDriver {
                     .expect("local node has a queue")
                     .push(due, Incoming::Message { from, message });
             }
+            Inbound::Heartbeat { from, epoch } => {
+                self.last_seen.insert(from.index(), Instant::now());
+                let known = self.peer_epochs.entry(from.index()).or_insert(epoch);
+                *known = (*known).max(epoch);
+                self.metrics.incr("net.heartbeats_in");
+                if self.metrics.journal_enabled() {
+                    let now = self.clock.now();
+                    self.metrics.record_event(
+                        now,
+                        "link.heartbeat",
+                        format!("peer={from} epoch={epoch}"),
+                    );
+                }
+            }
+            Inbound::Link { peer, up } => {
+                self.link_up.insert(peer.index(), up);
+                let (counter, kind) = if up {
+                    ("net.link_up", "link.up")
+                } else {
+                    ("net.link_down", "link.down")
+                };
+                self.metrics.incr(counter);
+                if self.metrics.journal_enabled() {
+                    let now = self.clock.now();
+                    self.metrics.record_event(now, kind, format!("peer={peer}"));
+                }
+            }
+            Inbound::Status {
+                mut reply,
+                events_after,
+            } => {
+                self.metrics.incr("net.status_requests");
+                let report = self.status_report(events_after);
+                // Best effort: a requester that hung up mid-flight loses
+                // its own report, nothing else.
+                if reply
+                    .write_all(&Frame::StatusReport(report).encode_framed())
+                    .is_err()
+                {
+                    self.metrics.incr("net.status_reply_failed");
+                }
+            }
         }
+    }
+
+    /// Builds the live status report this process serves: one
+    /// [`rebeca_obs::BrokerStatus`] per hosted broker, with real link
+    /// liveness, plus the journal tail past `events_after` when requested.
+    fn status_report(&self, events_after: Option<u64>) -> StatusReport {
+        let now = self.clock.now();
+        let mut brokers: Vec<_> = self
+            .nodes
+            .iter()
+            .filter_map(|(&index, node)| match node {
+                SystemNode::Broker(broker) => {
+                    // One incarnation counter per broker: the process
+                    // restart epoch and the WAL generation both count
+                    // restarts, so report whichever has seen more.
+                    let restart_epoch = self.cfg.epoch.max(broker.machine().generation());
+                    Some(broker_status(
+                        index as u64,
+                        broker,
+                        &self.metrics,
+                        now,
+                        restart_epoch,
+                        self.links_of(index),
+                    ))
+                }
+                SystemNode::Client(_) => None,
+            })
+            .collect();
+        brokers.sort_by_key(|b| b.broker);
+        let events = match events_after {
+            Some(seq) => self.metrics.journal().events_after(seq).cloned().collect(),
+            None => Vec::new(),
+        };
+        StatusReport {
+            now_micros: now.as_micros(),
+            node_count: self.node_count() as u64,
+            brokers,
+            events,
+        }
+    }
+
+    /// Link liveness for one hosted broker: its neighbours, with connection
+    /// state from the writer threads and freshness from inbound traffic.
+    fn links_of(&self, index: usize) -> Vec<LinkStatus> {
+        self.neighbours
+            .get(&index)
+            .map(|neighbours| {
+                neighbours
+                    .iter()
+                    .map(|peer| {
+                        let p = peer.index();
+                        if self.is_local(p) {
+                            // In-process links cannot drop and carry no
+                            // heartbeats.
+                            LinkStatus {
+                                peer: p as u64,
+                                connected: true,
+                                last_heartbeat_age_ms: None,
+                            }
+                        } else {
+                            LinkStatus {
+                                peer: p as u64,
+                                connected: self.link_up.get(&p).copied().unwrap_or(false),
+                                last_heartbeat_age_ms: self
+                                    .last_seen
+                                    .get(&p)
+                                    .map(|at| at.elapsed().as_millis() as u64),
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Drains everything the reader threads delivered so far.
@@ -674,6 +808,10 @@ impl Driver for TcpDriver {
 
     fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
+    }
+
+    fn status(&self) -> StatusReport {
+        self.status_report(None)
     }
 }
 

@@ -15,11 +15,13 @@
 //! `crc32` is the IEEE CRC-32 of the payload.  The payload starts with a
 //! one-byte frame kind:
 //!
-//! | kind | frame       | contents                                          |
-//! |------|-------------|---------------------------------------------------|
-//! | 1    | `Hello`     | from, to, epoch, listen endpoint, link delay model |
-//! | 2    | `Heartbeat` | epoch                                             |
-//! | 3    | `Message`   | from, to, sampled delay, encoded [`Message`]      |
+//! | kind | frame           | contents                                          |
+//! |------|-----------------|---------------------------------------------------|
+//! | 1    | `Hello`         | from, to, epoch, listen endpoint, link delay model |
+//! | 2    | `Heartbeat`     | epoch                                             |
+//! | 3    | `Message`       | from, to, sampled delay, encoded [`Message`]      |
+//! | 4    | `StatusRequest` | optional journal cursor (`events_after`)          |
+//! | 5    | `StatusReport`  | encoded [`StatusReport`] snapshot                 |
 //!
 //! A connection's first frame is always the [`Frame::Hello`] handshake: it
 //! names the sending node, the node the connection feeds, the sender's
@@ -44,6 +46,7 @@ use rebeca_mobility::codec::{
     crc32, put_delivery, put_envelope, put_filter, put_node, put_notification, put_str, put_u16,
     put_u32, put_u64, put_u8, ByteReader, DecodeError,
 };
+use rebeca_obs::{BrokerStatus, Histogram, LinkStatus, ObsEvent, StatusReport};
 use rebeca_sim::{DelayModel, NodeId};
 
 use crate::endpoint::Endpoint;
@@ -58,6 +61,8 @@ pub const FRAME_HEADER_LEN: usize = 8;
 const KIND_HELLO: u8 = 1;
 const KIND_HEARTBEAT: u8 = 2;
 const KIND_MESSAGE: u8 = 3;
+const KIND_STATUS_REQUEST: u8 = 4;
+const KIND_STATUS_REPORT: u8 = 5;
 
 const MSG_ATTACH: u8 = 1;
 const MSG_DETACH: u8 = 2;
@@ -177,6 +182,19 @@ pub enum Frame {
         /// The protocol message.
         message: Message,
     },
+    /// Admin request for a live [`StatusReport`].  Sent by `rebeca-ctl` (or
+    /// any monitoring client) as the *only* frame on a fresh connection —
+    /// no `Hello` handshake required; the server answers with one
+    /// [`Frame::StatusReport`] and the requester closes the connection.
+    StatusRequest {
+        /// When set, the report carries the journal events with sequence
+        /// numbers strictly greater than this cursor (bounded by the
+        /// journal's ring capacity), making `rebeca-ctl tail` resumable.
+        /// `None` asks for a snapshot without events.
+        events_after: Option<u64>,
+    },
+    /// Admin reply carrying the serving process's live [`StatusReport`].
+    StatusReport(StatusReport),
 }
 
 fn put_endpoint(buf: &mut Vec<u8>, ep: &Endpoint) {
@@ -286,6 +304,193 @@ fn read_plan(r: &mut ByteReader<'_>) -> Result<AdaptivityPlan, DecodeError> {
         steps.push(r.u64()? as usize);
     }
     Ok(AdaptivityPlan::from_steps(steps))
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, value: Option<u64>) {
+    match value {
+        Some(v) => {
+            put_u8(buf, 1);
+            put_u64(buf, v);
+        }
+        None => put_u8(buf, 0),
+    }
+}
+
+fn read_opt_u64(r: &mut ByteReader<'_>) -> Result<Option<u64>, DecodeError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()?),
+        _ => return Err(DecodeError),
+    })
+}
+
+// Histograms go over the wire sparsely: the sum plus (bucket index, count)
+// pairs for the non-empty buckets only.  The total count is derived on
+// decode, so a tampered frame cannot desynchronise count and buckets.
+fn put_histogram(buf: &mut Vec<u8>, h: &Histogram) {
+    put_u64(buf, h.sum());
+    let nonzero: Vec<_> = h
+        .bucket_counts()
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .collect();
+    put_u32(buf, nonzero.len() as u32);
+    for (i, &n) in nonzero {
+        put_u8(buf, i as u8);
+        put_u64(buf, n);
+    }
+}
+
+fn read_histogram(r: &mut ByteReader<'_>) -> Result<Histogram, DecodeError> {
+    let sum = r.u64()?;
+    let n = r.u32()? as usize;
+    if n > rebeca_obs::HISTOGRAM_BUCKETS {
+        return Err(DecodeError);
+    }
+    let mut buckets = [0u64; rebeca_obs::HISTOGRAM_BUCKETS];
+    for _ in 0..n {
+        let idx = r.u8()? as usize;
+        if idx >= rebeca_obs::HISTOGRAM_BUCKETS {
+            return Err(DecodeError);
+        }
+        buckets[idx] = r.u64()?;
+    }
+    Ok(Histogram::from_parts(buckets, sum))
+}
+
+fn put_link_status(buf: &mut Vec<u8>, link: &LinkStatus) {
+    put_u64(buf, link.peer);
+    put_u8(buf, u8::from(link.connected));
+    put_opt_u64(buf, link.last_heartbeat_age_ms);
+}
+
+fn read_link_status(r: &mut ByteReader<'_>) -> Result<LinkStatus, DecodeError> {
+    Ok(LinkStatus {
+        peer: r.u64()?,
+        connected: match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(DecodeError),
+        },
+        last_heartbeat_age_ms: read_opt_u64(r)?,
+    })
+}
+
+fn put_obs_event(buf: &mut Vec<u8>, event: &ObsEvent) {
+    put_u64(buf, event.seq);
+    put_u64(buf, event.at_micros);
+    put_str(buf, &event.kind);
+    put_str(buf, &event.detail);
+}
+
+fn read_obs_event(r: &mut ByteReader<'_>) -> Result<ObsEvent, DecodeError> {
+    Ok(ObsEvent {
+        seq: r.u64()?,
+        at_micros: r.u64()?,
+        kind: r.string()?,
+        detail: r.string()?,
+    })
+}
+
+fn put_broker_status(buf: &mut Vec<u8>, b: &BrokerStatus) {
+    put_u64(buf, b.broker);
+    put_u64(buf, b.restart_epoch);
+    put_u64(buf, b.generation);
+    put_u64(buf, b.routing_entries);
+    put_u64(buf, b.wal_depth);
+    put_u64(buf, b.wal_since_checkpoint);
+    put_opt_u64(buf, b.last_checkpoint_age_ms);
+    put_u64(buf, b.counterparts);
+    put_u64(buf, b.buffered_deliveries);
+    put_u64(buf, b.pending_relocations);
+    put_u32(buf, b.relocations.len() as u32);
+    for (name, count) in &b.relocations {
+        put_str(buf, name);
+        put_u64(buf, *count);
+    }
+    put_histogram(buf, &b.handoff_latency_micros);
+    put_u32(buf, b.links.len() as u32);
+    for link in &b.links {
+        put_link_status(buf, link);
+    }
+}
+
+fn read_broker_status(r: &mut ByteReader<'_>) -> Result<BrokerStatus, DecodeError> {
+    let broker = r.u64()?;
+    let restart_epoch = r.u64()?;
+    let generation = r.u64()?;
+    let routing_entries = r.u64()?;
+    let wal_depth = r.u64()?;
+    let wal_since_checkpoint = r.u64()?;
+    let last_checkpoint_age_ms = read_opt_u64(r)?;
+    let counterparts = r.u64()?;
+    let buffered_deliveries = r.u64()?;
+    let pending_relocations = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut relocations = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = r.string()?;
+        relocations.push((name, r.u64()?));
+    }
+    let handoff_latency_micros = read_histogram(r)?;
+    let n = r.u32()? as usize;
+    let mut links = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        links.push(read_link_status(r)?);
+    }
+    Ok(BrokerStatus {
+        broker,
+        restart_epoch,
+        generation,
+        routing_entries,
+        wal_depth,
+        wal_since_checkpoint,
+        last_checkpoint_age_ms,
+        counterparts,
+        buffered_deliveries,
+        pending_relocations,
+        relocations,
+        handoff_latency_micros,
+        links,
+    })
+}
+
+/// Encodes a [`StatusReport`] (without any frame header) into `buf`.
+pub fn put_status_report(buf: &mut Vec<u8>, report: &StatusReport) {
+    put_u64(buf, report.now_micros);
+    put_u64(buf, report.node_count);
+    put_u32(buf, report.brokers.len() as u32);
+    for b in &report.brokers {
+        put_broker_status(buf, b);
+    }
+    put_u32(buf, report.events.len() as u32);
+    for e in &report.events {
+        put_obs_event(buf, e);
+    }
+}
+
+/// Decodes a [`StatusReport`] from the reader (the inverse of
+/// [`put_status_report`]).
+pub fn read_status_report(r: &mut ByteReader<'_>) -> Result<StatusReport, DecodeError> {
+    let now_micros = r.u64()?;
+    let node_count = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut brokers = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        brokers.push(read_broker_status(r)?);
+    }
+    let n = r.u32()? as usize;
+    let mut events = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        events.push(read_obs_event(r)?);
+    }
+    Ok(StatusReport {
+        now_micros,
+        node_count,
+        brokers,
+        events,
+    })
 }
 
 /// Encodes a [`Message`] (without any frame header) into `buf`.
@@ -581,6 +786,14 @@ impl Frame {
                 put_u64(&mut buf, *delay_micros);
                 put_message(&mut buf, message);
             }
+            Frame::StatusRequest { events_after } => {
+                put_u8(&mut buf, KIND_STATUS_REQUEST);
+                put_opt_u64(&mut buf, *events_after);
+            }
+            Frame::StatusReport(report) => {
+                put_u8(&mut buf, KIND_STATUS_REPORT);
+                put_status_report(&mut buf, report);
+            }
         }
         buf
     }
@@ -613,6 +826,10 @@ impl Frame {
                 delay_micros: r.u64()?,
                 message: read_message(&mut r)?,
             },
+            KIND_STATUS_REQUEST => Frame::StatusRequest {
+                events_after: read_opt_u64(&mut r)?,
+            },
+            KIND_STATUS_REPORT => Frame::StatusReport(read_status_report(&mut r)?),
             kind => return Err(WireError::UnknownFrameKind(kind)),
         };
         if !r.done() {
@@ -709,6 +926,95 @@ mod tests {
             assert_eq!(consumed, bytes.len());
             assert_eq!(decoded, frame);
         }
+    }
+
+    #[test]
+    fn status_frames_roundtrip() {
+        let mut histogram = Histogram::default();
+        for micros in [90, 1_500, 1_800, 250_000] {
+            histogram.record(micros);
+        }
+        let report = StatusReport {
+            now_micros: 12_345_678,
+            node_count: 5,
+            brokers: vec![BrokerStatus {
+                broker: 1,
+                restart_epoch: 2,
+                generation: 3,
+                routing_entries: 14,
+                wal_depth: 9,
+                wal_since_checkpoint: 4,
+                last_checkpoint_age_ms: Some(125),
+                counterparts: 1,
+                buffered_deliveries: 3,
+                pending_relocations: 1,
+                relocations: vec![
+                    ("mobility.relocations_started".into(), 2),
+                    ("mobility.replays".into(), 1),
+                ],
+                handoff_latency_micros: histogram,
+                links: vec![
+                    LinkStatus {
+                        peer: 0,
+                        connected: true,
+                        last_heartbeat_age_ms: Some(48),
+                    },
+                    LinkStatus {
+                        peer: 2,
+                        connected: false,
+                        last_heartbeat_age_ms: None,
+                    },
+                ],
+            }],
+            events: vec![ObsEvent {
+                seq: 7,
+                at_micros: 11_000_000,
+                kind: "relocation.settled".into(),
+                detail: "broker=1 client=1 latency_micros=1500".into(),
+            }],
+        };
+        let frames = [
+            Frame::StatusRequest { events_after: None },
+            Frame::StatusRequest {
+                events_after: Some(41),
+            },
+            Frame::StatusReport(report),
+        ];
+        for frame in frames {
+            let bytes = frame.encode_framed();
+            let (decoded, consumed) = Frame::decode_framed(&bytes).expect("roundtrip");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn status_report_histogram_survives_the_wire_with_quantiles() {
+        let mut histogram = Histogram::default();
+        for _ in 0..98 {
+            histogram.record(100);
+        }
+        histogram.record(5_000);
+        histogram.record(100_000);
+        let report = StatusReport {
+            now_micros: 1,
+            node_count: 1,
+            brokers: vec![BrokerStatus {
+                broker: 0,
+                handoff_latency_micros: histogram,
+                ..BrokerStatus::default()
+            }],
+            events: Vec::new(),
+        };
+        let bytes = Frame::StatusReport(report).encode_framed();
+        let (decoded, _) = Frame::decode_framed(&bytes).unwrap();
+        let Frame::StatusReport(report) = decoded else {
+            panic!("expected status report");
+        };
+        let h = &report.brokers[0].handoff_latency_micros;
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.p99(), 8_191);
     }
 
     #[test]

@@ -40,6 +40,11 @@ impl Drop for Cluster {
     }
 }
 
+/// Where broker 0's periodic status snapshots land: next to the config.
+fn status_file_path(config_path: &std::path::Path) -> std::path::PathBuf {
+    config_path.with_file_name("status0.jsonl")
+}
+
 /// Probes three free loopback ports by binding ephemeral listeners.
 fn probe_ports() -> Vec<u16> {
     let probes: Vec<std::net::TcpListener> = (0..3)
@@ -54,6 +59,9 @@ fn probe_ports() -> Vec<u16> {
 /// Spawns the three broker processes and waits for each to report
 /// `listening`.  Returns `None` when any child dies early (port stolen) so
 /// the caller can retry with fresh ports.
+///
+/// Broker 0 additionally writes periodic status snapshots next to the
+/// config (`--status-file`), smoke-tested after the scenario.
 fn spawn_cluster(config_path: &std::path::Path) -> Option<Cluster> {
     let binary = env!("CARGO_BIN_EXE_rebeca-node");
     let mut cluster = Cluster {
@@ -61,13 +69,22 @@ fn spawn_cluster(config_path: &std::path::Path) -> Option<Cluster> {
     };
     let (ready_tx, ready_rx) = channel();
     for broker in 0..3 {
-        let mut child = Command::new(binary)
+        let mut command = Command::new(binary);
+        command
             .arg("--config")
             .arg(config_path)
             .arg("--broker")
             .arg(broker.to_string())
             .arg("--run-secs")
-            .arg("120")
+            .arg("120");
+        if broker == 0 {
+            command
+                .arg("--status-file")
+                .arg(status_file_path(config_path))
+                .arg("--status-interval-ms")
+                .arg("200");
+        }
+        let mut child = command
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()
@@ -140,7 +157,7 @@ fn three_broker_processes_relocation_is_byte_identical_to_the_simulator() {
     // This process is the client process: consumer + producer sessions over
     // TCP against the three broker processes.
     let mut client_sys = common::builder(1)
-        .build_tcp(NetConfig::new(endpoints).seed(5))
+        .build_tcp(NetConfig::new(endpoints.clone()).seed(5))
         .expect("client system builds");
     let tcp_log = drive_scenario(&mut client_sys, 60_000);
 
@@ -150,6 +167,71 @@ fn three_broker_processes_relocation_is_byte_identical_to_the_simulator() {
         reference_sim_log(),
         "per-client delivery log must be byte-identical to the SimDriver run"
     );
+
+    // Operator smoke: `rebeca-ctl status --json` against the live cluster
+    // reaches every broker process and reports it healthy.
+    let ctl = Command::new(env!("CARGO_BIN_EXE_rebeca-ctl"))
+        .arg("status")
+        .arg("--config")
+        .arg(&config_path)
+        .arg("--json")
+        .arg("--timeout-ms")
+        .arg("5000")
+        .output()
+        .expect("run rebeca-ctl");
+    assert!(
+        ctl.status.success(),
+        "rebeca-ctl failed: {}",
+        String::from_utf8_lossy(&ctl.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&ctl.stdout);
+    assert_eq!(
+        stdout.matches("\"reachable\":true").count(),
+        3,
+        "every broker process answers: {stdout}"
+    );
+    assert!(
+        !stdout.contains("\"reachable\":false"),
+        "no broker is unreachable: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"wal_depth\"") && stdout.contains("\"handoff_latency_micros\""),
+        "reports carry the documented fields: {stdout}"
+    );
+
+    // Broker 0 was started with `--status-file --status-interval-ms 200`:
+    // by now (a multi-second scenario) it has appended JSON-lines
+    // snapshots carrying the same report shape.
+    let snapshots = std::fs::read_to_string(status_file_path(&config_path))
+        .expect("broker 0 wrote its status file");
+    let lines: Vec<&str> = snapshots.lines().collect();
+    assert!(
+        !lines.is_empty(),
+        "at least one periodic snapshot was written"
+    );
+    assert!(
+        lines
+            .iter()
+            .all(|l| l.starts_with('{') && l.contains("\"now_micros\"") && l.ends_with('}')),
+        "every snapshot line is a self-contained JSON report: {snapshots}"
+    );
+
+    // Structured freshness checks straight off the admin protocol: every
+    // broker's wire links are up, with recent heartbeats.
+    for (i, endpoint) in endpoints.iter().enumerate() {
+        let report = rebeca_net::fetch_status(endpoint, None, Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("broker {i} unreachable: {e}"));
+        assert_eq!(report.brokers.len(), 1, "one broker per process");
+        let broker = &report.brokers[0];
+        assert_eq!(broker.broker, i as u64);
+        for link in broker.links.iter().filter(|l| l.peer < 3) {
+            assert!(link.connected, "broker {i} link to {} is down", link.peer);
+            let age = link
+                .last_heartbeat_age_ms
+                .unwrap_or_else(|| panic!("broker {i} never heard peer {}", link.peer));
+            assert!(age < 10_000, "stale heartbeat from {}: {age}ms", link.peer);
+        }
+    }
 
     drop(cluster);
     let _ = std::fs::remove_dir_all(&tmp);

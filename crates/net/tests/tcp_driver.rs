@@ -123,6 +123,137 @@ fn split_broker_processes_deliver_end_to_end() {
     assert!(b.metrics().counter("net.frames_in") > 0);
 }
 
+/// The status plane over real TCP: after the scripted relocation, every
+/// broker process answers a `StatusRequest` with live structured state —
+/// routing tables, WAL depth, restart epoch, per-link heartbeat freshness,
+/// the hand-off latency histogram, and a resumable journal tail.
+#[test]
+fn status_plane_reports_live_cluster_state() {
+    let probe_a = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let probe_b = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let port_a = probe_a.local_addr().unwrap().port();
+    let port_b = probe_b.local_addr().unwrap().port();
+    drop((probe_a, probe_b));
+    let endpoints = vec![
+        Endpoint::new("127.0.0.1", port_a),
+        Endpoint::new("127.0.0.1", port_b),
+        Endpoint::new("127.0.0.1", port_b),
+    ];
+
+    // Broker 0 alone (restart epoch 2), brokers 1-2 together: the 0-1 edge
+    // crosses the wire, so link liveness and heartbeat ages are real.
+    let sys_a = builder(1)
+        .build_tcp(
+            NetConfig::new(endpoints.clone())
+                .host(0)
+                .epoch(2)
+                .heartbeat(Duration::from_millis(50))
+                .seed(31),
+        )
+        .expect("process A builds");
+    let sys_b = builder(1)
+        .build_tcp(
+            NetConfig::new(endpoints.clone())
+                .host(1)
+                .host(2)
+                .heartbeat(Duration::from_millis(50))
+                .seed(32),
+        )
+        .expect("process B builds");
+    let stop = Arc::new(AtomicBool::new(false));
+    let pump_a = pump_in_background(sys_a, stop.clone());
+    let pump_b = pump_in_background(sys_b, stop.clone());
+
+    let mut client_sys = builder(1)
+        .build_tcp(NetConfig::new(endpoints.clone()).seed(33))
+        .expect("client system builds");
+    let tcp_log = drive_scenario(&mut client_sys, 30_000);
+    assert_exactly_once(&tcp_log);
+
+    let timeout = Duration::from_secs(5);
+    let report_a =
+        rebeca_net::fetch_status(&endpoints[0], None, timeout).expect("process A serves status");
+    let report_b =
+        rebeca_net::fetch_status(&endpoints[1], None, timeout).expect("process B serves status");
+
+    // Process A hosts exactly broker 0; process B brokers 1 and 2.
+    assert_eq!(
+        report_a
+            .brokers
+            .iter()
+            .map(|b| b.broker)
+            .collect::<Vec<_>>(),
+        vec![0]
+    );
+    assert_eq!(
+        report_b
+            .brokers
+            .iter()
+            .map(|b| b.broker)
+            .collect::<Vec<_>>(),
+        vec![1, 2]
+    );
+
+    // Routing state is installed somewhere in the cluster.
+    let routing_total: u64 = report_a
+        .brokers
+        .iter()
+        .chain(&report_b.brokers)
+        .map(|b| b.routing_entries)
+        .sum();
+    assert!(routing_total > 0, "no routing entries anywhere");
+
+    // The configured restart epoch is surfaced.
+    assert_eq!(report_a.brokers[0].restart_epoch, 2);
+
+    // Broker 0's wire link to broker 1 is up and recently heard from.
+    let link_to_1 = report_a.brokers[0]
+        .links
+        .iter()
+        .find(|l| l.peer == 1)
+        .expect("broker 0 reports its link to broker 1");
+    assert!(link_to_1.connected, "link 0->1 is up");
+    let age = link_to_1
+        .last_heartbeat_age_ms
+        .expect("broker 1 has been heard from");
+    assert!(age < 10_000, "heartbeat age is fresh, got {age}ms");
+
+    // The relocation settled at the new border broker (broker 1, process
+    // B): its hand-off latency histogram has non-zero quantiles.
+    let histogram = &report_b.brokers[0].handoff_latency_micros;
+    assert!(histogram.count() > 0, "hand-off latency was recorded");
+    assert!(histogram.p50() > 0 && histogram.p99() >= histogram.p50());
+    let relocation_counters: u64 = report_b
+        .brokers
+        .iter()
+        .flat_map(|b| &b.relocations)
+        .map(|(_, count)| count)
+        .sum();
+    assert!(relocation_counters > 0, "relocation counters in the report");
+
+    // The journal tail is resumable: a cursor past the last seq is empty.
+    let tail = rebeca_net::fetch_status(&endpoints[1], Some(0), timeout).expect("tail fetch");
+    assert!(!tail.events.is_empty(), "journal events over the wire");
+    let seqs: Vec<u64> = tail.events.iter().map(|e| e.seq).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "seqs increase");
+    assert!(
+        tail.events
+            .iter()
+            .any(|e| e.kind.starts_with("relocation.")),
+        "relocation transitions journaled"
+    );
+    let last = *seqs.last().unwrap();
+    let resumed = rebeca_net::fetch_status(&endpoints[1], Some(last), timeout).expect("resume");
+    assert!(
+        resumed.events.iter().all(|e| e.seq > last),
+        "resumed tail starts strictly after the cursor"
+    );
+
+    stop.store(true, Ordering::SeqCst);
+    let _ = pump_a.join().expect("pump A");
+    let _ = pump_b.join().expect("pump B");
+}
+
 /// The handshake carries node identity and epoch; heartbeats keep an idle
 /// link alive without surfacing as protocol traffic.
 #[test]

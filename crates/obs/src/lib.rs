@@ -1,0 +1,673 @@
+//! Observability core for the Rebeca mobility middleware.
+//!
+//! This crate is dependency-free on purpose: it sits *below* the simulator
+//! (`rebeca-sim` embeds these types in its `Metrics` store) and *below* the
+//! transport (`rebeca-net` ships [`StatusReport`]s over the wire), so it can
+//! only depend on `std`.  Three pieces live here:
+//!
+//! * [`Histogram`] — a fixed-bucket log2 latency histogram: 64 buckets, one
+//!   per bit width, mergeable across threads and nodes by plain bucket-wise
+//!   addition, with p50/p95/p99 extraction.  Recording is two integer ops
+//!   and an array increment — cheap enough for hot paths.
+//! * [`ObsEvent`] / [`EventJournal`] — a bounded per-node structured event
+//!   ring (relocation phase transitions, WAL appends and checkpoints, link
+//!   dial/drop/heartbeat) with monotonic sequence numbers, so an operator
+//!   tail can resume from the last sequence it saw and detect gaps.
+//! * [`StatusReport`] / [`BrokerStatus`] / [`LinkStatus`] — the cluster
+//!   status plane: the answer to a `StatusRequest` admin frame and the
+//!   return value of the `Driver::status()` surface, identical in shape
+//!   whether it comes from a live TCP broker or the deterministic
+//!   simulator.
+//!
+//! All report types render themselves as JSON via hand-rolled `to_json`
+//! methods (the workspace's `serde` is an offline no-op shim); the field
+//! names are a stable operator interface documented in the README's
+//! "Observability" section.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Number of buckets in a [`Histogram`]: one per bit width of a `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Default capacity of an [`EventJournal`] ring.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+/// A fixed-bucket log2 histogram over `u64` samples (latencies in
+/// microseconds, sizes, …).
+///
+/// Bucket `0` holds the value `0`; bucket `i > 0` holds the values with bit
+/// width `i`, i.e. the range `[2^(i-1), 2^i - 1]`.  Quantiles are reported
+/// as the *upper bound* of the bucket containing the requested rank, so
+/// they never under-estimate.  Two histograms merge by bucket-wise
+/// addition, which is how per-thread and per-node recordings aggregate into
+/// a cluster-wide view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+/// The bucket index a value falls into (its bit width, 0 for 0).
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of a bucket.
+fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        63.. => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// The inclusive lower bound of a bucket.
+fn bucket_lower(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i => 1u64 << (i - 1),
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value).min(HISTOGRAM_BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The raw per-bucket counts (index = bit width of the value).
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from raw bucket counts and a sample sum — the
+    /// wire-decode constructor.  The sample count is derived.
+    pub fn from_parts(buckets: [u64; HISTOGRAM_BUCKETS], sum: u64) -> Self {
+        let count = buckets.iter().sum();
+        Self {
+            buckets,
+            count,
+            sum,
+        }
+    }
+
+    /// Adds another histogram's samples into this one (bucket-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The value below which a fraction `q` (in `0.0..=1.0`) of the samples
+    /// fall, reported as the containing bucket's upper bound.  Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The median (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 95th percentile (bucket upper bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The non-empty buckets as `(lower, upper, count)` triples.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_lower(i), bucket_upper(i), n))
+    }
+
+    /// Renders the histogram as a JSON object:
+    /// `{"count":..,"sum":..,"p50":..,"p95":..,"p99":..,"buckets":[[lo,hi,n],..]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.p50(),
+            self.p95(),
+            self.p99()
+        );
+        for (i, (lo, hi, n)) in self.nonzero_buckets().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{lo},{hi},{n}]");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One structured journal entry: something observable happened on this node.
+///
+/// `kind` follows the same dotted naming convention as the counters
+/// (`relocation.holding`, `wal.checkpoint`, `link.heartbeat`, …); `detail`
+/// is free-form `key=value` text for the operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// Monotonic per-journal sequence number (gaps mean the ring evicted
+    /// entries between two tails).
+    pub seq: u64,
+    /// Node-local timestamp in microseconds (virtual time under the
+    /// simulator, wall time since process start under the TCP driver).
+    pub at_micros: u64,
+    /// Dotted event kind, e.g. `"relocation.settled"`.
+    pub kind: String,
+    /// Free-form `key=value` detail text.
+    pub detail: String,
+}
+
+impl ObsEvent {
+    /// Renders the event as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"at_micros\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+            self.seq,
+            self.at_micros,
+            json_escape(&self.kind),
+            json_escape(&self.detail)
+        )
+    }
+}
+
+/// A bounded ring of [`ObsEvent`]s with monotonic sequence numbers.
+///
+/// The ring keeps the most recent `capacity` events; sequence numbers keep
+/// counting across evictions, so a tailing client that remembers the last
+/// sequence it saw can both resume (`events_after`) and detect that it
+/// missed entries (a gap in the numbers).  A capacity of 0 disables the
+/// journal entirely — [`EventJournal::record`] becomes a no-op and
+/// [`EventJournal::enabled`] lets callers skip building the detail string,
+/// which is the cheap guard the hot paths use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventJournal {
+    events: VecDeque<ObsEvent>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl EventJournal {
+    /// Creates a journal retaining at most `capacity` events (0 disables).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: VecDeque::new(),
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    /// `true` when recording is enabled (capacity > 0).  Check this before
+    /// formatting an expensive detail string.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Changes the retention capacity (0 disables and drops all entries).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.events.len() > capacity {
+            self.events.pop_front();
+        }
+    }
+
+    /// Appends an event, evicting the oldest entry when full.  Returns the
+    /// assigned sequence number, or `None` when the journal is disabled.
+    pub fn record(
+        &mut self,
+        at_micros: u64,
+        kind: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Option<u64> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(ObsEvent {
+            seq,
+            at_micros,
+            kind: kind.into(),
+            detail: detail.into(),
+        });
+        Some(seq)
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &ObsEvent> {
+        self.events.iter()
+    }
+
+    /// The retained events with a sequence number strictly greater than
+    /// `seq` — the resumable-tail cursor.
+    pub fn events_after(&self, seq: u64) -> impl Iterator<Item = &ObsEvent> {
+        self.events.iter().filter(move |e| e.seq > seq)
+    }
+
+    /// The sequence number the next recorded event will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drops every retained event, keeping the capacity and the sequence
+    /// counter (a tail spanning the clear still sees monotonic numbers).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Appends another journal's retained events into this one, assigning
+    /// *fresh* sequence numbers from this journal (per-thread journals use
+    /// independent counters, so the original numbers would collide).
+    pub fn merge(&mut self, other: &EventJournal) {
+        for event in other.events() {
+            self.record(event.at_micros, event.kind.clone(), event.detail.clone());
+        }
+    }
+}
+
+/// Liveness of one broker↔peer link as seen from the reporting broker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkStatus {
+    /// Peer broker index.
+    pub peer: u64,
+    /// `true` when the link currently has a live connection (always `true`
+    /// under the in-process drivers, whose links cannot drop).
+    pub connected: bool,
+    /// Milliseconds since the peer was last heard from (heartbeat or any
+    /// frame).  `None` when the peer has never been heard from, or under
+    /// the in-process drivers, which have no heartbeats.
+    pub last_heartbeat_age_ms: Option<u64>,
+}
+
+impl LinkStatus {
+    /// Renders the link status as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"peer\":{},\"connected\":{},\"last_heartbeat_age_ms\":{}}}",
+            self.peer,
+            self.connected,
+            json_opt_u64(self.last_heartbeat_age_ms)
+        )
+    }
+}
+
+/// The status of one broker: routing and WAL state, relocation activity,
+/// link liveness.  One entry per hosted broker in a [`StatusReport`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BrokerStatus {
+    /// Broker index (== its node id in the cluster topology).
+    pub broker: u64,
+    /// Restart epoch: how many incarnations this broker has had.  Under the
+    /// TCP driver this is the larger of the process `--epoch` flag and the
+    /// WAL recovery generation; under the in-process drivers it is the
+    /// recovery generation alone.
+    pub restart_epoch: u64,
+    /// WAL recovery generation (0 for a broker that never recovered).
+    pub generation: u64,
+    /// Number of entries in the content-based routing table.
+    pub routing_entries: u64,
+    /// Number of live records in the handoff write-ahead log.
+    pub wal_depth: u64,
+    /// Records appended since the last checkpoint compaction.
+    pub wal_since_checkpoint: u64,
+    /// Milliseconds since the last checkpoint compaction (`None` when the
+    /// broker never checkpointed).
+    pub last_checkpoint_age_ms: Option<u64>,
+    /// Active mobility counterparts (paper Section 4: stand-ins buffering
+    /// for relocating clients).
+    pub counterparts: u64,
+    /// Notifications currently buffered for relocating clients.
+    pub buffered_deliveries: u64,
+    /// Relocations currently in flight at this broker.
+    pub pending_relocations: u64,
+    /// The `mobility.*` counters, in name order.
+    pub relocations: Vec<(String, u64)>,
+    /// Relocation hand-off latency (ReSubscribe hold to replay settle), in
+    /// microseconds.  Node-local: per-process under the TCP driver,
+    /// cluster-wide under the in-process drivers (one shared metrics
+    /// store); merge across brokers for the cluster view.
+    pub handoff_latency_micros: Histogram,
+    /// Per-link liveness, one entry per topology neighbour.
+    pub links: Vec<LinkStatus>,
+}
+
+impl BrokerStatus {
+    /// Renders the broker status as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"broker\":{},\"restart_epoch\":{},\"generation\":{},\"routing_entries\":{},\
+             \"wal_depth\":{},\"wal_since_checkpoint\":{},\"last_checkpoint_age_ms\":{},\
+             \"counterparts\":{},\"buffered_deliveries\":{},\"pending_relocations\":{},",
+            self.broker,
+            self.restart_epoch,
+            self.generation,
+            self.routing_entries,
+            self.wal_depth,
+            self.wal_since_checkpoint,
+            json_opt_u64(self.last_checkpoint_age_ms),
+            self.counterparts,
+            self.buffered_deliveries,
+            self.pending_relocations,
+        );
+        out.push_str("\"relocations\":{");
+        for (i, (name, value)) in self.relocations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(name), value);
+        }
+        let _ = write!(
+            out,
+            "}},\"handoff_latency_micros\":{},\"links\":[",
+            self.handoff_latency_micros.to_json()
+        );
+        for (i, link) in self.links.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&link.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The answer to a status request: everything one driver (one process under
+/// TCP deployment, the whole cluster under the in-process drivers) knows
+/// about its hosted brokers, plus an optional slice of the event journal.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatusReport {
+    /// Reporting driver's current time in microseconds.
+    pub now_micros: u64,
+    /// Total nodes hosted by the reporting driver (brokers *and* clients).
+    pub node_count: u64,
+    /// One status per hosted broker, in broker-index order.
+    pub brokers: Vec<BrokerStatus>,
+    /// Journal slice: empty unless the request asked to tail from a
+    /// sequence cursor (`StatusRequest::events_after`).
+    pub events: Vec<ObsEvent>,
+}
+
+impl StatusReport {
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"now_micros\":{},\"node_count\":{},\"brokers\":[",
+            self.now_micros, self.node_count
+        );
+        for (i, broker) in self.brokers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&broker.to_json());
+        }
+        out.push_str("],\"events\":[");
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&event.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_width() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1); // 0
+        assert_eq!(counts[1], 1); // 1
+        assert_eq!(counts[2], 2); // 2, 3
+        assert_eq!(counts[3], 2); // 4, 7
+        assert_eq!(counts[4], 1); // 8
+        assert_eq!(counts[10], 1); // 1023
+        assert_eq!(counts[11], 1); // 1024
+        assert_eq!(counts[63], 1); // u64::MAX
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        for _ in 0..98 {
+            h.record(100); // bucket 7: [64, 127]
+        }
+        h.record(5_000); // bucket 13: [4096, 8191]
+        h.record(100_000); // bucket 17: [65536, 131071]
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.p95(), 127);
+        assert_eq!(h.p99(), 8191);
+        assert_eq!(h.quantile(1.0), 131071);
+    }
+
+    #[test]
+    fn histograms_merge_bucket_wise() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1020);
+        assert_eq!(a.bucket_counts()[4], 2);
+    }
+
+    #[test]
+    fn histogram_roundtrips_through_parts() {
+        let mut h = Histogram::new();
+        h.record(7);
+        h.record(900);
+        let again = Histogram::from_parts(*h.bucket_counts(), h.sum());
+        assert_eq!(again, h);
+    }
+
+    #[test]
+    fn journal_is_bounded_with_monotonic_seqs() {
+        let mut j = EventJournal::with_capacity(3);
+        for i in 0..5u64 {
+            assert_eq!(j.record(i, "k", "d"), Some(i));
+        }
+        assert_eq!(j.len(), 3);
+        let seqs: Vec<u64> = j.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]); // oldest evicted, numbering continues
+        let tail: Vec<u64> = j.events_after(3).map(|e| e.seq).collect();
+        assert_eq!(tail, vec![4]);
+        assert_eq!(j.next_seq(), 5);
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing() {
+        let mut j = EventJournal::with_capacity(0);
+        assert!(!j.enabled());
+        assert_eq!(j.record(1, "k", "d"), None);
+        assert!(j.is_empty());
+        j.set_capacity(2);
+        assert!(j.enabled());
+        assert_eq!(j.record(1, "k", "d"), Some(0));
+    }
+
+    #[test]
+    fn journal_merge_renumbers() {
+        let mut a = EventJournal::with_capacity(8);
+        a.record(1, "a", "");
+        let mut b = EventJournal::with_capacity(8);
+        b.record(2, "b1", "");
+        b.record(3, "b2", "");
+        a.merge(&b);
+        let seqs: Vec<u64> = a.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(a.events().nth(1).unwrap().kind, "b1");
+    }
+
+    #[test]
+    fn report_renders_json() {
+        let mut h = Histogram::new();
+        h.record(100);
+        let report = StatusReport {
+            now_micros: 42,
+            node_count: 4,
+            brokers: vec![BrokerStatus {
+                broker: 0,
+                restart_epoch: 1,
+                generation: 1,
+                routing_entries: 3,
+                wal_depth: 2,
+                wal_since_checkpoint: 2,
+                last_checkpoint_age_ms: None,
+                counterparts: 0,
+                buffered_deliveries: 0,
+                pending_relocations: 0,
+                relocations: vec![("mobility.broker_restart".into(), 1)],
+                handoff_latency_micros: h,
+                links: vec![LinkStatus {
+                    peer: 1,
+                    connected: true,
+                    last_heartbeat_age_ms: Some(12),
+                }],
+            }],
+            events: vec![ObsEvent {
+                seq: 7,
+                at_micros: 40,
+                kind: "wal.checkpoint".into(),
+                detail: "depth=1".into(),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\"now_micros\":42,\"node_count\":4,"));
+        assert!(json.contains("\"last_checkpoint_age_ms\":null"));
+        assert!(json.contains("\"last_heartbeat_age_ms\":12"));
+        assert!(json.contains("\"mobility.broker_restart\":1"));
+        assert!(json.contains("\"kind\":\"wal.checkpoint\""));
+        assert!(json.contains("\"p50\":127"));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -57,7 +57,8 @@ mod time;
 mod topology;
 
 pub use delay::DelayModel;
-pub use metrics::{Metrics, Sample};
+pub use metrics::{MetricName, Metrics, Sample};
 pub use network::{Context, Harvest, Incoming, Network, Node, NodeId, ParseNodeIdError};
+pub use rebeca_obs::{EventJournal, Histogram, ObsEvent};
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;

@@ -1,20 +1,41 @@
-//! Simulation metrics: named counters and time-series sampling.
+//! Simulation metrics: named counters, gauges, log2 latency histograms, a
+//! bounded structured event journal, and time-series sampling.
 //!
 //! The experiment harness reproduces the paper's Figure 9 (total number of
 //! messages over time) by periodically sampling counters; individual
 //! protocols additionally record semantic counters such as
-//! `"notification.delivered"` or `"admin.location_update"`.
+//! `"notification.delivered"` or `"admin.location_update"`.  The
+//! observability layer (PR 6) extends the store with the mergeable
+//! [`Histogram`] and [`EventJournal`] primitives of `rebeca-obs`, so one
+//! `Metrics` value carries everything a driver needs to answer a status
+//! request.
+//!
+//! Hot-path cost: counter and gauge names are keyed by
+//! [`Cow<'static, str>`](std::borrow::Cow), so recording under a `&'static
+//! str` name (the common case — every protocol counter is a literal or a
+//! pre-interned table entry) allocates nothing, on the first write or any
+//! later one.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
+use rebeca_obs::{EventJournal, Histogram};
 use serde::{Deserialize, Serialize};
 
 use crate::time::SimTime;
 
-/// A named-counter store with optional time-series snapshots.
+/// A metric name: borrowed for `&'static str` callers (no allocation),
+/// owned for the rare dynamically built name.
+pub type MetricName = Cow<'static, str>;
+
+/// A named-counter store with gauges, histograms, an event journal, and
+/// optional time-series snapshots.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
+    counters: BTreeMap<MetricName, u64>,
+    gauges: BTreeMap<MetricName, u64>,
+    histograms: BTreeMap<MetricName, Histogram>,
+    journal: EventJournal,
     series: Vec<Sample>,
 }
 
@@ -36,13 +57,13 @@ impl Metrics {
     }
 
     /// Increments a counter by one.
-    pub fn incr(&mut self, name: &str) {
+    pub fn incr(&mut self, name: impl Into<MetricName>) {
         self.add(name, 1);
     }
 
     /// Adds `amount` to a counter.
-    pub fn add(&mut self, name: &str, amount: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += amount;
+    pub fn add(&mut self, name: impl Into<MetricName>, amount: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += amount;
     }
 
     /// The current value of a counter (0 when never written).
@@ -61,7 +82,68 @@ impl Metrics {
 
     /// All counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.counters.iter().map(|(k, v)| (k.as_ref(), *v))
+    }
+
+    /// Sets a gauge to an instantaneous value (last write wins).
+    pub fn set_gauge(&mut self, name: impl Into<MetricName>, value: u64) {
+        self.gauges.insert(name.into(), value);
+    }
+
+    /// The current value of a gauge (0 when never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_ref(), *v))
+    }
+
+    /// Records one sample into a named log2 histogram (created on first
+    /// use).
+    pub fn observe(&mut self, name: impl Into<MetricName>, value: u64) {
+        self.histograms
+            .entry(name.into())
+            .or_default()
+            .record(value);
+    }
+
+    /// A named histogram, when at least one sample was recorded under it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_ref(), v))
+    }
+
+    /// Read access to the structured event journal.
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// `true` when journal recording is enabled — the cheap guard hot
+    /// paths check before formatting an event's detail string.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.enabled()
+    }
+
+    /// Changes the journal's retention capacity (0 disables recording).
+    pub fn set_journal_capacity(&mut self, capacity: usize) {
+        self.journal.set_capacity(capacity);
+    }
+
+    /// Appends a structured event to the journal (no-op when disabled).
+    /// Returns the assigned sequence number.
+    pub fn record_event(
+        &mut self,
+        at: SimTime,
+        kind: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Option<u64> {
+        self.journal.record(at.as_micros(), kind, detail)
     }
 
     /// Records the current value of `counter` as a time-series sample.
@@ -99,18 +181,37 @@ impl Metrics {
         &self.series
     }
 
-    /// Resets every counter and sample.
+    /// Resets every counter, gauge, histogram, journal entry and sample.
+    /// The journal's capacity and sequence counter are kept, so tails
+    /// spanning a reset still see monotonic numbering.
     pub fn reset(&mut self) {
         self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+        self.journal.clear();
         self.series.clear();
     }
 
-    /// Merges another metrics store into this one (counters are added,
-    /// samples appended).
+    /// Merges another metrics store into this one: counters are added,
+    /// gauges keep the maximum of both sides (the mergeable reading of an
+    /// instantaneous value — high-watermark semantics), histograms merge
+    /// bucket-wise, journal entries are appended with fresh sequence
+    /// numbers, samples are appended.
     pub fn merge(&mut self, other: &Metrics) {
         for (name, value) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += value;
         }
+        for (name, value) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(*value);
+        }
+        for (name, histogram) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(histogram);
+        }
+        self.journal.merge(&other.journal);
         self.series.extend(other.series.iter().cloned());
     }
 }
@@ -130,6 +231,14 @@ mod tests {
     }
 
     #[test]
+    fn owned_names_work_alongside_static_ones() {
+        let mut m = Metrics::new();
+        m.incr("broker.rx.publish");
+        m.incr(format!("broker.{}", "rx.publish"));
+        assert_eq!(m.counter("broker.rx.publish"), 2);
+    }
+
+    #[test]
     fn prefix_sums_aggregate_related_counters() {
         let mut m = Metrics::new();
         m.add("admin.sub", 2);
@@ -138,6 +247,45 @@ mod tests {
         assert_eq!(m.counter_prefix_sum("admin."), 5);
         assert_eq!(m.counter_prefix_sum("notification."), 7);
         assert_eq!(m.counter_prefix_sum(""), 12);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let mut m = Metrics::new();
+        m.set_gauge("wal.depth", 5);
+        m.set_gauge("wal.depth", 2);
+        assert_eq!(m.gauge("wal.depth"), 2);
+        assert_eq!(m.gauge("missing"), 0);
+        let names: Vec<&str> = m.gauges().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["wal.depth"]);
+    }
+
+    #[test]
+    fn histograms_record_and_expose_quantiles() {
+        let mut m = Metrics::new();
+        assert!(m.histogram("latency").is_none());
+        for _ in 0..99 {
+            m.observe("latency", 100);
+        }
+        m.observe("latency", 10_000);
+        let h = m.histogram("latency").unwrap();
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.p99(), 127);
+        assert_eq!(h.quantile(1.0), 16_383);
+    }
+
+    #[test]
+    fn journal_records_behind_the_guard() {
+        let mut m = Metrics::new();
+        assert!(m.journal_enabled());
+        assert_eq!(
+            m.record_event(SimTime::from_millis(5), "wal.append", "records=1"),
+            Some(0)
+        );
+        m.set_journal_capacity(0);
+        assert!(!m.journal_enabled());
+        assert_eq!(m.record_event(SimTime::from_millis(6), "x", ""), None);
     }
 
     #[test]
@@ -164,26 +312,44 @@ mod tests {
     }
 
     #[test]
-    fn reset_clears_everything() {
+    fn reset_clears_everything_but_keeps_journal_numbering() {
         let mut m = Metrics::new();
         m.incr("a");
+        m.set_gauge("g", 1);
+        m.observe("h", 10);
+        m.record_event(SimTime::ZERO, "k", "");
         m.sample(SimTime::ZERO, "a");
         m.reset();
         assert_eq!(m.counter("a"), 0);
+        assert_eq!(m.gauge("g"), 0);
+        assert!(m.histogram("h").is_none());
+        assert!(m.journal().is_empty());
         assert!(m.all_samples().is_empty());
+        // Sequence numbering continues across the reset.
+        assert_eq!(m.record_event(SimTime::ZERO, "k", ""), Some(1));
     }
 
     #[test]
-    fn merge_adds_counters_and_appends_samples() {
+    fn merge_combines_all_stores() {
         let mut a = Metrics::new();
         a.add("x", 1);
+        a.set_gauge("depth", 7);
+        a.observe("lat", 100);
+        a.record_event(SimTime::from_secs(1), "a", "");
         let mut b = Metrics::new();
         b.add("x", 2);
         b.add("y", 3);
+        b.set_gauge("depth", 4);
+        b.observe("lat", 100);
+        b.record_event(SimTime::from_secs(2), "b", "");
         b.sample(SimTime::from_secs(1), "y");
         a.merge(&b);
         assert_eq!(a.counter("x"), 3);
         assert_eq!(a.counter("y"), 3);
+        assert_eq!(a.gauge("depth"), 7); // max wins
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        let seqs: Vec<u64> = a.journal().events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1]); // merged entry renumbered
         assert_eq!(a.all_samples().len(), 1);
     }
 

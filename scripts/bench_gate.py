@@ -21,6 +21,12 @@ between machines:
     against the baseline's ns/iter with `BENCH_GATE_ABS_TOLERANCE`
     (default 25%).  On hardware unlike the reference machine, raise the
     env var (CI uses a looser bound) — the ratio gates still hold exactly.
+  * **Instrumentation overhead gate**: `obs_bench` measures the journal-on
+    vs journal-off quickstart scenario as interleaved pairs (drift cancels
+    inside each pair) and reports the median ratio as the synthetic sample
+    `obs/quickstart/overhead_x1000/200` (ratio x 1000).  That ratio must
+    stay within `BENCH_GATE_OBS_OVERHEAD` (default 5%) of 1.0 — the
+    tentpole claim that tracing is cheap enough to leave on.
 
 Behaviour:
   1. Runs `cargo bench -p rebeca-bench --bench matcher_bench` and
@@ -43,6 +49,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 TOLERANCE = float(os.environ.get("BENCH_GATE_TOLERANCE", "0.25"))
 ABS_TOLERANCE = float(os.environ.get("BENCH_GATE_ABS_TOLERANCE", "0.25"))
 MIN_BATCH_SPEEDUP = float(os.environ.get("BENCH_GATE_MIN_BATCH_SPEEDUP", "4.0"))
+OBS_OVERHEAD = float(os.environ.get("BENCH_GATE_OBS_OVERHEAD", "0.05"))
 OUT_DIR = os.environ.get("BENCH_GATE_DIR", "/tmp/bench_gate")
 
 BENCHES = {
@@ -51,7 +58,12 @@ BENCHES = {
     "churn_bench": "BENCH_mobility.json",
     "session_bench": "BENCH_session.json",
     "net_bench": "BENCH_net.json",
+    "obs_bench": "BENCH_obs.json",
 }
+
+# The interleaved instrumented/baseline ratio emitted by obs_bench
+# (ratio x 1000 riding the ns_per_iter field).
+OBS_OVERHEAD_NAME = "obs/quickstart/overhead_x1000/200"
 
 # Prefixes of benchmark names whose absolute medians are gated (hot paths;
 # maintenance benches are reported but not gated).
@@ -65,6 +77,8 @@ GATED_PREFIXES = (
     "session/quickstart/",
     "net/quickstart/",
     "net/relocation/",
+    "obs/quickstart/",
+    "obs/metrics/",
 )
 
 # Within-run pairs gated on their ratio (slow/fast): the optimized side must
@@ -100,6 +114,11 @@ RATIO_GATES = [
     # connection setup regresses.
     ("net/quickstart/threaded/40", "net/quickstart/tcp/40"),
     ("net/relocation/threaded/40", "net/relocation/tcp/40"),
+    # Counter-key satellite: `incr` with an owned String key (the cost every
+    # call paid before the Cow<'static, str> rework) vs the zero-allocation
+    # &'static str path.  The gate trips when the static path loses its
+    # allocation-free advantage.
+    ("obs/metrics/incr_owned/8", "obs/metrics/incr_static/8"),
 ]
 
 
@@ -181,6 +200,24 @@ def main():
         if speedup < MIN_BATCH_SPEEDUP:
             failures.append(
                 f"batch speedup @100k/8 shards: {speedup:.2f}x < {MIN_BATCH_SPEEDUP:.1f}x"
+            )
+
+    # Instrumentation overhead: the interleaved journal-on/journal-off ratio
+    # must stay within OBS_OVERHEAD of parity.
+    overhead_x1000 = current.get(OBS_OVERHEAD_NAME)
+    if overhead_x1000 is None:
+        failures.append(f"obs_bench did not report {OBS_OVERHEAD_NAME}")
+    else:
+        ratio = overhead_x1000 / 1000.0
+        status = "OK " if ratio <= 1.0 + OBS_OVERHEAD else "FAIL"
+        print(
+            f"bench-gate: {status} instrumentation overhead: {(ratio - 1.0) * 100:+.2f}% "
+            f"(bound {OBS_OVERHEAD * 100:.0f}%)"
+        )
+        if ratio > 1.0 + OBS_OVERHEAD:
+            failures.append(
+                f"instrumentation overhead {(ratio - 1.0) * 100:+.2f}% exceeds "
+                f"{OBS_OVERHEAD * 100:.0f}% (journal-on vs journal-off quickstart)"
             )
 
     # Absolute median gates.

@@ -23,6 +23,7 @@
 //! | [`filter`] | `rebeca-filter` | notifications, content-based filters, covering/merging, `myloc` templates |
 //! | [`matcher`] | `rebeca-matcher` | attribute-partitioned predicate index: counting matcher, covering candidates, `FilterSet` |
 //! | [`location`] | `rebeca-location` | location spaces, movement graphs, `ploc`, adaptivity plans |
+//! | [`obs`] | `rebeca-obs` | observability core: log2 latency histograms, bounded event journals, status reports |
 //! | [`routing`] | `rebeca-routing` | index-backed routing tables and the flooding/simple/identity/covering/merging strategies |
 //! | [`sim`] | `rebeca-sim` | deterministic discrete-event simulator (FIFO links, delays, metrics, topologies) |
 //! | [`broker`] | `rebeca-broker` | the static Rebeca broker, message vocabulary, sequence numbering, delivery logs |
@@ -103,6 +104,12 @@ pub mod routing {
     pub use rebeca_routing::*;
 }
 
+/// Observability core: histograms, event journals, status reports
+/// (re-export of `rebeca-obs`).
+pub mod obs {
+    pub use rebeca_obs::*;
+}
+
 /// Discrete-event network simulator (re-export of `rebeca-sim`).
 pub mod sim {
     pub use rebeca_sim::*;
@@ -135,5 +142,6 @@ pub use rebeca_filter::{Constraint, Filter, LocationDependentFilter, Notificatio
 pub use rebeca_location::{AdaptivityPlan, Itinerary, LocationId, LocationSpace, MovementGraph};
 pub use rebeca_matcher::{FilterIndex, FilterSet};
 pub use rebeca_net::{ClusterConfig, Endpoint, NetConfig, SystemBuilderTcp, TcpDriver};
+pub use rebeca_obs::{BrokerStatus, EventJournal, Histogram, LinkStatus, ObsEvent, StatusReport};
 pub use rebeca_routing::RoutingStrategyKind;
 pub use rebeca_sim::{DelayModel, Metrics, SimDuration, SimTime, Topology};
