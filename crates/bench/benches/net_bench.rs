@@ -1,5 +1,6 @@
 //! Loopback TCP transport bench: publish→deliver throughput and relocation
-//! latency of [`TcpDriver`] vs the in-process [`ThreadedDriver`].
+//! latency of [`TcpDriver`] vs the in-process [`ThreadedDriver`], plus the
+//! cost of surviving forced connection drops (`net/reconnect`).
 //!
 //! One iteration = one full wall-clock deployment run: build the system(s),
 //! settle the subscription, publish `PUBLICATIONS` vacancies (relocating
@@ -10,11 +11,19 @@
 //!
 //! Both variants share the completion-driven structure (the same settle
 //! window and poll cadence), so their within-run ratio isolates the
-//! transport cost.  `scripts/bench_gate.py` gates the `threaded` vs `tcp`
-//! ratios and the absolute medians against `BENCH_net.json`.
+//! transport cost.  The `reconnect` group runs the TCP quickstart with a
+//! recurring [`FaultPlan`] tearing the client's links down every
+//! [`DROP_EVERY`] frames, publishing one vacancy at a time so each
+//! publish→deliver latency is observed individually; the pooled p99 rides
+//! the synthetic sample `net/reconnect/publish_p99/40`.
+//! `scripts/bench_gate.py` gates the `threaded` vs `tcp` ratios, the
+//! quickstart-vs-reconnect ratio, and the absolute medians against
+//! `BENCH_net.json`.
 //!
 //! Each variant is verified once outside the timed loop: exactly-once
-//! delivery of all publications, clean log.
+//! delivery of all publications, clean log — for the reconnect variant the
+//! verification additionally asserts the injected drops actually fired and
+//! frames were resent, so the gated number measures real healing work.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -25,7 +34,7 @@ use rebeca_broker::{ClientId, ConsumerLog};
 use rebeca_core::{BrokerConfig, MobilitySystem, SystemBuilder};
 use rebeca_filter::{Constraint, Filter, Notification};
 use rebeca_location::MovementGraph;
-use rebeca_net::{Endpoint, NetConfig, SystemBuilderTcp, TcpDriver};
+use rebeca_net::{Endpoint, FaultPlan, NetConfig, SystemBuilderTcp, TcpDriver};
 use rebeca_routing::RoutingStrategyKind;
 use rebeca_sim::{DelayModel, SimDuration, Topology};
 
@@ -36,6 +45,12 @@ const PUBLICATIONS: u64 = 40;
 const SETTLE: SimDuration = SimDuration::from_millis(30);
 /// Poll cadence while waiting for deliveries.
 const POLL: SimDuration = SimDuration::from_millis(5);
+/// The reconnect group's fault plan tears the client's writer links down
+/// after every this many frames, so one run crosses several redial +
+/// resend cycles.
+const DROP_EVERY: u64 = 12;
+/// Verification rounds pooled into the publish→deliver p99 sample.
+const P99_ROUNDS: usize = 3;
 
 fn subscription() -> Filter {
     Filter::new().with("service", Constraint::Eq("parking".into()))
@@ -100,39 +115,128 @@ fn run_threaded(relocate: bool) -> ConsumerLog {
     sys.client_log(CONSUMER).expect("consumer log").clone()
 }
 
-fn run_tcp(relocate: bool) -> ConsumerLog {
-    // Broker process stand-in: one driver hosting all brokers on an
-    // ephemeral loopback listener, pumped by a background thread.
-    let placeholder = vec![Endpoint::new("127.0.0.1", 0); 3];
-    let driver = TcpDriver::new(NetConfig::new(placeholder).host_all().seed(11))
-        .expect("bind broker listener");
-    let endpoint = driver.listen_endpoint().clone();
-    let broker_sys = builder()
-        .build_with(Box::new(driver))
-        .expect("broker system");
-    let stop = Arc::new(AtomicBool::new(false));
-    let pump = {
-        let stop = stop.clone();
-        let mut sys = broker_sys;
-        std::thread::spawn(move || {
-            while !stop.load(Ordering::SeqCst) {
-                let now = sys.now();
-                sys.run_until(now + SimDuration::from_millis(10));
-            }
-        })
-    };
+/// Broker process stand-in shared by the TCP variants: one driver hosting
+/// all brokers on an ephemeral loopback listener, pumped by a background
+/// thread until the host is dropped.
+struct BrokerHost {
+    endpoint: Endpoint,
+    stop: Arc<AtomicBool>,
+    pump: Option<std::thread::JoinHandle<()>>,
+}
 
+impl BrokerHost {
+    fn spawn() -> Self {
+        let placeholder = vec![Endpoint::new("127.0.0.1", 0); 3];
+        let driver = TcpDriver::new(NetConfig::new(placeholder).host_all().seed(11))
+            .expect("bind broker listener");
+        let endpoint = driver.listen_endpoint().clone();
+        let broker_sys = builder()
+            .build_with(Box::new(driver))
+            .expect("broker system");
+        let stop = Arc::new(AtomicBool::new(false));
+        let pump = {
+            let stop = stop.clone();
+            let mut sys = broker_sys;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let now = sys.now();
+                    sys.run_until(now + SimDuration::from_millis(10));
+                }
+            })
+        };
+        BrokerHost {
+            endpoint,
+            stop,
+            pump: Some(pump),
+        }
+    }
+}
+
+impl Drop for BrokerHost {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(pump) = self.pump.take() {
+            pump.join().expect("broker pump");
+        }
+    }
+}
+
+fn run_tcp(relocate: bool) -> ConsumerLog {
+    let host = BrokerHost::spawn();
     let mut client_sys = builder()
-        .build_tcp(NetConfig::new(vec![endpoint; 3]).seed(13))
+        .build_tcp(NetConfig::new(vec![host.endpoint.clone(); 3]).seed(13))
         .expect("client system");
     drive(&mut client_sys, relocate);
-    let log = client_sys
+    client_sys
         .client_log(CONSUMER)
         .expect("consumer log")
-        .clone();
-    stop.store(true, Ordering::SeqCst);
-    pump.join().expect("broker pump");
-    log
+        .clone()
+}
+
+/// The quickstart scenario over TCP with the client's links forcibly torn
+/// down every [`DROP_EVERY`] frames.  Publishes one vacancy at a time and
+/// records each wall-clock publish→deliver latency in nanoseconds, so
+/// the pooled p99 captures the messages that straddle a redial + resend
+/// cycle.  Returns the log, the latencies, and the count of injected
+/// drops the client survived.
+fn run_reconnect() -> (ConsumerLog, Vec<f64>, u64) {
+    let host = BrokerHost::spawn();
+    let fault = FaultPlan::drop_after(DROP_EVERY).recurring();
+    let mut sys = builder()
+        .build_tcp(
+            NetConfig::new(vec![host.endpoint.clone(); 3])
+                .seed(13)
+                .fault(fault),
+        )
+        .expect("client system");
+    let consumer = sys.connect(CONSUMER, 0).expect("consumer");
+    consumer
+        .subscribe(&mut sys, subscription())
+        .expect("subscribe");
+    let producer = sys.connect(PRODUCER, 2).expect("producer");
+    let now = sys.now();
+    sys.run_until(now + SETTLE);
+
+    let mut latencies = Vec::with_capacity(PUBLICATIONS as usize);
+    for i in 1..=PUBLICATIONS {
+        let published = std::time::Instant::now();
+        producer.publish(&mut sys, vacancy(i)).expect("publish");
+        wait_for_deliveries(&mut sys, i as usize);
+        latencies.push(published.elapsed().as_nanos() as f64);
+    }
+    let drops = sys.metrics().counter("net.link_down");
+    let log = sys.client_log(CONSUMER).expect("consumer log").clone();
+    (log, latencies, drops)
+}
+
+/// Appends the pooled publish→deliver p99 to `CRITERION_JSON` in the same
+/// concatenated-array format the criterion shim emits, so
+/// `scripts/bench_gate.py` gates it alongside the regular samples.
+fn report_reconnect_p99(mut pooled: Vec<f64>) {
+    assert!(!pooled.is_empty(), "no reconnect latency samples");
+    pooled.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((pooled.len() as f64 * 0.99).ceil() as usize).clamp(1, pooled.len()) - 1;
+    let p99 = pooled[idx];
+    let samples = pooled.len();
+    println!(
+        "{:<60} p99: {:>10.1} us ({samples} publishes across forced drops)",
+        "net/reconnect/publish_p99/40",
+        p99 / 1000.0
+    );
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let record = format!(
+        "[\n  {{\"name\": \"net/reconnect/publish_p99/40\", \"ns_per_iter\": {p99:.1}, \"iters\": {samples}}}\n]\n"
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, record.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("net_bench: cannot write {path}: {e}");
+    }
 }
 
 fn verify(log: &ConsumerLog, label: &str) {
@@ -152,6 +256,20 @@ fn bench_net(c: &mut Criterion) {
     verify(&run_threaded(true), "threaded/relocation");
     verify(&run_tcp(true), "tcp/relocation");
 
+    // Reconnect variant: exactly-once across real injected drops, with the
+    // per-publish latencies pooled into the p99 sample.  Requiring at
+    // least one drop and one resend per round keeps the gated number
+    // honest — a fault plan that silently stopped firing would otherwise
+    // make the bench measure a clean run.
+    let mut pooled = Vec::with_capacity(P99_ROUNDS * PUBLICATIONS as usize);
+    for round in 0..P99_ROUNDS {
+        let (log, latencies, drops) = run_reconnect();
+        verify(&log, "tcp/reconnect");
+        assert!(drops >= 1, "round {round}: no injected drop fired");
+        pooled.extend(latencies);
+    }
+    report_reconnect_p99(pooled);
+
     let mut group = c.benchmark_group("net/quickstart");
     group.sample_size(10);
     group.bench_with_input(BenchmarkId::new("threaded", PUBLICATIONS), &(), |b, _| {
@@ -169,6 +287,13 @@ fn bench_net(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("tcp", PUBLICATIONS), &(), |b, _| {
         b.iter(|| black_box(run_tcp(true)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("net/reconnect");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("tcp", PUBLICATIONS), &(), |b, _| {
+        b.iter(|| black_box(run_reconnect()))
     });
     group.finish();
 }

@@ -85,6 +85,8 @@ pub fn in_process_links(broker: &MobileBroker) -> Vec<LinkStatus> {
             peer: peer.0 as u64,
             connected: true,
             last_heartbeat_age_ms: None,
+            down_since_ms: None,
+            redial_attempts: 0,
         })
         .collect()
 }

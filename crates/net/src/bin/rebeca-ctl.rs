@@ -1,9 +1,11 @@
 //! `rebeca-ctl`: the operator CLI of a TCP deployment.
 //!
 //! ```text
-//! rebeca-ctl status  --config cluster.cfg [--json] [--timeout-ms 2000]
-//! rebeca-ctl tail    --config cluster.cfg [--broker N] [--interval-ms 500] [--rounds R]
-//! rebeca-ctl publish --config cluster.cfg [--broker N] [--client ID] key=value...
+//! rebeca-ctl status    --config cluster.cfg [--json] [--timeout-ms 2000]
+//! rebeca-ctl tail      --config cluster.cfg [--broker N] [--interval-ms 500] [--rounds R]
+//! rebeca-ctl publish   --config cluster.cfg [--broker N] [--client ID] key=value...
+//! rebeca-ctl wait      --config cluster.cfg --until wal_depth>=1 [--broker N] [--deadline-ms 30000]
+//! rebeca-ctl drop-link --config cluster.cfg --broker N --peer P
 //! ```
 //!
 //! Reads the same cluster config as `rebeca-node` and talks to the running
@@ -20,6 +22,12 @@
 //! * `publish` injects one notification into the running cluster through a
 //!   short-lived client session — the smallest possible smoke test that
 //!   routing works end to end.
+//! * `wait` blocks until a numeric status field satisfies a condition
+//!   (`<field><op><value>`, e.g. `restart_epoch>=1`) on any targeted
+//!   broker, or fails when `--deadline-ms` elapses — the scriptable
+//!   building block chaos harnesses use to wait for recovery.
+//! * `drop-link` injects a fault: it asks a broker to sever its outbound
+//!   connections to a peer, exercising the self-healing redial path.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -27,14 +35,18 @@ use std::time::Duration;
 use rebeca_broker::ClientId;
 use rebeca_core::SystemBuilder;
 use rebeca_filter::Notification;
+use rebeca_net::wire::Frame;
 use rebeca_net::{admin, AdminError, ClusterConfig, Endpoint, NetConfig, SystemBuilderTcp};
-use rebeca_obs::{json_escape, StatusReport};
-use rebeca_sim::SimDuration;
+use rebeca_obs::{json_escape, BrokerStatus, StatusReport};
+use rebeca_sim::{NodeId, SimDuration};
 
 const USAGE: &str = "usage:
-  rebeca-ctl status  --config FILE [--json] [--timeout-ms MS]
-  rebeca-ctl tail    --config FILE [--broker N] [--interval-ms MS] [--rounds R] [--timeout-ms MS]
-  rebeca-ctl publish --config FILE [--broker N] [--client ID] key=value...";
+  rebeca-ctl status    --config FILE [--json] [--timeout-ms MS]
+  rebeca-ctl tail      --config FILE [--broker N] [--interval-ms MS] [--rounds R] [--timeout-ms MS]
+  rebeca-ctl publish   --config FILE [--broker N] [--client ID] key=value...
+  rebeca-ctl wait      --config FILE --until FIELD{>=,<=,==,!=,>,<}VALUE [--broker N] \
+                       [--interval-ms MS] [--deadline-ms MS] [--timeout-ms MS]
+  rebeca-ctl drop-link --config FILE --broker N --peer P";
 
 struct CommonArgs {
     cluster: ClusterConfig,
@@ -78,6 +90,9 @@ fn run() -> Result<(), String> {
     let mut client = 9_001u32;
     let mut interval_ms = 500;
     let mut rounds: Option<u64> = None;
+    let mut until: Option<String> = None;
+    let mut deadline_ms = 30_000;
+    let mut peer: Option<usize> = None;
     let mut positional = Vec::new();
 
     let mut it = args.into_iter();
@@ -100,6 +115,15 @@ fn run() -> Result<(), String> {
                 client = value("--client")?
                     .parse::<u32>()
                     .map_err(|_| "--client expects a client id".to_string())?
+            }
+            "--until" => until = Some(value("--until")?),
+            "--deadline-ms" => deadline_ms = parse_u64("--deadline-ms", value("--deadline-ms")?)?,
+            "--peer" => {
+                peer = Some(
+                    value("--peer")?
+                        .parse::<usize>()
+                        .map_err(|_| "--peer expects a broker index".to_string())?,
+                )
             }
             other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
             other => positional.push(other.to_string()),
@@ -130,6 +154,21 @@ fn run() -> Result<(), String> {
             ClientId::new(client),
             &positional,
         ),
+        "wait" => {
+            let until = until.ok_or_else(|| format!("--until is required\n{USAGE}"))?;
+            wait(
+                &common,
+                broker,
+                &until,
+                Duration::from_millis(interval_ms),
+                Duration::from_millis(deadline_ms),
+            )
+        }
+        "drop-link" => {
+            let broker = broker.ok_or_else(|| format!("--broker is required\n{USAGE}"))?;
+            let peer = peer.ok_or_else(|| format!("--peer is required\n{USAGE}"))?;
+            drop_link(&common, broker, peer)
+        }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
 }
@@ -218,13 +257,24 @@ fn print_human(index: usize, endpoint: &Endpoint, report: &StatusReport) {
             );
         }
         for link in &b.links {
+            let mut notes = Vec::new();
+            if let Some(age) = link.last_heartbeat_age_ms {
+                notes.push(format!("heard {age}ms ago"));
+            }
+            if let Some(down) = link.down_since_ms {
+                notes.push(format!("down {down}ms"));
+            }
+            if link.redial_attempts > 0 {
+                notes.push(format!("{} redials", link.redial_attempts));
+            }
             println!(
                 "  link -> {}: {}{}",
                 link.peer,
                 if link.connected { "up" } else { "DOWN" },
-                match link.last_heartbeat_age_ms {
-                    Some(age) => format!(" (heard {age}ms ago)"),
-                    None => String::new(),
+                if notes.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", notes.join(", "))
                 },
             );
         }
@@ -271,6 +321,156 @@ fn tail(
         }
         std::thread::sleep(interval);
     }
+}
+
+/// A parsed `--until` condition: numeric status field, comparison, value.
+struct Condition {
+    field: String,
+    op: &'static str,
+    value: u64,
+}
+
+impl Condition {
+    /// Parses `<field><op><value>` — two-character operators first, so
+    /// `>=`/`<=` are not misread as `>`/`<` with a leading `=` digit.
+    fn parse(spec: &str) -> Result<Condition, String> {
+        for op in [">=", "<=", "==", "!=", ">", "<"] {
+            if let Some((field, value)) = spec.split_once(op) {
+                let field = field.trim().to_string();
+                if field.is_empty() {
+                    return Err(format!("missing field in condition {spec:?}"));
+                }
+                // Reject unknown fields up front instead of waiting forever.
+                Self::extract_probe(&field)?;
+                let value = value
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("condition value must be a number in {spec:?}"))?;
+                return Ok(Condition { field, op, value });
+            }
+        }
+        Err(format!(
+            "condition {spec:?} has no operator (expected one of >=, <=, ==, !=, >, <)"
+        ))
+    }
+
+    fn extract_probe(field: &str) -> Result<(), String> {
+        let probe = BrokerStatus {
+            broker: 0,
+            restart_epoch: 0,
+            generation: 0,
+            routing_entries: 0,
+            wal_depth: 0,
+            wal_since_checkpoint: 0,
+            last_checkpoint_age_ms: None,
+            counterparts: 0,
+            buffered_deliveries: 0,
+            pending_relocations: 0,
+            relocations: Vec::new(),
+            handoff_latency_micros: Default::default(),
+            links: Vec::new(),
+        };
+        Self::extract(&probe, field).map(|_| ())
+    }
+
+    /// Reads the named numeric field from a broker status.
+    fn extract(status: &BrokerStatus, field: &str) -> Result<u64, String> {
+        Ok(match field {
+            "restart_epoch" => status.restart_epoch,
+            "generation" => status.generation,
+            "routing_entries" => status.routing_entries,
+            "wal_depth" => status.wal_depth,
+            "wal_since_checkpoint" => status.wal_since_checkpoint,
+            "counterparts" => status.counterparts,
+            "buffered_deliveries" => status.buffered_deliveries,
+            "pending_relocations" => status.pending_relocations,
+            other => {
+                return Err(format!(
+                    "unknown status field {other:?} (numeric fields: restart_epoch, generation, \
+                     routing_entries, wal_depth, wal_since_checkpoint, counterparts, \
+                     buffered_deliveries, pending_relocations)"
+                ))
+            }
+        })
+    }
+
+    fn holds(&self, observed: u64) -> bool {
+        match self.op {
+            ">=" => observed >= self.value,
+            "<=" => observed <= self.value,
+            "==" => observed == self.value,
+            "!=" => observed != self.value,
+            ">" => observed > self.value,
+            "<" => observed < self.value,
+            _ => unreachable!("parse only yields the operators above"),
+        }
+    }
+}
+
+fn wait(
+    common: &CommonArgs,
+    only: Option<usize>,
+    spec: &str,
+    interval: Duration,
+    deadline: Duration,
+) -> Result<(), String> {
+    let condition = Condition::parse(spec)?;
+    let started = std::time::Instant::now();
+    let mut last_observed: Option<u64> = None;
+    loop {
+        for (i, _, fetched) in fetch_all(common, only, None) {
+            let Ok(report) = fetched else { continue };
+            for b in &report.brokers {
+                let observed = Condition::extract(b, &condition.field)?;
+                last_observed = Some(observed);
+                if condition.holds(observed) {
+                    println!(
+                        "broker {i}: {}={observed} satisfies {spec} after {}ms",
+                        condition.field,
+                        started.elapsed().as_millis()
+                    );
+                    return Ok(());
+                }
+            }
+        }
+        if started.elapsed() >= deadline {
+            return Err(format!(
+                "deadline of {}ms elapsed waiting for {spec} (last observed {})",
+                deadline.as_millis(),
+                match last_observed {
+                    Some(v) => v.to_string(),
+                    None => "no reachable broker".to_string(),
+                }
+            ));
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Asks broker `broker` to sever its outbound connections to `peer` by
+/// sending the hello-less `LinkDrop` admin frame.  One-shot, best effort:
+/// the writer threads redial immediately, which is the point.
+fn drop_link(common: &CommonArgs, broker: usize, peer: usize) -> Result<(), String> {
+    use std::io::Write;
+    if peer >= common.cluster.endpoints.len() {
+        return Err(format!(
+            "peer {peer} not in config (cluster has {} brokers)",
+            common.cluster.endpoints.len()
+        ));
+    }
+    let endpoint = &common.cluster.endpoints[broker];
+    let mut stream = std::net::TcpStream::connect(endpoint.to_string())
+        .map_err(|e| format!("cannot reach broker {broker} @ {endpoint}: {e}"))?;
+    stream
+        .write_all(
+            &Frame::LinkDrop {
+                peer: NodeId::new(peer),
+            }
+            .encode_framed(),
+        )
+        .map_err(|e| format!("sending drop to broker {broker} failed: {e}"))?;
+    println!("asked broker {broker} to drop its links to peer {peer}");
+    Ok(())
 }
 
 fn publish(

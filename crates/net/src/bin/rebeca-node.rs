@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! rebeca-node --config cluster.cfg --broker 1 [--run-secs 30] [--epoch 0] \
-//!             [--status-file status.jsonl] [--status-interval-ms 1000]
+//!             [--status-file status.jsonl] [--status-interval-ms 1000] \
+//!             [--persist-dir DIR] [--recover]
 //! ```
 //!
 //! Reads the shared cluster config (see `rebeca_net::ClusterConfig` for the
@@ -15,6 +16,13 @@
 //! same JSON `rebeca-ctl status --json` renders) to the given file every
 //! `--status-interval-ms` (default 1000) — a zero-dependency way to scrape
 //! a deployment into flat files.
+//!
+//! With `--persist-dir`, the hosted broker's write-ahead handoff log lives
+//! as a file under the given directory instead of in memory, surviving
+//! process crashes.  `--recover` replays that log on startup before the
+//! `listening` line is printed — the flag a supervisor passes when it
+//! relaunches a SIGKILLed broker (together with a bumped `--epoch`, so the
+//! restarted incarnation fences off its own zombie connections).
 
 use std::process::ExitCode;
 
@@ -29,6 +37,8 @@ struct Args {
     epoch: u64,
     status_file: Option<String>,
     status_interval: SimDuration,
+    persist_dir: Option<String>,
+    recover: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
     let mut epoch = 0;
     let mut status_file = None;
     let mut status_interval_ms = 1_000;
+    let mut persist_dir = None;
+    let mut recover = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
@@ -63,6 +75,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--epoch expects a number".to_string())?
             }
             "--status-file" => status_file = Some(value("--status-file")?),
+            "--persist-dir" => persist_dir = Some(value("--persist-dir")?),
+            "--recover" => recover = true,
             "--status-interval-ms" => {
                 status_interval_ms = value("--status-interval-ms")?
                     .parse::<u64>()
@@ -78,6 +92,8 @@ fn parse_args() -> Result<Args, String> {
         epoch,
         status_file,
         status_interval: SimDuration::from_millis(status_interval_ms),
+        persist_dir,
+        recover,
     })
 }
 
@@ -85,7 +101,7 @@ fn run() -> Result<(), String> {
     let args = parse_args().map_err(|e| {
         format!(
             "{e}\nusage: rebeca-node --config FILE --broker N [--run-secs S] [--epoch E] \
-             [--status-file PATH] [--status-interval-ms MS]"
+             [--status-file PATH] [--status-interval-ms MS] [--persist-dir DIR] [--recover]"
         )
     })?;
     let cluster = ClusterConfig::load(&args.config).map_err(|e| e.to_string())?;
@@ -101,11 +117,21 @@ fn run() -> Result<(), String> {
         .host(args.broker)
         .epoch(args.epoch)
         .seed(cluster.seed ^ args.broker as u64);
-    let mut system = SystemBuilder::new(&cluster.topology)
+    let mut builder = SystemBuilder::new(&cluster.topology)
         .link_delay(cluster.delay)
-        .seed(cluster.seed)
-        .build_tcp(net)
-        .map_err(|e| e.to_string())?;
+        .seed(cluster.seed);
+    if let Some(dir) = &args.persist_dir {
+        builder = builder.persist_to(dir);
+    }
+    let mut system = builder.build_tcp(net).map_err(|e| e.to_string())?;
+    if args.recover {
+        // Rebuild the mobility-relevant broker state from the surviving
+        // write-ahead log before accepting any traffic.
+        system
+            .crash_and_restart_broker(args.broker)
+            .map_err(|e| format!("recovery of broker {} failed: {e}", args.broker))?;
+        println!("rebeca-node: broker {} recovered from WAL", args.broker);
+    }
 
     println!(
         "rebeca-node: broker {} listening on {}",

@@ -14,7 +14,13 @@
 //!    `Hello` handshake (node id, epoch, dial-back endpoint, link delay
 //!    model) and heartbeats;
 //! 2. **link layer** (`link` module) — a dial-and-pump writer thread and a
-//!    decode-and-forward reader thread per connection direction;
+//!    decode-and-forward reader thread per connection direction.  Links are
+//!    **self-healing**: a dropped socket is redialled with exponential
+//!    backoff and jitter, unacknowledged frames are replayed from a bounded
+//!    resend window (receivers deduplicate by per-direction sequence
+//!    number), and `Hello` epochs fence off zombie incarnations of a
+//!    restarted peer.  [`FaultPlan`] injects deterministic socket drops for
+//!    chaos testing;
 //! 3. **[`TcpDriver`]** — the [`Driver`](rebeca_core::Driver)
 //!    implementation: an event loop over the locally hosted nodes with real
 //!    `Instant` timers, sharing the FIFO clamp and event-ordering machinery
@@ -71,4 +77,5 @@ pub mod wire;
 pub use admin::{fetch_status, AdminError};
 pub use config::{ClusterConfig, ClusterConfigError};
 pub use endpoint::{Endpoint, ParseEndpointError};
+pub use link::FaultPlan;
 pub use tcp::{NetConfig, SystemBuilderTcp, TcpDriver};

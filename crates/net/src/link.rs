@@ -1,4 +1,5 @@
-//! The link layer: blocking sockets, one thread per connection direction.
+//! The link layer: blocking sockets, one thread per connection direction,
+//! self-healing across connection losses.
 //!
 //! A TCP link between two nodes is made of up to two *directed*
 //! connections, each owned by the sending side:
@@ -7,24 +8,40 @@
 //!   endpoint (retrying until the peer process is up), sends the
 //!   [`Frame::Hello`] handshake, then pumps queued frames onto the socket —
 //!   interleaving [`Frame::Heartbeat`]s whenever the link has been idle for
-//!   the configured interval;
+//!   the configured interval.  When the connection breaks it *redials* with
+//!   exponential backoff + jitter, replays its unacknowledged frames, and
+//!   resumes — frames queued while the link was down are retained, never
+//!   dropped.  A companion **ack pump** thread reads the cumulative
+//!   [`Frame::Ack`]s the peer writes back and prunes the writer's bounded
+//!   resend window; window overflow fails the link loudly
+//!   ([`LinkEvent::Failed`]) rather than ever losing a frame silently.
 //! * the **reader thread** ([`spawn_reader`]) serves one accepted
 //!   connection: it decodes frames off the socket and forwards them as
-//!   [`Inbound`] events into the driver's event loop channel.  A corrupt
-//!   stream (checksum mismatch, unknown tag) closes the connection with a
-//!   logged typed error — never a panic.
+//!   [`Inbound`] events into the driver's event loop channel, suppressing
+//!   duplicate sequence numbers (replays of frames that did arrive before
+//!   the crash) and acknowledging progress.  A corrupt stream (checksum
+//!   mismatch, unknown tag) closes the connection with a typed error —
+//!   never a panic.
 //!
-//! TCP guarantees per-connection FIFO, so per-direction FIFO — the link
-//! contract of the paper's Section 2.1 — holds end to end: driver send
-//! order → writer channel order → socket order → reader order → event
-//! channel order (std mpsc preserves per-sender order).
+//! Epoch fencing makes the `Hello` restart epoch load-bearing: the shared
+//! [`LinkRegistry`] records the newest epoch seen per peer node, a reader
+//! rejects a `Hello` that regresses it (answering [`Frame::Fenced`]), and
+//! established connections from a superseded epoch are torn down — a
+//! zombie pre-crash incarnation can never interleave with its successor.
+//!
+//! TCP guarantees per-connection FIFO, and the resend window replays the
+//! unacknowledged suffix in order on the *same* (new) connection, so
+//! per-direction FIFO — the link contract of the paper's Section 2.1 —
+//! holds across connection generations: driver send order → writer channel
+//! order → socket order (replayed prefix first) → reader order (duplicates
+//! dropped) → event channel order.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -85,100 +102,641 @@ pub(crate) enum Inbound {
         /// strictly greater than this.
         events_after: Option<u64>,
     },
-    /// A writer's outbound connection changed state: established (`up`)
-    /// or lost (`!up`).
+    /// A writer's outbound connection changed state.
     Link {
         /// The peer the writer dials.
         peer: NodeId,
-        /// Whether the connection is now established.
-        up: bool,
+        /// What happened to the connection.
+        event: LinkEvent,
+    },
+    /// A reader rejected (or tore down) a connection whose restart epoch
+    /// regressed below the newest epoch seen from that node.
+    Stale {
+        /// The fenced node.
+        from: NodeId,
+        /// The stale epoch it presented.
+        epoch: u64,
+        /// The minimum epoch the registry accepts from it.
+        expected: u64,
+    },
+    /// A reader suppressed a replayed frame it had already received.
+    Duplicate {
+        /// The sending node.
+        from: NodeId,
+        /// The duplicate sequence number.
+        seq: u64,
+    },
+    /// An admin [`Frame::LinkDrop`] asked the driver to force-drop its
+    /// connections towards `peer` (fault injection).
+    AdminDrop {
+        /// The peer whose links should be dropped.
+        peer: NodeId,
     },
 }
 
-/// Spawns the writer thread for one outbound connection: dial (with retry
-/// until `shutdown`), handshake with `hello`, then pump frames from `rx`,
-/// heart-beating after `heartbeat` of idleness.  Exits when the channel
-/// disconnects, the socket breaks, or `shutdown` is raised.
-///
-/// Link state transitions ([`Inbound::Link`]) are reported into `events`:
-/// `up` once the dial + handshake succeeds, `down` when an established
-/// connection is lost (dial retries and orderly shutdown are not "down" —
-/// the link was never up, or the whole driver is going away).
-#[allow(clippy::too_many_arguments)] // one flat knob set per connection, named at the sole call site
-pub(crate) fn spawn_writer(
-    target: Endpoint,
-    peer: NodeId,
-    hello: Frame,
-    rx: Receiver<Frame>,
-    events: Sender<Inbound>,
-    shutdown: Arc<AtomicBool>,
-    heartbeat: Duration,
-    dial_retry: Duration,
-    epoch: u64,
-) -> JoinHandle<()> {
-    std::thread::spawn(move || {
-        // Dial until the peer process is up (peers of a cluster start in
-        // arbitrary order).
-        let mut stream = loop {
-            if shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            match target.socket_addr().and_then(TcpStream::connect) {
-                Ok(stream) => break stream,
-                Err(_) => std::thread::sleep(dial_retry),
-            }
-        };
-        let _ = stream.set_nodelay(true);
-        if stream.write_all(&hello.encode_framed()).is_err() {
-            let _ = events.send(Inbound::Link { peer, up: false });
-            return;
+/// A state transition of one outbound connection, reported by its writer
+/// thread via [`Inbound::Link`].
+#[derive(Debug)]
+pub(crate) enum LinkEvent {
+    /// Dial + handshake succeeded; `resent` unacknowledged frames were
+    /// replayed from the resend window (0 on the first connection).
+    Up {
+        /// Frames replayed from the resend window.
+        resent: usize,
+    },
+    /// An established connection was lost; the writer is redialing.
+    Down {
+        /// Why the connection dropped.
+        reason: String,
+    },
+    /// One reconnect attempt towards the peer (successful or not).
+    Redial {
+        /// Lifetime redial attempt count for this link.
+        attempt: u64,
+    },
+    /// The peer fenced this writer's epoch: a newer incarnation of the
+    /// local node owns the identity, so the writer exits permanently.
+    Fenced {
+        /// The minimum epoch the peer accepts.
+        expected: u64,
+    },
+    /// The link failed permanently and loudly (resend window overflow or
+    /// an unsplittable oversized frame) — never a silent drop.
+    Failed {
+        /// Why the link cannot honour its contract any more.
+        reason: String,
+    },
+}
+
+/// A command consumed by a writer thread: an outbound frame from the
+/// driver, or feedback from the connection's ack pump.
+pub(crate) enum WriterCmd {
+    /// Send a protocol frame (sequenced and resend-buffered by the writer).
+    Frame(Frame),
+    /// The peer acknowledged every sequence number `<= seq`.
+    Ack {
+        /// Connection generation the ack arrived on (informational:
+        /// cumulative acks are monotone, so any generation's ack prunes).
+        #[allow(dead_code)]
+        generation: u64,
+        /// The peer's receive high-water mark.
+        seq: u64,
+    },
+    /// The peer fenced this connection's epoch.
+    Fenced {
+        /// Connection generation the fence arrived on.
+        generation: u64,
+        /// The minimum epoch the peer accepts.
+        expected: u64,
+    },
+    /// The connection's read half hit EOF or an error.
+    ConnLost {
+        /// The generation that died.
+        generation: u64,
+    },
+    /// Force-drop the current connection (admin fault injection); the
+    /// writer redials and replays as if the socket had broken.
+    Drop,
+}
+
+/// Deterministic fault injection for the link layer: drop the connection
+/// after a number of data frames have been written, exercising the
+/// redial + resend path in tests and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Restrict the fault to links towards this peer node index
+    /// (`None` = every link of the driver).
+    pub peer: Option<usize>,
+    /// Drop the connection once this many sequenced frames have been
+    /// written on the link.
+    pub drop_after_frames: u64,
+    /// Fire once (`true`) or every `drop_after_frames` frames (`false`).
+    pub once: bool,
+}
+
+impl FaultPlan {
+    /// A one-shot plan: drop every link's connection after `frames`
+    /// sequenced frames.
+    pub fn drop_after(frames: u64) -> Self {
+        Self {
+            peer: None,
+            drop_after_frames: frames,
+            once: true,
         }
-        let _ = events.send(Inbound::Link { peer, up: true });
+    }
+
+    /// Restricts the plan to links towards one peer node index.
+    pub fn on_peer(mut self, peer: usize) -> Self {
+        self.peer = Some(peer);
+        self
+    }
+
+    /// Makes the plan recurring: fire every `drop_after_frames` frames.
+    pub fn recurring(mut self) -> Self {
+        self.once = false;
+        self
+    }
+}
+
+/// The per-connection knob set of one writer thread.
+pub(crate) struct LinkConfig {
+    /// The peer's listen endpoint to dial.
+    pub target: Endpoint,
+    /// The peer node the link feeds.
+    pub peer: NodeId,
+    /// The handshake to (re)send on every fresh connection.
+    pub hello: Frame,
+    /// Idle interval after which a heartbeat is written.
+    pub heartbeat: Duration,
+    /// Constant dial cadence for the *first* connection (cluster startup).
+    pub dial_retry: Duration,
+    /// Backoff cap for redials after a connection loss.
+    pub redial_max: Duration,
+    /// Maximum unacknowledged frames held for replay; overflow fails the
+    /// link loudly.
+    pub resend_window: usize,
+    /// The local process's restart epoch (stamped on heartbeats).
+    pub epoch: u64,
+    /// Optional fault injection plan.
+    pub fault: Option<FaultPlan>,
+}
+
+/// Exponential backoff with deterministic jitter for redial attempt
+/// `attempt` (1-based): `base * 2^(attempt-1)` capped at `max`, plus up to
+/// 25% jitter derived from `seed` — so a cluster of writers redialing the
+/// same crashed peer does not thunder in lockstep.
+fn redial_backoff(attempt: u64, base: Duration, max: Duration, seed: u64) -> Duration {
+    let base_us = (base.as_micros() as u64).max(1);
+    let max_us = (max.as_micros() as u64).max(base_us);
+    let shift = (attempt.saturating_sub(1)).min(20) as u32;
+    let exp_us = base_us.saturating_mul(1u64 << shift).min(max_us);
+    // xorshift64 over (seed, attempt): cheap, deterministic, no rand dep.
+    let mut x = (seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let jitter_bound = exp_us / 4;
+    let jitter = if jitter_bound > 0 {
+        x % (jitter_bound + 1)
+    } else {
+        0
+    };
+    Duration::from_micros(exp_us + jitter)
+}
+
+/// Verdict of [`LinkRegistry::admit`].
+pub(crate) enum Admit {
+    /// The epoch is current (or newer, now recorded); proceed.
+    Ok,
+    /// The epoch regressed: fence the connection.
+    Stale {
+        /// The minimum epoch the registry accepts from this node.
+        expected: u64,
+    },
+}
+
+/// Shared per-driver connection bookkeeping: the newest restart epoch seen
+/// per peer node (for fencing) and the per-direction receive high-water
+/// marks (for duplicate suppression and cumulative acks).  One instance is
+/// shared by every reader thread of a driver.
+#[derive(Debug, Default)]
+pub(crate) struct LinkRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    /// Newest restart epoch seen per peer node index.
+    epochs: HashMap<usize, u64>,
+    /// Receive high-water mark per `(from, to)` direction.
+    recv_high: HashMap<(usize, usize), u64>,
+}
+
+impl LinkRegistry {
+    /// Judges a `Hello` from node `from` carrying `epoch`.  An epoch newer
+    /// than the recorded one resets the node's receive high-water marks:
+    /// the successor incarnation restarts its sequence numbers at 1, and
+    /// its fresh frames must not be mistaken for the predecessor's
+    /// duplicates.
+    pub fn admit(&self, from: usize, epoch: u64) -> Admit {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.epochs.get(&from).copied() {
+            Some(known) if epoch < known => Admit::Stale { expected: known },
+            Some(known) if epoch > known => {
+                inner.epochs.insert(from, epoch);
+                inner.recv_high.retain(|(f, _), _| *f != from);
+                Admit::Ok
+            }
+            Some(_) => Admit::Ok,
+            None => {
+                inner.epochs.insert(from, epoch);
+                Admit::Ok
+            }
+        }
+    }
+
+    /// The newest epoch seen from `from` (0 when never heard).
+    pub fn current_epoch(&self, from: usize) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .epochs
+            .get(&from)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Records `seq` on the `(from, to)` direction.  Returns `true` when
+    /// the frame is fresh (forward it) and `false` for a duplicate (drop
+    /// it, but still acknowledge).
+    pub fn accept_seq(&self, from: usize, to: usize, seq: u64) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let high = inner.recv_high.entry((from, to)).or_insert(0);
+        if seq <= *high {
+            false
+        } else {
+            *high = seq;
+            true
+        }
+    }
+
+    /// The receive high-water mark of the `(from, to)` direction.
+    pub fn recv_high(&self, from: usize, to: usize) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .recv_high
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Spawns the ack pump for one writer connection: it reads the peer's
+/// cumulative [`Frame::Ack`]s (and [`Frame::Fenced`] rejections) off the
+/// connection's read half and feeds them back into the writer's command
+/// channel, tagged with the connection generation.  Exits on EOF, error,
+/// fence, or shutdown — reporting [`WriterCmd::ConnLost`] so the writer
+/// notices a peer that died silently between writes.
+fn spawn_ack_pump(
+    stream: TcpStream,
+    generation: u64,
+    tx: Sender<WriterCmd>,
+    shutdown: Arc<AtomicBool>,
+) {
+    std::thread::spawn(move || {
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        let mut stream = stream;
+        let mut buf: Vec<u8> = Vec::with_capacity(256);
+        let mut chunk = [0u8; 4096];
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            let frame = match rx.recv_timeout(heartbeat) {
-                Ok(frame) => frame,
-                Err(RecvTimeoutError::Timeout) => Frame::Heartbeat { epoch },
-                Err(RecvTimeoutError::Disconnected) => return,
+            let n = match stream.read(&mut chunk) {
+                Ok(0) => {
+                    let _ = tx.send(WriterCmd::ConnLost { generation });
+                    return;
+                }
+                Ok(n) => n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(_) => {
+                    let _ = tx.send(WriterCmd::ConnLost { generation });
+                    return;
+                }
             };
-            // A frame over the receiver's size limit is split into halves
-            // (batch payloads only) until every piece fits; the halves
-            // travel back to back on the same connection, so per-direction
-            // FIFO — and therefore exactly-once delivery — is preserved.
-            let mut worklist = VecDeque::from([frame]);
-            while let Some(frame) = worklist.pop_front() {
-                let bytes = frame.encode_framed();
-                if bytes.len() > MAX_FRAME_LEN as usize + FRAME_HEADER_LEN {
-                    match split_frame(frame) {
-                        Some((first, second)) => {
-                            worklist.push_front(second);
-                            worklist.push_front(first);
-                            continue;
-                        }
-                        None => {
-                            // An unsplittable message the peer is guaranteed
-                            // to reject: the link cannot honour its
-                            // error-free contract any more — fail it loudly
-                            // rather than silently dropping one message.
-                            eprintln!(
-                                "rebeca-net: unsplittable frame of {} bytes \
-                                 exceeds the {MAX_FRAME_LEN} payload limit; \
-                                 closing link to {target}",
-                                bytes.len()
-                            );
-                            let _ = events.send(Inbound::Link { peer, up: false });
+            buf.extend_from_slice(&chunk[..n]);
+            let mut consumed = 0;
+            loop {
+                match Frame::decode_framed(&buf[consumed..]) {
+                    Ok((Frame::Ack { seq }, used)) => {
+                        consumed += used;
+                        if tx.send(WriterCmd::Ack { generation, seq }).is_err() {
                             return;
                         }
                     }
+                    Ok((Frame::Fenced { expected }, _)) => {
+                        let _ = tx.send(WriterCmd::Fenced {
+                            generation,
+                            expected,
+                        });
+                        return;
+                    }
+                    Ok((_, used)) => consumed += used, // unexpected; ignore
+                    Err(WireError::Truncated) => break,
+                    Err(_) => {
+                        let _ = tx.send(WriterCmd::ConnLost { generation });
+                        return;
+                    }
                 }
-                if let Err(e) = stream.write_all(&bytes) {
-                    // Reconnection with epoch fencing is a ROADMAP
-                    // follow-up; today a dead peer ends the link.
-                    eprintln!("rebeca-net: link to {target} broke: {e}");
-                    let _ = events.send(Inbound::Link { peer, up: false });
+            }
+            buf.drain(..consumed);
+        }
+    });
+}
+
+/// Spawns the writer thread for one outbound connection: dial (with retry
+/// until `shutdown`), handshake with the configured `hello`, replay the
+/// resend window, then pump frames from `rx`, heart-beating after idleness.
+///
+/// On a connection loss the writer reports [`LinkEvent::Down`] and redials
+/// with exponential backoff + jitter ([`LinkEvent::Redial`] per attempt),
+/// then replays its unacknowledged frames on the fresh connection
+/// ([`LinkEvent::Up`] carries the replay count).  The thread exits when the
+/// command channel disconnects, `shutdown` is raised, the peer fences its
+/// epoch ([`LinkEvent::Fenced`]), or the link fails permanently
+/// ([`LinkEvent::Failed`]: resend-window overflow or an unsplittable
+/// oversized frame).
+///
+/// `self_tx` is the sending half of `rx`, handed to each connection's ack
+/// pump so peer feedback and driver frames share one ordered queue.
+pub(crate) fn spawn_writer(
+    cfg: LinkConfig,
+    rx: Receiver<WriterCmd>,
+    self_tx: Sender<WriterCmd>,
+    events: Sender<Inbound>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let LinkConfig {
+            target,
+            peer,
+            hello,
+            heartbeat,
+            dial_retry,
+            redial_max,
+            resend_window,
+            epoch,
+            fault,
+        } = cfg;
+        let down = |reason: String| Inbound::Link {
+            peer,
+            event: LinkEvent::Down { reason },
+        };
+        let jitter_seed = epoch
+            .wrapping_mul(0x1000_0001)
+            .wrapping_add(peer.index() as u64);
+        let mut fault = fault.filter(|f| f.peer.is_none() || f.peer == Some(peer.index()));
+        let mut next_seq: u64 = 1;
+        let mut unacked: VecDeque<(u64, Vec<u8>)> = VecDeque::new();
+        let mut generation: u64 = 0;
+        let mut redials: u64 = 0;
+        let mut frames_written: u64 = 0;
+        'link: loop {
+            // Dial.  The first connection keeps the constant startup
+            // cadence (cluster processes come up in arbitrary order); after
+            // a loss every attempt is reported and backed off exponentially
+            // with jitter, capped at `redial_max`.
+            let mut stream = {
+                let mut attempt: u64 = 0;
+                loop {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if generation > 0 {
+                        attempt += 1;
+                        redials += 1;
+                        if events
+                            .send(Inbound::Link {
+                                peer,
+                                event: LinkEvent::Redial { attempt: redials },
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    match target.socket_addr().and_then(TcpStream::connect) {
+                        Ok(stream) => break stream,
+                        Err(_) if generation == 0 => std::thread::sleep(dial_retry),
+                        Err(_) => std::thread::sleep(redial_backoff(
+                            attempt,
+                            dial_retry,
+                            redial_max,
+                            jitter_seed,
+                        )),
+                    }
+                }
+            };
+            let _ = stream.set_nodelay(true);
+            generation += 1;
+
+            // Handshake, then replay the unacknowledged suffix in order —
+            // the new connection starts exactly where the old one provably
+            // left off, preserving per-direction FIFO.
+            let resent = unacked.len();
+            let mut wrote = stream.write_all(&hello.encode_framed());
+            if wrote.is_ok() {
+                for (_, bytes) in &unacked {
+                    wrote = stream.write_all(bytes);
+                    if wrote.is_err() {
+                        break;
+                    }
+                }
+            }
+            let pump = wrote
+                .is_ok()
+                .then(|| stream.try_clone())
+                .and_then(Result::ok);
+            let Some(pump_stream) = pump else {
+                if events
+                    .send(down("handshake or replay failed".into()))
+                    .is_err()
+                {
                     return;
+                }
+                let _ = stream.shutdown(Shutdown::Both);
+                std::thread::sleep(dial_retry);
+                continue 'link;
+            };
+            spawn_ack_pump(pump_stream, generation, self_tx.clone(), shutdown.clone());
+            if events
+                .send(Inbound::Link {
+                    peer,
+                    event: LinkEvent::Up { resent },
+                })
+                .is_err()
+            {
+                return;
+            }
+
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let cmd = match rx.recv_timeout(heartbeat) {
+                    Ok(cmd) => cmd,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if let Err(e) =
+                            stream.write_all(&Frame::Heartbeat { epoch }.encode_framed())
+                        {
+                            if events.send(down(format!("heartbeat write: {e}"))).is_err() {
+                                return;
+                            }
+                            let _ = stream.shutdown(Shutdown::Both);
+                            continue 'link;
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                };
+                match cmd {
+                    WriterCmd::Ack { seq, .. } => {
+                        // Cumulative acks are monotone, so even one from a
+                        // dead generation's pump safely prunes the window.
+                        while unacked.front().is_some_and(|(s, _)| *s <= seq) {
+                            unacked.pop_front();
+                        }
+                    }
+                    WriterCmd::Fenced {
+                        generation: g,
+                        expected,
+                    } if g == generation => {
+                        let _ = events.send(Inbound::Link {
+                            peer,
+                            event: LinkEvent::Fenced { expected },
+                        });
+                        let _ = stream.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    WriterCmd::Fenced { .. } => {}
+                    WriterCmd::ConnLost { generation: g } if g == generation => {
+                        if events
+                            .send(down("peer closed the connection".into()))
+                            .is_err()
+                        {
+                            return;
+                        }
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue 'link;
+                    }
+                    WriterCmd::ConnLost { .. } => {}
+                    WriterCmd::Drop => {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        if events.send(down("admin-injected drop".into())).is_err() {
+                            return;
+                        }
+                        continue 'link;
+                    }
+                    WriterCmd::Frame(frame) => {
+                        // A frame over the receiver's size limit is split
+                        // into halves (batch payloads only) until every
+                        // piece fits; pieces are sequenced in final order,
+                        // so per-direction FIFO — and therefore
+                        // exactly-once delivery — is preserved.
+                        let mut fresh: Vec<(u64, Vec<u8>)> = Vec::with_capacity(1);
+                        let mut worklist = VecDeque::from([frame]);
+                        while let Some(frame) = worklist.pop_front() {
+                            let (seq, frame) = match frame {
+                                Frame::Message {
+                                    from,
+                                    to,
+                                    delay_micros,
+                                    seq: _,
+                                    message,
+                                } => {
+                                    let seq = next_seq;
+                                    next_seq += 1;
+                                    (
+                                        seq,
+                                        Frame::Message {
+                                            from,
+                                            to,
+                                            delay_micros,
+                                            seq,
+                                            message,
+                                        },
+                                    )
+                                }
+                                other => (0, other),
+                            };
+                            let bytes = frame.encode_framed();
+                            if bytes.len() > MAX_FRAME_LEN as usize + FRAME_HEADER_LEN {
+                                match split_frame(frame) {
+                                    Some((first, second)) => {
+                                        worklist.push_front(second);
+                                        worklist.push_front(first);
+                                        continue;
+                                    }
+                                    None => {
+                                        // An unsplittable message the peer
+                                        // is guaranteed to reject: the link
+                                        // cannot honour its error-free
+                                        // contract any more — fail it
+                                        // loudly rather than silently
+                                        // dropping one message.
+                                        let _ = events.send(Inbound::Link {
+                                            peer,
+                                            event: LinkEvent::Failed {
+                                                reason: format!(
+                                                    "unsplittable frame of {} bytes exceeds \
+                                                     the {MAX_FRAME_LEN} payload limit",
+                                                    bytes.len()
+                                                ),
+                                            },
+                                        });
+                                        return;
+                                    }
+                                }
+                            }
+                            fresh.push((seq, bytes));
+                        }
+                        let mut broke: Option<std::io::Error> = None;
+                        for (seq, bytes) in fresh {
+                            if broke.is_none() {
+                                if let Err(e) = stream.write_all(&bytes) {
+                                    broke = Some(e);
+                                } else if seq > 0 {
+                                    frames_written += 1;
+                                }
+                            }
+                            if seq > 0 {
+                                unacked.push_back((seq, bytes));
+                            }
+                        }
+                        if unacked.len() > resend_window {
+                            let _ = events.send(Inbound::Link {
+                                peer,
+                                event: LinkEvent::Failed {
+                                    reason: format!(
+                                        "resend window overflow: {} unacked frames exceed \
+                                         the limit of {resend_window}",
+                                        unacked.len()
+                                    ),
+                                },
+                            });
+                            let _ = stream.shutdown(Shutdown::Both);
+                            return;
+                        }
+                        if let Some(e) = broke {
+                            if events.send(down(format!("write failed: {e}"))).is_err() {
+                                return;
+                            }
+                            let _ = stream.shutdown(Shutdown::Both);
+                            continue 'link;
+                        }
+                        if let Some(plan) = fault {
+                            if frames_written >= plan.drop_after_frames {
+                                if plan.once {
+                                    fault = None;
+                                } else {
+                                    frames_written = 0;
+                                }
+                                let _ = stream.shutdown(Shutdown::Both);
+                                if events.send(down("fault-injected drop".into())).is_err() {
+                                    return;
+                                }
+                                continue 'link;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -194,15 +752,19 @@ fn split_frame(frame: Frame) -> Option<(Frame, Frame)> {
         from,
         to,
         delay_micros,
+        seq: _,
         message,
     } = frame
     else {
         return None;
     };
+    // Halves are re-sequenced by the writer when they are re-popped, so
+    // the placeholder 0 here is never written to a socket.
     let remake = |message: Message| Frame::Message {
         from,
         to,
         delay_micros,
+        seq: 0,
         message,
     };
     match message {
@@ -242,16 +804,25 @@ fn split_frame(frame: Frame) -> Option<(Frame, Frame)> {
 
 /// Spawns the reader thread for one accepted connection: decodes frames
 /// and forwards them into `tx`.  Exits on EOF, a corrupt stream, a raised
-/// `shutdown`, or when the driver drops the receiving end.
+/// `shutdown`, an epoch fence, or when the driver drops the receiving end.
 ///
 /// Bytes are accumulated in a local buffer and frames decoded off its
 /// front, so a read timeout in the *middle* of a frame (slow sender, a
 /// large frame spanning many TCP segments) just waits for more bytes — it
 /// can never desynchronise the framing boundary.
+///
+/// The reader enforces the self-healing contract for its direction:
+/// sequenced messages are checked against the shared [`LinkRegistry`]
+/// (duplicates are suppressed but still acknowledged), one cumulative
+/// [`Frame::Ack`] is written back per decoded batch, and a `Hello` whose
+/// restart epoch regresses the registry is answered with [`Frame::Fenced`]
+/// and the connection closed.  An established connection is torn down the
+/// same way as soon as a newer incarnation of its peer introduces itself.
 pub(crate) fn spawn_reader(
     stream: TcpStream,
     tx: Sender<Inbound>,
     shutdown: Arc<AtomicBool>,
+    registry: Arc<LinkRegistry>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let _ = stream.set_nodelay(true);
@@ -259,13 +830,30 @@ pub(crate) fn spawn_reader(
         let mut stream = stream;
         let mut buf: Vec<u8> = Vec::with_capacity(4096);
         let mut chunk = [0u8; 16 * 1024];
-        // Who is on the other end, learned from the connection's Hello —
-        // needed to attribute heartbeats (admin connections never say
-        // Hello, so their heartbeats, if any, stay anonymous and dropped).
-        let mut peer: Option<NodeId> = None;
+        // Who is on the other end and with which restart epoch, learned
+        // from the connection's Hello — needed to attribute heartbeats and
+        // to fence a zombie connection when its peer's epoch is superseded
+        // (admin connections never say Hello and stay anonymous).
+        let mut conn: Option<(NodeId, u64)> = None;
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 return;
+            }
+            // Zombie fencing: if a newer incarnation of the peer has
+            // introduced itself (on any connection of this driver), this
+            // pre-crash connection must not interleave with it.
+            if let Some((from, epoch)) = conn {
+                let current = registry.current_epoch(from.index());
+                if current > epoch {
+                    let _ = stream.write_all(&Frame::Fenced { expected: current }.encode_framed());
+                    let _ = tx.send(Inbound::Stale {
+                        from,
+                        epoch,
+                        expected: current,
+                    });
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
             }
             let n = match stream.read(&mut chunk) {
                 Ok(0) => return, // EOF
@@ -282,6 +870,10 @@ pub(crate) fn spawn_reader(
             };
             buf.extend_from_slice(&chunk[..n]);
             let mut consumed = 0;
+            // The direction to acknowledge after this batch, if any
+            // sequenced message arrived (duplicates included — the sender
+            // prunes its window either way).
+            let mut ack_for: Option<(NodeId, NodeId)> = None;
             loop {
                 let frame = match Frame::decode_framed(&buf[consumed..]) {
                     Ok((frame, used)) => {
@@ -305,18 +897,30 @@ pub(crate) fn spawn_reader(
                         epoch,
                         listen,
                         delay,
-                    } => {
-                        peer = Some(from);
-                        Inbound::Hello {
-                            from,
-                            to,
-                            epoch,
-                            listen,
-                            delay,
+                    } => match registry.admit(from.index(), epoch) {
+                        Admit::Stale { expected } => {
+                            let _ = stream.write_all(&Frame::Fenced { expected }.encode_framed());
+                            let _ = tx.send(Inbound::Stale {
+                                from,
+                                epoch,
+                                expected,
+                            });
+                            let _ = stream.shutdown(Shutdown::Both);
+                            return;
                         }
-                    }
-                    Frame::Heartbeat { epoch } => match peer {
-                        Some(from) => Inbound::Heartbeat { from, epoch },
+                        Admit::Ok => {
+                            conn = Some((from, epoch));
+                            Inbound::Hello {
+                                from,
+                                to,
+                                epoch,
+                                listen,
+                                delay,
+                            }
+                        }
+                    },
+                    Frame::Heartbeat { epoch } => match conn {
+                        Some((from, _)) => Inbound::Heartbeat { from, epoch },
                         None => continue,
                     },
                     Frame::StatusRequest { events_after } => match stream.try_clone() {
@@ -332,21 +936,46 @@ pub(crate) fn spawn_reader(
                     // A report arriving at a serving node is a confused
                     // client; ignore it rather than kill the connection.
                     Frame::StatusReport(_) => continue,
+                    // Writer-side control frames have no business on a
+                    // serving connection; ignore them likewise.
+                    Frame::Ack { .. } | Frame::Fenced { .. } => continue,
+                    Frame::LinkDrop { peer } => Inbound::AdminDrop { peer },
                     Frame::Message {
                         from,
                         to,
                         delay_micros,
+                        seq,
                         message,
-                    } => Inbound::Message {
-                        from,
-                        to,
-                        delay: SimDuration::from_micros(delay_micros),
-                        message,
-                    },
+                    } => {
+                        if seq > 0 {
+                            ack_for = Some((from, to));
+                            if !registry.accept_seq(from.index(), to.index(), seq) {
+                                // A replay of a frame that did arrive
+                                // before the reconnect: suppress it, but
+                                // report it so the driver can count it.
+                                if tx.send(Inbound::Duplicate { from, seq }).is_err() {
+                                    return;
+                                }
+                                continue;
+                            }
+                        }
+                        Inbound::Message {
+                            from,
+                            to,
+                            delay: SimDuration::from_micros(delay_micros),
+                            message,
+                        }
+                    }
                 };
                 if tx.send(inbound).is_err() {
                     return; // driver gone
                 }
+            }
+            if let Some((from, to)) = ack_for {
+                let high = registry.recv_high(from.index(), to.index());
+                // An ack write failure is not fatal here: if the
+                // connection is dying the read path notices next.
+                let _ = stream.write_all(&Frame::Ack { seq: high }.encode_framed());
             }
             buf.drain(..consumed);
         }
@@ -354,12 +983,13 @@ pub(crate) fn spawn_reader(
 }
 
 /// Spawns the accept loop: every inbound connection gets its own reader
-/// thread.  Exits when `shutdown` is raised (the driver wakes the loop by
-/// dialling its own listener once).
+/// thread sharing the driver's [`LinkRegistry`].  Exits when `shutdown` is
+/// raised (the driver wakes the loop by dialling its own listener once).
 pub(crate) fn spawn_acceptor(
     listener: TcpListener,
     tx: Sender<Inbound>,
     shutdown: Arc<AtomicBool>,
+    registry: Arc<LinkRegistry>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let _ = listener.set_nonblocking(true);
@@ -372,7 +1002,7 @@ pub(crate) fn spawn_acceptor(
                     let _ = stream.set_nonblocking(false);
                     // Readers exit on their own via the shutdown flag (or
                     // the read timeout); no join bookkeeping needed.
-                    let _ = spawn_reader(stream, tx.clone(), shutdown.clone());
+                    let _ = spawn_reader(stream, tx.clone(), shutdown.clone(), registry.clone());
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(ACCEPT_POLL);
@@ -388,6 +1018,7 @@ mod tests {
     use super::*;
     use rebeca_broker::{ClientId, Envelope};
     use rebeca_filter::Notification;
+    use std::sync::mpsc::channel;
 
     fn envelope(seq: u64) -> Envelope {
         Envelope {
@@ -402,6 +1033,7 @@ mod tests {
             from: NodeId::new(0),
             to: NodeId::new(1),
             delay_micros: 7,
+            seq: 0,
             message,
         }
     }
@@ -421,6 +1053,7 @@ mod tests {
                     to,
                     delay_micros,
                     message: Message::NotificationBatch(a),
+                    ..
                 },
                 Frame::Message {
                     message: Message::NotificationBatch(b),
@@ -451,5 +1084,112 @@ mod tests {
         }))
         .is_none());
         assert!(split_frame(Frame::Heartbeat { epoch: 1 }).is_none());
+    }
+
+    #[test]
+    fn redial_backoff_is_exponential_capped_and_jittered_within_bounds() {
+        let base = Duration::from_millis(50);
+        let max = Duration::from_secs(1);
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            for attempt in 1..=12 {
+                let exp_us = (base.as_micros() as u64)
+                    .saturating_mul(1 << (attempt - 1).min(20))
+                    .min(max.as_micros() as u64);
+                let d = redial_backoff(attempt, base, max, seed).as_micros() as u64;
+                assert!(
+                    d >= exp_us,
+                    "attempt {attempt}: {d} below exponential floor"
+                );
+                assert!(
+                    d <= exp_us + exp_us / 4,
+                    "attempt {attempt}: {d} above the 25% jitter ceiling"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registry_fences_stale_epochs_and_resets_seqs_on_new_incarnations() {
+        let registry = LinkRegistry::default();
+        assert!(matches!(registry.admit(0, 0), Admit::Ok));
+        assert!(registry.accept_seq(0, 1, 1));
+        assert!(registry.accept_seq(0, 1, 2));
+        assert!(!registry.accept_seq(0, 1, 2), "replay suppressed");
+        // A newer incarnation resets the node's receive high-water marks…
+        assert!(matches!(registry.admit(0, 1), Admit::Ok));
+        assert!(
+            registry.accept_seq(0, 1, 1),
+            "the successor's fresh seq 1 is not its predecessor's duplicate"
+        );
+        // …and the predecessor's epoch is fenced from then on.
+        match registry.admit(0, 0) {
+            Admit::Stale { expected } => assert_eq!(expected, 1),
+            Admit::Ok => panic!("stale epoch admitted"),
+        }
+        assert_eq!(registry.current_epoch(0), 1);
+    }
+
+    #[test]
+    fn resend_window_overflow_fails_the_link_loudly() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let port = listener.local_addr().unwrap().port();
+        let (cmd_tx, cmd_rx) = channel();
+        let (ev_tx, ev_rx) = channel();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let cfg = LinkConfig {
+            target: Endpoint::new("127.0.0.1", port),
+            peer: NodeId::new(1),
+            hello: Frame::Hello {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                epoch: 0,
+                listen: Endpoint::new("127.0.0.1", 1),
+                delay: DelayModel::Constant(0),
+            },
+            heartbeat: Duration::from_secs(5),
+            dial_retry: Duration::from_millis(10),
+            redial_max: Duration::from_millis(100),
+            resend_window: 4,
+            epoch: 0,
+            fault: None,
+        };
+        let handle = spawn_writer(cfg, cmd_rx, cmd_tx.clone(), ev_tx, shutdown.clone());
+        // Accept the connection but never acknowledge anything.
+        let (_conn, _) = listener.accept().expect("accept");
+        for i in 0..6u32 {
+            cmd_tx
+                .send(WriterCmd::Frame(frame(Message::Attach {
+                    client: ClientId::new(i),
+                })))
+                .expect("queue frame");
+        }
+        let mut saw_up = false;
+        loop {
+            match ev_rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(Inbound::Link {
+                    event: LinkEvent::Up { resent },
+                    ..
+                }) => {
+                    assert_eq!(resent, 0, "first connection replays nothing");
+                    saw_up = true;
+                }
+                Ok(Inbound::Link {
+                    event: LinkEvent::Failed { reason },
+                    ..
+                }) => {
+                    assert!(
+                        reason.contains("resend window overflow"),
+                        "unexpected failure: {reason}"
+                    );
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => panic!("no loud failure before timeout: {e}"),
+            }
+        }
+        assert!(saw_up, "the link came up before overflowing");
+        shutdown.store(true, Ordering::SeqCst);
+        drop(cmd_tx);
+        let _ = handle.join();
     }
 }

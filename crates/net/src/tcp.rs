@@ -32,7 +32,7 @@
 //! FIFO).  Deployments that want raw socket latency configure
 //! `DelayModel::Constant(0)`.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,7 +50,10 @@ use rebeca_obs::{LinkStatus, StatusReport};
 use rebeca_sim::{Context, DelayModel, Incoming, Metrics, Node, NodeId, SimDuration, SimTime};
 
 use crate::endpoint::Endpoint;
-use crate::link::{spawn_acceptor, spawn_writer, Inbound};
+use crate::link::{
+    spawn_acceptor, spawn_writer, FaultPlan, Inbound, LinkConfig, LinkEvent, LinkRegistry,
+    WriterCmd,
+};
 use crate::wire::Frame;
 
 /// Upper bound on how long the event loop blocks waiting for network
@@ -68,7 +71,8 @@ pub struct NetConfig {
     /// Where this process listens.  Defaults to the endpoint of its lowest
     /// hosted broker, or an ephemeral loopback port for client processes.
     listen: Option<Endpoint>,
-    /// Restart epoch carried in every handshake (for future epoch fencing).
+    /// Restart epoch carried in every handshake.  Readers fence peers
+    /// whose epoch regresses, so a restarted process MUST bump it.
     epoch: u64,
     /// Seed of the per-process link-delay sampling.
     seed: u64,
@@ -76,6 +80,17 @@ pub struct NetConfig {
     heartbeat: Duration,
     /// Interval between dial attempts while a peer process is not up yet.
     dial_retry: Duration,
+    /// Backoff cap for redials after a connection loss (the backoff starts
+    /// at `dial_retry` and doubles with jitter up to this cap).
+    redial_max: Duration,
+    /// Maximum unacknowledged frames a writer holds for replay across a
+    /// reconnect; overflow fails the link loudly instead of losing frames.
+    resend_window: usize,
+    /// Heartbeat intervals of silence after which an inbound link is
+    /// declared down (surfaced in status reports and the journal).
+    missed_heartbeats: u32,
+    /// Optional link-layer fault injection (tests, benches, chaos drills).
+    fault: Option<FaultPlan>,
     /// First node id this process allocates for client nodes.  Defaults to
     /// the end of the broker range; set distinct bases on different client
     /// processes so their client node ids cannot collide.
@@ -99,6 +114,10 @@ impl NetConfig {
             seed: 0,
             heartbeat: Duration::from_millis(500),
             dial_retry: Duration::from_millis(50),
+            redial_max: Duration::from_secs(1),
+            resend_window: 1024,
+            missed_heartbeats: 3,
+            fault: None,
             first_client_node: None,
             advertise: None,
         }
@@ -141,6 +160,33 @@ impl NetConfig {
         self
     }
 
+    /// Caps the exponential redial backoff after a connection loss.
+    pub fn redial_max(mut self, cap: Duration) -> Self {
+        self.redial_max = cap;
+        self
+    }
+
+    /// Bounds the per-link resend window (unacknowledged frames held for
+    /// replay across reconnects).
+    pub fn resend_window(mut self, frames: usize) -> Self {
+        self.resend_window = frames;
+        self
+    }
+
+    /// Sets how many silent heartbeat intervals declare an inbound link
+    /// down.
+    pub fn missed_heartbeats(mut self, count: u32) -> Self {
+        self.missed_heartbeats = count;
+        self
+    }
+
+    /// Installs a link-layer [`FaultPlan`] (drop connections after k
+    /// frames) for chaos tests and reconnect benchmarks.
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Sets the first node id allocated for client nodes (see the field
     /// docs; only needed when several client processes join one cluster).
     pub fn first_client_node(mut self, base: usize) -> Self {
@@ -179,8 +225,8 @@ pub struct TcpDriver {
     /// Send-side clamp for local-to-local deliveries.
     clamp_local: FifoClamp<(NodeId, NodeId)>,
     pending: HashMap<usize, PendingQueue>,
-    /// Outbound connections: `(local node, peer node)` → frame queue.
-    writers: HashMap<(usize, usize), Sender<Frame>>,
+    /// Outbound connections: `(local node, peer node)` → command queue.
+    writers: HashMap<(usize, usize), Sender<WriterCmd>>,
     /// When each peer was last heard from (any frame on an inbound
     /// connection) — the source of `last_heartbeat_age_ms` in status
     /// reports.
@@ -188,6 +234,16 @@ pub struct TcpDriver {
     /// Whether the outbound connection to a peer is currently established,
     /// as reported by its writer thread.
     link_up: HashMap<usize, bool>,
+    /// Peers declared down by heartbeat silence (cleared as soon as any
+    /// frame arrives from them again).
+    stale_links: HashSet<usize>,
+    /// When each currently-down peer link went down (either direction).
+    down_since: HashMap<usize, Instant>,
+    /// Lifetime redial attempts per peer, as reported by writer threads.
+    redials: HashMap<usize, u64>,
+    /// Next wall-clock instant at which heartbeat-silence liveness is
+    /// re-evaluated (throttled to the heartbeat cadence).
+    next_liveness: Instant,
     /// A handle on the inbound event channel, handed to writer threads so
     /// they can report link state transitions.
     incoming_tx: Sender<Inbound>,
@@ -255,7 +311,10 @@ impl TcpDriver {
         };
         let (incoming_tx, incoming_rx) = channel();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let acceptor = spawn_acceptor(listener, incoming_tx.clone(), shutdown.clone());
+        // Shared fencing/dedup bookkeeping of every reader thread: newest
+        // epoch per peer, receive high-water mark per direction.
+        let registry = Arc::new(LinkRegistry::default());
+        let acceptor = spawn_acceptor(listener, incoming_tx.clone(), shutdown.clone(), registry);
         let seed = cfg.seed;
         Ok(Self {
             cfg,
@@ -272,6 +331,10 @@ impl TcpDriver {
             writers: HashMap::new(),
             last_seen: HashMap::new(),
             link_up: HashMap::new(),
+            stale_links: HashSet::new(),
+            down_since: HashMap::new(),
+            redials: HashMap::new(),
+            next_liveness: Instant::now(),
             incoming_tx,
             incoming_rx,
             clock: WallClock::anchored_now(SimTime::ZERO),
@@ -313,7 +376,7 @@ impl TcpDriver {
     /// Returns the writer channel for `(local, peer)`, spawning the
     /// dial-and-pump thread on first use.  `None` while the peer's endpoint
     /// is still unknown (a client that has not dialled in yet).
-    fn writer_for(&mut self, local: usize, peer: NodeId) -> Option<&Sender<Frame>> {
+    fn writer_for(&mut self, local: usize, peer: NodeId) -> Option<&Sender<WriterCmd>> {
         let key = (local, peer.index());
         if !self.writers.contains_key(&key) {
             let target = self.endpoint_of(peer.index())?;
@@ -331,15 +394,21 @@ impl TcpDriver {
             };
             let (tx, rx) = channel();
             spawn_writer(
-                target,
-                peer,
-                hello,
+                LinkConfig {
+                    target,
+                    peer,
+                    hello,
+                    heartbeat: self.cfg.heartbeat,
+                    dial_retry: self.cfg.dial_retry,
+                    redial_max: self.cfg.redial_max,
+                    resend_window: self.cfg.resend_window,
+                    epoch: self.cfg.epoch,
+                    fault: self.cfg.fault,
+                },
                 rx,
+                tx.clone(),
                 self.incoming_tx.clone(),
                 self.shutdown.clone(),
-                self.cfg.heartbeat,
-                self.cfg.dial_retry,
-                self.cfg.epoch,
             );
             self.writers.insert(key, tx);
         }
@@ -356,7 +425,7 @@ impl TcpDriver {
                 delay,
             } => {
                 self.learned.insert(from.index(), listen);
-                self.last_seen.insert(from.index(), Instant::now());
+                self.mark_alive(from.index());
                 let known = self.peer_epochs.entry(from.index()).or_insert(epoch);
                 *known = (*known).max(epoch);
                 self.metrics.incr("net.hello_in");
@@ -380,7 +449,7 @@ impl TcpDriver {
                 delay,
                 message,
             } => {
-                self.last_seen.insert(from.index(), Instant::now());
+                self.mark_alive(from.index());
                 if !self.is_local(to.index()) {
                     self.metrics.incr("net.frames_misrouted");
                     return;
@@ -393,7 +462,7 @@ impl TcpDriver {
                     .push(due, Incoming::Message { from, message });
             }
             Inbound::Heartbeat { from, epoch } => {
-                self.last_seen.insert(from.index(), Instant::now());
+                self.mark_alive(from.index());
                 let known = self.peer_epochs.entry(from.index()).or_insert(epoch);
                 *known = (*known).max(epoch);
                 self.metrics.incr("net.heartbeats_in");
@@ -406,17 +475,112 @@ impl TcpDriver {
                     );
                 }
             }
-            Inbound::Link { peer, up } => {
-                self.link_up.insert(peer.index(), up);
-                let (counter, kind) = if up {
-                    ("net.link_up", "link.up")
-                } else {
-                    ("net.link_down", "link.down")
-                };
-                self.metrics.incr(counter);
+            Inbound::Link { peer, event } => {
+                let p = peer.index();
+                let now = self.clock.now();
+                match event {
+                    LinkEvent::Up { resent } => {
+                        self.link_up.insert(p, true);
+                        if !self.stale_links.contains(&p) {
+                            self.down_since.remove(&p);
+                        }
+                        self.metrics.incr("net.link_up");
+                        if resent > 0 {
+                            self.metrics.add("net.frames_resent", resent as u64);
+                        }
+                        if self.metrics.journal_enabled() {
+                            self.metrics.record_event(
+                                now,
+                                "link.up",
+                                format!("peer={peer} resent={resent}"),
+                            );
+                        }
+                    }
+                    LinkEvent::Down { reason } => {
+                        self.link_up.insert(p, false);
+                        self.down_since.entry(p).or_insert_with(Instant::now);
+                        self.metrics.incr("net.link_down");
+                        if self.metrics.journal_enabled() {
+                            self.metrics.record_event(
+                                now,
+                                "link.drop",
+                                format!("peer={peer} reason={reason}"),
+                            );
+                        }
+                    }
+                    LinkEvent::Redial { attempt } => {
+                        self.redials.insert(p, attempt);
+                        self.metrics.incr("net.link_redial");
+                        if self.metrics.journal_enabled() {
+                            self.metrics.record_event(
+                                now,
+                                "link.redial",
+                                format!("peer={peer} attempt={attempt}"),
+                            );
+                        }
+                    }
+                    LinkEvent::Fenced { expected } => {
+                        self.link_up.insert(p, false);
+                        self.down_since.entry(p).or_insert_with(Instant::now);
+                        self.metrics.incr("net.link_fenced");
+                        if self.metrics.journal_enabled() {
+                            self.metrics.record_event(
+                                now,
+                                "link.fenced",
+                                format!("peer={peer} expected_epoch={expected} side=writer"),
+                            );
+                        }
+                    }
+                    LinkEvent::Failed { reason } => {
+                        self.link_up.insert(p, false);
+                        self.down_since.entry(p).or_insert_with(Instant::now);
+                        self.metrics.incr("net.link_failed");
+                        if self.metrics.journal_enabled() {
+                            self.metrics.record_event(
+                                now,
+                                "link.failed",
+                                format!("peer={peer} reason={reason}"),
+                            );
+                        }
+                    }
+                }
+            }
+            Inbound::Stale {
+                from,
+                epoch,
+                expected,
+            } => {
+                self.metrics.incr("net.link_fenced_rejected");
                 if self.metrics.journal_enabled() {
                     let now = self.clock.now();
-                    self.metrics.record_event(now, kind, format!("peer={peer}"));
+                    self.metrics.record_event(
+                        now,
+                        "link.fenced",
+                        format!(
+                            "peer={from} stale_epoch={epoch} expected_epoch={expected} side=reader"
+                        ),
+                    );
+                }
+            }
+            Inbound::Duplicate { from, seq } => {
+                let _ = (from, seq);
+                self.metrics.incr("net.frames_duplicate");
+            }
+            Inbound::AdminDrop { peer } => {
+                self.metrics.incr("net.admin_drops");
+                if self.metrics.journal_enabled() {
+                    let now = self.clock.now();
+                    self.metrics
+                        .record_event(now, "link.admin_drop", format!("peer={peer}"));
+                }
+                let targets: Vec<_> = self
+                    .writers
+                    .iter()
+                    .filter(|(key, _)| key.1 == peer.index())
+                    .map(|(_, tx)| tx.clone())
+                    .collect();
+                for tx in targets {
+                    let _ = tx.send(WriterCmd::Drop);
                 }
             }
             Inbound::Status {
@@ -476,6 +640,58 @@ impl TcpDriver {
         }
     }
 
+    /// Records inbound traffic from a peer, clearing any heartbeat-silence
+    /// staleness the moment it speaks again.
+    fn mark_alive(&mut self, peer: usize) {
+        self.last_seen.insert(peer, Instant::now());
+        if self.stale_links.remove(&peer) {
+            if self.link_up.get(&peer).copied().unwrap_or(false) {
+                self.down_since.remove(&peer);
+            }
+            if self.metrics.journal_enabled() {
+                let now = self.clock.now();
+                self.metrics.record_event(
+                    now,
+                    "link.up",
+                    format!("peer={peer} reason=traffic-resumed"),
+                );
+            }
+        }
+    }
+
+    /// Declares links to silent peers down: a peer we have not heard from
+    /// for more than `heartbeat × missed_heartbeats` is marked stale until
+    /// it speaks again. Throttled to the heartbeat cadence.
+    fn check_liveness(&mut self) {
+        let now = Instant::now();
+        if now < self.next_liveness {
+            return;
+        }
+        self.next_liveness = now + self.cfg.heartbeat;
+        let limit = self.cfg.heartbeat * self.cfg.missed_heartbeats;
+        let newly_stale: Vec<usize> = self
+            .last_seen
+            .iter()
+            .filter(|(peer, at)| {
+                !self.is_local(**peer) && !self.stale_links.contains(*peer) && at.elapsed() > limit
+            })
+            .map(|(peer, _)| *peer)
+            .collect();
+        for peer in newly_stale {
+            self.stale_links.insert(peer);
+            self.down_since.entry(peer).or_insert_with(Instant::now);
+            self.metrics.incr("net.link_stale");
+            if self.metrics.journal_enabled() {
+                let at = self.clock.now();
+                self.metrics.record_event(
+                    at,
+                    "link.drop",
+                    format!("peer={peer} reason=heartbeat-silence"),
+                );
+            }
+        }
+    }
+
     /// Link liveness for one hosted broker: its neighbours, with connection
     /// state from the writer threads and freshness from inbound traffic.
     fn links_of(&self, index: usize) -> Vec<LinkStatus> {
@@ -493,15 +709,24 @@ impl TcpDriver {
                                 peer: p as u64,
                                 connected: true,
                                 last_heartbeat_age_ms: None,
+                                down_since_ms: None,
+                                redial_attempts: 0,
                             }
                         } else {
+                            let up = self.link_up.get(&p).copied().unwrap_or(false);
+                            let stale = self.stale_links.contains(&p);
                             LinkStatus {
                                 peer: p as u64,
-                                connected: self.link_up.get(&p).copied().unwrap_or(false),
+                                connected: up && !stale,
                                 last_heartbeat_age_ms: self
                                     .last_seen
                                     .get(&p)
                                     .map(|at| at.elapsed().as_millis() as u64),
+                                down_since_ms: self
+                                    .down_since
+                                    .get(&p)
+                                    .map(|at| at.elapsed().as_millis() as u64),
+                                redial_attempts: self.redials.get(&p).copied().unwrap_or(0),
                             }
                         }
                     })
@@ -510,11 +735,13 @@ impl TcpDriver {
             .unwrap_or_default()
     }
 
-    /// Drains everything the reader threads delivered so far.
+    /// Drains everything the reader threads delivered so far, then
+    /// re-evaluates heartbeat liveness.
     fn drain_incoming(&mut self) {
         while let Ok(inbound) = self.incoming_rx.try_recv() {
             self.handle_inbound(inbound);
         }
+        self.check_liveness();
     }
 
     /// The earliest due time over every local pending event.
@@ -549,14 +776,18 @@ impl TcpDriver {
                 from: from_id,
                 to,
                 delay_micros: delay.as_micros(),
+                // The writer thread assigns the real per-direction sequence
+                // number when it pops the frame for transmission.
+                seq: 0,
                 message,
             };
             match self.writer_for(from, to) {
                 Some(tx) => {
-                    // A send only fails when the writer thread already shut
-                    // down (driver teardown or a dead peer — reconnection
-                    // is a ROADMAP follow-up).
-                    if tx.send(frame).is_ok() {
+                    // A send only fails when the writer thread is gone for
+                    // good: driver teardown, a fenced link, or a resend
+                    // window overflow. Transient disconnects never reject
+                    // sends — the writer queues and replays them itself.
+                    if tx.send(WriterCmd::Frame(frame)).is_ok() {
                         self.metrics.incr("net.frames_out");
                     } else {
                         self.metrics.incr("net.frames_dropped");

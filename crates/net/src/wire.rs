@@ -19,9 +19,12 @@
 //! |------|-----------------|---------------------------------------------------|
 //! | 1    | `Hello`         | from, to, epoch, listen endpoint, link delay model |
 //! | 2    | `Heartbeat`     | epoch                                             |
-//! | 3    | `Message`       | from, to, sampled delay, encoded [`Message`]      |
+//! | 3    | `Message`       | from, to, sampled delay, seq, encoded [`Message`] |
 //! | 4    | `StatusRequest` | optional journal cursor (`events_after`)          |
 //! | 5    | `StatusReport`  | encoded [`StatusReport`] snapshot                 |
+//! | 6    | `Ack`           | cumulative receive high-water mark (`seq`)        |
+//! | 7    | `Fenced`        | the rejected dialer's expected minimum epoch      |
+//! | 8    | `LinkDrop`      | admin fault injection: peer whose links to drop   |
 //!
 //! A connection's first frame is always the [`Frame::Hello`] handshake: it
 //! names the sending node, the node the connection feeds, the sender's
@@ -29,6 +32,19 @@
 //! and the link's delay model.  [`Frame::Heartbeat`]s flow whenever a
 //! writer has been idle for the configured interval, keeping NATs and
 //! liveness checks happy.
+//!
+//! # Self-healing links
+//!
+//! [`Frame::Message`] carries a per-direction monotonic sequence number
+//! (`seq`, starting at 1; 0 means "unsequenced" and is skipped by the
+//! resend machinery).  The reader acknowledges progress with cumulative
+//! [`Frame::Ack`] frames written back onto the same connection; the writer
+//! keeps the unacknowledged suffix and replays it after a reconnect, while
+//! the reader drops any sequence number at or below its high-water mark —
+//! preserving the error-free FIFO link contract of the paper's Section 2.1
+//! across connection generations.  [`Frame::Fenced`] is the reader's
+//! rejection of a `Hello` carrying a stale restart epoch: a crashed
+//! broker's zombie incarnation can never interleave with its successor.
 //!
 //! # Robustness
 //!
@@ -63,6 +79,9 @@ const KIND_HEARTBEAT: u8 = 2;
 const KIND_MESSAGE: u8 = 3;
 const KIND_STATUS_REQUEST: u8 = 4;
 const KIND_STATUS_REPORT: u8 = 5;
+const KIND_ACK: u8 = 6;
+const KIND_FENCED: u8 = 7;
+const KIND_LINK_DROP: u8 = 8;
 
 const MSG_ATTACH: u8 = 1;
 const MSG_DETACH: u8 = 2;
@@ -179,8 +198,35 @@ pub enum Frame {
         /// top of the real network latency (clamped per direction to keep
         /// the link FIFO).
         delay_micros: u64,
+        /// Per-direction monotonic sequence number assigned by the writer
+        /// thread (starting at 1).  `0` marks an unsequenced frame: it
+        /// bypasses the resend window and duplicate suppression.
+        seq: u64,
         /// The protocol message.
         message: Message,
+    },
+    /// Cumulative acknowledgement written by a reader back onto the
+    /// connection it serves: every sequenced [`Frame::Message`] with
+    /// `seq <= ack` has been received, so the writer may drop it from its
+    /// resend window.
+    Ack {
+        /// The reader's receive high-water mark for this direction.
+        seq: u64,
+    },
+    /// Epoch fencing rejection: the reader refused a [`Frame::Hello`] (or
+    /// tore down an established connection) because the peer's restart
+    /// epoch regressed below the newest epoch it has seen from that node.
+    Fenced {
+        /// The minimum epoch the reader will accept from this node.
+        expected: u64,
+    },
+    /// Admin fault injection, sent on a hello-less connection like
+    /// [`Frame::StatusRequest`]: the serving driver force-drops its
+    /// established connections towards `peer`, exercising the reconnect
+    /// path on demand.
+    LinkDrop {
+        /// The peer node whose links should be dropped.
+        peer: NodeId,
     },
     /// Admin request for a live [`StatusReport`].  Sent by `rebeca-ctl` (or
     /// any monitoring client) as the *only* frame on a fresh connection —
@@ -363,6 +409,8 @@ fn put_link_status(buf: &mut Vec<u8>, link: &LinkStatus) {
     put_u64(buf, link.peer);
     put_u8(buf, u8::from(link.connected));
     put_opt_u64(buf, link.last_heartbeat_age_ms);
+    put_opt_u64(buf, link.down_since_ms);
+    put_u64(buf, link.redial_attempts);
 }
 
 fn read_link_status(r: &mut ByteReader<'_>) -> Result<LinkStatus, DecodeError> {
@@ -374,6 +422,8 @@ fn read_link_status(r: &mut ByteReader<'_>) -> Result<LinkStatus, DecodeError> {
             _ => return Err(DecodeError),
         },
         last_heartbeat_age_ms: read_opt_u64(r)?,
+        down_since_ms: read_opt_u64(r)?,
+        redial_attempts: r.u64()?,
     })
 }
 
@@ -778,12 +828,14 @@ impl Frame {
                 from,
                 to,
                 delay_micros,
+                seq,
                 message,
             } => {
                 put_u8(&mut buf, KIND_MESSAGE);
                 put_node(&mut buf, *from);
                 put_node(&mut buf, *to);
                 put_u64(&mut buf, *delay_micros);
+                put_u64(&mut buf, *seq);
                 put_message(&mut buf, message);
             }
             Frame::StatusRequest { events_after } => {
@@ -793,6 +845,18 @@ impl Frame {
             Frame::StatusReport(report) => {
                 put_u8(&mut buf, KIND_STATUS_REPORT);
                 put_status_report(&mut buf, report);
+            }
+            Frame::Ack { seq } => {
+                put_u8(&mut buf, KIND_ACK);
+                put_u64(&mut buf, *seq);
+            }
+            Frame::Fenced { expected } => {
+                put_u8(&mut buf, KIND_FENCED);
+                put_u64(&mut buf, *expected);
+            }
+            Frame::LinkDrop { peer } => {
+                put_u8(&mut buf, KIND_LINK_DROP);
+                put_node(&mut buf, *peer);
             }
         }
         buf
@@ -824,12 +888,16 @@ impl Frame {
                 from: r.node()?,
                 to: r.node()?,
                 delay_micros: r.u64()?,
+                seq: r.u64()?,
                 message: read_message(&mut r)?,
             },
             KIND_STATUS_REQUEST => Frame::StatusRequest {
                 events_after: read_opt_u64(&mut r)?,
             },
             KIND_STATUS_REPORT => Frame::StatusReport(read_status_report(&mut r)?),
+            KIND_ACK => Frame::Ack { seq: r.u64()? },
+            KIND_FENCED => Frame::Fenced { expected: r.u64()? },
+            KIND_LINK_DROP => Frame::LinkDrop { peer: r.node()? },
             kind => return Err(WireError::UnknownFrameKind(kind)),
         };
         if !r.done() {
@@ -917,7 +985,13 @@ mod tests {
                 from: NodeId::new(0),
                 to: NodeId::new(3),
                 delay_micros: 5000,
+                seq: 42,
                 message: Message::Deliver(delivery(4)),
+            },
+            Frame::Ack { seq: 42 },
+            Frame::Fenced { expected: 8 },
+            Frame::LinkDrop {
+                peer: NodeId::new(3),
             },
         ];
         for frame in frames {
@@ -958,11 +1032,15 @@ mod tests {
                         peer: 0,
                         connected: true,
                         last_heartbeat_age_ms: Some(48),
+                        down_since_ms: None,
+                        redial_attempts: 0,
                     },
                     LinkStatus {
                         peer: 2,
                         connected: false,
                         last_heartbeat_age_ms: None,
+                        down_since_ms: Some(1_250),
+                        redial_attempts: 17,
                     },
                 ],
             }],
@@ -1024,6 +1102,7 @@ mod tests {
             from: NodeId::new(1),
             to: NodeId::new(2),
             delay_micros: 0,
+            seq: 1,
             message: Message::Attach {
                 client: ClientId::new(5),
             },
@@ -1043,6 +1122,7 @@ mod tests {
             from: NodeId::new(1),
             to: NodeId::new(2),
             delay_micros: 10,
+            seq: 3,
             message: Message::Subscribe {
                 subscriber: ClientId::new(1),
                 filter: filter(),
@@ -1092,6 +1172,29 @@ mod tests {
         assert_eq!(
             Frame::decode_framed(&bytes).unwrap_err(),
             WireError::UnknownFrameKind(0xEE)
+        );
+    }
+
+    #[test]
+    fn resend_control_frames_are_corruption_checked_like_any_other() {
+        // A flipped bit in an Ack must fail the checksum, not ack the
+        // wrong sequence number.
+        let mut bytes = Frame::Ack { seq: 0x0102_0304 }.encode_framed();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            Frame::decode_framed(&bytes),
+            Err(WireError::Checksum { .. })
+        ));
+        // A truncated Fenced payload is malformed, never a panic.
+        let payload = vec![KIND_FENCED, 1, 2];
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, payload.len() as u32);
+        put_u32(&mut bytes, crc32(&payload));
+        bytes.extend_from_slice(&payload);
+        assert_eq!(
+            Frame::decode_framed(&bytes).unwrap_err(),
+            WireError::Malformed
         );
     }
 

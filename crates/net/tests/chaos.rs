@@ -1,0 +1,394 @@
+//! Process-kill chaos: the real-socket counterpart of
+//! `crates/core/tests/chaos_status.rs`.
+//!
+//! 1. spawn three `rebeca-node` OS processes (broker 0 with a durable WAL
+//!    directory), drive the quickstart scenario up to and past the
+//!    relocation,
+//! 2. `SIGKILL` the old border broker (broker 0 — off the delivery path
+//!    once the consumer settled at broker 1) while publications keep
+//!    flowing,
+//! 3. publish through the dead broker's cluster, then relaunch broker 0
+//!    with `--recover` and a bumped `--epoch`,
+//! 4. assert the consumer's delivery log is exactly-once and byte-identical
+//!    to the same interleaving on the deterministic `SimDriver` (crash and
+//!    all), that the survivors journaled the link drop / redial / re-up,
+//!    and that a zombie connection claiming the dead incarnation's epoch is
+//!    fenced off.
+//!
+//! Broker processes self-terminate after `--run-secs` as a safety net; the
+//! test kills them as soon as the scenario completes.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use rebeca_broker::ConsumerLog;
+use rebeca_net::wire::Frame;
+use rebeca_net::{ClusterConfig, Endpoint, NetConfig, SystemBuilderTcp};
+use rebeca_sim::{DelayModel, NodeId, SimDuration, Topology};
+
+use common::{
+    assert_exactly_once, run_until_deliveries, vacancy, CONSUMER, MOVE_AFTER, PRODUCER,
+    PUBLICATIONS,
+};
+
+/// Publications sent before the kill (the relocation settles inside them).
+const KILL_AFTER: u64 = 8;
+/// The epoch every broker starts with, so a zombie claiming less than it
+/// is provably stale.
+const BASE_EPOCH: u64 = 1;
+/// The epoch the relaunched broker 0 fences its own past with.
+const RESTART_EPOCH: u64 = 2;
+
+/// Kills the spawned broker processes on scope exit, panic included.
+struct Cluster {
+    children: Vec<Child>,
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Probes three free loopback ports by binding ephemeral listeners.
+fn probe_ports() -> Vec<u16> {
+    let probes: Vec<std::net::TcpListener> = (0..3)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind"))
+        .collect();
+    probes
+        .iter()
+        .map(|l| l.local_addr().unwrap().port())
+        .collect()
+}
+
+/// Spawns one broker process and waits for its `listening` readiness line
+/// (plus the `recovered` line when relaunching).  Returns `None` when the
+/// child dies before reporting, so the caller can retry with fresh ports.
+fn spawn_broker(
+    config_path: &std::path::Path,
+    broker: usize,
+    epoch: u64,
+    persist_dir: &std::path::Path,
+    recover: bool,
+) -> Option<Child> {
+    let binary = env!("CARGO_BIN_EXE_rebeca-node");
+    let mut command = Command::new(binary);
+    command
+        .arg("--config")
+        .arg(config_path)
+        .arg("--broker")
+        .arg(broker.to_string())
+        .arg("--run-secs")
+        .arg("180")
+        .arg("--epoch")
+        .arg(epoch.to_string())
+        .arg("--persist-dir")
+        .arg(persist_dir);
+    if recover {
+        command.arg("--recover");
+    }
+    let mut child = command
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn rebeca-node");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut lines = BufReader::new(stdout).lines();
+        while let Some(Ok(line)) = lines.next() {
+            if line.contains("listening") {
+                let _ = ready_tx.send(());
+                break;
+            }
+        }
+        // Keep draining so the child never blocks on a full pipe.
+        for _ in lines {}
+    });
+    match ready_rx.recv_timeout(Duration::from_secs(30)) {
+        Ok(()) => Some(child),
+        Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            None
+        }
+    }
+}
+
+/// The oracle: the identical interleaving — publications, relocation,
+/// mid-stream broker crash+recovery — on the deterministic simulator.
+fn chaos_sim_oracle() -> ConsumerLog {
+    let mut sys = common::builder(1).build().expect("sim build");
+    let consumer = sys.connect(CONSUMER, 0).expect("consumer connects");
+    consumer
+        .subscribe(&mut sys, common::parking_filter())
+        .expect("subscribe");
+    let producer = sys.connect(PRODUCER, 2).expect("producer connects");
+    let now = sys.now();
+    sys.run_until(now + SimDuration::from_millis(200));
+
+    for i in 1..=MOVE_AFTER {
+        producer.publish(&mut sys, vacancy(i)).expect("publish");
+    }
+    assert!(run_until_deliveries(&mut sys, MOVE_AFTER as usize, 60_000));
+    consumer.move_to(&mut sys, 1).expect("relocate");
+    for i in MOVE_AFTER + 1..=KILL_AFTER {
+        producer.publish(&mut sys, vacancy(i)).expect("publish");
+    }
+    assert!(run_until_deliveries(&mut sys, KILL_AFTER as usize, 60_000));
+
+    sys.crash_and_restart_broker(0).expect("sim crash+recover");
+
+    for i in KILL_AFTER + 1..=PUBLICATIONS {
+        producer.publish(&mut sys, vacancy(i)).expect("publish");
+    }
+    assert!(run_until_deliveries(
+        &mut sys,
+        PUBLICATIONS as usize,
+        60_000
+    ));
+    let log = sys.client_log(CONSUMER).unwrap().clone();
+    assert!(log.is_clean(), "oracle run must be clean");
+    log
+}
+
+/// Runs `rebeca-ctl` with the given arguments, returning (success, stdout).
+fn ctl(config_path: &std::path::Path, args: &[&str]) -> (bool, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_rebeca-ctl"))
+        .args(args)
+        .arg("--config")
+        .arg(config_path)
+        .output()
+        .expect("run rebeca-ctl");
+    (
+        output.status.success(),
+        format!(
+            "{}{}",
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr)
+        ),
+    )
+}
+
+/// Sends a stale-epoch `Hello` claiming to be node `from` and returns the
+/// `Fenced { expected }` reply, if the target rejects it.
+fn probe_zombie(endpoint: &Endpoint, from: usize, epoch: u64) -> Option<u64> {
+    let mut socket = std::net::TcpStream::connect(endpoint.to_string()).ok()?;
+    socket
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok()?;
+    let hello = Frame::Hello {
+        from: NodeId::new(from),
+        to: NodeId::new(1),
+        epoch,
+        listen: Endpoint::new("127.0.0.1", 1),
+        delay: DelayModel::Constant(0),
+    };
+    socket.write_all(&hello.encode_framed()).ok()?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    for _ in 0..50 {
+        match socket.read(&mut chunk) {
+            Ok(0) => return None, // closed without a reply
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => continue,
+        }
+        if let Ok((Frame::Fenced { expected }, _)) = Frame::decode_framed(&buf) {
+            return Some(expected);
+        }
+    }
+    None
+}
+
+#[test]
+fn sigkilled_broker_recovers_without_losing_or_duplicating_a_frame() {
+    let tmp = std::env::temp_dir().join(format!("rebeca-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("create temp dir");
+    let config_path = tmp.join("cluster.cfg");
+    let wal_dir = |broker: usize| tmp.join(format!("wal{broker}"));
+
+    let mut attempt = 0;
+    let (mut cluster, endpoints) = 'retry: loop {
+        attempt += 1;
+        let ports = probe_ports();
+        let endpoints: Vec<Endpoint> = ports
+            .iter()
+            .map(|&p| Endpoint::new("127.0.0.1", p))
+            .collect();
+        let cluster_cfg = ClusterConfig {
+            endpoints: endpoints.clone(),
+            topology: Topology::line(3),
+            delay: DelayModel::constant_millis(1),
+            seed: 7,
+        };
+        std::fs::write(&config_path, cluster_cfg.render()).expect("write config");
+        let mut cluster = Cluster {
+            children: Vec::new(),
+        };
+        for broker in 0..3 {
+            std::fs::create_dir_all(wal_dir(broker)).expect("create wal dir");
+            match spawn_broker(&config_path, broker, BASE_EPOCH, &wal_dir(broker), false) {
+                Some(child) => cluster.children.push(child),
+                None if attempt < 3 => continue 'retry,
+                None => panic!("broker processes failed to start after {attempt} attempts"),
+            }
+        }
+        break (cluster, endpoints);
+    };
+
+    // This process is the client process.  A short heartbeat makes the
+    // survivors notice the kill quickly.
+    let mut sys = common::builder(1)
+        .build_tcp(
+            NetConfig::new(endpoints.clone())
+                .seed(5)
+                .heartbeat(Duration::from_millis(100)),
+        )
+        .expect("client system builds");
+    let consumer = sys.connect(CONSUMER, 0).expect("consumer connects");
+    consumer
+        .subscribe(&mut sys, common::parking_filter())
+        .expect("subscribe");
+    let producer = sys.connect(PRODUCER, 2).expect("producer connects");
+    let now = sys.now();
+    sys.run_until(now + SimDuration::from_millis(500));
+
+    for i in 1..=MOVE_AFTER {
+        producer.publish(&mut sys, vacancy(i)).expect("publish");
+    }
+    assert!(
+        run_until_deliveries(&mut sys, MOVE_AFTER as usize, 60_000),
+        "first half not delivered"
+    );
+    consumer.move_to(&mut sys, 1).expect("relocate");
+    for i in MOVE_AFTER + 1..=KILL_AFTER {
+        producer.publish(&mut sys, vacancy(i)).expect("publish");
+    }
+    assert!(
+        run_until_deliveries(&mut sys, KILL_AFTER as usize, 60_000),
+        "pre-kill publications not delivered"
+    );
+
+    // SIGKILL the old border broker.  The consumer has settled at broker 1,
+    // so broker 0 is off the delivery path — but its links to the whole
+    // cluster die mid-traffic, and only its write-ahead log survives.
+    cluster.children[0].kill().expect("SIGKILL broker 0");
+    let _ = cluster.children[0].wait();
+
+    // Keep publishing while the broker is dead: the cluster must deliver
+    // through the surviving route without a hiccup.
+    for i in KILL_AFTER + 1..=PUBLICATIONS {
+        producer.publish(&mut sys, vacancy(i)).expect("publish");
+    }
+    assert!(
+        run_until_deliveries(&mut sys, PUBLICATIONS as usize, 60_000),
+        "publications during the outage not delivered"
+    );
+
+    // Relaunch broker 0 from its surviving WAL, epoch bumped so its zombie
+    // incarnation can never interleave with it.
+    let relaunched = spawn_broker(&config_path, 0, RESTART_EPOCH, &wal_dir(0), true)
+        .expect("broker 0 relaunches");
+    cluster.children[0] = relaunched;
+
+    // The scriptable recovery barrier: rebeca-ctl blocks until the
+    // relaunched broker reports its bumped restart epoch and its recovered
+    // WAL depth.
+    let (ok, out) = ctl(
+        &config_path,
+        &[
+            "wait",
+            "--until",
+            &format!("restart_epoch>={RESTART_EPOCH}"),
+            "--broker",
+            "0",
+            "--deadline-ms",
+            "30000",
+        ],
+    );
+    assert!(ok, "ctl wait for restart epoch failed: {out}");
+    assert!(out.contains("satisfies"), "wait reports the match: {out}");
+    let (ok, out) = ctl(
+        &config_path,
+        &[
+            "wait",
+            "--until",
+            "wal_depth>=1",
+            "--broker",
+            "0",
+            "--deadline-ms",
+            "30000",
+        ],
+    );
+    assert!(ok, "ctl wait for recovered WAL failed: {out}");
+
+    // The survivors noticed the death and healed their links: broker 1's
+    // writer to broker 0 dropped, redialled with backoff, and came back up.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let link_back = loop {
+        let report = rebeca_net::fetch_status(&endpoints[1], None, Duration::from_secs(5))
+            .expect("broker 1 serves status");
+        let link = report.brokers[0]
+            .links
+            .iter()
+            .find(|l| l.peer == 0)
+            .cloned();
+        if link.as_ref().is_some_and(|l| l.connected) {
+            break link.unwrap();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "broker 1 never re-established its link to broker 0: {link:?}"
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    };
+    assert!(
+        link_back.redial_attempts >= 1,
+        "the re-established link was redialled: {link_back:?}"
+    );
+    let journal = rebeca_net::fetch_status(&endpoints[1], Some(0), Duration::from_secs(5))
+        .expect("broker 1 serves its journal");
+    let kinds: Vec<&str> = journal.events.iter().map(|e| e.kind.as_str()).collect();
+    assert!(kinds.contains(&"link.drop"), "drop journaled: {kinds:?}");
+    assert!(
+        kinds.contains(&"link.redial"),
+        "redial journaled: {kinds:?}"
+    );
+    assert!(kinds.contains(&"link.up"), "re-up journaled: {kinds:?}");
+
+    // Epoch fencing: a zombie connection claiming the pre-kill incarnation
+    // of broker 0 (epoch 0 < BASE_EPOCH) is rejected by a survivor with the
+    // epoch it expects instead.
+    let expected = probe_zombie(&endpoints[1], 0, 0).expect("zombie hello is answered");
+    assert!(
+        expected >= BASE_EPOCH,
+        "fence reports the superseding epoch, got {expected}"
+    );
+    let journal = rebeca_net::fetch_status(&endpoints[1], Some(0), Duration::from_secs(5))
+        .expect("broker 1 serves its journal");
+    assert!(
+        journal.events.iter().any(|e| e.kind == "link.fenced"),
+        "the rejection is journaled"
+    );
+
+    // The one acceptance criterion everything above serves: across a
+    // process kill, an outage, and a recovery, the consumer saw every
+    // publication exactly once, byte-identical to the simulator oracle.
+    let log = sys.client_log(CONSUMER).unwrap().clone();
+    assert_exactly_once(&log);
+    assert_eq!(
+        log,
+        chaos_sim_oracle(),
+        "chaos delivery log must be byte-identical to the SimDriver oracle"
+    );
+
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -1,6 +1,9 @@
 //! Shared scenario pieces of the TCP integration tests: the quickstart
 //! topology, the mid-run relocation script, and the reference run on the
 //! deterministic simulator the TCP runs must match byte for byte.
+//!
+//! Each integration-test binary uses its own subset of these helpers.
+#![allow(dead_code)]
 
 use rebeca_broker::{ClientId, ConsumerLog};
 use rebeca_core::{BrokerConfig, MobilitySystem, SystemBuilder};

@@ -229,14 +229,23 @@ fn frame() -> BoxedStrategy<Frame> {
             }
         ),
         any::<u64>().prop_map(|epoch| Frame::Heartbeat { epoch }),
-        (node(), node(), any::<u64>(), message()).prop_map(|(from, to, delay_micros, message)| {
-            Frame::Message {
-                from,
-                to,
-                delay_micros,
-                message,
+        (node(), node(), any::<u64>(), any::<u64>(), message()).prop_map(
+            |(from, to, delay_micros, seq, message)| {
+                Frame::Message {
+                    from,
+                    to,
+                    delay_micros,
+                    seq,
+                    message,
+                }
             }
-        }),
+        ),
+        // The self-healing control vocabulary: acknowledgements, epoch
+        // fences, and the admin fault-injection frame must be as robust
+        // under corruption as the data plane.
+        any::<u64>().prop_map(|seq| Frame::Ack { seq }),
+        any::<u64>().prop_map(|expected| Frame::Fenced { expected }),
+        node().prop_map(|peer| Frame::LinkDrop { peer }),
     ]
     .boxed()
 }
@@ -304,6 +313,7 @@ fn sample_frame() -> Frame {
         from: NodeId::new(2),
         to: NodeId::new(0),
         delay_micros: 5000,
+        seq: 7,
         message: Message::Deliver(Delivery {
             subscriber: ClientId::new(1),
             filter: Filter::new().with("service", Constraint::Eq("parking".into())),

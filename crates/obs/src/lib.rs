@@ -360,16 +360,26 @@ pub struct LinkStatus {
     /// frame).  `None` when the peer has never been heard from, or under
     /// the in-process drivers, which have no heartbeats.
     pub last_heartbeat_age_ms: Option<u64>,
+    /// Milliseconds since the link lost its connection (writer redialing or
+    /// heartbeat silence past the liveness budget).  `None` while the link
+    /// is connected — and always under the in-process drivers.
+    pub down_since_ms: Option<u64>,
+    /// Cumulative redial attempts the local writer has made towards this
+    /// peer over the link's lifetime (0 under the in-process drivers).
+    pub redial_attempts: u64,
 }
 
 impl LinkStatus {
     /// Renders the link status as a JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"peer\":{},\"connected\":{},\"last_heartbeat_age_ms\":{}}}",
+            "{{\"peer\":{},\"connected\":{},\"last_heartbeat_age_ms\":{},\
+             \"down_since_ms\":{},\"redial_attempts\":{}}}",
             self.peer,
             self.connected,
-            json_opt_u64(self.last_heartbeat_age_ms)
+            json_opt_u64(self.last_heartbeat_age_ms),
+            json_opt_u64(self.down_since_ms),
+            self.redial_attempts
         )
     }
 }
@@ -647,6 +657,8 @@ mod tests {
                     peer: 1,
                     connected: true,
                     last_heartbeat_age_ms: Some(12),
+                    down_since_ms: None,
+                    redial_attempts: 4,
                 }],
             }],
             events: vec![ObsEvent {
@@ -660,6 +672,8 @@ mod tests {
         assert!(json.starts_with("{\"now_micros\":42,\"node_count\":4,"));
         assert!(json.contains("\"last_checkpoint_age_ms\":null"));
         assert!(json.contains("\"last_heartbeat_age_ms\":12"));
+        assert!(json.contains("\"down_since_ms\":null"));
+        assert!(json.contains("\"redial_attempts\":4"));
         assert!(json.contains("\"mobility.broker_restart\":1"));
         assert!(json.contains("\"kind\":\"wal.checkpoint\""));
         assert!(json.contains("\"p50\":127"));

@@ -77,6 +77,7 @@ GATED_PREFIXES = (
     "session/quickstart/",
     "net/quickstart/",
     "net/relocation/",
+    "net/reconnect/",
     "obs/quickstart/",
     "obs/metrics/",
 )
@@ -114,6 +115,12 @@ RATIO_GATES = [
     # connection setup regresses.
     ("net/quickstart/threaded/40", "net/quickstart/tcp/40"),
     ("net/relocation/threaded/40", "net/relocation/tcp/40"),
+    # Self-healing overhead: reference side = the clean tcp quickstart in the
+    # same process.  "Speedup" here is a fraction < 1 (the reconnect run is
+    # slower by construction — it survives forced drops and publishes one at
+    # a time); the gate trips when redial + resend + dedup cost grows the
+    # reconnect run relative to the clean run.
+    ("net/quickstart/tcp/40", "net/reconnect/tcp/40"),
     # Counter-key satellite: `incr` with an owned String key (the cost every
     # call paid before the Cow<'static, str> rework) vs the zero-allocation
     # &'static str path.  The gate trips when the static path loses its
