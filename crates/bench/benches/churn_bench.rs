@@ -21,7 +21,7 @@
 //! `scripts/bench_gate.py` regression-gates it in CI.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rebeca_bench::scenarios::{run_churn, ChurnScenario};
+use rebeca_bench::scenarios::{run_churn, run_storm, ChurnScenario, StormScenario};
 use rebeca_sim::SimDuration;
 
 /// The relocation-churn load at a given client count.
@@ -125,10 +125,65 @@ fn bench_static_floor(c: &mut Criterion) {
     group.finish();
 }
 
+/// Appends a synthetic count sample to `CRITERION_JSON` in the same
+/// concatenated-array format the criterion shim emits (the count rides the
+/// `ns_per_iter` field), so `scripts/bench_gate.py` picks it up alongside
+/// the timing samples.
+fn report_count(name: &str, count: u64) {
+    println!("{name:<60} count: {count:>10}");
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let record =
+        format!("[\n  {{\"name\": \"{name}\", \"ns_per_iter\": {count}.0, \"iters\": 1}}\n]\n");
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, record.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("churn_bench: cannot write {path}: {e}");
+    }
+}
+
+/// Subscription-control link messages in the relocation storm, scoped vs
+/// unscoped (`churn/link_messages/{scoped,unscoped}/400`).  The simulation
+/// is deterministic, so the counts are exact and machine-independent;
+/// `scripts/bench_gate.py` holds the unscoped/scoped ratio to a hard
+/// `>= 1.3x` floor (the tentpole's "≥ 30 % fewer subscription-control
+/// messages" claim) on every run.
+fn bench_link_messages(_c: &mut Criterion) {
+    let base = StormScenario {
+        verify: true,
+        ..StormScenario::default()
+    };
+    let scoped = run_storm(&base);
+    let unscoped = run_storm(&StormScenario {
+        scoped_relocation: false,
+        ..base
+    });
+    assert_eq!(
+        scoped.lost + unscoped.lost,
+        0,
+        "storm run lost notifications"
+    );
+    assert_eq!(scoped.expected, unscoped.expected, "storm runs diverged");
+    assert!(scoped.replayed > 0, "storm run exercised no replays");
+    report_count(
+        &format!("churn/link_messages/scoped/{}", base.clients),
+        scoped.control_messages,
+    );
+    report_count(
+        &format!("churn/link_messages/unscoped/{}", base.clients),
+        unscoped.control_messages,
+    );
+}
+
 criterion_group!(
     benches,
     bench_relocation_churn,
     bench_drain_pair,
-    bench_static_floor
+    bench_static_floor,
+    bench_link_messages
 );
 criterion_main!(benches);

@@ -18,3 +18,4 @@
 pub mod figures;
 pub mod scenarios;
 pub mod tables;
+pub mod workload;

@@ -607,6 +607,235 @@ pub fn run_churn(params: &ChurnScenario) -> ChurnOutcome {
     }
 }
 
+/// Parameters of the relocation-storm scenario: spatially clustered
+/// subscription groups on a longer broker line, zipf-skewed group
+/// popularity, and every consumer relocating within its cluster inside a
+/// short window.  The setting where covering-scoped relocation floods pay
+/// off: a relocation's `Relocate` control messages only need to travel
+/// within the group's cluster, while the unscoped protocol floods the whole
+/// line.
+#[derive(Debug, Clone)]
+pub struct StormScenario {
+    /// Number of mobile consumers.
+    pub clients: usize,
+    /// Number of distinct subscription groups.  Group `g`'s consumers all
+    /// live on the adjacent broker pair `{g % (homes-1), g % (homes-1) + 1}`.
+    pub groups: usize,
+    /// Brokers in the line topology (the last one hosts the producer).
+    pub brokers: usize,
+    /// Number of publications, zipf-distributed over the groups.
+    pub publications: u64,
+    /// Gap between publications.
+    pub publish_interval: SimDuration,
+    /// Zipf exponent of group popularity (consumers and publications).
+    pub zipf_exponent: f64,
+    /// Whether relocation floods are scoped to covering links (the broker
+    /// default) or flood every broker link (the unscoped oracle baseline).
+    pub scoped_relocation: bool,
+    /// Per-link delay.
+    pub link_delay: DelayModel,
+    /// Simulation seed.
+    pub seed: u64,
+    /// When set, the outcome audits every consumer log for lost and
+    /// duplicated publications.
+    pub verify: bool,
+}
+
+impl Default for StormScenario {
+    fn default() -> Self {
+        Self {
+            clients: 400,
+            groups: 30,
+            brokers: 13,
+            publications: 150,
+            publish_interval: SimDuration::from_millis(1),
+            zipf_exponent: 1.0,
+            scoped_relocation: true,
+            link_delay: DelayModel::constant_millis(1),
+            seed: 41,
+            verify: false,
+        }
+    }
+}
+
+/// Result of a relocation-storm run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StormOutcome {
+    /// Deliveries that reached consumers.
+    pub delivered: u64,
+    /// Deliveries the scenario owes its consumers.
+    pub expected: u64,
+    /// Publications a consumer never received (audited only with
+    /// [`StormScenario::verify`]).
+    pub lost: u64,
+    /// Publications a consumer received more than once (audited only with
+    /// [`StormScenario::verify`]; the same bounded hand-over sliver as
+    /// [`ChurnOutcome::duplicated`]).
+    pub duplicated: u64,
+    /// Notifications replayed from virtual counterparts.
+    pub replayed: u64,
+    /// Broker-to-broker `Subscribe` + `Unsubscribe` forwards.
+    pub subscribe_messages: u64,
+    /// Broker-to-broker `Relocate` floods.
+    pub relocate_messages: u64,
+    /// Broker-to-broker `Fetch` requests.
+    pub fetch_messages: u64,
+    /// All broker-to-broker subscription-control messages
+    /// (subscribe + unsubscribe + relocate + fetch).
+    pub control_messages: u64,
+    /// Total messages transmitted over links.
+    pub total_messages: u64,
+    /// Relocation-timeout guards still alive at the end (must be 0).
+    pub leaked_timeout_guards: usize,
+}
+
+/// The deterministic group assignment of storm consumer `i`.
+fn storm_groups(params: &StormScenario) -> Vec<usize> {
+    let mut zipf =
+        crate::workload::ZipfSampler::new(params.groups, params.zipf_exponent, params.seed);
+    (0..params.clients).map(|_| zipf.sample()).collect()
+}
+
+/// The deterministic publication groups of a storm run.
+fn storm_publication_groups(params: &StormScenario) -> Vec<usize> {
+    let mut zipf = crate::workload::ZipfSampler::new(
+        params.groups,
+        params.zipf_exponent,
+        params.seed.wrapping_add(1),
+    );
+    (0..params.publications).map(|_| zipf.sample()).collect()
+}
+
+/// Runs the relocation-storm scenario.
+pub fn run_storm(params: &StormScenario) -> StormOutcome {
+    assert!(
+        params.brokers >= 4,
+        "need producer + at least three home brokers"
+    );
+    assert!(params.clients > 0 && params.groups > 0);
+    let config = BrokerConfig::default()
+        .with_strategy(RoutingStrategyKind::Covering)
+        .with_movement_graph(MovementGraph::paper_example())
+        .with_relocation_timeout(SimDuration::from_secs(60))
+        .with_scoped_relocation(params.scoped_relocation);
+    let topo = Topology::line(params.brokers);
+    let mut sys = SystemBuilder::new(&topo)
+        .config(config)
+        .link_delay(params.link_delay)
+        .seed(params.seed)
+        .build()
+        .unwrap();
+
+    // Consumers of group g are clustered on the adjacent home-broker pair
+    // {base, base+1}; each relocates to the other broker of its pair inside
+    // a ~70 ms window, so floods overlap heavily ("storm").
+    let homes = params.brokers - 1;
+    let groups = storm_groups(params);
+    for (i, &group) in groups.iter().enumerate() {
+        let id = ClientId::new(10 + i as u32);
+        let base = group % (homes - 1);
+        let home = base + i % 2;
+        let target = base + (i + 1) % 2;
+        let script = vec![
+            (
+                SimTime::from_millis(1),
+                ClientAction::Attach {
+                    broker: sys.broker_node(home).unwrap(),
+                },
+            ),
+            (
+                SimTime::from_millis(2),
+                ClientAction::Subscribe(crate::workload::group_filter(group)),
+            ),
+            (
+                SimTime::from_millis(120 + (i % 67) as u64),
+                ClientAction::MoveTo {
+                    broker: sys.broker_node(target).unwrap(),
+                },
+            ),
+        ];
+        sys.add_client(
+            id,
+            LogicalMobilityMode::LocationDependent,
+            &[home, target],
+            script,
+        )
+        .unwrap();
+    }
+
+    // Producer at the far end; publication popularity follows subscription
+    // popularity (an independent zipf stream over the same groups).
+    let producer = ClientId::new(2);
+    let pub_groups = storm_publication_groups(params);
+    let mut script = vec![(
+        SimTime::from_millis(1),
+        ClientAction::Attach {
+            broker: sys.broker_node(params.brokers - 1).unwrap(),
+        },
+    )];
+    for (i, &g) in pub_groups.iter().enumerate() {
+        let at = SimTime::from_millis(50) + params.publish_interval.saturating_mul(i as u64);
+        script.push((
+            at,
+            ClientAction::Publish(crate::workload::group_notification(g, i as i64)),
+        ));
+    }
+    sys.add_client(
+        producer,
+        LogicalMobilityMode::LocationDependent,
+        &[params.brokers - 1],
+        script,
+    )
+    .unwrap();
+
+    let horizon = SimTime::from_millis(50)
+        + params
+            .publish_interval
+            .saturating_mul(params.publications + 1)
+        + SimDuration::from_secs(3);
+    sys.run_until(horizon);
+
+    let leaked_timeout_guards = (0..sys.broker_count())
+        .map(|b| sys.broker(b).unwrap().timeout_tag_count())
+        .sum();
+    let group_size = |g: usize| -> u64 { groups.iter().filter(|&&x| x == g).count() as u64 };
+    let expected = pub_groups.iter().map(|&g| group_size(g)).sum();
+    let (mut lost, mut duplicated) = (0u64, 0u64);
+    if params.verify {
+        for (i, &group) in groups.iter().enumerate() {
+            let id = ClientId::new(10 + i as u32);
+            let log = sys.client_log(id).unwrap();
+            // Publication j (publisher_seq j + 1) goes to group
+            // pub_groups[j].
+            let expected_seqs = pub_groups
+                .iter()
+                .enumerate()
+                .filter(|(_, &g)| g == group)
+                .map(|(j, _)| j as u64 + 1);
+            let received = log.distinct_publisher_seqs(producer);
+            lost += expected_seqs.filter(|s| !received.contains(s)).count() as u64;
+            duplicated += log.duplicate_publications(producer) as u64;
+        }
+    }
+    let m = sys.metrics();
+    let subscribe_messages = m.counter("broker.tx.subscribe") + m.counter("broker.tx.unsubscribe");
+    let relocate_messages = m.counter("broker.tx.relocate");
+    let fetch_messages = m.counter("broker.tx.fetch");
+    StormOutcome {
+        delivered: m.counter("client.delivered"),
+        expected,
+        lost,
+        duplicated,
+        replayed: m.counter("mobility.replayed"),
+        subscribe_messages,
+        relocate_messages,
+        fetch_messages,
+        control_messages: subscribe_messages + relocate_messages + fetch_messages,
+        total_messages: sys.total_messages(),
+        leaked_timeout_guards,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -706,6 +935,67 @@ mod tests {
             drained.total_messages,
             immediate.total_messages
         );
+    }
+
+    #[test]
+    fn storm_scenario_is_complete_and_leak_free() {
+        let outcome = run_storm(&StormScenario {
+            clients: 150,
+            groups: 20,
+            publications: 150,
+            verify: true,
+            ..StormScenario::default()
+        });
+        assert_eq!(outcome.lost, 0, "relocation storm must lose nothing");
+        assert!(
+            outcome.duplicated * 50 <= outcome.expected,
+            "hand-over duplicates must stay a bounded sliver: {} of {}",
+            outcome.duplicated,
+            outcome.expected
+        );
+        assert_eq!(outcome.delivered, outcome.expected + outcome.duplicated);
+        assert!(
+            outcome.replayed > 0,
+            "relocations must exercise the replay path"
+        );
+        assert_eq!(outcome.leaked_timeout_guards, 0);
+    }
+
+    #[test]
+    fn scoped_relocation_cuts_control_traffic_by_thirty_percent() {
+        // Same storm twice, only the flood scope differs.  The unscoped
+        // (paper-baseline) protocol forwards every Relocate across every
+        // broker link of a 13-broker line; the scoped protocol stops at
+        // links without a covering routing entry, so each relocation stays
+        // inside its group's two-broker cluster.
+        let base = StormScenario {
+            clients: 150,
+            groups: 20,
+            publications: 150,
+            verify: true,
+            ..StormScenario::default()
+        };
+        let scoped = run_storm(&base);
+        let unscoped = run_storm(&StormScenario {
+            scoped_relocation: false,
+            ..base
+        });
+        // Equal deliveries: both runs owe the same publications and lose
+        // nothing (duplicates are the usual bounded hand-over sliver).
+        assert_eq!(scoped.expected, unscoped.expected);
+        assert_eq!(scoped.lost, 0);
+        assert_eq!(unscoped.lost, 0);
+        assert_eq!(scoped.delivered, scoped.expected + scoped.duplicated);
+        assert_eq!(unscoped.delivered, unscoped.expected + unscoped.duplicated);
+        // ...at ≥ 30 % fewer broker-to-broker subscription-control messages.
+        assert!(
+            scoped.control_messages * 10 <= unscoped.control_messages * 7,
+            "scoped {} vs unscoped {} control messages",
+            scoped.control_messages,
+            unscoped.control_messages
+        );
+        assert_eq!(scoped.leaked_timeout_guards, 0);
+        assert_eq!(unscoped.leaked_timeout_guards, 0);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Seeded, skew-aware workload generation shared by the matcher and churn
+//! benchmarks.
+//!
+//! Real subscription populations are zipf-skewed: a few "hot" groups hold
+//! most of the subscribers, a long tail of groups holds one or two each.
+//! That skew is exactly what subscription subgrouping and covering
+//! summaries exploit (many byte-identical filters collapse into one
+//! subgroup / one posting list), so the benchmarks have to generate it the
+//! same way everywhere.  [`ZipfSampler`] is a deterministic inverse-CDF
+//! sampler over `P(k) ∝ 1 / (k+1)^s`; [`zipf_group_filters`] and
+//! [`zipf_group_notifications`] turn it into the telemetry-group filters
+//! and notifications the churn scenario routes.
+
+use rebeca_filter::{Constraint, Filter, Notification, Value};
+
+/// A deterministic sampler over `0..n` with zipf weights
+/// `P(k) ∝ 1 / (k+1)^exponent`.
+///
+/// Sampling uses a private xorshift64* stream seeded explicitly, so two
+/// samplers with the same `(n, exponent, seed)` produce identical sequences
+/// on every platform — benchmark workloads and simulation scenarios stay
+/// reproducible without threading a shared RNG through every call site.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative weights, `cdf[k]` = P(X <= k), scaled to the total.
+    cdf: Vec<f64>,
+    state: u64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `0..n` (n >= 1) with the given skew exponent
+    /// (`0.0` = uniform, `~1.0` = classic zipf) and seed.
+    pub fn new(n: usize, exponent: f64, seed: u64) -> Self {
+        assert!(n >= 1, "zipf domain must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self {
+            cdf,
+            // xorshift64* must not start at 0.
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// The next uniform value in `[0, 1)`.
+    fn next_unit(&mut self) -> f64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+
+    /// Draws the next zipf-distributed value in `0..n`.
+    pub fn sample(&mut self) -> usize {
+        let u = self.next_unit();
+        // Binary search for the first cdf entry >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of distinct values the sampler draws from.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// The subscription filter of telemetry group `g` (the filter family of the
+/// churn scenario: `service = telemetry ∧ group = g`).
+pub fn group_filter(g: usize) -> Filter {
+    Filter::new()
+        .with("service", Constraint::Eq("telemetry".into()))
+        .with("group", Constraint::Eq(Value::Int(g as i64)))
+}
+
+/// A telemetry notification for group `g`.
+pub fn group_notification(g: usize, reading: i64) -> Notification {
+    Notification::builder()
+        .attr("service", "telemetry")
+        .attr("group", g as i64)
+        .attr("reading", reading)
+        .build()
+}
+
+/// `count` zipf-skewed subscription filters over `groups` telemetry groups:
+/// the population a routing table holds under realistic skew (hot groups
+/// repeat often, so subgrouping collapses most of the list).
+pub fn zipf_group_filters(groups: usize, count: usize, exponent: f64, seed: u64) -> Vec<Filter> {
+    let mut zipf = ZipfSampler::new(groups, exponent, seed);
+    (0..count).map(|_| group_filter(zipf.sample())).collect()
+}
+
+/// `count` zipf-skewed telemetry notifications over `groups` groups
+/// (publication popularity follows subscription popularity).
+pub fn zipf_group_notifications(
+    groups: usize,
+    count: usize,
+    exponent: f64,
+    seed: u64,
+) -> Vec<Notification> {
+    let mut zipf = ZipfSampler::new(groups, exponent, seed);
+    (0..count)
+        .map(|i| group_notification(zipf.sample(), i as i64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_is_deterministic_and_in_range() {
+        let mut a = ZipfSampler::new(50, 1.0, 7);
+        let mut b = ZipfSampler::new(50, 1.0, 7);
+        for _ in 0..1000 {
+            let x = a.sample();
+            assert_eq!(x, b.sample());
+            assert!(x < 50);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_low_ranks() {
+        let mut zipf = ZipfSampler::new(100, 1.1, 3);
+        let head = (0..10_000).filter(|_| zipf.sample() < 10).count();
+        // Under uniform sampling the first 10 ranks would get ~10% of the
+        // draws; zipf at s=1.1 concentrates well over a third there.
+        assert!(head > 3_500, "head draws: {head}");
+    }
+
+    #[test]
+    fn uniform_exponent_spreads_mass() {
+        let mut flat = ZipfSampler::new(100, 0.0, 3);
+        let head = (0..10_000).filter(|_| flat.sample() < 10).count();
+        assert!((700..1_400).contains(&head), "head draws: {head}");
+    }
+
+    #[test]
+    fn filters_share_identical_instances_under_skew() {
+        let filters = zipf_group_filters(50, 1_000, 1.0, 11);
+        assert_eq!(filters.len(), 1_000);
+        let distinct: std::collections::BTreeSet<_> = filters.iter().collect();
+        assert!(
+            distinct.len() < filters.len() / 4,
+            "skewed population must repeat filters heavily: {} distinct",
+            distinct.len()
+        );
+    }
+}

@@ -53,6 +53,7 @@ pub fn broker_status(
         restart_epoch,
         generation: broker.machine().generation(),
         routing_entries: broker.routing_entries() as u64,
+        routing_subgroups: broker.routing_subgroups() as u64,
         wal_depth: log.depth(),
         wal_since_checkpoint: log.since_checkpoint(),
         last_checkpoint_age_ms: broker

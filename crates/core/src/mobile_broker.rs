@@ -91,6 +91,11 @@ pub struct BrokerConfig {
     pub persistence: PersistenceConfig,
     /// Records between WAL compaction checkpoints (0 disables compaction).
     pub wal_checkpoint_every: usize,
+    /// Scope relocation floods to broker links holding a covering routing
+    /// entry (the default).  Disable only as an instrumentation baseline:
+    /// unscoped floods send `Relocate` over every broker link, as the plain
+    /// Section 4 protocol does.
+    pub scoped_relocation: bool,
 }
 
 impl Default for BrokerConfig {
@@ -102,6 +107,7 @@ impl Default for BrokerConfig {
             drain_interval: None,
             persistence: PersistenceConfig::InMemory,
             wal_checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            scoped_relocation: true,
         }
     }
 }
@@ -143,6 +149,12 @@ impl BrokerConfig {
     /// (0 disables compaction).
     pub fn with_wal_checkpoint_every(mut self, records: usize) -> Self {
         self.wal_checkpoint_every = records;
+        self
+    }
+
+    /// Enables or disables covering-scoped relocation floods.
+    pub fn with_scoped_relocation(mut self, scoped: bool) -> Self {
+        self.scoped_relocation = scoped;
         self
     }
 }
@@ -202,7 +214,8 @@ impl MobileBroker {
         config: BrokerConfig,
         log: HandoffLog,
     ) -> Self {
-        let machine = RelocationMachine::new(config.relocation_timeout, log);
+        let mut machine = RelocationMachine::new(config.relocation_timeout, log);
+        machine.set_scoped_flood(config.scoped_relocation);
         let wal_appends_seen = machine.log().appends_total();
         let wal_checkpoints_seen = machine.log().checkpoints_total();
         Self {
@@ -234,7 +247,9 @@ impl MobileBroker {
         log: HandoffLog,
     ) -> (Self, Vec<u64>) {
         let mut core = BrokerCore::new(id, role, broker_links, config.strategy);
-        let (machine, tags) = RelocationMachine::recover(config.relocation_timeout, log, &mut core);
+        let (mut machine, tags) =
+            RelocationMachine::recover(config.relocation_timeout, log, &mut core);
+        machine.set_scoped_flood(config.scoped_relocation);
         let recovery_note = Some(format!(
             "broker={id} generation={} wal_depth={} rearmed_holdings={}",
             machine.generation(),
@@ -331,6 +346,13 @@ impl MobileBroker {
     /// Number of entries in the content-based routing table.
     pub fn routing_entries(&self) -> usize {
         self.core.engine().table_size()
+    }
+
+    /// Number of subscription subgroups (distinct filters) in the routing
+    /// table; `routing_entries() / routing_subgroups()` is the table's
+    /// compaction ratio.
+    pub fn routing_subgroups(&self) -> usize {
+        self.core.engine().subgroup_count()
     }
 
     /// When this broker last compacted its WAL (`None` until the first

@@ -82,6 +82,17 @@ fn crash_restart_under_traffic_is_visible_in_status_and_stays_exactly_once() {
         before.brokers.iter().any(|b| b.routing_entries > 0),
         "the subscription must be installed somewhere"
     );
+    for b in &before.brokers {
+        assert!(
+            b.routing_subgroups <= b.routing_entries,
+            "subgroups compact entries, never exceed them"
+        );
+        assert_eq!(
+            b.routing_subgroups == 0,
+            b.routing_entries == 0,
+            "a non-empty table has at least one subgroup"
+        );
+    }
 
     // First half of the stream, then the scripted relocation.
     for i in 1..=5 {
@@ -169,6 +180,7 @@ fn crash_restart_under_traffic_is_visible_in_status_and_stays_exactly_once() {
         "\"now_micros\"",
         "\"brokers\"",
         "\"routing_entries\"",
+        "\"routing_subgroups\"",
         "\"wal_depth\"",
         "\"restart_epoch\"",
         "\"handoff_latency_micros\"",

@@ -58,6 +58,14 @@ impl ConstraintArena {
         }
     }
 
+    /// Id of `constraint` when it is already interned, without touching the
+    /// reference counts (used by the identity fast path to resolve probe
+    /// filters against the store).
+    #[inline]
+    pub(crate) fn lookup(&self, constraint: &Constraint) -> Option<u32> {
+        self.ids.get(constraint).copied()
+    }
+
     /// The interned constraint behind `cid`.
     #[inline]
     pub(crate) fn get(&self, cid: u32) -> &Constraint {

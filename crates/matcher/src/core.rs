@@ -34,6 +34,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::hash::Hash;
 
 use rebeca_filter::{Filter, Notification};
+use smallvec::SmallVec;
 
 use crate::scratch::{with_thread_scratch, MatchScratch, LANE_COUNT};
 use crate::store::PredStore;
@@ -49,8 +50,23 @@ fn attr_hash(name: &str) -> u64 {
     h
 }
 
+/// Deterministic structural hash of a filter (`DefaultHasher` uses fixed
+/// SipHash keys, and `Filter` iterates in canonical attribute order, so
+/// equal filters always collide).  Used as the identity-bucket key; matches
+/// are verified exactly, so hash collisions cost time, never correctness.
+pub(crate) fn filter_fingerprint(filter: &Filter) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    filter.len().hash(&mut h);
+    for (name, constraint) in filter.iter() {
+        name.hash(&mut h);
+        constraint.hash(&mut h);
+    }
+    h.finish()
+}
+
 /// Location of one constraint of an indexed filter.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 struct PredRef {
     store: u32,
     attr: u32,
@@ -63,6 +79,8 @@ struct IndexEntry<K> {
     key: K,
     constraint_count: u32,
     preds: Vec<PredRef>,
+    /// Structural hash of the filter, keying the identity buckets.
+    fingerprint: u64,
 }
 
 /// The sharded predicate index engine.
@@ -75,6 +93,12 @@ pub(crate) struct IndexCore<K> {
     /// Filters with zero constraints (they match everything and cover
     /// nothing but other universal filters); kept sorted for determinism.
     universal: BTreeSet<u32>,
+    /// Identity buckets: structural filter hash → entries with that hash.
+    /// `covers_any` answers a probe identical to any stored filter in
+    /// O(|probe|) from here (covering is reflexive), which is the common
+    /// case for subscription churn — crowds re-subscribing with the same
+    /// handful of filters.
+    identity: HashMap<u64, SmallVec<u32, 2>>,
 }
 
 impl<K> IndexCore<K> {
@@ -86,6 +110,7 @@ impl<K> IndexCore<K> {
             entries: Vec::new(),
             free: Vec::new(),
             universal: BTreeSet::new(),
+            identity: HashMap::new(),
         }
     }
 
@@ -136,12 +161,13 @@ impl<K: Eq + Hash + Clone> IndexCore<K> {
                 (self.entries.len() - 1) as u32
             }
         };
+        let solo = filter.len() == 1;
         let mut preds = Vec::with_capacity(filter.len());
         for (name, constraint) in filter.iter() {
             let store_id = self.shard_of(name);
             let store = &mut self.stores[store_id];
             let attr = store.ensure_attr(name);
-            let pred = store.add_constraint(attr, constraint, fid);
+            let pred = store.add_constraint(attr, constraint, fid, solo);
             preds.push(PredRef {
                 store: store_id as u32,
                 attr,
@@ -151,10 +177,13 @@ impl<K: Eq + Hash + Clone> IndexCore<K> {
         if preds.is_empty() {
             self.universal.insert(fid);
         }
+        let fingerprint = filter_fingerprint(filter);
+        self.identity.entry(fingerprint).or_default().push(fid);
         self.entries[fid as usize] = Some(IndexEntry {
             key: key.clone(),
             constraint_count: preds.len() as u32,
             preds,
+            fingerprint,
         });
         self.keys.insert(key, fid);
     }
@@ -164,12 +193,59 @@ impl<K: Eq + Hash + Clone> IndexCore<K> {
             return false;
         };
         let entry = self.entries[fid as usize].take().expect("live entry");
+        let solo = entry.constraint_count == 1;
         for PredRef { store, attr, pred } in entry.preds {
-            self.stores[store as usize].remove_constraint(attr, pred, fid);
+            self.stores[store as usize].remove_constraint(attr, pred, fid, solo);
+        }
+        let bucket = self
+            .identity
+            .get_mut(&entry.fingerprint)
+            .expect("identity bucket");
+        let pos = bucket
+            .iter()
+            .position(|&f| f == fid)
+            .expect("fid in identity bucket");
+        bucket.remove(pos);
+        if bucket.is_empty() {
+            self.identity.remove(&entry.fingerprint);
         }
         self.universal.remove(&fid);
         self.free.push(fid);
         true
+    }
+
+    /// `true` when a stored filter is structurally identical to `filter`.
+    ///
+    /// Resolves the probe's constraints against the shard stores (pure
+    /// lookups, no interning) and compares the resulting predicate list
+    /// against each entry in the probe's identity bucket — `Filter`
+    /// iterates in canonical attribute order, so equal filters resolve to
+    /// equal predicate lists in equal order.
+    pub(crate) fn has_identical(&self, filter: &Filter) -> bool {
+        let Some(bucket) = self.identity.get(&filter_fingerprint(filter)) else {
+            return false;
+        };
+        let mut resolved: SmallVec<PredRef, 8> = SmallVec::new();
+        for (name, constraint) in filter.iter() {
+            let store_id = self.shard_of(name);
+            let store = &self.stores[store_id];
+            let Some(attr) = store.attr_id(name) else {
+                return false;
+            };
+            let Some(pred) = store.resolve_pred(attr, constraint) else {
+                return false;
+            };
+            resolved.push(PredRef {
+                store: store_id as u32,
+                attr,
+                pred,
+            });
+        }
+        bucket.iter().any(|&fid| {
+            let entry = self.entry(fid);
+            entry.constraint_count as usize == resolved.len()
+                && entry.preds.as_slice() == resolved.as_slice()
+        })
     }
 
     pub(crate) fn clear(&mut self) {
@@ -275,9 +351,27 @@ impl<K: Eq + Hash + Clone> IndexCore<K> {
     }
 
     /// `true` when at least one stored filter covers `filter`.
+    ///
+    /// Fast paths, in order: a stored universal filter covers everything; a
+    /// stored filter identical to the probe covers it reflexively (one hash
+    /// lookup); a stored single-constraint filter covering one probe
+    /// constraint covers the whole probe (answered by the per-attribute
+    /// covering summaries).  Only when all three miss does the counting
+    /// walk over the covering partitions run.
     pub(crate) fn covers_any(&self, filter: &Filter, scratch: &mut MatchScratch) -> bool {
         if !self.universal.is_empty() {
             return true;
+        }
+        if self.has_identical(filter) {
+            return true;
+        }
+        for (name, constraint) in filter.iter() {
+            let store = &self.stores[self.shard_of(name)];
+            if let Some(attr_id) = store.attr_id(name) {
+                if store.solo_covers(attr_id, constraint) {
+                    return true;
+                }
+            }
         }
         scratch.begin(self.entries.len());
         for (name, constraint) in filter.iter() {
@@ -306,29 +400,58 @@ impl<K: Eq + Hash + Clone> IndexCore<K> {
 
     /// Keys of **exactly** the stored filters `filter` covers, sorted by
     /// insertion slot.
-    pub(crate) fn covered_keys(&self, filter: &Filter, scratch: &mut MatchScratch) -> Vec<&K> {
+    ///
+    /// Runs an *anchored* walk: a covered filter must constrain every probe
+    /// attribute, so only the probe attribute with the smallest candidate
+    /// posting volume is enumerated, and each candidate is verified exactly
+    /// against the remaining probe constraints through its own predicate
+    /// list.  With a selective anchor (e.g. the group id of a subscription
+    /// class) the walk is proportional to the covered group's size, not to
+    /// the table size.
+    pub(crate) fn covered_keys(&self, filter: &Filter) -> Vec<&K> {
         if filter.is_empty() {
             // The universal filter covers everything.
             return self.keys_of(self.keys.values().copied().collect());
         }
-        let needed = filter.len() as u32;
-        let mut fids = Vec::new();
-        scratch.begin(self.entries.len());
+        let mut probes = Vec::with_capacity(filter.len());
         for (name, constraint) in filter.iter() {
-            let store = &self.stores[self.shard_of(name)];
-            let Some(attr_id) = store.attr_id(name) else {
+            let store_id = self.shard_of(name);
+            let Some(attr_id) = self.stores[store_id].attr_id(name) else {
                 // Some attribute of `filter` is constrained by no stored
                 // filter at all — nothing can be covered.
                 return Vec::new();
             };
-            store.for_each_covered(attr_id, constraint, &mut |pred| {
-                for &fid in &pred.postings {
-                    if scratch.bump(fid) == needed {
-                        fids.push(fid);
+            probes.push((store_id as u32, attr_id, constraint));
+        }
+        let anchor = probes
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(s, a, c))| self.stores[s as usize].covered_volume(a, c))
+            .map(|(i, _)| i)
+            .expect("non-empty probe");
+        let (astore, aattr, aconstraint) = probes[anchor];
+        let mut fids = Vec::new();
+        self.stores[astore as usize].for_each_covered(aattr, aconstraint, &mut |pred| {
+            'candidate: for &fid in &pred.postings {
+                let entry = self.entry(fid);
+                if (entry.constraint_count as usize) < probes.len() {
+                    continue;
+                }
+                for (i, &(s, a, c)) in probes.iter().enumerate() {
+                    if i == anchor {
+                        // The anchor constraint was verified by the walk.
+                        continue;
+                    }
+                    let Some(pr) = entry.preds.iter().find(|p| p.store == s && p.attr == a) else {
+                        continue 'candidate;
+                    };
+                    if !c.covers(self.stores[s as usize].constraint_of(a, pr.pred)) {
+                        continue 'candidate;
                     }
                 }
-            });
-        }
+                fids.push(fid);
+            }
+        });
         self.keys_of(fids)
     }
 

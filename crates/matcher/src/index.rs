@@ -194,7 +194,7 @@ impl<K: Eq + Hash + Clone> FilterIndex<K> {
     /// by insertion slot.  Same counting walk as
     /// [`FilterIndex::covering_keys`], with the covering test reversed.
     pub fn covered_keys(&self, filter: &Filter) -> Vec<&K> {
-        with_thread_scratch(|s| self.core.covered_keys(filter, s))
+        self.core.covered_keys(filter)
     }
 
     /// Keys of the stored filters constraining **exactly** the same

@@ -177,7 +177,7 @@ impl<K: Eq + Hash + Clone> ShardedFilterIndex<K> {
     /// Keys of **exactly** the stored filters that `filter` covers, sorted
     /// by insertion slot.
     pub fn covered_keys(&self, filter: &Filter) -> Vec<&K> {
-        with_thread_scratch(|s| self.core.covered_keys(filter, s))
+        self.core.covered_keys(filter)
     }
 
     /// Keys of the stored filters constraining **exactly** the same

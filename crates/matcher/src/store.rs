@@ -120,6 +120,10 @@ pub(crate) struct Pred {
     pub(crate) mask_slot: u32,
     /// Filters using this predicate (insertion order, deterministic).
     pub(crate) postings: SmallVec<u32, 4>,
+    /// How many of the postings belong to *single-constraint* filters.  A
+    /// solo predicate that covers a probe constraint proves covering of the
+    /// whole probe filter, which is what the covering summary exploits.
+    solo: u32,
 }
 
 type ClassMap = BTreeMap<u64, SmallVec<u32, 2>>;
@@ -157,6 +161,24 @@ struct AttrIndex {
     /// Filters constraining this attribute (sorted, deterministic), used by
     /// the same-attribute counting walks.
     filters: BTreeSet<u32>,
+    /// Covering summary, maintained incrementally on insert/remove: the
+    /// bound keys of predicates used by at least one single-constraint
+    /// filter, per ordered class, with the number of such predicates at
+    /// each key.  [`PredStore::solo_covers`] answers "does some stored
+    /// one-constraint filter cover this probe constraint?" from these maps
+    /// in a handful of ordered lookups — no posting list is walked at all.
+    solo_lt: BTreeMap<u64, u32>,
+    solo_le: BTreeMap<u64, u32>,
+    solo_gt: BTreeMap<u64, u32>,
+    solo_ge: BTreeMap<u64, u32>,
+    /// Canonical value keys of solo `Eq`/`In` predicates — the value-set
+    /// union of the equality summary (one count per registered key).
+    solo_eq: HashMap<CanonKey, u32>,
+    /// Number of solo `Exists` predicates (each covers every probe).
+    solo_exists: u32,
+    /// Number of solo residual predicates (verified exactly when probed;
+    /// the residual list stays short by construction).
+    solo_residual: u32,
 }
 
 impl AttrIndex {
@@ -226,13 +248,15 @@ impl PredStore {
     }
 
     /// Registers `fid` as a user of `constraint` on the attribute, creating
-    /// the deduplicated predicate if this is its first user.  Returns the
-    /// predicate id.
+    /// the deduplicated predicate if this is its first user.  `solo` marks
+    /// `fid` as a single-constraint filter, which feeds the covering
+    /// summary.  Returns the predicate id.
     pub(crate) fn add_constraint(
         &mut self,
         attr_id: u32,
         constraint: &Constraint,
         fid: u32,
+        solo: bool,
     ) -> u32 {
         let cid = self.arena.intern(constraint);
         let attr = &mut self.attrs[attr_id as usize];
@@ -256,28 +280,42 @@ impl PredStore {
             }
         };
         let attr = &mut self.attrs[attr_id as usize];
-        attr.preds[pred_id as usize]
-            .as_mut()
-            .expect("live pred")
-            .postings
-            .push(fid);
+        let first_solo = {
+            let pred = attr.preds[pred_id as usize].as_mut().expect("live pred");
+            pred.postings.push(fid);
+            if solo {
+                pred.solo += 1;
+            }
+            solo && pred.solo == 1
+        };
+        if first_solo {
+            register_solo(attr, pred_id);
+        }
         attr.filters.insert(fid);
         pred_id
     }
 
     /// Unregisters `fid` from the predicate, dropping the predicate when its
-    /// posting list becomes empty.
-    pub(crate) fn remove_constraint(&mut self, attr_id: u32, pred_id: u32, fid: u32) {
+    /// posting list becomes empty.  `solo` must match the flag the filter
+    /// was inserted with so the covering summary stays balanced.
+    pub(crate) fn remove_constraint(&mut self, attr_id: u32, pred_id: u32, fid: u32, solo: bool) {
         let attr = &mut self.attrs[attr_id as usize];
-        let postings = &mut attr.preds[pred_id as usize]
-            .as_mut()
-            .expect("live pred")
-            .postings;
-        let pos = postings
-            .iter()
-            .position(|&f| f == fid)
-            .expect("fid in postings");
-        postings.remove(pos);
+        let last_solo = {
+            let pred = attr.preds[pred_id as usize].as_mut().expect("live pred");
+            let pos = pred
+                .postings
+                .iter()
+                .position(|&f| f == fid)
+                .expect("fid in postings");
+            pred.postings.remove(pos);
+            if solo {
+                pred.solo -= 1;
+            }
+            solo && pred.solo == 0
+        };
+        if last_solo {
+            unregister_solo(attr, pred_id);
+        }
         attr.filters.remove(&fid);
         if attr.preds[pred_id as usize]
             .as_ref()
@@ -596,6 +634,206 @@ impl PredStore {
             }
         }
     }
+
+    /// `true` when some stored **single-constraint** filter on this
+    /// attribute provably covers `probe` — a sufficient covering witness
+    /// for any probe filter constraining the attribute, answered from the
+    /// covering summary without walking a single posting list.
+    ///
+    /// Summary keys strictly inside the covering range imply covering by
+    /// monotonicity of [`num_sort_key`] (a strictly larger key is a strictly
+    /// larger bound); boundary keys are verified exactly against the class
+    /// lists, since distinct huge `i64`/`f64` bounds can collide on one key.
+    /// A `false` result only means "no one-constraint witness found" — the
+    /// caller falls back to the counting walk.
+    pub(crate) fn solo_covers(&self, attr_id: u32, probe: &Constraint) -> bool {
+        let attr = &self.attrs[attr_id as usize];
+        if attr.solo_exists > 0 {
+            return true;
+        }
+        if attr.solo_residual > 0
+            && attr.residual.iter().any(|&id| {
+                let pred = attr.pred(id);
+                pred.solo > 0 && self.arena.get(pred.cid).covers(probe)
+            })
+        {
+            return true;
+        }
+        let above =
+            |map: &BTreeMap<u64, u32>, k: u64| map.range((Excluded(k), Unbounded)).next().is_some();
+        let below = |map: &BTreeMap<u64, u32>, k: u64| map.range(..k).next().is_some();
+        let verify_at = |class: &ClassMap, solo: &BTreeMap<u64, u32>, k: u64| {
+            solo.contains_key(&k)
+                && class.get(&k).is_some_and(|list| {
+                    list.iter().any(|&id| {
+                        let pred = attr.pred(id);
+                        pred.solo > 0 && self.arena.get(pred.cid).covers(probe)
+                    })
+                })
+        };
+        let verify_eq_class = |k: &CanonKey| {
+            attr.solo_eq.contains_key(k)
+                && attr.eq.get(k).is_some_and(|list| {
+                    list.iter().any(|&id| {
+                        let pred = attr.pred(id);
+                        pred.solo > 0 && self.arena.get(pred.cid).covers(probe)
+                    })
+                })
+        };
+        match probe {
+            // Only `Exists` covers `Exists` (summary count checked above).
+            Constraint::Exists => false,
+            Constraint::Eq(v) => {
+                if verify_eq_class(&canon_key(v)) {
+                    return true;
+                }
+                value_num_key(v).is_some_and(|vk| {
+                    above(&attr.solo_lt, vk)
+                        || above(&attr.solo_le, vk)
+                        || below(&attr.solo_gt, vk)
+                        || below(&attr.solo_ge, vk)
+                        || verify_at(&attr.lt, &attr.solo_lt, vk)
+                        || verify_at(&attr.le, &attr.solo_le, vk)
+                        || verify_at(&attr.gt, &attr.solo_gt, vk)
+                        || verify_at(&attr.ge, &attr.solo_ge, vk)
+                })
+            }
+            // A covering equality predicate accepts every member, so it is
+            // registered under the first member's key; ordered predicates
+            // never provably cover a set (`Constraint::covers` is sound but
+            // not complete there, matching `for_each_covering`).
+            Constraint::In(set) => set
+                .iter()
+                .next()
+                .is_some_and(|first| verify_eq_class(&canon_key(first))),
+            Constraint::Lt(b) | Constraint::Le(b) => value_num_key(b).is_some_and(|bk| {
+                above(&attr.solo_lt, bk)
+                    || above(&attr.solo_le, bk)
+                    || verify_at(&attr.lt, &attr.solo_lt, bk)
+                    || verify_at(&attr.le, &attr.solo_le, bk)
+            }),
+            Constraint::Gt(b) | Constraint::Ge(b) => value_num_key(b).is_some_and(|bk| {
+                below(&attr.solo_gt, bk)
+                    || below(&attr.solo_ge, bk)
+                    || verify_at(&attr.gt, &attr.solo_gt, bk)
+                    || verify_at(&attr.ge, &attr.solo_ge, bk)
+            }),
+            Constraint::Between(lo, hi) => {
+                match (value_num_key(lo), value_num_key(hi)) {
+                    (Some(lk), Some(hk)) => {
+                        // Point intervals can additionally be covered by
+                        // equality predicates containing the point.
+                        (lo.value_eq(hi) && verify_eq_class(&canon_key(lo)))
+                            || above(&attr.solo_lt, hk)
+                            || above(&attr.solo_le, hk)
+                            || below(&attr.solo_gt, lk)
+                            || below(&attr.solo_ge, lk)
+                            || verify_at(&attr.lt, &attr.solo_lt, hk)
+                            || verify_at(&attr.le, &attr.solo_le, hk)
+                            || verify_at(&attr.gt, &attr.solo_gt, lk)
+                            || verify_at(&attr.ge, &attr.solo_ge, lk)
+                    }
+                    _ => false,
+                }
+            }
+            // Nothing in the summarized classes covers `Ne` or string
+            // constraints (residual witnesses were checked above).
+            Constraint::Ne(_)
+            | Constraint::Prefix(_)
+            | Constraint::Suffix(_)
+            | Constraint::Contains(_) => false,
+        }
+    }
+
+    /// Upper bound on the number of postings [`PredStore::for_each_covered`]
+    /// would touch for `probe` on this attribute (candidate enumeration
+    /// without verification).  The anchored covered walk uses this to pick
+    /// the cheapest probe attribute to enumerate.
+    pub(crate) fn covered_volume(&self, attr_id: u32, probe: &Constraint) -> usize {
+        let attr = &self.attrs[attr_id as usize];
+        let ids_vol =
+            |ids: &[u32]| -> usize { ids.iter().map(|&id| attr.pred(id).postings.len()).sum() };
+        let class_vol = |list: Option<&SmallVec<u32, 2>>| list.map_or(0, |l| ids_vol(l));
+        let range_vol = |range: std::collections::btree_map::Range<'_, u64, SmallVec<u32, 2>>| {
+            range.map(|(_, l)| ids_vol(l)).sum::<usize>()
+        };
+        let residual_vol = ids_vol(&attr.residual);
+        match probe {
+            Constraint::Exists => attr
+                .preds
+                .iter()
+                .flatten()
+                .map(|p| p.postings.len())
+                .sum::<usize>(),
+            Constraint::Eq(v) => {
+                let mut vol = class_vol(attr.eq.get(&canon_key(v))) + residual_vol;
+                if let Some(vk) = value_num_key(v) {
+                    vol += class_vol(attr.between.get(&vk));
+                }
+                vol
+            }
+            Constraint::In(set) if !set.is_empty() => {
+                let mut vol = residual_vol;
+                for v in set {
+                    let k = canon_key(v);
+                    vol += class_vol(attr.eq.get(&k));
+                    if let CanonKey::Num(nk) = k {
+                        vol += class_vol(attr.between.get(&nk));
+                    }
+                }
+                vol
+            }
+            Constraint::Lt(b) | Constraint::Le(b) if value_num_key(b).is_some() => {
+                let bk = value_num_key(b).expect("checked numeric");
+                range_vol(attr.lt.range(..=bk))
+                    + range_vol(attr.le.range(..=bk))
+                    + range_vol(attr.between.range(..=bk))
+                    + range_vol(attr.eq_num.range(..=bk))
+                    + residual_vol
+            }
+            Constraint::Gt(b) | Constraint::Ge(b) if value_num_key(b).is_some() => {
+                let bk = value_num_key(b).expect("checked numeric");
+                range_vol(attr.gt.range(bk..))
+                    + range_vol(attr.ge.range(bk..))
+                    + range_vol(attr.between.range(bk..))
+                    + range_vol(attr.eq_num.range(bk..))
+                    + residual_vol
+            }
+            Constraint::Between(lo, hi)
+                if value_num_key(lo).is_some() && value_num_key(hi).is_some() =>
+            {
+                let (lk, hk) = (
+                    value_num_key(lo).expect("checked numeric"),
+                    value_num_key(hi).expect("checked numeric"),
+                );
+                let mut vol = residual_vol;
+                if lk <= hk {
+                    vol += range_vol(attr.between.range(lk..=hk))
+                        + range_vol(attr.eq_num.range(lk..=hk));
+                }
+                vol
+            }
+            _ => attr
+                .preds
+                .iter()
+                .flatten()
+                .map(|p| p.postings.len())
+                .sum::<usize>(),
+        }
+    }
+
+    /// The live predicate for `constraint` on the attribute, when one
+    /// exists — a pure lookup that never interns.
+    pub(crate) fn resolve_pred(&self, attr_id: u32, constraint: &Constraint) -> Option<u32> {
+        let cid = self.arena.lookup(constraint)?;
+        self.attrs[attr_id as usize].dedup.get(&cid).copied()
+    }
+
+    /// The constraint behind predicate `(attr_id, pred_id)`.
+    #[inline]
+    pub(crate) fn constraint_of(&self, attr_id: u32, pred_id: u32) -> &Constraint {
+        self.arena.get(self.pred(attr_id, pred_id).cid)
+    }
 }
 
 /// Visits every predicate of one partition class through `verify`.
@@ -709,8 +947,70 @@ fn add_pred(attr: &mut AttrIndex, constraint: &Constraint, cid: u32, mask_slot: 
         slot,
         mask_slot,
         postings: SmallVec::new(),
+        solo: 0,
     });
     id
+}
+
+/// Registers a predicate that just gained its first single-constraint-filter
+/// posting in the covering summary of its class.  `Between` predicates are
+/// not summarized (their covering test needs both bounds); probes they could
+/// cover simply fall through to the range-partitioned walk.
+fn register_solo(attr: &mut AttrIndex, pred_id: u32) {
+    let slot = attr.preds[pred_id as usize]
+        .as_ref()
+        .expect("live pred")
+        .slot
+        .clone();
+    match &slot {
+        Slot::Eq { keys, .. } => {
+            for k in keys {
+                *attr.solo_eq.entry(k.clone()).or_insert(0) += 1;
+            }
+        }
+        Slot::Lt(k) => *attr.solo_lt.entry(*k).or_insert(0) += 1,
+        Slot::Le(k) => *attr.solo_le.entry(*k).or_insert(0) += 1,
+        Slot::Gt(k) => *attr.solo_gt.entry(*k).or_insert(0) += 1,
+        Slot::Ge(k) => *attr.solo_ge.entry(*k).or_insert(0) += 1,
+        Slot::Between(_) => {}
+        Slot::Exists => attr.solo_exists += 1,
+        Slot::Residual => attr.solo_residual += 1,
+    }
+}
+
+/// Removes a predicate that lost its last single-constraint-filter posting
+/// from the covering summary.
+fn unregister_solo(attr: &mut AttrIndex, pred_id: u32) {
+    fn dec_map(map: &mut BTreeMap<u64, u32>, key: u64) {
+        let count = map.get_mut(&key).expect("solo summary key");
+        *count -= 1;
+        if *count == 0 {
+            map.remove(&key);
+        }
+    }
+    let slot = attr.preds[pred_id as usize]
+        .as_ref()
+        .expect("live pred")
+        .slot
+        .clone();
+    match &slot {
+        Slot::Eq { keys, .. } => {
+            for k in keys {
+                let count = attr.solo_eq.get_mut(k).expect("solo eq key");
+                *count -= 1;
+                if *count == 0 {
+                    attr.solo_eq.remove(k);
+                }
+            }
+        }
+        Slot::Lt(k) => dec_map(&mut attr.solo_lt, *k),
+        Slot::Le(k) => dec_map(&mut attr.solo_le, *k),
+        Slot::Gt(k) => dec_map(&mut attr.solo_gt, *k),
+        Slot::Ge(k) => dec_map(&mut attr.solo_ge, *k),
+        Slot::Between(_) => {}
+        Slot::Exists => attr.solo_exists -= 1,
+        Slot::Residual => attr.solo_residual -= 1,
+    }
 }
 
 /// Unregisters a dropped predicate from its partition classes.

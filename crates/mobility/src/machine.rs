@@ -43,6 +43,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use rebeca_broker::{BrokerCore, ClientId, Delivery, DeliveryBuffer, Envelope, Message, Outgoing};
 use rebeca_filter::Filter;
+use rebeca_routing::RoutingStrategyKind;
 use rebeca_sim::{NodeId, SimDuration};
 
 use crate::log::{HandoffLog, HoldingSnapshot, StreamSnapshot, WalRecord};
@@ -136,6 +137,11 @@ pub struct RelocationMachine {
     /// cannot be cancelled — can never alias a tag of this one.
     generation: u64,
     relocation_timeout: SimDuration,
+    /// When set (the default), `Relocate` floods are scoped to broker links
+    /// holding a routing entry that covers the relocating filter (see
+    /// [`RelocationMachine::set_scoped_flood`]); when cleared, every broker
+    /// link is flooded (the paper's unscoped baseline).
+    scoped_flood: bool,
     log: HandoffLog,
 }
 
@@ -150,8 +156,26 @@ impl RelocationMachine {
             repoints: BTreeSet::new(),
             generation: 0,
             relocation_timeout,
+            scoped_flood: true,
             log,
         }
+    }
+
+    /// Enables or disables scoped relocation flooding.
+    ///
+    /// When enabled (the default), `Relocate` requests are forwarded only
+    /// over broker links whose routing table holds an entry **covering** the
+    /// relocating filter.  Under every subscription-propagating strategy the
+    /// reverse delivery path towards the old border broker always carries
+    /// such an entry (the subscription itself, or the covering filter that
+    /// suppressed its propagation), so the scoped flood still reaches the
+    /// virtual counterpart — it just skips subtrees that never routed the
+    /// subscription.  Under [`RoutingStrategyKind::Flooding`] (no
+    /// subscription propagation) and whenever no covering link exists, the
+    /// machine falls back to the full flood, so disabling this is purely an
+    /// instrumentation baseline.
+    pub fn set_scoped_flood(&mut self, enabled: bool) {
+        self.scoped_flood = enabled;
     }
 
     /// Reconstructs a machine (and the mobility-relevant parts of the
@@ -513,13 +537,14 @@ impl RelocationMachine {
         self.holding_count += 1;
         out.push(Effect::SetTimer(self.relocation_timeout, tag));
 
+        let links = relocation_flood_links(core, &filter, None, self.scoped_flood);
         let relocate = Message::Relocate {
             client,
             filter,
             last_seq,
             new_broker: core.id(),
         };
-        for link in core.broker_links().to_vec() {
+        for link in links {
             out.push(Effect::Incr("mobility.relocate_sent"));
             out.push(Effect::Send(link, relocate.clone()));
         }
@@ -617,7 +642,7 @@ impl RelocationMachine {
         // virtual counterpart) is always reached.  Redundant fetches and
         // replays are idempotent: whoever asks after the counterpart has
         // been collected gets nothing.
-        for link in core.broker_links_except(from) {
+        for link in relocation_flood_links(core, &filter, Some(from), self.scoped_flood) {
             out.push(Effect::Incr("mobility.relocate_sent"));
             out.push(Effect::Send(
                 link,
@@ -972,6 +997,46 @@ impl RelocationMachine {
             self.log
                 .compact(streams, holdings, repoints, self.generation);
         }
+    }
+}
+
+/// The broker links a `Relocate` request is forwarded over.
+///
+/// Scoped mode keeps only the links whose routing table holds an entry
+/// covering the relocating filter: under every subscription-propagating
+/// strategy the path back towards the old border broker always carries such
+/// an entry (the original subscription, or the covering filter whose
+/// propagation suppressed it), so the flood still reaches the virtual
+/// counterpart while skipping subtrees that never routed the subscription.
+/// Falls back to the full flood under [`RoutingStrategyKind::Flooding`]
+/// (no subscription propagation, so covering entries prove nothing) and
+/// whenever no covering broker link exists.
+fn relocation_flood_links(
+    core: &BrokerCore,
+    filter: &Filter,
+    except: Option<NodeId>,
+    scoped: bool,
+) -> Vec<NodeId> {
+    let full = match except {
+        Some(from) => core.broker_links_except(from),
+        None => core.broker_links().to_vec(),
+    };
+    if !scoped || core.engine().kind() == RoutingStrategyKind::Flooding {
+        return full;
+    }
+    let covering = core
+        .engine()
+        .table()
+        .destinations_covering(filter, except.as_ref());
+    let scoped_links: Vec<NodeId> = full
+        .iter()
+        .copied()
+        .filter(|l| covering.contains(l))
+        .collect();
+    if scoped_links.is_empty() {
+        full
+    } else {
+        scoped_links
     }
 }
 

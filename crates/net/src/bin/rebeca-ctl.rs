@@ -227,11 +227,14 @@ fn status(common: &CommonArgs, json: bool) -> Result<(), String> {
 fn print_human(index: usize, endpoint: &Endpoint, report: &StatusReport) {
     for b in &report.brokers {
         println!(
-            "broker {} @ {endpoint}: epoch {} gen {} routing {} wal {} (+{} since ckpt{})",
+            "broker {} @ {endpoint}: epoch {} gen {} routing {} ({} subgroups, {:.1}x) wal {} \
+             (+{} since ckpt{})",
             b.broker,
             b.restart_epoch,
             b.generation,
             b.routing_entries,
+            b.routing_subgroups,
+            b.routing_entries as f64 / b.routing_subgroups.max(1) as f64,
             b.wal_depth,
             b.wal_since_checkpoint,
             match b.last_checkpoint_age_ms {
@@ -360,6 +363,7 @@ impl Condition {
             restart_epoch: 0,
             generation: 0,
             routing_entries: 0,
+            routing_subgroups: 0,
             wal_depth: 0,
             wal_since_checkpoint: 0,
             last_checkpoint_age_ms: None,
@@ -379,6 +383,7 @@ impl Condition {
             "restart_epoch" => status.restart_epoch,
             "generation" => status.generation,
             "routing_entries" => status.routing_entries,
+            "routing_subgroups" => status.routing_subgroups,
             "wal_depth" => status.wal_depth,
             "wal_since_checkpoint" => status.wal_since_checkpoint,
             "counterparts" => status.counterparts,
@@ -387,8 +392,8 @@ impl Condition {
             other => {
                 return Err(format!(
                     "unknown status field {other:?} (numeric fields: restart_epoch, generation, \
-                     routing_entries, wal_depth, wal_since_checkpoint, counterparts, \
-                     buffered_deliveries, pending_relocations)"
+                     routing_entries, routing_subgroups, wal_depth, wal_since_checkpoint, \
+                     counterparts, buffered_deliveries, pending_relocations)"
                 ))
             }
         })

@@ -448,6 +448,7 @@ fn put_broker_status(buf: &mut Vec<u8>, b: &BrokerStatus) {
     put_u64(buf, b.restart_epoch);
     put_u64(buf, b.generation);
     put_u64(buf, b.routing_entries);
+    put_u64(buf, b.routing_subgroups);
     put_u64(buf, b.wal_depth);
     put_u64(buf, b.wal_since_checkpoint);
     put_opt_u64(buf, b.last_checkpoint_age_ms);
@@ -471,6 +472,7 @@ fn read_broker_status(r: &mut ByteReader<'_>) -> Result<BrokerStatus, DecodeErro
     let restart_epoch = r.u64()?;
     let generation = r.u64()?;
     let routing_entries = r.u64()?;
+    let routing_subgroups = r.u64()?;
     let wal_depth = r.u64()?;
     let wal_since_checkpoint = r.u64()?;
     let last_checkpoint_age_ms = read_opt_u64(r)?;
@@ -494,6 +496,7 @@ fn read_broker_status(r: &mut ByteReader<'_>) -> Result<BrokerStatus, DecodeErro
         restart_epoch,
         generation,
         routing_entries,
+        routing_subgroups,
         wal_depth,
         wal_since_checkpoint,
         last_checkpoint_age_ms,
@@ -1016,6 +1019,7 @@ mod tests {
                 restart_epoch: 2,
                 generation: 3,
                 routing_entries: 14,
+                routing_subgroups: 5,
                 wal_depth: 9,
                 wal_since_checkpoint: 4,
                 last_checkpoint_age_ms: Some(125),

@@ -202,6 +202,17 @@ fn status_plane_reports_live_cluster_state() {
         .map(|b| b.routing_entries)
         .sum();
     assert!(routing_total > 0, "no routing entries anywhere");
+    let subgroup_total: u64 = report_a
+        .brokers
+        .iter()
+        .chain(&report_b.brokers)
+        .map(|b| b.routing_subgroups)
+        .sum();
+    assert!(
+        subgroup_total > 0 && subgroup_total <= routing_total,
+        "subgroups must be populated and never exceed entries \
+         ({subgroup_total} of {routing_total})"
+    );
 
     // The configured restart epoch is surfaced.
     assert_eq!(report_a.brokers[0].restart_epoch, 2);

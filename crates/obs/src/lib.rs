@@ -399,6 +399,11 @@ pub struct BrokerStatus {
     pub generation: u64,
     /// Number of entries in the content-based routing table.
     pub routing_entries: u64,
+    /// Number of subscription subgroups (distinct filters) in the routing
+    /// table — the size the predicate index actually pays.  The
+    /// entries-per-subgroup ratio `routing_entries / routing_subgroups`
+    /// is the table's compaction factor.
+    pub routing_subgroups: u64,
     /// Number of live records in the handoff write-ahead log.
     pub wal_depth: u64,
     /// Records appended since the last checkpoint compaction.
@@ -431,12 +436,14 @@ impl BrokerStatus {
         let _ = write!(
             out,
             "{{\"broker\":{},\"restart_epoch\":{},\"generation\":{},\"routing_entries\":{},\
+             \"routing_subgroups\":{},\
              \"wal_depth\":{},\"wal_since_checkpoint\":{},\"last_checkpoint_age_ms\":{},\
              \"counterparts\":{},\"buffered_deliveries\":{},\"pending_relocations\":{},",
             self.broker,
             self.restart_epoch,
             self.generation,
             self.routing_entries,
+            self.routing_subgroups,
             self.wal_depth,
             self.wal_since_checkpoint,
             json_opt_u64(self.last_checkpoint_age_ms),
@@ -645,6 +652,7 @@ mod tests {
                 restart_epoch: 1,
                 generation: 1,
                 routing_entries: 3,
+                routing_subgroups: 2,
                 wal_depth: 2,
                 wal_since_checkpoint: 2,
                 last_checkpoint_age_ms: None,
@@ -670,6 +678,7 @@ mod tests {
         };
         let json = report.to_json();
         assert!(json.starts_with("{\"now_micros\":42,\"node_count\":4,"));
+        assert!(json.contains("\"routing_subgroups\":2"));
         assert!(json.contains("\"last_checkpoint_age_ms\":null"));
         assert!(json.contains("\"last_heartbeat_age_ms\":12"));
         assert!(json.contains("\"down_since_ms\":null"));

@@ -293,6 +293,12 @@ impl<D: Ord + Clone> RoutingEngine<D> {
         self.table.len()
     }
 
+    /// Number of subscription subgroups (distinct filters) in the routing
+    /// table — the size the predicate index actually pays.
+    pub fn subgroup_count(&self) -> usize {
+        self.table.subgroup_count()
+    }
+
     /// Number of distinct filters this broker has propagated towards the
     /// given neighbour and not yet retracted (the size the *neighbour's*
     /// routing table pays for this broker).

@@ -4,10 +4,23 @@
 //! a filter and the link it was received from, denoting that notifications
 //! matching `F` are to be forwarded along `L` (Section 2.2 of the paper).
 //!
-//! The table is backed by the sharded predicate index of
-//! [`rebeca_matcher::ShardedFilterIndex`]: every entry is registered in the
-//! index under a stable id, so [`RoutingTable::matching_destinations`] runs
-//! the counting algorithm instead of scanning all filters (and
+//! # Subscription subgrouping
+//!
+//! Real subscription populations are heavily skewed: thousands of clients
+//! subscribe with byte-identical filters (every subscriber of one stock
+//! ticker, one parking lot, one chat group).  The table therefore clusters
+//! identical filters into **subgroups**: the predicate index
+//! ([`rebeca_matcher::ShardedFilterIndex`]) holds **one key per distinct
+//! filter**, while a subgroup record keeps per-destination reference counts
+//! and the member entry ids underneath.  Matching, covering and identity
+//! queries run over the compacted index (cost proportional to *distinct*
+//! filters), while per-instance bookkeeping (`remove` of exactly one
+//! instance, insertion order, multiset equality) stays exact through the
+//! entry table.  [`RoutingTable::destinations_with_identical`] and
+//! [`RoutingTable::contains_entry`] become O(1) hash lookups.
+//!
+//! [`RoutingTable::matching_destinations`] runs the counting algorithm over
+//! subgroups instead of scanning all filters (and
 //! [`RoutingTable::matching_destinations_batch`] matches whole notification
 //! queues with the index's batch kernel), while the covering-based queries
 //! ([`RoutingTable::is_covered`], [`RoutingTable::remove_covered_by`],
@@ -20,21 +33,42 @@ use std::fmt;
 use rebeca_filter::{Filter, Notification};
 use rebeca_matcher::ShardedFilterIndex;
 
+/// One subgroup: all table entries sharing one distinct filter.
+#[derive(Debug, Clone)]
+struct Subgroup<D> {
+    /// The shared filter (stored once; entries refer to it by subgroup id).
+    filter: Filter,
+    /// Reference count per destination — how many member entries point at
+    /// each link.  A destination is routed to iff its count is non-zero.
+    dests: BTreeMap<D, u32>,
+    /// Member entry ids in insertion order.
+    members: Vec<u64>,
+}
+
 /// A routing table mapping destinations (links) to the filters subscribed
 /// from that direction.
 ///
 /// The table stores *every* active subscription (with multiplicity), so the
 /// routing decision is always exact regardless of which optimization the
 /// surrounding [`RoutingEngine`](crate::RoutingEngine) applies to the
-/// *forwarding* of administration messages.
+/// *forwarding* of administration messages.  Identical filters share one
+/// subgroup (and one predicate-index key), so index size and matching cost
+/// scale with the number of *distinct* filters, not subscriptions.
 #[derive(Debug, Clone)]
 pub struct RoutingTable<D> {
     /// Entry ids per destination, in insertion order.
     dests: BTreeMap<D, Vec<u64>>,
-    /// Entry id → `(destination, filter)`.
-    entries: HashMap<u64, (D, Filter)>,
+    /// Entry id → `(destination, subgroup id)`.
+    entries: HashMap<u64, (D, u64)>,
+    /// Subgroup id → shared filter + per-destination refcounts + members.
+    subgroups: HashMap<u64, Subgroup<D>>,
+    /// Distinct filter → its subgroup id.
+    by_filter: HashMap<Filter, u64>,
+    /// Predicate index keyed by **subgroup id** (one key per distinct
+    /// filter).
     index: ShardedFilterIndex<u64>,
-    next_id: u64,
+    next_entry: u64,
+    next_sgid: u64,
 }
 
 impl<D: Ord + Clone> Default for RoutingTable<D> {
@@ -42,8 +76,11 @@ impl<D: Ord + Clone> Default for RoutingTable<D> {
         Self {
             dests: BTreeMap::new(),
             entries: HashMap::new(),
+            subgroups: HashMap::new(),
+            by_filter: HashMap::new(),
             index: ShardedFilterIndex::new(),
-            next_id: 0,
+            next_entry: 0,
+            next_sgid: 0,
         }
     }
 }
@@ -59,41 +96,90 @@ impl<D: Ord + Clone> RoutingTable<D> {
     /// only tunes the index layout.
     pub fn with_shards(shards: usize) -> Self {
         Self {
-            dests: BTreeMap::new(),
-            entries: HashMap::new(),
             index: ShardedFilterIndex::with_shards(shards),
-            next_id: 0,
+            ..Self::default()
         }
+    }
+
+    /// The shared filter of an entry's subgroup.
+    fn filter_of(&self, id: u64) -> &Filter {
+        &self.subgroups[&self.entries[&id].1].filter
     }
 
     /// Adds an entry `(filter, destination)`.
     pub fn insert(&mut self, filter: Filter, destination: D) {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.index.insert(id, &filter);
+        let id = self.next_entry;
+        self.next_entry += 1;
+        let sgid = match self.by_filter.get(&filter) {
+            Some(&sgid) => sgid,
+            None => {
+                let sgid = self.next_sgid;
+                self.next_sgid += 1;
+                self.index.insert(sgid, &filter);
+                self.by_filter.insert(filter.clone(), sgid);
+                self.subgroups.insert(
+                    sgid,
+                    Subgroup {
+                        filter,
+                        dests: BTreeMap::new(),
+                        members: Vec::new(),
+                    },
+                );
+                sgid
+            }
+        };
+        let sub = self.subgroups.get_mut(&sgid).expect("live subgroup");
+        *sub.dests.entry(destination.clone()).or_insert(0) += 1;
+        sub.members.push(id);
         self.dests.entry(destination.clone()).or_default().push(id);
-        self.entries.insert(id, (destination, filter));
+        self.entries.insert(id, (destination, sgid));
+    }
+
+    /// Drops entry `id` from its subgroup, removing the subgroup (and its
+    /// index key) when the last member is gone.  Returns the shared filter.
+    fn release_member(&mut self, sgid: u64, id: u64, dest: &D) -> Filter {
+        let last = {
+            let sub = self.subgroups.get_mut(&sgid).expect("live subgroup");
+            sub.members.retain(|&i| i != id);
+            let count = sub.dests.get_mut(dest).expect("live destination count");
+            *count -= 1;
+            if *count == 0 {
+                sub.dests.remove(dest);
+            }
+            sub.members.is_empty()
+        };
+        if last {
+            let sub = self.subgroups.remove(&sgid).expect("live subgroup");
+            self.index.remove(&sgid);
+            self.by_filter.remove(&sub.filter);
+            sub.filter
+        } else {
+            self.subgroups[&sgid].filter.clone()
+        }
     }
 
     fn remove_id(&mut self, id: u64) -> Option<(D, Filter)> {
-        let (dest, filter) = self.entries.remove(&id)?;
-        self.index.remove(&id);
+        let (dest, sgid) = self.entries.remove(&id)?;
         if let Some(ids) = self.dests.get_mut(&dest) {
             ids.retain(|&i| i != id);
             if ids.is_empty() {
                 self.dests.remove(&dest);
             }
         }
+        let filter = self.release_member(sgid, id, &dest);
         Some((dest, filter))
     }
 
     /// Removes **one** instance of the exact filter for the destination.
     /// Returns `true` when an entry was removed.
     pub fn remove(&mut self, filter: &Filter, destination: &D) -> bool {
+        let Some(&sgid) = self.by_filter.get(filter) else {
+            return false;
+        };
         let Some(ids) = self.dests.get(destination) else {
             return false;
         };
-        let found = ids.iter().find(|id| &self.entries[id].1 == filter).copied();
+        let found = ids.iter().find(|id| self.entries[id].1 == sgid).copied();
         match found {
             Some(id) => {
                 self.remove_id(id);
@@ -108,8 +194,8 @@ impl<D: Ord + Clone> RoutingTable<D> {
         let ids = self.dests.remove(destination).unwrap_or_default();
         ids.into_iter()
             .map(|id| {
-                self.index.remove(&id);
-                self.entries.remove(&id).expect("live entry").1
+                let (_, sgid) = self.entries.remove(&id).expect("live entry");
+                self.release_member(sgid, id, destination)
             })
             .collect()
     }
@@ -117,14 +203,16 @@ impl<D: Ord + Clone> RoutingTable<D> {
     /// Entry ids whose filter is covered by `filter`, in deterministic
     /// (destination, insertion) order.
     fn covered_ids(&self, filter: &Filter) -> Vec<u64> {
-        // Report grouped by destination, insertion order within each
-        // (matching the pre-index behaviour) — but sort only the covered
-        // ids instead of walking the whole table.
+        // The index answers per *subgroup*; expand each covered subgroup to
+        // its member entries and report grouped by destination, insertion
+        // order within each (matching the pre-index behaviour) — but sort
+        // only the covered ids instead of walking the whole table.
         let mut keyed: Vec<((&D, usize), u64)> = self
             .index
             .covered_keys(filter)
             .into_iter()
-            .map(|&id| {
+            .flat_map(|sgid| self.subgroups[sgid].members.iter().copied())
+            .map(|id| {
                 let dest = &self.entries[&id].0;
                 let pos = self.dests[dest]
                     .iter()
@@ -152,8 +240,8 @@ impl<D: Ord + Clone> RoutingTable<D> {
         self.covered_ids(filter)
             .into_iter()
             .map(|id| {
-                let (d, f) = &self.entries[&id];
-                (d, f)
+                let (d, sgid) = &self.entries[&id];
+                (d, &self.subgroups[sgid].filter)
             })
             .collect()
     }
@@ -162,8 +250,8 @@ impl<D: Ord + Clone> RoutingTable<D> {
     /// `exclude` destination (usually the link the notification came from)
     /// is never returned.
     ///
-    /// Runs the index's counting algorithm: cost is proportional to the
-    /// matching entries, not the table size.
+    /// Runs the index's counting algorithm over subgroups: cost is
+    /// proportional to the matching *distinct* filters, not the table size.
     pub fn matching_destinations(&self, n: &Notification, exclude: Option<&D>) -> Vec<D> {
         let mut dests: Vec<D> = Vec::new();
         self.for_each_matching_destination(n, exclude, |d| dests.push(d.clone()));
@@ -183,10 +271,11 @@ impl<D: Ord + Clone> RoutingTable<D> {
         mut visit: impl FnMut(&D),
     ) {
         let mut dests: BTreeSet<&D> = BTreeSet::new();
-        self.index.for_each_match(n, |id| {
-            let dest = &self.entries[id].0;
-            if Some(dest) != exclude {
-                dests.insert(dest);
+        self.index.for_each_match(n, |sgid| {
+            for dest in self.subgroups[sgid].dests.keys() {
+                if Some(dest) != exclude {
+                    dests.insert(dest);
+                }
             }
         });
         for d in dests {
@@ -207,10 +296,10 @@ impl<D: Ord + Clone> RoutingTable<D> {
         self.index
             .match_batch(ns)
             .into_iter()
-            .map(|ids| {
-                let dests: BTreeSet<&D> = ids
+            .map(|sgids| {
+                let dests: BTreeSet<&D> = sgids
                     .into_iter()
-                    .map(|id| &self.entries[id].0)
+                    .flat_map(|sgid| self.subgroups[sgid].dests.keys())
                     .filter(|d| Some(*d) != exclude)
                     .collect();
                 dests.into_iter().cloned().collect()
@@ -220,44 +309,61 @@ impl<D: Ord + Clone> RoutingTable<D> {
 
     /// The destinations holding at least one filter that *overlaps* the given
     /// filter (used to decide where a new subscription or a fetch request has
-    /// to travel).
+    /// to travel).  Scans subgroups (distinct filters), not entries.
     pub fn destinations_overlapping(&self, filter: &Filter, exclude: Option<&D>) -> Vec<D> {
-        self.dests
-            .iter()
-            .filter(|(dest, _)| Some(*dest) != exclude)
-            .filter(|(_, ids)| ids.iter().any(|id| self.entries[id].1.overlaps(filter)))
-            .map(|(dest, _)| dest.clone())
-            .collect()
+        let dests: BTreeSet<&D> = self
+            .subgroups
+            .values()
+            .filter(|sub| sub.filter.overlaps(filter))
+            .flat_map(|sub| sub.dests.keys())
+            .filter(|d| Some(*d) != exclude)
+            .collect();
+        dests.into_iter().cloned().collect()
     }
 
-    /// The destinations holding at least one filter identical to `filter`.
-    pub fn destinations_with_identical(&self, filter: &Filter, exclude: Option<&D>) -> Vec<D> {
-        // Identical filters cover each other, so they are always among the
-        // covering keys; collect their destinations in order.
-        let identical: BTreeSet<&D> = self
+    /// The destinations holding at least one filter that **covers** `filter`
+    /// (including identical ones), via the index's exact covering query.
+    /// Used by the mobility layer to scope relocation floods to links that
+    /// actually lie on a delivery path for the relocating subscription.
+    pub fn destinations_covering(&self, filter: &Filter, exclude: Option<&D>) -> Vec<D> {
+        let dests: BTreeSet<&D> = self
             .index
             .covering_keys(filter)
             .into_iter()
-            .filter(|id| &self.entries[*id].1 == filter)
-            .map(|id| &self.entries[id].0)
+            .flat_map(|sgid| self.subgroups[sgid].dests.keys())
             .filter(|d| Some(*d) != exclude)
             .collect();
-        identical.into_iter().cloned().collect()
+        dests.into_iter().cloned().collect()
+    }
+
+    /// The destinations holding at least one filter identical to `filter` —
+    /// a single subgroup lookup.
+    pub fn destinations_with_identical(&self, filter: &Filter, exclude: Option<&D>) -> Vec<D> {
+        match self.by_filter.get(filter) {
+            Some(sgid) => self.subgroups[sgid]
+                .dests
+                .keys()
+                .filter(|d| Some(*d) != exclude)
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// All filters currently stored for a destination, in insertion order.
     pub fn filters_for(&self, destination: &D) -> Vec<&Filter> {
         self.dests
             .get(destination)
-            .map(|ids| ids.iter().map(|id| &self.entries[id].1).collect())
+            .map(|ids| ids.iter().map(|&id| self.filter_of(id)).collect())
             .unwrap_or_default()
     }
 
-    /// `true` when the exact filter is stored for the destination.
+    /// `true` when the exact filter is stored for the destination — a single
+    /// subgroup lookup.
     pub fn contains_entry(&self, filter: &Filter, destination: &D) -> bool {
-        self.dests
-            .get(destination)
-            .is_some_and(|ids| ids.iter().any(|id| &self.entries[id].1 == filter))
+        self.by_filter
+            .get(filter)
+            .is_some_and(|sgid| self.subgroups[sgid].dests.contains_key(destination))
     }
 
     /// Iterates over every `(destination, filter)` entry in deterministic
@@ -265,7 +371,7 @@ impl<D: Ord + Clone> RoutingTable<D> {
     pub fn iter(&self) -> impl Iterator<Item = (&D, &Filter)> {
         self.dests
             .iter()
-            .flat_map(move |(d, ids)| ids.iter().map(move |id| (d, &self.entries[id].1)))
+            .flat_map(move |(d, ids)| ids.iter().map(move |&id| (d, self.filter_of(id))))
     }
 
     /// All destinations currently present in the table.
@@ -283,16 +389,18 @@ impl<D: Ord + Clone> RoutingTable<D> {
                 .index
                 .covering_keys(filter)
                 .into_iter()
-                .any(|id| &self.entries[id].0 != excl),
+                .any(|sgid| self.subgroups[sgid].dests.keys().any(|d| d != excl)),
         }
     }
 
-    /// Returns `true` when any stored filter from any destination equals the
-    /// given filter.
+    /// Returns `true` when any stored filter from any destination other than
+    /// `exclude` equals the given filter — a single subgroup lookup.
     pub fn contains_identical(&self, filter: &Filter, exclude: Option<&D>) -> bool {
-        self.index.covering_keys(filter).into_iter().any(|id| {
-            let (dest, f) = &self.entries[id];
-            Some(dest) != exclude && f == filter
+        self.by_filter.get(filter).is_some_and(|sgid| {
+            self.subgroups[sgid]
+                .dests
+                .keys()
+                .any(|d| Some(d) != exclude)
         })
     }
 
@@ -305,11 +413,19 @@ impl<D: Ord + Clone> RoutingTable<D> {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Number of subgroups — distinct filters across all destinations.  The
+    /// predicate index holds exactly this many keys; `len() /
+    /// subgroup_count()` is the table's compaction ratio.
+    pub fn subgroup_count(&self) -> usize {
+        self.subgroups.len()
+    }
 }
 
 impl<D: Ord + Clone> PartialEq for RoutingTable<D> {
     /// Logical equality: the same destinations hold the same multisets of
-    /// filters (entry ids and index internals are representation).
+    /// filters (entry ids, subgroup ids and index internals are
+    /// representation).
     fn eq(&self, other: &Self) -> bool {
         if self.dests.len() != other.dests.len() {
             return false;
@@ -321,8 +437,8 @@ impl<D: Ord + Clone> PartialEq for RoutingTable<D> {
                 if d1 != d2 || ids1.len() != ids2.len() {
                     return false;
                 }
-                let mut f1: Vec<&Filter> = ids1.iter().map(|id| &self.entries[id].1).collect();
-                let mut f2: Vec<&Filter> = ids2.iter().map(|id| &other.entries[id].1).collect();
+                let mut f1: Vec<&Filter> = ids1.iter().map(|&id| self.filter_of(id)).collect();
+                let mut f2: Vec<&Filter> = ids2.iter().map(|&id| other.filter_of(id)).collect();
                 f1.sort_unstable();
                 f2.sort_unstable();
                 f1 == f2
@@ -381,10 +497,12 @@ mod tests {
         let mut t: RoutingTable<u32> = RoutingTable::new();
         t.insert(parking(3), 1);
         t.insert(parking(3), 1);
+        assert_eq!(t.subgroup_count(), 1);
         assert!(t.remove(&parking(3), &1));
         assert_eq!(t.len(), 1);
         assert!(t.remove(&parking(3), &1));
         assert!(t.is_empty());
+        assert_eq!(t.subgroup_count(), 0);
         assert!(!t.remove(&parking(3), &1));
     }
 
@@ -397,6 +515,7 @@ mod tests {
         let removed = t.remove_destination(&1);
         assert_eq!(removed.len(), 2);
         assert_eq!(t.len(), 1);
+        assert_eq!(t.subgroup_count(), 1);
     }
 
     #[test]
@@ -496,5 +615,37 @@ mod tests {
         assert_eq!(a, b);
         b.insert(parking(9), 2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn subgrouping_compacts_identical_filters() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        for i in 0..100 {
+            t.insert(parking((i % 4) as i64), i % 7);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.subgroup_count(), 4);
+        // Removing one instance keeps the subgroup alive for the rest.
+        assert!(t.remove(&parking(0), &0));
+        assert_eq!(t.subgroup_count(), 4);
+        assert_eq!(t.len(), 99);
+        let with_zero = t.destinations_with_identical(&parking(0), None);
+        assert!(with_zero.contains(&0), "dest 0 still holds instances");
+    }
+
+    #[test]
+    fn subgroup_destination_refcounts_gate_matching() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        t.insert(parking(3), 1);
+        t.insert(parking(3), 1);
+        t.insert(parking(3), 2);
+        assert_eq!(t.subgroup_count(), 1);
+        assert_eq!(t.matching_destinations(&vacancy(1), None), vec![1, 2]);
+        // One of destination 1's two instances goes away: still routed.
+        assert!(t.remove(&parking(3), &1));
+        assert_eq!(t.matching_destinations(&vacancy(1), None), vec![1, 2]);
+        // The second removal drops destination 1 from the subgroup.
+        assert!(t.remove(&parking(3), &1));
+        assert_eq!(t.matching_destinations(&vacancy(1), None), vec![2]);
     }
 }

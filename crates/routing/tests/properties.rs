@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use rebeca_filter::{Constraint, Filter, Notification, Value};
-use rebeca_routing::{RoutingEngine, RoutingStrategyKind};
+use rebeca_routing::{RoutingEngine, RoutingStrategyKind, RoutingTable};
 
 /// A small universe of subscriptions over locations and prices so that
 /// covering and merging actually trigger.
@@ -143,6 +143,80 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// Subgrouping equivalence: the subgroup-compacted [`RoutingTable`]
+    /// behaves byte-identically to the per-subscription oracle (a plain
+    /// entry list, exactly what the table was before subgrouping) across
+    /// interleaved subscribe/unsubscribe churn — same `len`, same
+    /// `matching_destinations`, same `is_covered`, same
+    /// `destinations_with_identical`, same `covered_entries`, same removal
+    /// results.  Delivery-log equivalence at the system level rides the
+    /// churn/storm scenario audits in `rebeca-bench`.
+    #[test]
+    fn subgrouped_table_matches_per_subscription_oracle(
+        ops in prop::collection::vec((filter(), 0u8..4, any::<bool>()), 0..24),
+        n in notification(),
+    ) {
+        let mut table: RoutingTable<u8> = RoutingTable::new();
+        let mut oracle: Vec<(Filter, u8)> = Vec::new();
+        for (f, l, subscribe) in &ops {
+            if *subscribe {
+                table.insert(f.clone(), *l);
+                oracle.push((f.clone(), *l));
+            } else {
+                let removed = table.remove(f, l);
+                let position = oracle.iter().position(|(of, ol)| of == f && ol == l);
+                prop_assert_eq!(removed, position.is_some(), "removal must agree");
+                if let Some(i) = position {
+                    oracle.remove(i);
+                }
+            }
+
+            prop_assert_eq!(table.len(), oracle.len());
+            prop_assert!(table.subgroup_count() <= table.len().max(1));
+
+            for exclude in [None, Some(&0u8)] {
+                let got = table.matching_destinations(&n, exclude);
+                let mut want: Vec<u8> = oracle
+                    .iter()
+                    .filter(|(of, ol)| Some(ol) != exclude && of.matches(&n))
+                    .map(|(_, ol)| *ol)
+                    .collect();
+                want.sort_unstable();
+                want.dedup();
+                prop_assert_eq!(got, want);
+
+                let covered = oracle
+                    .iter()
+                    .any(|(of, ol)| Some(ol) != exclude && of.covers(f));
+                prop_assert_eq!(table.is_covered(f, exclude), covered);
+
+                let mut identical: Vec<u8> = oracle
+                    .iter()
+                    .filter(|(of, ol)| Some(ol) != exclude && of == f)
+                    .map(|(_, ol)| *ol)
+                    .collect();
+                identical.sort_unstable();
+                identical.dedup();
+                prop_assert_eq!(table.destinations_with_identical(f, exclude), identical);
+            }
+
+            // Covered entries come back in (destination, insertion) order in
+            // both representations.
+            let got: Vec<(u8, Filter)> = table
+                .covered_entries(f)
+                .into_iter()
+                .map(|(d, cf)| (*d, cf.clone()))
+                .collect();
+            let mut want: Vec<(u8, Filter)> = oracle
+                .iter()
+                .filter(|(of, _)| f.covers(of))
+                .map(|(of, ol)| (*ol, of.clone()))
+                .collect();
+            want.sort_by_key(|(d, _)| *d);
+            prop_assert_eq!(got, want);
         }
     }
 

@@ -21,6 +21,18 @@ between machines:
     against the baseline's ns/iter with `BENCH_GATE_ABS_TOLERANCE`
     (default 25%).  On hardware unlike the reference machine, raise the
     env var (CI uses a looser bound) — the ratio gates still hold exactly.
+  * **Hard ratio floors** (machine-independent): a few within-run pairs
+    must additionally clear an absolute minimum speedup regardless of the
+    baseline: the covering-hit pairs (`matcher/covering/*_hit` and the
+    zipf-skewed `matcher/covering_hit/*`) must keep the indexed side at
+    least at parity with the linear scan
+    (`BENCH_GATE_MIN_COVERING_HIT_SPEEDUP`, default 1.0 — the index may
+    never again lose the covering-hit path), and the relocation-storm
+    control-message pair `churn/link_messages/unscoped vs scoped` must show
+    the covering-scoped flood cutting broker-to-broker subscription-control
+    traffic by at least 30% (`BENCH_GATE_MIN_CONTROL_REDUCTION`, default
+    1.3; the counts are deterministic simulation outputs riding the
+    `ns_per_iter` field, so this floor is exact on every machine).
   * **Instrumentation overhead gate**: `obs_bench` measures the journal-on
     vs journal-off quickstart scenario as interleaved pairs (drift cancels
     inside each pair) and reports the median ratio as the synthetic sample
@@ -50,6 +62,10 @@ TOLERANCE = float(os.environ.get("BENCH_GATE_TOLERANCE", "0.25"))
 ABS_TOLERANCE = float(os.environ.get("BENCH_GATE_ABS_TOLERANCE", "0.25"))
 MIN_BATCH_SPEEDUP = float(os.environ.get("BENCH_GATE_MIN_BATCH_SPEEDUP", "4.0"))
 OBS_OVERHEAD = float(os.environ.get("BENCH_GATE_OBS_OVERHEAD", "0.05"))
+MIN_COVERING_HIT_SPEEDUP = float(
+    os.environ.get("BENCH_GATE_MIN_COVERING_HIT_SPEEDUP", "1.0")
+)
+MIN_CONTROL_REDUCTION = float(os.environ.get("BENCH_GATE_MIN_CONTROL_REDUCTION", "1.3"))
 OUT_DIR = os.environ.get("BENCH_GATE_DIR", "/tmp/bench_gate")
 
 BENCHES = {
@@ -70,10 +86,12 @@ OBS_OVERHEAD_NAME = "obs/quickstart/overhead_x1000/200"
 GATED_PREFIXES = (
     "matcher/match/",
     "matcher/covering/",
+    "matcher/covering_hit/",
     "shards/single/",
     "shards/batch/",
     "churn/relocation/",
     "churn/drain_",
+    "churn/link_messages/",
     "session/quickstart/",
     "net/quickstart/",
     "net/relocation/",
@@ -90,6 +108,10 @@ RATIO_GATES = [
     ("matcher/match/linear/100000", "matcher/match/indexed/100000"),
     ("matcher/covering/linear_miss/1000", "matcher/covering/indexed_miss/1000"),
     ("matcher/covering/linear_miss/10000", "matcher/covering/indexed_miss/10000"),
+    ("matcher/covering/linear_hit/1000", "matcher/covering/indexed_hit/1000"),
+    ("matcher/covering/linear_hit/10000", "matcher/covering/indexed_hit/10000"),
+    ("matcher/covering_hit/linear/1000", "matcher/covering_hit/indexed/1000"),
+    ("matcher/covering_hit/linear/10000", "matcher/covering_hit/indexed/10000"),
     ("shards/single/sequential/10000", "shards/single/sharded8/10000"),
     ("shards/single/sequential/100000", "shards/single/sharded8/100000"),
     ("shards/batch/per_notification_loop/10000", "shards/batch/match_batch_shards8/10000"),
@@ -126,6 +148,32 @@ RATIO_GATES = [
     # &'static str path.  The gate trips when the static path loses its
     # allocation-free advantage.
     ("obs/metrics/incr_owned/8", "obs/metrics/incr_static/8"),
+]
+
+# Within-run pairs that must clear an absolute minimum speedup (slow/fast)
+# regardless of what the baseline recorded.  Unlike RATIO_GATES these do not
+# drift with the checked-in numbers: they encode invariants of the design.
+RATIO_FLOORS = [
+    # The covering summaries exist so the indexed covering-hit path can
+    # never again lose to the linear scan (it did at 10k before them).
+    (
+        "matcher/covering/linear_hit/10000",
+        "matcher/covering/indexed_hit/10000",
+        MIN_COVERING_HIT_SPEEDUP,
+    ),
+    (
+        "matcher/covering_hit/linear/10000",
+        "matcher/covering_hit/indexed/10000",
+        MIN_COVERING_HIT_SPEEDUP,
+    ),
+    # Covering-scoped relocation floods must cut broker-to-broker
+    # subscription-control messages by >= 30% in the relocation storm
+    # (deterministic counts, exact on every machine).
+    (
+        "churn/link_messages/unscoped/400",
+        "churn/link_messages/scoped/400",
+        MIN_CONTROL_REDUCTION,
+    ),
 ]
 
 
@@ -192,6 +240,23 @@ def main():
             f"(baseline {base_speedup:.2f}x)"
         )
 
+    # Hard ratio floors (design invariants, independent of the baseline).
+    for slow, fast, floor in RATIO_FLOORS:
+        missing = [n for n in (slow, fast) if n not in current]
+        if missing:
+            failures.append(f"ratio floor {slow} / {fast}: missing {missing}")
+            continue
+        speedup = current[slow] / current[fast]
+        status = "OK " if speedup >= floor else "FAIL"
+        print(
+            f"bench-gate: {status} floor {fast:<48} {speedup:>7.2f}x "
+            f"(minimum {floor:.2f}x)"
+        )
+        if speedup < floor:
+            failures.append(
+                f"ratio floor {fast} vs {slow}: {speedup:.2f}x < {floor:.2f}x"
+            )
+
     # Headline check: the 8-shard batch kernel at 100k subscriptions.
     loop_ns = current.get("shards/batch/per_notification_loop/100000")
     batch_ns = current.get("shards/batch/match_batch_shards8/100000")
@@ -249,7 +314,10 @@ def main():
             f"(baseline {base_ns:.0f}, {(ratio - 1.0) * 100:+.1f}%)"
         )
 
-    print(f"bench-gate: checked {len(RATIO_GATES)} ratios + {checked} absolute medians")
+    print(
+        f"bench-gate: checked {len(RATIO_GATES)} ratios + {len(RATIO_FLOORS)} floors "
+        f"+ {checked} absolute medians"
+    )
     if failures:
         print("bench-gate: FAILED")
         for f in failures:
