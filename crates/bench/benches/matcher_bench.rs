@@ -11,7 +11,9 @@
 //! (see the file header there for the command).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rebeca_bench::workload::{group_filter, zipf_group_filters};
+use rebeca_bench::workload::{
+    group_filter, group_notification, zipf_group_filters, zipf_group_notifications,
+};
 use rebeca_filter::{Constraint, Filter, Notification, Value};
 use rebeca_matcher::FilterIndex;
 
@@ -97,6 +99,51 @@ fn bench_matching(c: &mut Criterion) {
                 black_box(index.matching_keys(n).len())
             })
         });
+    }
+    group.finish();
+}
+
+/// Matching under realistic popularity skew: a zipf-skewed subscription
+/// population (hot telemetry groups hold most subscribers) probed with a
+/// zipf-skewed notification stream whose publication popularity follows
+/// subscription popularity (`hit` — hot notifications match large posting
+/// lists), and with notifications from groups nobody subscribes to
+/// (`miss` — the matcher must prove the absence).  The linear scan pays
+/// the full population either way; the index pays one posting-list union
+/// on hits and an early empty intersection on misses.
+fn bench_matching_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher/match_zipf");
+    for &n in &[1_000u32, 10_000, 100_000] {
+        let filters = zipf_group_filters(200, n as usize, 1.0, 97);
+        let index = build_index(&filters);
+        let hits = zipf_group_notifications(200, 64, 1.0, 131);
+        // Groups 200.. are outside the subscribed domain: zero matches.
+        let misses: Vec<Notification> = (0..64)
+            .map(|i| group_notification(200 + i, i as i64))
+            .collect();
+
+        for (kind, stream) in [("hit", &hits), ("miss", &misses)] {
+            group.bench_with_input(BenchmarkId::new(format!("linear_{kind}"), n), &n, |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let n = &stream[i % stream.len()];
+                    i += 1;
+                    black_box(filters.iter().filter(|f| f.matches(n)).count())
+                })
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("indexed_{kind}"), n),
+                &n,
+                |b, _| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let n = &stream[i % stream.len()];
+                        i += 1;
+                        black_box(index.matching_keys(n).len())
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -226,6 +273,7 @@ fn bench_maintenance(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matching,
+    bench_matching_zipf,
     bench_covering,
     bench_covering_hit_zipf,
     bench_maintenance

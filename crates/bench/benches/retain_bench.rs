@@ -1,0 +1,203 @@
+//! Benchmarks for the segment-rotated retention store (`rebeca-retain`)
+//! and the time-aware subscription path built on it.
+//!
+//! Three groups:
+//!
+//! * `retain/append` — steady-state append throughput with rotation and
+//!   segment-cap eviction active (every append pays framing + CRC32; one
+//!   in `segment_max_records` pays a seal + archive-evict).
+//! * `retain/fetch` — time-window fetches against 100k retained records:
+//!   the binary-searched [`RetentionStore::fetch_since`] (skips archived
+//!   segments entirely older than the window via their time-index
+//!   headers) vs the [`RetentionStore::fetch_since_linear`] oracle that
+//!   walks every record.  `scripts/bench_gate.py` gates the within-run
+//!   ratio and holds a hard floor on the recent-window pair: the
+//!   time-index skip may never lose to the full scan.
+//! * `retain/reattach` — the end-to-end time-aware subscription scenario
+//!   on the deterministic simulator: detach, miss a publication batch,
+//!   reattach elsewhere with `subscribe_since`, replay the gap from the
+//!   origin broker's retention store.  Verified clean (outside the timed
+//!   loop) before timing.
+//!
+//! `BENCH_retain.json` at the repository root is generated from this
+//! bench (see the file header there for the command).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rebeca_broker::{ClientId, Envelope};
+use rebeca_core::{BrokerConfig, MobilitySystem, RetentionConfig, RetentionStore, SystemBuilder};
+use rebeca_filter::{Constraint, Filter, Notification};
+use rebeca_sim::{DelayModel, SimDuration, SimTime, Topology};
+
+fn parking_filter() -> Filter {
+    Filter::new().with("service", Constraint::Eq("parking".into()))
+}
+
+fn envelope(seq: u64) -> Envelope {
+    Envelope {
+        publisher: ClientId::new(9),
+        publisher_seq: seq,
+        notification: Notification::builder()
+            .attr("service", "parking")
+            .attr("spot", seq as i64)
+            .build(),
+    }
+}
+
+/// Steady-state appends: the store is pre-filled past its segment cap so
+/// every iteration exercises the live-segment push and, amortised, the
+/// seal-and-evict rotation.
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retain/append");
+    for &segment_records in &[256usize, 1024] {
+        let mut store = RetentionStore::new(RetentionConfig {
+            segment_max_records: segment_records,
+            max_segments: 64,
+            retention_window_micros: 0,
+        });
+        // Past the cap: rotation now evicts the oldest archived segment.
+        let warm = segment_records as u64 * 70;
+        for i in 0..warm {
+            store.append(i * 10, envelope(i + 1));
+        }
+        let mut ts = warm * 10;
+        let mut seq = warm;
+        group.bench_with_input(
+            BenchmarkId::new("record", segment_records),
+            &segment_records,
+            |b, _| {
+                b.iter(|| {
+                    ts += 10;
+                    seq += 1;
+                    store.append(ts, envelope(seq));
+                    black_box(store.total_records())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Time-window fetches at 100k retained records.  `recent` asks for the
+/// newest ~0.1% (the common reattach window — the time-index skip avoids
+/// ~97 of 98 archived segments, and the small result set keeps the
+/// clone cost from masking the scan-vs-skip difference); `half` asks
+/// for the newest 50% (a parity pair: both sides scan the same
+/// records).
+fn bench_fetch(c: &mut Criterion) {
+    const RECORDS: u64 = 100_000;
+    let mut store = RetentionStore::new(RetentionConfig {
+        segment_max_records: 1024,
+        max_segments: 128,
+        retention_window_micros: 0,
+    });
+    for i in 0..RECORDS {
+        store.append(i * 1_000, envelope(i + 1));
+    }
+    assert_eq!(store.total_records(), RECORDS);
+    let filter = parking_filter();
+
+    let mut group = c.benchmark_group("retain/fetch");
+    group.sample_size(20);
+    for (window, since) in [("recent", 99_900 * 1_000u64), ("half", 50_000 * 1_000)] {
+        let expect = store.fetch_since(since, &filter).len();
+        assert_eq!(expect, store.fetch_since_linear(since, &filter).len());
+        group.bench_with_input(
+            BenchmarkId::new(format!("linear_{window}"), RECORDS),
+            &since,
+            |b, &since| b.iter(|| black_box(store.fetch_since_linear(since, &filter).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("indexed_{window}"), RECORDS),
+            &since,
+            |b, &since| b.iter(|| black_box(store.fetch_since(since, &filter).len())),
+        );
+    }
+    group.finish();
+}
+
+/// Publications delivered live before the detach.
+const PRE: u64 = 10;
+/// Matching publications missed while detached and replayed from the
+/// origin broker's retention store.
+const MISSED: u64 = 120;
+const TOTAL: u64 = PRE + MISSED;
+const CONSUMER: ClientId = ClientId::new(1);
+const PRODUCER: ClientId = ClientId::new(2);
+/// Mid-gap window start: after every pre-detach retention timestamp,
+/// before every offline one (the schedule below is fixed virtual time).
+const SINCE_MICROS: u64 = 600_000;
+
+fn vacancy(i: u64) -> Notification {
+    Notification::builder()
+        .attr("service", "parking")
+        .attr("spot", i as i64)
+        .build()
+}
+
+/// The end-to-end reattach-replay scenario on the deterministic
+/// simulator: detach at broker 0, miss [`MISSED`] publications, reattach
+/// at broker 1 with a `since`-scoped subscription, replay the gap.
+fn run_reattach_replay() -> MobilitySystem {
+    let mut sys = SystemBuilder::new(&Topology::line(3))
+        .config(
+            BrokerConfig::default()
+                .with_relocation_timeout(SimDuration::from_millis(500))
+                .with_retention(Some(RetentionConfig {
+                    segment_max_records: 32,
+                    max_segments: 64,
+                    retention_window_micros: 0,
+                })),
+        )
+        .link_delay(DelayModel::constant_millis(2))
+        .seed(42)
+        .build()
+        .expect("non-empty topology");
+    let consumer = sys.connect(CONSUMER, 0).unwrap();
+    consumer.subscribe(&mut sys, parking_filter()).unwrap();
+    let producer = sys.connect(PRODUCER, 2).unwrap();
+    sys.run_until(SimTime::from_millis(100));
+
+    for i in 1..=PRE {
+        producer.publish(&mut sys, vacancy(i)).unwrap();
+    }
+    sys.run_until(SimTime::from_millis(500));
+    consumer.detach(&mut sys).unwrap();
+    sys.run_until(SimTime::from_millis(700));
+
+    for i in PRE + 1..=TOTAL {
+        producer.publish(&mut sys, vacancy(i)).unwrap();
+    }
+    sys.run_until(SimTime::from_millis(1_500));
+
+    consumer.reattach(&mut sys, 1).unwrap();
+    sys.run_until(SimTime::from_millis(1_600));
+    consumer
+        .subscribe_since(&mut sys, parking_filter(), SINCE_MICROS)
+        .unwrap();
+    sys.run_until(SimTime::from_secs(4));
+    sys
+}
+
+fn bench_reattach(c: &mut Criterion) {
+    // Verified equivalent work outside the timed loop: the replay run
+    // delivers the complete clean stream.
+    let sys = run_reattach_replay();
+    let log = sys.client_log(CONSUMER).unwrap();
+    assert!(log.is_clean(), "violations: {:?}", log.violations());
+    assert_eq!(
+        log.distinct_publisher_seqs(PRODUCER),
+        (1..=TOTAL).collect::<Vec<u64>>(),
+        "incomplete replay"
+    );
+
+    let mut group = c.benchmark_group("retain/reattach");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("replay", MISSED), &(), |b, _| {
+        b.iter(|| black_box(run_reattach_replay()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_fetch, bench_reattach);
+criterion_main!(benches);

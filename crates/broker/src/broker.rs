@@ -77,6 +77,12 @@ pub struct BrokerCore {
     /// replaced.
     publisher_seq: HashMap<ClientId, u64>,
     parked: Vec<Delivery>,
+    /// When set, envelopes published by *local* clients are also copied to
+    /// [`BrokerCore::take_published`].  The retention layer of `rebeca-core`
+    /// drains the copies into its segment store; origin-broker recording
+    /// guarantees each publication is retained by exactly one broker.
+    record_published: bool,
+    recent_published: Vec<Envelope>,
 }
 
 impl BrokerCore {
@@ -98,6 +104,8 @@ impl BrokerCore {
             seq: SequenceRegistry::new(),
             publisher_seq: HashMap::new(),
             parked: Vec::new(),
+            record_published: false,
+            recent_published: Vec::new(),
         }
     }
 
@@ -188,6 +196,22 @@ impl BrokerCore {
     /// static broker drops them.
     pub fn take_parked(&mut self) -> Vec<Delivery> {
         std::mem::take(&mut self.parked)
+    }
+
+    /// Enables (or disables) recording of locally published envelopes for
+    /// [`BrokerCore::take_published`].  Off by default; switched on by the
+    /// retention layer.
+    pub fn set_record_published(&mut self, enabled: bool) {
+        self.record_published = enabled;
+        if !enabled {
+            self.recent_published.clear();
+        }
+    }
+
+    /// Envelopes published by local clients since the last call (empty
+    /// unless [`BrokerCore::set_record_published`] enabled recording).
+    pub fn take_published(&mut self) -> Vec<Envelope> {
+        std::mem::take(&mut self.recent_published)
     }
 
     // ------------------------------------------------------------------
@@ -343,6 +367,9 @@ impl BrokerCore {
             publisher_seq: *counter,
             notification,
         };
+        if self.record_published {
+            self.recent_published.push(envelope.clone());
+        }
         self.route_envelope(envelope, Some(from))
     }
 
@@ -367,6 +394,9 @@ impl BrokerCore {
                 }
             })
             .collect();
+        if self.record_published {
+            self.recent_published.extend(envelopes.iter().cloned());
+        }
         self.route_envelope_batch(envelopes, Some(from))
     }
 

@@ -175,6 +175,50 @@ pub enum Message {
     },
 
     // ------------------------------------------------------------------
+    // Time-aware subscriptions: retained-history replay
+    // ------------------------------------------------------------------
+    /// A subscription carrying a *time scope*: besides installing the filter
+    /// for live traffic, the border broker gathers the retained publications
+    /// with timestamps `>= since_micros` from the whole broker network and
+    /// delivers them exactly once, merged in order with the live stream.
+    SubscribeSince {
+        /// The subscribing client.
+        subscriber: ClientId,
+        /// The subscription filter.
+        filter: Filter,
+        /// Start of the requested time window (microseconds).
+        since_micros: u64,
+        /// Last sequence number the client received for this subscription
+        /// (0 for a fresh subscription); history deliveries continue the
+        /// client's sequence stream from here.
+        last_seq: u64,
+    },
+    /// The history request flooded broker-to-broker: every broker answers
+    /// with the matching slice of its local retention store, routed back
+    /// hop-by-hop towards `origin`.
+    HistoryFetch {
+        /// The subscribing client the history is gathered for.
+        client: ClientId,
+        /// The subscription filter retained publications are matched against.
+        filter: Filter,
+        /// Start of the requested time window (microseconds).
+        since_micros: u64,
+        /// The border broker that opened the history session.
+        origin: NodeId,
+    },
+    /// A broker's answer to a [`Message::HistoryFetch`]: the matching
+    /// retained publications with their retention timestamps, travelling
+    /// hop-by-hop back along the reverse of the fetch path.
+    HistoryReplay {
+        /// The subscribing client the history is gathered for.
+        client: ClientId,
+        /// The subscription filter the entries matched.
+        filter: Filter,
+        /// `(ts_micros, envelope)` pairs in retention order.
+        entries: Vec<(u64, Envelope)>,
+    },
+
+    // ------------------------------------------------------------------
     // Logical mobility: location-dependent subscriptions of Section 5
     // ------------------------------------------------------------------
     /// A location-dependent subscription entering (and propagating through)
@@ -224,6 +268,9 @@ impl Message {
                 | Message::Relocate { .. }
                 | Message::Fetch { .. }
                 | Message::Replay { .. }
+                | Message::SubscribeSince { .. }
+                | Message::HistoryFetch { .. }
+                | Message::HistoryReplay { .. }
                 | Message::LocSubscribe { .. }
                 | Message::LocUnsubscribe { .. }
                 | Message::LocationUpdate { .. }
@@ -277,6 +324,9 @@ impl Message {
             Message::Relocate { .. } => "relocate",
             Message::Fetch { .. } => "fetch",
             Message::Replay { .. } => "replay",
+            Message::SubscribeSince { .. } => "subscribe_since",
+            Message::HistoryFetch { .. } => "history_fetch",
+            Message::HistoryReplay { .. } => "history_replay",
             Message::LocSubscribe { .. } => "loc_subscribe",
             Message::LocUnsubscribe { .. } => "loc_unsubscribe",
             Message::LocationUpdate { .. } => "location_update",
@@ -304,6 +354,9 @@ impl Message {
             Message::Relocate { .. } => "broker.rx.relocate",
             Message::Fetch { .. } => "broker.rx.fetch",
             Message::Replay { .. } => "broker.rx.replay",
+            Message::SubscribeSince { .. } => "broker.rx.subscribe_since",
+            Message::HistoryFetch { .. } => "broker.rx.history_fetch",
+            Message::HistoryReplay { .. } => "broker.rx.history_replay",
             Message::LocSubscribe { .. } => "broker.rx.loc_subscribe",
             Message::LocUnsubscribe { .. } => "broker.rx.loc_unsubscribe",
             Message::LocationUpdate { .. } => "broker.rx.location_update",
@@ -330,6 +383,9 @@ impl Message {
             Message::Relocate { .. } => "broker.tx.relocate",
             Message::Fetch { .. } => "broker.tx.fetch",
             Message::Replay { .. } => "broker.tx.replay",
+            Message::SubscribeSince { .. } => "broker.tx.subscribe_since",
+            Message::HistoryFetch { .. } => "broker.tx.history_fetch",
+            Message::HistoryReplay { .. } => "broker.tx.history_replay",
             Message::LocSubscribe { .. } => "broker.tx.loc_subscribe",
             Message::LocUnsubscribe { .. } => "broker.tx.loc_unsubscribe",
             Message::LocationUpdate { .. } => "broker.tx.location_update",

@@ -45,6 +45,13 @@ pub enum ClientAction {
     Detach,
     /// Issue a plain (location-independent) subscription.
     Subscribe(Filter),
+    /// Issue a time-aware subscription: like [`ClientAction::Subscribe`],
+    /// but the border broker additionally replays retained publications
+    /// with a timestamp at or after the given instant (micros), merged
+    /// exactly once and in order with live traffic.  The client echoes the
+    /// last delivery sequence number it received for this filter, exactly
+    /// like a relocation re-subscription.
+    SubscribeSince(Filter, u64),
     /// Retract a plain subscription.
     Unsubscribe(Filter),
     /// Advertise future publications.
@@ -251,6 +258,21 @@ impl ClientNode {
                     Message::Subscribe {
                         subscriber: self.id,
                         filter,
+                    },
+                );
+            }
+            ClientAction::SubscribeSince(filter, since_micros) => {
+                if !self.subscriptions.contains(&filter) {
+                    self.subscriptions.push(filter.clone());
+                }
+                let last_seq = self.log.last_seq(&filter);
+                self.send_to_broker(
+                    ctx,
+                    Message::SubscribeSince {
+                        subscriber: self.id,
+                        filter,
+                        since_micros,
+                        last_seq,
                     },
                 );
             }

@@ -62,6 +62,12 @@ pub fn broker_status(
         counterparts: broker.counterpart_count() as u64,
         buffered_deliveries: broker.buffered_deliveries() as u64,
         pending_relocations: broker.pending_relocations() as u64,
+        retained_publications: broker.retained_publications(),
+        retained_segments: broker.retained_segments(),
+        oldest_retained_age_ms: broker
+            .oldest_retained_ts()
+            .map(|ts| (now.as_micros().saturating_sub(ts)) / 1_000),
+        expired_leases: broker.expired_leases(),
         relocations: metrics
             .counters()
             .filter(|(name, _)| name.starts_with("mobility."))

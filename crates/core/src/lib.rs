@@ -88,3 +88,7 @@ pub use threaded::ThreadedDriver;
 pub use rebeca_mobility::{
     HandoffLog, LogBackend, MemoryBackend, PersistenceConfig, RelocationMachine, RelocationPhase,
 };
+
+// Re-exported so deployments can configure retention (and inspect the
+// store's policy) without depending on `rebeca-retain` directly.
+pub use rebeca_retain::{RetentionConfig, RetentionStore};

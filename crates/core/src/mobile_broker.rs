@@ -23,18 +23,36 @@
 //! (`BrokerCore::route_envelope_batch`) on a timer, so under load fewer,
 //! larger [`Message::NotificationBatch`]es travel per link.
 //!
+//! On top of the mobility layers, the broker optionally keeps a
+//! **retention store** ([`rebeca_retain::RetentionStore`]) of the
+//! publications its *local* publishers issued (origin-broker retention:
+//! exactly one broker retains each publication).  A time-aware
+//! subscription ([`Message::SubscribeSince`]) installs the live
+//! subscription and opens a short *history session*: the border broker
+//! serves its own retained slice, floods a [`Message::HistoryFetch`]
+//! hop by hop, gathers [`Message::HistoryReplay`] slices routed back
+//! along reverse-path pointers, holds concurrent live deliveries, and on
+//! the gather timeout ships one time-ordered, duplicate-free
+//! [`Message::DeliverBatch`] — missed history exactly once, merged in
+//! order with live traffic.  Counterparts of clients that never
+//! reattach are reclaimed by a lease sweep
+//! ([`BrokerConfig::counterpart_lease`]).
+//!
 //! All control traffic uses the ordinary [`Message`] vocabulary and travels
 //! over the ordinary broker links ("pub/sub adherence").
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use rebeca_broker::{BrokerCore, BrokerRole, ClientId, Envelope, Message, SubscriptionId};
+use rebeca_broker::{
+    BrokerCore, BrokerRole, ClientId, Delivery, Envelope, Message, SubscriptionId,
+};
 use rebeca_filter::{Filter, LocationDependentFilter};
 use rebeca_location::{AdaptivityPlan, LocationId, MovementGraph};
 use rebeca_mobility::{
     Effect, HandoffLog, PersistenceConfig, RelocationMachine, RelocationPhase,
     DEFAULT_CHECKPOINT_EVERY,
 };
+use rebeca_retain::{RetentionConfig, RetentionStore};
 use rebeca_routing::RoutingStrategyKind;
 use rebeca_sim::{Context, Incoming, Node, NodeId, SimDuration, SimTime};
 
@@ -45,6 +63,32 @@ pub const HANDOFF_LATENCY_HISTOGRAM: &str = "mobility.handoff_latency_micros";
 /// Timer tag reserved for the drain-queue flush (relocation timeouts use
 /// tags counted up from zero, so the top of the range never collides).
 const DRAIN_TIMER_TAG: u64 = u64::MAX;
+
+/// Timer tag reserved for the periodic counterpart-lease sweep.
+const LEASE_SWEEP_TIMER_TAG: u64 = u64::MAX - 1;
+
+/// History-session gather timers count up from here.  Relocation timeout
+/// tags are `generation << 32 | counter` and a broker would need four
+/// billion incarnations to reach this range.
+const HISTORY_TIMER_BASE: u64 = 0xFFFF_FFFE_0000_0000;
+
+/// One open history session at the border broker that accepted a
+/// [`Message::SubscribeSince`]: retained slices gathered so far plus the
+/// live deliveries held back until the merge.
+#[derive(Debug, Clone)]
+struct HistorySession {
+    /// The client node the merged batch is shipped to.
+    client_node: NodeId,
+    /// Lower bound of the requested time window (micros).
+    since_micros: u64,
+    /// Last delivery sequence number the client saw for this subscription;
+    /// the merged batch continues at `last_seq + 1`.
+    last_seq: u64,
+    /// Retained entries gathered so far: `(ts_micros, envelope)`.
+    entries: Vec<(u64, Envelope)>,
+    /// Live deliveries intercepted while the session was open.
+    held: Vec<Envelope>,
+}
 
 /// Per-broker state of one location-dependent subscription.
 #[derive(Debug, Clone)]
@@ -96,6 +140,19 @@ pub struct BrokerConfig {
     /// unscoped floods send `Relocate` over every broker link, as the plain
     /// Section 4 protocol does.
     pub scoped_relocation: bool,
+    /// When set, the broker retains the publications of its local
+    /// publishers in a segment-rotated [`RetentionStore`] and serves
+    /// time-aware subscriptions ([`Message::SubscribeSince`]) from it.
+    /// `None` (the default) disables retention: `SubscribeSince` still
+    /// installs the live subscription, but no history is replayed from
+    /// this broker.
+    pub retention: Option<RetentionConfig>,
+    /// When set, counterparts whose client never reattaches are expired
+    /// after this lease: their buffered deliveries, routing entries and
+    /// WAL streams are reclaimed by a periodic sweep.  `None` (the
+    /// default) keeps counterparts forever, as the plain Section 4
+    /// protocol does.
+    pub counterpart_lease: Option<SimDuration>,
 }
 
 impl Default for BrokerConfig {
@@ -108,6 +165,8 @@ impl Default for BrokerConfig {
             persistence: PersistenceConfig::InMemory,
             wal_checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             scoped_relocation: true,
+            retention: None,
+            counterpart_lease: None,
         }
     }
 }
@@ -157,6 +216,20 @@ impl BrokerConfig {
         self.scoped_relocation = scoped;
         self
     }
+
+    /// Sets (or, with `None`, disables) retained-publication storage and
+    /// time-aware subscription replay.
+    pub fn with_retention(mut self, retention: Option<RetentionConfig>) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// Sets (or, with `None`, disables) the counterpart lease after which
+    /// streams of clients that never reattach are reclaimed.
+    pub fn with_counterpart_lease(mut self, lease: Option<SimDuration>) -> Self {
+        self.counterpart_lease = lease;
+        self
+    }
 }
 
 /// A Rebeca broker extended with the paper's mobility support.
@@ -190,6 +263,23 @@ pub struct MobileBroker {
     /// it as a `wal.recovered` event (a restarted node has no live metrics
     /// context at construction time).
     recovery_note: Option<String>,
+    /// Retained publications of this broker's local publishers
+    /// (`None` when [`BrokerConfig::retention`] is unset).
+    retention: Option<RetentionStore>,
+    /// Open history sessions at this (border) broker, keyed by stream.
+    history_sessions: BTreeMap<(ClientId, Filter), HistorySession>,
+    /// Reverse-path pointers for history replays travelling back to the
+    /// border broker that flooded the fetch (mirrors the relocation
+    /// machine's replay routes; latest fetch wins).
+    history_routes: BTreeMap<(ClientId, Filter), NodeId>,
+    /// Next history gather-timer tag (counts up from
+    /// [`HISTORY_TIMER_BASE`]).
+    next_history_tag: u64,
+    /// Session keys by live gather-timer tag; a tag missing here fired
+    /// after its session already closed.
+    history_tags: BTreeMap<u64, (ClientId, Filter)>,
+    /// Whether a lease-sweep timer is currently armed.
+    lease_sweep_armed: bool,
 }
 
 impl MobileBroker {
@@ -218,8 +308,11 @@ impl MobileBroker {
         machine.set_scoped_flood(config.scoped_relocation);
         let wal_appends_seen = machine.log().appends_total();
         let wal_checkpoints_seen = machine.log().checkpoints_total();
+        let mut core = BrokerCore::new(id, role, broker_links, config.strategy);
+        let retention = config.retention.clone().map(RetentionStore::new);
+        core.set_record_published(retention.is_some());
         Self {
-            core: BrokerCore::new(id, role, broker_links, config.strategy),
+            core,
             config,
             machine,
             loc_subs: BTreeMap::new(),
@@ -230,6 +323,12 @@ impl MobileBroker {
             wal_appends_seen,
             wal_checkpoints_seen,
             recovery_note: None,
+            retention,
+            history_sessions: BTreeMap::new(),
+            history_routes: BTreeMap::new(),
+            next_history_tag: HISTORY_TIMER_BASE,
+            history_tags: BTreeMap::new(),
+            lease_sweep_armed: false,
         }
     }
 
@@ -258,6 +357,11 @@ impl MobileBroker {
         ));
         let wal_appends_seen = machine.log().appends_total();
         let wal_checkpoints_seen = machine.log().checkpoints_total();
+        // Retention is in-memory per incarnation: a restarted broker comes
+        // back with an empty store (the WAL covers counterpart streams, not
+        // retained history — a documented scope bound).
+        let retention = config.retention.clone().map(RetentionStore::new);
+        core.set_record_published(retention.is_some());
         (
             Self {
                 core,
@@ -271,6 +375,12 @@ impl MobileBroker {
                 wal_appends_seen,
                 wal_checkpoints_seen,
                 recovery_note,
+                retention,
+                history_sessions: BTreeMap::new(),
+                history_routes: BTreeMap::new(),
+                next_history_tag: HISTORY_TIMER_BASE,
+                history_tags: BTreeMap::new(),
+                lease_sweep_armed: false,
             },
             tags,
         )
@@ -359,6 +469,42 @@ impl MobileBroker {
     /// compaction of this incarnation).
     pub fn last_checkpoint_at(&self) -> Option<SimTime> {
         self.last_checkpoint_at
+    }
+
+    /// Read access to the retention store, when retention is configured.
+    pub fn retention(&self) -> Option<&RetentionStore> {
+        self.retention.as_ref()
+    }
+
+    /// Number of publications currently retained at this broker.
+    pub fn retained_publications(&self) -> u64 {
+        self.retention
+            .as_ref()
+            .map_or(0, RetentionStore::total_records)
+    }
+
+    /// Number of retention segments (archived + live) at this broker.
+    pub fn retained_segments(&self) -> u64 {
+        self.retention
+            .as_ref()
+            .map_or(0, RetentionStore::segment_count)
+    }
+
+    /// Timestamp (micros) of the oldest retained publication, if any.
+    pub fn oldest_retained_ts(&self) -> Option<u64> {
+        self.retention.as_ref().and_then(RetentionStore::oldest_ts)
+    }
+
+    /// Number of counterpart streams expired by the lease sweep over this
+    /// broker incarnation's lifetime.
+    pub fn expired_leases(&self) -> u64 {
+        self.machine.leases_expired()
+    }
+
+    /// Number of history sessions currently gathering retained slices at
+    /// this broker.
+    pub fn open_history_sessions(&self) -> usize {
+        self.history_sessions.len()
     }
 
     // ------------------------------------------------------------------
@@ -507,7 +653,12 @@ impl MobileBroker {
 
     /// Runs a static-broker handler and applies the mobility
     /// post-processing (holding interception and counterpart absorption).
-    fn run_core(&mut self, from: NodeId, message: Message) -> Vec<(NodeId, Message)> {
+    fn run_core(
+        &mut self,
+        from: NodeId,
+        message: Message,
+        now_micros: u64,
+    ) -> Vec<(NodeId, Message)> {
         let out = match self.core.handle_message(from, message) {
             Ok(out) => out,
             Err(unhandled) => {
@@ -515,8 +666,26 @@ impl MobileBroker {
             }
         };
         let out = self.machine.intercept_holding(out);
-        self.machine.absorb_parked(&mut self.core);
+        self.machine.absorb_parked(&mut self.core, now_micros);
         out
+    }
+
+    /// Moves publications the static broker recorded from local publishers
+    /// into the retention store and expires aged-out segments.  Called once
+    /// per handled event; a no-op without retention.
+    fn absorb_published(&mut self, ctx: &mut Context<'_, Message>) {
+        let Some(store) = self.retention.as_mut() else {
+            return;
+        };
+        let now = ctx.now().as_micros();
+        let published = self.core.take_published();
+        if !published.is_empty() {
+            ctx.metrics().add("retain.appended", published.len() as u64);
+            for envelope in published {
+                store.append(now, envelope);
+            }
+        }
+        store.expire(now);
     }
 
     /// Interprets machine effects against the simulation context, collecting
@@ -566,11 +735,12 @@ impl MobileBroker {
         self.drain_armed = false;
         let queues = std::mem::take(&mut self.drain_queue);
         let mut out = Vec::new();
+        let now = ctx.now().as_micros();
         for (from, envelopes) in queues {
             ctx.metrics().add("broker.drained", envelopes.len() as u64);
             let routed = self.core.route_envelope_batch(envelopes, Some(from));
             let routed = self.machine.intercept_holding(routed);
-            self.machine.absorb_parked(&mut self.core);
+            self.machine.absorb_parked(&mut self.core, now);
             out.extend(routed);
         }
         ctx.metrics().incr("broker.drain_flush");
@@ -770,6 +940,328 @@ impl MobileBroker {
             })
             .collect()
     }
+
+    // ------------------------------------------------------------------
+    // Time-aware subscriptions: retained-history replay
+    // ------------------------------------------------------------------
+
+    /// The broker's local retained slice for a history window, as
+    /// `(ts_micros, envelope)` pairs.
+    fn retained_slice(&self, since_micros: u64, filter: &Filter) -> Vec<(u64, Envelope)> {
+        self.retention
+            .as_ref()
+            .map(|store| {
+                store
+                    .fetch_since(since_micros, filter)
+                    .into_iter()
+                    .map(|p| (p.ts_micros, p.envelope))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Handles a time-aware subscription at the client's border broker:
+    /// installs the live subscription, opens a history session seeded with
+    /// the local retained slice, floods a [`Message::HistoryFetch`] over
+    /// the broker links and arms the gather timeout.  With no broker links
+    /// (single-broker deployment) the session closes — and the merged
+    /// batch ships — immediately.
+    fn handle_subscribe_since(
+        &mut self,
+        client: ClientId,
+        filter: Filter,
+        since_micros: u64,
+        last_seq: u64,
+        from: NodeId,
+        ctx: &mut Context<'_, Message>,
+    ) -> Vec<(NodeId, Message)> {
+        if self.core.client_by_node(from).is_none() && !self.core.broker_links().contains(&from) {
+            self.core.handle_attach(client, from);
+        }
+        let now = ctx.now().as_micros();
+        let mut out = self.run_core(
+            from,
+            Message::Subscribe {
+                subscriber: client,
+                filter: filter.clone(),
+            },
+            now,
+        );
+
+        let entries = self.retained_slice(since_micros, &filter);
+        let tag = self.next_history_tag;
+        self.next_history_tag += 1;
+        let key = (client, filter.clone());
+        self.history_tags.insert(tag, key.clone());
+        self.history_sessions.insert(
+            key,
+            HistorySession {
+                client_node: from,
+                since_micros,
+                last_seq,
+                entries,
+                held: Vec::new(),
+            },
+        );
+        ctx.metrics().incr("retain.history_session_opened");
+
+        let links = self.core.broker_links_except(from);
+        if links.is_empty() {
+            out.extend(self.close_history_session(tag, ctx));
+        } else {
+            let origin = ctx.self_id();
+            for link in links {
+                out.push((
+                    link,
+                    Message::HistoryFetch {
+                        client,
+                        filter: filter.clone(),
+                        since_micros,
+                        origin,
+                    },
+                ));
+            }
+            ctx.set_timer(self.config.relocation_timeout, tag);
+        }
+        out
+    }
+
+    /// Handles a history fetch travelling through the network: records the
+    /// reverse-path pointer, replies with the local retained slice (when
+    /// non-empty) and forwards the fetch over the remaining broker links.
+    fn handle_history_fetch(
+        &mut self,
+        client: ClientId,
+        filter: Filter,
+        since_micros: u64,
+        origin: NodeId,
+        from: NodeId,
+        ctx: &mut Context<'_, Message>,
+    ) -> Vec<(NodeId, Message)> {
+        self.history_routes.insert((client, filter.clone()), from);
+        let mut out = Vec::new();
+        let entries = self.retained_slice(since_micros, &filter);
+        if !entries.is_empty() {
+            ctx.metrics().add("retain.replayed", entries.len() as u64);
+            out.push((
+                from,
+                Message::HistoryReplay {
+                    client,
+                    filter: filter.clone(),
+                    entries,
+                },
+            ));
+        }
+        for link in self.core.broker_links_except(from) {
+            out.push((
+                link,
+                Message::HistoryFetch {
+                    client,
+                    filter: filter.clone(),
+                    since_micros,
+                    origin,
+                },
+            ));
+        }
+        out
+    }
+
+    /// Handles a history replay: absorbed into the open session at the
+    /// border broker, forwarded along the recorded reverse path elsewhere.
+    /// A replay arriving after its session closed is dropped (counted) —
+    /// the gather timeout is the completeness bound, exactly like the
+    /// relocation holding timeout.
+    fn handle_history_replay(
+        &mut self,
+        client: ClientId,
+        filter: Filter,
+        entries: Vec<(u64, Envelope)>,
+        ctx: &mut Context<'_, Message>,
+    ) -> Vec<(NodeId, Message)> {
+        let key = (client, filter.clone());
+        if let Some(session) = self.history_sessions.get_mut(&key) {
+            ctx.metrics()
+                .add("retain.replay_absorbed", entries.len() as u64);
+            session.entries.extend(entries);
+            Vec::new()
+        } else if let Some(&next) = self.history_routes.get(&key) {
+            vec![(
+                next,
+                Message::HistoryReplay {
+                    client,
+                    filter,
+                    entries,
+                },
+            )]
+        } else {
+            ctx.metrics().incr("retain.replay_dropped");
+            Vec::new()
+        }
+    }
+
+    /// Closes a history session: filters the gathered entries to the
+    /// requested window, orders them by `(ts, publisher, publisher_seq)`,
+    /// de-duplicates against themselves and the held live deliveries by
+    /// publication identity, assigns delivery sequence numbers continuing
+    /// the client's `last_seq`, and ships everything as one batch.
+    fn close_history_session(
+        &mut self,
+        tag: u64,
+        ctx: &mut Context<'_, Message>,
+    ) -> Vec<(NodeId, Message)> {
+        let Some(key) = self.history_tags.remove(&tag) else {
+            return Vec::new();
+        };
+        let Some(session) = self.history_sessions.remove(&key) else {
+            return Vec::new();
+        };
+        let (client, filter) = key;
+
+        let mut entries = session.entries;
+        entries.retain(|(ts, e)| *ts >= session.since_micros && filter.matches(&e.notification));
+        entries.sort_by(|a, b| {
+            (a.0, a.1.publisher, a.1.publisher_seq).cmp(&(b.0, b.1.publisher, b.1.publisher_seq))
+        });
+        let mut seen = BTreeSet::new();
+        entries.retain(|(_, e)| seen.insert((e.publisher, e.publisher_seq)));
+
+        let mut next_seq = session.last_seq + 1;
+        let mut deliveries = Vec::new();
+        for (_, envelope) in entries {
+            deliveries.push(Delivery {
+                subscriber: client,
+                filter: filter.clone(),
+                seq: next_seq,
+                envelope,
+            });
+            next_seq += 1;
+        }
+        // Held live deliveries already present in the history (the
+        // publication was both retained and routed live) are suppressed;
+        // the rest follow the history in arrival order.
+        for envelope in session.held {
+            if seen.insert((envelope.publisher, envelope.publisher_seq)) {
+                deliveries.push(Delivery {
+                    subscriber: client,
+                    filter: filter.clone(),
+                    seq: next_seq,
+                    envelope,
+                });
+                next_seq += 1;
+            }
+        }
+        // Future live deliveries continue after the merged batch.  (The
+        // registry may already sit past `next_seq` from the intercepted
+        // deliveries; the resulting gap in broker sequence numbers is
+        // harmless — delivery QoS is checked on publication identity.)
+        self.core
+            .sequences_mut()
+            .fast_forward(client, &filter, next_seq);
+
+        ctx.metrics()
+            .add("retain.history_delivered", deliveries.len() as u64);
+        ctx.metrics().incr("retain.history_session_closed");
+        match deliveries.len() {
+            0 => Vec::new(),
+            1 => vec![(
+                session.client_node,
+                Message::Deliver(deliveries.into_iter().next().expect("len checked")),
+            )],
+            _ => vec![(session.client_node, Message::DeliverBatch(deliveries))],
+        }
+    }
+
+    /// Diverts deliveries addressed to streams with an open history session
+    /// into that session's hold buffer, passing everything else through.
+    fn intercept_history(
+        &mut self,
+        out: Vec<(NodeId, Message)>,
+        ctx: &mut Context<'_, Message>,
+    ) -> Vec<(NodeId, Message)> {
+        let mut kept = Vec::new();
+        let mut held = 0u64;
+        for (to, message) in out {
+            match message {
+                Message::Deliver(d) => {
+                    let key = (d.subscriber, d.filter);
+                    if let Some(session) = self.history_sessions.get_mut(&key) {
+                        session.held.push(d.envelope);
+                        held += 1;
+                    } else {
+                        kept.push((
+                            to,
+                            Message::Deliver(Delivery {
+                                subscriber: key.0,
+                                filter: key.1,
+                                seq: d.seq,
+                                envelope: d.envelope,
+                            }),
+                        ));
+                    }
+                }
+                Message::DeliverBatch(batch) => {
+                    let mut pass = Vec::new();
+                    for d in batch {
+                        let key = (d.subscriber, d.filter.clone());
+                        if let Some(session) = self.history_sessions.get_mut(&key) {
+                            session.held.push(d.envelope);
+                            held += 1;
+                        } else {
+                            pass.push(d);
+                        }
+                    }
+                    match pass.len() {
+                        0 => {}
+                        1 => kept.push((
+                            to,
+                            Message::Deliver(pass.into_iter().next().expect("len checked")),
+                        )),
+                        _ => kept.push((to, Message::DeliverBatch(pass))),
+                    }
+                }
+                other => kept.push((to, other)),
+            }
+        }
+        if held > 0 {
+            ctx.metrics().add("retain.history_held", held);
+        }
+        kept
+    }
+
+    // ------------------------------------------------------------------
+    // Counterpart lease sweep
+    // ------------------------------------------------------------------
+
+    /// Arms the periodic lease-sweep timer when a lease is configured and
+    /// no sweep is pending.
+    fn arm_lease_sweep(&mut self, ctx: &mut Context<'_, Message>) {
+        if self.lease_sweep_armed {
+            return;
+        }
+        if let Some(lease) = self.config.counterpart_lease {
+            self.lease_sweep_armed = true;
+            ctx.set_timer(lease, LEASE_SWEEP_TIMER_TAG);
+        }
+    }
+
+    /// Runs one lease sweep: expires counterparts whose client never
+    /// reattached within the lease, then re-arms while counterparts remain.
+    fn sweep_leases(&mut self, ctx: &mut Context<'_, Message>) -> Vec<(NodeId, Message)> {
+        self.lease_sweep_armed = false;
+        let Some(lease) = self.config.counterpart_lease else {
+            return Vec::new();
+        };
+        let now = ctx.now().as_micros();
+        let effects = self
+            .machine
+            .expire_leases(&mut self.core, now, lease.as_micros());
+        let mut out = Vec::new();
+        self.apply_effects(effects, ctx, &mut out);
+        if self.machine.counterpart_count() > 0 {
+            self.arm_lease_sweep(ctx);
+        }
+        out
+    }
 }
 
 impl Node for MobileBroker {
@@ -782,6 +1274,14 @@ impl Node for MobileBroker {
                 tag: DRAIN_TIMER_TAG,
             } => {
                 out = self.drain_queued(ctx);
+            }
+            Incoming::Timer {
+                tag: LEASE_SWEEP_TIMER_TAG,
+            } => {
+                out = self.sweep_leases(ctx);
+            }
+            Incoming::Timer { tag } if tag >= HISTORY_TIMER_BASE => {
+                out = self.close_history_session(tag, ctx);
             }
             Incoming::Timer { tag } => {
                 let effects = self.machine.on_timeout(&mut self.core, tag);
@@ -869,9 +1369,50 @@ impl Node for MobileBroker {
                         // mark the client disconnected and the machine open
                         // durable counterparts for what is left behind.
                         out = self.flush_drain_for_control(ctx);
-                        out.extend(self.run_core(from, Message::Detach { client }));
-                        self.machine.on_detach(&self.core, client);
+                        let now = ctx.now().as_micros();
+                        out.extend(self.run_core(from, Message::Detach { client }, now));
+                        self.machine.on_detach(&self.core, client, now);
                         self.note_control("relocation.detach", client, ctx);
+                    }
+                    Message::SubscribeSince {
+                        subscriber,
+                        filter,
+                        since_micros,
+                        last_seq,
+                    } => {
+                        out = self.flush_drain_for_control(ctx);
+                        out.extend(self.handle_subscribe_since(
+                            subscriber,
+                            filter,
+                            since_micros,
+                            last_seq,
+                            from,
+                            ctx,
+                        ));
+                    }
+                    Message::HistoryFetch {
+                        client,
+                        filter,
+                        since_micros,
+                        origin,
+                    } => {
+                        out = self.flush_drain_for_control(ctx);
+                        out.extend(self.handle_history_fetch(
+                            client,
+                            filter,
+                            since_micros,
+                            origin,
+                            from,
+                            ctx,
+                        ));
+                    }
+                    Message::HistoryReplay {
+                        client,
+                        filter,
+                        entries,
+                    } => {
+                        out = self.flush_drain_for_control(ctx);
+                        out.extend(self.handle_history_replay(client, filter, entries, ctx));
                     }
                     Message::Notification(envelope) if self.config.drain_interval.is_some() => {
                         let interval = self.config.drain_interval.expect("checked above");
@@ -903,9 +1444,19 @@ impl Node for MobileBroker {
                     } => {
                         out = self.handle_location_update(sub_id, location, hop, from, ctx);
                     }
-                    other => out = self.run_core(from, other),
+                    other => {
+                        let now = ctx.now().as_micros();
+                        out = self.run_core(from, other, now);
+                    }
                 }
             }
+        }
+        if !self.history_sessions.is_empty() {
+            out = self.intercept_history(out, ctx);
+        }
+        self.absorb_published(ctx);
+        if self.machine.counterpart_count() > 0 {
+            self.arm_lease_sweep(ctx);
         }
         self.note_wal(ctx);
         for (to, message) in out {

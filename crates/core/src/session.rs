@@ -84,6 +84,27 @@ impl Session {
         system.enqueue_now(self.client, ClientAction::Subscribe(filter))
     }
 
+    /// Issues a time-aware subscription: like [`Session::subscribe`], but
+    /// the border broker additionally replays retained publications with a
+    /// timestamp at or after `since_micros` (virtual micros since the
+    /// simulation epoch), merged exactly once and in time order with live
+    /// traffic.  Requires [`BrokerConfig::retention`](crate::BrokerConfig)
+    /// to be configured on the brokers; without it only the live
+    /// subscription is installed.  The canonical detach/reattach pattern:
+    /// note the detach time, and reattach elsewhere with
+    /// `subscribe_since(detached_at)` to close the gap.
+    pub fn subscribe_since(
+        &self,
+        system: &mut MobilitySystem,
+        filter: Filter,
+        since_micros: u64,
+    ) -> Result<(), RebecaError> {
+        system.enqueue_now(
+            self.client,
+            ClientAction::SubscribeSince(filter, since_micros),
+        )
+    }
+
     /// Retracts a plain subscription.
     pub fn unsubscribe(
         &self,
@@ -135,6 +156,15 @@ impl Session {
     /// [`Session::move_to`] resumes the stream without loss.
     pub fn detach(&self, system: &mut MobilitySystem) -> Result<(), RebecaError> {
         system.enqueue_now(self.client, ClientAction::Detach)
+    }
+
+    /// Re-attaches to the border broker with topology index `broker` after
+    /// a [`Session::detach`] — a plain attach, without the relocation
+    /// protocol.  Combine with [`Session::subscribe_since`] to close the
+    /// offline gap from retained history instead of a counterpart replay.
+    pub fn reattach(&self, system: &mut MobilitySystem, broker: usize) -> Result<(), RebecaError> {
+        let target = system.broker_node(broker)?;
+        system.enqueue_now(self.client, ClientAction::Attach { broker: target })
     }
 
     /// Issues a location-dependent subscription (Section 5 of the paper)

@@ -35,6 +35,7 @@
 //! | 5   | `ReplayAck`         | new broker| holding resolved (merge or timeout)  |
 //! | 6   | `Checkpoint`        | either    | compaction snapshot of live state    |
 //! | 7   | `Epoch`             | recovery  | restart-generation watermark         |
+//! | 8   | `StreamExpired`     | old broker| counterpart lease expired, GC'd      |
 //!
 //! # Compaction
 //!
@@ -230,6 +231,10 @@ pub struct StreamSnapshot {
     /// counterpart was opened (the watermark; buffered deliveries may carry
     /// higher numbers).
     pub next_seq: u64,
+    /// Lease start: the broker time (microseconds) the counterpart was
+    /// activated at.  A client that never returns within the configured
+    /// counterpart lease is garbage collected by the lease sweep.
+    pub opened_at: u64,
     /// The buffered deliveries, in append order.
     pub buffered: Vec<Delivery>,
 }
@@ -266,6 +271,8 @@ pub enum WalRecord {
         filter: Filter,
         /// Sequence-number watermark at detach time.
         next_seq: u64,
+        /// Lease start: broker time (microseconds) at activation.
+        opened_at: u64,
     },
     /// A delivery was appended to the counterpart buffer of its stream.
     Buffered {
@@ -317,6 +324,15 @@ pub enum WalRecord {
         /// Restart generation watermark (see [`WalRecord::Epoch`]).
         generation: u64,
     },
+    /// This (old border) broker's lease sweep expired the counterpart of a
+    /// client that never returned: the stream and its buffered deliveries
+    /// were garbage collected without a replay.
+    StreamExpired {
+        /// The client whose lease ran out.
+        client: ClientId,
+        /// The subscription whose counterpart was dropped.
+        filter: Filter,
+    },
     /// Restart marker: appended once per recovery.  The restarted machine
     /// numbers its timeout tags from `generation << 32`, so timers armed by
     /// a previous incarnation (which survive a crash in the simulator's
@@ -359,6 +375,7 @@ const TAG_RELOCATION_COMMIT: u8 = 4;
 const TAG_REPLAY_ACK: u8 = 5;
 const TAG_CHECKPOINT: u8 = 6;
 const TAG_EPOCH: u8 = 7;
+const TAG_STREAM_EXPIRED: u8 = 8;
 
 impl WalRecord {
     /// Encodes the record payload (without the frame header).
@@ -370,12 +387,14 @@ impl WalRecord {
                 client_node,
                 filter,
                 next_seq,
+                opened_at,
             } => {
                 put_u8(&mut buf, TAG_STREAM_OPEN);
                 put_u32(&mut buf, client.raw());
                 put_node(&mut buf, *client_node);
                 put_filter(&mut buf, filter);
                 put_u64(&mut buf, *next_seq);
+                put_u64(&mut buf, *opened_at);
             }
             WalRecord::Buffered { delivery } => {
                 put_u8(&mut buf, TAG_BUFFERED);
@@ -421,6 +440,7 @@ impl WalRecord {
                     put_node(&mut buf, s.client_node);
                     put_filter(&mut buf, &s.filter);
                     put_u64(&mut buf, s.next_seq);
+                    put_u64(&mut buf, s.opened_at);
                     put_u32(&mut buf, s.buffered.len() as u32);
                     for d in &s.buffered {
                         put_delivery(&mut buf, d);
@@ -444,6 +464,11 @@ impl WalRecord {
                 put_u8(&mut buf, TAG_EPOCH);
                 put_u64(&mut buf, *generation);
             }
+            WalRecord::StreamExpired { client, filter } => {
+                put_u8(&mut buf, TAG_STREAM_EXPIRED);
+                put_u32(&mut buf, client.raw());
+                put_filter(&mut buf, filter);
+            }
         }
         buf
     }
@@ -466,6 +491,7 @@ impl WalRecord {
                 client_node: r.node()?,
                 filter: r.filter()?,
                 next_seq: r.u64()?,
+                opened_at: r.u64()?,
             },
             TAG_BUFFERED => WalRecord::Buffered {
                 delivery: r.delivery()?,
@@ -493,6 +519,7 @@ impl WalRecord {
                     let client_node = r.node()?;
                     let filter = r.filter()?;
                     let next_seq = r.u64()?;
+                    let opened_at = r.u64()?;
                     let n_buffered = r.u32()? as usize;
                     let mut buffered = Vec::with_capacity(n_buffered.min(1024));
                     for _ in 0..n_buffered {
@@ -503,6 +530,7 @@ impl WalRecord {
                         client_node,
                         filter,
                         next_seq,
+                        opened_at,
                         buffered,
                     });
                 }
@@ -531,6 +559,10 @@ impl WalRecord {
             }
             TAG_EPOCH => WalRecord::Epoch {
                 generation: r.u64()?,
+            },
+            TAG_STREAM_EXPIRED => WalRecord::StreamExpired {
+                client: ClientId::new(r.u32()?),
+                filter: r.filter()?,
             },
             _ => return Err(DecodeError),
         };
@@ -746,6 +778,7 @@ impl HandoffLog {
                 client_node,
                 filter,
                 next_seq,
+                opened_at,
             } => {
                 let existing = state
                     .streams
@@ -755,12 +788,14 @@ impl HandoffLog {
                     Some(s) => {
                         s.client_node = client_node;
                         s.next_seq = s.next_seq.max(next_seq);
+                        s.opened_at = opened_at;
                     }
                     None => state.streams.push(StreamSnapshot {
                         client,
                         client_node,
                         filter,
                         next_seq,
+                        opened_at,
                         buffered: Vec::new(),
                     }),
                 }
@@ -783,6 +818,7 @@ impl HandoffLog {
                             client_node: NodeId(usize::MAX),
                             filter,
                             next_seq: delivery.seq,
+                            opened_at: 0,
                             buffered: vec![delivery],
                         });
                     }
@@ -833,6 +869,11 @@ impl HandoffLog {
             WalRecord::Epoch { generation } => {
                 state.generation = state.generation.max(generation);
             }
+            WalRecord::StreamExpired { client, filter } => {
+                state
+                    .streams
+                    .retain(|s| !(s.client == client && s.filter == filter));
+            }
         }
     }
 }
@@ -875,6 +916,7 @@ mod tests {
                 client_node: NodeId(100),
                 filter: filter(),
                 next_seq: 4,
+                opened_at: 1_000,
             },
             WalRecord::Buffered {
                 delivery: delivery(4),
@@ -914,6 +956,7 @@ mod tests {
                             Constraint::any_of([Value::from("a"), Value::from("b")]),
                         ),
                         next_seq: 10,
+                        opened_at: 77,
                         buffered: vec![delivery(10), delivery(11)],
                     }],
                     holdings: vec![HoldingSnapshot {
@@ -926,6 +969,10 @@ mod tests {
                     generation: 3,
                 },
                 WalRecord::Epoch { generation: 2 },
+                WalRecord::StreamExpired {
+                    client: ClientId::new(1),
+                    filter: filter(),
+                },
             ],
         ]
         .concat();
@@ -983,6 +1030,26 @@ mod tests {
         );
         assert_eq!(state.holdings.len(), 1);
         assert_eq!(state.holdings[0].last_seq, 3);
+    }
+
+    #[test]
+    fn stream_expiry_folds_the_counterpart_away() {
+        let mut log = HandoffLog::in_memory();
+        for r in sample_records() {
+            log.append(&r);
+        }
+        log.append(&WalRecord::StreamExpired {
+            client: ClientId::new(1),
+            filter: filter(),
+        });
+        let state = log.recover();
+        assert!(!state.truncated);
+        assert!(state.streams.is_empty(), "expired stream is gone");
+        assert!(
+            state.repoints.is_empty(),
+            "expiry re-points nothing (unlike a commit)"
+        );
+        assert_eq!(state.holdings.len(), 1, "holdings are untouched");
     }
 
     #[test]

@@ -102,6 +102,10 @@ struct StreamState {
     client_node: Option<NodeId>,
     /// Sequence watermark at the time the counterpart was opened.
     next_seq: u64,
+    /// Lease start: broker time (microseconds) the counterpart was opened
+    /// at.  The lease sweep expires counterparts whose client never
+    /// returned within the configured counterpart lease.
+    opened_at: u64,
     /// Holding buffer (`Some` at the new border broker mid-relocation).
     holding: Option<HoldingState>,
     /// Next hop for replay messages travelling back towards the new border
@@ -137,6 +141,8 @@ pub struct RelocationMachine {
     /// cannot be cancelled — can never alias a tag of this one.
     generation: u64,
     relocation_timeout: SimDuration,
+    /// Monotonic count of counterparts expired by the lease sweep.
+    leases_expired: u64,
     /// When set (the default), `Relocate` floods are scoped to broker links
     /// holding a routing entry that covers the relocating filter (see
     /// [`RelocationMachine::set_scoped_flood`]); when cleared, every broker
@@ -156,6 +162,7 @@ impl RelocationMachine {
             repoints: BTreeSet::new(),
             generation: 0,
             relocation_timeout,
+            leases_expired: 0,
             scoped_flood: true,
             log,
         }
@@ -239,6 +246,7 @@ impl RelocationMachine {
             state.counterpart = Some(buffer);
             state.client_node = Some(snap.client_node);
             state.next_seq = snap.next_seq;
+            state.opened_at = snap.opened_at;
         }
 
         // Re-point delivery paths of relocations that committed before the
@@ -336,6 +344,11 @@ impl RelocationMachine {
         self.holding_count
     }
 
+    /// Monotonic count of counterparts the lease sweep expired.
+    pub fn leases_expired(&self) -> u64 {
+        self.leases_expired
+    }
+
     /// Number of live relocation-timeout guards.  Stays zero across settled
     /// relocations: the guard of a relocation that completes before its
     /// timeout is reclaimed on replay completion, not leaked.
@@ -358,9 +371,10 @@ impl RelocationMachine {
     // Durable buffering (old border broker side)
     // ------------------------------------------------------------------
 
-    /// Observes a client disconnect: opens a durable virtual counterpart for
-    /// every subscription the client leaves behind.
-    pub fn on_detach(&mut self, core: &BrokerCore, client: ClientId) {
+    /// Observes a client disconnect: opens a durable virtual counterpart
+    /// (leased from `now_micros`) for every subscription the client leaves
+    /// behind.
+    pub fn on_detach(&mut self, core: &BrokerCore, client: ClientId, now_micros: u64) {
         let Some(record) = core.client(client) else {
             return;
         };
@@ -375,10 +389,12 @@ impl RelocationMachine {
                     client_node: node,
                     filter,
                     next_seq,
+                    opened_at: now_micros,
                 });
                 state.counterpart = Some(DeliveryBuffer::new());
                 state.client_node = Some(node);
                 state.next_seq = next_seq;
+                state.opened_at = now_micros;
             }
         }
         self.maybe_checkpoint();
@@ -386,7 +402,7 @@ impl RelocationMachine {
 
     /// Moves parked deliveries (addressed to disconnected local clients)
     /// into their virtual counterparts, logging each append.
-    pub fn absorb_parked(&mut self, core: &mut BrokerCore) {
+    pub fn absorb_parked(&mut self, core: &mut BrokerCore, now_micros: u64) {
         let parked = core.take_parked();
         if parked.is_empty() {
             return;
@@ -407,10 +423,12 @@ impl RelocationMachine {
                     client_node: node,
                     filter: delivery.filter.clone(),
                     next_seq: delivery.seq,
+                    opened_at: now_micros,
                 });
                 state.counterpart = Some(DeliveryBuffer::new());
                 state.client_node = Some(node);
                 state.next_seq = delivery.seq;
+                state.opened_at = now_micros;
             }
             self.log.append(&WalRecord::Buffered {
                 delivery: delivery.clone(),
@@ -422,6 +440,74 @@ impl RelocationMachine {
                 .push(delivery);
         }
         self.maybe_checkpoint();
+    }
+
+    /// Lease sweep: expires the virtual counterpart of every stream whose
+    /// client detached more than `lease_micros` ago and never returned.
+    /// The expiry is logged (write-ahead) before the counterpart, the
+    /// departed client's record, its routing entry and its sequence state
+    /// are garbage collected — the exact resources a committed relocation
+    /// would have reclaimed, minus the replay (there is nobody to replay
+    /// to).  Returns the effects (metrics) of the sweep.
+    pub fn expire_leases(
+        &mut self,
+        core: &mut BrokerCore,
+        now_micros: u64,
+        lease_micros: u64,
+    ) -> Vec<Effect> {
+        if lease_micros == 0 {
+            return Vec::new();
+        }
+        let expired: Vec<StreamKey> = self
+            .streams
+            .iter()
+            .filter(|(_, s)| {
+                s.counterpart.is_some() && now_micros.saturating_sub(s.opened_at) >= lease_micros
+            })
+            .map(|(key, _)| key.clone())
+            .collect();
+        let mut out = Vec::new();
+        for key in expired {
+            let (client, filter) = key.clone();
+            // A client that is connected again is not expired, whatever the
+            // lease says (belt and braces: a live counterpart and a
+            // connected record should never coexist).
+            if core.client(client).map(|r| r.connected).unwrap_or(false) {
+                continue;
+            }
+            self.log.append(&WalRecord::StreamExpired {
+                client,
+                filter: filter.clone(),
+            });
+            let dropped = self
+                .streams
+                .get_mut(&key)
+                .and_then(|s| s.counterpart.take())
+                .map(|b| b.len() as u64)
+                .unwrap_or(0);
+            if let Some(record) = core.client(client).cloned() {
+                core.engine_mut().table_mut().remove(&filter, &record.node);
+                core.sequences_mut().remove(client, &filter);
+                if let Some(rec) = core.client_mut(client) {
+                    rec.subscriptions.retain(|f| f != &filter);
+                }
+                let now_empty = core
+                    .client(client)
+                    .map(|r| r.subscriptions.is_empty())
+                    .unwrap_or(false);
+                if now_empty {
+                    core.remove_client(client);
+                }
+            }
+            self.leases_expired += 1;
+            out.push(Effect::Incr("mobility.lease_expired"));
+            out.push(Effect::Add("mobility.lease_dropped_deliveries", dropped));
+            self.gc_stream(&key);
+        }
+        if !out.is_empty() {
+            self.maybe_checkpoint();
+        }
+        out
     }
 
     /// Post-processes broker output: deliveries that belong to a relocating
@@ -975,6 +1061,7 @@ impl RelocationMachine {
                     client_node: state.client_node.unwrap_or(NodeId(usize::MAX)),
                     filter: filter.clone(),
                     next_seq: state.next_seq,
+                    opened_at: state.opened_at,
                     buffered: buffer.replay_after(0),
                 });
             }
@@ -1112,12 +1199,12 @@ mod tests {
         core.handle_attach(ClientId::new(1), NodeId(100));
         core.handle_subscribe(ClientId::new(1), filter(), NodeId(100));
         core.handle_detach(ClientId::new(1));
-        m.on_detach(&core, ClientId::new(1));
+        m.on_detach(&core, ClientId::new(1), 0);
         assert_eq!(m.counterpart_count(), 1);
         assert_eq!(m.phase(ClientId::new(1), &filter()), RelocationPhase::Local);
 
         publish(&mut core, 3);
-        m.absorb_parked(&mut core);
+        m.absorb_parked(&mut core, 0);
         assert_eq!(m.buffered_deliveries(), 3);
 
         // The WAL alone reconstructs the same counterpart.
@@ -1242,9 +1329,9 @@ mod tests {
         core1.handle_attach(ClientId::new(1), NodeId(100));
         core1.handle_subscribe(ClientId::new(1), filter(), NodeId(100));
         core1.handle_detach(ClientId::new(1));
-        m.on_detach(&core1, ClientId::new(1));
+        m.on_detach(&core1, ClientId::new(1), 0);
         publish(&mut core1, 4);
-        m.absorb_parked(&mut core1);
+        m.absorb_parked(&mut core1, 0);
 
         // "Crash": fresh core + machine recovered from the surviving WAL.
         let mut core2 = core();
@@ -1279,7 +1366,7 @@ mod tests {
         core1.handle_attach(ClientId::new(1), NodeId(100));
         core1.handle_subscribe(ClientId::new(1), filter(), NodeId(100));
         core1.handle_detach(ClientId::new(1));
-        m.on_detach(&core1, ClientId::new(1));
+        m.on_detach(&core1, ClientId::new(1), 0);
         m.on_relocate(
             &mut core1,
             ClientId::new(1),
@@ -1293,9 +1380,9 @@ mod tests {
         core1.handle_attach(ClientId::new(2), NodeId(102));
         core1.handle_subscribe(ClientId::new(2), filter(), NodeId(102));
         core1.handle_detach(ClientId::new(2));
-        m.on_detach(&core1, ClientId::new(2));
+        m.on_detach(&core1, ClientId::new(2), 0);
         publish(&mut core1, 3);
-        m.absorb_parked(&mut core1);
+        m.absorb_parked(&mut core1, 0);
         let recovered_raw = m.log().recover();
         assert!(
             recovered_raw.records_read < 5,
@@ -1346,6 +1433,48 @@ mod tests {
     }
 
     #[test]
+    fn lease_sweep_expires_stale_counterparts_and_reclaims_core_state() {
+        let mut core = core();
+        let mut m = machine();
+        core.handle_attach(ClientId::new(1), NodeId(100));
+        core.handle_subscribe(ClientId::new(1), filter(), NodeId(100));
+        core.handle_detach(ClientId::new(1));
+        m.on_detach(&core, ClientId::new(1), 1_000_000);
+        publish(&mut core, 3);
+        m.absorb_parked(&mut core, 1_500_000);
+        assert_eq!(m.counterpart_count(), 1);
+
+        // Within the lease: nothing happens.
+        assert!(m.expire_leases(&mut core, 5_000_000, 10_000_000).is_empty());
+        assert_eq!(m.counterpart_count(), 1);
+        // Lease of zero disables the sweep entirely.
+        assert!(m.expire_leases(&mut core, u64::MAX, 0).is_empty());
+
+        // Past the lease: the counterpart, the client record, its routing
+        // entry and its sequence state all go away, write-ahead logged.
+        let effects = m.expire_leases(&mut core, 12_000_000, 10_000_000);
+        assert!(effects.contains(&Effect::Incr("mobility.lease_expired")));
+        assert!(effects.contains(&Effect::Add("mobility.lease_dropped_deliveries", 3)));
+        assert_eq!(m.counterpart_count(), 0);
+        assert_eq!(m.leases_expired(), 1);
+        assert!(core.client(ClientId::new(1)).is_none());
+        assert!(!core
+            .engine()
+            .table()
+            .contains_entry(&filter(), &NodeId(100)));
+
+        // The WAL folds to an empty stream set: a restart after the sweep
+        // does not resurrect the expired counterpart.
+        let recovered = m.log().recover();
+        assert!(recovered.streams.is_empty());
+
+        // Idempotent: a second sweep finds nothing.
+        assert!(m
+            .expire_leases(&mut core, 13_000_000, 10_000_000)
+            .is_empty());
+    }
+
+    #[test]
     fn checkpoint_compaction_keeps_recovery_equivalent() {
         let backend = crate::log::MemoryBackend::new();
         let mut core1 = core();
@@ -1356,9 +1485,9 @@ mod tests {
         core1.handle_attach(ClientId::new(1), NodeId(100));
         core1.handle_subscribe(ClientId::new(1), filter(), NodeId(100));
         core1.handle_detach(ClientId::new(1));
-        m.on_detach(&core1, ClientId::new(1));
+        m.on_detach(&core1, ClientId::new(1), 0);
         publish(&mut core1, 10);
-        m.absorb_parked(&mut core1);
+        m.absorb_parked(&mut core1, 0);
 
         let recovered = HandoffLog::with_backend(Box::new(backend.clone())).recover();
         assert!(recovered.records_read < 11, "the log was compacted");

@@ -243,8 +243,17 @@ fn print_human(index: usize, endpoint: &Endpoint, report: &StatusReport) {
             },
         );
         println!(
-            "  relocation: counterparts {} buffered {} pending {}",
-            b.counterparts, b.buffered_deliveries, b.pending_relocations
+            "  relocation: counterparts {} buffered {} pending {} expired-leases {}",
+            b.counterparts, b.buffered_deliveries, b.pending_relocations, b.expired_leases
+        );
+        println!(
+            "  retention: {} publications in {} segments{}",
+            b.retained_publications,
+            b.retained_segments,
+            match b.oldest_retained_age_ms {
+                Some(age) => format!(", oldest {age}ms old"),
+                None => String::new(),
+            },
         );
         for (name, count) in &b.relocations {
             println!("    {name} = {count}");
@@ -370,6 +379,10 @@ impl Condition {
             counterparts: 0,
             buffered_deliveries: 0,
             pending_relocations: 0,
+            retained_publications: 0,
+            retained_segments: 0,
+            oldest_retained_age_ms: None,
+            expired_leases: 0,
             relocations: Vec::new(),
             handoff_latency_micros: Default::default(),
             links: Vec::new(),
@@ -389,11 +402,15 @@ impl Condition {
             "counterparts" => status.counterparts,
             "buffered_deliveries" => status.buffered_deliveries,
             "pending_relocations" => status.pending_relocations,
+            "retained_publications" => status.retained_publications,
+            "retained_segments" => status.retained_segments,
+            "expired_leases" => status.expired_leases,
             other => {
                 return Err(format!(
                     "unknown status field {other:?} (numeric fields: restart_epoch, generation, \
                      routing_entries, routing_subgroups, wal_depth, wal_since_checkpoint, \
-                     counterparts, buffered_deliveries, pending_relocations)"
+                     counterparts, buffered_deliveries, pending_relocations, \
+                     retained_publications, retained_segments, expired_leases)"
                 ))
             }
         })

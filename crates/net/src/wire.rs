@@ -102,6 +102,9 @@ const MSG_REPLAY: u8 = 16;
 const MSG_LOC_SUBSCRIBE: u8 = 17;
 const MSG_LOC_UNSUBSCRIBE: u8 = 18;
 const MSG_LOCATION_UPDATE: u8 = 19;
+const MSG_SUBSCRIBE_SINCE: u8 = 20;
+const MSG_HISTORY_FETCH: u8 = 21;
+const MSG_HISTORY_REPLAY: u8 = 22;
 
 /// A decoding failure of the wire format.  Every malformed input maps to
 /// one of these variants; decoding never panics.
@@ -455,6 +458,10 @@ fn put_broker_status(buf: &mut Vec<u8>, b: &BrokerStatus) {
     put_u64(buf, b.counterparts);
     put_u64(buf, b.buffered_deliveries);
     put_u64(buf, b.pending_relocations);
+    put_u64(buf, b.retained_publications);
+    put_u64(buf, b.retained_segments);
+    put_opt_u64(buf, b.oldest_retained_age_ms);
+    put_u64(buf, b.expired_leases);
     put_u32(buf, b.relocations.len() as u32);
     for (name, count) in &b.relocations {
         put_str(buf, name);
@@ -479,6 +486,10 @@ fn read_broker_status(r: &mut ByteReader<'_>) -> Result<BrokerStatus, DecodeErro
     let counterparts = r.u64()?;
     let buffered_deliveries = r.u64()?;
     let pending_relocations = r.u64()?;
+    let retained_publications = r.u64()?;
+    let retained_segments = r.u64()?;
+    let oldest_retained_age_ms = read_opt_u64(r)?;
+    let expired_leases = r.u64()?;
     let n = r.u32()? as usize;
     let mut relocations = Vec::with_capacity(n.min(1024));
     for _ in 0..n {
@@ -503,6 +514,10 @@ fn read_broker_status(r: &mut ByteReader<'_>) -> Result<BrokerStatus, DecodeErro
         counterparts,
         buffered_deliveries,
         pending_relocations,
+        retained_publications,
+        retained_segments,
+        oldest_retained_age_ms,
+        expired_leases,
         relocations,
         handoff_latency_micros,
         links,
@@ -693,6 +708,44 @@ pub fn put_message(buf: &mut Vec<u8>, message: &Message) {
             put_u32(buf, location.raw());
             put_u64(buf, *hop as u64);
         }
+        Message::SubscribeSince {
+            subscriber,
+            filter,
+            since_micros,
+            last_seq,
+        } => {
+            put_u8(buf, MSG_SUBSCRIBE_SINCE);
+            put_u32(buf, subscriber.raw());
+            put_filter(buf, filter);
+            put_u64(buf, *since_micros);
+            put_u64(buf, *last_seq);
+        }
+        Message::HistoryFetch {
+            client,
+            filter,
+            since_micros,
+            origin,
+        } => {
+            put_u8(buf, MSG_HISTORY_FETCH);
+            put_u32(buf, client.raw());
+            put_filter(buf, filter);
+            put_u64(buf, *since_micros);
+            put_node(buf, *origin);
+        }
+        Message::HistoryReplay {
+            client,
+            filter,
+            entries,
+        } => {
+            put_u8(buf, MSG_HISTORY_REPLAY);
+            put_u32(buf, client.raw());
+            put_filter(buf, filter);
+            put_u32(buf, entries.len() as u32);
+            for (ts, envelope) in entries {
+                put_u64(buf, *ts);
+                put_envelope(buf, envelope);
+            }
+        }
     }
 }
 
@@ -801,6 +854,33 @@ pub fn read_message(r: &mut ByteReader<'_>) -> Result<Message, DecodeError> {
             location: LocationId::new(r.u32()?),
             hop: r.u64()? as usize,
         },
+        MSG_SUBSCRIBE_SINCE => Message::SubscribeSince {
+            subscriber: ClientId::new(r.u32()?),
+            filter: r.filter()?,
+            since_micros: r.u64()?,
+            last_seq: r.u64()?,
+        },
+        MSG_HISTORY_FETCH => Message::HistoryFetch {
+            client: ClientId::new(r.u32()?),
+            filter: r.filter()?,
+            since_micros: r.u64()?,
+            origin: r.node()?,
+        },
+        MSG_HISTORY_REPLAY => {
+            let client = ClientId::new(r.u32()?);
+            let filter = r.filter()?;
+            let n = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let ts = r.u64()?;
+                entries.push((ts, r.envelope()?));
+            }
+            Message::HistoryReplay {
+                client,
+                filter,
+                entries,
+            }
+        }
         _ => return Err(DecodeError),
     })
 }
@@ -1026,6 +1106,10 @@ mod tests {
                 counterparts: 1,
                 buffered_deliveries: 3,
                 pending_relocations: 1,
+                retained_publications: 250,
+                retained_segments: 3,
+                oldest_retained_age_ms: Some(42_000),
+                expired_leases: 2,
                 relocations: vec![
                     ("mobility.relocations_started".into(), 2),
                     ("mobility.replays".into(), 1),
@@ -1200,6 +1284,50 @@ mod tests {
             Frame::decode_framed(&bytes).unwrap_err(),
             WireError::Malformed
         );
+    }
+
+    #[test]
+    fn retention_messages_roundtrip() {
+        let messages = [
+            Message::SubscribeSince {
+                subscriber: ClientId::new(4),
+                filter: filter(),
+                since_micros: 1_500_000,
+                last_seq: 12,
+            },
+            Message::HistoryFetch {
+                client: ClientId::new(4),
+                filter: filter(),
+                since_micros: 1_500_000,
+                origin: NodeId::new(2),
+            },
+            Message::HistoryReplay {
+                client: ClientId::new(4),
+                filter: filter(),
+                entries: vec![
+                    (1_600_000, delivery(1).envelope),
+                    (1_700_000, delivery(2).envelope),
+                ],
+            },
+            Message::HistoryReplay {
+                client: ClientId::new(4),
+                filter: filter(),
+                entries: Vec::new(),
+            },
+        ];
+        for message in messages {
+            let frame = Frame::Message {
+                from: NodeId::new(0),
+                to: NodeId::new(2),
+                delay_micros: 1_000,
+                seq: 9,
+                message,
+            };
+            let bytes = frame.encode_framed();
+            let (decoded, consumed) = Frame::decode_framed(&bytes).expect("roundtrip");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, frame);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 #![allow(dead_code)]
 
 use rebeca_broker::{ClientId, ConsumerLog};
-use rebeca_core::{BrokerConfig, MobilitySystem, SystemBuilder};
+use rebeca_core::{BrokerConfig, MobilitySystem, RetentionConfig, SystemBuilder};
 use rebeca_filter::{Constraint, Filter, Notification};
 use rebeca_location::MovementGraph;
 use rebeca_routing::RoutingStrategyKind;
@@ -42,6 +42,130 @@ pub fn builder(delay_millis: u64) -> SystemBuilder {
         .config(broker_config())
         .link_delay(DelayModel::constant_millis(delay_millis))
         .seed(7)
+}
+
+/// Publications delivered live before the detach in the retention scenario.
+pub const RETAIN_PRE: u64 = 10;
+/// Matching publications missed while detached (the acceptance floor is
+/// 100).
+pub const RETAIN_MISSED: u64 = 110;
+/// Live publications after the history replay settled.
+pub const RETAIN_TAIL: u64 = 10;
+/// Total publications of the retention scenario.
+pub const RETAIN_TOTAL: u64 = RETAIN_PRE + RETAIN_MISSED + RETAIN_TAIL;
+
+/// Retention-enabled broker config for the time-aware subscription tests;
+/// the relocation timeout doubles as the history-gather timeout.
+pub fn retention_broker_config() -> BrokerConfig {
+    broker_config()
+        .with_relocation_timeout(SimDuration::from_secs(2))
+        .with_retention(Some(RetentionConfig {
+            segment_max_records: 32,
+            max_segments: 64,
+            retention_window_micros: 0,
+        }))
+}
+
+pub fn retention_builder(delay_millis: u64) -> SystemBuilder {
+    SystemBuilder::new(&Topology::line(3))
+        .config(retention_broker_config())
+        .link_delay(DelayModel::constant_millis(delay_millis))
+        .seed(7)
+}
+
+/// Drives the retention acceptance scenario on an already-built system
+/// (works on any driver): the consumer detaches from broker 0, misses
+/// [`RETAIN_MISSED`] matching publications, reattaches at broker 1 with a
+/// `since`-scoped subscription that replays the gap from the origin
+/// broker's retention store, then receives a live tail.  Returns the
+/// consumer's delivery log.
+///
+/// Every phase boundary is padded by a full second of quiet so the window
+/// start is unambiguous even across the loosely-synchronised clocks of
+/// separate wall-clock drivers.
+pub fn drive_retention_scenario(sys: &mut MobilitySystem, budget_ms: u64) -> ConsumerLog {
+    let consumer = sys.connect(CONSUMER, 0).expect("consumer connects");
+    consumer
+        .subscribe(sys, parking_filter())
+        .expect("subscribe");
+    let producer = sys.connect(PRODUCER, 2).expect("producer connects");
+    let now = sys.now();
+    sys.run_until(now + SimDuration::from_millis(300));
+
+    for i in 1..=RETAIN_PRE {
+        producer.publish(sys, vacancy(i)).expect("publish");
+    }
+    assert!(
+        run_until_deliveries(sys, RETAIN_PRE as usize, budget_ms),
+        "pre-detach publications not delivered in time: {:?}",
+        sys.client_log(CONSUMER).unwrap().len()
+    );
+    let now = sys.now();
+    sys.run_until(now + SimDuration::from_millis(1_000));
+
+    consumer.detach(sys).expect("detach");
+    let now = sys.now();
+    sys.run_until(now + SimDuration::from_millis(1_000));
+    // Mid-gap: strictly after every pre-detach retention timestamp,
+    // strictly before every offline one.
+    let since_micros = sys.now().as_micros();
+    let now = sys.now();
+    sys.run_until(now + SimDuration::from_millis(1_000));
+
+    for i in RETAIN_PRE + 1..=RETAIN_PRE + RETAIN_MISSED {
+        producer.publish(sys, vacancy(i)).expect("publish");
+    }
+    // Let the origin broker retain the offline batch.
+    let now = sys.now();
+    sys.run_until(now + SimDuration::from_millis(1_000));
+
+    consumer.reattach(sys, 1).expect("reattach");
+    let now = sys.now();
+    sys.run_until(now + SimDuration::from_millis(300));
+    consumer
+        .subscribe_since(sys, parking_filter(), since_micros)
+        .expect("subscribe_since");
+    assert!(
+        run_until_deliveries(sys, (RETAIN_PRE + RETAIN_MISSED) as usize, budget_ms),
+        "history replay not delivered in time: {:?}",
+        sys.client_log(CONSUMER).unwrap().len()
+    );
+
+    for i in RETAIN_PRE + RETAIN_MISSED + 1..=RETAIN_TOTAL {
+        producer.publish(sys, vacancy(i)).expect("publish");
+    }
+    assert!(
+        run_until_deliveries(sys, RETAIN_TOTAL as usize, budget_ms),
+        "live tail not delivered in time: {:?}",
+        sys.client_log(CONSUMER).unwrap().len()
+    );
+    sys.client_log(CONSUMER).unwrap().clone()
+}
+
+/// The never-detached oracle of the retention scenario: the identical
+/// publication stream received live from start to finish on the
+/// deterministic simulator.  A correct history merge is indistinguishable
+/// from never having been away, so the detach/reattach runs must produce
+/// a byte-identical consumer log.
+pub fn retention_oracle_sim_log() -> ConsumerLog {
+    let mut sys = retention_builder(1).build().expect("sim build");
+    let consumer = sys.connect(CONSUMER, 0).expect("consumer connects");
+    consumer
+        .subscribe(&mut sys, parking_filter())
+        .expect("subscribe");
+    let producer = sys.connect(PRODUCER, 2).expect("producer connects");
+    let now = sys.now();
+    sys.run_until(now + SimDuration::from_millis(300));
+    for i in 1..=RETAIN_TOTAL {
+        producer.publish(&mut sys, vacancy(i)).expect("publish");
+    }
+    assert!(
+        run_until_deliveries(&mut sys, RETAIN_TOTAL as usize, 60_000),
+        "oracle run incomplete"
+    );
+    let log = sys.client_log(CONSUMER).unwrap().clone();
+    assert!(log.is_clean(), "oracle run must be clean");
+    log
 }
 
 /// Runs the driver until the consumer's log holds `want` deliveries or the

@@ -16,7 +16,10 @@ use rebeca_core::{MobilitySystem, SystemBuilder};
 use rebeca_net::{Endpoint, FaultPlan, NetConfig, SystemBuilderTcp, TcpDriver};
 use rebeca_sim::{DelayModel, SimDuration, Topology};
 
-use common::{assert_exactly_once, builder, drive_scenario, reference_sim_log, CONSUMER};
+use common::{
+    assert_exactly_once, builder, drive_retention_scenario, drive_scenario, reference_sim_log,
+    retention_builder, retention_oracle_sim_log, CONSUMER, PRODUCER, RETAIN_TOTAL,
+};
 
 /// Builds the broker-side system: one driver hosting all three brokers of
 /// the line, listening on an ephemeral loopback port.  Returns the system
@@ -78,6 +81,58 @@ fn loopback_cluster_matches_the_simulator_byte_for_byte() {
     assert!(broker_sys.metrics().counter("net.frames_in") > 0);
     assert!(broker_sys.metrics().counter("net.frames_out") > 0);
     assert!(broker_sys.metrics().counter("net.hello_in") > 0);
+}
+
+/// Time-aware subscriptions over real TCP: the consumer detaches from
+/// broker 0, misses >100 matching publications, and reattaches at broker 1
+/// with a `since`-scoped subscription.  The retained history replays the
+/// gap exactly once, merged in order with the live tail — byte-identical
+/// to a never-detached run on the deterministic simulator.
+#[test]
+fn subscribe_since_replays_the_offline_gap_over_tcp() {
+    let placeholder = vec![Endpoint::new("127.0.0.1", 0); 3];
+    let driver = TcpDriver::new(NetConfig::new(placeholder).host_all().seed(17))
+        .expect("bind broker listener");
+    let endpoint = driver.listen_endpoint().clone();
+    let broker_sys = retention_builder(1)
+        .build_with(Box::new(driver))
+        .expect("broker system builds");
+    let stop = Arc::new(AtomicBool::new(false));
+    let pump = pump_in_background(broker_sys, stop.clone());
+
+    let client_net = NetConfig::new(vec![endpoint; 3]).seed(19);
+    let mut client_sys = retention_builder(1)
+        .build_tcp(client_net)
+        .expect("client system builds");
+
+    let tcp_log = drive_retention_scenario(&mut client_sys, 60_000);
+    stop.store(true, Ordering::SeqCst);
+    let broker_sys = pump.join().expect("broker pump thread");
+
+    assert!(tcp_log.is_clean(), "violations: {:?}", tcp_log.violations());
+    assert_eq!(
+        tcp_log.distinct_publisher_seqs(PRODUCER),
+        (1..=RETAIN_TOTAL).collect::<Vec<u64>>(),
+        "the offline gap must be closed exactly once"
+    );
+    assert_eq!(
+        tcp_log,
+        retention_oracle_sim_log(),
+        "history merge must be indistinguishable from never detaching"
+    );
+
+    // The history session ran on the broker side, fed by a remote broker's
+    // retained slice, and the retention plane shows up in the status report.
+    let m = broker_sys.metrics();
+    assert_eq!(m.counter("retain.history_session_closed"), 1);
+    assert!(m.counter("retain.replayed") >= 100);
+    let status = broker_sys.status();
+    let b2 = status.brokers.iter().find(|b| b.broker == 2).unwrap();
+    assert!(
+        b2.retained_publications >= 100,
+        "origin broker reports its retained depth"
+    );
+    assert!(b2.oldest_retained_age_ms.is_some());
 }
 
 /// A broker split across two driver processes: broker 0 alone, brokers 1-2

@@ -418,6 +418,18 @@ pub struct BrokerStatus {
     pub buffered_deliveries: u64,
     /// Relocations currently in flight at this broker.
     pub pending_relocations: u64,
+    /// Publications currently retained for time-aware subscriptions
+    /// (0 when retention is not configured).
+    pub retained_publications: u64,
+    /// Segments (archived + live) of the retention store (0 when retention
+    /// is not configured).
+    pub retained_segments: u64,
+    /// Milliseconds since the oldest retained publication was appended
+    /// (`None` when nothing is retained).
+    pub oldest_retained_age_ms: Option<u64>,
+    /// Counterpart streams expired by the lease sweep over this broker
+    /// incarnation's lifetime.
+    pub expired_leases: u64,
     /// The `mobility.*` counters, in name order.
     pub relocations: Vec<(String, u64)>,
     /// Relocation hand-off latency (ReSubscribe hold to replay settle), in
@@ -438,7 +450,9 @@ impl BrokerStatus {
             "{{\"broker\":{},\"restart_epoch\":{},\"generation\":{},\"routing_entries\":{},\
              \"routing_subgroups\":{},\
              \"wal_depth\":{},\"wal_since_checkpoint\":{},\"last_checkpoint_age_ms\":{},\
-             \"counterparts\":{},\"buffered_deliveries\":{},\"pending_relocations\":{},",
+             \"counterparts\":{},\"buffered_deliveries\":{},\"pending_relocations\":{},\
+             \"retained_publications\":{},\"retained_segments\":{},\
+             \"oldest_retained_age_ms\":{},\"expired_leases\":{},",
             self.broker,
             self.restart_epoch,
             self.generation,
@@ -450,6 +464,10 @@ impl BrokerStatus {
             self.counterparts,
             self.buffered_deliveries,
             self.pending_relocations,
+            self.retained_publications,
+            self.retained_segments,
+            json_opt_u64(self.oldest_retained_age_ms),
+            self.expired_leases,
         );
         out.push_str("\"relocations\":{");
         for (i, (name, value)) in self.relocations.iter().enumerate() {
@@ -659,6 +677,10 @@ mod tests {
                 counterparts: 0,
                 buffered_deliveries: 0,
                 pending_relocations: 0,
+                retained_publications: 5,
+                retained_segments: 2,
+                oldest_retained_age_ms: Some(30),
+                expired_leases: 1,
                 relocations: vec![("mobility.broker_restart".into(), 1)],
                 handoff_latency_micros: h,
                 links: vec![LinkStatus {
@@ -680,6 +702,10 @@ mod tests {
         assert!(json.starts_with("{\"now_micros\":42,\"node_count\":4,"));
         assert!(json.contains("\"routing_subgroups\":2"));
         assert!(json.contains("\"last_checkpoint_age_ms\":null"));
+        assert!(json.contains("\"retained_publications\":5"));
+        assert!(json.contains("\"retained_segments\":2"));
+        assert!(json.contains("\"oldest_retained_age_ms\":30"));
+        assert!(json.contains("\"expired_leases\":1"));
         assert!(json.contains("\"last_heartbeat_age_ms\":12"));
         assert!(json.contains("\"down_since_ms\":null"));
         assert!(json.contains("\"redial_attempts\":4"));

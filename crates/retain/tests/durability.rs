@@ -1,0 +1,204 @@
+//! Segment durability: corruption tolerance and fetch/oracle equivalence.
+//!
+//! Mirrors the WAL-corruption suite of `rebeca-mobility`: a truncated,
+//! byte-flipped or garbage segment blob recovers to the last valid record
+//! instead of panicking.  On top of that, a proptest drives a store
+//! through random append/rotate/expire churn and asserts the
+//! binary-searched time-window fetch byte-identical to the linear-scan
+//! oracle at every probe point.
+
+use proptest::prelude::*;
+
+use rebeca_broker::{ClientId, Envelope};
+use rebeca_filter::{Constraint, Filter, Notification};
+use rebeca_retain::{
+    decode_segment, encode_segment, RetainedPublication, RetentionConfig, RetentionStore,
+    SEGMENT_HEADER_LEN,
+};
+
+fn filter() -> Filter {
+    Filter::new().with("service", Constraint::Eq("telemetry".into()))
+}
+
+fn envelope(publisher: u32, seq: u64, service: &str) -> Envelope {
+    Envelope {
+        publisher: ClientId::new(publisher),
+        publisher_seq: seq,
+        notification: Notification::builder()
+            .attr("service", service)
+            .attr("reading", seq as i64)
+            .build(),
+    }
+}
+
+fn entries(n: u64) -> Vec<RetainedPublication> {
+    (1..=n)
+        .map(|i| RetainedPublication {
+            ts_micros: i * 100,
+            envelope: envelope(9, i, "telemetry"),
+        })
+        .collect()
+}
+
+#[test]
+fn torn_tail_stops_at_the_last_valid_record() {
+    let full = encode_segment(&entries(4));
+    // Cut the last record in half (torn append at crash time).
+    let torn = &full[..full.len() - 5];
+    let decoded = decode_segment(torn);
+    assert!(decoded.truncated);
+    assert_eq!(decoded.entries, entries(3));
+}
+
+#[test]
+fn flipped_payload_byte_stops_the_scan() {
+    let mut bytes = encode_segment(&entries(4));
+    // Flip one byte inside the second record's payload (skip the header
+    // and the first record).
+    let first_len = u32::from_le_bytes(
+        bytes[SEGMENT_HEADER_LEN..SEGMENT_HEADER_LEN + 4]
+            .try_into()
+            .unwrap(),
+    ) as usize
+        + 8;
+    bytes[SEGMENT_HEADER_LEN + first_len + 12] ^= 0xFF;
+    let decoded = decode_segment(&bytes);
+    assert!(decoded.truncated);
+    assert_eq!(decoded.entries, entries(1));
+}
+
+#[test]
+fn garbage_headers_and_absurd_lengths_never_panic() {
+    // Too short for a header.
+    assert!(decode_segment(&[1, 2, 3]).truncated);
+    // Wrong magic.
+    let mut bytes = encode_segment(&entries(2));
+    bytes[0] ^= 0xFF;
+    let decoded = decode_segment(&bytes);
+    assert!(decoded.truncated);
+    assert!(decoded.entries.is_empty());
+    // A record frame whose length prefix overruns the blob by far.
+    let mut bytes = encode_segment(&entries(1));
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    // The header claims one record, so the scan stops cleanly after it;
+    // re-encode with a lying count to force the absurd frame to be read.
+    let mut lying = bytes.clone();
+    lying[20..24].copy_from_slice(&2u32.to_le_bytes());
+    let decoded = decode_segment(&lying);
+    assert!(decoded.truncated);
+    assert_eq!(decoded.entries.len(), 1);
+}
+
+#[test]
+fn truncation_at_every_cut_point_is_total() {
+    let full = encode_segment(&entries(5));
+    for cut in 0..full.len() {
+        let decoded = decode_segment(&full[..cut]);
+        // Never panics; never invents records.
+        assert!(decoded.entries.len() <= 5);
+        if cut < full.len() {
+            assert!(decoded.truncated || decoded.entries.len() == 5);
+        }
+    }
+    let whole = decode_segment(&full);
+    assert!(!whole.truncated);
+    assert_eq!(whole.entries.len(), 5);
+}
+
+#[test]
+fn corrupted_blobs_restore_to_the_valid_prefix() {
+    let mut store = RetentionStore::new(RetentionConfig {
+        segment_max_records: 8,
+        max_segments: 16,
+        retention_window_micros: 0,
+    });
+    let full = encode_segment(&entries(4));
+    let torn = &full[..full.len() - 3];
+    assert_eq!(store.restore_segment(torn), 3);
+    assert_eq!(store.total_records(), 3);
+    assert_eq!(store.restore_segment(&[0xDE, 0xAD]), 0, "garbage skipped");
+}
+
+/// One step of random store churn.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Append with a timestamp advance and an alternating service (so the
+    /// filter matches only a subset).
+    Append { dt: u64, matching: bool },
+    /// Force a tail rotation.
+    Rotate,
+    /// Expire against `now = last_ts + slack`.
+    Expire { slack: u64 },
+}
+
+fn append_op() -> impl Strategy<Value = Op> {
+    (0u64..500, any::<bool>()).prop_map(|(dt, matching)| Op::Append { dt, matching })
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // The shimmed `prop_oneof!` is unweighted; repeating the append arm
+    // biases churn toward appends the way a `6 =>` weight would.
+    prop_oneof![
+        append_op(),
+        append_op(),
+        append_op(),
+        Just(Op::Rotate).boxed(),
+        (0u64..5_000).prop_map(|slack| Op::Expire { slack }).boxed(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Across random append/rotate/expire churn, the time-index
+    /// binary-searched fetch returns results byte-identical to the
+    /// linear-scan oracle for every probed window start.
+    #[test]
+    fn fetch_is_byte_identical_to_the_linear_oracle(
+        ops in proptest::collection::vec(op(), 1..120),
+        segment_max in 1usize..8,
+        max_segments in 2usize..8,
+        window in prop_oneof![Just(0u64).boxed(), (100u64..4_000).boxed()],
+    ) {
+        let mut store = RetentionStore::new(RetentionConfig {
+            segment_max_records: segment_max,
+            max_segments,
+            retention_window_micros: window,
+        });
+        let mut ts = 0u64;
+        let mut seq = 0u64;
+        let mut probes = vec![0u64];
+        for op in &ops {
+            match *op {
+                Op::Append { dt, matching } => {
+                    ts += dt;
+                    seq += 1;
+                    let service = if matching { "telemetry" } else { "noise" };
+                    store.append(ts, envelope(7, seq, service));
+                    probes.push(ts);
+                    probes.push(ts + 1);
+                }
+                Op::Rotate => store.rotate(),
+                Op::Expire { slack } => {
+                    store.expire(ts.saturating_add(slack));
+                }
+            }
+        }
+        let f = filter();
+        for &since in &probes {
+            let fast = store.fetch_since(since, &f);
+            let slow = store.fetch_since_linear(since, &f);
+            prop_assert_eq!(fast, slow, "since={}", since);
+        }
+        // The sealed blobs decode back cleanly, and together with the live
+        // segment account for every retained record.
+        let mut archived_total = 0u64;
+        for blob in store.archived_bytes() {
+            let d = decode_segment(&blob);
+            prop_assert!(!d.truncated);
+            archived_total += d.entries.len() as u64;
+        }
+        prop_assert!(archived_total <= store.total_records() as u64);
+    }
+}

@@ -27,12 +27,16 @@ between machines:
     zipf-skewed `matcher/covering_hit/*`) must keep the indexed side at
     least at parity with the linear scan
     (`BENCH_GATE_MIN_COVERING_HIT_SPEEDUP`, default 1.0 — the index may
-    never again lose the covering-hit path), and the relocation-storm
+    never again lose the covering-hit path), the relocation-storm
     control-message pair `churn/link_messages/unscoped vs scoped` must show
     the covering-scoped flood cutting broker-to-broker subscription-control
     traffic by at least 30% (`BENCH_GATE_MIN_CONTROL_REDUCTION`, default
     1.3; the counts are deterministic simulation outputs riding the
-    `ns_per_iter` field, so this floor is exact on every machine).
+    `ns_per_iter` field, so this floor is exact on every machine), and the
+    retention store's binary-searched recent-window fetch must beat the
+    full-scan oracle at 100k retained records
+    (`BENCH_GATE_MIN_FETCH_SPEEDUP`, default 1.3 — the segment time
+    indexes may never degenerate into a whole-archive scan).
   * **Instrumentation overhead gate**: `obs_bench` measures the journal-on
     vs journal-off quickstart scenario as interleaved pairs (drift cancels
     inside each pair) and reports the median ratio as the synthetic sample
@@ -66,6 +70,7 @@ MIN_COVERING_HIT_SPEEDUP = float(
     os.environ.get("BENCH_GATE_MIN_COVERING_HIT_SPEEDUP", "1.0")
 )
 MIN_CONTROL_REDUCTION = float(os.environ.get("BENCH_GATE_MIN_CONTROL_REDUCTION", "1.3"))
+MIN_FETCH_SPEEDUP = float(os.environ.get("BENCH_GATE_MIN_FETCH_SPEEDUP", "1.3"))
 OUT_DIR = os.environ.get("BENCH_GATE_DIR", "/tmp/bench_gate")
 
 BENCHES = {
@@ -75,6 +80,7 @@ BENCHES = {
     "session_bench": "BENCH_session.json",
     "net_bench": "BENCH_net.json",
     "obs_bench": "BENCH_obs.json",
+    "retain_bench": "BENCH_retain.json",
 }
 
 # The interleaved instrumented/baseline ratio emitted by obs_bench
@@ -98,6 +104,10 @@ GATED_PREFIXES = (
     "net/reconnect/",
     "obs/quickstart/",
     "obs/metrics/",
+    "matcher/match_zipf/",
+    "retain/append/",
+    "retain/fetch/",
+    "retain/reattach/",
 )
 
 # Within-run pairs gated on their ratio (slow/fast): the optimized side must
@@ -112,6 +122,13 @@ RATIO_GATES = [
     ("matcher/covering/linear_hit/10000", "matcher/covering/indexed_hit/10000"),
     ("matcher/covering_hit/linear/1000", "matcher/covering_hit/indexed/1000"),
     ("matcher/covering_hit/linear/10000", "matcher/covering_hit/indexed/10000"),
+    # Zipf-skewed matching: the index must keep its advantage when hot
+    # groups hold most subscribers (hit = hot posting lists, miss = groups
+    # nobody subscribes to).
+    ("matcher/match_zipf/linear_hit/10000", "matcher/match_zipf/indexed_hit/10000"),
+    ("matcher/match_zipf/linear_hit/100000", "matcher/match_zipf/indexed_hit/100000"),
+    ("matcher/match_zipf/linear_miss/10000", "matcher/match_zipf/indexed_miss/10000"),
+    ("matcher/match_zipf/linear_miss/100000", "matcher/match_zipf/indexed_miss/100000"),
     ("shards/single/sequential/10000", "shards/single/sharded8/10000"),
     ("shards/single/sequential/100000", "shards/single/sharded8/100000"),
     ("shards/batch/per_notification_loop/10000", "shards/batch/match_batch_shards8/10000"),
@@ -148,6 +165,13 @@ RATIO_GATES = [
     # &'static str path.  The gate trips when the static path loses its
     # allocation-free advantage.
     ("obs/metrics/incr_owned/8", "obs/metrics/incr_static/8"),
+    # Retention-store time-window fetch: the binary-searched fetch_since
+    # (skips archived segments via their time-index headers) vs the
+    # full-scan oracle in the same process, at 100k retained records.
+    # `recent` is the common reattach window (newest 1%); `half` is a
+    # parity pair (both sides scan the same records).
+    ("retain/fetch/linear_recent/100000", "retain/fetch/indexed_recent/100000"),
+    ("retain/fetch/linear_half/100000", "retain/fetch/indexed_half/100000"),
 ]
 
 # Within-run pairs that must clear an absolute minimum speedup (slow/fast)
@@ -173,6 +197,15 @@ RATIO_FLOORS = [
         "churn/link_messages/unscoped/400",
         "churn/link_messages/scoped/400",
         MIN_CONTROL_REDUCTION,
+    ),
+    # The retention store's segment time indexes exist so a recent-window
+    # fetch never degenerates into scanning the whole archive: the
+    # binary-searched fetch must beat the full-scan oracle outright on the
+    # newest-1% window at 100k retained records.
+    (
+        "retain/fetch/linear_recent/100000",
+        "retain/fetch/indexed_recent/100000",
+        MIN_FETCH_SPEEDUP,
     ),
 ]
 

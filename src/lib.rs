@@ -27,6 +27,7 @@
 //! | [`routing`] | `rebeca-routing` | index-backed routing tables and the flooding/simple/identity/covering/merging strategies |
 //! | [`sim`] | `rebeca-sim` | deterministic discrete-event simulator (FIFO links, delays, metrics, topologies) |
 //! | [`broker`] | `rebeca-broker` | the static Rebeca broker, message vocabulary, sequence numbering, delivery logs |
+//! | [`retain`] | `rebeca-retain` | segment-rotated retained-publication store answering time-window fetches |
 //! | [`mobility`] | `rebeca-core` | the paper's contribution: the mobility-aware broker, sessions, drivers, the deployment facade |
 //! | [`net`] | `rebeca-net` | real TCP transport behind the [`Driver`] boundary: wire codec, `TcpDriver`, the `rebeca-node` process binary |
 //!
@@ -120,6 +121,12 @@ pub mod broker {
     pub use rebeca_broker::*;
 }
 
+/// Retained publications: the segment-rotated retention store behind
+/// time-aware subscriptions (re-export of `rebeca-retain`).
+pub mod retain {
+    pub use rebeca_retain::*;
+}
+
 /// Mobility support — the paper's contribution (re-export of `rebeca-core`).
 pub mod mobility {
     pub use rebeca_core::*;
@@ -143,5 +150,6 @@ pub use rebeca_location::{AdaptivityPlan, Itinerary, LocationId, LocationSpace, 
 pub use rebeca_matcher::{FilterIndex, FilterSet};
 pub use rebeca_net::{ClusterConfig, Endpoint, NetConfig, SystemBuilderTcp, TcpDriver};
 pub use rebeca_obs::{BrokerStatus, EventJournal, Histogram, LinkStatus, ObsEvent, StatusReport};
+pub use rebeca_retain::{RetainedPublication, RetentionConfig, RetentionStore};
 pub use rebeca_routing::RoutingStrategyKind;
 pub use rebeca_sim::{DelayModel, Metrics, SimDuration, SimTime, Topology};
