@@ -34,14 +34,14 @@ fn parking_filter() -> Filter {
 }
 
 fn envelope(seq: u64) -> Envelope {
-    Envelope {
-        publisher: ClientId::new(9),
-        publisher_seq: seq,
-        notification: Notification::builder()
+    Envelope::new(
+        ClientId::new(9),
+        seq,
+        Notification::builder()
             .attr("service", "parking")
             .attr("spot", seq as i64)
             .build(),
-    }
+    )
 }
 
 /// Steady-state appends: the store is pre-filled past its segment cap so

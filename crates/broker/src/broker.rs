@@ -28,6 +28,7 @@ use std::collections::{BTreeMap, HashMap};
 use serde::{Deserialize, Serialize};
 
 use rebeca_filter::{Filter, Notification};
+use rebeca_obs::TraceContext;
 use rebeca_routing::{AdvertisementTable, RoutingEngine, RoutingStrategyKind};
 use rebeca_sim::NodeId;
 
@@ -62,6 +63,25 @@ pub struct ClientRecord {
 /// Messages a broker wants to emit, as `(destination node, message)` pairs.
 pub type Outgoing = Vec<(NodeId, Message)>;
 
+/// A trace span drafted by the pure broker core.  The core knows the causal
+/// structure (ids, parents, stage names) but has no clock and no metrics
+/// store; the runtime layer drains the drafts
+/// ([`BrokerCore::take_trace_spans`]) and stamps them with the broker index
+/// and timestamps before recording them into the span buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpanDraft {
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// The causal parent's span id (0 for a trace root).
+    pub parent_span: u64,
+    /// Stage name (`"publish"`, `"match"`, `"route"`, `"deliver"`).
+    pub kind: &'static str,
+    /// Free-form `key=value` detail text.
+    pub detail: String,
+}
+
 /// The static (mobility-unaware) Rebeca broker state machine.
 #[derive(Debug, Clone)]
 pub struct BrokerCore {
@@ -83,6 +103,14 @@ pub struct BrokerCore {
     /// guarantees each publication is retained by exactly one broker.
     record_published: bool,
     recent_published: Vec<Envelope>,
+    /// Trace sampling rate in parts per 65536 (0 = tracing off, the
+    /// default).  Sampling is a pure hash of `(publisher, publisher_seq)`,
+    /// so every broker — and every driver — samples the same publications.
+    trace_rate: u32,
+    /// Per-broker span-id nonce (deterministic under the simulator's total
+    /// event order).
+    trace_nonce: u64,
+    trace_spans: Vec<TraceSpanDraft>,
 }
 
 impl BrokerCore {
@@ -106,6 +134,9 @@ impl BrokerCore {
             parked: Vec::new(),
             record_published: false,
             recent_published: Vec::new(),
+            trace_rate: 0,
+            trace_nonce: 0,
+            trace_spans: Vec::new(),
         }
     }
 
@@ -212,6 +243,70 @@ impl BrokerCore {
     /// unless [`BrokerCore::set_record_published`] enabled recording).
     pub fn take_published(&mut self) -> Vec<Envelope> {
         std::mem::take(&mut self.recent_published)
+    }
+
+    /// Sets the trace sampling rate in parts per 65536 (0 disables tracing,
+    /// the default; see [`rebeca_obs::rate_per_64k`]).
+    pub fn set_trace_sampling(&mut self, rate_per_64k: u32) {
+        self.trace_rate = rate_per_64k;
+    }
+
+    /// The trace sampling rate in parts per 65536.
+    pub fn trace_sampling(&self) -> u32 {
+        self.trace_rate
+    }
+
+    /// Span drafts accumulated since the last call.  The runtime layer
+    /// stamps them with timestamps and the broker index and records them
+    /// into the metrics span buffer.  Cheap when tracing is off: taking an
+    /// empty `Vec` neither allocates nor deallocates.
+    pub fn take_trace_spans(&mut self) -> Vec<TraceSpanDraft> {
+        std::mem::take(&mut self.trace_spans)
+    }
+
+    /// Drafts a span and returns its id.
+    fn new_span(
+        &mut self,
+        trace_id: u64,
+        parent_span: u64,
+        kind: &'static str,
+        detail: String,
+    ) -> u64 {
+        let span_id = rebeca_obs::span_id(trace_id, self.id.index() as u64, self.trace_nonce);
+        self.trace_nonce += 1;
+        self.trace_spans.push(TraceSpanDraft {
+            trace_id,
+            span_id,
+            parent_span,
+            kind,
+            detail,
+        });
+        span_id
+    }
+
+    /// Stamps a freshly published envelope with a trace context when the
+    /// deterministic sampler selects it, drafting the root `publish` span.
+    fn sample_publication(&mut self, envelope: &mut Envelope) {
+        if self.trace_rate == 0 {
+            return;
+        }
+        if let Some(trace_id) = rebeca_obs::sample_publication(
+            envelope.publisher.raw() as u64,
+            envelope.publisher_seq,
+            self.trace_rate,
+        ) {
+            let detail = format!(
+                "publisher={} seq={}",
+                envelope.publisher.raw(),
+                envelope.publisher_seq
+            );
+            let span = self.new_span(trace_id, 0, "publish", detail);
+            envelope.trace = Some(TraceContext {
+                trace_id,
+                parent_span: span,
+                sampled: true,
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -362,11 +457,8 @@ impl BrokerCore {
     ) -> Outgoing {
         let counter = self.publisher_seq.entry(publisher).or_insert(0);
         *counter += 1;
-        let envelope = Envelope {
-            publisher,
-            publisher_seq: *counter,
-            notification,
-        };
+        let mut envelope = Envelope::new(publisher, *counter, notification);
+        self.sample_publication(&mut envelope);
         if self.record_published {
             self.recent_published.push(envelope.clone());
         }
@@ -383,17 +475,18 @@ impl BrokerCore {
         from: NodeId,
     ) -> Outgoing {
         let counter = self.publisher_seq.entry(publisher).or_insert(0);
-        let envelopes: Vec<Envelope> = notifications
+        let mut envelopes: Vec<Envelope> = notifications
             .into_iter()
             .map(|notification| {
                 *counter += 1;
-                Envelope {
-                    publisher,
-                    publisher_seq: *counter,
-                    notification,
-                }
+                Envelope::new(publisher, *counter, notification)
             })
             .collect();
+        if self.trace_rate != 0 {
+            for envelope in &mut envelopes {
+                self.sample_publication(envelope);
+            }
+        }
         if self.record_published {
             self.recent_published.extend(envelopes.iter().cloned());
         }
@@ -419,6 +512,9 @@ impl BrokerCore {
     /// Routes an envelope: forwards it to matching neighbouring brokers and
     /// delivers it (with sequence annotation) to matching local clients.
     pub fn route_envelope(&mut self, envelope: Envelope, exclude: Option<NodeId>) -> Outgoing {
+        if let Some(ctx) = envelope.trace.filter(|ctx| ctx.sampled) {
+            return self.route_envelope_traced(envelope, exclude, ctx);
+        }
         let mut out = Vec::new();
 
         // Broker-to-broker forwarding, via the routing engine's visitor walk
@@ -440,6 +536,70 @@ impl BrokerCore {
         out
     }
 
+    /// The traced twin of [`BrokerCore::route_envelope`]: drafts a `match`
+    /// span, a per-next-hop `route` span (rewriting each forwarded copy's
+    /// parent to it, so the receiving broker's `match` attaches under the
+    /// hop that carried it), and re-parents the local copy under the `match`
+    /// span so `deliver` spans nest correctly.
+    fn route_envelope_traced(
+        &mut self,
+        mut envelope: Envelope,
+        exclude: Option<NodeId>,
+        ctx: TraceContext,
+    ) -> Outgoing {
+        let match_span = self.new_span(
+            ctx.trace_id,
+            ctx.parent_span,
+            "match",
+            format!(
+                "publisher={} seq={}",
+                envelope.publisher.raw(),
+                envelope.publisher_seq
+            ),
+        );
+
+        // Each forwarded copy gets its own parent, so destinations are
+        // collected first (the engine walk borrows the routing state).
+        let all_links = self.broker_links.clone();
+        let broker_links = &self.broker_links;
+        let mut dests: Vec<NodeId> = Vec::new();
+        self.engine.for_each_route(
+            &envelope.notification,
+            exclude.as_ref(),
+            &all_links,
+            |dest| {
+                if broker_links.contains(dest) {
+                    dests.push(*dest);
+                }
+            },
+        );
+
+        let mut out = Vec::with_capacity(dests.len());
+        for dest in dests {
+            let route_span = self.new_span(
+                ctx.trace_id,
+                match_span,
+                "route",
+                format!("dest={}", dest.index()),
+            );
+            let mut copy = envelope.clone();
+            copy.trace = Some(TraceContext {
+                trace_id: ctx.trace_id,
+                parent_span: route_span,
+                sampled: true,
+            });
+            out.push((dest, Message::Notification(copy)));
+        }
+
+        envelope.trace = Some(TraceContext {
+            trace_id: ctx.trace_id,
+            parent_span: match_span,
+            sampled: true,
+        });
+        self.deliver_locally(&envelope, exclude, &mut out);
+        out
+    }
+
     /// Routes a queue of envelopes through the batch matcher: one matching
     /// pass for the whole queue, survivors re-grouped into per-link
     /// [`Message::NotificationBatch`]s (a single survivor travels as a
@@ -456,6 +616,17 @@ impl BrokerCore {
                 return self.route_envelope(envelope, exclude);
             }
             _ => {}
+        }
+        // A batch carrying at least one sampled envelope routes envelope by
+        // envelope so per-envelope `route` spans can rewrite each copy's
+        // parent.  Tracing trades the batch fast path for causality on the
+        // (sampled) slice of traffic; unsampled batches are unaffected.
+        if envelopes.iter().any(|e| e.trace.is_some()) {
+            let mut out = Vec::new();
+            for envelope in envelopes {
+                out.append(&mut self.route_envelope(envelope, exclude));
+            }
+            return out;
         }
         let all_links = self.broker_links.clone();
         let destinations = {
@@ -520,8 +691,19 @@ impl BrokerCore {
                 envelope: envelope.clone(),
             };
             if connected {
+                if let Some(ctx) = envelope.trace.filter(|ctx| ctx.sampled) {
+                    self.new_span(
+                        ctx.trace_id,
+                        ctx.parent_span,
+                        "deliver",
+                        format!("client={} seq={}", client.raw(), seq),
+                    );
+                }
                 out.push((node, Message::Deliver(delivery)));
             } else {
+                // Parked (counterpart-buffered) deliveries get their span at
+                // replay time instead — the `replay` stage the mobility
+                // layer records when the hold settles.
                 self.parked.push(delivery);
             }
         }
@@ -679,11 +861,7 @@ mod tests {
         let mut b = broker();
         // Subscription from broker link 11.
         b.handle_subscribe(ClientId::new(5), parking(), NodeId(11));
-        let envelope = Envelope {
-            publisher: ClientId::new(9),
-            publisher_seq: 1,
-            notification: vacancy(),
-        };
+        let envelope = Envelope::new(ClientId::new(9), 1, vacancy());
         let out = b.handle_notification(envelope, NodeId(10));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, NodeId(11));
@@ -694,11 +872,7 @@ mod tests {
     fn notifications_do_not_bounce_back_to_their_source_link() {
         let mut b = broker();
         b.handle_subscribe(ClientId::new(5), parking(), NodeId(10));
-        let envelope = Envelope {
-            publisher: ClientId::new(9),
-            publisher_seq: 1,
-            notification: vacancy(),
-        };
+        let envelope = Envelope::new(ClientId::new(9), 1, vacancy());
         let out = b.handle_notification(envelope, NodeId(10));
         assert!(out.is_empty());
     }
@@ -811,13 +985,15 @@ mod tests {
         // Two remote subscriptions behind different links.
         b.handle_subscribe(ClientId::new(5), parking(), NodeId(10));
         b.handle_subscribe(ClientId::new(6), weather(), NodeId(11));
-        let envelope = |seq: u64, service: &str| Envelope {
-            publisher: ClientId::new(9),
-            publisher_seq: seq,
-            notification: Notification::builder()
-                .attr("service", service)
-                .attr("cost", 2)
-                .build(),
+        let envelope = |seq: u64, service: &str| {
+            Envelope::new(
+                ClientId::new(9),
+                seq,
+                Notification::builder()
+                    .attr("service", service)
+                    .attr("cost", 2)
+                    .build(),
+            )
         };
         // Arrives from a third direction: parking notifications go to link
         // 10 as a batch, the weather one to link 11 as a single message.
@@ -906,6 +1082,126 @@ mod tests {
         assert_eq!(b.role(), BrokerRole::Border);
         assert_eq!(b.id(), NodeId(0));
         assert_eq!(b.broker_links(), &[NodeId(10), NodeId(11)]);
+    }
+
+    #[test]
+    fn tracing_off_stamps_no_context_and_drafts_no_spans() {
+        let mut b = broker();
+        b.handle_attach(ClientId::new(1), NodeId(100));
+        b.handle_subscribe(ClientId::new(1), parking(), NodeId(100));
+        b.handle_attach(ClientId::new(2), NodeId(101));
+        let out = b.handle_publish(ClientId::new(2), vacancy(), NodeId(101));
+        let d = out
+            .iter()
+            .find_map(|(_, m)| match m {
+                Message::Deliver(d) => Some(d),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(d.envelope.trace, None);
+        assert!(b.take_trace_spans().is_empty());
+    }
+
+    #[test]
+    fn traced_publication_drafts_a_causal_chain() {
+        let mut b = broker();
+        b.set_trace_sampling(rebeca_obs::rate_per_64k(1.0));
+        assert_eq!(b.trace_sampling(), 1 << 16);
+        // One local subscriber and one remote subscription behind link 10.
+        b.handle_attach(ClientId::new(1), NodeId(100));
+        b.handle_subscribe(ClientId::new(1), parking(), NodeId(100));
+        b.handle_subscribe(ClientId::new(5), parking(), NodeId(10));
+        b.handle_attach(ClientId::new(2), NodeId(101));
+
+        let out = b.handle_publish(ClientId::new(2), vacancy(), NodeId(101));
+        let spans = b.take_trace_spans();
+        let kinds: Vec<&str> = spans.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec!["publish", "match", "route", "deliver"]);
+        let trace_id = rebeca_obs::trace_id_for(2, 1);
+        assert!(spans.iter().all(|s| s.trace_id == trace_id));
+        // publish is the root; match nests under it; route and deliver
+        // under match.
+        assert_eq!(spans[0].parent_span, 0);
+        assert_eq!(spans[1].parent_span, spans[0].span_id);
+        assert_eq!(spans[2].parent_span, spans[1].span_id);
+        assert_eq!(spans[3].parent_span, spans[1].span_id);
+
+        // The forwarded copy's parent was rewritten to the route span; the
+        // delivered copy's to the match span.
+        let forwarded = out
+            .iter()
+            .find_map(|(dest, m)| match m {
+                Message::Notification(e) if *dest == NodeId(10) => Some(e),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(forwarded.trace.unwrap().parent_span, spans[2].span_id);
+        let delivered = out
+            .iter()
+            .find_map(|(_, m)| match m {
+                Message::Deliver(d) => Some(&d.envelope),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(delivered.trace.unwrap().parent_span, spans[1].span_id);
+
+        // The receiving broker continues the chain under the route span.
+        let mut b2 = BrokerCore::new(
+            NodeId(1),
+            BrokerRole::Border,
+            vec![NodeId(0)],
+            RoutingStrategyKind::Covering,
+        );
+        b2.handle_attach(ClientId::new(5), NodeId(200));
+        b2.handle_subscribe(ClientId::new(5), parking(), NodeId(200));
+        b2.handle_notification(forwarded.clone(), NodeId(0));
+        let spans2 = b2.take_trace_spans();
+        let kinds2: Vec<&str> = spans2.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds2, vec!["match", "deliver"]);
+        assert_eq!(spans2[0].parent_span, spans[2].span_id);
+        // Span ids never collide across brokers.
+        assert!(spans
+            .iter()
+            .all(|s| spans2.iter().all(|t| t.span_id != s.span_id)));
+    }
+
+    #[test]
+    fn traced_batches_route_per_envelope_with_matching_destinations() {
+        let mut plain = broker();
+        let mut traced = broker();
+        traced.set_trace_sampling(rebeca_obs::rate_per_64k(1.0));
+        for b in [&mut plain, &mut traced] {
+            b.handle_subscribe(ClientId::new(5), parking(), NodeId(10));
+            b.handle_subscribe(ClientId::new(6), weather(), NodeId(11));
+            b.handle_attach(ClientId::new(2), NodeId(101));
+        }
+        let miss = Notification::builder().attr("service", "none").build();
+        let batch = vec![vacancy(), miss, vacancy()];
+        let plain_out = plain.handle_publish_batch(ClientId::new(2), batch.clone(), NodeId(101));
+        let traced_out = traced.handle_publish_batch(ClientId::new(2), batch, NodeId(101));
+        // Same destinations and same envelopes reach the network, whether
+        // they travel batched (untraced) or per-envelope (traced).
+        let flatten = |out: &Outgoing| {
+            let mut flat: Vec<(NodeId, u64)> = out
+                .iter()
+                .flat_map(|(dest, m)| match m {
+                    Message::Notification(e) => vec![(*dest, e.publisher_seq)],
+                    Message::NotificationBatch(es) => {
+                        es.iter().map(|e| (*dest, e.publisher_seq)).collect()
+                    }
+                    _ => Vec::new(),
+                })
+                .collect();
+            flat.sort_unstable();
+            flat
+        };
+        assert_eq!(flatten(&plain_out), flatten(&traced_out));
+        assert!(plain.take_trace_spans().is_empty());
+        let spans = traced.take_trace_spans();
+        // Three publish roots, a match per envelope, a route per forward.
+        assert_eq!(spans.iter().filter(|s| s.kind == "publish").count(), 3);
+        assert_eq!(spans.iter().filter(|s| s.kind == "match").count(), 3);
+        assert_eq!(spans.iter().filter(|s| s.kind == "route").count(), 2);
     }
 
     #[test]

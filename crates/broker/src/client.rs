@@ -118,6 +118,23 @@ impl ConsumerLog {
         self.last_seq.get(filter).copied().unwrap_or(0)
     }
 
+    /// A copy of the log with the trace context stripped from every
+    /// envelope.
+    ///
+    /// Distributed-trace sampling is deployment configuration, not
+    /// payload: the same scenario run with and without `--trace-sample`
+    /// (or on drivers that allocate span ids in a different local order)
+    /// must still produce byte-identical *deliveries*.  Cross-driver
+    /// equivalence tests compare `log.without_trace()` when the runs'
+    /// sampling configurations differ.
+    pub fn without_trace(&self) -> ConsumerLog {
+        let mut log = self.clone();
+        for delivery in &mut log.deliveries {
+            delivery.envelope.trace = None;
+        }
+        log
+    }
+
     /// The violations detected so far.
     pub fn violations(&self) -> &[DeliveryViolation] {
         &self.violations
@@ -189,11 +206,11 @@ mod tests {
             subscriber: ClientId::new(1),
             filter: parking(),
             seq,
-            envelope: Envelope {
-                publisher: ClientId::new(9),
+            envelope: Envelope::new(
+                ClientId::new(9),
                 publisher_seq,
-                notification: Notification::builder().attr("service", "parking").build(),
-            },
+                Notification::builder().attr("service", "parking").build(),
+            ),
         }
     }
 

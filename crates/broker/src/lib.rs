@@ -34,8 +34,9 @@ mod ids;
 mod message;
 mod seqnum;
 
-pub use broker::{BrokerCore, BrokerRole, ClientRecord, Outgoing};
+pub use broker::{BrokerCore, BrokerRole, ClientRecord, Outgoing, TraceSpanDraft};
 pub use client::{ConsumerLog, DeliveryViolation};
 pub use ids::{ClientId, ParseClientIdError, SubscriptionId};
 pub use message::{Delivery, Envelope, Message};
+pub use rebeca_obs::TraceContext;
 pub use seqnum::{DeliveryBuffer, SequenceRegistry};

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use rebeca_filter::{Filter, LocationDependentFilter, Notification};
 use rebeca_location::{AdaptivityPlan, LocationId};
+use rebeca_obs::TraceContext;
 use rebeca_sim::NodeId;
 
 use crate::ids::{ClientId, SubscriptionId};
@@ -28,6 +29,23 @@ pub struct Envelope {
     pub publisher_seq: u64,
     /// The notification content.
     pub notification: Notification,
+    /// Causal trace context, set by the origin broker when the publication
+    /// falls inside the configured sampling rate.  `None` for unsampled
+    /// traffic — the overwhelmingly common case, which therefore pays no
+    /// tracing cost anywhere downstream.
+    pub trace: Option<TraceContext>,
+}
+
+impl Envelope {
+    /// A fresh untraced envelope.
+    pub fn new(publisher: ClientId, publisher_seq: u64, notification: Notification) -> Self {
+        Self {
+            publisher,
+            publisher_seq,
+            notification,
+            trace: None,
+        }
+    }
 }
 
 /// A notification as delivered to one consumer for one of its subscriptions,
@@ -363,6 +381,22 @@ impl Message {
         }
     }
 
+    /// The trace context of the first sampled envelope this message carries
+    /// (if any) — the link layer records its `link.tx`/`link.rx` spans
+    /// against it.  Control messages carry no context: their relocation
+    /// phase spans derive deterministically from the client instead.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        match self {
+            Message::Notification(e) => e.trace,
+            Message::NotificationBatch(es) => es.iter().find_map(|e| e.trace),
+            Message::Deliver(d) => d.envelope.trace,
+            Message::DeliverBatch(ds) => ds.iter().find_map(|d| d.envelope.trace),
+            Message::Replay { deliveries, .. } => deliveries.iter().find_map(|d| d.envelope.trace),
+            Message::HistoryReplay { entries, .. } => entries.iter().find_map(|(_, e)| e.trace),
+            _ => None,
+        }
+    }
+
     /// The pre-interned `broker.tx.<kind>` counter name for this message
     /// (see [`Message::rx_counter`]).
     pub fn tx_counter(&self) -> &'static str {
@@ -453,14 +487,48 @@ mod tests {
                 subscriber: ClientId::new(1),
                 filter: filter(),
                 seq: 1,
-                envelope: Envelope {
-                    publisher: ClientId::new(2),
-                    publisher_seq: 1,
-                    notification: n,
-                },
+                envelope: Envelope::new(ClientId::new(2), 1, n),
             }),
         ];
         let names: std::collections::BTreeSet<&str> = msgs.iter().map(|m| m.kind_name()).collect();
         assert_eq!(names.len(), msgs.len());
+    }
+
+    #[test]
+    fn trace_context_surfaces_the_first_sampled_envelope() {
+        let n = Notification::new();
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent_span: 3,
+            sampled: true,
+        };
+        let mut traced = Envelope::new(ClientId::new(1), 1, n.clone());
+        traced.trace = Some(ctx);
+        let plain = Envelope::new(ClientId::new(1), 2, n);
+        assert_eq!(
+            Message::Notification(traced.clone()).trace_context(),
+            Some(ctx)
+        );
+        assert_eq!(Message::Notification(plain.clone()).trace_context(), None);
+        assert_eq!(
+            Message::NotificationBatch(vec![plain.clone(), traced.clone()]).trace_context(),
+            Some(ctx)
+        );
+        assert_eq!(
+            Message::HistoryReplay {
+                client: ClientId::new(1),
+                filter: filter(),
+                entries: vec![(5, traced)],
+            }
+            .trace_context(),
+            Some(ctx)
+        );
+        assert_eq!(
+            Message::Attach {
+                client: ClientId::new(1)
+            }
+            .trace_context(),
+            None
+        );
     }
 }

@@ -162,11 +162,11 @@ mod tests {
             subscriber: ClientId::new(1),
             filter: filter(),
             seq,
-            envelope: Envelope {
-                publisher: ClientId::new(9),
-                publisher_seq: seq,
-                notification: Notification::builder().attr("service", "parking").build(),
-            },
+            envelope: Envelope::new(
+                ClientId::new(9),
+                seq,
+                Notification::builder().attr("service", "parking").build(),
+            ),
         }
     }
 

@@ -746,11 +746,11 @@ mod tests {
                 subscriber: ClientId::new(1),
                 filter: parking(),
                 seq: 1,
-                envelope: Envelope {
-                    publisher: ClientId::new(9),
-                    publisher_seq: 1,
-                    notification: Notification::builder().attr("service", "parking").build(),
-                },
+                envelope: Envelope::new(
+                    ClientId::new(9),
+                    1,
+                    Notification::builder().attr("service", "parking").build(),
+                ),
             }),
         );
         net.run(10);

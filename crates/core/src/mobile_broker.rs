@@ -52,6 +52,7 @@ use rebeca_mobility::{
     Effect, HandoffLog, PersistenceConfig, RelocationMachine, RelocationPhase,
     DEFAULT_CHECKPOINT_EVERY,
 };
+use rebeca_obs::SpanRecord;
 use rebeca_retain::{RetentionConfig, RetentionStore};
 use rebeca_routing::RoutingStrategyKind;
 use rebeca_sim::{Context, Incoming, Node, NodeId, SimDuration, SimTime};
@@ -153,6 +154,12 @@ pub struct BrokerConfig {
     /// default) keeps counterparts forever, as the plain Section 4
     /// protocol does.
     pub counterpart_lease: Option<SimDuration>,
+    /// Trace-sampling rate in parts per 65536 (see
+    /// [`rebeca_obs::rate_per_64k`]).  Sampling is a deterministic hash of
+    /// `(publisher, publisher_seq)` — every broker, on every driver, makes
+    /// the same decision for the same publication.  0 (the default)
+    /// disables tracing entirely; the hot path then takes no allocation.
+    pub trace_sample_per_64k: u32,
 }
 
 impl Default for BrokerConfig {
@@ -167,6 +174,7 @@ impl Default for BrokerConfig {
             scoped_relocation: true,
             retention: None,
             counterpart_lease: None,
+            trace_sample_per_64k: 0,
         }
     }
 }
@@ -230,6 +238,13 @@ impl BrokerConfig {
         self.counterpart_lease = lease;
         self
     }
+
+    /// Sets the trace-sampling rate in parts per 65536 (0 disables
+    /// tracing; [`rebeca_obs::rate_per_64k`] converts a fraction).
+    pub fn with_trace_sampling(mut self, rate_per_64k: u32) -> Self {
+        self.trace_sample_per_64k = rate_per_64k;
+        self
+    }
 }
 
 /// A Rebeca broker extended with the paper's mobility support.
@@ -280,6 +295,15 @@ pub struct MobileBroker {
     history_tags: BTreeMap<u64, (ClientId, Filter)>,
     /// Whether a lease-sweep timer is currently armed.
     lease_sweep_armed: bool,
+    /// Trace ids of sampled relocations in flight at this broker, learned
+    /// from the protocol messages that carry `last_seq` (ReSubscribe,
+    /// Relocate, Fetch) and consumed when the Replay — which carries no
+    /// `last_seq` to re-derive the id from — passes through or settles.
+    relocation_traces: BTreeMap<(ClientId, Filter), u64>,
+    /// Nonce for span ids minted at this layer (replay/merge stitching).
+    /// The high bit is set on use so the ids never collide with the
+    /// wrapped [`BrokerCore`]'s own nonce space.
+    trace_nonce: u64,
 }
 
 impl MobileBroker {
@@ -311,6 +335,7 @@ impl MobileBroker {
         let mut core = BrokerCore::new(id, role, broker_links, config.strategy);
         let retention = config.retention.clone().map(RetentionStore::new);
         core.set_record_published(retention.is_some());
+        core.set_trace_sampling(config.trace_sample_per_64k);
         Self {
             core,
             config,
@@ -329,6 +354,8 @@ impl MobileBroker {
             next_history_tag: HISTORY_TIMER_BASE,
             history_tags: BTreeMap::new(),
             lease_sweep_armed: false,
+            relocation_traces: BTreeMap::new(),
+            trace_nonce: 0,
         }
     }
 
@@ -362,6 +389,7 @@ impl MobileBroker {
         // retained history — a documented scope bound).
         let retention = config.retention.clone().map(RetentionStore::new);
         core.set_record_published(retention.is_some());
+        core.set_trace_sampling(config.trace_sample_per_64k);
         (
             Self {
                 core,
@@ -381,6 +409,8 @@ impl MobileBroker {
                 next_history_tag: HISTORY_TIMER_BASE,
                 history_tags: BTreeMap::new(),
                 lease_sweep_armed: false,
+                relocation_traces: BTreeMap::new(),
+                trace_nonce: 0,
             },
             tags,
         )
@@ -562,22 +592,24 @@ impl MobileBroker {
         }
         let now = ctx.now();
         let mut settled = Vec::new();
-        self.holding_since.retain(|((client, filter), since)| {
-            if only.is_some_and(|c| c != *client) {
+        self.holding_since.retain(|(key, since)| {
+            if only.is_some_and(|c| c != key.0) {
                 return true;
             }
-            let phase = self.machine.phase(*client, filter);
+            let phase = self.machine.phase(key.0, &key.1);
             if matches!(
                 phase,
                 RelocationPhase::Holding | RelocationPhase::AwaitingReplay
             ) {
                 true
             } else {
-                settled.push((*client, now.since(*since).as_micros()));
+                settled.push((key.clone(), *since));
                 false
             }
         });
-        for (client, latency) in settled {
+        for (key, since) in settled {
+            let client = key.0;
+            let latency = now.since(since).as_micros();
             ctx.metrics().observe(HANDOFF_LATENCY_HISTOGRAM, latency);
             if ctx.metrics().journal_enabled() {
                 let detail = format!(
@@ -585,6 +617,22 @@ impl MobileBroker {
                     ctx.self_id()
                 );
                 ctx.metrics().record_event(now, kind, detail);
+            }
+            // The hold span covers the buffering window at this (new
+            // border) broker, nested under its own resubscribe span.
+            if let Some(trace_id) = self.relocation_traces.remove(&key) {
+                if ctx.metrics().span_enabled() {
+                    let me = ctx.self_id().index() as u64;
+                    Self::record_span(
+                        ctx,
+                        trace_id,
+                        rebeca_obs::phase_span_id(trace_id, me, "hold"),
+                        rebeca_obs::phase_span_id(trace_id, me, "relocation.resubscribe"),
+                        "hold",
+                        format!("client={client} latency_micros={latency}"),
+                        since.as_micros(),
+                    );
+                }
             }
         }
     }
@@ -644,6 +692,144 @@ impl MobileBroker {
             let now = ctx.now();
             let detail = format!("broker={} client={client}", ctx.self_id());
             ctx.metrics().record_event(now, kind, detail);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Distributed tracing (relocation-phase and replay/merge spans)
+    // ------------------------------------------------------------------
+
+    /// Records one finished span into the metrics span buffer.
+    fn record_span(
+        ctx: &mut Context<'_, Message>,
+        trace_id: u64,
+        span_id: u64,
+        parent_span: u64,
+        kind: &str,
+        detail: String,
+        start_micros: u64,
+    ) {
+        let end_micros = ctx.now().as_micros();
+        let broker = ctx.self_id().index() as u64;
+        ctx.metrics().record_span(SpanRecord {
+            seq: 0,
+            trace_id,
+            span_id,
+            parent_span,
+            broker,
+            kind: kind.to_string(),
+            start_micros,
+            end_micros,
+            detail,
+        });
+    }
+
+    /// Derives the trace id of a sampled relocation from the fields every
+    /// `last_seq`-carrying protocol message repeats.
+    fn sample_relocation(&self, client: ClientId, last_seq: u64) -> Option<u64> {
+        rebeca_obs::sample_relocation(
+            u64::from(client.raw()),
+            last_seq,
+            self.core.trace_sampling(),
+        )
+    }
+
+    /// Records a relocation-phase span whose id is a pure function of
+    /// `(trace_id, broker, phase)` — the broker handling the *next*
+    /// protocol message derives its causal parent the same way, so the
+    /// control messages carry no trace fields on the wire.
+    fn note_phase(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        trace_id: u64,
+        phase: &'static str,
+        parent_span: u64,
+        client: ClientId,
+    ) {
+        if !ctx.metrics().span_enabled() {
+            return;
+        }
+        let span_id = rebeca_obs::phase_span_id(trace_id, ctx.self_id().index() as u64, phase);
+        let now = ctx.now().as_micros();
+        Self::record_span(
+            ctx,
+            trace_id,
+            span_id,
+            parent_span,
+            phase,
+            format!("client={client}"),
+            now,
+        );
+    }
+
+    /// A span id minted at this layer (high bit keeps it disjoint from the
+    /// wrapped core's nonce space).
+    fn next_trace_nonce(&mut self) -> u64 {
+        let nonce = self.trace_nonce;
+        self.trace_nonce += 1;
+        nonce | (1 << 63)
+    }
+
+    /// Stitches publication traces back together after a relocation
+    /// replay: deliveries that ride a [`Message::Replay`] were parked in a
+    /// counterpart at the old broker, so the static core never recorded
+    /// their delivery.  Each sampled envelope in the merged output gets a
+    /// `replay` span (spanning the hold, parented on the envelope's
+    /// recorded routing hop) and a `deliver` child.
+    fn stitch_replayed(
+        &mut self,
+        out: &[(NodeId, Message)],
+        hold_start_micros: Option<u64>,
+        ctx: &mut Context<'_, Message>,
+    ) {
+        if !ctx.metrics().span_enabled() {
+            return;
+        }
+        let now = ctx.now().as_micros();
+        let broker = ctx.self_id().index() as u64;
+        let mut sampled = Vec::new();
+        for (_, message) in out {
+            match message {
+                Message::Deliver(d) => sampled.extend(
+                    d.envelope
+                        .trace
+                        .filter(|t| t.sampled)
+                        .map(|t| (t, d.subscriber, d.seq)),
+                ),
+                Message::DeliverBatch(batch) => {
+                    for d in batch {
+                        sampled.extend(
+                            d.envelope
+                                .trace
+                                .filter(|t| t.sampled)
+                                .map(|t| (t, d.subscriber, d.seq)),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (trace, subscriber, seq) in sampled {
+            let replay_span = rebeca_obs::span_id(trace.trace_id, broker, self.next_trace_nonce());
+            Self::record_span(
+                ctx,
+                trace.trace_id,
+                replay_span,
+                trace.parent_span,
+                "replay",
+                format!("client={subscriber} seq={seq}"),
+                hold_start_micros.unwrap_or(now),
+            );
+            let deliver_span = rebeca_obs::span_id(trace.trace_id, broker, self.next_trace_nonce());
+            Self::record_span(
+                ctx,
+                trace.trace_id,
+                deliver_span,
+                replay_span,
+                "deliver",
+                format!("client={subscriber} seq={seq}"),
+                now,
+            );
         }
     }
 
@@ -1158,6 +1344,36 @@ impl MobileBroker {
             .sequences_mut()
             .fast_forward(client, &filter, next_seq);
 
+        // Sampled publications that reach the client through the merged
+        // batch mark the merge point in their trace: the `history.merge`
+        // span hangs off whatever hop the envelope last recorded (a route
+        // span for live-held traffic, the publish span for retained
+        // history served at the origin broker).
+        if ctx.metrics().span_enabled() {
+            let now = ctx.now().as_micros();
+            let broker = ctx.self_id().index() as u64;
+            let spans: Vec<_> = deliveries
+                .iter()
+                .filter_map(|d| {
+                    d.envelope
+                        .trace
+                        .filter(|t| t.sampled)
+                        .map(|t| (t, d.seq, self.next_trace_nonce()))
+                })
+                .collect();
+            for (trace, seq, nonce) in spans {
+                Self::record_span(
+                    ctx,
+                    trace.trace_id,
+                    rebeca_obs::span_id(trace.trace_id, broker, nonce),
+                    trace.parent_span,
+                    "history.merge",
+                    format!("client={client} seq={seq}"),
+                    now,
+                );
+            }
+        }
+
         ctx.metrics()
             .add("retain.history_delivered", deliveries.len() as u64);
         ctx.metrics().incr("retain.history_session_closed");
@@ -1307,6 +1523,12 @@ impl Node for MobileBroker {
                             from,
                         );
                         self.apply_effects(effects, ctx, &mut out);
+                        if let Some(trace_id) = self.sample_relocation(client, last_seq) {
+                            self.relocation_traces
+                                .insert((client, filter.clone()), trace_id);
+                            // The new border broker roots the relocation trace.
+                            self.note_phase(ctx, trace_id, "relocation.resubscribe", 0, client);
+                        }
                         self.note_resubscribed(client, filter, ctx);
                     }
                     Message::Relocate {
@@ -1316,6 +1538,11 @@ impl Node for MobileBroker {
                         new_broker,
                     } => {
                         out = self.flush_drain_for_control(ctx);
+                        let trace_id = self.sample_relocation(client, last_seq);
+                        if let Some(trace_id) = trace_id {
+                            self.relocation_traces
+                                .insert((client, filter.clone()), trace_id);
+                        }
                         let effects = self.machine.on_relocate(
                             &mut self.core,
                             client,
@@ -1325,6 +1552,21 @@ impl Node for MobileBroker {
                             from,
                         );
                         self.apply_effects(effects, ctx, &mut out);
+                        if let Some(trace_id) = trace_id {
+                            // Sent by the new border broker directly, or
+                            // forwarded by a broker that handled it first.
+                            let parent_phase = if from == new_broker {
+                                "relocation.resubscribe"
+                            } else {
+                                "relocation.relocate"
+                            };
+                            let parent = rebeca_obs::phase_span_id(
+                                trace_id,
+                                from.index() as u64,
+                                parent_phase,
+                            );
+                            self.note_phase(ctx, trace_id, "relocation.relocate", parent, client);
+                        }
                         self.note_control("relocation.relocate", client, ctx);
                     }
                     Message::Fetch {
@@ -1334,6 +1576,11 @@ impl Node for MobileBroker {
                         junction,
                     } => {
                         out = self.flush_drain_for_control(ctx);
+                        let trace_id = self.sample_relocation(client, last_seq);
+                        if let Some(trace_id) = trace_id {
+                            self.relocation_traces
+                                .insert((client, filter.clone()), trace_id);
+                        }
                         let effects = self.machine.on_fetch(
                             &mut self.core,
                             client,
@@ -1343,6 +1590,33 @@ impl Node for MobileBroker {
                             from,
                         );
                         self.apply_effects(effects, ctx, &mut out);
+                        if let Some(trace_id) = trace_id {
+                            // The junction converts Relocate into Fetch;
+                            // downstream brokers forward the Fetch.
+                            let parent_phase = if from == junction {
+                                "relocation.relocate"
+                            } else {
+                                "relocation.fetch"
+                            };
+                            let parent = rebeca_obs::phase_span_id(
+                                trace_id,
+                                from.index() as u64,
+                                parent_phase,
+                            );
+                            self.note_phase(ctx, trace_id, "relocation.fetch", parent, client);
+                            // If this broker answered with the counterpart's
+                            // replay, that emission is causally under the
+                            // fetch that triggered it.
+                            let replied = out.iter().any(|(_, m)| {
+                                matches!(m, Message::Replay { client: c, .. } if *c == client)
+                            });
+                            if replied {
+                                let me = ctx.self_id().index() as u64;
+                                let parent =
+                                    rebeca_obs::phase_span_id(trace_id, me, "relocation.fetch");
+                                self.note_phase(ctx, trace_id, "relocation.replay", parent, client);
+                            }
+                        }
                         self.note_control("relocation.fetch", client, ctx);
                     }
                     Message::Replay {
@@ -1351,6 +1625,13 @@ impl Node for MobileBroker {
                         deliveries,
                     } => {
                         out = self.flush_drain_for_control(ctx);
+                        let key = (client, filter.clone());
+                        let trace_id = self.relocation_traces.get(&key).copied();
+                        let hold_start = self
+                            .holding_since
+                            .iter()
+                            .find(|(k, _)| *k == key)
+                            .map(|(_, since)| since.as_micros());
                         let effects = self.machine.on_replay(
                             &mut self.core,
                             client,
@@ -1359,6 +1640,32 @@ impl Node for MobileBroker {
                             from,
                         );
                         self.apply_effects(effects, ctx, &mut out);
+                        if let Some(trace_id) = trace_id {
+                            let parent = rebeca_obs::phase_span_id(
+                                trace_id,
+                                from.index() as u64,
+                                "relocation.replay",
+                            );
+                            let forwarded = out.iter().any(|(_, m)| {
+                                matches!(m, Message::Replay { client: c, .. } if *c == client)
+                            });
+                            if forwarded {
+                                // A relay hop towards the new border broker.
+                                self.note_phase(ctx, trace_id, "relocation.replay", parent, client);
+                                self.relocation_traces.remove(&key);
+                            } else {
+                                self.note_phase(
+                                    ctx,
+                                    trace_id,
+                                    "relocation.settled",
+                                    parent,
+                                    client,
+                                );
+                            }
+                        }
+                        // Sampled publications that were parked at the old
+                        // broker get their replay/deliver spans now.
+                        self.stitch_replayed(&out, hold_start, ctx);
                         // The replay settles the holding phase; record the
                         // hand-off latency.
                         self.note_settled(ctx, "relocation.settled", Some(client));
@@ -1459,6 +1766,27 @@ impl Node for MobileBroker {
             self.arm_lease_sweep(ctx);
         }
         self.note_wal(ctx);
+        // Stamp and flush the span drafts the static core accumulated
+        // while handling this event.  With tracing off this takes an empty
+        // Vec — no allocation, no iteration.
+        let drafts = self.core.take_trace_spans();
+        if !drafts.is_empty() {
+            let now = ctx.now().as_micros();
+            let broker = ctx.self_id().index() as u64;
+            for draft in drafts {
+                ctx.metrics().record_span(SpanRecord {
+                    seq: 0,
+                    trace_id: draft.trace_id,
+                    span_id: draft.span_id,
+                    parent_span: draft.parent_span,
+                    broker,
+                    kind: draft.kind.to_string(),
+                    start_micros: now,
+                    end_micros: now,
+                    detail: draft.detail,
+                });
+            }
+        }
         for (to, message) in out {
             ctx.metrics().incr(message.tx_counter());
             ctx.send(to, message);

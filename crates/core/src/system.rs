@@ -157,6 +157,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables distributed-trace sampling at the given fraction of
+    /// publications (and relocations); 1.0 traces everything.  Sampling is
+    /// a deterministic hash, so every broker — on any driver — makes the
+    /// same decision for the same publication.
+    pub fn trace_sample(mut self, rate: f64) -> Self {
+        self.config.trace_sample_per_64k = rebeca_obs::rate_per_64k(rate);
+        self
+    }
+
     /// Builds the system on the deterministic discrete-event simulator.
     pub fn build(self) -> Result<MobilitySystem, RebecaError> {
         let driver = Box::new(SimDriver::new(self.seed));

@@ -20,7 +20,7 @@
 
 use std::fmt;
 
-use rebeca_broker::{ClientId, Delivery, Envelope};
+use rebeca_broker::{ClientId, Delivery, Envelope, TraceContext};
 use rebeca_filter::{Constraint, Filter, Notification, Value};
 use rebeca_sim::NodeId;
 
@@ -177,11 +177,23 @@ pub fn put_notification(buf: &mut Vec<u8>, n: &Notification) {
     }
 }
 
-/// Appends an [`Envelope`] (publisher, sequence number, notification).
+/// Appends an [`Envelope`] (publisher, sequence number, notification, and —
+/// for the sampled minority — its trace context behind a presence tag, so
+/// unsampled envelopes pay exactly one extra byte on the wire and in the
+/// WAL).
 pub fn put_envelope(buf: &mut Vec<u8>, e: &Envelope) {
     put_u32(buf, e.publisher.raw());
     put_u64(buf, e.publisher_seq);
     put_notification(buf, &e.notification);
+    match e.trace {
+        None => put_u8(buf, 0),
+        Some(ctx) => {
+            put_u8(buf, 1);
+            put_u64(buf, ctx.trace_id);
+            put_u64(buf, ctx.parent_span);
+            put_u8(buf, u8::from(ctx.sampled));
+        }
+    }
 }
 
 /// Appends a [`Delivery`] (subscriber, filter, stream seq, envelope).
@@ -346,11 +358,21 @@ impl<'a> ByteReader<'a> {
 
     /// Reads an [`Envelope`].
     pub fn envelope(&mut self) -> Result<Envelope, DecodeError> {
-        Ok(Envelope {
-            publisher: ClientId::new(self.u32()?),
-            publisher_seq: self.u64()?,
-            notification: self.notification()?,
-        })
+        let mut envelope = Envelope::new(
+            ClientId::new(self.u32()?),
+            self.u64()?,
+            self.notification()?,
+        );
+        envelope.trace = match self.u8()? {
+            0 => None,
+            1 => Some(TraceContext {
+                trace_id: self.u64()?,
+                parent_span: self.u64()?,
+                sampled: self.u8()? != 0,
+            }),
+            _ => return Err(DecodeError),
+        };
+        Ok(envelope)
     }
 
     /// Reads a [`Delivery`].
@@ -416,6 +438,30 @@ mod tests {
         assert_eq!(ByteReader::new(&buf).string(), Err(DecodeError));
         assert_eq!(ByteReader::new(&[99]).value(), Err(DecodeError));
         assert_eq!(ByteReader::new(&[99]).constraint(), Err(DecodeError));
+    }
+
+    #[test]
+    fn envelopes_roundtrip_with_and_without_trace_context() {
+        let n = Notification::builder().attr("service", "parking").build();
+        let plain = Envelope::new(ClientId::new(9), 4, n.clone());
+        let mut traced = Envelope::new(ClientId::new(9), 5, n);
+        traced.trace = Some(TraceContext {
+            trace_id: 0xDEAD_BEEF_0000_0001,
+            parent_span: 0x1234_5678_9ABC_DEF1,
+            sampled: true,
+        });
+        for e in [&plain, &traced] {
+            let mut buf = Vec::new();
+            put_envelope(&mut buf, e);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(&r.envelope().unwrap(), e);
+            assert!(r.done());
+        }
+        // An unknown trace tag is a decode error, not a panic.
+        let mut buf = Vec::new();
+        put_envelope(&mut buf, &plain);
+        *buf.last_mut().unwrap() = 7;
+        assert_eq!(ByteReader::new(&buf).envelope(), Err(DecodeError));
     }
 
     #[test]

@@ -895,17 +895,17 @@ mod tests {
             subscriber: ClientId::new(1),
             filter: filter(),
             seq,
-            envelope: Envelope {
-                publisher: ClientId::new(9),
-                publisher_seq: seq,
-                notification: Notification::builder()
+            envelope: Envelope::new(
+                ClientId::new(9),
+                seq,
+                Notification::builder()
                     .attr("service", "parking")
                     .attr("spot", seq as i64)
                     .attr("rate", 2.5)
                     .attr("open", true)
                     .attr("zone", Value::Location(4))
                     .build(),
-            },
+            ),
         }
     }
 

@@ -1245,11 +1245,7 @@ mod tests {
                 subscriber: ClientId::new(1),
                 filter: filter(),
                 seq,
-                envelope: Envelope {
-                    publisher: ClientId::new(9),
-                    publisher_seq: seq,
-                    notification: notification(seq as i64),
-                },
+                envelope: Envelope::new(ClientId::new(9), seq, notification(seq as i64)),
             })
             .collect();
         let effects = m.on_replay(
@@ -1285,11 +1281,7 @@ mod tests {
                 _ => None,
             })
             .expect("timer armed");
-        let held = Envelope {
-            publisher: ClientId::new(9),
-            publisher_seq: 1,
-            notification: notification(1),
-        };
+        let held = Envelope::new(ClientId::new(9), 1, notification(1));
         let kept = m.intercept_holding(vec![(
             NodeId(100),
             Message::Deliver(Delivery {

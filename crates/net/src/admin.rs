@@ -12,7 +12,7 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use rebeca_obs::StatusReport;
+use rebeca_obs::{StatusReport, TraceReport};
 
 use crate::endpoint::Endpoint;
 use crate::wire::{Frame, WireError};
@@ -84,6 +84,61 @@ pub fn fetch_status(
                 Ok((Frame::StatusReport(report), _)) => return Ok(report),
                 Ok((_, used)) => {
                     // Not ours (a stray heartbeat, say) — skip it.
+                    buf.drain(..used);
+                }
+                Err(WireError::Truncated) => break,
+                Err(e) => return Err(AdminError::Wire(e)),
+            }
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(AdminError::TimedOut);
+        }
+        stream.set_read_timeout(Some(remaining))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(AdminError::ConnectionClosed),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(AdminError::TimedOut);
+            }
+            Err(e) => return Err(AdminError::Io(e)),
+        }
+    }
+}
+
+/// Fetches the retained trace spans from the process listening on
+/// `endpoint`, within `timeout` end to end (dial + request + reply).
+///
+/// `spans_after` is the span-buffer cursor: `Some(seq)` asks only for
+/// spans with buffer sequence numbers strictly greater than `seq` (making
+/// repeated polls resumable), `None` for everything still retained.
+///
+/// # Errors
+///
+/// Same surface as [`fetch_status`]: callers fanning out over a cluster
+/// treat an error as "that broker is unreachable" and keep going.
+pub fn fetch_trace(
+    endpoint: &Endpoint,
+    spans_after: Option<u64>,
+    timeout: Duration,
+) -> Result<TraceReport, AdminError> {
+    let deadline = Instant::now() + timeout;
+    let addr = endpoint.socket_addr()?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    let _ = stream.set_nodelay(true);
+    stream.write_all(&Frame::TraceRequest { spans_after }.encode_framed())?;
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        loop {
+            match Frame::decode_framed(&buf) {
+                Ok((Frame::TraceReport(report), _)) => return Ok(report),
+                Ok((_, used)) => {
                     buf.drain(..used);
                 }
                 Err(WireError::Truncated) => break,

@@ -1,8 +1,9 @@
 //! `rebeca-ctl`: the operator CLI of a TCP deployment.
 //!
 //! ```text
-//! rebeca-ctl status    --config cluster.cfg [--json] [--timeout-ms 2000]
-//! rebeca-ctl tail      --config cluster.cfg [--broker N] [--interval-ms 500] [--rounds R]
+//! rebeca-ctl status    --config cluster.cfg [--json] [--watch MS] [--timeout-ms 2000]
+//! rebeca-ctl tail      --config cluster.cfg [--broker N] [--interval-ms 500] [--rounds R] [--follow]
+//! rebeca-ctl trace     --config cluster.cfg (TRACE_ID | --latest) [--json]
 //! rebeca-ctl publish   --config cluster.cfg [--broker N] [--client ID] key=value...
 //! rebeca-ctl wait      --config cluster.cfg --until wal_depth>=1 [--broker N] [--deadline-ms 30000]
 //! rebeca-ctl drop-link --config cluster.cfg --broker N --peer P
@@ -16,9 +17,20 @@
 //!   age, restart epoch, relocation counters, hand-off latency quantiles,
 //!   per-link liveness.  Unreachable brokers are *reported*, not fatal.
 //!   `--json` emits one JSON object per broker (JSON lines), machine-ready.
+//!   `--watch MS` re-fetches and re-renders every MS milliseconds instead
+//!   of exiting — the live dashboard an operator keeps open during a
+//!   relocation drill.
 //! * `tail` streams the cluster's observability journal live: it polls each
 //!   broker with a resumable sequence cursor and prints events as they
 //!   happen (relocation phases, WAL appends and checkpoints, link churn).
+//!   `--follow` keeps polling forever even when `--rounds` is given.
+//! * `trace` fans a `TraceRequest` across every broker, merges the
+//!   retained distributed-tracing spans and reassembles the causal tree of
+//!   one trace — per-hop, per-stage latencies for a single publication or
+//!   relocation.  Pass the 16-hex-digit trace id a previous invocation (or
+//!   a span in `--json` output) printed, or `--latest` for the most
+//!   recently started trace anywhere in the cluster.  Brokers only retain
+//!   spans when sampling is on (`rebeca-node --trace-sample`).
 //! * `publish` injects one notification into the running cluster through a
 //!   short-lived client session — the smallest possible smoke test that
 //!   routing works end to end.
@@ -37,12 +49,14 @@ use rebeca_core::SystemBuilder;
 use rebeca_filter::Notification;
 use rebeca_net::wire::Frame;
 use rebeca_net::{admin, AdminError, ClusterConfig, Endpoint, NetConfig, SystemBuilderTcp};
-use rebeca_obs::{json_escape, BrokerStatus, StatusReport};
+use rebeca_obs::{json_escape, BrokerStatus, SpanRecord, StatusReport};
 use rebeca_sim::{NodeId, SimDuration};
 
 const USAGE: &str = "usage:
-  rebeca-ctl status    --config FILE [--json] [--timeout-ms MS]
-  rebeca-ctl tail      --config FILE [--broker N] [--interval-ms MS] [--rounds R] [--timeout-ms MS]
+  rebeca-ctl status    --config FILE [--json] [--watch MS] [--timeout-ms MS]
+  rebeca-ctl tail      --config FILE [--broker N] [--interval-ms MS] [--rounds R] [--follow] \
+                       [--timeout-ms MS]
+  rebeca-ctl trace     --config FILE (TRACE_ID | --latest) [--json] [--timeout-ms MS]
   rebeca-ctl publish   --config FILE [--broker N] [--client ID] key=value...
   rebeca-ctl wait      --config FILE --until FIELD{>=,<=,==,!=,>,<}VALUE [--broker N] \
                        [--interval-ms MS] [--deadline-ms MS] [--timeout-ms MS]
@@ -93,6 +107,9 @@ fn run() -> Result<(), String> {
     let mut until: Option<String> = None;
     let mut deadline_ms = 30_000;
     let mut peer: Option<usize> = None;
+    let mut latest = false;
+    let mut follow = false;
+    let mut watch_ms: Option<u64> = None;
     let mut positional = Vec::new();
 
     let mut it = args.into_iter();
@@ -117,6 +134,9 @@ fn run() -> Result<(), String> {
                     .map_err(|_| "--client expects a client id".to_string())?
             }
             "--until" => until = Some(value("--until")?),
+            "--latest" => latest = true,
+            "--follow" => follow = true,
+            "--watch" => watch_ms = Some(parse_u64("--watch", value("--watch")?)?),
             "--deadline-ms" => deadline_ms = parse_u64("--deadline-ms", value("--deadline-ms")?)?,
             "--peer" => {
                 peer = Some(
@@ -146,8 +166,20 @@ fn run() -> Result<(), String> {
     };
 
     match command.as_str() {
-        "status" => status(&common, json),
-        "tail" => tail(&common, broker, Duration::from_millis(interval_ms), rounds),
+        "status" => status(&common, json, watch_ms.map(Duration::from_millis)),
+        "tail" => tail(
+            &common,
+            broker,
+            Duration::from_millis(interval_ms),
+            // --follow means "never stop", whatever --rounds says.
+            if follow { None } else { rounds },
+        ),
+        "trace" => trace(
+            &common,
+            positional.first().map(String::as_str),
+            latest,
+            json,
+        ),
         "publish" => publish(
             &common,
             broker.unwrap_or(0),
@@ -189,7 +221,22 @@ fn fetch_all(
         .collect()
 }
 
-fn status(common: &CommonArgs, json: bool) -> Result<(), String> {
+fn status(common: &CommonArgs, json: bool, watch: Option<Duration>) -> Result<(), String> {
+    let started = std::time::Instant::now();
+    loop {
+        if watch.is_some() && !json {
+            println!("--- status +{}ms", started.elapsed().as_millis());
+        }
+        status_round(common, json);
+        let Some(interval) = watch else {
+            return Ok(());
+        };
+        std::thread::sleep(interval);
+    }
+}
+
+/// One status fan-out pass: fetch and render every broker's report.
+fn status_round(common: &CommonArgs, json: bool) {
     let mut unreachable = 0;
     for (i, endpoint, fetched) in fetch_all(common, None, None) {
         match fetched {
@@ -221,7 +268,6 @@ fn status(common: &CommonArgs, json: bool) -> Result<(), String> {
     if !json && unreachable > 0 {
         println!("{unreachable} broker(s) unreachable");
     }
-    Ok(())
 }
 
 fn print_human(index: usize, endpoint: &Endpoint, report: &StatusReport) {
@@ -333,6 +379,56 @@ fn tail(
         }
         std::thread::sleep(interval);
     }
+}
+
+/// Fans a `TraceRequest` across the cluster, merges the retained spans and
+/// renders the causal tree of one trace.
+///
+/// `spec` is an explicit 16-hex-digit trace id (with or without a `0x`
+/// prefix); `latest` resolves to the most recently started trace on any
+/// reachable broker instead.  Unreachable brokers are skipped with a
+/// warning — a partial tree from the reachable majority is still useful —
+/// but having *no* reachable broker is an error.
+fn trace(common: &CommonArgs, spec: Option<&str>, latest: bool, json: bool) -> Result<(), String> {
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    let mut reachable = 0usize;
+    for (i, endpoint) in common.cluster.endpoints.iter().enumerate() {
+        match admin::fetch_trace(endpoint, None, common.timeout) {
+            Ok(report) => {
+                reachable += 1;
+                spans.extend(report.spans);
+            }
+            Err(e) => eprintln!("rebeca-ctl: broker {i} @ {endpoint} unreachable ({e})"),
+        }
+    }
+    if reachable == 0 {
+        return Err("no broker reachable to fetch traces from".to_string());
+    }
+    let trace_id = match (spec, latest) {
+        (Some(s), _) => u64::from_str_radix(s.trim_start_matches("0x"), 16)
+            .map_err(|_| format!("trace id {s:?} is not a hex id (like 1f00ba5e9d8c7766)"))?,
+        (None, true) => rebeca_obs::latest_trace_id(&spans).ok_or_else(|| {
+            "no spans retained on any reachable broker (is --trace-sample set on the nodes?)"
+                .to_string()
+        })?,
+        (None, false) => return Err(format!("trace needs a TRACE_ID or --latest\n{USAGE}")),
+    };
+    if json {
+        let mut out = format!("{{\"trace_id\":\"{trace_id:016x}\",\"spans\":[");
+        let mut first = true;
+        for span in spans.iter().filter(|s| s.trace_id == trace_id) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&span.to_json());
+        }
+        out.push_str("]}");
+        println!("{out}");
+    } else {
+        print!("{}", rebeca_obs::render_trace_tree(trace_id, &spans));
+    }
+    Ok(())
 }
 
 /// A parsed `--until` condition: numeric status field, comparison, value.

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! rebeca-node --config cluster.cfg --broker 1 [--run-secs 30] [--epoch 0] \
-//!             [--status-file status.jsonl] [--status-interval-ms 1000] \
-//!             [--persist-dir DIR] [--recover]
+//!             [--status-file status.json] [--status-interval-ms 1000] \
+//!             [--persist-dir DIR] [--recover] [--trace-sample RATE]
 //! ```
 //!
 //! Reads the shared cluster config (see `rebeca_net::ClusterConfig` for the
@@ -12,10 +12,18 @@
 //! Prints a single `listening` line once the socket is bound, so a harness
 //! can wait for readiness, and a metrics summary on clean exit.
 //!
-//! With `--status-file`, the process appends its live status report (the
+//! With `--status-file`, the process writes its live status report (the
 //! same JSON `rebeca-ctl status --json` renders) to the given file every
 //! `--status-interval-ms` (default 1000) — a zero-dependency way to scrape
-//! a deployment into flat files.
+//! a deployment into flat files.  Each snapshot replaces the previous one
+//! atomically (written to a `.tmp` sibling, then renamed), so a concurrent
+//! reader always sees one complete JSON document, never a torn write.
+//!
+//! With `--trace-sample RATE` (a fraction; 1.0 traces everything), the
+//! hosted broker samples distributed-trace spans into its span buffer,
+//! served to `rebeca-ctl trace` via the `TraceRequest` admin frame.  Pass
+//! the same rate to every node: sampling is a deterministic hash, so equal
+//! rates mean every broker traces the same publications.
 //!
 //! With `--persist-dir`, the hosted broker's write-ahead handoff log lives
 //! as a file under the given directory instead of in memory, surviving
@@ -39,6 +47,7 @@ struct Args {
     status_interval: SimDuration,
     persist_dir: Option<String>,
     recover: bool,
+    trace_sample: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
     let mut status_interval_ms = 1_000;
     let mut persist_dir = None;
     let mut recover = false;
+    let mut trace_sample = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
@@ -77,6 +87,13 @@ fn parse_args() -> Result<Args, String> {
             "--status-file" => status_file = Some(value("--status-file")?),
             "--persist-dir" => persist_dir = Some(value("--persist-dir")?),
             "--recover" => recover = true,
+            "--trace-sample" => {
+                trace_sample = Some(
+                    value("--trace-sample")?
+                        .parse::<f64>()
+                        .map_err(|_| "--trace-sample expects a fraction (e.g. 0.01)".to_string())?,
+                )
+            }
             "--status-interval-ms" => {
                 status_interval_ms = value("--status-interval-ms")?
                     .parse::<u64>()
@@ -94,14 +111,25 @@ fn parse_args() -> Result<Args, String> {
         status_interval: SimDuration::from_millis(status_interval_ms),
         persist_dir,
         recover,
+        trace_sample,
     })
+}
+
+/// Replaces `path` with `contents` atomically: the bytes are written to a
+/// `.tmp` sibling and renamed over the target, so a concurrent reader
+/// always sees either the previous snapshot or the new one in full.
+fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
 }
 
 fn run() -> Result<(), String> {
     let args = parse_args().map_err(|e| {
         format!(
             "{e}\nusage: rebeca-node --config FILE --broker N [--run-secs S] [--epoch E] \
-             [--status-file PATH] [--status-interval-ms MS] [--persist-dir DIR] [--recover]"
+             [--status-file PATH] [--status-interval-ms MS] [--persist-dir DIR] [--recover] \
+             [--trace-sample RATE]"
         )
     })?;
     let cluster = ClusterConfig::load(&args.config).map_err(|e| e.to_string())?;
@@ -123,6 +151,9 @@ fn run() -> Result<(), String> {
     if let Some(dir) = &args.persist_dir {
         builder = builder.persist_to(dir);
     }
+    if let Some(rate) = args.trace_sample {
+        builder = builder.trace_sample(rate);
+    }
     let mut system = builder.build_tcp(net).map_err(|e| e.to_string())?;
     if args.recover {
         // Rebuild the mobility-relevant broker state from the surviving
@@ -141,16 +172,7 @@ fn run() -> Result<(), String> {
     use std::io::Write;
     let _ = std::io::stdout().flush();
 
-    let mut status_sink = match &args.status_file {
-        Some(path) => Some(
-            std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .map_err(|e| format!("cannot open status file {path:?}: {e}"))?,
-        ),
-        None => None,
-    };
+    let mut status_sink = args.status_file.clone();
 
     let slice = SimDuration::from_millis(250);
     let deadline = args
@@ -164,12 +186,12 @@ fn run() -> Result<(), String> {
                 break;
             }
         }
-        if let Some(sink) = status_sink.as_mut() {
+        if let Some(path) = status_sink.as_ref() {
             if now >= next_status {
                 next_status = now + args.status_interval;
-                // One status report per line: the same JSON shape
-                // `rebeca-ctl status --json` prints per broker.
-                if writeln!(sink, "{}", system.status().to_json()).is_err() {
+                // The latest report only, replaced atomically: the same
+                // JSON shape `rebeca-ctl status --json` prints.
+                if write_atomic(path, &system.status().to_json()).is_err() {
                     eprintln!("rebeca-node: status file write failed; disabling snapshots");
                     status_sink = None;
                 }

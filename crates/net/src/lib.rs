@@ -34,7 +34,10 @@
 //!    driver's event loop: routing-table sizes, WAL depth and checkpoint
 //!    age, restart epochs, per-link heartbeat freshness, relocation
 //!    counters and hand-off latency histograms, plus a resumable tail of
-//!    the bounded observability journal ([`rebeca_obs`]).
+//!    the bounded observability journal ([`rebeca_obs`]).  The
+//!    `TraceRequest`/`TraceReport` pair serves the retained distributed
+//!    tracing spans the same way; `rebeca-ctl trace` fans it across every
+//!    broker and reassembles the causal tree.
 //!
 //! # Quick start (single process, loopback TCP)
 //!
@@ -74,7 +77,7 @@ mod link;
 mod tcp;
 pub mod wire;
 
-pub use admin::{fetch_status, AdminError};
+pub use admin::{fetch_status, fetch_trace, AdminError};
 pub use config::{ClusterConfig, ClusterConfigError};
 pub use endpoint::{Endpoint, ParseEndpointError};
 pub use link::FaultPlan;

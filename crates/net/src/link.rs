@@ -102,6 +102,15 @@ pub(crate) enum Inbound {
         /// strictly greater than this.
         events_after: Option<u64>,
     },
+    /// An admin trace request; the driver answers by writing a
+    /// [`Frame::TraceReport`] straight back onto `reply`.
+    Trace {
+        /// A clone of the requesting connection's stream to answer on.
+        reply: TcpStream,
+        /// Span cursor: when set, include spans with buffer sequence
+        /// numbers strictly greater than this.
+        spans_after: Option<u64>,
+    },
     /// A writer's outbound connection changed state.
     Link {
         /// The peer the writer dials.
@@ -933,9 +942,16 @@ pub(crate) fn spawn_reader(
                             continue;
                         }
                     },
+                    Frame::TraceRequest { spans_after } => match stream.try_clone() {
+                        Ok(reply) => Inbound::Trace { reply, spans_after },
+                        Err(e) => {
+                            eprintln!("rebeca-net: cannot answer trace request: {e}");
+                            continue;
+                        }
+                    },
                     // A report arriving at a serving node is a confused
                     // client; ignore it rather than kill the connection.
-                    Frame::StatusReport(_) => continue,
+                    Frame::StatusReport(_) | Frame::TraceReport(_) => continue,
                     // Writer-side control frames have no business on a
                     // serving connection; ignore them likewise.
                     Frame::Ack { .. } | Frame::Fenced { .. } => continue,
@@ -1021,11 +1037,11 @@ mod tests {
     use std::sync::mpsc::channel;
 
     fn envelope(seq: u64) -> Envelope {
-        Envelope {
-            publisher: ClientId::new(1),
-            publisher_seq: seq,
-            notification: Notification::builder().attr("spot", seq as i64).build(),
-        }
+        Envelope::new(
+            ClientId::new(1),
+            seq,
+            Notification::builder().attr("spot", seq as i64).build(),
+        )
     }
 
     fn frame(message: Message) -> Frame {

@@ -46,7 +46,7 @@ use rand::SeedableRng;
 
 use rebeca_core::driver_util::{broker_status, FifoClamp, PendingQueue, WallClock};
 use rebeca_core::{Driver, MobilitySystem, RebecaError, SystemBuilder, SystemNode};
-use rebeca_obs::{LinkStatus, StatusReport};
+use rebeca_obs::{LinkStatus, SpanRecord, StatusReport, TraceReport};
 use rebeca_sim::{Context, DelayModel, Incoming, Metrics, Node, NodeId, SimDuration, SimTime};
 
 use crate::endpoint::Endpoint;
@@ -255,6 +255,9 @@ pub struct TcpDriver {
     acceptor: Option<JoinHandle<()>>,
     wake_addr: std::net::SocketAddr,
     next_node: usize,
+    /// Nonce for the `link.tx`/`link.rx` span ids this driver mints (the
+    /// high bits keep them disjoint from broker-minted span ids).
+    trace_nonce: u64,
 }
 
 impl TcpDriver {
@@ -344,6 +347,7 @@ impl TcpDriver {
             acceptor: Some(acceptor),
             wake_addr: bound,
             next_node: 0,
+            trace_nonce: 0,
         })
     }
 
@@ -455,6 +459,7 @@ impl TcpDriver {
                     return;
                 }
                 self.metrics.incr("net.frames_in");
+                self.record_link_span("link.rx", to.index() as u64, from, to, &message);
                 let due = self.clamp_in.clamp((from, to), self.clock.now() + delay);
                 self.pending
                     .get_mut(&to.index())
@@ -598,6 +603,69 @@ impl TcpDriver {
                     self.metrics.incr("net.status_reply_failed");
                 }
             }
+            Inbound::Trace {
+                mut reply,
+                spans_after,
+            } => {
+                self.metrics.incr("net.trace_requests");
+                let report = self.trace_report(spans_after);
+                if reply
+                    .write_all(&Frame::TraceReport(report).encode_framed())
+                    .is_err()
+                {
+                    self.metrics.incr("net.trace_reply_failed");
+                }
+            }
+        }
+    }
+
+    /// Records a wire-hop span when a sampled message crosses a TCP link:
+    /// `link.tx` at the sending process, `link.rx` at the receiving one.
+    /// Leaf spans — they parent on whatever hop the envelope carries and
+    /// nothing parents on them, so the driver needs no wire-format changes
+    /// beyond the envelope's own trace tag.
+    fn record_link_span(
+        &mut self,
+        kind: &str,
+        broker: u64,
+        from: NodeId,
+        to: NodeId,
+        message: &rebeca_broker::Message,
+    ) {
+        if !self.metrics.span_enabled() {
+            return;
+        }
+        let Some(ctx) = message.trace_context().filter(|c| c.sampled) else {
+            return;
+        };
+        // High two bits keep driver-minted span ids disjoint from both the
+        // broker core's nonce space and the mobility layer's.
+        let nonce = self.trace_nonce | (0b11 << 62);
+        self.trace_nonce += 1;
+        let now = self.clock.now().as_micros();
+        self.metrics.record_span(SpanRecord {
+            seq: 0,
+            trace_id: ctx.trace_id,
+            span_id: rebeca_obs::span_id(ctx.trace_id, broker, nonce),
+            parent_span: ctx.parent_span,
+            broker,
+            kind: kind.to_string(),
+            start_micros: now,
+            end_micros: now,
+            detail: format!("from={from} to={to}"),
+        });
+    }
+
+    /// Builds the trace report this process serves: the retained span
+    /// buffer, optionally only past the `spans_after` cursor.
+    fn trace_report(&self, spans_after: Option<u64>) -> TraceReport {
+        let spans = match spans_after {
+            Some(seq) => self.metrics.spans().spans_after(seq).cloned().collect(),
+            None => self.metrics.spans().spans().cloned().collect(),
+        };
+        TraceReport {
+            now_micros: self.clock.now().as_micros(),
+            spans,
         }
     }
 
@@ -772,6 +840,7 @@ impl TcpDriver {
                     },
                 );
         } else {
+            self.record_link_span("link.tx", from as u64, from_id, to, &message);
             let frame = Frame::Message {
                 from: from_id,
                 to,

@@ -25,6 +25,8 @@
 //! | 6    | `Ack`           | cumulative receive high-water mark (`seq`)        |
 //! | 7    | `Fenced`        | the rejected dialer's expected minimum epoch      |
 //! | 8    | `LinkDrop`      | admin fault injection: peer whose links to drop   |
+//! | 9    | `TraceRequest`  | optional span cursor (`spans_after`)              |
+//! | 10   | `TraceReport`   | encoded [`TraceReport`] span-buffer snapshot      |
 //!
 //! A connection's first frame is always the [`Frame::Hello`] handshake: it
 //! names the sending node, the node the connection feeds, the sender's
@@ -62,7 +64,9 @@ use rebeca_mobility::codec::{
     crc32, put_delivery, put_envelope, put_filter, put_node, put_notification, put_str, put_u16,
     put_u32, put_u64, put_u8, ByteReader, DecodeError,
 };
-use rebeca_obs::{BrokerStatus, Histogram, LinkStatus, ObsEvent, StatusReport};
+use rebeca_obs::{
+    BrokerStatus, Histogram, LinkStatus, ObsEvent, SpanRecord, StatusReport, TraceReport,
+};
 use rebeca_sim::{DelayModel, NodeId};
 
 use crate::endpoint::Endpoint;
@@ -82,6 +86,8 @@ const KIND_STATUS_REPORT: u8 = 5;
 const KIND_ACK: u8 = 6;
 const KIND_FENCED: u8 = 7;
 const KIND_LINK_DROP: u8 = 8;
+const KIND_TRACE_REQUEST: u8 = 9;
+const KIND_TRACE_REPORT: u8 = 10;
 
 const MSG_ATTACH: u8 = 1;
 const MSG_DETACH: u8 = 2;
@@ -244,6 +250,18 @@ pub enum Frame {
     },
     /// Admin reply carrying the serving process's live [`StatusReport`].
     StatusReport(StatusReport),
+    /// Admin request for the serving driver's retained trace spans.  Like
+    /// [`Frame::StatusRequest`] it is the only frame on a hello-less
+    /// connection; the server answers with one [`Frame::TraceReport`].
+    TraceRequest {
+        /// When set, only spans with buffer sequence numbers strictly
+        /// greater than this cursor are returned (bounded by the span
+        /// buffer's ring capacity), making repeated polls resumable.
+        /// `None` asks for everything currently retained.
+        spans_after: Option<u64>,
+    },
+    /// Admin reply carrying the serving process's retained trace spans.
+    TraceReport(TraceReport),
 }
 
 fn put_endpoint(buf: &mut Vec<u8>, ep: &Endpoint) {
@@ -559,6 +577,53 @@ pub fn read_status_report(r: &mut ByteReader<'_>) -> Result<StatusReport, Decode
         brokers,
         events,
     })
+}
+
+fn put_span_record(buf: &mut Vec<u8>, span: &SpanRecord) {
+    put_u64(buf, span.seq);
+    put_u64(buf, span.trace_id);
+    put_u64(buf, span.span_id);
+    put_u64(buf, span.parent_span);
+    put_u64(buf, span.broker);
+    put_str(buf, &span.kind);
+    put_u64(buf, span.start_micros);
+    put_u64(buf, span.end_micros);
+    put_str(buf, &span.detail);
+}
+
+fn read_span_record(r: &mut ByteReader<'_>) -> Result<SpanRecord, DecodeError> {
+    Ok(SpanRecord {
+        seq: r.u64()?,
+        trace_id: r.u64()?,
+        span_id: r.u64()?,
+        parent_span: r.u64()?,
+        broker: r.u64()?,
+        kind: r.string()?,
+        start_micros: r.u64()?,
+        end_micros: r.u64()?,
+        detail: r.string()?,
+    })
+}
+
+/// Encodes a [`TraceReport`] (without any frame header) into `buf`.
+pub fn put_trace_report(buf: &mut Vec<u8>, report: &TraceReport) {
+    put_u64(buf, report.now_micros);
+    put_u32(buf, report.spans.len() as u32);
+    for span in &report.spans {
+        put_span_record(buf, span);
+    }
+}
+
+/// Decodes a [`TraceReport`] from the reader (the inverse of
+/// [`put_trace_report`]).
+pub fn read_trace_report(r: &mut ByteReader<'_>) -> Result<TraceReport, DecodeError> {
+    let now_micros = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut spans = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        spans.push(read_span_record(r)?);
+    }
+    Ok(TraceReport { now_micros, spans })
 }
 
 /// Encodes a [`Message`] (without any frame header) into `buf`.
@@ -929,6 +994,14 @@ impl Frame {
                 put_u8(&mut buf, KIND_STATUS_REPORT);
                 put_status_report(&mut buf, report);
             }
+            Frame::TraceRequest { spans_after } => {
+                put_u8(&mut buf, KIND_TRACE_REQUEST);
+                put_opt_u64(&mut buf, *spans_after);
+            }
+            Frame::TraceReport(report) => {
+                put_u8(&mut buf, KIND_TRACE_REPORT);
+                put_trace_report(&mut buf, report);
+            }
             Frame::Ack { seq } => {
                 put_u8(&mut buf, KIND_ACK);
                 put_u64(&mut buf, *seq);
@@ -978,6 +1051,10 @@ impl Frame {
                 events_after: read_opt_u64(&mut r)?,
             },
             KIND_STATUS_REPORT => Frame::StatusReport(read_status_report(&mut r)?),
+            KIND_TRACE_REQUEST => Frame::TraceRequest {
+                spans_after: read_opt_u64(&mut r)?,
+            },
+            KIND_TRACE_REPORT => Frame::TraceReport(read_trace_report(&mut r)?),
             KIND_ACK => Frame::Ack { seq: r.u64()? },
             KIND_FENCED => Frame::Fenced { expected: r.u64()? },
             KIND_LINK_DROP => Frame::LinkDrop { peer: r.node()? },
@@ -1039,14 +1116,14 @@ mod tests {
             subscriber: ClientId::new(1),
             filter: filter(),
             seq,
-            envelope: Envelope {
-                publisher: ClientId::new(9),
-                publisher_seq: seq,
-                notification: Notification::builder()
+            envelope: Envelope::new(
+                ClientId::new(9),
+                seq,
+                Notification::builder()
                     .attr("service", "parking")
                     .attr("spot", seq as i64)
                     .build(),
-            },
+            ),
         }
     }
 
@@ -1145,6 +1222,51 @@ mod tests {
                 events_after: Some(41),
             },
             Frame::StatusReport(report),
+        ];
+        for frame in frames {
+            let bytes = frame.encode_framed();
+            let (decoded, consumed) = Frame::decode_framed(&bytes).expect("roundtrip");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn trace_frames_roundtrip() {
+        let report = TraceReport {
+            now_micros: 12_345_678,
+            spans: vec![
+                SpanRecord {
+                    seq: 3,
+                    trace_id: 0xDEAD_BEEF_0BAD_CAFE,
+                    span_id: 0x1234_5678_9ABC_DEF1,
+                    parent_span: 0,
+                    broker: 7,
+                    kind: "publish".into(),
+                    start_micros: 50_000,
+                    end_micros: 50_000,
+                    detail: "publisher=2 seq=1".into(),
+                },
+                SpanRecord {
+                    seq: 4,
+                    trace_id: 0xDEAD_BEEF_0BAD_CAFE,
+                    span_id: 0xFEDC_BA98_7654_3211,
+                    parent_span: 0x1234_5678_9ABC_DEF1,
+                    broker: 7,
+                    kind: "match".into(),
+                    start_micros: 50_000,
+                    end_micros: 50_010,
+                    detail: String::new(),
+                },
+            ],
+        };
+        let frames = [
+            Frame::TraceRequest { spans_after: None },
+            Frame::TraceRequest {
+                spans_after: Some(17),
+            },
+            Frame::TraceReport(TraceReport::default()),
+            Frame::TraceReport(report),
         ];
         for frame in frames {
             let bytes = frame.encode_framed();

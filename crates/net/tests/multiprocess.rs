@@ -40,9 +40,10 @@ impl Drop for Cluster {
     }
 }
 
-/// Where broker 0's periodic status snapshots land: next to the config.
+/// Where broker 0's periodic status snapshot lands: next to the config.
+/// One atomically-replaced JSON document, not an append log.
 fn status_file_path(config_path: &std::path::Path) -> std::path::PathBuf {
-    config_path.with_file_name("status0.jsonl")
+    config_path.with_file_name("status0.json")
 }
 
 /// Probes three free loopback ports by binding ephemeral listeners.
@@ -76,7 +77,11 @@ fn spawn_cluster(config_path: &std::path::Path) -> Option<Cluster> {
             .arg("--broker")
             .arg(broker.to_string())
             .arg("--run-secs")
-            .arg("120");
+            .arg("120")
+            // Trace every publication and relocation: the scenario ends by
+            // reassembling a causal tree across all three processes.
+            .arg("--trace-sample")
+            .arg("1");
         if broker == 0 {
             command
                 .arg("--status-file")
@@ -162,8 +167,11 @@ fn three_broker_processes_relocation_is_byte_identical_to_the_simulator() {
     let tcp_log = drive_scenario(&mut client_sys, 60_000);
 
     assert_exactly_once(&tcp_log);
+    // The broker processes sample traces (`--trace-sample 1`) while the
+    // reference sim run does not, so compare the trace-stripped view: the
+    // *deliveries* must still be byte-identical.
     assert_eq!(
-        tcp_log,
+        tcp_log.without_trace(),
         reference_sim_log(),
         "per-client delivery log must be byte-identical to the SimDriver run"
     );
@@ -200,20 +208,19 @@ fn three_broker_processes_relocation_is_byte_identical_to_the_simulator() {
     );
 
     // Broker 0 was started with `--status-file --status-interval-ms 200`:
-    // by now (a multi-second scenario) it has appended JSON-lines
-    // snapshots carrying the same report shape.
-    let snapshots = std::fs::read_to_string(status_file_path(&config_path))
+    // by now (a multi-second scenario) it has replaced the snapshot file
+    // several times, each time atomically (tmp + rename), so whatever we
+    // read is exactly one complete JSON report — never a torn write, never
+    // an append log.
+    let snapshot = std::fs::read_to_string(status_file_path(&config_path))
         .expect("broker 0 wrote its status file");
-    let lines: Vec<&str> = snapshots.lines().collect();
+    let snapshot = snapshot.trim();
     assert!(
-        !lines.is_empty(),
-        "at least one periodic snapshot was written"
-    );
-    assert!(
-        lines
-            .iter()
-            .all(|l| l.starts_with('{') && l.contains("\"now_micros\"") && l.ends_with('}')),
-        "every snapshot line is a self-contained JSON report: {snapshots}"
+        snapshot.starts_with('{')
+            && snapshot.ends_with('}')
+            && snapshot.contains("\"now_micros\"")
+            && snapshot.lines().count() == 1,
+        "the status file is one self-contained JSON report: {snapshot}"
     );
 
     // Structured freshness checks straight off the admin protocol: every
@@ -233,6 +240,109 @@ fn three_broker_processes_relocation_is_byte_identical_to_the_simulator() {
         }
     }
 
+    // ---- Distributed tracing acceptance ------------------------------
+    //
+    // The nodes ran with `--trace-sample 1`, so every publication and the
+    // mid-run relocation left spans in the three per-process span buffers.
+    // Fan `TraceRequest` across the cluster (polling until the relocation
+    // has settled and recorded its `hold` span) and reassemble.
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    let tcp_spans = loop {
+        let mut spans: Vec<rebeca_obs::SpanRecord> = Vec::new();
+        for (i, endpoint) in endpoints.iter().enumerate() {
+            let report = rebeca_net::fetch_trace(endpoint, None, Duration::from_secs(5))
+                .unwrap_or_else(|e| panic!("broker {i} trace fetch failed: {e}"));
+            spans.extend(report.spans);
+        }
+        if spans.iter().any(|s| s.kind == "hold") || std::time::Instant::now() >= deadline {
+            break spans;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    };
+
+    let kinds: std::collections::BTreeSet<&str> =
+        tcp_spans.iter().map(|s| s.kind.as_str()).collect();
+    for expected in [
+        "publish",
+        "match",
+        "route",
+        "deliver",
+        "link.tx",
+        "link.rx",
+        "relocation.resubscribe",
+        "replay",
+        "hold",
+    ] {
+        assert!(
+            kinds.contains(expected),
+            "TCP run is missing {expected:?} spans (got {kinds:?})"
+        );
+    }
+
+    // A pre-relocation publication crosses all three broker processes
+    // (producer at 2, consumer at 0 on the line topology).  Its causal
+    // tree must be shape-equivalent to the same trace on the deterministic
+    // simulator: identical (kind, broker) multiset once the TCP-only
+    // link spans are set aside, and a single root when rendered.
+    let trace_id = rebeca_obs::trace_id_for(common::PRODUCER.raw() as u64, 2);
+    let shape = |spans: &[rebeca_obs::SpanRecord]| -> Vec<(String, u64)> {
+        let mut pairs: Vec<(String, u64)> = spans
+            .iter()
+            .filter(|s| s.trace_id == trace_id && !s.kind.starts_with("link."))
+            .map(|s| (s.kind.clone(), s.broker))
+            .collect();
+        pairs.sort();
+        pairs
+    };
+    let sim_shape = shape(&reference_sim_spans());
+    assert!(!sim_shape.is_empty(), "reference sim run traced nothing");
+    assert_eq!(
+        shape(&tcp_spans),
+        sim_shape,
+        "TCP trace shape must match the simulator's"
+    );
+    let tree = rebeca_obs::render_trace_tree(trace_id, &tcp_spans);
+    assert!(
+        tree.lines().skip(1).filter(|l| !l.starts_with(' ')).count() == 1
+            && !tree.contains("(unrooted)"),
+        "TCP publication trace reassembles into a single causal tree:\n{tree}"
+    );
+
+    // Operator smoke: `rebeca-ctl trace --latest` against the live cluster
+    // resolves a trace id and prints its tree.
+    let ctl = Command::new(env!("CARGO_BIN_EXE_rebeca-ctl"))
+        .arg("trace")
+        .arg("--config")
+        .arg(&config_path)
+        .arg("--latest")
+        .arg("--timeout-ms")
+        .arg("5000")
+        .output()
+        .expect("run rebeca-ctl trace");
+    assert!(
+        ctl.status.success(),
+        "rebeca-ctl trace failed: {}",
+        String::from_utf8_lossy(&ctl.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&ctl.stdout);
+    assert!(
+        stdout.starts_with("trace ") && stdout.contains(" spans"),
+        "trace output renders a causal tree header: {stdout}"
+    );
+
     drop(cluster);
     let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// The reference trace: the identical scenario on the deterministic
+/// simulator with full sampling, returning every span it recorded.
+fn reference_sim_spans() -> Vec<rebeca_obs::SpanRecord> {
+    let mut sys = common::builder(1)
+        .trace_sample(1.0)
+        .build()
+        .expect("sim build");
+    sys.metrics_mut().set_span_capacity(100_000);
+    let log = drive_scenario(&mut sys, 60_000);
+    assert!(log.is_clean(), "reference trace run must be clean");
+    sys.metrics().spans().spans().cloned().collect()
 }

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use rebeca_broker::{ClientId, Delivery, Envelope, Message, SubscriptionId};
+use rebeca_broker::{ClientId, Delivery, Envelope, Message, SubscriptionId, TraceContext};
 use rebeca_filter::{Constraint, Filter, LocationDependentFilter, Notification, Value};
 use rebeca_location::{AdaptivityPlan, LocationId};
 use rebeca_net::wire::{Frame, WireError};
@@ -77,11 +77,21 @@ fn notification() -> BoxedStrategy<Notification> {
 }
 
 fn envelope() -> BoxedStrategy<Envelope> {
-    (any::<u32>(), any::<u64>(), notification())
-        .prop_map(|(publisher, publisher_seq, notification)| Envelope {
-            publisher: ClientId::new(publisher),
-            publisher_seq,
-            notification,
+    (
+        any::<u32>(),
+        any::<u64>(),
+        notification(),
+        (any::<bool>(), any::<u64>(), any::<u64>(), any::<bool>()),
+    )
+        .prop_map(|(publisher, publisher_seq, notification, trace)| {
+            let mut e = Envelope::new(ClientId::new(publisher), publisher_seq, notification);
+            let (traced, trace_id, parent_span, sampled) = trace;
+            e.trace = traced.then_some(TraceContext {
+                trace_id,
+                parent_span,
+                sampled,
+            });
+            e
         })
         .boxed()
 }
@@ -318,11 +328,11 @@ fn sample_frame() -> Frame {
             subscriber: ClientId::new(1),
             filter: Filter::new().with("service", Constraint::Eq("parking".into())),
             seq: 3,
-            envelope: Envelope {
-                publisher: ClientId::new(9),
-                publisher_seq: 3,
-                notification: Notification::builder().attr("service", "parking").build(),
-            },
+            envelope: Envelope::new(
+                ClientId::new(9),
+                3,
+                Notification::builder().attr("service", "parking").build(),
+            ),
         }),
     }
 }

@@ -18,6 +18,14 @@
 //!   return value of the `Driver::status()` surface, identical in shape
 //!   whether it comes from a live TCP broker or the deterministic
 //!   simulator.
+//! * [`TraceContext`] / [`SpanRecord`] / [`SpanBuffer`] / [`TraceReport`] —
+//!   causal distributed tracing: a per-publication (or per-relocation)
+//!   context propagated on envelopes, deterministic seeded sampling
+//!   ([`sample_publication`] / [`sample_relocation`] — a pure hash of
+//!   publisher+seq, so every driver samples the *same* traffic), span
+//!   records appended to a bounded per-broker ring, and the causal-tree
+//!   reassembly ([`render_trace_tree`]) shared by `rebeca-ctl trace` and
+//!   the deterministic acceptance tests.
 //!
 //! All report types render themselves as JSON via hand-rolled `to_json`
 //! methods (the workspace's `serde` is an offline no-op shim); the field
@@ -561,6 +569,365 @@ fn json_opt_u64(v: Option<u64>) -> String {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Causal distributed tracing
+// ---------------------------------------------------------------------------
+
+/// Default capacity of a [`SpanBuffer`] ring.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
+
+/// Causal trace context, carried on an envelope (and implied for mobility
+/// control messages, whose phase spans derive deterministically from the
+/// relocating client — see [`phase_span_id`]).
+///
+/// `parent_span` is rewritten hop by hop: a broker that forwards a sampled
+/// envelope stamps the outgoing copy with its own `route` span id, so the
+/// receiving broker's `match` span attaches to the correct parent without
+/// any out-of-band coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace identifier, identical at every hop of one publication (or one
+    /// relocation): a pure hash of its origin, see [`trace_id_for`].
+    pub trace_id: u64,
+    /// Span id of the causal parent at the *previous* stage (0 for a root).
+    pub parent_span: u64,
+    /// `true` when the trace is being recorded.  Unsampled traffic never
+    /// carries a context at all, so the hot path pays nothing.
+    pub sampled: bool,
+}
+
+/// SplitMix64 — the workspace-standard seed mixer (also used by the shim
+/// `rand`), here the basis of deterministic trace and span ids.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Salt separating relocation traces from publication traces that would
+/// otherwise hash the same `(origin, seq)` pair.
+const RELOCATION_SALT: u64 = 0x5265_6C6F_6361_7465; // "Relocate"
+
+/// The deterministic trace id of a publication: a pure function of the
+/// publishing client and its per-publisher sequence number, so the
+/// simulator, the threaded driver and every TCP broker process derive the
+/// *same* id for the same publication without coordination.
+pub fn trace_id_for(publisher: u64, seq: u64) -> u64 {
+    splitmix64(splitmix64(publisher) ^ seq)
+}
+
+/// Sampling decision for a trace id: the low 16 bits are compared against
+/// a rate expressed in parts per 65536 ([`rate_per_64k`]).
+pub fn sampled(trace_id: u64, rate_per_64k: u32) -> bool {
+    rate_per_64k >= (1 << 16) || ((trace_id & 0xFFFF) as u32) < rate_per_64k
+}
+
+/// Converts a sampling rate in `0.0..=1.0` to parts per 65536, the integer
+/// form the deterministic sampler compares against.
+pub fn rate_per_64k(rate: f64) -> u32 {
+    (rate.clamp(0.0, 1.0) * 65536.0).round() as u32
+}
+
+/// Deterministic sampling of a publication: `Some(trace_id)` when the
+/// publication identified by `(publisher, publisher_seq)` falls inside the
+/// sampling rate, `None` otherwise.  Pure, so all drivers agree.
+pub fn sample_publication(publisher: u64, publisher_seq: u64, rate_per_64k: u32) -> Option<u64> {
+    if rate_per_64k == 0 {
+        return None;
+    }
+    let id = trace_id_for(publisher, publisher_seq);
+    sampled(id, rate_per_64k).then_some(id)
+}
+
+/// Deterministic sampling of a relocation: keyed by the relocating client
+/// and the `last_seq` watermark its ReSubscribe carried, salted so it never
+/// collides with a publication trace of the same numbers.
+pub fn sample_relocation(client: u64, last_seq: u64, rate_per_64k: u32) -> Option<u64> {
+    if rate_per_64k == 0 {
+        return None;
+    }
+    let id = trace_id_for(client ^ RELOCATION_SALT, last_seq);
+    sampled(id, rate_per_64k).then_some(id)
+}
+
+/// A fresh span id: deterministic in `(trace_id, broker, nonce)`, where the
+/// nonce is a per-broker counter (deterministic under the simulator's total
+/// event order).  Never 0 — 0 is the "root" parent sentinel.
+pub fn span_id(trace_id: u64, broker: u64, nonce: u64) -> u64 {
+    splitmix64(trace_id ^ splitmix64(broker.wrapping_mul(0x0100_0000_01B3) ^ nonce)) | 1
+}
+
+/// A *derivable* span id for a relocation-phase span: a pure function of
+/// `(trace_id, broker, phase)`, so the broker receiving the next protocol
+/// message can compute its causal parent's id without the control message
+/// carrying any trace fields on the wire.  Never 0.
+pub fn phase_span_id(trace_id: u64, broker: u64, phase: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64; // FNV-1a over the phase name
+    for b in phase.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0100_0000_01B3);
+    }
+    splitmix64(trace_id ^ splitmix64(broker).rotate_left(17) ^ h) | 1
+}
+
+/// One recorded span: a named stage of a trace, attributed to a broker,
+/// with start/end timestamps in the recording node's clock domain.
+///
+/// `kind` is one of the documented stage names (`publish`, `match`,
+/// `route`, `deliver`, `link.tx`, `link.rx`, `hold`, `replay`,
+/// `history.merge`, `relocation.resubscribe`, `relocation.relocate`,
+/// `relocation.fetch`, `relocation.replay`, `relocation.settled`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Monotonic per-buffer sequence number (the resumable-tail cursor).
+    pub seq: u64,
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id (unique within the trace).
+    pub span_id: u64,
+    /// The causal parent's span id (0 for a trace root).
+    pub parent_span: u64,
+    /// Broker index that recorded the span.
+    pub broker: u64,
+    /// Stage name, e.g. `"route"`.
+    pub kind: String,
+    /// Stage start, microseconds in the recording node's clock.
+    pub start_micros: u64,
+    /// Stage end, microseconds (== start for instantaneous stages).
+    pub end_micros: u64,
+    /// Free-form `key=value` detail text.
+    pub detail: String,
+}
+
+impl SpanRecord {
+    /// Renders the span as a JSON object (ids as fixed-width hex strings).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"trace_id\":\"{:016x}\",\"span_id\":\"{:016x}\",\
+             \"parent_span\":\"{:016x}\",\"broker\":{},\"kind\":\"{}\",\
+             \"start_micros\":{},\"end_micros\":{},\"detail\":\"{}\"}}",
+            self.seq,
+            self.trace_id,
+            self.span_id,
+            self.parent_span,
+            self.broker,
+            json_escape(&self.kind),
+            self.start_micros,
+            self.end_micros,
+            json_escape(&self.detail)
+        )
+    }
+}
+
+/// A bounded ring of [`SpanRecord`]s with monotonic sequence numbers — the
+/// span analogue of [`EventJournal`], with the same resumable-cursor and
+/// capacity-0-disables semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanBuffer {
+    spans: VecDeque<SpanRecord>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl Default for SpanBuffer {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl SpanBuffer {
+    /// Creates a buffer retaining at most `capacity` spans (0 disables).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            spans: VecDeque::new(),
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    /// `true` when recording is enabled (capacity > 0).
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Changes the retention capacity (0 disables and drops all entries).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.spans.len() > capacity {
+            self.spans.pop_front();
+        }
+    }
+
+    /// Appends a span (its `seq` field is assigned here), evicting the
+    /// oldest entry when full.  Returns the assigned sequence number, or
+    /// `None` when the buffer is disabled.
+    pub fn record(&mut self, mut span: SpanRecord) -> Option<u64> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        span.seq = seq;
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+        }
+        self.spans.push_back(span);
+        Some(seq)
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter()
+    }
+
+    /// The retained spans with a sequence number strictly greater than
+    /// `seq` — the resumable-tail cursor.
+    pub fn spans_after(&self, seq: u64) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(move |s| s.seq > seq)
+    }
+
+    /// The sequence number the next recorded span will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Drops every retained span, keeping capacity and sequence counter.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Appends another buffer's retained spans, assigning fresh sequence
+    /// numbers from this buffer.
+    pub fn merge(&mut self, other: &SpanBuffer) {
+        for span in other.spans() {
+            self.record(span.clone());
+        }
+    }
+}
+
+/// The answer to a `TraceRequest` admin frame: the reporting driver's
+/// retained spans (optionally only those past a cursor).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceReport {
+    /// Reporting driver's current time in microseconds.
+    pub now_micros: u64,
+    /// The retained spans, oldest first.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceReport {
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"now_micros\":{},\"spans\":[", self.now_micros);
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&span.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The distinct trace ids present in a span set, most recent root first
+/// (ordered by the latest `start_micros` seen for each trace).
+pub fn trace_ids(spans: &[SpanRecord]) -> Vec<u64> {
+    let mut latest: Vec<(u64, u64)> = Vec::new(); // (last start, trace_id)
+    for span in spans {
+        match latest.iter_mut().find(|(_, id)| *id == span.trace_id) {
+            Some(slot) => slot.0 = slot.0.max(span.start_micros),
+            None => latest.push((span.start_micros, span.trace_id)),
+        }
+    }
+    latest.sort_by(|a, b| b.cmp(a));
+    latest.into_iter().map(|(_, id)| id).collect()
+}
+
+/// The most recently active trace id in a span set, if any.
+pub fn latest_trace_id(spans: &[SpanRecord]) -> Option<u64> {
+    trace_ids(spans).first().copied()
+}
+
+/// Reassembles the spans of one trace into a causal tree and renders it as
+/// a per-hop latency timeline: one line per span, children indented under
+/// their parent, each stamped with its offset from the trace start and its
+/// duration.  Deterministic: spans are deduplicated by id and children are
+/// ordered by `(start, kind, broker, id)`, so the same span set always
+/// renders byte-identically regardless of collection order.
+pub fn render_trace_tree(trace_id: u64, spans: &[SpanRecord]) -> String {
+    let mut mine: Vec<&SpanRecord> = spans.iter().filter(|s| s.trace_id == trace_id).collect();
+    mine.sort_by_key(|s| (s.span_id, s.start_micros));
+    mine.dedup_by_key(|s| s.span_id);
+    mine.sort_by_key(|s| (s.start_micros, s.kind.clone(), s.broker, s.span_id));
+    let mut out = format!("trace {:016x}: {} spans\n", trace_id, mine.len());
+    if mine.is_empty() {
+        return out;
+    }
+    let base = mine.iter().map(|s| s.start_micros).min().unwrap_or(0);
+    let known: Vec<u64> = mine.iter().map(|s| s.span_id).collect();
+    // Roots: explicit roots plus orphans whose parent was never collected
+    // (evicted from a ring, or an unsampled stage) — still rendered, so a
+    // partial trace degrades to a forest instead of disappearing.
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (index into mine, depth)
+    for (i, s) in mine.iter().enumerate().rev() {
+        if s.parent_span == 0 || !known.contains(&s.parent_span) {
+            stack.push((i, 0));
+        }
+    }
+    let mut emitted = vec![false; mine.len()];
+    while let Some((i, depth)) = stack.pop() {
+        if emitted[i] {
+            continue;
+        }
+        emitted[i] = true;
+        let s = mine[i];
+        let _ = writeln!(
+            out,
+            "{:indent$}{} broker={} +{}us dur={}us{}{}",
+            "",
+            s.kind,
+            s.broker,
+            s.start_micros.saturating_sub(base),
+            s.end_micros.saturating_sub(s.start_micros),
+            if s.detail.is_empty() { "" } else { " " },
+            s.detail,
+            indent = depth * 2
+        );
+        for (j, c) in mine.iter().enumerate().rev() {
+            if !emitted[j] && c.parent_span == s.span_id {
+                stack.push((j, depth + 1));
+            }
+        }
+    }
+    // Parent cycles in corrupt data would never be reached from a root;
+    // render them flat rather than dropping them.
+    for (i, s) in mine.iter().enumerate() {
+        if !emitted[i] {
+            let _ = writeln!(
+                out,
+                "{} broker={} +{}us dur={}us (unrooted)",
+                s.kind,
+                s.broker,
+                s.start_micros.saturating_sub(base),
+                s.end_micros.saturating_sub(s.start_micros)
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -718,5 +1085,205 @@ mod tests {
     fn json_escaping_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    // --- EventJournal ring wraparound (beyond the happy path) ---
+
+    #[test]
+    fn events_after_across_an_overflowed_ring_reports_only_retained_tail() {
+        let mut j = EventJournal::with_capacity(4);
+        for i in 0..20u64 {
+            j.record(i, "k", "d");
+        }
+        // Ring retains 16..=19; a cursor pointing into the evicted range
+        // returns the whole retained tail, and the seq gap (cursor 5 →
+        // first seq 16) is the client's missed-entries signal.
+        let tail: Vec<u64> = j.events_after(5).map(|e| e.seq).collect();
+        assert_eq!(tail, vec![16, 17, 18, 19]);
+        // A cursor inside the retained window resumes exactly.
+        let tail: Vec<u64> = j.events_after(17).map(|e| e.seq).collect();
+        assert_eq!(tail, vec![18, 19]);
+        // A cursor at (or past) the head returns nothing.
+        assert_eq!(j.events_after(19).count(), 0);
+        assert_eq!(j.events_after(1000).count(), 0);
+        assert_eq!(j.next_seq(), 20);
+    }
+
+    #[test]
+    fn seq_stays_monotonic_across_merge_and_clear() {
+        let mut a = EventJournal::with_capacity(3);
+        for i in 0..5u64 {
+            a.record(i, "a", "");
+        }
+        assert_eq!(a.next_seq(), 5);
+        // Merging an overflowing donor evicts but keeps numbering rising.
+        let mut b = EventJournal::with_capacity(8);
+        for i in 0..4u64 {
+            b.record(100 + i, "b", "");
+        }
+        a.merge(&b);
+        let seqs: Vec<u64> = a.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8]); // capacity 3, merged entries renumbered
+                                         // Clear drops entries but not the counter; the next record (and a
+                                         // tail spanning the clear) still sees strictly increasing numbers.
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.next_seq(), 9);
+        assert_eq!(a.record(200, "c", ""), Some(9));
+        let resumed: Vec<u64> = a.events_after(8).map(|e| e.seq).collect();
+        assert_eq!(resumed, vec![9]);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_oldest_first() {
+        let mut j = EventJournal::with_capacity(8);
+        for i in 0..6u64 {
+            j.record(i, "k", "");
+        }
+        j.set_capacity(2);
+        let seqs: Vec<u64> = j.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![4, 5]);
+        assert_eq!(j.record(9, "k", ""), Some(6));
+        assert_eq!(j.len(), 2);
+    }
+
+    // --- tracing primitives ---
+
+    #[test]
+    fn sampling_is_deterministic_and_rate_gated() {
+        assert_eq!(sample_publication(7, 42, 0), None);
+        let full = rate_per_64k(1.0);
+        let id = sample_publication(7, 42, full).expect("rate 1.0 samples everything");
+        assert_eq!(id, trace_id_for(7, 42));
+        // Same inputs, same id — on every call (driver-independence).
+        assert_eq!(sample_publication(7, 42, full), Some(id));
+        // Relocation traces of the same numbers get a distinct id.
+        let rid = sample_relocation(7, 42, full).unwrap();
+        assert_ne!(rid, id);
+        // A fractional rate keeps roughly its share of 1000 publications.
+        let kept = (0..1000u64)
+            .filter(|&s| sample_publication(3, s, rate_per_64k(0.25)).is_some())
+            .count();
+        assert!((150..350).contains(&kept), "kept {kept} of 1000 at 25%");
+    }
+
+    #[test]
+    fn span_ids_are_nonzero_and_deterministic() {
+        let t = trace_id_for(1, 1);
+        assert_ne!(span_id(t, 2, 0), 0);
+        assert_eq!(span_id(t, 2, 0), span_id(t, 2, 0));
+        assert_ne!(span_id(t, 2, 0), span_id(t, 2, 1));
+        assert_ne!(span_id(t, 2, 0), span_id(t, 3, 0));
+        assert_eq!(phase_span_id(t, 2, "hold"), phase_span_id(t, 2, "hold"));
+        assert_ne!(phase_span_id(t, 2, "hold"), phase_span_id(t, 2, "replay"));
+        assert_ne!(phase_span_id(t, 2, "hold"), 0);
+    }
+
+    fn span(trace: u64, id: u64, parent: u64, broker: u64, kind: &str, start: u64) -> SpanRecord {
+        SpanRecord {
+            seq: 0,
+            trace_id: trace,
+            span_id: id,
+            parent_span: parent,
+            broker,
+            kind: kind.into(),
+            start_micros: start,
+            end_micros: start + 5,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn span_buffer_is_bounded_with_resumable_cursor() {
+        let mut b = SpanBuffer::with_capacity(3);
+        for i in 0..5u64 {
+            assert_eq!(b.record(span(1, 10 + i, 0, 0, "k", i)), Some(i));
+        }
+        assert_eq!(b.len(), 3);
+        let seqs: Vec<u64> = b.spans().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        let tail: Vec<u64> = b.spans_after(3).map(|s| s.seq).collect();
+        assert_eq!(tail, vec![4]);
+        assert_eq!(b.next_seq(), 5);
+
+        let mut disabled = SpanBuffer::with_capacity(0);
+        assert!(!disabled.enabled());
+        assert_eq!(disabled.record(span(1, 1, 0, 0, "k", 0)), None);
+
+        let mut other = SpanBuffer::with_capacity(8);
+        other.record(span(2, 20, 0, 1, "k", 9));
+        b.merge(&other);
+        assert_eq!(b.spans().last().unwrap().seq, 5); // renumbered
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.next_seq(), 6);
+    }
+
+    #[test]
+    fn trace_tree_renders_deterministically() {
+        let t = 0xABCD;
+        let spans = vec![
+            span(t, 100, 0, 0, "publish", 10),
+            span(t, 101, 100, 0, "match", 10),
+            span(t, 102, 101, 0, "route", 11),
+            span(t, 103, 102, 1, "match", 13),
+            span(t, 104, 103, 1, "deliver", 14),
+            span(9, 999, 0, 0, "publish", 0), // other trace, excluded
+        ];
+        let rendered = render_trace_tree(t, &spans);
+        // Collection order must not matter.
+        let mut reversed: Vec<SpanRecord> = spans.clone();
+        reversed.reverse();
+        reversed.push(spans[2].clone()); // duplicate from a second broker fetch
+        assert_eq!(rendered, render_trace_tree(t, &reversed));
+        assert_eq!(
+            rendered,
+            "trace 000000000000abcd: 5 spans\n\
+             publish broker=0 +0us dur=5us\n\
+             \x20 match broker=0 +0us dur=5us\n\
+             \x20   route broker=0 +1us dur=5us\n\
+             \x20     match broker=1 +3us dur=5us\n\
+             \x20       deliver broker=1 +4us dur=5us\n"
+        );
+    }
+
+    #[test]
+    fn orphan_spans_render_as_forest_roots() {
+        let t = 5;
+        let spans = vec![
+            span(t, 50, 4242, 1, "match", 20), // parent evicted
+            span(t, 51, 50, 1, "deliver", 21),
+        ];
+        let rendered = render_trace_tree(t, &spans);
+        assert!(rendered.starts_with("trace 0000000000000005: 2 spans\n"));
+        assert!(rendered.contains("match broker=1 +0us"));
+        assert!(rendered.contains("  deliver broker=1 +1us"));
+    }
+
+    #[test]
+    fn latest_trace_id_picks_most_recent_activity() {
+        let spans = vec![
+            span(1, 10, 0, 0, "publish", 5),
+            span(2, 20, 0, 0, "publish", 9),
+            span(1, 11, 10, 0, "deliver", 6),
+        ];
+        assert_eq!(latest_trace_id(&spans), Some(2));
+        assert_eq!(trace_ids(&spans), vec![2, 1]);
+        assert_eq!(latest_trace_id(&[]), None);
+    }
+
+    #[test]
+    fn trace_report_renders_json() {
+        let report = TraceReport {
+            now_micros: 77,
+            spans: vec![span(0x1F, 0x2F, 0, 3, "publish", 1)],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\"now_micros\":77,\"spans\":["));
+        assert!(json.contains("\"trace_id\":\"000000000000001f\""));
+        assert!(json.contains("\"span_id\":\"000000000000002f\""));
+        assert!(json.contains("\"parent_span\":\"0000000000000000\""));
+        assert!(json.contains("\"broker\":3"));
+        assert!(json.contains("\"kind\":\"publish\""));
     }
 }

@@ -456,25 +456,25 @@ mod tests {
     }
 
     fn envelope(seq: u64) -> Envelope {
-        Envelope {
-            publisher: ClientId::new(9),
-            publisher_seq: seq,
-            notification: Notification::builder()
+        Envelope::new(
+            ClientId::new(9),
+            seq,
+            Notification::builder()
                 .attr("service", "parking")
                 .attr("spot", seq as i64)
                 .build(),
-        }
+        )
     }
 
     fn other_envelope(seq: u64) -> Envelope {
-        Envelope {
-            publisher: ClientId::new(8),
-            publisher_seq: seq,
-            notification: Notification::builder()
+        Envelope::new(
+            ClientId::new(8),
+            seq,
+            Notification::builder()
                 .attr("service", "traffic")
                 .attr("spot", seq as i64)
                 .build(),
-        }
+        )
     }
 
     fn store(segment_max: usize, max_segments: usize, window: u64) -> RetentionStore {

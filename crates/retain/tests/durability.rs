@@ -21,14 +21,14 @@ fn filter() -> Filter {
 }
 
 fn envelope(publisher: u32, seq: u64, service: &str) -> Envelope {
-    Envelope {
-        publisher: ClientId::new(publisher),
-        publisher_seq: seq,
-        notification: Notification::builder()
+    Envelope::new(
+        ClientId::new(publisher),
+        seq,
+        Notification::builder()
             .attr("service", service)
             .attr("reading", seq as i64)
             .build(),
-    }
+    )
 }
 
 fn entries(n: u64) -> Vec<RetainedPublication> {

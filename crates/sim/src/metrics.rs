@@ -19,7 +19,7 @@
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 
-use rebeca_obs::{EventJournal, Histogram};
+use rebeca_obs::{EventJournal, Histogram, SpanBuffer, SpanRecord};
 use serde::{Deserialize, Serialize};
 
 use crate::time::SimTime;
@@ -36,6 +36,7 @@ pub struct Metrics {
     gauges: BTreeMap<MetricName, u64>,
     histograms: BTreeMap<MetricName, Histogram>,
     journal: EventJournal,
+    spans: SpanBuffer,
     series: Vec<Sample>,
 }
 
@@ -146,6 +147,28 @@ impl Metrics {
         self.journal.record(at.as_micros(), kind, detail)
     }
 
+    /// Read access to the trace span buffer.
+    pub fn spans(&self) -> &SpanBuffer {
+        &self.spans
+    }
+
+    /// `true` when span recording is enabled — the cheap guard trace call
+    /// sites check before building a [`SpanRecord`].
+    pub fn span_enabled(&self) -> bool {
+        self.spans.enabled()
+    }
+
+    /// Changes the span buffer's retention capacity (0 disables recording).
+    pub fn set_span_capacity(&mut self, capacity: usize) {
+        self.spans.set_capacity(capacity);
+    }
+
+    /// Appends a trace span (no-op when disabled).  Returns the assigned
+    /// sequence number.
+    pub fn record_span(&mut self, span: SpanRecord) -> Option<u64> {
+        self.spans.record(span)
+    }
+
     /// Records the current value of `counter` as a time-series sample.
     pub fn sample(&mut self, time: SimTime, counter: &str) {
         let value = self.counter(counter);
@@ -181,14 +204,16 @@ impl Metrics {
         &self.series
     }
 
-    /// Resets every counter, gauge, histogram, journal entry and sample.
-    /// The journal's capacity and sequence counter are kept, so tails
-    /// spanning a reset still see monotonic numbering.
+    /// Resets every counter, gauge, histogram, journal entry, span and
+    /// sample.  The journal's and span buffer's capacities and sequence
+    /// counters are kept, so tails spanning a reset still see monotonic
+    /// numbering.
     pub fn reset(&mut self) {
         self.counters.clear();
         self.gauges.clear();
         self.histograms.clear();
         self.journal.clear();
+        self.spans.clear();
         self.series.clear();
     }
 
@@ -212,6 +237,7 @@ impl Metrics {
                 .merge(histogram);
         }
         self.journal.merge(&other.journal);
+        self.spans.merge(&other.spans);
         self.series.extend(other.series.iter().cloned());
     }
 }
@@ -286,6 +312,38 @@ mod tests {
         m.set_journal_capacity(0);
         assert!(!m.journal_enabled());
         assert_eq!(m.record_event(SimTime::from_millis(6), "x", ""), None);
+    }
+
+    #[test]
+    fn spans_record_behind_the_guard_and_merge_renumbered() {
+        fn span(id: u64) -> SpanRecord {
+            SpanRecord {
+                seq: 0,
+                trace_id: 9,
+                span_id: id,
+                parent_span: 0,
+                broker: 0,
+                kind: "publish".into(),
+                start_micros: 1,
+                end_micros: 2,
+                detail: String::new(),
+            }
+        }
+        let mut m = Metrics::new();
+        assert!(m.span_enabled());
+        assert_eq!(m.record_span(span(1)), Some(0));
+        let mut other = Metrics::new();
+        other.record_span(span(2));
+        m.merge(&other);
+        let seqs: Vec<u64> = m.spans().spans().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+        m.set_span_capacity(0);
+        assert!(!m.span_enabled());
+        assert_eq!(m.record_span(span(3)), None);
+        m.set_span_capacity(4);
+        m.reset();
+        assert!(m.spans().is_empty());
+        assert_eq!(m.record_span(span(4)), Some(2)); // numbering survives reset
     }
 
     #[test]

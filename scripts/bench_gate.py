@@ -10,12 +10,15 @@ between machines:
 
   * **Within-run ratio gates** (machine-independent, the primary signal):
     pairs measured in the *same* run — indexed vs linear matching, indexed
-    vs linear covering, sharded vs sequential single-notification latency,
-    and the 8-shard batch kernel vs the per-notification loop — must not
-    regress by more than `BENCH_GATE_TOLERANCE` (default 25%) against the
-    same pair's ratio in the baseline file.  The headline batch speedup at
-    100k subscriptions must additionally stay above
-    `BENCH_GATE_MIN_BATCH_SPEEDUP` (default 4.0).
+    vs linear covering, sharded vs sequential single-notification latency —
+    must not regress by more than `BENCH_GATE_TOLERANCE` (default 25%)
+    against the same pair's ratio in the baseline file.  Pairs whose slow
+    reference side is bimodal between runs on small hosts (the 100k linear
+    matching scan, the per-notification batch reference loop) are held to
+    hard floors instead — a baseline-relative ratio would flap with the
+    reference side's cache mode.  The headline batch speedup at 100k
+    subscriptions must stay above `BENCH_GATE_MIN_BATCH_SPEEDUP`
+    (default 4.0).
   * **Absolute median gates**: every gated median (`matcher/match/*`,
     `matcher/covering/*`, `shards/single/*`, `shards/batch/*`) is compared
     against the baseline's ns/iter with `BENCH_GATE_ABS_TOLERANCE`
@@ -36,13 +39,26 @@ between machines:
     retention store's binary-searched recent-window fetch must beat the
     full-scan oracle at 100k retained records
     (`BENCH_GATE_MIN_FETCH_SPEEDUP`, default 1.3 — the segment time
-    indexes may never degenerate into a whole-archive scan).
-  * **Instrumentation overhead gate**: `obs_bench` measures the journal-on
+    indexes may never degenerate into a whole-archive scan).  The two
+    bimodal-reference pairs above ride here too: indexed matching at 100k
+    must clear `BENCH_GATE_MIN_MATCH_100K_SPEEDUP` (default 8.0; worst
+    observed mode ~14x) and the 8-shard batch kernel at 10k must clear
+    `BENCH_GATE_MIN_BATCH_SPEEDUP_10K` (default 2.0; observed ~3.6-4.2x).
+  * **Instrumentation overhead gates**: `obs_bench` measures the journal-on
     vs journal-off quickstart scenario as interleaved pairs (drift cancels
     inside each pair) and reports the median ratio as the synthetic sample
     `obs/quickstart/overhead_x1000/200` (ratio x 1000).  That ratio must
     stay within `BENCH_GATE_OBS_OVERHEAD` (default 5%) of 1.0 — the
-    tentpole claim that tracing is cheap enough to leave on.
+    tentpole claim that tracing is cheap enough to leave on.  The
+    distributed-tracing layer gets the same discipline:
+    `obs/quickstart/trace_overhead_x1000/200` is the interleaved ratio of
+    the scenario at the production-typical 1% trace-sampling rate over the
+    untraced default (dominated by the unsampled hot path: one hash per
+    publication, no allocation), bounded by `BENCH_GATE_TRACE_OVERHEAD`
+    (default 5%).  Full sampling (`trace_full_x1000`) records eight spans
+    per publication against microseconds of in-memory routing and is
+    deliberately not production-rate; it is reported and bounded only by
+    the absolute-median gate against its own baseline.
 
 Behaviour:
   1. Runs `cargo bench -p rebeca-bench --bench matcher_bench` and
@@ -66,10 +82,13 @@ TOLERANCE = float(os.environ.get("BENCH_GATE_TOLERANCE", "0.25"))
 ABS_TOLERANCE = float(os.environ.get("BENCH_GATE_ABS_TOLERANCE", "0.25"))
 MIN_BATCH_SPEEDUP = float(os.environ.get("BENCH_GATE_MIN_BATCH_SPEEDUP", "4.0"))
 OBS_OVERHEAD = float(os.environ.get("BENCH_GATE_OBS_OVERHEAD", "0.05"))
+TRACE_OVERHEAD = float(os.environ.get("BENCH_GATE_TRACE_OVERHEAD", "0.05"))
 MIN_COVERING_HIT_SPEEDUP = float(
     os.environ.get("BENCH_GATE_MIN_COVERING_HIT_SPEEDUP", "1.0")
 )
 MIN_CONTROL_REDUCTION = float(os.environ.get("BENCH_GATE_MIN_CONTROL_REDUCTION", "1.3"))
+MIN_MATCH_100K_SPEEDUP = float(os.environ.get("BENCH_GATE_MIN_MATCH_100K_SPEEDUP", "8.0"))
+MIN_BATCH_SPEEDUP_10K = float(os.environ.get("BENCH_GATE_MIN_BATCH_SPEEDUP_10K", "2.0"))
 MIN_FETCH_SPEEDUP = float(os.environ.get("BENCH_GATE_MIN_FETCH_SPEEDUP", "1.3"))
 OUT_DIR = os.environ.get("BENCH_GATE_DIR", "/tmp/bench_gate")
 
@@ -83,9 +102,10 @@ BENCHES = {
     "retain_bench": "BENCH_retain.json",
 }
 
-# The interleaved instrumented/baseline ratio emitted by obs_bench
+# The interleaved instrumented/baseline ratios emitted by obs_bench
 # (ratio x 1000 riding the ns_per_iter field).
 OBS_OVERHEAD_NAME = "obs/quickstart/overhead_x1000/200"
+TRACE_OVERHEAD_NAME = "obs/quickstart/trace_overhead_x1000/200"
 
 # Prefixes of benchmark names whose absolute medians are gated (hot paths;
 # maintenance benches are reported but not gated).
@@ -115,7 +135,10 @@ GATED_PREFIXES = (
 RATIO_GATES = [
     ("matcher/match/linear/1000", "matcher/match/indexed/1000"),
     ("matcher/match/linear/10000", "matcher/match/indexed/10000"),
-    ("matcher/match/linear/100000", "matcher/match/indexed/100000"),
+    # match/100000 is floored, not baseline-gated: the 100k linear scan is
+    # bimodal (cache-mode dependent, ~2x between runs on small hosts), so a
+    # within-run ratio compared against a single-mode baseline flaps.  See
+    # RATIO_FLOORS below.
     ("matcher/covering/linear_miss/1000", "matcher/covering/indexed_miss/1000"),
     ("matcher/covering/linear_miss/10000", "matcher/covering/indexed_miss/10000"),
     ("matcher/covering/linear_hit/1000", "matcher/covering/indexed_hit/1000"),
@@ -131,8 +154,11 @@ RATIO_GATES = [
     ("matcher/match_zipf/linear_miss/100000", "matcher/match_zipf/indexed_miss/100000"),
     ("shards/single/sequential/10000", "shards/single/sharded8/10000"),
     ("shards/single/sequential/100000", "shards/single/sharded8/100000"),
-    ("shards/batch/per_notification_loop/10000", "shards/batch/match_batch_shards8/10000"),
-    ("shards/batch/per_notification_loop/100000", "shards/batch/match_batch_shards8/100000"),
+    # The batch-vs-per-notification pairs are floored, not baseline-gated:
+    # the per-notification reference loop swings ~±30% between runs on
+    # small hosts, so its within-run ratio flaps against any single-mode
+    # baseline.  The 100k pair is additionally held to MIN_BATCH_SPEEDUP by
+    # the headline batch-speedup check below; see RATIO_FLOORS.
     # Mobility engine: the drained transit path must not grow more expensive
     # relative to immediate routing (the drain's link-message reduction is
     # asserted inside churn_bench itself; this guards its CPU cost), and the
@@ -189,6 +215,24 @@ RATIO_FLOORS = [
         "matcher/covering_hit/linear/10000",
         "matcher/covering_hit/indexed/10000",
         MIN_COVERING_HIT_SPEEDUP,
+    ),
+    # At 100k subscriptions the linear matching scan is bimodal (~2x between
+    # runs depending on cache mode), so the indexed side is held to a hard
+    # minimum advantage instead of a baseline-relative ratio: the worst mode
+    # observed still clears ~14x, a real index regression lands far below.
+    (
+        "matcher/match/linear/100000",
+        "matcher/match/indexed/100000",
+        MIN_MATCH_100K_SPEEDUP,
+    ),
+    # Batch matching must keep a decisive advantage over the per-notification
+    # loop at 10k subscriptions (observed ~3.6-4.2x; parity would mean the
+    # 64-lane bitmask path regressed).  The 100k pair's floor is the
+    # headline MIN_BATCH_SPEEDUP check.
+    (
+        "shards/batch/per_notification_loop/10000",
+        "shards/batch/match_batch_shards8/10000",
+        MIN_BATCH_SPEEDUP_10K,
     ),
     # Covering-scoped relocation floods must cut broker-to-broker
     # subscription-control messages by >= 30% in the relocation storm
@@ -307,22 +351,27 @@ def main():
                 f"batch speedup @100k/8 shards: {speedup:.2f}x < {MIN_BATCH_SPEEDUP:.1f}x"
             )
 
-    # Instrumentation overhead: the interleaved journal-on/journal-off ratio
-    # must stay within OBS_OVERHEAD of parity.
-    overhead_x1000 = current.get(OBS_OVERHEAD_NAME)
-    if overhead_x1000 is None:
-        failures.append(f"obs_bench did not report {OBS_OVERHEAD_NAME}")
-    else:
+    # Instrumentation overhead: each interleaved on/off ratio must stay
+    # within its bound of parity.
+    overhead_gates = [
+        (OBS_OVERHEAD_NAME, OBS_OVERHEAD, "journal-on vs journal-off quickstart"),
+        (TRACE_OVERHEAD_NAME, TRACE_OVERHEAD, "trace-sampled vs untraced quickstart"),
+    ]
+    for name, bound, label in overhead_gates:
+        overhead_x1000 = current.get(name)
+        if overhead_x1000 is None:
+            failures.append(f"obs_bench did not report {name}")
+            continue
         ratio = overhead_x1000 / 1000.0
-        status = "OK " if ratio <= 1.0 + OBS_OVERHEAD else "FAIL"
+        status = "OK " if ratio <= 1.0 + bound else "FAIL"
         print(
-            f"bench-gate: {status} instrumentation overhead: {(ratio - 1.0) * 100:+.2f}% "
-            f"(bound {OBS_OVERHEAD * 100:.0f}%)"
+            f"bench-gate: {status} {label}: {(ratio - 1.0) * 100:+.2f}% "
+            f"(bound {bound * 100:.0f}%)"
         )
-        if ratio > 1.0 + OBS_OVERHEAD:
+        if ratio > 1.0 + bound:
             failures.append(
                 f"instrumentation overhead {(ratio - 1.0) * 100:+.2f}% exceeds "
-                f"{OBS_OVERHEAD * 100:.0f}% (journal-on vs journal-off quickstart)"
+                f"{bound * 100:.0f}% ({label})"
             )
 
     # Absolute median gates.
